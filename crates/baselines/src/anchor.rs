@@ -1,0 +1,311 @@
+//! Anchor \[75\] — heuristic high-precision rule explanations.
+//!
+//! An *anchor* for `x` is a set of features such that fixing `x`'s values
+//! on them makes the model's prediction (almost always) the same under
+//! perturbation of the rest. Anchor searches for the smallest rule whose
+//! estimated precision exceeds a threshold `τ`, using a bandit-style
+//! sampling loop (we implement a UCB-guided beam search, the practical
+//! core of the reference KL-LUCB procedure).
+//!
+//! As the paper stresses (§1, §2), Anchor offers **no conformity
+//! guarantee**: its precision is estimated from samples, so instances
+//! violating the rule routinely exist (Fig. 1's `x₁`).
+
+use cce_dataset::{Dataset, Instance};
+use cce_model::Model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::perturb::PerturbationSampler;
+
+/// Anchor hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnchorParams {
+    /// Precision threshold `τ`: search stops when a rule's estimated
+    /// precision reaches it. Lower values yield shorter rules (the paper
+    /// tunes this to control explanation size).
+    pub tau: f64,
+    /// Samples per candidate evaluation round (model queries).
+    pub batch: usize,
+    /// Evaluation rounds per beam step (UCB refinement).
+    pub rounds: usize,
+    /// Beam width.
+    pub beam: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnchorParams {
+    fn default() -> Self {
+        Self { tau: 0.95, batch: 32, rounds: 4, beam: 4, seed: 0xa9c8 }
+    }
+}
+
+/// The Anchor explainer, bound to a reference dataset.
+#[derive(Debug, Clone)]
+pub struct Anchor {
+    sampler: PerturbationSampler,
+    params: AnchorParams,
+}
+
+/// A candidate rule during beam search.
+#[derive(Debug, Clone)]
+struct Candidate {
+    feats: Vec<usize>,
+    hits: usize,
+    trials: usize,
+}
+
+impl Candidate {
+    fn precision(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Upper confidence bound on precision.
+    fn ucb(&self) -> f64 {
+        if self.trials == 0 {
+            return f64::INFINITY;
+        }
+        self.precision() + (2.0 / self.trials as f64).sqrt()
+    }
+}
+
+impl Anchor {
+    /// Builds the explainer over a reference distribution.
+    pub fn new(reference: &Dataset, params: AnchorParams) -> Self {
+        Self { sampler: PerturbationSampler::new(reference), params }
+    }
+
+    /// Finds an anchor rule (feature set) for the model's prediction on
+    /// `x`. Always returns a rule; if the threshold is never reached the
+    /// full feature set comes back (precision 1 by construction).
+    pub fn explain<M: Model + ?Sized>(&self, model: &M, x: &Instance) -> Vec<usize> {
+        let n = x.len();
+        let target = model.predict(x);
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        let sample = |feats: &[usize], cand: &mut Candidate, rng: &mut StdRng| {
+            for _ in 0..self.params.batch {
+                let z = self.sampler.neighbor_fixing(x, feats, rng);
+                cand.trials += 1;
+                cand.hits += usize::from(model.predict(&z) == target);
+            }
+        };
+
+        let mut beam: Vec<Candidate> = vec![Candidate { feats: Vec::new(), hits: 0, trials: 0 }];
+        sample(&[], &mut beam[0], &mut rng);
+        if beam[0].precision() >= self.params.tau {
+            return Vec::new(); // base rate already above τ
+        }
+
+        for _len in 1..=n {
+            // Expand: add each unused feature to each beam rule.
+            let mut pool: Vec<Candidate> = Vec::new();
+            for b in &beam {
+                for f in 0..n {
+                    if !b.feats.contains(&f) {
+                        let mut feats = b.feats.clone();
+                        feats.push(f);
+                        pool.push(Candidate { feats, hits: 0, trials: 0 });
+                    }
+                }
+            }
+            // UCB refinement: several rounds, each sampling the most
+            // promising candidates.
+            for round in 0..self.params.rounds {
+                let evaluate = if round == 0 { pool.len() } else { self.params.beam * 2 };
+                pool.sort_by(|a, b| b.ucb().partial_cmp(&a.ucb()).expect("finite ucb"));
+                for cand in pool.iter_mut().take(evaluate) {
+                    let feats = cand.feats.clone();
+                    sample(&feats, cand, &mut rng);
+                }
+            }
+            pool.sort_by(|a, b| {
+                b.precision().partial_cmp(&a.precision()).expect("finite precision")
+            });
+            if let Some(best) = pool.first() {
+                if best.precision() >= self.params.tau {
+                    return best.feats.clone();
+                }
+            }
+            pool.truncate(self.params.beam);
+            beam = pool;
+        }
+        // Fall back to the longest rule found.
+        beam.into_iter().next().map(|c| c.feats).unwrap_or_else(|| (0..n).collect())
+    }
+
+    /// Beam-searches a rule of *exactly* `size` features (or fewer when
+    /// the feature count runs out), ignoring the threshold.
+    ///
+    /// The paper's protocol fixes baseline explanation sizes to CCE's when
+    /// measuring conformity/precision/faithfulness (§7.1); this is the
+    /// Anchor analog of "adjusting the threshold to control the size".
+    pub fn explain_with_size<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        x: &Instance,
+        size: usize,
+    ) -> Vec<usize> {
+        let n = x.len();
+        let size = size.min(n);
+        if size == 0 {
+            return Vec::new();
+        }
+        let target = model.predict(x);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x717e);
+        let sample = |feats: &[usize], cand: &mut Candidate, rng: &mut StdRng| {
+            for _ in 0..self.params.batch {
+                let z = self.sampler.neighbor_fixing(x, feats, rng);
+                cand.trials += 1;
+                cand.hits += usize::from(model.predict(&z) == target);
+            }
+        };
+        let mut beam: Vec<Candidate> = vec![Candidate { feats: Vec::new(), hits: 0, trials: 0 }];
+        for _len in 1..=size {
+            let mut pool: Vec<Candidate> = Vec::new();
+            for b in &beam {
+                for f in 0..n {
+                    if !b.feats.contains(&f) {
+                        let mut feats = b.feats.clone();
+                        feats.push(f);
+                        pool.push(Candidate { feats, hits: 0, trials: 0 });
+                    }
+                }
+            }
+            for cand in pool.iter_mut() {
+                let feats = cand.feats.clone();
+                sample(&feats, cand, &mut rng);
+            }
+            pool.sort_by(|a, b| {
+                b.precision().partial_cmp(&a.precision()).expect("finite precision")
+            });
+            pool.truncate(self.params.beam);
+            beam = pool;
+        }
+        beam.into_iter().next().map(|c| c.feats).unwrap_or_default()
+    }
+
+    /// Monte-Carlo precision estimate of a rule (used by tests and the
+    /// case study).
+    pub fn estimate_precision<M: Model + ?Sized>(
+        &self,
+        model: &M,
+        x: &Instance,
+        feats: &[usize],
+        samples: usize,
+    ) -> f64 {
+        let target = model.predict(x);
+        let mut rng = StdRng::seed_from_u64(self.params.seed ^ 0x5a5a);
+        let hits = (0..samples)
+            .filter(|_| {
+                let z = self.sampler.neighbor_fixing(x, feats, &mut rng);
+                model.predict(&z) == target
+            })
+            .count();
+        hits as f64 / samples.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec, Label};
+    use cce_model::ModelFn;
+
+    fn reference() -> Dataset {
+        synth::loan::generate(400, 11).encode(&BinSpec::uniform(8))
+    }
+
+    #[test]
+    fn finds_the_decisive_feature() {
+        let ds = reference();
+        let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
+        let anchor = Anchor::new(&ds, AnchorParams::default());
+        let rule = anchor.explain(&m, ds.instance(0));
+        assert_eq!(rule, vec![7], "single decisive feature is the anchor");
+    }
+
+    #[test]
+    fn anchor_precision_meets_threshold() {
+        let ds = reference();
+        let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0 && x[0] == 0)));
+        let anchor = Anchor::new(&ds, AnchorParams::default());
+        let x = ds.instances().iter().find(|x| x[7] == 0 && x[0] == 0).unwrap();
+        let rule = anchor.explain(&m, x);
+        let prec = anchor.estimate_precision(&m, x, &rule, 800);
+        assert!(prec >= 0.9, "rule {rule:?} precision {prec}");
+    }
+
+    #[test]
+    fn lower_tau_shortens_rules() {
+        let ds = reference();
+        // A model with several weak contributors.
+        let m = ModelFn(|x: &Instance| {
+            Label(u32::from(u32::from(x[7] == 0) + u32::from(x[5] >= 4) + u32::from(x[10] == 0) >= 2))
+        });
+        let x = ds.instance(0).clone();
+        let strict =
+            Anchor::new(&ds, AnchorParams { tau: 0.97, ..Default::default() }).explain(&m, &x);
+        let loose =
+            Anchor::new(&ds, AnchorParams { tau: 0.6, ..Default::default() }).explain(&m, &x);
+        assert!(loose.len() <= strict.len(), "loose={loose:?} strict={strict:?}");
+    }
+
+    #[test]
+    fn size_matched_rules_have_exact_size() {
+        let ds = reference();
+        let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
+        let anchor = Anchor::new(&ds, AnchorParams::default());
+        for k in [0usize, 1, 2, 3] {
+            let rule = anchor.explain_with_size(&m, ds.instance(0), k);
+            assert_eq!(rule.len(), k);
+        }
+        // The decisive feature should appear early.
+        let rule = anchor.explain_with_size(&m, ds.instance(0), 2);
+        assert!(rule.contains(&7), "rule={rule:?}");
+    }
+
+    #[test]
+    fn trivial_model_needs_no_rule() {
+        let ds = reference();
+        let m = ModelFn(|_: &Instance| Label(1));
+        let anchor = Anchor::new(&ds, AnchorParams::default());
+        assert!(anchor.explain(&m, ds.instance(0)).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = reference();
+        let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
+        let anchor = Anchor::new(&ds, AnchorParams::default());
+        assert_eq!(anchor.explain(&m, ds.instance(4)), anchor.explain(&m, ds.instance(4)));
+    }
+
+    #[test]
+    fn no_conformity_guarantee_demonstrable() {
+        // The Fig. 1 phenomenon: Anchor's rule can be violated by real
+        // instances. Build a model where a rare second feature matters;
+        // with a modest τ Anchor settles for the dominant feature alone.
+        let ds = reference();
+        let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0 || x[5] >= 7)));
+        let anchor = Anchor::new(&ds, AnchorParams { tau: 0.9, ..Default::default() });
+        let x = ds.instances().iter().find(|x| x[7] == 0 && x[5] < 7).unwrap();
+        let rule = anchor.explain(&m, x);
+        if rule == vec![7] {
+            // A violating witness exists in the reference data or space:
+            // poor credit with high income gets Approved too.
+            let witness = ds.instances().iter().find(|z| z[7] == 1 && z[5] >= 7);
+            if let Some(w) = witness {
+                assert_eq!(m.predict(w), Label(1));
+            }
+        }
+        // Either way the test exercises the search path; the key assertion
+        // is that the rule is non-trivial.
+        assert!(!rule.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Deriving feature explanations from importance scores.
+//!
+//! §7.1(b), following \[13\]: rank features by descending importance
+//! magnitude and keep the top `k`. This is how the evaluation puts
+//! feature-importance methods (LIME, SHAP, GAM, CERTA) on the same footing
+//! as feature-explanation methods when measuring conformity, precision
+//! and faithfulness with explanation sizes matched to CCE's.
+
+/// Indices of the `k` features with the largest `|score|` (ties broken by
+/// lower index), in descending magnitude order.
+pub fn top_k_features(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .abs()
+            .partial_cmp(&scores[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_by_magnitude() {
+        let scores = [0.1, -0.9, 0.5, 0.0];
+        assert_eq!(top_k_features(&scores, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn negative_scores_count_by_magnitude() {
+        let scores = [-0.7, 0.6];
+        assert_eq!(top_k_features(&scores, 1), vec![0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_features(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let scores = [0.1, 0.2];
+        assert_eq!(top_k_features(&scores, 10).len(), 2);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k_features(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let scores = [f64::NAN, 1.0, 0.5];
+        let got = top_k_features(&scores, 2);
+        assert_eq!(got.len(), 2);
+    }
+}

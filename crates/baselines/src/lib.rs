@@ -1,0 +1,47 @@
+//! The seven explanation methods the paper compares CCE against (Table 2),
+//! implemented from scratch.
+//!
+//! | method | kind | module |
+//! |---|---|---|
+//! | Anchor \[75\] | heuristic rule search over perturbations | [`anchor`] |
+//! | LIME \[74\] | locally-weighted linear surrogate | [`lime`] |
+//! | SHAP \[60\] | KernelSHAP coalition sampling | [`shap`] |
+//! | GAM \[59\] | additive per-feature effects via backfitting | [`gam`] |
+//! | Xreason \[47\] | *formal* sufficient reason over tree ensembles | [`xreason`] |
+//! | IDS \[55\] | global pattern-level rule sets | [`ids`] |
+//! | CERTA \[94\] | entity-matching-specialized saliency | [`certa`] |
+//!
+//! All of them follow the 2-step routine of §1 — generate relevant
+//! instances, query the model on them, derive an explanation — and hence
+//! *require model access* through [`cce_model::Model`], in sharp contrast
+//! to CCE. Every method is deterministic given its seed.
+//!
+//! Feature-importance methods produce per-feature scores; [`mod@derive`]
+//! converts them into feature explanations of a target size, following the
+//! protocol of §7.1(b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchor;
+pub mod certa;
+pub mod derive;
+pub mod gam;
+pub mod ids;
+pub mod lime;
+mod linalg;
+pub mod oracle;
+pub mod perturb;
+pub mod shap;
+pub mod xreason;
+
+pub use anchor::{Anchor, AnchorParams};
+pub use certa::{Certa, CertaParams};
+pub use derive::top_k_features;
+pub use gam::Gam;
+pub use ids::{Ids, IdsParams, Rule, RuleSet};
+pub use lime::{Lime, LimeParams};
+pub use oracle::EnsembleOracle;
+pub use perturb::PerturbationSampler;
+pub use shap::{KernelShap, ShapParams};
+pub use xreason::Xreason;

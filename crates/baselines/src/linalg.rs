@@ -1,0 +1,135 @@
+//! Minimal dense linear algebra: weighted ridge regression via Cholesky.
+//!
+//! LIME and KernelSHAP both reduce to a weighted least-squares fit; the
+//! dimensions are tiny (features + intercept), so a textbook Cholesky on a
+//! dense normal-equations matrix is all we need.
+
+/// Solves the weighted ridge problem
+/// `argmin_β Σᵢ wᵢ (yᵢ - xᵢᵀβ)² + λ‖β‖²`
+/// over rows `design[i]` (all of equal width).
+///
+/// Returns the coefficient vector (no implicit intercept — append a
+/// constant 1 column if one is wanted). Returns zeros for empty input.
+pub(crate) fn ridge_wls(design: &[Vec<f64>], y: &[f64], w: &[f64], lambda: f64) -> Vec<f64> {
+    let Some(first) = design.first() else {
+        return Vec::new();
+    };
+    let d = first.len();
+    debug_assert_eq!(design.len(), y.len());
+    debug_assert_eq!(design.len(), w.len());
+
+    // Normal equations: A = XᵀWX + λI, b = XᵀWy.
+    let mut a = vec![0.0f64; d * d];
+    let mut b = vec![0.0f64; d];
+    for ((row, &yi), &wi) in design.iter().zip(y).zip(w) {
+        debug_assert_eq!(row.len(), d);
+        for i in 0..d {
+            let wxi = wi * row[i];
+            b[i] += wxi * yi;
+            for j in i..d {
+                a[i * d + j] += wxi * row[j];
+            }
+        }
+    }
+    for i in 0..d {
+        a[i * d + i] += lambda.max(1e-10);
+        for j in 0..i {
+            a[i * d + j] = a[j * d + i]; // mirror lower triangle
+        }
+    }
+    cholesky_solve(&mut a, &b, d)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` (destroyed).
+fn cholesky_solve(a: &mut [f64], b: &[f64], d: usize) -> Vec<f64> {
+    // In-place Cholesky: A = L Lᵀ, L stored in the lower triangle.
+    for i in 0..d {
+        for j in 0..=i {
+            let mut s = a[i * d + j];
+            for k in 0..j {
+                s -= a[i * d + k] * a[j * d + k];
+            }
+            if i == j {
+                a[i * d + j] = s.max(1e-12).sqrt();
+            } else {
+                a[i * d + j] = s / a[j * d + j];
+            }
+        }
+    }
+    // Forward solve L z = b.
+    let mut z = vec![0.0f64; d];
+    for i in 0..d {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= a[i * d + k] * z[k];
+        }
+        z[i] = s / a[i * d + i];
+    }
+    // Back solve Lᵀ x = z.
+    let mut x = vec![0.0f64; d];
+    for i in (0..d).rev() {
+        let mut s = z[i];
+        for k in i + 1..d {
+            s -= a[k * d + i] * x[k];
+        }
+        x[i] = s / a[i * d + i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2 x0 - 3 x1 + 1 (intercept as a constant column).
+        let design: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![f64::from(i % 5), f64::from(i % 3), 1.0])
+            .collect();
+        let y: Vec<f64> = design.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        let w = vec![1.0; y.len()];
+        let beta = ridge_wls(&design, &y, &w, 1e-8);
+        assert!((beta[0] - 2.0).abs() < 1e-4, "beta={beta:?}");
+        assert!((beta[1] + 3.0).abs() < 1e-4);
+        assert!((beta[2] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn weights_prioritize_rows() {
+        // Two inconsistent points; the heavy one wins.
+        let design = vec![vec![1.0], vec![1.0]];
+        let y = vec![0.0, 10.0];
+        let w = vec![1.0, 1e6];
+        let beta = ridge_wls(&design, &y, &w, 1e-8);
+        assert!((beta[0] - 10.0).abs() < 0.01, "beta={beta:?}");
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let design = vec![vec![1.0], vec![1.0]];
+        let y = vec![10.0, 10.0];
+        let w = vec![1.0, 1.0];
+        let tight = ridge_wls(&design, &y, &w, 1e-8)[0];
+        let shrunk = ridge_wls(&design, &y, &w, 100.0)[0];
+        assert!(tight > 9.9);
+        assert!(shrunk < 1.0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty() {
+        assert!(ridge_wls(&[], &[], &[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn singular_design_does_not_panic() {
+        // Duplicate columns: XtX is singular; the ridge term regularizes.
+        let design = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        let w = vec![1.0; 3];
+        let beta = ridge_wls(&design, &y, &w, 1e-6);
+        assert!(beta.iter().all(|b| b.is_finite()));
+        // Both columns share the signal.
+        assert!((beta[0] + beta[1] - 1.0).abs() < 0.05, "beta={beta:?}");
+    }
+}

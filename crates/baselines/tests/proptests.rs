@@ -1,0 +1,98 @@
+//! Property-based tests of the baseline explainers' building blocks.
+
+use cce_baselines::{top_k_features, EnsembleOracle};
+use cce_dataset::synth::em::{attr_similarity, jaccard, AttrKind};
+use cce_dataset::{synth, BinSpec, Instance};
+use cce_model::{Gbdt, GbdtParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn top_k_is_sorted_by_magnitude(
+        scores in proptest::collection::vec(-10f64..10.0, 0..20),
+        k in 0usize..25,
+    ) {
+        let picked = top_k_features(&scores, k);
+        prop_assert_eq!(picked.len(), k.min(scores.len()));
+        for w in picked.windows(2) {
+            prop_assert!(scores[w[0]].abs() >= scores[w[1]].abs());
+        }
+        // No duplicates.
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), picked.len());
+    }
+
+    #[test]
+    fn top_k_actually_picks_the_largest(
+        scores in proptest::collection::vec(-10f64..10.0, 1..15),
+    ) {
+        let picked = top_k_features(&scores, 1);
+        let max = scores.iter().map(|s| s.abs()).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((scores[picked[0]].abs() - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in "[a-d ]{0,20}", b in "[a-d ]{0,20}") {
+        let s = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, jaccard(&b, &a));
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn numeric_similarity_peaks_at_equality(x in -1e4f64..1e4, d in 0.01f64..1e3) {
+        let same = attr_similarity(AttrKind::Number, &x.to_string(), &x.to_string());
+        let far = attr_similarity(AttrKind::Number, &x.to_string(), &(x + d).to_string());
+        prop_assert!(same >= far - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&far));
+    }
+}
+
+// Oracle monotonicity deserves its own (non-proptest) randomized test: a
+// superset of a sufficient feature set is itself sufficient.
+#[test]
+fn oracle_sufficiency_is_monotone() {
+    let ds = synth::loan::generate(200, 3).encode(&BinSpec::uniform(4));
+    let model = Gbdt::train(&ds, &GbdtParams { n_trees: 6, ..GbdtParams::fast() }, 0);
+    let oracle = EnsembleOracle::new(&model, ds.schema());
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let n = ds.schema().n_features();
+    for t in (0..ds.len()).step_by(19) {
+        let x: &Instance = ds.instance(t);
+        let feats: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.5)).collect();
+        if oracle.is_sufficient(x, &feats) {
+            // Add two random extra features; sufficiency must persist.
+            let mut bigger = feats.clone();
+            for _ in 0..2 {
+                let f = rng.gen_range(0..n);
+                if !bigger.contains(&f) {
+                    bigger.push(f);
+                }
+            }
+            assert!(
+                oracle.is_sufficient(x, &bigger),
+                "monotonicity violated at t={t}: {feats:?} ⊆ {bigger:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_agrees_with_itself_across_feature_order() {
+    // Sufficiency is a property of the *set*; permuting the slice must not
+    // change the answer.
+    let ds = synth::loan::generate(150, 7).encode(&BinSpec::uniform(4));
+    let model = Gbdt::train(&ds, &GbdtParams { n_trees: 5, ..GbdtParams::fast() }, 0);
+    let oracle = EnsembleOracle::new(&model, ds.schema());
+    let x = ds.instance(3);
+    let feats = vec![0usize, 3, 7, 9];
+    let mut rev = feats.clone();
+    rev.reverse();
+    assert_eq!(oracle.is_sufficient(x, &feats), oracle.is_sufficient(x, &rev));
+}

@@ -1,0 +1,125 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md:
+//!
+//! 1. SRK's incremental violator maintenance vs the literal
+//!    re-scan-per-iteration reading of Algorithm 1,
+//! 2. the log-domain SSRK potential vs the naive `m^{2μ}` form (which
+//!    overflows and, where finite, costs `powf` per term),
+//! 3. OSRK's arbitrary-pick rules (First / MaxWeight / MaxKill).
+
+use cce_bench::{prepare, ExpConfig};
+use cce_core::{Alpha, OsrkMonitor, PickRule, Srk, SsrkMonitor};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_srk_incremental_vs_naive(c: &mut Criterion) {
+    let cfg = ExpConfig { scale: 0.2, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Adult", &cfg);
+    let srk = Srk::new(Alpha::ONE);
+    let mut group = c.benchmark_group("ablation_srk");
+    group.bench_function("incremental", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 17) % prep.ctx.len();
+            std::hint::black_box(srk.explain(&prep.ctx, t)).ok()
+        });
+    });
+    group.bench_function("naive_rescan", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 17) % prep.ctx.len();
+            std::hint::black_box(srk.explain_naive(&prep.ctx, t)).ok()
+        });
+    });
+    group.finish();
+}
+
+fn bench_potential_forms(c: &mut Criterion) {
+    let cfg = ExpConfig { scale: 0.2, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Adult", &cfg);
+    let universe: Vec<_> = prep
+        .ctx
+        .instances()
+        .iter()
+        .cloned()
+        .zip(prep.ctx.predictions().iter().copied())
+        .collect();
+    let monitor =
+        SsrkMonitor::new(prep.ctx.instance(0).clone(), prep.ctx.prediction(0), Alpha::ONE, &universe);
+    let mut group = c.benchmark_group("ablation_potential");
+    group.bench_function("log_domain", |b| {
+        b.iter(|| std::hint::black_box(monitor.recompute_log_potential()));
+    });
+    group.bench_function("naive_powf", |b| {
+        // Overflows to +inf on large universes — kept to quantify the cost
+        // and demonstrate the failure mode the log-domain form avoids.
+        b.iter(|| std::hint::black_box(monitor.naive_potential()));
+    });
+    group.finish();
+}
+
+fn bench_pick_rules(c: &mut Criterion) {
+    let cfg = ExpConfig { scale: 0.1, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Compas", &cfg);
+    let stream: Vec<_> = prep
+        .ctx
+        .instances()
+        .iter()
+        .cloned()
+        .zip(prep.ctx.predictions().iter().copied())
+        .skip(1)
+        .collect();
+    let x0 = prep.ctx.instance(0).clone();
+    let p0 = prep.ctx.prediction(0);
+    let mut group = c.benchmark_group("ablation_pick_rule");
+    for rule in [PickRule::First, PickRule::MaxWeight, PickRule::MaxKill] {
+        group.bench_function(BenchmarkId::new("osrk_stream", format!("{rule:?}")), |b| {
+            b.iter_batched(
+                || OsrkMonitor::new(x0.clone(), p0, Alpha::ONE, 7).with_pick_rule(rule),
+                |mut m| {
+                    for (x, p) in &stream {
+                        let _ = m.observe(x.clone(), *p);
+                    }
+                    m.succinctness()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_index(c: &mut Criterion) {
+    use cce_core::ContextIndex;
+    let cfg = ExpConfig { scale: 0.3, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Adult", &cfg);
+    let srk = Srk::new(Alpha::ONE);
+    let idx = ContextIndex::new(&prep.ctx);
+    let mut group = c.benchmark_group("ablation_index");
+    group.bench_function("srk_plain", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 17) % prep.ctx.len();
+            std::hint::black_box(srk.explain(&prep.ctx, t)).ok()
+        });
+    });
+    group.bench_function("srk_indexed", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 17) % prep.ctx.len();
+            std::hint::black_box(idx.explain(&prep.ctx, t, Alpha::ONE)).ok()
+        });
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| std::hint::black_box(ContextIndex::new(&prep.ctx)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_srk_incremental_vs_naive,
+    bench_potential_forms,
+    bench_pick_rules,
+    bench_context_index
+);
+criterion_main!(benches);

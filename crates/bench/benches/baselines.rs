@@ -1,0 +1,74 @@
+//! Criterion bench: per-instance explanation latency of every method on
+//! Loan — the Criterion twin of Table 4. Expected ordering:
+//! CCE ≪ GAM/LIME < SHAP < Anchor ≪ Xreason.
+
+use cce_baselines::gam::GamParams;
+use cce_baselines::{Anchor, AnchorParams, Gam, KernelShap, Lime, LimeParams, ShapParams, Xreason};
+use cce_bench::{prepare, ExpConfig};
+use cce_core::{Alpha, Srk};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    let cfg = ExpConfig { scale: 1.0, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Loan", &cfg);
+    let mut group = c.benchmark_group("explain_one_loan_instance");
+    group.sample_size(20);
+
+    let srk = Srk::new(Alpha::ONE);
+    group.bench_function("cce_srk", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 7) % prep.ctx.len();
+            std::hint::black_box(srk.explain(&prep.ctx, t)).ok()
+        });
+    });
+
+    let lime = Lime::new(&prep.train, LimeParams::default());
+    group.bench_function("lime", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 7) % prep.infer.len();
+            std::hint::black_box(lime.importance(&prep.model, prep.infer.instance(t)))
+        });
+    });
+
+    let shap = KernelShap::new(&prep.train, ShapParams::default());
+    group.bench_function("shap", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 7) % prep.infer.len();
+            std::hint::black_box(shap.importance(&prep.model, prep.infer.instance(t)))
+        });
+    });
+
+    let anchor = Anchor::new(&prep.train, AnchorParams::default());
+    group.bench_function("anchor", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 7) % prep.infer.len();
+            std::hint::black_box(anchor.explain(&prep.model, prep.infer.instance(t)))
+        });
+    });
+
+    group.bench_function("gam_fit_and_explain", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 7) % prep.infer.len();
+            let gam = Gam::fit(&prep.model, &prep.train, GamParams::default());
+            std::hint::black_box(gam.importance(&prep.model, prep.infer.instance(t)))
+        });
+    });
+
+    let xr = Xreason::new(&prep.model, prep.infer.schema());
+    group.bench_function("xreason", |b| {
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 7) % prep.infer.len();
+            std::hint::black_box(xr.explain(prep.infer.instance(t)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: per-arrival update cost of the online monitors
+//! (§7.4 reports 0.02 ms for OSRK and 0.03 ms for SSRK per instance).
+
+use cce_bench::{prepare, ExpConfig};
+use cce_core::{Alpha, OsrkMonitor, SsrkMonitor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn bench_online(c: &mut Criterion) {
+    let cfg = ExpConfig { scale: 0.2, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Adult", &cfg);
+    let universe: Vec<_> = prep
+        .ctx
+        .instances()
+        .iter()
+        .cloned()
+        .zip(prep.ctx.predictions().iter().copied())
+        .collect();
+    let x0 = prep.ctx.instance(0).clone();
+    let p0 = prep.ctx.prediction(0);
+    let stream: Vec<_> = universe[1..].to_vec();
+
+    let mut group = c.benchmark_group("online");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function("osrk_full_stream", |b| {
+        b.iter_batched(
+            || OsrkMonitor::new(x0.clone(), p0, Alpha::ONE, 7),
+            |mut m| {
+                for (x, p) in &stream {
+                    let _ = m.observe(x.clone(), *p);
+                }
+                m.succinctness()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("ssrk_full_stream", |b| {
+        b.iter_batched(
+            || SsrkMonitor::new(x0.clone(), p0, Alpha::ONE, &universe),
+            |mut m| {
+                for (x, p) in &stream {
+                    let _ = m.observe(x.clone(), *p);
+                }
+                m.succinctness()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("ssrk_offline_init", |b| {
+        b.iter(|| SsrkMonitor::new(x0.clone(), p0, Alpha::ONE, std::hint::black_box(&universe)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

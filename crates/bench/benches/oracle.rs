@@ -1,0 +1,49 @@
+//! Criterion bench: the exact feature-space sufficiency oracle that
+//! powers Xreason — cost vs ensemble size (the NP-hard part of formal
+//! explanation).
+
+use cce_baselines::EnsembleOracle;
+use cce_bench::ExpConfig;
+use cce_core::Context;
+use cce_dataset::synth;
+use cce_dataset::{BinSpec, BinningStrategy};
+use cce_model::{Gbdt, GbdtParams, TreeParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_oracle(c: &mut Criterion) {
+    let cfg = ExpConfig { scale: 0.3, targets: 1, seed: 42, buckets: 10 };
+    let raw = synth::general_dataset("Loan", cfg.scale, cfg.seed).unwrap();
+    let spec = BinSpec::uniform(10).with_strategy(BinningStrategy::Quantile);
+    let ds = raw.encode(&spec);
+    let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(1));
+
+    let mut group = c.benchmark_group("sufficiency_oracle");
+    for n_trees in [5usize, 15, 25] {
+        let model = Gbdt::train(
+            &train,
+            &GbdtParams {
+                n_trees,
+                learning_rate: 0.3,
+                tree: TreeParams { max_depth: 4, ..Default::default() },
+            },
+            0,
+        );
+        let _ = Context::from_model(&infer, &model);
+        let oracle = EnsembleOracle::new(&model, infer.schema());
+        // A midsized fixed feature subset: hard-ish queries.
+        let feats: Vec<usize> = (0..infer.schema().n_features()).step_by(3).collect();
+        group.bench_function(BenchmarkId::new("is_sufficient", n_trees), |b| {
+            let mut t = 0usize;
+            b.iter(|| {
+                t = (t + 13) % infer.len();
+                std::hint::black_box(oracle.is_sufficient(infer.instance(t), &feats))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: batch relative-key computation (SRK) across context
+//! sizes and conformity bounds — the cost model behind Table 4's CCE row
+//! and Fig. 3g.
+
+use cce_bench::{prepare, ExpConfig};
+use cce_core::{Alpha, Srk};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_srk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srk");
+    for (scale, label) in [(0.05, "small"), (0.2, "medium"), (0.6, "large")] {
+        let cfg = ExpConfig { scale, targets: 1, seed: 42, buckets: 10 };
+        let prep = prepare("Adult", &cfg);
+        let srk = Srk::new(Alpha::ONE);
+        group.bench_function(
+            BenchmarkId::new("adult_alpha1", format!("{label}_{}", prep.ctx.len())),
+            |b| {
+                let mut t = 0usize;
+                b.iter(|| {
+                    t = (t + 17) % prep.ctx.len();
+                    std::hint::black_box(srk.explain(&prep.ctx, t)).ok()
+                });
+            },
+        );
+    }
+
+    // α sweep at fixed size (Fig. 3g's shape: relaxing α speeds SRK up).
+    let cfg = ExpConfig { scale: 0.3, targets: 1, seed: 42, buckets: 10 };
+    let prep = prepare("Loan", &cfg);
+    for a in [1.0, 0.95, 0.9] {
+        let srk = Srk::new(Alpha::new(a).unwrap());
+        group.bench_function(BenchmarkId::new("loan_alpha", format!("{a}")), |b| {
+            let mut t = 0usize;
+            b.iter(|| {
+                t = (t + 7) % prep.ctx.len();
+                std::hint::black_box(srk.explain(&prep.ctx, t)).ok()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_srk);
+criterion_main!(benches);

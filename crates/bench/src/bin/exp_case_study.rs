@@ -1,0 +1,8 @@
+//! Regenerates the `case_study` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'case_study' with {cfg:?}");
+    let tables = cce_bench::experiments::case_study::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

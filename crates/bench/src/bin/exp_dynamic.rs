@@ -1,0 +1,8 @@
+//! Regenerates the `dynamic` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'dynamic' with {cfg:?}");
+    let tables = cce_bench::experiments::dynamic::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the `em` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'em' with {cfg:?}");
+    let tables = cce_bench::experiments::em::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

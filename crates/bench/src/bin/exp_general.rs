@@ -1,0 +1,8 @@
+//! Regenerates the `general` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'general' with {cfg:?}");
+    let tables = cce_bench::experiments::general::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

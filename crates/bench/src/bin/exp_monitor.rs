@@ -1,0 +1,8 @@
+//! Regenerates the `monitor` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'monitor' with {cfg:?}");
+    let tables = cce_bench::experiments::monitor::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the `patterns` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'patterns' with {cfg:?}");
+    let tables = cce_bench::experiments::patterns::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

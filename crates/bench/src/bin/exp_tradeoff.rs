@@ -1,0 +1,8 @@
+//! Regenerates the `tradeoff` experiment tables (see DESIGN.md §3).
+
+fn main() {
+    let cfg = cce_bench::ExpConfig::from_env();
+    eprintln!("running experiment 'tradeoff' with {cfg:?}");
+    let tables = cce_bench::experiments::tradeoff::run(&cfg);
+    cce_bench::experiments::print_tables(&tables);
+}

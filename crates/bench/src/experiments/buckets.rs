@@ -1,0 +1,112 @@
+//! Fig. 3h/3i (`#-bucket` impact on Loan) and Fig. 4d (faithfulness on
+//! Adult): how the discretization granularity of numeric features affects
+//! explanation quality.
+
+use cce_core::Alpha;
+use cce_dataset::BinSpec;
+use cce_metrics::report::fmt_pct;
+use cce_metrics::{conformity, faithfulness, mean_succinctness, recall_pair, FaithfulnessParams, Table};
+
+use crate::methods::{self, faithfulness_items};
+use crate::setup::{prepare_with_spec, sample_targets, ExpConfig};
+
+/// Bucket counts swept (the paper varies 10 to 20).
+pub const BUCKETS: [usize; 6] = [10, 12, 14, 16, 18, 20];
+
+/// Runs the `#-bucket` sweeps.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let headers: Vec<String> =
+        std::iter::once("method".to_string()).chain(BUCKETS.iter().map(|b| format!("#{b}"))).collect();
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let mut f3h = Table::new("Fig 3h: conformity vs #-bucket of LoanAmount (Loan)", &hdr);
+    let mut f3i_recall = Table::new("Fig 3i (recall): CCE vs Xreason vs #-bucket (Loan)", &hdr);
+    let mut f3i_succ =
+        Table::new("Fig 3i (succinctness): CCE vs Xreason vs #-bucket (Loan)", &hdr);
+    let mut f4d = Table::new("Fig 4d: faithfulness vs #-bucket (Adult)", &hdr);
+
+    // Per-method accumulators across bucket counts.
+    let methods_order = ["CCE", "LIME", "SHAP", "Anchor", "GAM"];
+    let mut conf_cols: Vec<Vec<String>> = vec![Vec::new(); methods_order.len()];
+    let mut faith_cols: Vec<Vec<String>> = vec![Vec::new(); methods_order.len()];
+    let mut recall_cols: Vec<Vec<String>> = vec![Vec::new(); 2];
+    let mut succ_cols: Vec<Vec<String>> = vec![Vec::new(); 2];
+
+    for &b in &BUCKETS {
+        // Fig 3h/3i: Loan with the LoanAmount override.
+        let spec = BinSpec::uniform(cfg.buckets)
+            .with_strategy(cce_dataset::BinningStrategy::Quantile)
+            .with_override("LoanAmount", b);
+        let prep = prepare_with_spec("Loan", cfg, &spec);
+        let targets = sample_targets(prep.ctx.len(), cfg.targets, cfg.seed);
+        let (cce, sizes) = methods::run_cce(&prep, &targets, Alpha::ONE);
+        let runs = [
+            cce,
+            methods::run_lime(&prep, &targets, &sizes, cfg.seed),
+            methods::run_shap(&prep, &targets, &sizes, cfg.seed),
+            methods::run_anchor(&prep, &targets, &sizes, cfg.seed),
+            methods::run_gam(&prep, &targets, &sizes),
+        ];
+        for (col, run) in conf_cols.iter_mut().zip(&runs) {
+            col.push(fmt_pct(conformity(&prep.ctx, &run.explained)));
+        }
+        let xr = methods::run_xreason(&prep, &targets);
+        let (mut rc, mut rx, mut n) = (0.0, 0.0, 0usize);
+        for c in &runs[0].explained {
+            if let Some(x) = xr.explained.iter().find(|x| x.target == c.target) {
+                let (a, bb) = recall_pair(&prep.ctx, c.target, &c.features, &x.features);
+                rc += a;
+                rx += bb;
+                n += 1;
+            }
+        }
+        let n = n.max(1) as f64;
+        recall_cols[0].push(fmt_pct(rc / n));
+        recall_cols[1].push(fmt_pct(rx / n));
+        succ_cols[0].push(format!("{:.2}", mean_succinctness(&runs[0].explained)));
+        succ_cols[1].push(format!("{:.2}", mean_succinctness(&xr.explained)));
+
+        // Fig 4d: Adult with all numeric features at b buckets.
+        let spec_a =
+            BinSpec::uniform(b).with_strategy(cce_dataset::BinningStrategy::Quantile);
+        let prep_a = prepare_with_spec("Adult", cfg, &spec_a);
+        let targets_a = sample_targets(prep_a.ctx.len(), cfg.targets, cfg.seed);
+        let (cce_a, sizes_a) = methods::run_cce(&prep_a, &targets_a, Alpha::ONE);
+        let runs_a = [
+            cce_a,
+            methods::run_lime(&prep_a, &targets_a, &sizes_a, cfg.seed),
+            methods::run_shap(&prep_a, &targets_a, &sizes_a, cfg.seed),
+            methods::run_anchor(&prep_a, &targets_a, &sizes_a, cfg.seed),
+            methods::run_gam(&prep_a, &targets_a, &sizes_a),
+        ];
+        let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+        for (col, run) in faith_cols.iter_mut().zip(&runs_a) {
+            let f = faithfulness(
+                &prep_a.model,
+                &prep_a.train,
+                &faithfulness_items(&prep_a, run),
+                fparams,
+            );
+            col.push(format!("{f:.3}"));
+        }
+    }
+
+    for (mi, m) in methods_order.iter().enumerate() {
+        let mut row = vec![m.to_string()];
+        row.extend(conf_cols[mi].clone());
+        f3h.row(row);
+        let mut row = vec![m.to_string()];
+        row.extend(faith_cols[mi].clone());
+        f4d.row(row);
+    }
+    for (i, m) in ["CCE", "Xreason"].iter().enumerate() {
+        let mut row = vec![m.to_string()];
+        row.extend(recall_cols[i].clone());
+        f3i_recall.row(row);
+        let mut row = vec![m.to_string()];
+        row.extend(succ_cols[i].clone());
+        f3i_succ.row(row);
+    }
+
+    vec![f3h, f3i_recall, f3i_succ, f4d]
+}

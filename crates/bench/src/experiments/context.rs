@@ -1,0 +1,114 @@
+//! Fig. 3j/3k and Fig. 4e — impact of the context size |I| on explanation
+//! quality, in batch (SRK) and online (OSRK/SSRK) modes over Adult.
+
+use cce_core::{Alpha, OsrkMonitor, Srk, SsrkMonitor};
+use cce_metrics::{faithfulness, mean_succinctness, Explained, FaithfulnessParams, Table};
+
+use crate::methods::faithfulness_items;
+use crate::methods::MethodRun;
+use crate::setup::{prepare, sample_targets, ExpConfig};
+
+/// Context fractions swept (50% to 100% of the inference set).
+pub const FRACTIONS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+/// Runs the context-size sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let prep = prepare("Adult", cfg);
+    let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+
+    let headers: Vec<String> = std::iter::once("measure".to_string())
+        .chain(FRACTIONS.iter().map(|f| format!("{:.0}%", f * 100.0)))
+        .collect();
+    let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut f3j = Table::new("Fig 3j: CCE (SRK) quality vs context size |I| (Adult)", &hdr);
+    let mut f3k = Table::new("Fig 3k: OSRK quality vs context size |I| (Adult)", &hdr);
+    let mut f4e = Table::new("Fig 4e: SSRK quality vs context size |I| (Adult)", &hdr);
+
+    let mut rows: Vec<Vec<String>> = vec![vec!["faithfulness".into()], vec!["succinctness".into()]];
+    let mut rows_o: Vec<Vec<String>> = rows.clone();
+    let mut rows_s: Vec<Vec<String>> = rows.clone();
+
+    for &frac in &FRACTIONS {
+        let sub = prep.infer.head((prep.infer.len() as f64 * frac) as usize);
+        let ctx = cce_core::Context::from_model(&sub, &prep.model);
+        let targets = sample_targets(ctx.len(), cfg.targets, cfg.seed);
+
+        // Batch (SRK).
+        let srk = Srk::new(Alpha::ONE);
+        let explained: Vec<Explained> = targets
+            .iter()
+            .filter_map(|&t| {
+                srk.explain(&ctx, t).ok().map(|k| Explained::new(t, k.features().to_vec()))
+            })
+            .collect();
+        let run = MethodRun { name: "CCE", explained, avg_ms: 0.0 };
+        let sub_prep = crate::setup::Prepared {
+            name: prep.name.clone(),
+            train: prep.train.clone(),
+            infer: sub.clone(),
+            model: prep.model.clone(),
+            ctx: ctx.clone(),
+        };
+        let f = faithfulness(
+            &prep.model,
+            &prep.train,
+            &faithfulness_items(&sub_prep, &run),
+            fparams,
+        );
+        rows[0].push(format!("{f:.3}"));
+        rows[1].push(format!("{:.2}", mean_succinctness(&run.explained)));
+
+        // Online monitors over the same streamed sub-context.
+        for (is_osrk, rows_x) in [(true, &mut rows_o), (false, &mut rows_s)] {
+            let universe: Vec<_> = ctx
+                .instances()
+                .iter()
+                .cloned()
+                .zip(ctx.predictions().iter().copied())
+                .collect();
+            let mut explained = Vec::new();
+            for &t0 in targets.iter().take(cfg.targets.min(10)) {
+                let x0 = ctx.instance(t0).clone();
+                let p0 = ctx.prediction(t0);
+                let feats: Vec<usize> = if is_osrk {
+                    let mut m = OsrkMonitor::new(x0, p0, Alpha::ONE, cfg.seed);
+                    for (i, (x, p)) in universe.iter().enumerate() {
+                        if i != t0 {
+                            let _ = m.observe(x.clone(), *p);
+                        }
+                    }
+                    m.key().to_vec()
+                } else {
+                    let mut m = SsrkMonitor::new(x0, p0, Alpha::ONE, &universe);
+                    for (i, (x, p)) in universe.iter().enumerate() {
+                        if i != t0 {
+                            let _ = m.observe(x.clone(), *p);
+                        }
+                    }
+                    m.key().to_vec()
+                };
+                explained.push(Explained::new(t0, feats));
+            }
+            let run = MethodRun { name: "online", explained, avg_ms: 0.0 };
+            let f = faithfulness(
+                &prep.model,
+                &prep.train,
+                &faithfulness_items(&sub_prep, &run),
+                fparams,
+            );
+            rows_x[0].push(format!("{f:.3}"));
+            rows_x[1].push(format!("{:.2}", mean_succinctness(&run.explained)));
+        }
+    }
+
+    for r in rows {
+        f3j.row(r);
+    }
+    for r in rows_o {
+        f3k.row(r);
+    }
+    for r in rows_s {
+        f4e.row(r);
+    }
+    vec![f3j, f3k, f4e]
+}

@@ -1,0 +1,124 @@
+//! §7.5 — explaining entity-matching decisions: Fig. 3n/3o
+//! (conformity/precision), Fig. 3p (faithfulness) and the efficiency
+//! comparison against the specialized CERTA explainer.
+//!
+//! The matcher is the Ditto stand-in (an MLP): Xreason cannot explain it
+//! at all — only CCE, Anchor and CERTA compete here, exactly as in the
+//! paper.
+
+use cce_baselines::{top_k_features, Anchor, AnchorParams, Certa, CertaParams};
+use cce_core::{Alpha, Srk};
+use cce_dataset::synth::EM_DATASETS;
+use cce_metrics::report::{fmt_ms, fmt_pct};
+use cce_metrics::{conformity, faithfulness, mean_precision, Explained, FaithfulnessParams, Table};
+
+use crate::setup::{prepare_em, sample_targets, ExpConfig};
+
+/// Runs the EM evaluation.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut f3n = Table::new(
+        "Fig 3n: conformity (%) on entity matching",
+        &["method", "A-G", "D-A", "D-G", "W-A"],
+    );
+    let mut f3o = Table::new(
+        "Fig 3o: precision (%) on entity matching",
+        &["method", "A-G", "D-A", "D-G", "W-A"],
+    );
+    let mut f3p = Table::new(
+        "Fig 3p: faithfulness on entity matching (lower is better)",
+        &["method", "A-G", "D-A", "D-G", "W-A"],
+    );
+    let mut timing = Table::new(
+        "§7.5 efficiency: avg time (ms) per EM explanation",
+        &["method", "A-G", "D-A", "D-G", "W-A"],
+    );
+
+    let methods = ["CCE", "Anchor", "CERTA"];
+    let mut conf = vec![Vec::new(); 3];
+    let mut prec = vec![Vec::new(); 3];
+    let mut faith = vec![Vec::new(); 3];
+    let mut times = vec![Vec::new(); 3];
+
+    for name in EM_DATASETS {
+        let prep = prepare_em(name, cfg);
+        let targets = sample_targets(prep.ctx.len(), cfg.targets, cfg.seed);
+        let infer = prep.all.select(&prep.infer_rows);
+        let train = prep.all.select(&prep.train_rows);
+
+        // CCE.
+        let srk = Srk::new(Alpha::ONE);
+        let start = std::time::Instant::now();
+        let mut cce_expl: Vec<Explained> = Vec::new();
+        let mut sizes: Vec<usize> = Vec::new();
+        for &t in &targets {
+            match srk.explain(&prep.ctx, t) {
+                Ok(k) => {
+                    sizes.push(k.succinctness().max(1));
+                    cce_expl.push(Explained::new(t, k.features().to_vec()));
+                }
+                Err(_) => sizes.push(1),
+            }
+        }
+        let cce_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
+
+        // Anchor (size-matched).
+        let anchor = Anchor::new(&train, AnchorParams { seed: cfg.seed, ..Default::default() });
+        let start = std::time::Instant::now();
+        let an_expl: Vec<Explained> = targets
+            .iter()
+            .zip(&sizes)
+            .map(|(&t, &k)| {
+                Explained::new(
+                    t,
+                    anchor.explain_with_size(&prep.matcher, infer.instance(t), k),
+                )
+            })
+            .collect();
+        let an_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
+
+        // CERTA (size-matched via top-k of its saliency).
+        let certa = Certa::new(&prep.em, prep.all.schema_arc(), CertaParams::default());
+        let start = std::time::Instant::now();
+        let ce_expl: Vec<Explained> = targets
+            .iter()
+            .zip(&sizes)
+            .map(|(&t, &k)| {
+                let pair_idx = prep.infer_rows[t];
+                let scores = certa.importance(&prep.matcher, pair_idx);
+                Explained::new(t, top_k_features(&scores, k))
+            })
+            .collect();
+        let ce_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
+
+        let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+        for (mi, (expl, ms)) in
+            [(cce_expl, cce_ms), (an_expl, an_ms), (ce_expl, ce_ms)].into_iter().enumerate()
+        {
+            conf[mi].push(fmt_pct(conformity(&prep.ctx, &expl)));
+            prec[mi].push(fmt_pct(mean_precision(&prep.ctx, &expl)));
+            let items: Vec<_> = expl
+                .iter()
+                .map(|e| (infer.instance(e.target).clone(), e.features.clone()))
+                .collect();
+            faith[mi].push(format!(
+                "{:.3}",
+                faithfulness(&prep.matcher, &train, &items, fparams)
+            ));
+            times[mi].push(fmt_ms(ms));
+        }
+    }
+
+    for (mi, m) in methods.iter().enumerate() {
+        let with_name = |cols: &Vec<Vec<String>>| {
+            let mut row = vec![m.to_string()];
+            row.extend(cols[mi].clone());
+            row
+        };
+        f3n.row(with_name(&conf));
+        f3o.row(with_name(&prec));
+        f3p.row(with_name(&faith));
+        timing.row(with_name(&times));
+    }
+
+    vec![f3n, f3o, f3p, timing]
+}

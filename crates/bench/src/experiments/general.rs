@@ -1,0 +1,168 @@
+//! The main §7.3 evaluation over the five general datasets:
+//! Table 4 (timing), Fig. 3a/3b (conformity/precision), Fig. 3c/3d
+//! (recall/succinctness vs Xreason), Fig. 3e (faithfulness) and the §7.6
+//! summary aggregates — all from a single pass per dataset.
+
+use cce_core::Alpha;
+use cce_dataset::synth::GENERAL_DATASETS;
+use cce_metrics::report::{fmt_ms, fmt_pct};
+use cce_metrics::{conformity, faithfulness, mean_precision, mean_succinctness, recall_pair, FaithfulnessParams, Table};
+
+use crate::methods::{self, faithfulness_items, MethodRun};
+use crate::setup::{prepare, sample_targets, ExpConfig};
+
+/// Per-dataset measurements collected in one pass.
+struct DatasetResult {
+    name: String,
+    /// `(method, avg ms, conformity, precision, faithfulness)`.
+    methods: Vec<(String, f64, f64, f64, f64)>,
+    cce_recall: f64,
+    xr_recall: f64,
+    cce_succ: f64,
+    xr_succ: f64,
+    xr_ms: f64,
+}
+
+fn evaluate(name: &str, cfg: &ExpConfig) -> DatasetResult {
+    let prep = prepare(name, cfg);
+    let targets = sample_targets(prep.ctx.len(), cfg.targets, cfg.seed);
+    let (cce, sizes) = methods::run_cce(&prep, &targets, Alpha::ONE);
+    let runs: Vec<MethodRun> = vec![
+        methods::run_lime(&prep, &targets, &sizes, cfg.seed),
+        methods::run_shap(&prep, &targets, &sizes, cfg.seed),
+        methods::run_anchor(&prep, &targets, &sizes, cfg.seed),
+        methods::run_gam(&prep, &targets, &sizes),
+    ];
+    let xr = methods::run_xreason(&prep, &targets);
+
+    let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for run in std::iter::once(&cce).chain(runs.iter()) {
+        let conf = conformity(&prep.ctx, &run.explained);
+        let prec = mean_precision(&prep.ctx, &run.explained);
+        let faith = faithfulness(
+            &prep.model,
+            &prep.train,
+            &faithfulness_items(&prep, run),
+            fparams,
+        );
+        rows.push((run.name.to_string(), run.avg_ms, conf, prec, faith));
+    }
+
+    // Recall & succinctness: only the conformant methods (CCE, Xreason).
+    // CCE may skip contradicted targets; align by target row.
+    let (mut rc, mut rx, mut pairs) = (0.0, 0.0, 0usize);
+    for c in &cce.explained {
+        let Some(x) = xr.explained.iter().find(|x| x.target == c.target) else { continue };
+        let (a, b) = recall_pair(&prep.ctx, c.target, &c.features, &x.features);
+        rc += a;
+        rx += b;
+        pairs += 1;
+    }
+    let pairs = pairs.max(1) as f64;
+
+    DatasetResult {
+        name: name.to_string(),
+        methods: rows,
+        cce_recall: rc / pairs,
+        xr_recall: rx / pairs,
+        cce_succ: mean_succinctness(&cce.explained),
+        xr_succ: mean_succinctness(&xr.explained),
+        xr_ms: xr.avg_ms,
+    }
+}
+
+/// Runs the full §7.3 evaluation and renders its tables.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let results: Vec<DatasetResult> =
+        GENERAL_DATASETS.iter().map(|name| evaluate(name, cfg)).collect();
+    render(&results)
+}
+
+fn render(results: &[DatasetResult]) -> Vec<Table> {
+    let method_names: Vec<String> =
+        results[0].methods.iter().map(|(m, ..)| m.clone()).collect();
+    // Column headers come from the dataset names actually evaluated.
+    let header_strings: Vec<String> = std::iter::once("method".to_string())
+        .chain(results.iter().map(|r| r.name.clone()))
+        .collect();
+    let hdr: Vec<&str> = header_strings.iter().map(String::as_str).collect();
+
+    let mut t4 = Table::new("Table 4: average time (ms) for computing explanations", &hdr);
+    for (mi, m) in method_names.iter().enumerate() {
+        let mut row = vec![m.clone()];
+        for r in results {
+            row.push(fmt_ms(r.methods[mi].1));
+        }
+        t4.row(row);
+    }
+    let mut xr_row = vec!["Xreason".to_string()];
+    for r in results {
+        xr_row.push(fmt_ms(r.xr_ms));
+    }
+    t4.row(xr_row);
+
+    let mut f3a = Table::new("Fig 3a: conformity (%) per dataset", &hdr);
+    let mut f3b = Table::new("Fig 3b: precision (%) per dataset", &hdr);
+    let mut f3e = Table::new("Fig 3e: faithfulness (lower is better) per dataset", &hdr);
+    for (mi, m) in method_names.iter().enumerate() {
+        let (mut ra, mut rb, mut re) = (vec![m.clone()], vec![m.clone()], vec![m.clone()]);
+        for r in results {
+            ra.push(fmt_pct(r.methods[mi].2));
+            rb.push(fmt_pct(r.methods[mi].3));
+            re.push(format!("{:.3}", r.methods[mi].4));
+        }
+        f3a.row(ra);
+        f3b.row(rb);
+        f3e.row(re);
+    }
+
+    let mut f3c = Table::new("Fig 3c: recall (%) of conformant methods", &hdr);
+    let mut f3d =
+        Table::new("Fig 3d: succinctness (#features) of conformant methods", &hdr);
+    for (m, recall, succ) in [
+        ("CCE", true, true),
+        ("Xreason", false, false),
+    ] {
+        let mut rc = vec![m.to_string()];
+        let mut rd = vec![m.to_string()];
+        for r in results {
+            rc.push(fmt_pct(if recall { r.cce_recall } else { r.xr_recall }));
+            rd.push(format!("{:.2}", if succ { r.cce_succ } else { r.xr_succ }));
+        }
+        f3c.row(rc);
+        f3d.row(rd);
+    }
+
+    // §7.6-style aggregates.
+    let mut summary = Table::new(
+        "Summary (§7.6): CCE vs the field, averaged over datasets",
+        &["measure", "value"],
+    );
+    let avg = |f: &dyn Fn(&DatasetResult) -> f64| {
+        results.iter().map(f).sum::<f64>() / results.len() as f64
+    };
+    let cce_ms = avg(&|r| r.methods[0].1);
+    for (mi, m) in method_names.iter().enumerate().skip(1) {
+        let ratio = avg(&|r| r.methods[mi].1) / cce_ms.max(1e-9);
+        summary.row(vec![format!("speedup vs {m}"), format!("{ratio:.1}x")]);
+    }
+    summary.row(vec![
+        "speedup vs Xreason".to_string(),
+        format!("{:.1}x", avg(&|r| r.xr_ms) / cce_ms.max(1e-9)),
+    ]);
+    summary.row(vec!["CCE conformity".into(), fmt_pct(avg(&|r| r.methods[0].2))]);
+    let heuristic_conf = (1..method_names.len())
+        .map(|mi| avg(&|r| r.methods[mi].2))
+        .sum::<f64>()
+        / (method_names.len() - 1) as f64;
+    summary.row(vec!["heuristic avg conformity".into(), fmt_pct(heuristic_conf)]);
+    summary.row(vec!["CCE recall".into(), fmt_pct(avg(&|r| r.cce_recall))]);
+    summary.row(vec!["Xreason recall".into(), fmt_pct(avg(&|r| r.xr_recall))]);
+    summary.row(vec![
+        "Xreason/CCE succinctness".into(),
+        format!("{:.1}x", avg(&|r| r.xr_succ) / avg(&|r| r.cce_succ).max(1e-9)),
+    ]);
+
+    vec![t4, f3a, f3b, f3c, f3d, f3e, summary]
+}

@@ -1,0 +1,59 @@
+//! One module per experiment of §7 / Appendix B.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`general`] | Table 4, Fig. 3a-3e, §7.6 summary |
+//! | [`case_study`] | Fig. 1/2, Table 3, the IDS rule listing (§7.2) |
+//! | [`online`] | §7.4 online timing & succinctness (OSRK vs SSRK) |
+//! | [`tradeoff`] | Fig. 3f/3g — α trade-offs |
+//! | [`buckets`] | Fig. 3h/3i and Fig. 4d — `#-bucket` impact |
+//! | [`context`] | Fig. 3j/3k and Fig. 4e — context-size impact |
+//! | [`monitor`] | Fig. 3l/3m — noise monitoring |
+//! | [`em`] | Fig. 3n/3o/3p and §7.5 efficiency |
+//! | [`alpha`] | Fig. 4a/4b/4c — precision vs α |
+//! | [`dynamic`] | Fig. 4f/4g/4h — dynamic models |
+//! | [`patterns`] | beyond the paper: §8 relative pattern summaries vs IDS |
+//! | [`variance`] | §7.1's three-run averaging: key measures, mean ± half-range over 3 seeds |
+
+pub mod alpha;
+pub mod buckets;
+pub mod case_study;
+pub mod context;
+pub mod dynamic;
+pub mod em;
+pub mod general;
+pub mod monitor;
+pub mod online;
+pub mod patterns;
+pub mod tradeoff;
+pub mod variance;
+
+use cce_metrics::Table;
+
+use crate::setup::ExpConfig;
+
+/// Runs every experiment, returning `(experiment name, tables)` pairs in
+/// report order.
+pub fn run_all(cfg: &ExpConfig) -> Vec<(&'static str, Vec<Table>)> {
+    vec![
+        ("case_study", case_study::run(cfg)),
+        ("general", general::run(cfg)),
+        ("online", online::run(cfg)),
+        ("tradeoff", tradeoff::run(cfg)),
+        ("buckets", buckets::run(cfg)),
+        ("context", context::run(cfg)),
+        ("monitor", monitor::run(cfg)),
+        ("em", em::run(cfg)),
+        ("alpha", alpha::run(cfg)),
+        ("dynamic", dynamic::run(cfg)),
+        ("patterns", patterns::run(cfg)),
+        ("variance", variance::run(cfg)),
+    ]
+}
+
+/// Prints tables to stdout in aligned text form.
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{}", t.text());
+    }
+}

@@ -1,0 +1,116 @@
+//! §7.4 online explanation monitoring: per-arrival update cost and final
+//! key succinctness of OSRK vs SSRK over full inference streams.
+
+use cce_core::{Alpha, OsrkMonitor, PickRule, SsrkMonitor};
+use cce_dataset::synth::GENERAL_DATASETS;
+use cce_metrics::Table;
+
+use crate::setup::{prepare, sample_targets, ExpConfig};
+
+/// Streams each dataset's inference set through both online monitors.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "§7.4: online monitoring — per-arrival time (ms) and final succinctness",
+        &["dataset", "OSRK ms/inst", "SSRK ms/inst", "OSRK succ", "SSRK succ"],
+    );
+    let mut osrk_total = (0.0f64, 0.0f64);
+    let mut ssrk_total = (0.0f64, 0.0f64);
+    for name in GENERAL_DATASETS {
+        let prep = prepare(name, cfg);
+        let panel = sample_targets(prep.ctx.len(), cfg.targets.min(10), cfg.seed);
+        let universe: Vec<_> = prep
+            .ctx
+            .instances()
+            .iter()
+            .cloned()
+            .zip(prep.ctx.predictions().iter().copied())
+            .collect();
+
+        let (mut o_ms, mut o_succ) = (0.0f64, 0.0f64);
+        let (mut s_ms, mut s_succ) = (0.0f64, 0.0f64);
+        for &t0 in &panel {
+            let x0 = prep.ctx.instance(t0).clone();
+            let p0 = prep.ctx.prediction(t0);
+
+            let mut osrk = OsrkMonitor::new(x0.clone(), p0, Alpha::ONE, cfg.seed);
+            let start = std::time::Instant::now();
+            for (i, (x, p)) in universe.iter().enumerate() {
+                if i == t0 {
+                    continue;
+                }
+                let _ = osrk.observe(x.clone(), *p);
+            }
+            o_ms += start.elapsed().as_secs_f64() * 1e3 / universe.len() as f64;
+            o_succ += osrk.succinctness() as f64;
+
+            let mut ssrk = SsrkMonitor::new(x0, p0, Alpha::ONE, &universe);
+            let start = std::time::Instant::now();
+            for (i, (x, p)) in universe.iter().enumerate() {
+                if i == t0 {
+                    continue;
+                }
+                let _ = ssrk.observe(x.clone(), *p);
+            }
+            s_ms += start.elapsed().as_secs_f64() * 1e3 / universe.len() as f64;
+            s_succ += ssrk.succinctness() as f64;
+        }
+        let n = panel.len().max(1) as f64;
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", o_ms / n),
+            format!("{:.4}", s_ms / n),
+            format!("{:.2}", o_succ / n),
+            format!("{:.2}", s_succ / n),
+        ]);
+        osrk_total.0 += o_ms / n;
+        osrk_total.1 += o_succ / n;
+        ssrk_total.0 += s_ms / n;
+        ssrk_total.1 += s_succ / n;
+    }
+    let k = GENERAL_DATASETS.len() as f64;
+    t.row(vec![
+        "average".into(),
+        format!("{:.4}", osrk_total.0 / k),
+        format!("{:.4}", ssrk_total.0 / k),
+        format!("{:.2}", osrk_total.1 / k),
+        format!("{:.2}", ssrk_total.1 / k),
+    ]);
+    vec![t, pick_rule_table(cfg)]
+}
+
+/// Ablation: final OSRK key succinctness under each "arbitrary pick"
+/// rule of Algorithm 2 line 11 (the `ablation` bench times them; this
+/// table measures quality).
+fn pick_rule_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Ablation: OSRK pick rule vs final succinctness (avg over panel)",
+        &["dataset", "First", "MaxWeight", "MaxKill"],
+    );
+    for name in GENERAL_DATASETS {
+        let prep = prepare(name, cfg);
+        let panel = sample_targets(prep.ctx.len(), cfg.targets.min(8), cfg.seed);
+        let mut row = vec![name.to_string()];
+        for rule in [PickRule::First, PickRule::MaxWeight, PickRule::MaxKill] {
+            let mut total = 0usize;
+            for &t0 in &panel {
+                let mut m = OsrkMonitor::new(
+                    prep.ctx.instance(t0).clone(),
+                    prep.ctx.prediction(t0),
+                    Alpha::ONE,
+                    cfg.seed,
+                )
+                .with_pick_rule(rule);
+                for r in 0..prep.ctx.len() {
+                    if r != t0 {
+                        let _ =
+                            m.observe(prep.ctx.instance(r).clone(), prep.ctx.prediction(r));
+                    }
+                }
+                total += m.succinctness();
+            }
+            row.push(format!("{:.2}", total as f64 / panel.len().max(1) as f64));
+        }
+        t.row(row);
+    }
+    t
+}

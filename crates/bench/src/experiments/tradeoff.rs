@@ -1,0 +1,55 @@
+//! Fig. 3f/3g — trading conformity (α) for succinctness and speed.
+
+use cce_core::{Alpha, Srk};
+use cce_dataset::synth::GENERAL_DATASETS;
+use cce_metrics::report::fmt_ms;
+use cce_metrics::Table;
+
+use crate::setup::{prepare, sample_targets, ExpConfig};
+
+/// α values swept by the paper (1 down to 0.9).
+pub const ALPHAS: [f64; 6] = [1.0, 0.98, 0.96, 0.94, 0.92, 0.9];
+
+/// Runs the α sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut f3f = Table::new(
+        "Fig 3f: succinctness of SRK keys vs conformity bound α",
+        &["dataset", "α=1", "α=0.98", "α=0.96", "α=0.94", "α=0.92", "α=0.9"],
+    );
+    let mut f3g = Table::new(
+        "Fig 3g: avg explanation time (ms) vs α (Loan)",
+        &["α", "time (ms)", "speedup vs α=1"],
+    );
+
+    let mut loan_times: Vec<f64> = Vec::new();
+    for name in GENERAL_DATASETS {
+        let prep = prepare(name, cfg);
+        let targets = sample_targets(prep.ctx.len(), cfg.targets, cfg.seed);
+        let mut row = vec![name.to_string()];
+        for &a in &ALPHAS {
+            let srk = Srk::new(Alpha::new(a).expect("valid alpha"));
+            let start = std::time::Instant::now();
+            let (mut total, mut count) = (0usize, 0usize);
+            for &t in &targets {
+                if let Ok(key) = srk.explain(&prep.ctx, t) {
+                    total += key.succinctness();
+                    count += 1;
+                }
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
+            if name == "Loan" {
+                loan_times.push(ms);
+            }
+            row.push(format!("{:.2}", total as f64 / count.max(1) as f64));
+        }
+        f3f.row(row);
+    }
+    for (i, &a) in ALPHAS.iter().enumerate() {
+        f3g.row(vec![
+            format!("{a}"),
+            fmt_ms(loan_times[i]),
+            format!("{:.2}x", loan_times[0] / loan_times[i].max(1e-9)),
+        ]);
+    }
+    vec![f3f, f3g]
+}

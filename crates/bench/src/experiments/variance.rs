@@ -1,0 +1,99 @@
+//! Multi-seed robustness check (§7.1: "Each test was run three times;
+//! the average is reported").
+//!
+//! Re-runs the headline measures over three seeds — fresh data draws,
+//! fresh splits, fresh sampling in every stochastic method — and reports
+//! mean ± half-range. Tight ranges mean the qualitative conclusions of
+//! `exp_general` do not hinge on one lucky seed.
+
+use cce_core::Alpha;
+use cce_dataset::synth::GENERAL_DATASETS;
+use cce_metrics::{conformity, mean_succinctness, recall_pair, Table};
+
+use crate::methods;
+use crate::setup::{prepare, sample_targets, ExpConfig};
+
+/// Seeds used (the paper's three runs).
+pub const SEEDS: [u64; 3] = [42, 43, 44];
+
+struct Agg {
+    vals: Vec<f64>,
+}
+
+impl Agg {
+    fn new() -> Self {
+        Self { vals: Vec::new() }
+    }
+    fn push(&mut self, v: f64) {
+        self.vals.push(v);
+    }
+    fn render(&self, pct: bool) -> String {
+        let n = self.vals.len().max(1) as f64;
+        let mean = self.vals.iter().sum::<f64>() / n;
+        let lo = self.vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let half = (hi - lo) / 2.0;
+        if pct {
+            format!("{:.1}% ± {:.1}", mean * 100.0, half * 100.0)
+        } else {
+            format!("{mean:.2} ± {half:.2}")
+        }
+    }
+}
+
+/// Runs the three-seed robustness sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "Robustness over 3 seeds (mean ± half-range)",
+        &[
+            "dataset",
+            "CCE conformity",
+            "Anchor conformity",
+            "CCE succinctness",
+            "Xreason succinctness",
+            "CCE recall",
+            "Xreason recall",
+        ],
+    );
+    for name in GENERAL_DATASETS {
+        let mut cce_conf = Agg::new();
+        let mut an_conf = Agg::new();
+        let mut cce_succ = Agg::new();
+        let mut xr_succ = Agg::new();
+        let mut cce_rec = Agg::new();
+        let mut xr_rec = Agg::new();
+        for &seed in &SEEDS {
+            let cfg_s = ExpConfig { seed, targets: cfg.targets.min(40), ..*cfg };
+            let prep = prepare(name, &cfg_s);
+            let targets = sample_targets(prep.ctx.len(), cfg_s.targets, seed);
+            let (cce, sizes) = methods::run_cce(&prep, &targets, Alpha::ONE);
+            let anchor = methods::run_anchor(&prep, &targets, &sizes, seed);
+            let xr = methods::run_xreason(&prep, &targets);
+            cce_conf.push(conformity(&prep.ctx, &cce.explained));
+            an_conf.push(conformity(&prep.ctx, &anchor.explained));
+            cce_succ.push(mean_succinctness(&cce.explained));
+            xr_succ.push(mean_succinctness(&xr.explained));
+            let (mut rc, mut rx, mut n) = (0.0, 0.0, 0usize);
+            for c in &cce.explained {
+                if let Some(x) = xr.explained.iter().find(|x| x.target == c.target) {
+                    let (a, b) = recall_pair(&prep.ctx, c.target, &c.features, &x.features);
+                    rc += a;
+                    rx += b;
+                    n += 1;
+                }
+            }
+            cce_rec.push(rc / n.max(1) as f64);
+            xr_rec.push(rx / n.max(1) as f64);
+        }
+        t.row(vec![
+            name.to_string(),
+            cce_conf.render(true),
+            an_conf.render(true),
+            cce_succ.render(false),
+            xr_succ.render(false),
+            cce_rec.render(true),
+            xr_rec.render(true),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,180 @@
+//! Dataset/model preparation shared by all experiments.
+
+use cce_core::Context;
+use cce_dataset::synth::{self, em::EmDataset};
+use cce_dataset::{BinSpec, BinningStrategy, Dataset};
+use cce_model::{Gbdt, GbdtParams, Matcher, MlpParams, Model};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Global experiment configuration, read once from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Multiplier on the paper's dataset sizes.
+    pub scale: f64,
+    /// Instances explained per dataset (the paper samples 100).
+    pub targets: usize,
+    /// Global seed.
+    pub seed: u64,
+    /// Default `#-bucket` for numeric features.
+    pub buckets: usize,
+}
+
+impl ExpConfig {
+    /// Reads `CCE_SCALE`, `CCE_TARGETS` and `CCE_SEED` with defaults
+    /// suitable for minutes-scale runs.
+    pub fn from_env() -> Self {
+        let scale = std::env::var("CCE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
+        let targets =
+            std::env::var("CCE_TARGETS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
+        let seed = std::env::var("CCE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
+        Self { scale, targets, seed, buckets: 10 }
+    }
+
+    /// A small configuration for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        Self { scale: 0.05, targets: 6, seed: 7, buckets: 8 }
+    }
+}
+
+/// A prepared general-ML experiment: data, model, inference context.
+pub struct Prepared {
+    /// Dataset name (Table 1).
+    pub name: String,
+    /// Training split (70%).
+    pub train: Dataset,
+    /// Inference split (30%) — the client's context source.
+    pub infer: Dataset,
+    /// The served model (XGBoost stand-in).
+    pub model: Gbdt,
+    /// The inference context: instances + recorded predictions.
+    pub ctx: Context,
+}
+
+/// Prepares a general dataset under the default binning (quantile cut
+/// points: balanced buckets avoid trivially-rare codes that would make
+/// keys degenerate).
+pub fn prepare(name: &str, cfg: &ExpConfig) -> Prepared {
+    let spec = BinSpec::uniform(cfg.buckets).with_strategy(BinningStrategy::Quantile);
+    prepare_with_spec(name, cfg, &spec)
+}
+
+/// Prepares a general dataset under an explicit [`BinSpec`] (the
+/// `#-bucket` experiments re-encode with overrides).
+pub fn prepare_with_spec(name: &str, cfg: &ExpConfig, spec: &BinSpec) -> Prepared {
+    let raw = synth::general_dataset(name, cfg.scale, cfg.seed)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let ds = raw.encode(spec);
+    let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(cfg.seed ^ 0x5114));
+    let model = Gbdt::train(&train, &GbdtParams::explainable(), cfg.seed);
+    let ctx = Context::from_model(&infer, &model);
+    Prepared { name: name.to_string(), train, infer, model, ctx }
+}
+
+/// A prepared entity-matching experiment.
+pub struct PreparedEm {
+    /// Dataset name (`A-G`, `D-A`, `D-G`, `W-A`).
+    pub name: String,
+    /// The raw record pairs (needed by CERTA's attribute swaps).
+    pub em: EmDataset,
+    /// All pairs, encoded; row `i` corresponds to `em.pairs[i]`.
+    pub all: Dataset,
+    /// Row indices of the training pairs.
+    pub train_rows: Vec<usize>,
+    /// Row indices of the inference pairs.
+    pub infer_rows: Vec<usize>,
+    /// The Ditto stand-in matcher.
+    pub matcher: Matcher,
+    /// Inference context over the inference pairs.
+    pub ctx: Context,
+}
+
+/// Prepares an EM dataset: split pairs, train the matcher, build the
+/// context.
+pub fn prepare_em(name: &str, cfg: &ExpConfig) -> PreparedEm {
+    let em = synth::em_dataset(name, cfg.scale, cfg.seed)
+        .unwrap_or_else(|| panic!("unknown EM dataset {name}"));
+    let all = em.to_raw().encode(&BinSpec::uniform(8));
+    let mut rows: Vec<usize> = (0..all.len()).collect();
+    rows.shuffle(&mut StdRng::seed_from_u64(cfg.seed ^ 0xe111));
+    let cut = (rows.len() as f64 * 0.7) as usize;
+    let (train_rows, infer_rows) = (rows[..cut].to_vec(), rows[cut..].to_vec());
+    let train = all.select(&train_rows);
+    let matcher = Matcher::train(&train, &MlpParams::default(), cfg.seed);
+    let infer = all.select(&infer_rows);
+    let ctx = Context::from_model(&infer, &matcher);
+    PreparedEm { name: name.to_string(), em, all, train_rows, infer_rows, matcher, ctx }
+}
+
+/// Deterministically samples `count` target rows out of `len`.
+pub fn sample_targets(len: usize, count: usize, seed: u64) -> Vec<usize> {
+    let mut rows: Vec<usize> = (0..len).collect();
+    rows.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x7a26));
+    rows.truncate(count.min(len));
+    rows
+}
+
+/// Milliseconds elapsed running `f` once.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Accuracy of the prepared model on its inference split.
+pub fn infer_accuracy(prep: &Prepared) -> f64 {
+    cce_model::eval::accuracy(&prep.model, &prep.infer)
+}
+
+/// Sanity check used by tests: the context predictions really are the
+/// model's.
+pub fn context_is_recorded(prep: &Prepared) -> bool {
+    prep.ctx
+        .instances()
+        .iter()
+        .zip(prep.ctx.predictions())
+        .all(|(x, &p)| prep.model.predict(x) == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_builds_consistent_context() {
+        let cfg = ExpConfig::tiny();
+        let prep = prepare("Loan", &cfg);
+        assert_eq!(prep.ctx.len(), prep.infer.len());
+        assert!(context_is_recorded(&prep));
+        assert!(infer_accuracy(&prep) > 0.7);
+    }
+
+    #[test]
+    fn prepare_em_keeps_pair_alignment() {
+        let cfg = ExpConfig::tiny();
+        let prep = prepare_em("A-G", &cfg);
+        assert_eq!(prep.all.len(), prep.em.pairs.len());
+        assert_eq!(prep.train_rows.len() + prep.infer_rows.len(), prep.all.len());
+        // Row i of `all` is pair i: spot-check similarity encoding.
+        let i = prep.infer_rows[0];
+        let sims = prep.em.similarities(&prep.em.pairs[i]);
+        assert_eq!(sims.len(), prep.all.schema().n_features());
+    }
+
+    #[test]
+    fn sample_targets_is_deterministic_and_bounded() {
+        let a = sample_targets(100, 10, 1);
+        let b = sample_targets(100, 10, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(sample_targets(5, 10, 1).len() == 5);
+    }
+
+    #[test]
+    fn env_defaults() {
+        let cfg = ExpConfig::from_env();
+        assert!(cfg.scale > 0.0);
+        assert!(cfg.targets > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! A tiny `--flag value` argument parser (keeps the CLI dependency-free).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses alternating `--key value` tokens.
+    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut it = tokens.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got {key:?}"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} is missing a value"));
+            };
+            if values.insert(name.to_string(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<String, String> {
+        self.values.get(name).cloned().ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// An optional integer flag.
+    pub fn int(&self, name: &str) -> Result<Option<i64>, String> {
+        self.values
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")))
+            .transpose()
+    }
+
+    /// An optional float flag.
+    pub fn float(&self, name: &str) -> Result<Option<f64>, String> {
+        self.values
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")))
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&toks(&["--data", "x.csv", "--target", "3"])).unwrap();
+        assert_eq!(a.required("data").unwrap(), "x.csv");
+        assert_eq!(a.int("target").unwrap(), Some(3));
+        assert_eq!(a.float("alpha").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&toks(&["data"])).is_err());
+        assert!(Args::parse(&toks(&["--data"])).is_err());
+        assert!(Args::parse(&toks(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let a = Args::parse(&toks(&["--target", "abc"])).unwrap();
+        assert!(a.int("target").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! `cce` — client-centric feature explanations from the command line.
+//!
+//! The tool works on *encoded* CSV files: one categorical code per cell,
+//! a header row, and a final `__label` column holding the recorded
+//! predictions (exactly what a serving client logs). Generate a sample
+//! with `cce export`.
+//!
+//! ```text
+//! cce export  --dataset Loan --out loan.csv [--rows N] [--seed S]
+//! cce explain --data loan.csv --target 0 [--alpha 0.95]
+//! cce summarize --data loan.csv [--max-patterns 8] [--alpha 1.0]
+//! cce importance --data loan.csv --target 0 [--permutations 256]
+//! cce monitor --data loan.csv --target 0 [--alpha 1.0]
+//! ```
+
+use std::process::ExitCode;
+
+use cce_core::{
+    importance, summarize, Alpha, Context, ImportanceParams, OsrkMonitor, Srk, SummaryParams,
+};
+use cce_dataset::{csv, schema_io, synth, BinSpec, Dataset};
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cce export     --dataset <Adult|German|Compas|Loan|Recid|Tiers> --out <file.csv> [--rows N] [--seed S] [--buckets B]
+  cce explain    --data <file.csv> --target <row> [--alpha A]
+  cce summarize  --data <file.csv> [--max-patterns K] [--alpha A] [--coverage C]
+  cce importance --data <file.csv> --target <row> [--permutations P] [--seed S]
+  cce monitor    --data <file.csv> --target <row> [--alpha A] [--seed S]";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "export" => export(&args),
+        "explain" => explain(&args),
+        "summarize" => summarize_cmd(&args),
+        "importance" => importance_cmd(&args),
+        "monitor" => monitor(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load(args: &Args) -> Result<Dataset, String> {
+    let path = args.required("data")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    // With a sidecar (written by `cce export`), values and labels render
+    // with their real names; otherwise fall back to inferred codes.
+    let sidecar_path = format!("{path}.schema");
+    if let Ok(sidecar) = std::fs::read_to_string(&sidecar_path) {
+        let (schema, label_names) = schema_io::sidecar_from_text(&sidecar)
+            .map_err(|e| format!("parsing {sidecar_path}: {e}"))?;
+        let ds = csv::from_csv(&text, &path, schema)
+            .map_err(|e| format!("parsing {path}: {e}"))?;
+        Ok(ds.with_label_names(label_names))
+    } else {
+        csv::infer_from_csv(&text, &path).map_err(|e| format!("parsing {path}: {e}"))
+    }
+}
+
+fn context_of(ds: &Dataset) -> Context {
+    // The CSV's label column holds recorded predictions (what a client
+    // logs during serving).
+    Context::from_recorded(ds)
+}
+
+fn alpha_of(args: &Args) -> Result<Alpha, String> {
+    let a = args.float("alpha")?.unwrap_or(1.0);
+    Alpha::new(a).map_err(|e| e.to_string())
+}
+
+fn export(args: &Args) -> Result<(), String> {
+    let name = args.required("dataset")?;
+    let out = args.required("out")?;
+    let seed = args.int("seed")?.unwrap_or(42) as u64;
+    let buckets = args.int("buckets")?.unwrap_or(10) as usize;
+    let rows = args.int("rows")?;
+    let raw = if name == "Tiers" {
+        synth::tiers::generate(rows.unwrap_or(2_000) as usize, seed)
+    } else {
+        let mut raw = synth::general_dataset(&name, 1.0, seed)
+            .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+        if let Some(r) = rows {
+            let scale = r as f64 / raw.len() as f64;
+            raw = synth::general_dataset(&name, scale, seed).expect("known dataset");
+        }
+        raw
+    };
+    let ds = raw.encode(&BinSpec::uniform(buckets));
+    std::fs::write(&out, csv::to_csv(&ds)).map_err(|e| format!("writing {out}: {e}"))?;
+    // Sidecar: preserves value/label display names for later rendering.
+    let sidecar = schema_io::sidecar_to_text(ds.schema(), &raw.label_names);
+    let sidecar_path = format!("{out}.schema");
+    std::fs::write(&sidecar_path, sidecar)
+        .map_err(|e| format!("writing {sidecar_path}: {e}"))?;
+    println!(
+        "wrote {} rows × {} features to {out} (+ {sidecar_path})",
+        ds.len(),
+        ds.schema().n_features()
+    );
+    Ok(())
+}
+
+fn explain(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let ctx = context_of(&ds);
+    let target = args.int("target")?.ok_or("missing --target")? as usize;
+    let alpha = alpha_of(args)?;
+    let key = Srk::new(alpha).explain(&ctx, target).map_err(|e| e.to_string())?;
+    let x = ctx.instance(target);
+    println!("{}", key.render(ds.schema(), x, &ds.label_name(ctx.prediction(target))));
+    println!(
+        "succinctness: {} | requested α: {} | achieved conformity over {} instances: {:.2}%",
+        key.succinctness(),
+        alpha,
+        ctx.len(),
+        key.achieved_conformity() * 100.0
+    );
+    Ok(())
+}
+
+fn summarize_cmd(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let ctx = context_of(&ds);
+    let params = SummaryParams {
+        alpha: alpha_of(args)?,
+        max_patterns: args.int("max-patterns")?.unwrap_or(8) as usize,
+        coverage_target: args.float("coverage")?.unwrap_or(0.95),
+        ..Default::default()
+    };
+    let summary = summarize(&ctx, params).map_err(|e| e.to_string())?;
+    println!(
+        "{} patterns covering {:.1}% of {} instances:",
+        summary.len(),
+        summary.coverage() * 100.0,
+        ctx.len()
+    );
+    for p in summary.patterns() {
+        println!(
+            "  [{:>4} rows, {:>5.1}% precise] {}",
+            p.support,
+            p.precision * 100.0,
+            p.render(ds.schema(), &ds.label_name(p.prediction))
+        );
+    }
+    Ok(())
+}
+
+fn importance_cmd(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let ctx = context_of(&ds);
+    let target = args.int("target")?.ok_or("missing --target")? as usize;
+    let params = ImportanceParams {
+        permutations: args.int("permutations")?.unwrap_or(256) as usize,
+        seed: args.int("seed")?.unwrap_or(7) as u64,
+    };
+    let phi =
+        importance::shapley_sampled(&ctx, target, params).map_err(|e| e.to_string())?;
+    let mut ranked: Vec<(usize, f64)> = phi.into_iter().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    println!(
+        "context-relative importance for row {target} (prediction {}):",
+        ds.label_name(ctx.prediction(target))
+    );
+    for (f, s) in ranked {
+        println!("  {:<20} {s:+.4}", ds.schema().feature(f).name);
+    }
+    Ok(())
+}
+
+fn monitor(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let ctx = context_of(&ds);
+    let target = args.int("target")?.ok_or("missing --target")? as usize;
+    if target >= ctx.len() {
+        return Err(format!("--target {target} out of range (0..{})", ctx.len()));
+    }
+    let alpha = alpha_of(args)?;
+    let seed = args.int("seed")?.unwrap_or(7) as u64;
+    let mut m =
+        OsrkMonitor::new(ctx.instance(target).clone(), ctx.prediction(target), alpha, seed);
+    let mut checkpoints = 0;
+    for r in 0..ctx.len() {
+        if r == target {
+            continue;
+        }
+        let _ = m.observe(ctx.instance(r).clone(), ctx.prediction(r));
+        if (r + 1) % (ctx.len() / 10).max(1) == 0 {
+            checkpoints += 1;
+            println!(
+                "after {:>6} arrivals: key size {} ({} violators tolerated)",
+                m.n_seen(),
+                m.succinctness(),
+                m.n_violators()
+            );
+        }
+    }
+    let _ = checkpoints;
+    let key = m.to_relative_key();
+    println!(
+        "final: {}",
+        key.render(ds.schema(), ctx.instance(target), &ds.label_name(ctx.prediction(target)))
+    );
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of the `cce` binary (spawned as a real process).
+
+use std::process::Command;
+
+fn cce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cce"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cce-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn export_loan() -> std::path::PathBuf {
+    let path = tmp("loan.csv");
+    let out = cce()
+        .args(["export", "--dataset", "Loan", "--out", path.to_str().unwrap(), "--seed", "42"])
+        .output()
+        .expect("run cce export");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    path
+}
+
+#[test]
+fn export_then_explain() {
+    let path = export_loan();
+    let out = cce()
+        .args(["explain", "--data", path.to_str().unwrap(), "--target", "0"])
+        .output()
+        .expect("run cce explain");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("IF "), "stdout: {stdout}");
+    assert!(stdout.contains("achieved conformity"), "stdout: {stdout}");
+    // The sidecar restores display names: outcomes render as words, not
+    // `L0`/`L1` codes.
+    assert!(
+        stdout.contains("Denied") || stdout.contains("Approved"),
+        "sidecar names should render: {stdout}"
+    );
+}
+
+#[test]
+fn explain_without_sidecar_falls_back_to_codes() {
+    let path = export_loan();
+    let bare = tmp("loan_bare.csv");
+    std::fs::copy(&path, &bare).expect("copy csv without sidecar");
+    let out = cce()
+        .args(["explain", "--data", bare.to_str().unwrap(), "--target", "0"])
+        .output()
+        .expect("run cce explain");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Prediction='L"), "codes expected: {stdout}");
+}
+
+#[test]
+fn relaxed_alpha_is_accepted() {
+    let path = export_loan();
+    let out = cce()
+        .args(["explain", "--data", path.to_str().unwrap(), "--target", "3", "--alpha", "0.9"])
+        .output()
+        .expect("run cce explain");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("requested α: 0.9"), "stdout: {stdout}");
+}
+
+#[test]
+fn summarize_reports_patterns() {
+    let path = export_loan();
+    let out = cce()
+        .args(["summarize", "--data", path.to_str().unwrap(), "--max-patterns", "4"])
+        .output()
+        .expect("run cce summarize");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("patterns covering"), "stdout: {stdout}");
+    assert!(stdout.contains("precise"), "stdout: {stdout}");
+}
+
+#[test]
+fn importance_ranks_features() {
+    let path = export_loan();
+    let out = cce()
+        .args([
+            "importance",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--permutations",
+            "64",
+        ])
+        .output()
+        .expect("run cce importance");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("context-relative importance"), "stdout: {stdout}");
+    assert!(stdout.contains("Credit"), "features named: {stdout}");
+}
+
+#[test]
+fn bad_invocations_fail_with_usage() {
+    for args in [
+        vec!["explain"],                                   // missing --data
+        vec!["explain", "--data", "/nonexistent.csv", "--target", "0"],
+        vec!["frobnicate"],                                // unknown subcommand
+        vec!["explain", "--data"],                         // flag without value
+    ] {
+        let out = cce().args(&args).output().expect("run cce");
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn invalid_alpha_rejected() {
+    let path = export_loan();
+    let out = cce()
+        .args(["explain", "--data", path.to_str().unwrap(), "--target", "0", "--alpha", "1.5"])
+        .output()
+        .expect("run cce explain");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("conformity bound"), "stderr: {stderr}");
+}
+
+#[test]
+fn monitor_streams_checkpoints() {
+    let path = export_loan();
+    let out = cce()
+        .args(["monitor", "--data", path.to_str().unwrap(), "--target", "0"])
+        .output()
+        .expect("run cce monitor");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("arrivals"), "stdout: {stdout}");
+    assert!(stdout.contains("final: IF"), "stdout: {stdout}");
+}

@@ -1,0 +1,97 @@
+//! The conformity bound α.
+
+use std::fmt;
+
+use crate::error::ExplainError;
+
+/// A conformity bound `α ∈ (0, 1]` (§3.1).
+///
+/// An α-conformant relative key's rule semantics must hold over at least an
+/// α-fraction of the context. `α = 1` demands a (fully conformant)
+/// relative key; smaller values trade conformity for succinctness with the
+/// paper's provable bounds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// Perfect conformity (`α = 1`).
+    pub const ONE: Alpha = Alpha(1.0);
+
+    /// Validates and wraps a bound.
+    ///
+    /// # Errors
+    /// Returns [`ExplainError::InvalidAlpha`] unless `0 < a <= 1`.
+    pub fn new(a: f64) -> Result<Self, ExplainError> {
+        if a.is_finite() && a > 0.0 && a <= 1.0 {
+            Ok(Self(a))
+        } else {
+            Err(ExplainError::InvalidAlpha { value: a })
+        }
+    }
+
+    /// The raw bound.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The number of non-conforming instances tolerated in a context of
+    /// `n` instances: `⌊(1 - α)·n⌋` (the right side of SRK's termination
+    /// condition).
+    #[inline]
+    pub fn tolerance(self, n: usize) -> usize {
+        // A tiny epsilon absorbs f64 rounding (e.g. (1-0.9)*10 = 0.9999...).
+        ((1.0 - self.0) * n as f64 + 1e-9).floor() as usize
+    }
+}
+
+impl fmt::Display for Alpha {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Alpha {
+    type Error = ExplainError;
+
+    fn try_from(a: f64) -> Result<Self, ExplainError> {
+        Alpha::new(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_range() {
+        assert!(Alpha::new(1.0).is_ok());
+        assert!(Alpha::new(0.5).is_ok());
+        assert!(Alpha::new(0.0001).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Alpha::new(0.0).is_err());
+        assert!(Alpha::new(-0.1).is_err());
+        assert!(Alpha::new(1.1).is_err());
+        assert!(Alpha::new(f64::NAN).is_err());
+        assert!(Alpha::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn tolerance_matches_paper_formula() {
+        assert_eq!(Alpha::ONE.tolerance(100), 0);
+        assert_eq!(Alpha::new(0.9).unwrap().tolerance(100), 10);
+        assert_eq!(Alpha::new(0.9).unwrap().tolerance(10), 1);
+        // 6/7-conformant over |I| = 7 tolerates exactly one instance (Ex. 4).
+        assert_eq!(Alpha::new(6.0 / 7.0).unwrap().tolerance(7), 1);
+        assert_eq!(Alpha::new(0.95).unwrap().tolerance(7), 0);
+    }
+
+    #[test]
+    fn try_from_works() {
+        let a: Alpha = 0.7f64.try_into().unwrap();
+        assert_eq!(a.get(), 0.7);
+    }
+}

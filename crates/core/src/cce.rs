@@ -1,0 +1,383 @@
+//! CCE — the client-centric feature-explanation framework (§6).
+//!
+//! CCE sits between a (possibly remote) model and its client. It collects
+//! `(instance, prediction)` pairs during model serving as the context and
+//! answers explanation requests with relative keys — without ever querying
+//! the model:
+//!
+//! * **batch mode** — the client holds the whole inference set; keys are
+//!   computed by [`Srk`],
+//! * **online mode** — inference instances stream in; keys are maintained
+//!   by [`OsrkMonitor`] (or [`SsrkMonitor`] when the instance universe is
+//!   static and known, §5.3).
+
+use cce_dataset::{Instance, Label};
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+use crate::osrk::OsrkMonitor;
+use crate::srk::Srk;
+use crate::ssrk::SsrkMonitor;
+
+/// Which context-handling mode CCE runs in (§6, "Handling context").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// The client holds the complete inference set.
+    #[default]
+    Batch,
+    /// Inference instances arrive as a stream.
+    Online,
+}
+
+/// Configuration of a [`Cce`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct CceConfig {
+    /// Conformity bound for every produced key.
+    pub alpha: Alpha,
+    /// Mode of operation.
+    pub mode: Mode,
+    /// Seed for the randomized online algorithm.
+    pub seed: u64,
+}
+
+impl Default for CceConfig {
+    fn default() -> Self {
+        Self { alpha: Alpha::ONE, mode: Mode::Batch, seed: 0xCCE }
+    }
+}
+
+/// The CCE framework facade.
+#[derive(Debug, Clone)]
+pub struct Cce {
+    ctx: Context,
+    config: CceConfig,
+}
+
+impl Cce {
+    /// Builds a batch-mode CCE over an already-collected context.
+    pub fn with_context(ctx: Context, config: CceConfig) -> Self {
+        Self { ctx, config }
+    }
+
+    /// The collected context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CceConfig {
+        self.config
+    }
+
+    /// Records one more serving-time observation into the context.
+    ///
+    /// # Errors
+    /// [`ExplainError::WidthMismatch`] on a wrong-width instance.
+    pub fn record(&mut self, x: Instance, pred: Label) -> Result<(), ExplainError> {
+        self.ctx.push(x, pred)
+    }
+
+    /// Explains the context row `target` with an α-conformant relative key.
+    ///
+    /// Dispatches on the configured [`Mode`] (§6 "Handling context"):
+    /// * [`Mode::Batch`] — Algorithm 1 (SRK) over the full context: the
+    ///   most succinct result the framework offers;
+    /// * [`Mode::Online`] — replays the context through Algorithm 2
+    ///   (OSRK), reproducing exactly the (coherent, typically larger) key
+    ///   a streaming client would have maintained.
+    ///
+    /// # Errors
+    /// See [`Srk::explain`] / [`OsrkMonitor::observe`].
+    pub fn explain_row(&self, target: usize) -> Result<RelativeKey, ExplainError> {
+        self.ctx.check_target(target)?;
+        match self.config.mode {
+            Mode::Batch => Srk::new(self.config.alpha).explain(&self.ctx, target),
+            Mode::Online => {
+                let mut monitor = self.monitor(
+                    self.ctx.instance(target).clone(),
+                    self.ctx.prediction(target),
+                );
+                // Mid-stream errors (early contradictions) may become
+                // tolerable as |I| grows under α < 1; judge the final state.
+                for r in 0..self.ctx.len() {
+                    if r == target {
+                        continue;
+                    }
+                    let _ = monitor.observe(self.ctx.instance(r).clone(), self.ctx.prediction(r));
+                }
+                if !self.ctx.is_alpha_key(monitor.key(), target, self.config.alpha) {
+                    return Err(ExplainError::NoConformantKey {
+                        contradictions: monitor.n_violators(),
+                        tolerance: self.config.alpha.tolerance(self.ctx.len()),
+                    });
+                }
+                Ok(monitor.to_relative_key())
+            }
+        }
+    }
+
+    /// Explains an instance by locating it in the context (it must have
+    /// been served, i.e. recorded).
+    ///
+    /// # Errors
+    /// [`ExplainError::TargetOutOfRange`] when the instance is not part of
+    /// the context, plus the failure modes of [`Srk::explain`].
+    pub fn explain_instance(&self, x: &Instance) -> Result<RelativeKey, ExplainError> {
+        let row = self
+            .ctx
+            .instances()
+            .iter()
+            .position(|y| y == x)
+            .ok_or(ExplainError::TargetOutOfRange { target: usize::MAX, len: self.ctx.len() })?;
+        self.explain_row(row)
+    }
+
+    /// Starts an online monitor (Algorithm 2) for a target served
+    /// prediction. The monitor is seeded from the configuration so runs
+    /// are reproducible.
+    pub fn monitor(&self, x0: Instance, pred0: Label) -> OsrkMonitor {
+        OsrkMonitor::new(x0, pred0, self.config.alpha, self.config.seed)
+    }
+
+    /// Starts a deterministic online monitor (Algorithm 3) when the
+    /// universe of instances and predictions is known up front (§5.3).
+    pub fn monitor_with_universe(
+        &self,
+        x0: Instance,
+        pred0: Label,
+        universe: &[(Instance, Label)],
+    ) -> SsrkMonitor {
+        SsrkMonitor::new(x0, pred0, self.config.alpha, universe)
+    }
+
+    /// Explains every context row, skipping rows with no conformant key;
+    /// returns `(row, key)` pairs. Convenience for evaluation runs.
+    ///
+    /// In batch mode this amortizes a [`crate::ContextIndex`] across the
+    /// whole batch (identical keys to [`Cce::explain_row`], differentially
+    /// tested); online mode replays each monitor as usual.
+    pub fn explain_all(&self) -> Vec<(usize, RelativeKey)> {
+        match self.config.mode {
+            Mode::Batch => {
+                let idx = crate::ContextIndex::new(&self.ctx);
+                (0..self.ctx.len())
+                    .filter_map(|t| {
+                        idx.explain(&self.ctx, t, self.config.alpha).ok().map(|k| (t, k))
+                    })
+                    .collect()
+            }
+            Mode::Online => (0..self.ctx.len())
+                .filter_map(|t| self.explain_row(t).ok().map(|k| (t, k)))
+                .collect(),
+        }
+    }
+
+    /// [`Cce::explain_all`] fanned out over `threads` worker threads.
+    ///
+    /// Targets are independent (the context is read-only), so this is an
+    /// embarrassingly parallel batch job; results are identical to the
+    /// sequential version and returned in row order.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn explain_all_parallel(&self, threads: usize) -> Vec<(usize, RelativeKey)> {
+        assert!(threads > 0, "need at least one worker");
+        let n = self.ctx.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = threads.min(n);
+        let chunk = n.div_ceil(threads);
+        // Batch mode shares one read-only index across all workers.
+        let idx = match self.config.mode {
+            Mode::Batch => Some(crate::ContextIndex::new(&self.ctx)),
+            Mode::Online => None,
+        };
+        let idx = idx.as_ref();
+        let mut out: Vec<Vec<(usize, RelativeKey)>> = Vec::with_capacity(threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move |_| {
+                        (lo..hi)
+                            .filter_map(|t| {
+                                let key = match idx {
+                                    Some(idx) => idx.explain(&self.ctx, t, self.config.alpha),
+                                    None => self.explain_row(t),
+                                };
+                                key.ok().map(|k| (t, k))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.push(h.join().expect("worker must not panic"));
+            }
+        })
+        .expect("scope must not panic");
+        out.into_iter().flatten().collect()
+    }
+
+    /// Context-relative Shapley importance for the context row `target`
+    /// (§8 future work (a)); sampled estimator, seeded from the config.
+    ///
+    /// # Errors
+    /// Standard context/target validation failures.
+    pub fn importance(&self, target: usize) -> Result<Vec<f64>, ExplainError> {
+        crate::importance::shapley_sampled(
+            &self.ctx,
+            target,
+            crate::importance::ImportanceParams { seed: self.config.seed, ..Default::default() },
+        )
+    }
+
+    /// A pattern-level summary of the whole context (§8 future work (b)),
+    /// every pattern α-conformant at the configured bound.
+    ///
+    /// # Errors
+    /// [`ExplainError::EmptyContext`] when nothing was recorded.
+    pub fn summarize(&self) -> Result<crate::patterns::RelativeSummary, ExplainError> {
+        crate::patterns::summarize(
+            &self.ctx,
+            crate::patterns::SummaryParams { alpha: self.config.alpha, ..Default::default() },
+        )
+    }
+
+    /// A drift monitor configured like this CCE instance (§7.4): feed it
+    /// the ongoing prediction stream to watch for accuracy dips.
+    pub fn drift_monitor(&self, panel_size: usize, sample_every: usize) -> crate::DriftMonitor {
+        crate::DriftMonitor::new(self.config.alpha, panel_size, sample_every, self.config.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec};
+    use cce_model::{Gbdt, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> Cce {
+        let raw = synth::loan::generate(300, 7);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(1));
+        let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        let ctx = Context::from_model(&infer, &model);
+        Cce::with_context(ctx, CceConfig::default())
+    }
+
+    #[test]
+    fn explain_row_yields_valid_key() {
+        let cce = setup();
+        let key = cce.explain_row(0).unwrap();
+        assert!(cce.context().is_alpha_key(key.features(), 0, Alpha::ONE));
+    }
+
+    #[test]
+    fn explain_instance_locates_row() {
+        let cce = setup();
+        let x = cce.context().instance(5).clone();
+        let by_instance = cce.explain_instance(&x).unwrap();
+        // Row 5 may not be the first occurrence of x; both must be valid.
+        assert!(!by_instance.features().is_empty() || by_instance.succinctness() == 0);
+    }
+
+    #[test]
+    fn explain_unknown_instance_fails() {
+        let cce = setup();
+        let n = cce.context().schema().n_features();
+        // A value outside every feature's domain cannot be in the context.
+        let ghost = Instance::new(vec![u32::MAX; n]);
+        assert!(cce.explain_instance(&ghost).is_err());
+    }
+
+    #[test]
+    fn record_grows_context() {
+        let mut cce = setup();
+        let before = cce.context().len();
+        let x = cce.context().instance(0).clone();
+        cce.record(x, Label(0)).unwrap();
+        assert_eq!(cce.context().len(), before + 1);
+    }
+
+    #[test]
+    fn explain_all_covers_most_rows() {
+        let cce = setup();
+        let keys = cce.explain_all();
+        assert!(keys.len() as f64 >= cce.context().len() as f64 * 0.95);
+        for (t, k) in keys.iter().take(20) {
+            assert!(cce.context().is_alpha_key(k.features(), *t, Alpha::ONE));
+        }
+    }
+
+    #[test]
+    fn parallel_explain_matches_sequential() {
+        let cce = setup();
+        let seq = cce.explain_all();
+        for threads in [1usize, 2, 4] {
+            let par = cce.explain_all_parallel(threads);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_explain_handles_empty_context() {
+        let cce = setup();
+        let empty = Cce::with_context(
+            Context::empty(cce.context().schema_arc()),
+            CceConfig::default(),
+        );
+        assert!(empty.explain_all_parallel(4).is_empty());
+    }
+
+    #[test]
+    fn online_mode_replays_the_stream() {
+        let batch = setup();
+        let online = Cce::with_context(
+            batch.context().clone(),
+            CceConfig { mode: Mode::Online, ..CceConfig::default() },
+        );
+        let (kb, ko) = (batch.explain_row(0).unwrap(), online.explain_row(0).unwrap());
+        // Both are valid keys; the online one is coherent-streaming and
+        // thus no more succinct than the batch key.
+        assert!(batch.context().is_alpha_key(kb.features(), 0, Alpha::ONE));
+        assert!(batch.context().is_alpha_key(ko.features(), 0, Alpha::ONE));
+        assert!(ko.succinctness() >= kb.succinctness());
+    }
+
+    #[test]
+    fn facade_exposes_future_work_apis() {
+        let cce = setup();
+        let phi = cce.importance(0).unwrap();
+        assert_eq!(phi.len(), cce.context().schema().n_features());
+        let summary = cce.summarize().unwrap();
+        assert!(!summary.is_empty());
+        for p in summary.patterns() {
+            assert_eq!(p.precision, 1.0, "α = 1 patterns are exact");
+        }
+        let mut dm = cce.drift_monitor(4, 10);
+        for t in 0..cce.context().len().min(50) {
+            dm.observe(cce.context().instance(t).clone(), cce.context().prediction(t));
+        }
+        assert!(dm.n_seen() > 0);
+    }
+
+    #[test]
+    fn monitors_share_config() {
+        let cce = setup();
+        let x0 = cce.context().instance(0).clone();
+        let p0 = cce.context().prediction(0);
+        let m = cce.monitor(x0.clone(), p0);
+        assert_eq!(m.succinctness(), 0);
+        let uni: Vec<_> =
+            cce.context().instances().iter().cloned().zip(cce.context().predictions().iter().copied()).collect();
+        let s = cce.monitor_with_universe(x0, p0, &uni);
+        assert_eq!(s.succinctness(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Errors of the explanation pipeline.
+
+use std::fmt;
+
+/// Why an explanation request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplainError {
+    /// The conformity bound was outside `(0, 1]`.
+    InvalidAlpha {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The context has no instances.
+    EmptyContext,
+    /// The target row index was out of range for the context.
+    TargetOutOfRange {
+        /// Requested row.
+        target: usize,
+        /// Context size.
+        len: usize,
+    },
+    /// No α-conformant key exists: even using *all* features, more
+    /// instances violate the rule semantics than the bound tolerates.
+    ///
+    /// This happens exactly when the context contains instances identical
+    /// to the target on every feature but with a different prediction
+    /// (contradictions) in excess of the tolerance.
+    NoConformantKey {
+        /// Number of irreducible violators (context instances identical to
+        /// the target with a different prediction).
+        contradictions: usize,
+        /// The tolerance `⌊(1 - α)·|I|⌋` that was exceeded.
+        tolerance: usize,
+    },
+    /// An instance with a different width than the context's schema was
+    /// offered to an online monitor.
+    WidthMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Offered feature count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExplainError::InvalidAlpha { value } => {
+                write!(f, "conformity bound must be in (0, 1], got {value}")
+            }
+            ExplainError::EmptyContext => write!(f, "context is empty"),
+            ExplainError::TargetOutOfRange { target, len } => {
+                write!(f, "target row {target} out of range for context of {len} instances")
+            }
+            ExplainError::NoConformantKey { contradictions, tolerance } => write!(
+                f,
+                "no α-conformant key exists: {contradictions} contradicting instance(s) \
+                 exceed the tolerance of {tolerance}"
+            ),
+            ExplainError::WidthMismatch { expected, got } => {
+                write!(f, "instance has {got} features, context expects {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExplainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let msgs = [
+            ExplainError::InvalidAlpha { value: 2.0 }.to_string(),
+            ExplainError::EmptyContext.to_string(),
+            ExplainError::TargetOutOfRange { target: 9, len: 3 }.to_string(),
+            ExplainError::NoConformantKey { contradictions: 2, tolerance: 0 }.to_string(),
+            ExplainError::WidthMismatch { expected: 4, got: 2 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ExplainError::EmptyContext);
+    }
+}

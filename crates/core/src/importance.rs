@@ -1,0 +1,333 @@
+//! Context-relative feature importance — the paper's first future-work
+//! direction (§8): "extend relative keys for feature importance based
+//! explanations, by extending the notion and computation of Shapley
+//! values to the online setting with a dynamic context".
+//!
+//! The characteristic function is defined *over the context*, keeping the
+//! client-centric, zero-model-access property of relative keys:
+//!
+//! > `v(S)` = the precision of `S` as a rule for the target over `I`:
+//! > the fraction of context instances agreeing with the target on `S`
+//! > that also share its prediction.
+//!
+//! `v(∅)` is the base rate of the target's prediction and `v` reaches 1
+//! exactly on the α=1 relative keys, so Shapley values of this game
+//! distribute "how much each feature contributes to making the
+//! explanation conformant".
+//!
+//! Two estimators are provided: exact enumeration (exponential — small
+//! `n` only) and permutation sampling (the standard unbiased estimator).
+
+use cce_dataset::Label;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::context::Context;
+use crate::error::ExplainError;
+
+/// Parameters for the sampled estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct ImportanceParams {
+    /// Number of sampled permutations.
+    pub permutations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImportanceParams {
+    fn default() -> Self {
+        Self { permutations: 64, seed: 0x1417 }
+    }
+}
+
+/// The characteristic function `v(S)` described in the module docs.
+///
+/// `agree` is the set of rows currently agreeing with the target on `S`
+/// (including the target itself), pre-filtered by the caller for
+/// incrementality.
+fn value(ctx: &Context, pred0: Label, agree: &[u32]) -> f64 {
+    let same =
+        agree.iter().filter(|&&r| ctx.prediction(r as usize) == pred0).count();
+    same as f64 / agree.len().max(1) as f64
+}
+
+/// Exact Shapley values of the context-precision game for `target`
+/// (enumerates all `n!`-free subset pairs via the direct formula —
+/// `O(2ⁿ · n · |I|)`, intended for `n ≲ 15`).
+///
+/// # Errors
+/// Standard context/target validation failures.
+pub fn shapley_exact(ctx: &Context, target: usize) -> Result<Vec<f64>, ExplainError> {
+    ctx.check_target(target)?;
+    let n = ctx.schema().n_features();
+    assert!(n <= 20, "exact Shapley is exponential; use shapley_sampled for n > 20");
+    let x0 = ctx.instance(target).clone();
+    let pred0 = ctx.prediction(target);
+
+    // v(S) per subset bitmask, computed over agreement sets.
+    let mut v = vec![0.0f64; 1 << n];
+    for (mask, slot) in v.iter_mut().enumerate() {
+        let feats: Vec<usize> = (0..n).filter(|f| mask >> f & 1 == 1).collect();
+        let agree: Vec<u32> = (0..ctx.len() as u32)
+            .filter(|&r| ctx.instance(r as usize).agrees_on(&x0, &feats))
+            .collect();
+        *slot = value(ctx, pred0, &agree);
+    }
+
+    // φᵢ = Σ_S |S|!(n-|S|-1)!/n! (v(S∪i) − v(S)).
+    let mut fact = vec![1.0f64; n + 1];
+    for i in 1..=n {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let mut phi = vec![0.0f64; n];
+    for mask in 0usize..(1 << n) {
+        let s = (mask as u32).count_ones() as usize;
+        if s == n {
+            continue; // no feature left to add
+        }
+        let weight = fact[s] * fact[n - s - 1] / fact[n];
+        for (i, p) in phi.iter_mut().enumerate() {
+            if mask >> i & 1 == 0 {
+                *p += weight * (v[mask | (1 << i)] - v[mask]);
+            }
+        }
+    }
+    Ok(phi)
+}
+
+/// Permutation-sampled Shapley values of the context-precision game —
+/// `O(permutations · n · |I|)`, unbiased, model-access-free.
+///
+/// ```
+/// use cce_core::{importance, Context, ImportanceParams};
+/// use cce_dataset::{FeatureDef, Instance, Label, Schema};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::new(vec![
+///     FeatureDef::categorical("Decisive", &["a", "b"]),
+///     FeatureDef::categorical("Noise", &["a", "b"]),
+/// ]));
+/// // Predictions track feature 0 exactly; feature 1 is noise.
+/// let ctx = Context::new(
+///     schema,
+///     (0..8).map(|i| Instance::new(vec![i % 2, (i / 2) % 2])).collect(),
+///     (0..8).map(|i| Label(i % 2)).collect(),
+/// );
+/// let phi = importance::shapley_sampled(&ctx, 0, ImportanceParams::default())?;
+/// assert!(phi[0] > phi[1], "the decisive feature earns the importance");
+/// # Ok::<(), cce_core::ExplainError>(())
+/// ```
+///
+/// # Errors
+/// Standard context/target validation failures.
+pub fn shapley_sampled(
+    ctx: &Context,
+    target: usize,
+    params: ImportanceParams,
+) -> Result<Vec<f64>, ExplainError> {
+    ctx.check_target(target)?;
+    let n = ctx.schema().n_features();
+    let x0 = ctx.instance(target).clone();
+    let pred0 = ctx.prediction(target);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut phi = vec![0.0f64; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..params.permutations {
+        order.shuffle(&mut rng);
+        // Walk the permutation, maintaining the agreement set
+        // incrementally (each feature only shrinks it).
+        let mut agree: Vec<u32> = (0..ctx.len() as u32).collect();
+        let mut prev = value(ctx, pred0, &agree);
+        for &f in &order {
+            agree.retain(|&r| ctx.instance(r as usize)[f] == x0[f]);
+            let now = value(ctx, pred0, &agree);
+            phi[f] += now - prev;
+            prev = now;
+        }
+    }
+    for p in phi.iter_mut() {
+        *p /= params.permutations as f64;
+    }
+    Ok(phi)
+}
+
+/// An online importance monitor: re-estimates context-relative Shapley
+/// values every `refresh` arrivals over a growing context and smooths
+/// them with an exponential moving average — the "online setting with a
+/// dynamic context" of §8.
+#[derive(Debug, Clone)]
+pub struct OnlineImportance {
+    target: cce_dataset::Instance,
+    pred0: Label,
+    params: ImportanceParams,
+    refresh: usize,
+    /// EWMA smoothing factor for score updates.
+    smoothing: f64,
+    ctx: Context,
+    scores: Vec<f64>,
+    seen_since_refresh: usize,
+}
+
+impl OnlineImportance {
+    /// Starts monitoring importance scores for `(target, pred0)`.
+    pub fn new(
+        schema: std::sync::Arc<cce_dataset::Schema>,
+        target: cce_dataset::Instance,
+        pred0: Label,
+        params: ImportanceParams,
+        refresh: usize,
+    ) -> Self {
+        let n = schema.n_features();
+        let mut ctx = Context::empty(schema);
+        ctx.push(target.clone(), pred0).expect("target width matches schema");
+        Self {
+            target,
+            pred0,
+            params,
+            refresh: refresh.max(1),
+            smoothing: 0.5,
+            ctx,
+            scores: vec![0.0; n],
+            seen_since_refresh: 0,
+        }
+    }
+
+    /// Feeds one arrival; returns the current (smoothed) scores.
+    ///
+    /// # Errors
+    /// [`ExplainError::WidthMismatch`] on a wrong-width instance.
+    pub fn observe(
+        &mut self,
+        x: cce_dataset::Instance,
+        pred: Label,
+    ) -> Result<&[f64], ExplainError> {
+        self.ctx.push(x, pred)?;
+        self.seen_since_refresh += 1;
+        if self.seen_since_refresh >= self.refresh {
+            self.seen_since_refresh = 0;
+            let fresh = shapley_sampled(&self.ctx, 0, self.params)?;
+            for (s, f) in self.scores.iter_mut().zip(fresh) {
+                *s = self.smoothing * *s + (1.0 - self.smoothing) * f;
+            }
+        }
+        Ok(&self.scores)
+    }
+
+    /// Current smoothed scores.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Instances observed (including the target).
+    pub fn n_seen(&self) -> usize {
+        self.ctx.len()
+    }
+
+    /// The monitored target and its prediction.
+    pub fn target(&self) -> (&cce_dataset::Instance, Label) {
+        (&self.target, self.pred0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::figure2;
+
+    #[test]
+    fn exact_shapley_sums_to_efficiency_gap() {
+        let (ctx, x0) = figure2();
+        let phi = shapley_exact(&ctx, x0).unwrap();
+        let n = ctx.schema().n_features();
+        let all: Vec<usize> = (0..n).collect();
+        let v_full = {
+            let covered = ctx.covered_rows(&all, x0).len() as f64;
+            let violators = ctx.count_violators(&all, x0) as f64;
+            covered / (covered + violators).max(1.0)
+        };
+        let v_empty = ctx
+            .predictions()
+            .iter()
+            .filter(|p| **p == ctx.prediction(x0))
+            .count() as f64
+            / ctx.len() as f64;
+        let sum: f64 = phi.iter().sum();
+        assert!(
+            (sum - (v_full - v_empty)).abs() < 1e-9,
+            "efficiency: Σφ={sum} vs v(N)-v(∅)={}",
+            v_full - v_empty
+        );
+    }
+
+    #[test]
+    fn key_features_carry_the_importance() {
+        let (ctx, x0) = figure2();
+        let phi = shapley_exact(&ctx, x0).unwrap();
+        // Income (1) and Credit (2) form the relative key; they must
+        // dominate Gender (0).
+        assert!(phi[2] > phi[0], "phi={phi:?}");
+        assert!(phi[1] > phi[0], "phi={phi:?}");
+        // Credit kills the most violators → largest share.
+        let top = phi
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(top, 2, "phi={phi:?}");
+    }
+
+    #[test]
+    fn sampled_estimator_converges_to_exact() {
+        let (ctx, x0) = figure2();
+        let exact = shapley_exact(&ctx, x0).unwrap();
+        let sampled = shapley_sampled(
+            &ctx,
+            x0,
+            ImportanceParams { permutations: 3000, seed: 1 },
+        )
+        .unwrap();
+        for (e, s) in exact.iter().zip(&sampled) {
+            assert!((e - s).abs() < 0.03, "exact={exact:?} sampled={sampled:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_is_deterministic_given_seed() {
+        let (ctx, x0) = figure2();
+        let p = ImportanceParams::default();
+        assert_eq!(
+            shapley_sampled(&ctx, x0, p).unwrap(),
+            shapley_sampled(&ctx, x0, p).unwrap()
+        );
+    }
+
+    #[test]
+    fn online_monitor_tracks_key_features() {
+        let (ctx, x0) = figure2();
+        let mut m = OnlineImportance::new(
+            ctx.schema_arc(),
+            ctx.instance(x0).clone(),
+            ctx.prediction(x0),
+            ImportanceParams { permutations: 512, seed: 3 },
+            2,
+        );
+        for r in 0..ctx.len() {
+            if r != x0 {
+                m.observe(ctx.instance(r).clone(), ctx.prediction(r)).unwrap();
+            }
+        }
+        assert_eq!(m.n_seen(), ctx.len());
+        let scores = m.scores();
+        assert!(scores[2] > scores[0], "scores={scores:?}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (ctx, _) = figure2();
+        assert!(shapley_exact(&ctx, 99).is_err());
+        assert!(shapley_sampled(&ctx, 99, Default::default()).is_err());
+    }
+}

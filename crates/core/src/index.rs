@@ -1,0 +1,272 @@
+//! A bitset posting-list index over a context, accelerating repeated key
+//! computation.
+//!
+//! `Srk::explain` spends its time counting, for every candidate feature,
+//! how many live violators share the target's value. The index
+//! precomputes one bitset per `(feature, value)` pair and one per
+//! prediction class; the greedy step then reduces to `AND` + `popcount`
+//! over `u64` words — a large constant-factor win that pays for itself as
+//! soon as a handful of instances of the *same* context are explained
+//! (the `explain_all` / evaluation workload).
+//!
+//! The indexed path is differentially tested against [`Srk::explain`]:
+//! identical keys, always.
+
+use cce_dataset::Label;
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+
+/// A dense bitset over context rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RowSet {
+    words: Vec<u64>,
+}
+
+impl RowSet {
+    fn zeros(rows: usize) -> Self {
+        Self { words: vec![0; rows.div_ceil(64)] }
+    }
+
+    fn set(&mut self, row: usize) {
+        self.words[row / 64] |= 1 << (row % 64);
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    fn count_and(&self, other: &RowSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `self ∩= other`.
+    fn and_assign(&mut self, other: &RowSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Complement within the first `rows` rows.
+    fn not(&self, rows: usize) -> RowSet {
+        let mut out = RowSet { words: self.words.iter().map(|w| !w).collect() };
+        // Clear the padding tail so counts stay exact.
+        let tail = rows % 64;
+        if tail != 0 {
+            if let Some(last) = out.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The posting-list index of one [`Context`].
+///
+/// Invalidated by any mutation of the context — build it once per frozen
+/// context snapshot.
+#[derive(Debug, Clone)]
+pub struct ContextIndex {
+    rows: usize,
+    /// `by_value[f][v]` — rows where feature `f` takes value `v`.
+    by_value: Vec<Vec<RowSet>>,
+    /// Distinct predictions and, aligned, the rows carrying each.
+    classes: Vec<(Label, RowSet)>,
+}
+
+impl ContextIndex {
+    /// Builds the index in `O(n·|I|)` time and `O(n·Σcard·|I|/64)` space.
+    pub fn new(ctx: &Context) -> Self {
+        let rows = ctx.len();
+        let n = ctx.schema().n_features();
+        let mut by_value: Vec<Vec<RowSet>> = (0..n)
+            .map(|f| {
+                (0..ctx.schema().feature(f).cardinality()).map(|_| RowSet::zeros(rows)).collect()
+            })
+            .collect();
+        let mut classes: Vec<(Label, RowSet)> = Vec::new();
+        for r in 0..rows {
+            let x = ctx.instance(r);
+            for (f, posting) in by_value.iter_mut().enumerate() {
+                let v = x[f] as usize;
+                if v < posting.len() {
+                    posting[v].set(r);
+                }
+            }
+            let p = ctx.prediction(r);
+            match classes.iter_mut().find(|(l, _)| *l == p) {
+                Some((_, set)) => set.set(r),
+                None => {
+                    let mut set = RowSet::zeros(rows);
+                    set.set(r);
+                    classes.push((p, set));
+                }
+            }
+        }
+        Self { rows, by_value, classes }
+    }
+
+    /// Rows indexed.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the index covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// SRK over the index: identical output to [`Srk::explain`], much
+    /// faster when many targets share the context.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain`].
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
+    pub fn explain(
+        &self,
+        ctx: &Context,
+        target: usize,
+        alpha: Alpha,
+    ) -> Result<RelativeKey, ExplainError> {
+        ctx.check_target(target)?;
+        assert_eq!(ctx.len(), self.rows, "index built for a different context");
+        let n = ctx.schema().n_features();
+        let tolerance = alpha.tolerance(self.rows);
+        let x0 = ctx.instance(target).clone();
+        let p0 = ctx.prediction(target);
+
+        let same_class = &self
+            .classes
+            .iter()
+            .find(|(l, _)| *l == p0)
+            .expect("target's class is indexed")
+            .1;
+        // Violators: differing prediction, agreeing on the (empty) key.
+        let mut violators = same_class.not(self.rows);
+        let mut supporters = same_class.clone();
+
+        let mut picked = Vec::new();
+        let mut in_key = vec![false; n];
+        while violators.count() > tolerance {
+            if picked.len() == n {
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: violators.count(),
+                    tolerance,
+                });
+            }
+            let mut best_feat = usize::MAX;
+            let mut best = (usize::MAX, usize::MAX);
+            for f in 0..n {
+                if in_key[f] {
+                    continue;
+                }
+                let posting = &self.by_value[f][x0[f] as usize];
+                let surv = violators.count_and(posting);
+                if surv > best.0 {
+                    continue;
+                }
+                let cover = supporters.count_and(posting);
+                let cand = (surv, usize::MAX - cover);
+                if cand < best {
+                    best = cand;
+                    best_feat = f;
+                }
+            }
+            in_key[best_feat] = true;
+            picked.push(best_feat);
+            let posting = &self.by_value[best_feat][x0[best_feat] as usize];
+            violators.and_assign(posting);
+            supporters.and_assign(posting);
+        }
+        let achieved = 1.0 - violators.count() as f64 / self.rows as f64;
+        Ok(RelativeKey::new(picked, alpha, achieved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::srk::Srk;
+    use cce_dataset::{synth, BinSpec};
+
+    fn contexts() -> Vec<Context> {
+        ["Loan", "Compas"]
+            .iter()
+            .map(|name| {
+                let raw = synth::general_dataset(name, 0.2, 9).unwrap();
+                Context::from_recorded(&raw.encode(&BinSpec::uniform(8)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indexed_explain_matches_srk_exactly() {
+        for ctx in contexts() {
+            let idx = ContextIndex::new(&ctx);
+            for &a in &[1.0, 0.95, 0.9] {
+                let alpha = Alpha::new(a).unwrap();
+                let srk = Srk::new(alpha);
+                for t in (0..ctx.len()).step_by(7) {
+                    assert_eq!(
+                        idx.explain(&ctx, t, alpha),
+                        srk.explain(&ctx, t),
+                        "α={a} target={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rowset_complement_is_exact_at_word_boundaries() {
+        for rows in [1usize, 63, 64, 65, 128, 130] {
+            let mut s = RowSet::zeros(rows);
+            s.set(0);
+            if rows > 2 {
+                s.set(rows - 1);
+            }
+            let c = s.not(rows);
+            assert_eq!(s.count() + c.count(), rows, "rows={rows}");
+            assert_eq!(s.count_and(&c), 0);
+        }
+    }
+
+    #[test]
+    fn index_len_tracks_context() {
+        let ctx = contexts().remove(0);
+        let idx = ContextIndex::new(&ctx);
+        assert_eq!(idx.len(), ctx.len());
+        assert!(!idx.is_empty());
+        let empty = ContextIndex::new(&Context::empty(ctx.schema_arc()));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different context")]
+    fn index_rejects_mismatched_context() {
+        let cs = contexts();
+        let idx = ContextIndex::new(&cs[0]);
+        let _ = idx.explain(&cs[1], 0, Alpha::ONE);
+    }
+
+    #[test]
+    fn contradictions_surface_identically() {
+        let ctx = contexts().remove(0);
+        let mut with_twin = ctx.clone();
+        let twin = ctx.instance(0).clone();
+        let p0 = ctx.prediction(0);
+        let flipped = cce_dataset::Label(u32::from(p0.0 == 0));
+        with_twin.push(twin, flipped).unwrap();
+        let idx = ContextIndex::new(&with_twin);
+        let srk = Srk::new(Alpha::ONE);
+        assert_eq!(idx.explain(&with_twin, 0, Alpha::ONE), srk.explain(&with_twin, 0));
+    }
+}

@@ -1,0 +1,109 @@
+//! The relative-key explanation type.
+
+use cce_dataset::{Instance, Schema};
+
+use crate::alpha::Alpha;
+
+/// An α-conformant key of a model for a target instance, relative to a
+/// context (§3.1).
+///
+/// Features are kept in the order the producing algorithm selected them —
+/// §6 notes this order can serve as a feature ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelativeKey {
+    features: Vec<usize>,
+    alpha: Alpha,
+    /// The conformity actually achieved over the context at construction
+    /// time (`≥ alpha` for valid keys).
+    achieved: f64,
+}
+
+impl RelativeKey {
+    /// Creates a key from the features selected by an algorithm.
+    pub fn new(features: Vec<usize>, alpha: Alpha, achieved: f64) -> Self {
+        Self { features, alpha, achieved }
+    }
+
+    /// The selected features, in pick order.
+    pub fn features(&self) -> &[usize] {
+        &self.features
+    }
+
+    /// The requested conformity bound.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// The conformity achieved over the context when the key was computed
+    /// (the explanation's *precision* over that context).
+    pub fn achieved_conformity(&self) -> f64 {
+        self.achieved
+    }
+
+    /// The succinctness measure: number of features (§2).
+    pub fn succinctness(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when `other` explains with the same features (order-insensitive).
+    pub fn same_features(&self, other: &RelativeKey) -> bool {
+        let mut a = self.features.clone();
+        let mut b = other.features.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
+    }
+
+    /// Renders the key as the rule `IF f=v ∧ … THEN prediction` shown in
+    /// the paper's Figure 1.
+    pub fn render(&self, schema: &Schema, x: &Instance, outcome: &str) -> String {
+        if self.features.is_empty() {
+            return format!("IF (anything) THEN Prediction='{outcome}'");
+        }
+        format!(
+            "IF {} THEN Prediction='{}'",
+            schema.render_conjunction(x, &self.features),
+            outcome
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::FeatureDef;
+
+    #[test]
+    fn accessors() {
+        let k = RelativeKey::new(vec![2, 0], Alpha::ONE, 1.0);
+        assert_eq!(k.succinctness(), 2);
+        assert_eq!(k.features(), &[2, 0]);
+        assert_eq!(k.alpha(), Alpha::ONE);
+        assert_eq!(k.achieved_conformity(), 1.0);
+    }
+
+    #[test]
+    fn same_features_ignores_order() {
+        let a = RelativeKey::new(vec![2, 0], Alpha::ONE, 1.0);
+        let b = RelativeKey::new(vec![0, 2], Alpha::ONE, 0.9);
+        let c = RelativeKey::new(vec![0, 1], Alpha::ONE, 1.0);
+        assert!(a.same_features(&b));
+        assert!(!a.same_features(&c));
+    }
+
+    #[test]
+    fn renders_rule_form() {
+        let schema = Schema::new(vec![
+            FeatureDef::categorical("Income", &["1-2K", "3-4K"]),
+            FeatureDef::categorical("Credit", &["poor", "good"]),
+        ]);
+        let x = Instance::new(vec![1, 0]);
+        let k = RelativeKey::new(vec![0, 1], Alpha::ONE, 1.0);
+        assert_eq!(
+            k.render(&schema, &x, "Denied"),
+            "IF Income=3-4K ∧ Credit=poor THEN Prediction='Denied'"
+        );
+        let empty = RelativeKey::new(vec![], Alpha::ONE, 1.0);
+        assert!(empty.render(&schema, &x, "Denied").contains("anything"));
+    }
+}

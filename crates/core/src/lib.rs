@@ -1,0 +1,66 @@
+//! Relative keys and the CCE client-centric feature-explanation framework.
+//!
+//! This crate is the paper's contribution, implemented in full:
+//!
+//! * [`Context`] — a set of instances with their recorded predictions, the
+//!   "context" that relative keys are defined against (§3.1). Building it
+//!   requires only `(instance, prediction)` pairs collected during model
+//!   serving — **never** the model itself.
+//! * [`RelativeKey`] / [`Alpha`] — α-conformant relative keys: feature sets
+//!   whose rule-based explanation semantics holds over at least an
+//!   α-fraction of the context.
+//! * [`Srk`] — the greedy batch algorithm (Algorithm 1): polynomial time,
+//!   and its output is provably `ln(α·|I|)`-bounded (Lemma 3).
+//! * [`OsrkMonitor`] — the randomized online monitor (Algorithm 2):
+//!   maintains a coherent (`Eₜ ⊆ Eₜ₊₁`) α-conformant key as instances
+//!   stream in, in `O(n log n)` per arrival, `(log t · log n)`-competitive.
+//! * [`SsrkMonitor`] — the deterministic online monitor for static-feature
+//!   universes (Algorithm 3), `(log m · log n)`-competitive, driven by a
+//!   log-domain potential function.
+//! * [`Cce`] — the framework facade (§6): batch and online modes, sliding
+//!   windows for dynamic models ([`window`]) and accuracy-dip monitoring
+//!   ([`monitor`], §7.4).
+//! * [`verify`] — an exact (exponential) minimum-key solver used by tests
+//!   and benchmarks to validate the approximation guarantees.
+//!
+//! Beyond the paper's published algorithms, the crate implements both of
+//! its §8 future-work directions: [`importance`] (context-relative Shapley
+//! values with an online monitor) and [`patterns`] (pattern-level
+//! summaries relative to a context, with per-pattern conformity bounds).
+//!
+//! Computing a most-succinct relative key is NP-complete (Theorem 1); the
+//! algorithms here implement the paper's provable approximations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod cce;
+pub mod context;
+pub mod error;
+pub mod importance;
+pub mod index;
+pub mod key;
+pub mod monitor;
+pub mod osrk;
+pub mod patterns;
+pub mod recorder;
+pub mod srk;
+pub mod ssrk;
+pub mod verify;
+pub mod window;
+
+pub use alpha::Alpha;
+pub use cce::{Cce, CceConfig, Mode};
+pub use context::Context;
+pub use error::ExplainError;
+pub use importance::{shapley_exact, shapley_sampled, ImportanceParams, OnlineImportance};
+pub use index::ContextIndex;
+pub use key::RelativeKey;
+pub use patterns::{summarize, RelativePattern, RelativeSummary, SummaryParams};
+pub use monitor::DriftMonitor;
+pub use osrk::{OsrkMonitor, PickRule};
+pub use recorder::Recorder;
+pub use srk::Srk;
+pub use ssrk::SsrkMonitor;
+pub use window::{ResolutionPolicy, SlidingWindow};

@@ -1,0 +1,220 @@
+//! Serving-time model-performance monitoring via relative keys (§7.4).
+//!
+//! The paper's observation (Fig. 3l/3m): when a blackbox model starts
+//! misbehaving — noise, drift, silent redeployment — the relative keys of
+//! a panel of monitored instances *abnormally grow*, because new arrivals
+//! contradict previously sufficient keys. Tracking mean succinctness over
+//! the stream therefore exposes accuracy dips without any access to the
+//! model or ground truth.
+
+use cce_dataset::{Instance, Label};
+
+use crate::alpha::Alpha;
+use crate::osrk::OsrkMonitor;
+
+/// Tracks mean key succinctness of a panel of monitored instances over a
+/// prediction stream and flags abnormal growth.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    alpha: Alpha,
+    seed: u64,
+    panel_size: usize,
+    sample_every: usize,
+    monitors: Vec<OsrkMonitor>,
+    n_seen: usize,
+    /// `(arrivals so far, mean succinctness)` samples.
+    history: Vec<(usize, f64)>,
+    /// Contradictions observed (also a drift signal).
+    contradictions: usize,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor that adopts the first `panel_size` arrivals as
+    /// its monitored panel and samples mean succinctness every
+    /// `sample_every` arrivals.
+    ///
+    /// # Panics
+    /// Panics if `panel_size == 0` or `sample_every == 0`.
+    pub fn new(alpha: Alpha, panel_size: usize, sample_every: usize, seed: u64) -> Self {
+        assert!(panel_size > 0, "panel must be non-empty");
+        assert!(sample_every > 0, "sampling period must be positive");
+        Self {
+            alpha,
+            seed,
+            panel_size,
+            sample_every,
+            monitors: Vec::with_capacity(panel_size),
+            n_seen: 0,
+            history: Vec::new(),
+            contradictions: 0,
+        }
+    }
+
+    /// Feeds one serving-time observation.
+    pub fn observe(&mut self, x: Instance, pred: Label) {
+        self.n_seen += 1;
+        // Adopt early arrivals as panel targets.
+        if self.monitors.len() < self.panel_size {
+            let idx = self.monitors.len() as u64;
+            self.monitors.push(OsrkMonitor::new(
+                x.clone(),
+                pred,
+                self.alpha,
+                self.seed.wrapping_add(idx),
+            ));
+        }
+        for m in &mut self.monitors {
+            if m.observe(x.clone(), pred).is_err() {
+                self.contradictions += 1;
+            }
+        }
+        if self.n_seen.is_multiple_of(self.sample_every) {
+            self.history.push((self.n_seen, self.mean_succinctness()));
+        }
+    }
+
+    /// Current mean key succinctness over the panel.
+    pub fn mean_succinctness(&self) -> f64 {
+        if self.monitors.is_empty() {
+            return 0.0;
+        }
+        self.monitors.iter().map(|m| m.succinctness() as f64).sum::<f64>()
+            / self.monitors.len() as f64
+    }
+
+    /// The sampled `(arrivals, mean succinctness)` trajectory — the series
+    /// plotted in Fig. 3l.
+    pub fn trajectory(&self) -> &[(usize, f64)] {
+        &self.history
+    }
+
+    /// Number of contradictions observed so far.
+    pub fn contradictions(&self) -> usize {
+        self.contradictions
+    }
+
+    /// Arrivals observed so far.
+    pub fn n_seen(&self) -> usize {
+        self.n_seen
+    }
+
+    /// Growth of recent mean succinctness relative to the early baseline:
+    /// `recent / baseline`, where the baseline is the mean of the first
+    /// `baseline_frac` of samples and "recent" is the mean of the last
+    /// quarter. Returns 1.0 until enough samples exist.
+    pub fn drift_score(&self, baseline_frac: f64) -> f64 {
+        let n = self.history.len();
+        if n < 4 {
+            return 1.0;
+        }
+        let cut = ((n as f64) * baseline_frac.clamp(0.1, 0.9)).ceil() as usize;
+        let base: f64 =
+            self.history[..cut].iter().map(|&(_, s)| s).sum::<f64>() / cut as f64;
+        let recent_from = n - (n / 4).max(1);
+        let recent: f64 = self.history[recent_from..].iter().map(|&(_, s)| s).sum::<f64>()
+            / (n - recent_from) as f64;
+        if base <= f64::EPSILON {
+            if recent <= f64::EPSILON {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            recent / base
+        }
+    }
+
+    /// True when succinctness grew by more than `factor` over the
+    /// baseline — the paper's "abnormal increase" signal.
+    pub fn drifted(&self, factor: f64) -> bool {
+        self.drift_score(0.5) > factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::synth::noise;
+    use cce_dataset::{synth, BinSpec};
+    use cce_model::{Gbdt, GbdtParams, Model};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stream(noisy: bool) -> (Vec<(Instance, Label)>, f64) {
+        // Key growth saturates on clean streams only once they are long
+        // enough; the drift signal needs that contrast (cf. Fig. 3l).
+        let raw = synth::adult::generate(8000, 5);
+        let ds = raw.encode(&BinSpec::uniform(10));
+        let (train, mut infer) = ds.split(0.6, &mut StdRng::seed_from_u64(4));
+        let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        if noisy {
+            noise::randomize_tail(&mut infer, 0.6, &mut StdRng::seed_from_u64(9));
+        }
+        let preds = model.predict_all(infer.instances());
+        let pairs = infer.instances().iter().cloned().zip(preds).collect();
+        // True accuracy of the model over this stream (for reference).
+        let acc = cce_model::eval::accuracy(&model, &infer);
+        (pairs, acc)
+    }
+
+    #[test]
+    fn clean_stream_does_not_drift() {
+        let (pairs, _) = stream(false);
+        let mut m = DriftMonitor::new(Alpha::ONE, 8, 20, 1);
+        for (x, p) in pairs {
+            m.observe(x, p);
+        }
+        assert!(m.drift_score(0.5) < 1.6, "score={}", m.drift_score(0.5));
+    }
+
+    #[test]
+    fn noisy_tail_raises_succinctness_growth() {
+        // Fig. 3l: the streams share their first 60%; the noisy variant
+        // perturbs the tail. The signal is key *growth after the noise
+        // onset*, which should exceed the clean stream's residual growth.
+        let (clean, _) = stream(false);
+        let (noisy, _) = stream(true);
+        let onset = (clean.len() as f64 * 0.6) as usize;
+        let run = |pairs: Vec<(Instance, Label)>| {
+            let mut m = DriftMonitor::new(Alpha::ONE, 12, 50, 1);
+            let mut at_onset = 0.0;
+            for (i, (x, p)) in pairs.into_iter().enumerate() {
+                if i == onset {
+                    at_onset = m.mean_succinctness();
+                }
+                m.observe(x, p);
+            }
+            m.mean_succinctness() - at_onset
+        };
+        let g_clean = run(clean);
+        let g_noisy = run(noisy);
+        assert!(
+            g_noisy > g_clean,
+            "noise must inflate key growth: clean={g_clean} noisy={g_noisy}"
+        );
+    }
+
+    #[test]
+    fn trajectory_is_sampled() {
+        let (pairs, _) = stream(false);
+        let n = pairs.len();
+        let mut m = DriftMonitor::new(Alpha::ONE, 4, 25, 2);
+        for (x, p) in pairs {
+            m.observe(x, p);
+        }
+        assert_eq!(m.trajectory().len(), n / 25);
+        assert_eq!(m.n_seen(), n);
+        // Succinctness trajectory is non-decreasing (keys are coherent).
+        let t = m.trajectory();
+        for w in t.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn drift_score_defaults_before_samples() {
+        let m = DriftMonitor::new(Alpha::ONE, 2, 1000, 3);
+        assert_eq!(m.drift_score(0.5), 1.0);
+        assert!(!m.drifted(1.2));
+    }
+}

@@ -1,0 +1,410 @@
+//! Algorithm 2 — OSRK: randomized online monitoring of relative keys.
+//!
+//! OSRK maintains an α-conformant key for a fixed target `x₀` while
+//! context instances arrive one at a time, growing the key *coherently*
+//! (`Eₜ ⊆ Eₜ₊₁`, the explanation-coherence constraint of ORKM §5.1).
+//! Deterministic online algorithms cannot be `O(n)`-competitive
+//! (Theorem 4); OSRK sidesteps the lower bound with randomized
+//! multiplicative weights and is `(log t · log n)`-competitive for `α = 1`
+//! (Theorem 5).
+//!
+//! Per-arrival work is `O(n log n)` in the number of features,
+//! independent of how many instances have been processed: the monitor
+//! never stores the full context, only the current *live violators*
+//! (instances with a different prediction that still agree with the
+//! target on every selected feature) — at most `⌊(1-α)·|I|⌋ + 1` of them.
+
+use cce_dataset::{Instance, Label};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::alpha::Alpha;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+
+/// How OSRK resolves the "pick an arbitrary feature from Sₜ" step
+/// (Algorithm 2, line 11). The paper leaves the choice open; the
+/// `ablation` bench compares these rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PickRule {
+    /// Lowest feature index — O(1), the default.
+    #[default]
+    First,
+    /// The feature with the largest current weight (most historically
+    /// implicated in violations).
+    MaxWeight,
+    /// The feature whose addition removes the most live violators —
+    /// greediest, costs `O(n · violators)`.
+    MaxKill,
+}
+
+/// The randomized online key monitor.
+///
+/// ```
+/// use cce_core::{Alpha, OsrkMonitor};
+/// use cce_dataset::{Instance, Label};
+///
+/// let x0 = Instance::new(vec![0, 0]);
+/// let mut monitor = OsrkMonitor::new(x0, Label(0), Alpha::ONE, 42);
+///
+/// // Same prediction → nothing to distinguish, key stays empty.
+/// monitor.observe(Instance::new(vec![1, 0]), Label(0))?;
+/// assert_eq!(monitor.succinctness(), 0);
+///
+/// // A differing prediction forces the key to separate the arrival.
+/// monitor.observe(Instance::new(vec![0, 1]), Label(1))?;
+/// assert!(monitor.key().contains(&1), "feature 1 distinguishes them");
+/// # Ok::<(), cce_core::ExplainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OsrkMonitor {
+    x0: Instance,
+    pred0: Label,
+    alpha: Alpha,
+    pick: PickRule,
+    rng: StdRng,
+    /// Multiplicative weights `wᵢ`; `None` until the first differing
+    /// instance arrives (Algorithm 2 lines 3-6).
+    weights: Option<Vec<f64>>,
+    key: Vec<usize>,
+    in_key: Vec<bool>,
+    /// `|I|`: instances observed so far.
+    n_seen: usize,
+    /// `pₜ`: differing-prediction instances observed so far.
+    p_count: usize,
+    /// Differing-prediction instances that agree with `x0` on the current
+    /// key — the violators of the α-conformance condition.
+    live: Vec<Instance>,
+}
+
+impl OsrkMonitor {
+    /// Starts monitoring a key for `(x0, pred0)` with bound `alpha`; the
+    /// context is initially empty and grows via [`OsrkMonitor::observe`].
+    pub fn new(x0: Instance, pred0: Label, alpha: Alpha, seed: u64) -> Self {
+        let n = x0.len();
+        Self {
+            x0,
+            pred0,
+            alpha,
+            pick: PickRule::default(),
+            rng: StdRng::seed_from_u64(seed),
+            weights: None,
+            key: Vec::new(),
+            in_key: vec![false; n],
+            n_seen: 0,
+            p_count: 0,
+            live: Vec::new(),
+        }
+    }
+
+    /// Overrides the arbitrary-pick rule.
+    pub fn with_pick_rule(mut self, pick: PickRule) -> Self {
+        self.pick = pick;
+        self
+    }
+
+    /// The current key, in pick order (coherent: only ever grows).
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Current succinctness.
+    pub fn succinctness(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Instances observed so far (`|I|`).
+    pub fn n_seen(&self) -> usize {
+        self.n_seen
+    }
+
+    /// Current number of live violators.
+    pub fn n_violators(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Snapshot of the current key as a [`RelativeKey`].
+    pub fn to_relative_key(&self) -> RelativeKey {
+        let achieved = if self.n_seen == 0 {
+            1.0
+        } else {
+            1.0 - self.live.len() as f64 / self.n_seen as f64
+        };
+        RelativeKey::new(self.key.clone(), self.alpha, achieved)
+    }
+
+    /// Processes the arrival of one `(instance, prediction)` pair and
+    /// returns the updated key.
+    ///
+    /// # Errors
+    /// * [`ExplainError::WidthMismatch`] for a wrong-width instance;
+    /// * [`ExplainError::NoConformantKey`] when the arrival is a
+    ///   *contradiction* (identical to the target, different prediction)
+    ///   that exceeds the tolerance — the monitor stays consistent and
+    ///   keeps accepting arrivals.
+    pub fn observe(&mut self, x: Instance, pred: Label) -> Result<&[usize], ExplainError> {
+        if x.len() != self.x0.len() {
+            return Err(ExplainError::WidthMismatch { expected: self.x0.len(), got: x.len() });
+        }
+        self.n_seen += 1;
+        if pred == self.pred0 {
+            // Line 2: the key never changes on a same-prediction arrival —
+            // but the result still reports validity, which can only be
+            // violated by earlier irreducible contradictions.
+            let tolerance = self.alpha.tolerance(self.n_seen);
+            if self.live.len() > tolerance {
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: self.live.len(),
+                    tolerance,
+                });
+            }
+            return Ok(&self.key);
+        }
+        self.p_count += 1;
+
+        // Lines 3-6: on the first differing instance, initialize weights to
+        // the largest power of two below 1/n and seed the key randomly.
+        if self.weights.is_none() {
+            let n = self.x0.len() as f64;
+            let k = n.log2().floor() as i32 + 1; // 2^-k < 1/n (or = for 2^j)
+            let w0 = 0.5f64.powi(k);
+            let weights = vec![w0; self.x0.len()];
+            for (i, w) in weights.iter().enumerate() {
+                if self.rng.gen_bool(w.min(1.0)) {
+                    self.add_feature(i);
+                }
+            }
+            self.weights = Some(weights);
+        }
+
+        // Track the new arrival if it violates the current key.
+        if x.agrees_on(&self.x0, &self.key) {
+            self.live.push(x.clone());
+        }
+
+        let tolerance = self.alpha.tolerance(self.n_seen);
+        // Line 7: features where the arrival disagrees with the target and
+        // that are not yet in the key.
+        let mut s_t: Vec<usize> =
+            x.differing_features(&self.x0).into_iter().filter(|&f| !self.in_key[f]).collect();
+
+        // Lines 8-15.
+        while self.live.len() > tolerance {
+            if s_t.is_empty() {
+                // The arrival is identical to the target (or only differs on
+                // already-picked features — impossible, it would not be
+                // live): an irreducible contradiction.
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: self.live.len(),
+                    tolerance,
+                });
+            }
+            let weights = self.weights.as_mut().expect("initialized above");
+            let mu_t: f64 = s_t.iter().map(|&i| weights[i]).sum();
+            if mu_t > (self.p_count as f64).ln() {
+                // Line 10-11: add one feature outright.
+                let i = match self.pick {
+                    PickRule::First => s_t[0],
+                    PickRule::MaxWeight => s_t
+                        .iter()
+                        .copied()
+                        .max_by(|&a, &b| {
+                            weights[a].partial_cmp(&weights[b]).expect("finite weights")
+                        })
+                        .expect("s_t non-empty"),
+                    PickRule::MaxKill => {
+                        let x0 = &self.x0;
+                        s_t.iter()
+                            .copied()
+                            .min_by_key(|&i| {
+                                self.live.iter().filter(|v| v[i] == x0[i]).count()
+                            })
+                            .expect("s_t non-empty")
+                    }
+                };
+                self.add_feature(i);
+                s_t.retain(|&f| f != i);
+                break;
+            }
+            // Lines 12-15: weight augmentation.
+            let mut added = Vec::new();
+            for &i in &s_t {
+                if weights[i] < 1.0 {
+                    weights[i] *= 2.0;
+                }
+                if self.rng.gen_bool(weights[i].min(1.0)) {
+                    added.push(i);
+                }
+            }
+            for i in added {
+                self.add_feature(i);
+            }
+            s_t.retain(|&f| !self.in_key[f]);
+        }
+
+        // The paper's line 11 breaks unconditionally; with contradictions
+        // lingering under α < 1 growth the loop above already re-checks.
+        if self.live.len() > tolerance {
+            return Err(ExplainError::NoConformantKey {
+                contradictions: self.live.len(),
+                tolerance,
+            });
+        }
+        Ok(&self.key)
+    }
+
+    /// Adds feature `i` to the key (idempotent) and drops live violators
+    /// that no longer agree with the target.
+    fn add_feature(&mut self, i: usize) {
+        if self.in_key[i] {
+            return;
+        }
+        self.in_key[i] = true;
+        self.key.push(i);
+        let x0 = &self.x0;
+        self.live.retain(|v| v[i] == x0[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec};
+
+    fn inst(v: Vec<u32>) -> Instance {
+        Instance::new(v)
+    }
+
+    #[test]
+    fn same_prediction_never_changes_key() {
+        let mut m = OsrkMonitor::new(inst(vec![0, 1, 2]), Label(0), Alpha::ONE, 1);
+        for i in 0..10u32 {
+            let k_before = m.key().to_vec();
+            m.observe(inst(vec![i % 3, 1, 2]), Label(0)).unwrap();
+            assert_eq!(m.key(), k_before.as_slice());
+        }
+        assert_eq!(m.succinctness(), 0);
+        assert_eq!(m.n_seen(), 10);
+    }
+
+    #[test]
+    fn example7_stream() {
+        // x0 = (Male, 3-4K, poor, 1) Denied; stream of Example 7 arrivals.
+        let x0 = inst(vec![0, 1, 0, 1]);
+        let mut m = OsrkMonitor::new(x0.clone(), Label(0), Alpha::ONE, 7);
+        // x7 (Female, 3-4K, poor, 2) Denied — no action.
+        m.observe(inst(vec![1, 1, 0, 2]), Label(0)).unwrap();
+        assert_eq!(m.succinctness(), 0);
+        // x8 (Male, 3-4K, good, 1) Approved — differs on Credit.
+        m.observe(inst(vec![0, 1, 1, 1]), Label(1)).unwrap();
+        assert!(m.n_violators() == 0, "key must cover the differing arrival");
+        // x9 (Male, 3-4K, poor, 0) Approved — differs on Dependents only
+        // (relative to x0), so Dependents must join unless already there.
+        m.observe(inst(vec![0, 1, 0, 0]), Label(1)).unwrap();
+        assert_eq!(m.n_violators(), 0);
+        // Every arrival with a different prediction now disagrees with x0
+        // on at least one key feature.
+        assert!(!m.key().is_empty());
+    }
+
+    #[test]
+    fn coherence_keys_only_grow() {
+        let raw = synth::loan::generate(300, 13);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let x0 = ds.instance(0).clone();
+        let p0 = ds.label(0);
+        let mut m = OsrkMonitor::new(x0, p0, Alpha::ONE, 3);
+        let mut prev: Vec<usize> = Vec::new();
+        for (x, y) in ds.iter().skip(1) {
+            m.observe(x.clone(), y).unwrap();
+            assert!(
+                prev.iter().all(|f| m.key().contains(f)),
+                "coherence violated: {prev:?} ⊄ {:?}",
+                m.key()
+            );
+            prev = m.key().to_vec();
+        }
+    }
+
+    #[test]
+    fn key_is_always_alpha_conformant_over_stream() {
+        for seed in 0..5u64 {
+            let raw = synth::compas::generate(250, seed + 40);
+            let ds = raw.encode(&BinSpec::uniform(8));
+            let x0 = ds.instance(0).clone();
+            let p0 = ds.label(0);
+            let alpha = Alpha::new(0.95).unwrap();
+            let mut m = OsrkMonitor::new(x0.clone(), p0, alpha, seed);
+            let mut ctx = crate::Context::from_recorded(&ds.head(1));
+            for (x, y) in ds.iter().skip(1) {
+                m.observe(x.clone(), y).unwrap();
+                ctx.push(x.clone(), y).unwrap();
+                assert!(
+                    ctx.is_alpha_key(m.key(), 0, alpha),
+                    "seed {seed}: invalid key at |I|={}",
+                    ctx.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contradiction_reported() {
+        let x0 = inst(vec![0, 1]);
+        let mut m = OsrkMonitor::new(x0.clone(), Label(0), Alpha::ONE, 5);
+        let err = m.observe(x0.clone(), Label(1)).unwrap_err();
+        assert!(matches!(err, ExplainError::NoConformantKey { .. }));
+        // Monitor remains usable afterwards for relaxed bounds/other inputs.
+        assert_eq!(m.n_seen(), 1);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut m = OsrkMonitor::new(inst(vec![0, 1]), Label(0), Alpha::ONE, 5);
+        assert!(matches!(
+            m.observe(inst(vec![0]), Label(1)),
+            Err(ExplainError::WidthMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let raw = synth::german::generate(200, 3);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let run = || {
+            let mut m =
+                OsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, 99);
+            for (x, y) in ds.iter().skip(1) {
+                let _ = m.observe(x.clone(), y);
+            }
+            m.key().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pick_rules_all_yield_valid_keys() {
+        let raw = synth::loan::generate(200, 17);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        for rule in [PickRule::First, PickRule::MaxWeight, PickRule::MaxKill] {
+            let mut m = OsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, 11)
+                .with_pick_rule(rule);
+            for (x, y) in ds.iter().skip(1) {
+                m.observe(x.clone(), y).unwrap();
+            }
+            let ctx = crate::Context::from_recorded(&ds);
+            assert!(ctx.is_alpha_key(m.key(), 0, Alpha::ONE), "rule {rule:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_reports_achieved_conformity() {
+        let x0 = inst(vec![0, 0]);
+        let mut m = OsrkMonitor::new(x0, Label(0), Alpha::new(0.5).unwrap(), 2);
+        m.observe(inst(vec![0, 1]), Label(0)).unwrap();
+        let k = m.to_relative_key();
+        assert_eq!(k.achieved_conformity(), 1.0);
+        assert_eq!(k.alpha(), Alpha::new(0.5).unwrap());
+    }
+}

@@ -1,0 +1,330 @@
+//! Pattern-level explanations *relative to a context* — the paper's
+//! second future-work direction (§8): "revisit global pattern-level
+//! explanations relative to a context".
+//!
+//! Classic pattern-level methods (IDS) are heuristic: their rules can
+//! contradict the model and need not cover a given instance (§7.2's case
+//! study). Relative patterns fix both by construction:
+//!
+//! * each pattern is built from an α-conformant **relative key** of one of
+//!   its covered instances, so its precision over the context is at least
+//!   α (perfect for α = 1);
+//! * the summary is grown by greedy set cover over the context, so its
+//!   coverage is explicit and tunable.
+//!
+//! The result is a global summary with the local method's guarantees —
+//! computed, like everything in this crate, without model access.
+
+use cce_dataset::{Cat, Instance, Label, Schema};
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::srk::Srk;
+
+/// One conformity-bounded pattern: a conjunction of feature values and
+/// the prediction it implies over the context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelativePattern {
+    /// Features of the conjunction, in key pick order.
+    pub features: Vec<usize>,
+    /// The target's values on those features.
+    pub values: Vec<Cat>,
+    /// The prediction shared by conforming instances.
+    pub prediction: Label,
+    /// Context rows this pattern covers (agree + same prediction).
+    pub support: usize,
+    /// Precision of the pattern over the context at build time.
+    pub precision: f64,
+}
+
+impl RelativePattern {
+    /// True when the pattern's conjunction holds on `x`.
+    pub fn matches(&self, x: &Instance) -> bool {
+        self.features.iter().zip(&self.values).all(|(&f, &v)| x[f] == v)
+    }
+
+    /// Renders the pattern as `IF … THEN …` (IDS-comparable form).
+    pub fn render(&self, schema: &Schema, label_name: &str) -> String {
+        if self.features.is_empty() {
+            return format!("IF (anything) THEN Prediction='{label_name}'");
+        }
+        let conj = self
+            .features
+            .iter()
+            .zip(&self.values)
+            .map(|(&f, &v)| {
+                format!("{}='{}'", schema.feature(f).name, schema.feature(f).display(v))
+            })
+            .collect::<Vec<_>>()
+            .join(" ∧ ");
+        format!("IF {conj} THEN Prediction='{label_name}'")
+    }
+}
+
+/// A context-relative pattern summary.
+#[derive(Debug, Clone, Default)]
+pub struct RelativeSummary {
+    patterns: Vec<RelativePattern>,
+    covered: usize,
+    total: usize,
+}
+
+impl RelativeSummary {
+    /// The patterns, in selection order.
+    pub fn patterns(&self) -> &[RelativePattern] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no patterns were selected.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Fraction of the build context covered by some pattern.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.covered as f64 / self.total as f64
+    }
+
+    /// The first pattern matching `x`, if any.
+    pub fn covering(&self, x: &Instance) -> Option<&RelativePattern> {
+        self.patterns.iter().find(|p| p.matches(x))
+    }
+}
+
+/// Parameters of the summarization.
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryParams {
+    /// Conformity bound of every pattern.
+    pub alpha: Alpha,
+    /// Stop after this many patterns.
+    pub max_patterns: usize,
+    /// Stop once this fraction of the context is covered.
+    pub coverage_target: f64,
+    /// Candidate seeds examined per round; the pattern covering the most
+    /// still-uncovered instances wins (greedy set cover).
+    pub seeds_per_round: usize,
+}
+
+impl Default for SummaryParams {
+    fn default() -> Self {
+        Self { alpha: Alpha::ONE, max_patterns: 16, coverage_target: 0.95, seeds_per_round: 8 }
+    }
+}
+
+/// Builds a context-relative pattern summary by greedy set cover: each
+/// round explains a sampled uncovered instance with an α-conformant
+/// relative key and keeps the candidate pattern covering the most
+/// still-uncovered rows.
+///
+/// ```
+/// use cce_core::{patterns, Context, SummaryParams};
+/// use cce_dataset::{FeatureDef, Instance, Label, Schema};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::new(vec![
+///     FeatureDef::categorical("Credit", &["poor", "good"]),
+///     FeatureDef::categorical("Area", &["urban", "rural"]),
+/// ]));
+/// let ctx = Context::new(
+///     schema,
+///     vec![
+///         Instance::new(vec![0, 0]),
+///         Instance::new(vec![0, 1]),
+///         Instance::new(vec![1, 0]),
+///         Instance::new(vec![1, 1]),
+///     ],
+///     vec![Label(0), Label(0), Label(1), Label(1)],
+/// );
+/// let summary = patterns::summarize(&ctx, SummaryParams::default())?;
+/// // Credit alone separates the classes: two one-feature patterns cover
+/// // everything, each perfectly precise over the context.
+/// assert!((summary.coverage() - 1.0).abs() < 1e-12);
+/// assert!(summary.patterns().iter().all(|p| p.precision == 1.0));
+/// # Ok::<(), cce_core::ExplainError>(())
+/// ```
+///
+/// Instances with no conformant key (contradictions) are skipped; they
+/// count against coverage, mirroring how real data limits any summary.
+///
+/// # Errors
+/// [`ExplainError::EmptyContext`] on an empty context.
+pub fn summarize(ctx: &Context, params: SummaryParams) -> Result<RelativeSummary, ExplainError> {
+    if ctx.is_empty() {
+        return Err(ExplainError::EmptyContext);
+    }
+    let srk = Srk::new(params.alpha);
+    let mut covered = vec![false; ctx.len()];
+    let mut n_covered = 0usize;
+    let mut skipped = vec![false; ctx.len()];
+    let mut patterns = Vec::new();
+
+    while patterns.len() < params.max_patterns
+        && (n_covered as f64) < params.coverage_target * ctx.len() as f64
+    {
+        // Candidate seeds: uncovered, unskipped instances spread evenly
+        // over the remaining context; the one whose key covers the most
+        // uncovered rows wins (greedy set cover).
+        let pool: Vec<usize> = (0..ctx.len()).filter(|&r| !covered[r] && !skipped[r]).collect();
+        if pool.is_empty() {
+            break;
+        }
+        let step = (pool.len() / params.seeds_per_round.max(1)).max(1);
+        let mut best: Option<(usize, Vec<u32>, Vec<usize>)> = None; // (gain, rows, feats)
+        let mut any_key = false;
+        for &seed in pool.iter().step_by(step).take(params.seeds_per_round.max(1)) {
+            let Ok(key) = srk.explain(ctx, seed) else {
+                skipped[seed] = true;
+                continue;
+            };
+            any_key = true;
+            let feats = key.features().to_vec();
+            let rows = ctx.covered_rows(&feats, seed);
+            let gain = rows.iter().filter(|&&r| !covered[r as usize]).count();
+            if best.as_ref().is_none_or(|(g, ..)| gain > *g) {
+                best = Some((gain, rows, feats));
+            }
+        }
+        let Some((_, rows, feats)) = best else {
+            if !any_key {
+                continue; // all sampled seeds contradicted; pool shrank
+            }
+            break;
+        };
+        let seed_row = rows[0] as usize; // any covered row shares the values
+        let x0 = ctx.instance(seed_row);
+        let values: Vec<Cat> = feats.iter().map(|&f| x0[f]).collect();
+        let violators = ctx.count_violators(&feats, seed_row);
+        let pattern = RelativePattern {
+            support: rows.len(),
+            precision: rows.len() as f64 / (rows.len() + violators).max(1) as f64,
+            features: feats,
+            values,
+            prediction: ctx.prediction(seed_row),
+        };
+        for &r in &rows {
+            if !covered[r as usize] {
+                covered[r as usize] = true;
+                n_covered += 1;
+            }
+        }
+        patterns.push(pattern);
+    }
+    Ok(RelativeSummary { patterns, covered: n_covered, total: ctx.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec};
+    use cce_model::{Gbdt, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn context() -> Context {
+        let raw = synth::loan::generate(400, 7);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(1));
+        let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        Context::from_model(&infer, &model)
+    }
+
+    #[test]
+    fn patterns_have_perfect_precision_at_alpha_one() {
+        let ctx = context();
+        let summary = summarize(&ctx, SummaryParams::default()).unwrap();
+        assert!(!summary.is_empty());
+        for p in summary.patterns() {
+            assert_eq!(p.precision, 1.0, "{p:?}");
+            assert!(p.support >= 1);
+        }
+    }
+
+    #[test]
+    fn coverage_reaches_target_or_exhausts_budget() {
+        let ctx = context();
+        let params = SummaryParams { coverage_target: 0.9, max_patterns: 64, ..Default::default() };
+        let summary = summarize(&ctx, params).unwrap();
+        assert!(
+            summary.coverage() >= 0.9 || summary.len() == 64,
+            "coverage {} with {} patterns",
+            summary.coverage(),
+            summary.len()
+        );
+    }
+
+    #[test]
+    fn every_covered_instance_gets_its_own_prediction() {
+        // The guarantee IDS lacks: a matching pattern never lies about the
+        // prediction (α = 1).
+        let ctx = context();
+        let summary = summarize(&ctx, SummaryParams::default()).unwrap();
+        for r in 0..ctx.len() {
+            if let Some(p) = summary.covering(ctx.instance(r)) {
+                assert_eq!(
+                    p.prediction,
+                    ctx.prediction(r),
+                    "pattern contradicts the context at row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_alpha_allows_imperfect_but_bounded_precision() {
+        let ctx = context();
+        let alpha = Alpha::new(0.9).unwrap();
+        let summary =
+            summarize(&ctx, SummaryParams { alpha, ..Default::default() }).unwrap();
+        for p in summary.patterns() {
+            // Precision is bounded by the α-tolerance over the context.
+            assert!(p.precision > 0.5, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn budget_limits_pattern_count() {
+        let ctx = context();
+        let summary = summarize(
+            &ctx,
+            SummaryParams { max_patterns: 3, coverage_target: 1.0, ..Default::default() },
+        )
+        .unwrap();
+        assert!(summary.len() <= 3);
+    }
+
+    #[test]
+    fn renders_like_ids_rules() {
+        let ctx = context();
+        let summary = summarize(&ctx, SummaryParams::default()).unwrap();
+        let p = &summary.patterns()[0];
+        let s = p.render(ctx.schema(), "Approved");
+        assert!(s.starts_with("IF "));
+        assert!(s.contains("THEN Prediction='Approved'"));
+    }
+
+    #[test]
+    fn empty_context_rejected() {
+        let ctx = context();
+        let empty = Context::empty(ctx.schema_arc());
+        assert!(summarize(&empty, SummaryParams::default()).is_err());
+    }
+
+    #[test]
+    fn matches_agrees_with_projection() {
+        let ctx = context();
+        let summary = summarize(&ctx, SummaryParams::default()).unwrap();
+        let p = &summary.patterns()[0];
+        // Rows counted in support must match the pattern.
+        let matches = ctx.instances().iter().filter(|x| p.matches(x)).count();
+        assert!(matches >= p.support, "support {} > matches {matches}", p.support);
+    }
+}

@@ -1,0 +1,192 @@
+//! The serving-loop integration point: a transparent prediction recorder.
+//!
+//! CCE's context is "inference instances and their predictions, collected
+//! at the client side" (§6). [`Recorder`] is that collection step as a
+//! drop-in wrapper: it forwards predictions to the wrapped model (local or
+//! a stub for a remote service) and logs every `(instance, prediction)`
+//! pair into either an unbounded [`Context`] or a bounded
+//! [`SlidingWindow`] — after which the explanation APIs never touch the
+//! model again.
+
+use std::sync::Arc;
+
+use cce_dataset::{Instance, Label, Schema};
+use cce_model::Model;
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+use crate::srk::Srk;
+use crate::window::{ResolutionPolicy, SlidingWindow};
+
+/// Where recorded observations accumulate.
+#[derive(Debug, Clone)]
+enum Store {
+    Unbounded(Context),
+    Windowed(SlidingWindow),
+}
+
+/// A model wrapper that records every served prediction as context.
+#[derive(Debug, Clone)]
+pub struct Recorder<M> {
+    model: M,
+    store: Store,
+}
+
+impl<M: Model> Recorder<M> {
+    /// Records into an unbounded context (batch-mode CCE).
+    pub fn unbounded(model: M, schema: Arc<Schema>) -> Self {
+        Self { model, store: Store::Unbounded(Context::empty(schema)) }
+    }
+
+    /// Records into a sliding window of at most `capacity` instances,
+    /// sliding `delta` at a time (for dynamic models / bounded clients).
+    pub fn windowed(model: M, schema: Arc<Schema>, capacity: usize, delta: usize) -> Self {
+        Self {
+            model,
+            store: Store::Windowed(SlidingWindow::new(
+                schema,
+                capacity,
+                delta,
+                Alpha::ONE,
+                ResolutionPolicy::LastWins,
+            )),
+        }
+    }
+
+    /// Serves one prediction, recording it.
+    ///
+    /// # Panics
+    /// Panics if the instance width differs from the schema (the serving
+    /// path should never produce malformed inputs).
+    pub fn serve(&mut self, x: &Instance) -> Label {
+        let pred = self.model.predict(x);
+        match &mut self.store {
+            Store::Unbounded(ctx) => ctx.push(x.clone(), pred).expect("serving-path width"),
+            Store::Windowed(w) => w.push(x.clone(), pred).expect("serving-path width"),
+        }
+        pred
+    }
+
+    /// Serves a batch.
+    pub fn serve_all(&mut self, xs: &[Instance]) -> Vec<Label> {
+        xs.iter().map(|x| self.serve(x)).collect()
+    }
+
+    /// A snapshot of the recorded context.
+    pub fn context(&self) -> Context {
+        match &self.store {
+            Store::Unbounded(ctx) => ctx.clone(),
+            Store::Windowed(w) => w.context(),
+        }
+    }
+
+    /// Observations currently recorded.
+    pub fn len(&self) -> usize {
+        match &self.store {
+            Store::Unbounded(ctx) => ctx.len(),
+            Store::Windowed(w) => w.len(),
+        }
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all recorded context — the Appendix B path for when the client
+    /// *knows* the served model just changed and stale context must go.
+    pub fn reset(&mut self) {
+        match &mut self.store {
+            Store::Unbounded(ctx) => *ctx = Context::empty(ctx.schema_arc()),
+            Store::Windowed(w) => w.reset(),
+        }
+    }
+
+    /// Explains a previously served instance against the recorded context
+    /// (no model access — the prediction comes from the record).
+    ///
+    /// # Errors
+    /// The instance must have been served; otherwise
+    /// [`ExplainError::TargetOutOfRange`] is returned.
+    pub fn explain(&self, x: &Instance, alpha: Alpha) -> Result<RelativeKey, ExplainError> {
+        let ctx = self.context();
+        let row = ctx
+            .instances()
+            .iter()
+            .position(|y| y == x)
+            .ok_or(ExplainError::TargetOutOfRange { target: usize::MAX, len: ctx.len() })?;
+        Srk::new(alpha).explain(&ctx, row)
+    }
+
+    /// The wrapped model (e.g. for accuracy evaluation in tests).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec};
+    use cce_model::{Gbdt, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (cce_dataset::Dataset, Gbdt) {
+        let ds = synth::loan::generate(300, 7).encode(&BinSpec::uniform(8));
+        let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(1));
+        let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        (infer, model)
+    }
+
+    #[test]
+    fn records_exactly_what_it_serves() {
+        let (infer, model) = setup();
+        let mut rec = Recorder::unbounded(model, infer.schema_arc());
+        let preds = rec.serve_all(infer.instances());
+        assert_eq!(rec.len(), infer.len());
+        let ctx = rec.context();
+        for (i, p) in preds.iter().enumerate() {
+            assert_eq!(ctx.prediction(i), *p);
+            assert_eq!(ctx.instance(i), infer.instance(i));
+        }
+    }
+
+    #[test]
+    fn explains_served_instances_only() {
+        let (infer, model) = setup();
+        let mut rec = Recorder::unbounded(model, infer.schema_arc());
+        rec.serve_all(infer.instances());
+        let served = infer.instance(5);
+        let key = rec.explain(served, Alpha::ONE).unwrap();
+        assert!(rec.context().is_alpha_key(key.features(), 5, Alpha::ONE));
+        // An instance never served has no recorded prediction to explain.
+        let n = infer.schema().n_features();
+        let ghost = Instance::new(vec![u32::MAX; n]);
+        assert!(rec.explain(&ghost, Alpha::ONE).is_err());
+    }
+
+    #[test]
+    fn windowed_recorder_bounds_memory() {
+        let (infer, model) = setup();
+        let mut rec = Recorder::windowed(model, infer.schema_arc(), 40, 10);
+        rec.serve_all(infer.instances());
+        assert!(rec.len() <= 50);
+        assert!(rec.len() >= 40);
+    }
+
+    #[test]
+    fn reset_clears_context() {
+        let (infer, model) = setup();
+        let mut rec = Recorder::unbounded(model, infer.schema_arc());
+        rec.serve_all(&infer.instances()[..30]);
+        assert!(!rec.is_empty());
+        rec.reset();
+        assert!(rec.is_empty());
+        // Serving resumes cleanly after a reset.
+        rec.serve(infer.instance(0));
+        assert_eq!(rec.len(), 1);
+    }
+}

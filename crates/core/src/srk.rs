@@ -1,0 +1,316 @@
+//! Algorithm 1 — SRK: greedy computation of succinct relative keys.
+//!
+//! SRK picks features one at a time, each time choosing the feature that
+//! minimizes the number of remaining *violators*: context instances that
+//! agree with the target on every selected feature yet carry a different
+//! prediction. It stops as soon as the violator count drops within the
+//! tolerance `⌊(1 - α)·|I|⌋`.
+//!
+//! Guarantees (paper §4): runs in `O(n²·|I|)` time and always returns an
+//! α-conformant key whose succinctness is within `ln(α·|I|)` of the
+//! optimum (Lemma 3) — computing the optimum itself is NP-complete
+//! (Theorem 1).
+//!
+//! Implementation note: rather than re-scanning the whole context per
+//! iteration (the literal reading of Algorithm 1), we maintain the
+//! *current violator set* and shrink it as features are picked. The
+//! selected features and the result are identical; only wall-clock
+//! improves (see the `ablation` bench).
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+
+/// The greedy batch explainer.
+///
+/// ```
+/// use cce_core::{Alpha, Context, Srk};
+/// use cce_dataset::{FeatureDef, Instance, Label, Schema};
+/// use std::sync::Arc;
+///
+/// // A tiny context: (Income, Credit) → decision.
+/// let schema = Arc::new(Schema::new(vec![
+///     FeatureDef::categorical("Income", &["low", "high"]),
+///     FeatureDef::categorical("Credit", &["poor", "good"]),
+/// ]));
+/// let ctx = Context::new(
+///     schema,
+///     vec![
+///         Instance::new(vec![0, 0]), // low income, poor credit → denied
+///         Instance::new(vec![1, 0]), // high income, poor credit → approved
+///         Instance::new(vec![0, 1]), // low income, good credit → approved
+///     ],
+///     vec![Label(0), Label(1), Label(1)],
+/// );
+///
+/// // Explaining row 0 needs both features: each alone admits a violator.
+/// let key = Srk::new(Alpha::ONE).explain(&ctx, 0)?;
+/// assert_eq!(key.succinctness(), 2);
+/// assert!(ctx.is_alpha_key(key.features(), 0, Alpha::ONE));
+/// # Ok::<(), cce_core::ExplainError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Srk {
+    alpha: Alpha,
+}
+
+impl Srk {
+    /// An explainer targeting conformity bound `alpha`.
+    pub fn new(alpha: Alpha) -> Self {
+        Self { alpha }
+    }
+
+    /// The configured conformity bound.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Computes an α-conformant key for the instance at `target` relative
+    /// to `ctx`.
+    ///
+    /// # Errors
+    /// * [`ExplainError::EmptyContext`] / [`ExplainError::TargetOutOfRange`]
+    ///   on bad inputs;
+    /// * [`ExplainError::NoConformantKey`] when contradicting instances
+    ///   (identical to the target, different prediction) exceed the
+    ///   tolerance, so no feature subset can work.
+    pub fn explain(&self, ctx: &Context, target: usize) -> Result<RelativeKey, ExplainError> {
+        ctx.check_target(target)?;
+        let n = ctx.schema().n_features();
+        let tolerance = self.alpha.tolerance(ctx.len());
+        let x0 = ctx.instance(target).clone();
+
+        // Live violators: rows with a different prediction that still agree
+        // with x0 on everything picked so far — and, for tie-breaking, the
+        // live *supporters*: same-prediction rows still agreeing.
+        let mut violators = ctx.differing_rows(target);
+        let p0 = ctx.prediction(target);
+        let mut supporters: Vec<u32> = (0..ctx.len() as u32)
+            .filter(|&r| ctx.prediction(r as usize) == p0)
+            .collect();
+        let mut picked: Vec<usize> = Vec::new();
+        let mut in_key = vec![false; n];
+
+        while violators.len() > tolerance {
+            if picked.len() == n {
+                // All features used and still too many violators: those left
+                // are contradictions.
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: violators.len(),
+                    tolerance,
+                });
+            }
+            // Pick the feature minimizing surviving violators (Algorithm 1
+            // line 5). Ties are broken toward the feature keeping the most
+            // supporters — explanations that "apply to more instances"
+            // (§2) — then toward the lowest index for determinism. The
+            // tie-break does not affect the Lemma 3 bound, which holds for
+            // any argmin choice.
+            let mut best_feat = usize::MAX;
+            let mut best = (usize::MAX, usize::MAX); // (violators, -coverage)
+            for f in 0..n {
+                if in_key[f] {
+                    continue;
+                }
+                let surv = violators
+                    .iter()
+                    .filter(|&&r| ctx.instance(r as usize)[f] == x0[f])
+                    .count();
+                if surv > best.0 {
+                    continue;
+                }
+                let cover = supporters
+                    .iter()
+                    .filter(|&&r| ctx.instance(r as usize)[f] == x0[f])
+                    .count();
+                let cand = (surv, usize::MAX - cover);
+                if cand < best {
+                    best = cand;
+                    best_feat = f;
+                }
+            }
+            in_key[best_feat] = true;
+            picked.push(best_feat);
+            violators.retain(|&r| ctx.instance(r as usize)[best_feat] == x0[best_feat]);
+            supporters.retain(|&r| ctx.instance(r as usize)[best_feat] == x0[best_feat]);
+        }
+
+        let achieved = 1.0 - violators.len() as f64 / ctx.len() as f64;
+        Ok(RelativeKey::new(picked, self.alpha, achieved))
+    }
+
+    /// Reference implementation that re-scans the context every iteration —
+    /// the literal Algorithm 1. Kept for the ablation benchmark and for
+    /// differential testing against the optimized version.
+    pub fn explain_naive(&self, ctx: &Context, target: usize) -> Result<RelativeKey, ExplainError> {
+        ctx.check_target(target)?;
+        let n = ctx.schema().n_features();
+        let tolerance = self.alpha.tolerance(ctx.len());
+        let mut picked: Vec<usize> = Vec::new();
+        let mut in_key = vec![false; n];
+
+        while ctx.count_violators(&picked, target) > tolerance {
+            if picked.len() == n {
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: ctx.count_violators(&picked, target),
+                    tolerance,
+                });
+            }
+            let mut candidate = picked.clone();
+            let mut best_feat = usize::MAX;
+            let mut best = (usize::MAX, usize::MAX);
+            for (f, &used) in in_key.iter().enumerate() {
+                if used {
+                    continue;
+                }
+                candidate.push(f);
+                let v = ctx.count_violators(&candidate, target);
+                let cover = ctx.covered_rows(&candidate, target).len();
+                candidate.pop();
+                let cand = (v, usize::MAX - cover);
+                if cand < best {
+                    best = cand;
+                    best_feat = f;
+                }
+            }
+            in_key[best_feat] = true;
+            picked.push(best_feat);
+        }
+        let achieved = 1.0 - ctx.count_violators(&picked, target) as f64 / ctx.len() as f64;
+        Ok(RelativeKey::new(picked, self.alpha, achieved))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::figure2;
+    use cce_dataset::{synth, BinSpec, Instance, Label};
+    use cce_model::{Gbdt, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn example6_alpha_one_picks_credit_then_income() {
+        let (ctx, x0) = figure2();
+        let key = Srk::new(Alpha::ONE).explain(&ctx, x0).unwrap();
+        // SRK first picks Credit (1 violator), then Income (0 violators).
+        assert_eq!(key.features(), &[2, 1], "Credit then Income");
+        assert_eq!(key.succinctness(), 2);
+        assert_eq!(key.achieved_conformity(), 1.0);
+        assert!(ctx.is_alpha_key(key.features(), x0, Alpha::ONE));
+    }
+
+    #[test]
+    fn example6_six_sevenths_returns_credit_only() {
+        let (ctx, x0) = figure2();
+        let alpha = Alpha::new(6.0 / 7.0).unwrap();
+        let key = Srk::new(alpha).explain(&ctx, x0).unwrap();
+        assert_eq!(key.features(), &[2], "Credit alone");
+        assert!(ctx.is_alpha_key(key.features(), x0, alpha));
+        assert!((key.achieved_conformity() - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn naive_and_optimized_agree() {
+        let raw = synth::loan::generate(300, 21);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let ctx = crate::Context::from_recorded(&ds);
+        let srk = Srk::new(Alpha::ONE);
+        let srk9 = Srk::new(Alpha::new(0.9).unwrap());
+        for t in (0..ctx.len()).step_by(17) {
+            // Label noise can create genuine contradictions; both variants
+            // must then agree on the error as well.
+            assert_eq!(
+                srk.explain(&ctx, t),
+                srk.explain_naive(&ctx, t),
+                "target {t} (α=1)"
+            );
+            assert_eq!(
+                srk9.explain(&ctx, t),
+                srk9.explain_naive(&ctx, t),
+                "target {t} (α=0.9)"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_always_alpha_conformant() {
+        let raw = synth::compas::generate(400, 5);
+        let ds = raw.encode(&BinSpec::uniform(10));
+        let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(2));
+        let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        let ctx = crate::Context::from_model(&infer, &model);
+        for &a in &[1.0, 0.95, 0.9] {
+            let alpha = Alpha::new(a).unwrap();
+            let srk = Srk::new(alpha);
+            for t in (0..ctx.len()).step_by(13) {
+                let key = srk.explain(&ctx, t).unwrap();
+                assert!(
+                    ctx.is_alpha_key(key.features(), t, alpha),
+                    "α={a}, target {t}, key {:?}",
+                    key.features()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_alpha_never_longer() {
+        let raw = synth::german::generate(400, 6);
+        let ds = raw.encode(&BinSpec::uniform(10));
+        let ctx = crate::Context::from_recorded(&ds);
+        for t in (0..ctx.len()).step_by(29) {
+            let k1 = Srk::new(Alpha::ONE).explain(&ctx, t).unwrap();
+            let k9 = Srk::new(Alpha::new(0.9).unwrap()).explain(&ctx, t).unwrap();
+            assert!(
+                k9.succinctness() <= k1.succinctness(),
+                "relaxing α should not lengthen keys (target {t})"
+            );
+        }
+    }
+
+    #[test]
+    fn contradictions_are_detected() {
+        let (mut ctx, x0) = figure2();
+        // A doppelgänger of x0 with the opposite prediction: no key exists.
+        let twin = ctx.instance(x0).clone();
+        ctx.push(twin, Label(1)).unwrap();
+        let err = Srk::new(Alpha::ONE).explain(&ctx, x0).unwrap_err();
+        assert!(matches!(
+            err,
+            ExplainError::NoConformantKey { contradictions: 1, tolerance: 0 }
+        ));
+        // A relaxed bound tolerates it.
+        let key = Srk::new(Alpha::new(0.8).unwrap()).explain(&ctx, x0).unwrap();
+        assert!(ctx.is_alpha_key(key.features(), x0, Alpha::new(0.8).unwrap()));
+    }
+
+    #[test]
+    fn single_instance_context_gives_empty_key() {
+        let (ctx, _) = figure2();
+        let schema = ctx.schema_arc();
+        let mut solo = crate::Context::empty(schema);
+        solo.push(Instance::new(vec![0, 0, 0, 0]), Label(0)).unwrap();
+        let key = Srk::new(Alpha::ONE).explain(&solo, 0).unwrap();
+        assert_eq!(key.succinctness(), 0, "nothing to distinguish from");
+    }
+
+    #[test]
+    fn uniform_prediction_context_gives_empty_key() {
+        let (ctx, _) = figure2();
+        let mut all_same = crate::Context::empty(ctx.schema_arc());
+        for i in 0..5u32 {
+            all_same.push(Instance::new(vec![i % 2, i % 3, i % 2, i % 3]), Label(0)).unwrap();
+        }
+        let key = Srk::new(Alpha::ONE).explain(&all_same, 2).unwrap();
+        assert_eq!(key.succinctness(), 0);
+    }
+
+    #[test]
+    fn errors_on_bad_target() {
+        let (ctx, _) = figure2();
+        assert!(Srk::new(Alpha::ONE).explain(&ctx, 99).is_err());
+    }
+}

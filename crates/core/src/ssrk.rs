@@ -1,0 +1,415 @@
+//! Algorithm 3 — SSRK: deterministic online monitoring for static
+//! features.
+//!
+//! When the universe `𝕌` of possible instances and their predictions is
+//! known in advance (e.g. materialized recommendation scores, §5.3) and
+//! only the *arrival order* is online, a deterministic monitor becomes
+//! possible despite Theorem 4: SSRK is `(log m · log n)`-competitive
+//! (Theorem 6).
+//!
+//! SSRK drives key growth with a potential function
+//! `Φ = Σ_{xⱼ∈U} m^{2μⱼ}` over the not-yet-covered differing-prediction
+//! universe instances. `m^{2μ}` overflows `f64` for any realistic `m`, so
+//! we keep Φ in **log-domain** (log-sum-exp); the `ablation` bench
+//! demonstrates the naive form failing.
+
+use cce_dataset::{Instance, Label};
+
+use crate::alpha::Alpha;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+
+/// The deterministic online key monitor with a known universe.
+#[derive(Debug, Clone)]
+pub struct SsrkMonitor {
+    x0: Instance,
+    pred0: Label,
+    alpha: Alpha,
+    /// Universe size `m` (all instances, both prediction classes).
+    m: usize,
+    /// Universe instances with predictions different from the target
+    /// (`U = 𝕌^c_{M(x₀)}` at initialization).
+    uni: Vec<Instance>,
+    /// Per-feature importance weights `wᵢ` (init `1/2n`).
+    weights: Vec<f64>,
+    /// Indices into `uni` that still agree with `x0` on the current key —
+    /// the algorithm's evolving `U`.
+    u_live: Vec<u32>,
+    /// Cached aggregated scores `μⱼ` for every `uni` instance.
+    mu: Vec<f64>,
+    /// Cached differing-feature sets `Sⱼ`.
+    s_sets: Vec<Vec<u16>>,
+    key: Vec<usize>,
+    in_key: Vec<bool>,
+    /// Log-domain potential `ln Φ`.
+    log_phi: f64,
+    // Context bookkeeping (identical role to OSRK's).
+    n_seen: usize,
+    live: Vec<Instance>,
+}
+
+impl SsrkMonitor {
+    /// Offline initialization (Algorithm 3 lines 1-5) over a universe of
+    /// `(instance, prediction)` pairs.
+    ///
+    /// # Panics
+    /// Panics if any universe instance width differs from the target's.
+    pub fn new(
+        x0: Instance,
+        pred0: Label,
+        alpha: Alpha,
+        universe: &[(Instance, Label)],
+    ) -> Self {
+        let n = x0.len();
+        assert!(universe.iter().all(|(x, _)| x.len() == n), "universe width mismatch");
+        let m = universe.len();
+        let weights = vec![1.0 / (2.0 * n as f64); n];
+        let uni: Vec<Instance> = universe
+            .iter()
+            .filter(|(_, p)| *p != pred0)
+            .map(|(x, _)| x.clone())
+            .collect();
+        let s_sets: Vec<Vec<u16>> = uni
+            .iter()
+            .map(|x| {
+                x.differing_features(&x0).into_iter().map(|f| f as u16).collect()
+            })
+            .collect();
+        let mu: Vec<f64> = s_sets
+            .iter()
+            .map(|s| s.iter().map(|&i| weights[i as usize]).sum())
+            .collect();
+        let u_live: Vec<u32> = (0..uni.len() as u32).collect();
+        let log_phi = log_potential(m, &mu, &u_live);
+        Self {
+            x0,
+            pred0,
+            alpha,
+            m,
+            uni,
+            weights,
+            u_live,
+            mu,
+            s_sets,
+            key: Vec::new(),
+            in_key: vec![false; n],
+            log_phi,
+            n_seen: 0,
+            live: Vec::new(),
+        }
+    }
+
+    /// The current key, in pick order.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Current succinctness.
+    pub fn succinctness(&self) -> usize {
+        self.key.len()
+    }
+
+    /// Instances observed so far.
+    pub fn n_seen(&self) -> usize {
+        self.n_seen
+    }
+
+    /// Current live violators over the arrived context.
+    pub fn n_violators(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The current log-domain potential `ln Φ`.
+    pub fn log_potential(&self) -> f64 {
+        self.log_phi
+    }
+
+    /// Recomputes `ln Φ` from scratch over the live universe (the cached
+    /// value is available via [`SsrkMonitor::log_potential`]); exposed for
+    /// the ablation benchmark.
+    pub fn recompute_log_potential(&self) -> f64 {
+        log_potential(self.m, &self.mu, &self.u_live)
+    }
+
+    /// The naive (non-log) potential `Φ = Σ m^{2μⱼ}` — overflows to
+    /// `f64::INFINITY` for moderate universes; exposed for the ablation
+    /// benchmark only.
+    pub fn naive_potential(&self) -> f64 {
+        self.u_live
+            .iter()
+            .map(|&j| (self.m as f64).powf(2.0 * self.mu[j as usize]))
+            .sum()
+    }
+
+    /// Snapshot of the current key.
+    pub fn to_relative_key(&self) -> RelativeKey {
+        let achieved = if self.n_seen == 0 {
+            1.0
+        } else {
+            1.0 - self.live.len() as f64 / self.n_seen as f64
+        };
+        RelativeKey::new(self.key.clone(), self.alpha, achieved)
+    }
+
+    /// Processes one arrival (Algorithm 3 lines 6-17) and returns the
+    /// updated key.
+    ///
+    /// # Errors
+    /// * [`ExplainError::WidthMismatch`] for a wrong-width instance;
+    /// * [`ExplainError::NoConformantKey`] for contradictions beyond the
+    ///   tolerance.
+    pub fn observe(&mut self, x: Instance, pred: Label) -> Result<&[usize], ExplainError> {
+        if x.len() != self.x0.len() {
+            return Err(ExplainError::WidthMismatch { expected: self.x0.len(), got: x.len() });
+        }
+        self.n_seen += 1;
+        if pred == self.pred0 {
+            // Line 7: the key never changes — but report lingering
+            // contradictions (the only way a same-prediction arrival can
+            // observe an invalid state).
+            let tolerance = self.alpha.tolerance(self.n_seen);
+            if self.live.len() > tolerance {
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: self.live.len(),
+                    tolerance,
+                });
+            }
+            return Ok(&self.key);
+        }
+        if x.agrees_on(&self.x0, &self.key) {
+            self.live.push(x.clone());
+        }
+        let tolerance = self.alpha.tolerance(self.n_seen);
+        if self.live.len() <= tolerance {
+            return Ok(&self.key); // line 8 condition not met
+        }
+
+        let mut s_t: Vec<usize> =
+            x.differing_features(&self.x0).into_iter().filter(|&f| !self.in_key[f]).collect();
+        if s_t.is_empty() {
+            return Err(ExplainError::NoConformantKey {
+                contradictions: self.live.len(),
+                tolerance,
+            });
+        }
+
+        // Line 9-10: weight augmentation by the minimal power of two that
+        // pushes the arrival's aggregated score above 1.
+        let mu_t: f64 = s_t.iter().map(|&i| self.weights[i]).sum();
+        let mut k = 0i32;
+        while 2f64.powi(k) * mu_t <= 1.0 && k < 64 {
+            k += 1;
+        }
+        if k > 0 {
+            let factor = 2f64.powi(k);
+            for &i in &s_t {
+                self.weights[i] *= factor;
+            }
+            // Refresh cached μⱼ for still-live universe instances.
+            for &j in &self.u_live {
+                let j = j as usize;
+                self.mu[j] = self.s_sets[j]
+                    .iter()
+                    .map(|&i| self.weights[i as usize])
+                    .sum();
+            }
+        }
+
+        // Lines 11-16: greedily add features while the updated potential
+        // exceeds the stored one. We additionally keep looping until the
+        // context is α-conformant again — covering the arrival requires at
+        // least one pick from Sₜ, which the strictly-increased potential
+        // guarantees the paper's loop makes as well.
+        let mut log_phi_new = log_potential(self.m, &self.mu, &self.u_live);
+        while (log_phi_new > self.log_phi + 1e-12 || self.live.len() > tolerance)
+            && !s_t.is_empty()
+        {
+            // Line 13: argmin over Sₜ of surviving universe violators.
+            let x0 = &self.x0;
+            let best = s_t
+                .iter()
+                .copied()
+                .min_by_key(|&i| {
+                    self.u_live
+                        .iter()
+                        .filter(|&&j| self.uni[j as usize][i] == x0[i])
+                        .count()
+                })
+                .expect("s_t non-empty");
+            // Line 14-15: commit the feature, shrink U.
+            self.in_key[best] = true;
+            self.key.push(best);
+            s_t.retain(|&f| f != best);
+            let x0 = &self.x0;
+            let uni = &self.uni;
+            self.u_live.retain(|&j| uni[j as usize][best] == x0[best]);
+            self.live.retain(|v| v[best] == x0[best]);
+            // Line 16: recompute Φ' over the shrunk U.
+            log_phi_new = log_potential(self.m, &self.mu, &self.u_live);
+        }
+        self.log_phi = log_phi_new; // line 17
+
+        if self.live.len() > tolerance {
+            return Err(ExplainError::NoConformantKey {
+                contradictions: self.live.len(),
+                tolerance,
+            });
+        }
+        Ok(&self.key)
+    }
+}
+
+/// `ln Σ_{j∈live} m^{2μⱼ}` computed stably via log-sum-exp.
+fn log_potential(m: usize, mu: &[f64], live: &[u32]) -> f64 {
+    if live.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let ln_m = (m.max(2) as f64).ln();
+    let terms = live.iter().map(|&j| 2.0 * mu[j as usize] * ln_m);
+    let max = terms.clone().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = terms.map(|t| (t - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec, Dataset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn universe_of(ds: &Dataset) -> Vec<(Instance, Label)> {
+        ds.iter().map(|(x, y)| (x.clone(), y)).collect()
+    }
+
+    #[test]
+    fn same_prediction_never_changes_key() {
+        let raw = synth::loan::generate(100, 2);
+        let ds = raw.encode(&BinSpec::uniform(6));
+        let uni = universe_of(&ds);
+        let mut m = SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, &uni);
+        let p0 = ds.label(0);
+        for (x, y) in ds.iter().filter(|(_, y)| *y == p0) {
+            m.observe(x.clone(), y).unwrap();
+            assert_eq!(m.succinctness(), 0);
+        }
+    }
+
+    #[test]
+    fn keys_stay_valid_and_coherent_over_stream() {
+        let raw = synth::loan::generate(250, 4);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let uni = universe_of(&ds);
+        let mut m = SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, &uni);
+        let mut ctx = crate::Context::from_recorded(&ds.head(1));
+        let mut prev: Vec<usize> = Vec::new();
+        for (x, y) in ds.iter().skip(1) {
+            m.observe(x.clone(), y).unwrap();
+            ctx.push(x.clone(), y).unwrap();
+            assert!(ctx.is_alpha_key(m.key(), 0, Alpha::ONE), "|I|={}", ctx.len());
+            assert!(prev.iter().all(|f| m.key().contains(f)), "coherence violated");
+            prev = m.key().to_vec();
+        }
+    }
+
+    #[test]
+    fn deterministic_no_seed_needed() {
+        let raw = synth::compas::generate(200, 8);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let uni = universe_of(&ds);
+        let run = || {
+            let mut m =
+                SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, &uni);
+            for (x, y) in ds.iter().skip(1) {
+                let _ = m.observe(x.clone(), y);
+            }
+            m.key().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn log_potential_is_finite_where_naive_overflows() {
+        // A large universe with inflated weights: the naive potential
+        // overflows while the log-domain one stays finite.
+        let mu = vec![50.0; 4000];
+        let live: Vec<u32> = (0..4000).collect();
+        let lp = log_potential(4000, &mu, &live);
+        assert!(lp.is_finite());
+        // 4000^100 ≈ 10^360 ≫ f64::MAX ≈ 1.8·10^308.
+        let naive: f64 = live.iter().map(|_| 4000f64.powf(100.0)).sum();
+        assert!(naive.is_infinite());
+    }
+
+    #[test]
+    fn relaxed_alpha_produces_shorter_or_equal_keys() {
+        let raw = synth::german::generate(300, 9);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let uni = universe_of(&ds);
+        let run = |alpha: Alpha| {
+            let mut m = SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), alpha, &uni);
+            for (x, y) in ds.iter().skip(1) {
+                let _ = m.observe(x.clone(), y);
+            }
+            m.succinctness()
+        };
+        let strict = run(Alpha::ONE);
+        let relaxed = run(Alpha::new(0.9).unwrap());
+        assert!(relaxed <= strict, "relaxed={relaxed} strict={strict}");
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let x0 = Instance::new(vec![0, 1]);
+        let uni = vec![(x0.clone(), Label(1))];
+        let mut m = SsrkMonitor::new(x0.clone(), Label(0), Alpha::ONE, &uni);
+        assert!(matches!(
+            m.observe(x0, Label(1)),
+            Err(ExplainError::NoConformantKey { .. })
+        ));
+    }
+
+    #[test]
+    fn ssrk_typically_no_worse_than_osrk_on_average() {
+        // §5.3: "in practice SSRK often outperforms OSRK in the quality of
+        // relative keys". Check on a small panel (average, not per-case).
+        let raw = synth::loan::generate(300, 14);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let uni = universe_of(&ds);
+        let mut total_ssrk = 0usize;
+        let mut total_osrk = 0usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        use rand::Rng;
+        for _ in 0..8 {
+            let t = rng.gen_range(0..ds.len());
+            let mut s =
+                SsrkMonitor::new(ds.instance(t).clone(), ds.label(t), Alpha::ONE, &uni);
+            let mut o = crate::OsrkMonitor::new(
+                ds.instance(t).clone(),
+                ds.label(t),
+                Alpha::ONE,
+                42,
+            );
+            for (i, (x, y)) in ds.iter().enumerate() {
+                if i == t {
+                    continue;
+                }
+                let _ = s.observe(x.clone(), y);
+                let _ = o.observe(x.clone(), y);
+            }
+            total_ssrk += s.succinctness();
+            total_osrk += o.succinctness();
+        }
+        assert!(
+            total_ssrk <= total_osrk + 2,
+            "ssrk={total_ssrk} osrk={total_osrk}"
+        );
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let x0 = Instance::new(vec![0, 1]);
+        let mut m = SsrkMonitor::new(x0, Label(0), Alpha::ONE, &[]);
+        assert!(m.observe(Instance::new(vec![0]), Label(1)).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Exact (exponential) minimum-key solver — the test oracle.
+//!
+//! MRKP is NP-complete (Theorem 1), so this brute-force solver enumerates
+//! feature subsets by increasing size and returns a most-succinct
+//! α-conformant key. It exists to *validate* the approximation guarantees
+//! of the polynomial algorithms on small inputs (SRK's `ln(α·|I|)` bound,
+//! the online algorithms' competitiveness) — never use it at scale.
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+
+/// Finds a most-succinct α-conformant key for `target` by exhaustive
+/// search over feature subsets (smallest size first; ties resolved in
+/// lexicographic order).
+///
+/// # Errors
+/// Same failure modes as [`crate::Srk::explain`].
+pub fn minimum_key(
+    ctx: &Context,
+    target: usize,
+    alpha: Alpha,
+) -> Result<RelativeKey, ExplainError> {
+    ctx.check_target(target)?;
+    let n = ctx.schema().n_features();
+    let tolerance = alpha.tolerance(ctx.len());
+
+    let mut subset: Vec<usize> = Vec::new();
+    for size in 0..=n {
+        subset.clear();
+        if let Some(found) = search(ctx, target, alpha, size, 0, &mut subset) {
+            return Ok(found);
+        }
+    }
+    Err(ExplainError::NoConformantKey {
+        contradictions: ctx.count_violators(&(0..n).collect::<Vec<_>>(), target),
+        tolerance,
+    })
+}
+
+/// The size of a most-succinct α-conformant key, if one exists.
+pub fn minimum_key_size(ctx: &Context, target: usize, alpha: Alpha) -> Option<usize> {
+    minimum_key(ctx, target, alpha).ok().map(|k| k.succinctness())
+}
+
+fn search(
+    ctx: &Context,
+    target: usize,
+    alpha: Alpha,
+    size: usize,
+    from: usize,
+    subset: &mut Vec<usize>,
+) -> Option<RelativeKey> {
+    if subset.len() == size {
+        return if ctx.is_alpha_key(subset, target, alpha) {
+            let achieved = ctx.max_alpha(subset, target);
+            Some(RelativeKey::new(subset.clone(), alpha, achieved))
+        } else {
+            None
+        };
+    }
+    let n = ctx.schema().n_features();
+    let remaining = size - subset.len();
+    for f in from..=n.saturating_sub(remaining) {
+        subset.push(f);
+        if let Some(found) = search(ctx, target, alpha, size, f + 1, subset) {
+            return Some(found);
+        }
+        subset.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::figure2;
+    use crate::srk::Srk;
+    use cce_dataset::{synth, BinSpec, Label};
+
+    #[test]
+    fn figure2_minimum_is_two_features() {
+        let (ctx, x0) = figure2();
+        let key = minimum_key(&ctx, x0, Alpha::ONE).unwrap();
+        assert_eq!(key.succinctness(), 2);
+        assert!(ctx.is_alpha_key(key.features(), x0, Alpha::ONE));
+    }
+
+    #[test]
+    fn figure2_minimum_with_relaxed_alpha_is_one() {
+        let (ctx, x0) = figure2();
+        let key = minimum_key(&ctx, x0, Alpha::new(6.0 / 7.0).unwrap()).unwrap();
+        assert_eq!(key.succinctness(), 1);
+    }
+
+    #[test]
+    fn detects_unsatisfiable() {
+        let (mut ctx, x0) = figure2();
+        let twin = ctx.instance(x0).clone();
+        ctx.push(twin, Label(1)).unwrap();
+        assert!(minimum_key(&ctx, x0, Alpha::ONE).is_err());
+        assert_eq!(minimum_key_size(&ctx, x0, Alpha::ONE), None);
+    }
+
+    #[test]
+    fn srk_respects_lemma3_bound_on_loan() {
+        // Lemma 3: succinct(SRK) <= ln(α·|I|) · OPT.
+        let raw = synth::loan::generate(120, 31);
+        let ds = raw.encode(&BinSpec::uniform(6));
+        let ctx = Context::from_recorded(&ds);
+        let bound_factor = (ctx.len() as f64).ln();
+        for t in (0..ctx.len()).step_by(11) {
+            let srk = Srk::new(Alpha::ONE).explain(&ctx, t).unwrap();
+            let opt = minimum_key(&ctx, t, Alpha::ONE).unwrap();
+            assert!(
+                srk.succinctness() as f64 <= (bound_factor * opt.succinctness() as f64).max(1.0),
+                "target {t}: srk={} opt={} bound={bound_factor}",
+                srk.succinctness(),
+                opt.succinctness()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_key_when_target_is_unique_class() {
+        let (ctx, _) = figure2();
+        let mut uniform = Context::empty(ctx.schema_arc());
+        for i in 0..4u32 {
+            uniform
+                .push(cce_dataset::Instance::new(vec![i % 2, 0, 0, 0]), Label(0))
+                .unwrap();
+        }
+        let key = minimum_key(&uniform, 0, Alpha::ONE).unwrap();
+        assert_eq!(key.succinctness(), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Sliding-window contexts for dynamic models (Appendix B, Exp-4).
+//!
+//! When the served model evolves *without notifying the client*, CCE keeps
+//! the context fresh with a sliding window: every `ΔI` arrivals it drops
+//! the `ΔI` oldest instances. An instance explained under several
+//! overlapping windows can receive different keys; a [`ResolutionPolicy`]
+//! reconciles them (the paper's First-wins / Last-wins / Union-key, with
+//! Last-wins the default).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cce_dataset::{Instance, Label, Schema};
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::key::RelativeKey;
+use crate::srk::Srk;
+
+/// How keys from overlapping windows are reconciled for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolutionPolicy {
+    /// Keep the key from the earliest context that explained the instance.
+    FirstWins,
+    /// Keep the key from the latest context (the paper's default).
+    #[default]
+    LastWins,
+    /// Union of all keys computed for the instance.
+    UnionKey,
+}
+
+/// A bounded, sliding explanation context.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    schema: Arc<Schema>,
+    capacity: usize,
+    delta: usize,
+    alpha: Alpha,
+    policy: ResolutionPolicy,
+    buffer: VecDeque<(Instance, Label)>,
+    /// Arrivals since the last slide; sliding happens in ΔI granules.
+    staged: usize,
+    /// Resolved keys per explained instance.
+    resolved: HashMap<Instance, RelativeKey>,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` instances, sliding by
+    /// `delta` (`ΔI`) at a time.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0` or `delta == 0` or `delta > capacity`.
+    pub fn new(
+        schema: Arc<Schema>,
+        capacity: usize,
+        delta: usize,
+        alpha: Alpha,
+        policy: ResolutionPolicy,
+    ) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(delta > 0 && delta <= capacity, "ΔI must be in 1..=capacity");
+        Self {
+            schema,
+            capacity,
+            delta,
+            alpha,
+            policy,
+            buffer: VecDeque::with_capacity(capacity + delta),
+            staged: 0,
+            resolved: HashMap::new(),
+        }
+    }
+
+    /// Number of instances currently in the window.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when the window holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Pushes one serving-time observation, sliding the window in `ΔI`
+    /// granules once it is full.
+    ///
+    /// # Errors
+    /// [`ExplainError::WidthMismatch`] on a wrong-width instance.
+    pub fn push(&mut self, x: Instance, pred: Label) -> Result<(), ExplainError> {
+        if x.len() != self.schema.n_features() {
+            return Err(ExplainError::WidthMismatch {
+                expected: self.schema.n_features(),
+                got: x.len(),
+            });
+        }
+        self.buffer.push_back((x, pred));
+        if self.buffer.len() > self.capacity {
+            self.staged += 1;
+            if self.staged >= self.delta {
+                for _ in 0..self.staged {
+                    self.buffer.pop_front();
+                }
+                self.staged = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the current window as a [`Context`].
+    pub fn context(&self) -> Context {
+        let (xs, ps): (Vec<_>, Vec<_>) = self.buffer.iter().cloned().unzip();
+        Context::new(Arc::clone(&self.schema), xs, ps)
+    }
+
+    /// Explains `(x, pred)` against the current window, reconciling with
+    /// previous keys for the same instance under the configured policy.
+    ///
+    /// The instance does not need to be in the window; it joins the
+    /// context temporarily as the target.
+    ///
+    /// # Errors
+    /// Failure modes of [`Srk::explain`].
+    pub fn explain(&mut self, x: &Instance, pred: Label) -> Result<RelativeKey, ExplainError> {
+        let mut ctx = self.context();
+        ctx.push(x.clone(), pred)?;
+        let target = ctx.len() - 1;
+        let fresh = Srk::new(self.alpha).explain(&ctx, target)?;
+
+        let resolved = match (self.policy, self.resolved.get(x)) {
+            (ResolutionPolicy::FirstWins, Some(prev)) => prev.clone(),
+            (ResolutionPolicy::UnionKey, Some(prev)) => {
+                let mut feats = prev.features().to_vec();
+                for &f in fresh.features() {
+                    if !feats.contains(&f) {
+                        feats.push(f);
+                    }
+                }
+                let achieved = ctx.max_alpha(&feats, target);
+                RelativeKey::new(feats, self.alpha, achieved)
+            }
+            _ => fresh,
+        };
+        self.resolved.insert(x.clone(), resolved.clone());
+        Ok(resolved)
+    }
+
+    /// The currently resolved key for an instance, if it was explained.
+    pub fn resolved_key(&self, x: &Instance) -> Option<&RelativeKey> {
+        self.resolved.get(x)
+    }
+
+    /// Drops the buffered context and resolved keys — the Appendix B path
+    /// for a *known* model change ("CCE naturally cleans its context and
+    /// switches to inference instances ... from the updated M").
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.staged = 0;
+        self.resolved.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec};
+
+    fn setup(policy: ResolutionPolicy, capacity: usize, delta: usize) -> (SlidingWindow, cce_dataset::Dataset) {
+        let raw = synth::loan::generate(400, 3);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let w = SlidingWindow::new(ds.schema_arc(), capacity, delta, Alpha::ONE, policy);
+        (w, ds)
+    }
+
+    #[test]
+    fn window_respects_capacity_and_delta() {
+        let (mut w, ds) = setup(ResolutionPolicy::LastWins, 50, 10);
+        for (x, y) in ds.iter().take(200) {
+            w.push(x.clone(), y).unwrap();
+            assert!(w.len() <= 50 + 10, "len={}", w.len());
+        }
+        assert!(w.len() >= 50);
+    }
+
+    #[test]
+    fn explains_against_current_window() {
+        let (mut w, ds) = setup(ResolutionPolicy::LastWins, 80, 20);
+        for (x, y) in ds.iter().take(100) {
+            w.push(x.clone(), y).unwrap();
+        }
+        let (x, y) = (ds.instance(150), ds.label(150));
+        let key = w.explain(x, y).unwrap();
+        let mut ctx = w.context();
+        ctx.push(x.clone(), y).unwrap();
+        assert!(ctx.is_alpha_key(key.features(), ctx.len() - 1, Alpha::ONE));
+    }
+
+    #[test]
+    fn first_wins_keeps_initial_key() {
+        let (mut w, ds) = setup(ResolutionPolicy::FirstWins, 60, 20);
+        for (x, y) in ds.iter().take(60) {
+            w.push(x.clone(), y).unwrap();
+        }
+        let (x, y) = (ds.instance(200).clone(), ds.label(200));
+        let k1 = w.explain(&x, y).unwrap();
+        for (xi, yi) in ds.iter().skip(60).take(120) {
+            w.push(xi.clone(), yi).unwrap();
+        }
+        let k2 = w.explain(&x, y).unwrap();
+        assert_eq!(k1, k2, "first-wins must freeze the key");
+    }
+
+    #[test]
+    fn union_key_accumulates_features() {
+        let (mut w, ds) = setup(ResolutionPolicy::UnionKey, 60, 20);
+        for (x, y) in ds.iter().take(60) {
+            w.push(x.clone(), y).unwrap();
+        }
+        let (x, y) = (ds.instance(200).clone(), ds.label(200));
+        let k1 = w.explain(&x, y).unwrap();
+        for (xi, yi) in ds.iter().skip(60).take(200) {
+            w.push(xi.clone(), yi).unwrap();
+        }
+        let k2 = w.explain(&x, y).unwrap();
+        for f in k1.features() {
+            assert!(k2.features().contains(f), "union must keep feature {f}");
+        }
+    }
+
+    #[test]
+    fn last_wins_reflects_latest_window() {
+        let (mut w, ds) = setup(ResolutionPolicy::LastWins, 60, 20);
+        for (x, y) in ds.iter().take(60) {
+            w.push(x.clone(), y).unwrap();
+        }
+        let (x, y) = (ds.instance(200).clone(), ds.label(200));
+        let _ = w.explain(&x, y).unwrap();
+        for (xi, yi) in ds.iter().skip(60).take(120) {
+            w.push(xi.clone(), yi).unwrap();
+        }
+        let k2 = w.explain(&x, y).unwrap();
+        assert_eq!(w.resolved_key(&x), Some(&k2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ΔI")]
+    fn rejects_bad_delta() {
+        let raw = synth::loan::generate(50, 3);
+        let ds = raw.encode(&BinSpec::uniform(4));
+        let _ = SlidingWindow::new(ds.schema_arc(), 10, 0, Alpha::ONE, Default::default());
+    }
+}

@@ -1,0 +1,294 @@
+//! Discretization of numeric columns.
+//!
+//! The paper's methods operate over discrete features; numeric columns are
+//! partitioned into buckets ("#-bucket" in §7.3). [`Binning`] stores the cut
+//! points for one column and maps raw values to bucket codes; [`BinSpec`]
+//! lets an experiment override the bucket count of individual features, as
+//! the Fig. 3h/3i/4d experiments do for `LoanAmount`.
+
+use crate::instance::Cat;
+
+/// How cut points are chosen when fitting a [`Binning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BinningStrategy {
+    /// Buckets of equal numeric width between the observed min and max.
+    #[default]
+    EqualWidth,
+    /// Buckets holding (approximately) equal numbers of observations.
+    Quantile,
+}
+
+/// Fitted discretization for a single numeric column.
+///
+/// A binning with `k` buckets stores `k - 1` strictly increasing cut points
+/// `edges`; value `v` falls in bucket `i` where `i` is the number of edges
+/// `<= v`.
+///
+/// ```
+/// use cce_dataset::{Binning, BinningStrategy};
+///
+/// let values: Vec<f64> = (0..100).map(f64::from).collect();
+/// let b = Binning::fit(&values, 4, BinningStrategy::EqualWidth);
+/// assert_eq!(b.buckets(), 4);
+/// assert_eq!(b.bucket_of(10.0), 0);
+/// assert_eq!(b.bucket_of(60.0), 2);
+/// assert_eq!(b.bucket_of(1e9), 3, "out-of-range values clamp");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binning {
+    edges: Vec<f64>,
+    /// Observed range, kept for rendering bucket labels such as `"3-4K"`.
+    lo: f64,
+    hi: f64,
+}
+
+impl Binning {
+    /// Fits a binning with `buckets` buckets over `values`.
+    ///
+    /// Degenerate inputs are handled conservatively: constant or empty
+    /// columns produce a single bucket; requested bucket counts are clamped
+    /// to at least 1 and duplicate quantile cut points are deduplicated (so
+    /// the realized bucket count can be lower than requested for heavily
+    /// tied data).
+    pub fn fit(values: &[f64], buckets: usize, strategy: BinningStrategy) -> Self {
+        let buckets = buckets.max(1);
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Self { edges: Vec::new(), lo: 0.0, hi: 0.0 };
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo == hi || buckets == 1 {
+            return Self { edges: Vec::new(), lo, hi };
+        }
+        let mut edges = match strategy {
+            BinningStrategy::EqualWidth => {
+                let width = (hi - lo) / buckets as f64;
+                (1..buckets).map(|i| lo + width * i as f64).collect::<Vec<_>>()
+            }
+            BinningStrategy::Quantile => {
+                let mut sorted = finite.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+                (1..buckets)
+                    .map(|i| {
+                        let rank = i * sorted.len() / buckets;
+                        sorted[rank.min(sorted.len() - 1)]
+                    })
+                    .collect::<Vec<_>>()
+            }
+        };
+        edges.dedup();
+        // Edges equal to the minimum would create an empty first bucket.
+        edges.retain(|&e| e > lo);
+        Self { edges, lo, hi }
+    }
+
+    /// Reconstructs a binning from raw parts (the schema-sidecar loader).
+    ///
+    /// # Panics
+    /// Panics unless `edges` is strictly increasing and within `(lo, hi]`.
+    pub fn from_parts(edges: Vec<f64>, lo: f64, hi: f64) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        assert!(
+            edges.iter().all(|&e| e > lo && e <= hi),
+            "edges must lie within (lo, hi]"
+        );
+        Self { edges, lo, hi }
+    }
+
+    /// The cut points (`buckets() - 1` of them).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Smallest observed value.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Largest observed value.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of buckets (always at least 1).
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Maps a raw value to its bucket code.
+    #[inline]
+    pub fn bucket_of(&self, v: f64) -> Cat {
+        // Branchless-ish linear scan; bucket counts are small (<= ~20).
+        self.edges.iter().take_while(|&&e| v >= e).count() as Cat
+    }
+
+    /// A representative raw value for bucket `b` (the interval midpoint) —
+    /// used by models that consume real-valued inputs decoded from bucket
+    /// codes (e.g. the entity matcher).
+    pub fn midpoint(&self, b: Cat) -> f64 {
+        let b = b as usize;
+        let lo = if b == 0 { self.lo } else { self.edges[b - 1] };
+        let hi = if b >= self.edges.len() { self.hi } else { self.edges[b] };
+        (lo + hi) / 2.0
+    }
+
+    /// Human-readable label of bucket `b`, e.g. `"[3000, 4000)"`.
+    pub fn label(&self, b: Cat) -> String {
+        let b = b as usize;
+        let lo = if b == 0 { self.lo } else { self.edges[b - 1] };
+        let hi = if b >= self.edges.len() { self.hi } else { self.edges[b] };
+        let (lo, hi) = (fmt_edge(lo), fmt_edge(hi));
+        if b >= self.edges.len() {
+            format!("[{lo}, {hi}]")
+        } else {
+            format!("[{lo}, {hi})")
+        }
+    }
+}
+
+/// Compact rendering of an interval edge: whole numbers for large
+/// magnitudes, a few decimals otherwise.
+fn fmt_edge(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Per-feature bucket-count overrides used when encoding a
+/// [`crate::RawDataset`].
+///
+/// The default bucket count applies to every numeric feature not named in
+/// `overrides`.
+#[derive(Debug, Clone)]
+pub struct BinSpec {
+    default_buckets: usize,
+    strategy: BinningStrategy,
+    overrides: Vec<(String, usize)>,
+}
+
+impl BinSpec {
+    /// A spec discretizing every numeric feature into `default_buckets`
+    /// equal-width buckets.
+    pub fn uniform(default_buckets: usize) -> Self {
+        Self { default_buckets, strategy: BinningStrategy::EqualWidth, overrides: Vec::new() }
+    }
+
+    /// Switches the cut-point strategy.
+    pub fn with_strategy(mut self, strategy: BinningStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the bucket count of the feature named `feature`.
+    pub fn with_override(mut self, feature: &str, buckets: usize) -> Self {
+        self.overrides.push((feature.to_string(), buckets));
+        self
+    }
+
+    /// Bucket count for the feature named `name`.
+    pub fn buckets_for(&self, name: &str) -> usize {
+        self.overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, b)| b)
+            .unwrap_or(self.default_buckets)
+    }
+
+    /// The cut-point strategy.
+    pub fn strategy(&self) -> BinningStrategy {
+        self.strategy
+    }
+}
+
+impl Default for BinSpec {
+    /// Ten equal-width buckets — the paper's default `#-bucket`.
+    fn default() -> Self {
+        Self::uniform(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_buckets_partition_range() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = Binning::fit(&vals, 4, BinningStrategy::EqualWidth);
+        assert_eq!(b.buckets(), 4);
+        assert_eq!(b.bucket_of(0.0), 0);
+        assert_eq!(b.bucket_of(24.0), 0);
+        assert_eq!(b.bucket_of(25.0), 1);
+        assert_eq!(b.bucket_of(99.0), 3);
+        assert_eq!(b.bucket_of(1e9), 3, "out-of-range clamps to last bucket");
+        assert_eq!(b.bucket_of(-1e9), 0, "out-of-range clamps to first bucket");
+    }
+
+    #[test]
+    fn quantile_buckets_balance_counts() {
+        // Skewed data: equal-width would leave upper buckets nearly empty.
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64 / 10.0).powi(3)).collect();
+        let b = Binning::fit(&vals, 5, BinningStrategy::Quantile);
+        let mut counts = vec![0usize; b.buckets()];
+        for &v in &vals {
+            counts[b.bucket_of(v) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 2, "quantile buckets should be balanced: {counts:?}");
+    }
+
+    #[test]
+    fn constant_column_single_bucket() {
+        let b = Binning::fit(&[5.0; 10], 8, BinningStrategy::EqualWidth);
+        assert_eq!(b.buckets(), 1);
+        assert_eq!(b.bucket_of(5.0), 0);
+        assert_eq!(b.bucket_of(100.0), 0);
+    }
+
+    #[test]
+    fn empty_column_single_bucket() {
+        let b = Binning::fit(&[], 8, BinningStrategy::EqualWidth);
+        assert_eq!(b.buckets(), 1);
+    }
+
+    #[test]
+    fn tied_quantiles_deduplicate() {
+        // 90% zeros: most quantile cut points coincide at 0.
+        let mut vals = vec![0.0; 90];
+        vals.extend((1..=10).map(|i| i as f64));
+        let b = Binning::fit(&vals, 10, BinningStrategy::Quantile);
+        assert!(b.buckets() <= 10);
+        assert!(b.buckets() >= 2, "distinct high values keep at least one cut");
+        // All codes must stay within the realized bucket count.
+        for &v in &vals {
+            assert!((b.bucket_of(v) as usize) < b.buckets());
+        }
+    }
+
+    #[test]
+    fn labels_cover_all_buckets() {
+        let vals: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b = Binning::fit(&vals, 5, BinningStrategy::EqualWidth);
+        for code in 0..b.buckets() as Cat {
+            let lbl = b.label(code);
+            assert!(lbl.starts_with('['), "label renders an interval: {lbl}");
+        }
+    }
+
+    #[test]
+    fn binspec_overrides() {
+        let spec = BinSpec::uniform(10).with_override("LoanAmount", 17);
+        assert_eq!(spec.buckets_for("LoanAmount"), 17);
+        assert_eq!(spec.buckets_for("Income"), 10);
+    }
+}

@@ -1,0 +1,148 @@
+//! Encoded instances and labels.
+//!
+//! After discretization every feature value is a small categorical code
+//! ([`Cat`]); an [`Instance`] is a dense row of codes. This keeps the hot
+//! loops of the key-finding algorithms branch-light and allocation-free:
+//! agreement between two instances on a feature subset is a handful of
+//! integer compares.
+
+use std::fmt;
+
+/// An encoded categorical value: an index into the feature's value
+/// dictionary (see [`crate::FeatureDef`]).
+pub type Cat = u32;
+
+/// A class label produced by a model or recorded in a dataset.
+///
+/// Labels are opaque small integers; datasets carry the display names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A dense, encoded row: one categorical code per feature.
+///
+/// Instances are cheap to clone (a single boxed slice) and compare.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instance {
+    values: Box<[Cat]>,
+}
+
+impl Instance {
+    /// Creates an instance from encoded values.
+    pub fn new(values: Vec<Cat>) -> Self {
+        Self { values: values.into_boxed_slice() }
+    }
+
+    /// Number of features.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the instance has no features.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The encoded value of feature `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Cat {
+        self.values[i]
+    }
+
+    /// All encoded values.
+    #[inline]
+    pub fn values(&self) -> &[Cat] {
+        &self.values
+    }
+
+    /// Returns a copy with feature `i` replaced by `v`.
+    ///
+    /// Used by perturbation-based explainers (LIME/SHAP/Anchor/CERTA) and the
+    /// faithfulness metric, which mask or resample individual features.
+    pub fn with(&self, i: usize, v: Cat) -> Self {
+        let mut values = self.values.clone();
+        values[i] = v;
+        Self { values }
+    }
+
+    /// True when `self` and `other` agree on every feature in `feats`.
+    ///
+    /// This is the projection equality `x[E] = x'[E]` from the paper's
+    /// rule-based explanation semantics.
+    #[inline]
+    pub fn agrees_on(&self, other: &Instance, feats: &[usize]) -> bool {
+        feats.iter().all(|&f| self.values[f] == other.values[f])
+    }
+
+    /// Features on which `self` and `other` differ.
+    ///
+    /// This is the set `Sₜ` of Algorithms 2 and 3.
+    pub fn differing_features(&self, other: &Instance) -> Vec<usize> {
+        debug_assert_eq!(self.len(), other.len());
+        (0..self.len()).filter(|&f| self.values[f] != other.values[f]).collect()
+    }
+}
+
+impl std::ops::Index<usize> for Instance {
+    type Output = Cat;
+
+    #[inline]
+    fn index(&self, i: usize) -> &Cat {
+        &self.values[i]
+    }
+}
+
+impl From<Vec<Cat>> for Instance {
+    fn from(values: Vec<Cat>) -> Self {
+        Self::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_on_subset() {
+        let a = Instance::new(vec![1, 2, 3, 4]);
+        let b = Instance::new(vec![1, 9, 3, 8]);
+        assert!(a.agrees_on(&b, &[0, 2]));
+        assert!(!a.agrees_on(&b, &[0, 1]));
+        assert!(a.agrees_on(&b, &[]), "empty projection always agrees");
+    }
+
+    #[test]
+    fn differing_features_lists_mismatches() {
+        let a = Instance::new(vec![1, 2, 3, 4]);
+        let b = Instance::new(vec![1, 9, 3, 8]);
+        assert_eq!(a.differing_features(&b), vec![1, 3]);
+        assert!(a.differing_features(&a).is_empty());
+    }
+
+    #[test]
+    fn with_replaces_single_value() {
+        let a = Instance::new(vec![1, 2, 3]);
+        let b = a.with(1, 7);
+        assert_eq!(b.values(), &[1, 7, 3]);
+        assert_eq!(a.values(), &[1, 2, 3], "original untouched");
+    }
+
+    #[test]
+    fn index_and_len() {
+        let a = Instance::new(vec![5, 6]);
+        assert_eq!(a[0], 5);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(Instance::new(vec![]).is_empty());
+    }
+}

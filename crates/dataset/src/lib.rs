@@ -1,0 +1,39 @@
+//! Tabular data substrate for the `relative-keys` workspace.
+//!
+//! The paper evaluates relative keys over nine real-life datasets with
+//! *discrete* features (numeric columns are bucketed). This crate provides
+//! everything the rest of the workspace needs to stand in for that data
+//! layer, built from scratch:
+//!
+//! * [`Schema`] / [`FeatureDef`] — typed feature definitions with
+//!   human-readable value rendering,
+//! * [`Binning`] — equal-width and quantile discretization of numeric
+//!   columns, re-binnable for the `#-bucket` experiments (Fig. 3h/3i/4d),
+//! * [`RawDataset`] → [`Dataset`] — raw typed columns encoded into dense
+//!   categorical instances,
+//! * [`synth`] — deterministic, seeded generators reproducing the schema and
+//!   scale of the paper's 9 datasets (Adult, German, Compas, Loan, Recid and
+//!   the four entity-matching pairs),
+//! * [`csv`] — a minimal CSV round-trip for persisting generated data.
+//!
+//! Everything is deterministic given a seed, so every experiment in the
+//! workspace is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binning;
+pub mod csv;
+pub mod dataset;
+pub mod instance;
+pub mod raw;
+pub mod schema;
+pub mod schema_io;
+pub mod synth;
+
+pub use binning::{BinSpec, Binning, BinningStrategy};
+pub use dataset::Dataset;
+pub use instance::{Cat, Instance, Label};
+pub use raw::{RawColumn, RawDataset};
+pub use schema::{FeatureDef, FeatureKind, Schema};
+pub use schema_io::{schema_from_text, schema_to_text, SchemaIoError};

@@ -1,0 +1,187 @@
+//! Feature definitions and dataset schemas.
+
+use crate::binning::Binning;
+use crate::instance::Cat;
+
+/// The type of a feature after encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureKind {
+    /// A categorical feature; `names[code]` is the display value.
+    Categorical {
+        /// Display names, indexed by encoded value.
+        names: Vec<String>,
+    },
+    /// A discretized numeric feature; codes are *ordinal* (bucket order
+    /// follows numeric order), which lets tree learners use threshold
+    /// splits.
+    Numeric {
+        /// The fitted discretization.
+        binning: Binning,
+    },
+}
+
+/// A single feature of a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureDef {
+    /// Feature (column) name, e.g. `"Credit"`.
+    pub name: String,
+    /// Value type.
+    pub kind: FeatureKind,
+}
+
+impl FeatureDef {
+    /// A categorical feature definition.
+    pub fn categorical(name: &str, values: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            kind: FeatureKind::Categorical { names: values.iter().map(|s| s.to_string()).collect() },
+        }
+    }
+
+    /// A discretized numeric feature definition.
+    pub fn numeric(name: &str, binning: Binning) -> Self {
+        Self { name: name.to_string(), kind: FeatureKind::Numeric { binning } }
+    }
+
+    /// Number of distinct encoded values, i.e. `|dom(A)|`.
+    pub fn cardinality(&self) -> usize {
+        match &self.kind {
+            FeatureKind::Categorical { names } => names.len(),
+            FeatureKind::Numeric { binning } => binning.buckets(),
+        }
+    }
+
+    /// True when encoded codes are ordinal (numeric buckets).
+    pub fn is_ordinal(&self) -> bool {
+        matches!(self.kind, FeatureKind::Numeric { .. })
+    }
+
+    /// Human-readable rendering of an encoded value.
+    pub fn display(&self, code: Cat) -> String {
+        match &self.kind {
+            FeatureKind::Categorical { names } => names
+                .get(code as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("?{code}")),
+            FeatureKind::Numeric { binning } => binning.label(code),
+        }
+    }
+}
+
+/// An ordered list of feature definitions — the feature space
+/// `X(A₁, …, Aₙ)` of the paper.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    features: Vec<FeatureDef>,
+}
+
+impl Schema {
+    /// Creates a schema from feature definitions.
+    pub fn new(features: Vec<FeatureDef>) -> Self {
+        Self { features }
+    }
+
+    /// Number of features `n`.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The feature definitions in order.
+    #[inline]
+    pub fn features(&self) -> &[FeatureDef] {
+        &self.features
+    }
+
+    /// The definition of feature `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn feature(&self, i: usize) -> &FeatureDef {
+        &self.features[i]
+    }
+
+    /// Index of the feature named `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// The size of the full feature space `|dom(A₁)| × … × |dom(Aₙ)|`,
+    /// saturating at `usize::MAX`.
+    pub fn space_size(&self) -> usize {
+        self.features
+            .iter()
+            .map(FeatureDef::cardinality)
+            .fold(1usize, |acc, c| acc.saturating_mul(c))
+    }
+
+    /// Renders a feature subset as `Name=value ∧ …` for an instance — the
+    /// rule form used in the paper's Figure 1.
+    pub fn render_conjunction(&self, x: &crate::Instance, feats: &[usize]) -> String {
+        feats
+            .iter()
+            .map(|&f| format!("{}={}", self.features[f].name, self.features[f].display(x[f])))
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinningStrategy;
+    use crate::Instance;
+
+    fn sample_schema() -> Schema {
+        let vals: Vec<f64> = (0..100).map(f64::from).collect();
+        Schema::new(vec![
+            FeatureDef::categorical("Credit", &["good", "poor"]),
+            FeatureDef::numeric("Income", Binning::fit(&vals, 4, BinningStrategy::EqualWidth)),
+        ])
+    }
+
+    #[test]
+    fn cardinality_and_ordinality() {
+        let s = sample_schema();
+        assert_eq!(s.feature(0).cardinality(), 2);
+        assert_eq!(s.feature(1).cardinality(), 4);
+        assert!(!s.feature(0).is_ordinal());
+        assert!(s.feature(1).is_ordinal());
+        assert_eq!(s.space_size(), 8);
+    }
+
+    #[test]
+    fn display_values() {
+        let s = sample_schema();
+        assert_eq!(s.feature(0).display(1), "poor");
+        assert!(s.feature(1).display(0).starts_with('['));
+        assert_eq!(s.feature(0).display(99), "?99", "out-of-range is marked");
+    }
+
+    #[test]
+    fn index_of_finds_features() {
+        let s = sample_schema();
+        assert_eq!(s.index_of("Income"), Some(1));
+        assert_eq!(s.index_of("Area"), None);
+    }
+
+    #[test]
+    fn renders_rule_conjunction() {
+        let s = sample_schema();
+        let x = Instance::new(vec![1, 2]);
+        let rule = s.render_conjunction(&x, &[0]);
+        assert_eq!(rule, "Credit=poor");
+        let rule2 = s.render_conjunction(&x, &[0, 1]);
+        assert!(rule2.contains(" ∧ "));
+    }
+
+    #[test]
+    fn space_size_saturates() {
+        let many = (0..200)
+            .map(|i| FeatureDef::categorical(&format!("f{i}"), &["a", "b", "c", "d"]))
+            .collect();
+        let s = Schema::new(many);
+        assert_eq!(s.space_size(), usize::MAX);
+    }
+}

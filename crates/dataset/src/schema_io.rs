@@ -1,0 +1,269 @@
+//! Schema (de)serialization — the sidecar format for encoded CSV files.
+//!
+//! Encoded CSVs carry only integer codes; this plain-text format preserves
+//! the display metadata (categorical value names, numeric bucket edges) so
+//! tools like the `cce` CLI can render `Credit=poor` instead of
+//! `Credit=v1`. One line per feature:
+//!
+//! ```text
+//! cat|Credit|good|poor
+//! num|Income|lo=800|hi=20000|edges=2400;4000;5600
+//! ```
+
+use crate::binning::Binning;
+use crate::schema::{FeatureDef, FeatureKind, Schema};
+
+/// Errors from [`schema_from_text`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaIoError {
+    /// A line had an unknown kind tag.
+    UnknownKind {
+        /// 1-based line number.
+        line: usize,
+        /// The offending tag.
+        kind: String,
+    },
+    /// A line was too short or a field failed to parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for SchemaIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaIoError::UnknownKind { line, kind } => {
+                write!(f, "unknown feature kind {kind:?} at line {line}")
+            }
+            SchemaIoError::Malformed { line } => write!(f, "malformed schema line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaIoError {}
+
+/// Serializes a schema to the sidecar text format.
+pub fn schema_to_text(schema: &Schema) -> String {
+    let mut out = String::new();
+    for f in schema.features() {
+        match &f.kind {
+            FeatureKind::Categorical { names } => {
+                out.push_str("cat|");
+                out.push_str(&escape(&f.name));
+                for n in names {
+                    out.push('|');
+                    out.push_str(&escape(n));
+                }
+            }
+            FeatureKind::Numeric { binning } => {
+                out.push_str("num|");
+                out.push_str(&escape(&f.name));
+                out.push_str(&format!("|lo={}|hi={}", binning.lo(), binning.hi()));
+                out.push_str("|edges=");
+                out.push_str(
+                    &binning
+                        .edges()
+                        .iter()
+                        .map(f64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                );
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a schema from the sidecar text format.
+///
+/// # Errors
+/// Returns a [`SchemaIoError`] naming the offending line.
+pub fn schema_from_text(text: &str) -> Result<Schema, SchemaIoError> {
+    let mut feats = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        if fields.len() < 2 {
+            return Err(SchemaIoError::Malformed { line: i + 1 });
+        }
+        let name = unescape(fields[1]);
+        match fields[0] {
+            "cat" => {
+                let values: Vec<String> = fields[2..].iter().map(|v| unescape(v)).collect();
+                let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                feats.push(FeatureDef::categorical(&name, &refs));
+            }
+            "num" => {
+                if fields.len() != 5 {
+                    return Err(SchemaIoError::Malformed { line: i + 1 });
+                }
+                let parse = |s: &str, prefix: &str| -> Result<f64, SchemaIoError> {
+                    s.strip_prefix(prefix)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(SchemaIoError::Malformed { line: i + 1 })
+                };
+                let lo = parse(fields[2], "lo=")?;
+                let hi = parse(fields[3], "hi=")?;
+                let edges_str = fields[4]
+                    .strip_prefix("edges=")
+                    .ok_or(SchemaIoError::Malformed { line: i + 1 })?;
+                let edges: Vec<f64> = if edges_str.is_empty() {
+                    Vec::new()
+                } else {
+                    edges_str
+                        .split(';')
+                        .map(|e| e.parse().map_err(|_| SchemaIoError::Malformed { line: i + 1 }))
+                        .collect::<Result<_, _>>()?
+                };
+                feats.push(FeatureDef::numeric(&name, Binning::from_parts(edges, lo, hi)));
+            }
+            other => {
+                return Err(SchemaIoError::UnknownKind { line: i + 1, kind: other.to_string() })
+            }
+        }
+    }
+    Ok(Schema::new(feats))
+}
+
+/// Serializes a schema plus label display names (one extra `lbl|…` line).
+pub fn sidecar_to_text(schema: &Schema, label_names: &[String]) -> String {
+    let mut out = schema_to_text(schema);
+    if !label_names.is_empty() {
+        out.push_str("lbl");
+        for n in label_names {
+            out.push('|');
+            out.push_str(&escape(n));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a sidecar produced by [`sidecar_to_text`]: the schema and the
+/// (possibly empty) label names.
+///
+/// # Errors
+/// Returns a [`SchemaIoError`] naming the offending line.
+pub fn sidecar_from_text(text: &str) -> Result<(Schema, Vec<String>), SchemaIoError> {
+    let mut feature_lines = Vec::new();
+    let mut labels = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("lbl|") {
+            labels = rest.split('|').map(unescape).collect();
+        } else {
+            feature_lines.push(line);
+        }
+    }
+    let schema = schema_from_text(&feature_lines.join("\n"))?;
+    Ok((schema, labels))
+}
+
+fn escape(s: &str) -> String {
+    s.replace('|', ";").replace('\n', " ")
+}
+
+fn unescape(s: &str) -> String {
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::BinningStrategy;
+
+    fn sample() -> Schema {
+        let vals: Vec<f64> = (0..100).map(f64::from).collect();
+        Schema::new(vec![
+            FeatureDef::categorical("Credit", &["good", "poor"]),
+            FeatureDef::numeric("Income", Binning::fit(&vals, 4, BinningStrategy::EqualWidth)),
+            FeatureDef::categorical("Area", &["Urban", "Semiurban", "Rural"]),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let schema = sample();
+        let text = schema_to_text(&schema);
+        let back = schema_from_text(&text).unwrap();
+        assert_eq!(back, schema);
+    }
+
+    #[test]
+    fn round_trip_preserves_bucket_boundaries() {
+        let schema = sample();
+        let back = schema_from_text(&schema_to_text(&schema)).unwrap();
+        let (orig, parsed) = (schema.feature(1), back.feature(1));
+        for code in 0..orig.cardinality() as u32 {
+            assert_eq!(orig.display(code), parsed.display(code));
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        assert!(matches!(
+            schema_from_text("cat"),
+            Err(SchemaIoError::Malformed { line: 1 })
+        ));
+        assert!(matches!(
+            schema_from_text("cat|a|x\nwat|b"),
+            Err(SchemaIoError::UnknownKind { line: 2, .. })
+        ));
+        assert!(matches!(
+            schema_from_text("num|a|lo=1|hi=2"),
+            Err(SchemaIoError::Malformed { line: 1 })
+        ));
+        assert!(matches!(
+            schema_from_text("num|a|lo=x|hi=2|edges="),
+            Err(SchemaIoError::Malformed { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_edges_single_bucket() {
+        let s = schema_from_text("num|flat|lo=5|hi=5|edges=").unwrap();
+        assert_eq!(s.feature(0).cardinality(), 1);
+    }
+
+    #[test]
+    fn every_synthetic_dataset_schema_round_trips() {
+        use crate::binning::BinSpec;
+        use crate::synth;
+        for name in synth::GENERAL_DATASETS {
+            for strategy in [BinningStrategy::EqualWidth, BinningStrategy::Quantile] {
+                let raw = synth::general_dataset(name, 0.05, 3).unwrap();
+                let ds = raw.encode(&BinSpec::uniform(10).with_strategy(strategy));
+                let text = sidecar_to_text(ds.schema(), &raw.label_names);
+                let (schema, labels) = sidecar_from_text(&text).unwrap();
+                assert_eq!(&schema, ds.schema(), "{name} {strategy:?}");
+                assert_eq!(labels, raw.label_names);
+            }
+        }
+    }
+
+    #[test]
+    fn sidecar_round_trips_labels() {
+        let schema = sample();
+        let labels = vec!["Denied".to_string(), "Approved".to_string()];
+        let text = sidecar_to_text(&schema, &labels);
+        let (back, back_labels) = sidecar_from_text(&text).unwrap();
+        assert_eq!(back, schema);
+        assert_eq!(back_labels, labels);
+        // Without labels, the sidecar degrades to a plain schema.
+        let (back2, none) = sidecar_from_text(&schema_to_text(&schema)).unwrap();
+        assert_eq!(back2, schema);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn pipe_in_names_is_escaped() {
+        let schema = Schema::new(vec![FeatureDef::categorical("a|b", &["x|y"])]);
+        let back = schema_from_text(&schema_to_text(&schema)).unwrap();
+        // Escaping is lossy (| → ;) but parsing must stay unambiguous.
+        assert_eq!(back.n_features(), 1);
+        assert_eq!(back.feature(0).cardinality(), 1);
+    }
+}

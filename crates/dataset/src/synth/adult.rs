@@ -1,0 +1,177 @@
+//! The `Adult` (census income) dataset stand-in (32,526 × 14).
+//!
+//! Predicts whether a person earns ≥ 50K/year from census features. The
+//! generator correlates education, occupation, hours and age the way the
+//! real data does, so learned models and their explanations have realistic
+//! structure.
+
+use crate::raw::{RawColumn, RawDataset};
+use crate::synth::util::{label_from_score, Sampler};
+
+/// Row count used by the paper.
+pub const DEFAULT_ROWS: usize = 32_526;
+
+const WORKCLASS: [&str; 7] =
+    ["Private", "SelfEmp", "SelfEmpInc", "FedGov", "LocalGov", "StateGov", "Unemployed"];
+const EDUCATION: [&str; 8] =
+    ["HSgrad", "SomeCollege", "Bachelors", "Masters", "Doctorate", "AssocVoc", "11th", "7th-8th"];
+const MARITAL: [&str; 5] = ["Married", "NeverMarried", "Divorced", "Separated", "Widowed"];
+const OCCUPATION: [&str; 10] = [
+    "ExecManagerial", "ProfSpecialty", "Sales", "AdmClerical", "CraftRepair", "OtherService",
+    "MachineOp", "Transport", "HandlersCleaners", "TechSupport",
+];
+const RELATIONSHIP: [&str; 6] =
+    ["Husband", "Wife", "OwnChild", "NotInFamily", "OtherRelative", "Unmarried"];
+const RACE: [&str; 5] = ["White", "Black", "AsianPacific", "AmerIndian", "Other"];
+const COUNTRY: [&str; 6] = ["US", "Mexico", "Philippines", "Germany", "Canada", "India"];
+
+/// Generates the Adult stand-in with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> RawDataset {
+    let mut s = Sampler::new(seed ^ 0x41445554); // "ADUT"
+
+    let mut age = Vec::with_capacity(rows);
+    let mut workclass = Vec::with_capacity(rows);
+    let mut fnlwgt = Vec::with_capacity(rows);
+    let mut education = Vec::with_capacity(rows);
+    let mut edu_num = Vec::with_capacity(rows);
+    let mut marital = Vec::with_capacity(rows);
+    let mut occupation = Vec::with_capacity(rows);
+    let mut relationship = Vec::with_capacity(rows);
+    let mut race = Vec::with_capacity(rows);
+    let mut sex = Vec::with_capacity(rows);
+    let mut cap_gain = Vec::with_capacity(rows);
+    let mut cap_loss = Vec::with_capacity(rows);
+    let mut hours = Vec::with_capacity(rows);
+    let mut country = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let a = s.normal(39.0, 13.0).clamp(17.0, 90.0);
+        let edu = s.weighted(&[0.32, 0.22, 0.17, 0.06, 0.015, 0.05, 0.08, 0.085]);
+        // Years of schooling track the education level (strong association).
+        let en = match edu {
+            0 => 9.0,
+            1 => 10.0,
+            2 => 13.0,
+            3 => 14.0,
+            4 => 16.0,
+            5 => 11.0,
+            6 => 7.0,
+            _ => 4.0,
+        } + s.normal(0.0, 0.4);
+        let mar = if a < 25.0 { s.weighted(&[0.15, 0.7, 0.08, 0.04, 0.03]) } else { s.weighted(&[0.52, 0.2, 0.18, 0.05, 0.05]) };
+        // High-education people skew toward professional occupations.
+        let occ = if (2..=4).contains(&edu) {
+            s.weighted(&[0.25, 0.3, 0.12, 0.08, 0.05, 0.04, 0.03, 0.03, 0.02, 0.08])
+        } else {
+            s.weighted(&[0.08, 0.05, 0.12, 0.14, 0.18, 0.15, 0.1, 0.08, 0.07, 0.03])
+        };
+        let wc = s.weighted(&[0.7, 0.08, 0.04, 0.03, 0.07, 0.05, 0.03]);
+        let sx = s.weighted(&[0.67, 0.33]); // Male / Female
+        let rel = if mar == 0 {
+            if sx == 0 { 0 } else { 1 }
+        } else {
+            s.weighted(&[0.0, 0.0, 0.25, 0.45, 0.08, 0.22])
+        };
+        let rc = s.weighted(&[0.85, 0.09, 0.03, 0.01, 0.02]);
+        let ct = s.weighted(&[0.9, 0.03, 0.02, 0.02, 0.02, 0.01]);
+        let hw = (s.normal(40.0, 11.0) + if occ <= 1 { 5.0 } else { 0.0 }).clamp(5.0, 99.0);
+        let fw = s.heavy(120_000.0).clamp(20_000.0, 900_000.0);
+        let cg = if s.flip(0.08) { s.heavy(6_000.0).clamp(0.0, 99_999.0) } else { 0.0 };
+        let cl = if s.flip(0.05) { s.heavy(1_200.0).clamp(0.0, 4_500.0) } else { 0.0 };
+
+        // Income rule: education years, managerial/professional occupation,
+        // married, hours, age in prime range, capital gains.
+        let score = (en - 11.5) * 0.55
+            + if occ <= 1 { 1.0 } else { -0.3 }
+            + if mar == 0 { 1.3 } else { -0.9 }
+            + (hw - 40.0) * 0.05
+            + if (35.0..58.0).contains(&a) { 0.5 } else { -0.4 }
+            + if cg > 5_000.0 { 2.5 } else { 0.0 }
+            - 1.0;
+        labels.push(label_from_score(&mut s, score, 0.07));
+
+        age.push(a);
+        workclass.push(wc);
+        fnlwgt.push(fw);
+        education.push(edu);
+        edu_num.push(en);
+        marital.push(mar);
+        occupation.push(occ);
+        relationship.push(rel);
+        race.push(rc);
+        sex.push(sx);
+        cap_gain.push(cg);
+        cap_loss.push(cl);
+        hours.push(hw);
+        country.push(ct);
+    }
+
+    let cat = |codes: Vec<u32>, names: &[&str]| RawColumn::Categorical {
+        codes,
+        names: names.iter().map(|s| s.to_string()).collect(),
+    };
+    RawDataset {
+        name: "Adult".into(),
+        columns: vec![
+            ("Age".into(), RawColumn::Numeric(age)),
+            ("Workclass".into(), cat(workclass, &WORKCLASS)),
+            ("Fnlwgt".into(), RawColumn::Numeric(fnlwgt)),
+            ("Education".into(), cat(education, &EDUCATION)),
+            ("EducationNum".into(), RawColumn::Numeric(edu_num)),
+            ("MaritalStatus".into(), cat(marital, &MARITAL)),
+            ("Occupation".into(), cat(occupation, &OCCUPATION)),
+            ("Relationship".into(), cat(relationship, &RELATIONSHIP)),
+            ("Race".into(), cat(race, &RACE)),
+            ("Sex".into(), cat(sex, &["Male", "Female"])),
+            ("CapitalGain".into(), RawColumn::Numeric(cap_gain)),
+            ("CapitalLoss".into(), RawColumn::Numeric(cap_loss)),
+            ("HoursPerWeek".into(), RawColumn::Numeric(hours)),
+            ("NativeCountry".into(), cat(country, &COUNTRY)),
+        ],
+        labels,
+        label_names: vec!["<=50K".into(), ">50K".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Label;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(500, 1);
+        assert_eq!(ds.n_features(), 14);
+        assert_eq!(ds.len(), 500);
+    }
+
+    #[test]
+    fn income_rate_roughly_a_quarter() {
+        let ds = generate(8000, 2);
+        let p = ds.positive_rate();
+        assert!((0.1..0.5).contains(&p), "positive rate {p}");
+    }
+
+    #[test]
+    fn education_predicts_income() {
+        let ds = generate(8000, 3);
+        let edu = match &ds.columns[3].1 {
+            RawColumn::Categorical { codes, .. } => codes.clone(),
+            _ => panic!(),
+        };
+        let rate = |pred: &dyn Fn(u32) -> bool| {
+            let (mut pos, mut tot) = (0usize, 0usize);
+            for (i, &e) in edu.iter().enumerate() {
+                if pred(e) {
+                    tot += 1;
+                    pos += usize::from(ds.labels[i] == Label(1));
+                }
+            }
+            pos as f64 / tot.max(1) as f64
+        };
+        let high = rate(&|e| (2..=4).contains(&e));
+        let low = rate(&|e| e >= 6);
+        assert!(high > low + 0.2, "high={high} low={low}");
+    }
+}

@@ -1,0 +1,129 @@
+//! The `Compas` dataset stand-in (6,172 × 11).
+//!
+//! Scores a criminal defendant's likelihood of re-offending (the COMPAS
+//! risk-assessment setting). Prior counts and age drive the ground truth.
+
+use crate::raw::{RawColumn, RawDataset};
+use crate::synth::util::{label_from_score, Sampler};
+
+/// Row count used by the paper.
+pub const DEFAULT_ROWS: usize = 6_172;
+
+/// Generates the Compas stand-in with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> RawDataset {
+    let mut s = Sampler::new(seed ^ 0x434f4d50); // "COMP"
+
+    let mut sex = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut age_cat = Vec::with_capacity(rows);
+    let mut race = Vec::with_capacity(rows);
+    let mut juv_fel = Vec::with_capacity(rows);
+    let mut juv_misd = Vec::with_capacity(rows);
+    let mut juv_other = Vec::with_capacity(rows);
+    let mut priors = Vec::with_capacity(rows);
+    let mut charge = Vec::with_capacity(rows);
+    let mut days_screen = Vec::with_capacity(rows);
+    let mut stay = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let sx = s.weighted(&[0.81, 0.19]); // Male / Female
+        let a = s.heavy(12.0).clamp(0.0, 60.0) + 18.0;
+        let ac = if a < 25.0 { 0 } else if a < 45.0 { 1 } else { 2 };
+        let rc = s.weighted(&[0.51, 0.34, 0.09, 0.06]);
+        // Younger defendants have more juvenile history on record.
+        let juvenile_rate = if ac == 0 { 0.35 } else { 0.1 };
+        let jf = if s.flip(juvenile_rate) { s.below(3) as f64 + 1.0 } else { 0.0 };
+        let jm = if s.flip(juvenile_rate) { s.below(4) as f64 + 1.0 } else { 0.0 };
+        let jo = if s.flip(juvenile_rate * 0.7) { s.below(3) as f64 + 1.0 } else { 0.0 };
+        let pr = (s.heavy(2.0) + jf + jm).clamp(0.0, 38.0).floor();
+        let ch = s.weighted(&[0.64, 0.36]); // Felony / Misdemeanor
+        let dsb = s.normal(0.0, 60.0).clamp(-30.0, 600.0);
+        let st = s.heavy(12.0).clamp(0.0, 800.0);
+
+        // Recidivism rule: priors and youth dominate; felony charge and long
+        // stays add risk.
+        let score = pr * 0.28
+            + if ac == 0 { 1.0 } else if ac == 2 { -0.9 } else { 0.0 }
+            + (jf + jm + jo) * 0.2
+            + if ch == 0 { 0.25 } else { -0.1 }
+            + (st / 400.0)
+            + if sx == 0 { 0.15 } else { -0.15 }
+            - 1.3;
+        labels.push(label_from_score(&mut s, score, 0.09));
+
+        sex.push(sx);
+        age.push(a);
+        age_cat.push(ac);
+        race.push(rc);
+        juv_fel.push(jf);
+        juv_misd.push(jm);
+        juv_other.push(jo);
+        priors.push(pr);
+        charge.push(ch);
+        days_screen.push(dsb);
+        stay.push(st);
+    }
+
+    let cat = |codes: Vec<u32>, names: &[&str]| RawColumn::Categorical {
+        codes,
+        names: names.iter().map(|s| s.to_string()).collect(),
+    };
+    RawDataset {
+        name: "Compas".into(),
+        columns: vec![
+            ("Sex".into(), cat(sex, &["Male", "Female"])),
+            ("Age".into(), RawColumn::Numeric(age)),
+            ("AgeCat".into(), cat(age_cat, &["lt25", "25to45", "gt45"])),
+            ("Race".into(), cat(race, &["AfricanAmerican", "Caucasian", "Hispanic", "Other"])),
+            ("JuvFelCount".into(), RawColumn::Numeric(juv_fel)),
+            ("JuvMisdCount".into(), RawColumn::Numeric(juv_misd)),
+            ("JuvOtherCount".into(), RawColumn::Numeric(juv_other)),
+            ("PriorsCount".into(), RawColumn::Numeric(priors)),
+            ("ChargeDegree".into(), cat(charge, &["Felony", "Misdemeanor"])),
+            ("DaysBScreening".into(), RawColumn::Numeric(days_screen)),
+            ("LengthOfStay".into(), RawColumn::Numeric(stay)),
+        ],
+        labels,
+        label_names: vec!["NoRecid".into(), "Recid".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Label;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(DEFAULT_ROWS, 5);
+        assert_eq!(ds.len(), 6_172);
+        assert_eq!(ds.n_features(), 11);
+    }
+
+    #[test]
+    fn recid_rate_plausible() {
+        let p = generate(6_000, 6).positive_rate();
+        assert!((0.25..0.65).contains(&p), "positive rate {p}");
+    }
+
+    #[test]
+    fn priors_predict_recidivism() {
+        let ds = generate(6_000, 7);
+        let priors = match &ds.columns[7].1 {
+            RawColumn::Numeric(v) => v.clone(),
+            _ => panic!(),
+        };
+        let rate = |pred: &dyn Fn(f64) -> bool| {
+            let (mut pos, mut tot) = (0usize, 0usize);
+            for (i, &p) in priors.iter().enumerate() {
+                if pred(p) {
+                    tot += 1;
+                    pos += usize::from(ds.labels[i] == Label(1));
+                }
+            }
+            pos as f64 / tot.max(1) as f64
+        };
+        assert!(rate(&|p| p >= 5.0) > rate(&|p| p == 0.0) + 0.2);
+    }
+}

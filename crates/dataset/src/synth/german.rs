@@ -1,0 +1,164 @@
+//! The `German` credit dataset stand-in (1,000 × 21).
+//!
+//! Classifies credit applicants into good/bad risk from account status,
+//! credit history, purpose, amounts and demographics.
+
+use crate::raw::{RawColumn, RawDataset};
+use crate::synth::util::{label_from_score, Sampler};
+
+/// Row count of the original dataset.
+pub const DEFAULT_ROWS: usize = 1_000;
+
+/// Generates the German-credit stand-in with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> RawDataset {
+    let mut s = Sampler::new(seed ^ 0x4745524d); // "GERM"
+
+    let mut cols: Vec<Vec<u32>> = (0..15).map(|_| Vec::with_capacity(rows)).collect();
+    let mut duration = Vec::with_capacity(rows);
+    let mut amount = Vec::with_capacity(rows);
+    let mut rate = Vec::with_capacity(rows);
+    let mut residence = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut existing = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let status = s.weighted(&[0.27, 0.27, 0.06, 0.4]); // <0 / 0-200 / >=200 / none
+        let history = s.weighted(&[0.04, 0.05, 0.53, 0.09, 0.29]);
+        let purpose = s.weighted(&[0.24, 0.22, 0.18, 0.11, 0.1, 0.05, 0.05, 0.05]);
+        let savings = s.weighted(&[0.6, 0.1, 0.07, 0.05, 0.18]);
+        let employment = s.weighted(&[0.06, 0.17, 0.34, 0.17, 0.26]);
+        let personal = s.weighted(&[0.55, 0.31, 0.09, 0.05]);
+        let debtors = s.weighted(&[0.91, 0.04, 0.05]);
+        let property = s.weighted(&[0.28, 0.23, 0.33, 0.16]);
+        let install_other = s.weighted(&[0.14, 0.05, 0.81]);
+        let housing = s.weighted(&[0.18, 0.71, 0.11]);
+        let job = s.weighted(&[0.02, 0.2, 0.63, 0.15]);
+        let phone = s.weighted(&[0.6, 0.4]);
+        let foreign = s.weighted(&[0.96, 0.04]);
+        let dependents = s.weighted(&[0.84, 0.16]);
+        let risk_flag = s.weighted(&[0.7, 0.3]); // extra 21st feature: prior delinquency flag
+
+        let a = s.normal(35.0, 11.0).clamp(19.0, 75.0);
+        let dur = s.normal(21.0, 12.0).clamp(4.0, 72.0);
+        let amt = s.heavy(2_500.0).clamp(250.0, 18_500.0) + dur * 40.0;
+        let rt = 1.0 + s.below(4) as f64;
+        let res = 1.0 + s.below(4) as f64;
+        let ex = 1.0 + s.weighted(&[0.63, 0.33, 0.03, 0.01]) as f64;
+
+        // Good credit rule: healthy account status + history, moderate
+        // amounts/duration, savings, stable employment, no delinquency.
+        let score = match status {
+            0 => -1.2,
+            1 => -0.4,
+            2 => 0.6,
+            _ => 1.0,
+        } + match history {
+            0 | 1 => -1.0,
+            2 => 0.3,
+            _ => 0.8,
+        } + if savings >= 2 { 0.5 } else { -0.1 }
+            + if employment >= 3 { 0.4 } else { -0.2 }
+            - (dur - 20.0) * 0.03
+            - (amt / 10_000.0)
+            + if risk_flag == 1 { -1.1 } else { 0.3 }
+            + (a - 30.0) * 0.01
+            + 0.8;
+        labels.push(label_from_score(&mut s, score, 0.08));
+
+        for (c, v) in cols.iter_mut().zip([
+            status, history, purpose, savings, employment, personal, debtors, property,
+            install_other, housing, job, phone, foreign, dependents, risk_flag,
+        ]) {
+            c.push(v);
+        }
+        duration.push(dur);
+        amount.push(amt);
+        rate.push(rt);
+        residence.push(res);
+        age.push(a);
+        existing.push(ex);
+    }
+
+    let cat_names: [(&str, &[&str]); 15] = [
+        ("Status", &["lt0", "0to200", "ge200", "none"]),
+        ("History", &["none", "allPaidHere", "paidTilNow", "delayed", "critical"]),
+        ("Purpose", &["car", "furniture", "radio_tv", "business", "education", "repairs", "retraining", "other"]),
+        ("Savings", &["lt100", "100to500", "500to1000", "ge1000", "unknown"]),
+        ("Employment", &["unemployed", "lt1y", "1to4y", "4to7y", "ge7y"]),
+        ("PersonalStatus", &["maleSingle", "femaleDivSep", "maleMarried", "maleDivSep"]),
+        ("OtherDebtors", &["none", "coApplicant", "guarantor"]),
+        ("Property", &["realEstate", "savingsIns", "car", "none"]),
+        ("OtherInstall", &["bank", "stores", "none"]),
+        ("Housing", &["rent", "own", "free"]),
+        ("Job", &["unskilledNonRes", "unskilledRes", "skilled", "management"]),
+        ("Telephone", &["none", "yes"]),
+        ("ForeignWorker", &["yes", "no"]),
+        ("Dependents", &["1", "2+"]),
+        ("PriorDelinquency", &["no", "yes"]),
+    ];
+
+    let mut columns: Vec<(String, RawColumn)> = Vec::with_capacity(21);
+    for ((name, names), codes) in cat_names.into_iter().zip(cols) {
+        columns.push((
+            name.to_string(),
+            RawColumn::Categorical { codes, names: names.iter().map(|s| s.to_string()).collect() },
+        ));
+    }
+    columns.push(("Duration".into(), RawColumn::Numeric(duration)));
+    columns.push(("Amount".into(), RawColumn::Numeric(amount)));
+    columns.push(("InstallmentRate".into(), RawColumn::Numeric(rate)));
+    columns.push(("ResidenceSince".into(), RawColumn::Numeric(residence)));
+    columns.push(("Age".into(), RawColumn::Numeric(age)));
+    columns.push(("ExistingCredits".into(), RawColumn::Numeric(existing)));
+
+    RawDataset {
+        name: "German".into(),
+        columns,
+        labels,
+        label_names: vec!["bad".into(), "good".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(DEFAULT_ROWS, 5);
+        assert_eq!(ds.len(), 1_000);
+        assert_eq!(ds.n_features(), 21);
+    }
+
+    #[test]
+    fn mostly_good_credit() {
+        // The real German dataset is ~70% good.
+        let p = generate(5_000, 6).positive_rate();
+        assert!((0.45..0.85).contains(&p), "positive rate {p}");
+    }
+
+    #[test]
+    fn delinquency_hurts() {
+        let ds = generate(5_000, 7);
+        let flag = match &ds.columns[14].1 {
+            RawColumn::Categorical { codes, .. } => codes.clone(),
+            _ => panic!(),
+        };
+        let (mut bad_with, mut tot_with) = (0usize, 0usize);
+        let (mut bad_without, mut tot_without) = (0usize, 0usize);
+        for (i, &fl) in flag.iter().enumerate() {
+            let bad = ds.labels[i].0 == 0;
+            if fl == 1 {
+                tot_with += 1;
+                bad_with += usize::from(bad);
+            } else {
+                tot_without += 1;
+                bad_without += usize::from(bad);
+            }
+        }
+        assert!(
+            bad_with as f64 / tot_with as f64 > bad_without as f64 / tot_without as f64 + 0.15
+        );
+    }
+}

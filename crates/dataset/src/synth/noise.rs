@@ -1,0 +1,178 @@
+//! Noise injection and concept drift for the monitoring experiments.
+//!
+//! §7.4 ("An application"): the *noise* version of a dataset replaces the
+//! last 40% of inference instances with randomly generated ones, triggering
+//! a dip in model accuracy that CCE's succinctness monitoring should pick
+//! up (Fig. 3l/3m).
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::instance::{Cat, Instance};
+
+/// Replaces instances from `start_frac` of the way through `ds` to the end
+/// with uniformly random instances over the feature space.
+///
+/// Labels are left untouched — in the monitoring experiment they are
+/// re-predicted by the model downstream; what matters is that the
+/// *instances* no longer follow the data distribution.
+pub fn randomize_tail(ds: &mut Dataset, start_frac: f64, rng: &mut impl Rng) {
+    let start = ((ds.len() as f64) * start_frac.clamp(0.0, 1.0)) as usize;
+    let schema = ds.schema_arc();
+    let labels = ds.labels().to_vec();
+    let mut instances = ds.instances().to_vec();
+    for x in instances.iter_mut().skip(start) {
+        *x = random_instance(&schema, rng);
+    }
+    *ds = Dataset::with_shared_schema(ds.name().to_string(), schema, instances, labels);
+}
+
+/// A uniformly random instance over `schema`'s feature space.
+pub fn random_instance(schema: &crate::Schema, rng: &mut impl Rng) -> Instance {
+    Instance::new(
+        (0..schema.n_features())
+            .map(|f| rng.gen_range(0..schema.feature(f).cardinality()) as Cat)
+            .collect(),
+    )
+}
+
+/// Perturbs instances from `start_frac` onward by resampling each feature
+/// from the dataset's *empirical marginal* with probability `p`.
+///
+/// Unlike [`randomize_tail`]'s uniform noise, marginal noise stays on the
+/// data manifold: perturbed instances still look like plausible inputs, so
+/// they frequently agree with monitored keys while scrambling the label
+/// structure — which is what makes the succinctness-based drift signal of
+/// §7.4 fire.
+pub fn perturb_tail(ds: &mut Dataset, start_frac: f64, p: f64, rng: &mut impl Rng) {
+    let start = ((ds.len() as f64) * start_frac.clamp(0.0, 1.0)) as usize;
+    let schema = ds.schema_arc();
+    let n = schema.n_features();
+    // Marginals of the pre-perturbation data.
+    let marginals: Vec<Vec<u32>> = (0..n).map(|f| ds.marginal(f)).collect();
+    let labels = ds.labels().to_vec();
+    let mut instances = ds.instances().to_vec();
+    for x in instances.iter_mut().skip(start) {
+        let mut vals: Vec<Cat> = x.values().to_vec();
+        for (f, v) in vals.iter_mut().enumerate() {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                *v = sample_marginal(&marginals[f], rng);
+            }
+        }
+        *x = Instance::new(vals);
+    }
+    *ds = Dataset::with_shared_schema(ds.name().to_string(), schema, instances, labels);
+}
+
+fn sample_marginal(counts: &[u32], rng: &mut impl Rng) -> Cat {
+    let total: u32 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let mut t = rng.gen_range(0..total);
+    for (code, &c) in counts.iter().enumerate() {
+        if t < c {
+            return code as Cat;
+        }
+        t -= c;
+    }
+    (counts.len() - 1) as Cat
+}
+
+/// Flips a fraction `frac` of labels in place, simulating concept drift in
+/// the *labeling* process (used by drift-robustness tests).
+pub fn flip_labels(ds: &mut Dataset, frac: f64, rng: &mut impl Rng) {
+    let mut labels = ds.labels().to_vec();
+    let distinct = ds.distinct_labels();
+    if distinct.len() < 2 {
+        return;
+    }
+    for l in labels.iter_mut() {
+        if rng.gen_bool(frac.clamp(0.0, 1.0)) {
+            let alternatives: Vec<_> = distinct.iter().filter(|d| **d != *l).collect();
+            *l = *alternatives[rng.gen_range(0..alternatives.len())];
+        }
+    }
+    ds.set_labels(labels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FeatureDef, Schema};
+    use crate::Label;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(vec![
+            FeatureDef::categorical("a", &["x", "y"]),
+            FeatureDef::categorical("b", &["p", "q", "r"]),
+        ]);
+        let instances = (0..100).map(|_| Instance::new(vec![0, 0])).collect();
+        let labels = (0..100).map(|_| Label(0)).collect();
+        Dataset::new("toy".into(), schema, instances, labels)
+    }
+
+    #[test]
+    fn tail_randomization_leaves_head_alone() {
+        let mut ds = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        randomize_tail(&mut ds, 0.6, &mut rng);
+        for i in 0..60 {
+            assert_eq!(ds.instance(i).values(), &[0, 0]);
+        }
+        let changed = (60..100).filter(|&i| ds.instance(i).values() != [0, 0]).count();
+        assert!(changed > 10, "tail should be randomized, changed={changed}");
+    }
+
+    #[test]
+    fn random_instances_stay_in_domain() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let x = random_instance(ds.schema(), &mut rng);
+            assert!(x[0] < 2);
+            assert!(x[1] < 3);
+        }
+    }
+
+    #[test]
+    fn perturb_tail_stays_in_domain_and_spares_head() {
+        let mut ds = toy();
+        let mut rng = StdRng::seed_from_u64(5);
+        perturb_tail(&mut ds, 0.5, 0.8, &mut rng);
+        for i in 0..50 {
+            assert_eq!(ds.instance(i).values(), &[0, 0]);
+        }
+        for i in 50..100 {
+            assert!(ds.instance(i)[0] < 2);
+            assert!(ds.instance(i)[1] < 3);
+        }
+        // Marginals of the toy data are concentrated on code 0, so most
+        // perturbed values stay 0 — the "plausible noise" property.
+        let zeros = (50..100).filter(|&i| ds.instance(i).values() == [0, 0]).count();
+        assert!(zeros > 40, "marginal noise should mostly re-draw observed values");
+    }
+
+    #[test]
+    fn flip_labels_changes_roughly_frac() {
+        let mut ds = toy();
+        // Make labels 0/1 mixed so flipping has alternatives.
+        let labels = (0..100).map(|i| Label(u32::from(i % 2 == 0))).collect();
+        ds.set_labels(labels);
+        let mut rng = StdRng::seed_from_u64(3);
+        let before = ds.labels().to_vec();
+        flip_labels(&mut ds, 0.3, &mut rng);
+        let flipped = before.iter().zip(ds.labels()).filter(|(a, b)| a != b).count();
+        assert!((15..=45).contains(&flipped), "flipped={flipped}");
+    }
+
+    #[test]
+    fn flip_labels_noop_with_single_class() {
+        let mut ds = toy();
+        let before = ds.labels().to_vec();
+        flip_labels(&mut ds, 0.9, &mut StdRng::seed_from_u64(4));
+        assert_eq!(before, ds.labels());
+    }
+}

@@ -1,0 +1,126 @@
+//! The `Recid` dataset stand-in (6,340 × 15).
+//!
+//! Predicts recidivism for individuals released from North Carolina prisons
+//! in 1978/1980 (Schmidt & Witte). Rule violations, priors, age at release
+//! and supervision status drive the ground truth.
+
+use crate::raw::{RawColumn, RawDataset};
+use crate::synth::util::{label_from_score, Sampler};
+
+/// Row count used by the paper.
+pub const DEFAULT_ROWS: usize = 6_340;
+
+/// Generates the Recid stand-in with `rows` rows.
+pub fn generate(rows: usize, seed: u64) -> RawDataset {
+    let mut s = Sampler::new(seed ^ 0x52454344); // "RECD"
+
+    let mut white = Vec::with_capacity(rows);
+    let mut alchy = Vec::with_capacity(rows);
+    let mut junky = Vec::with_capacity(rows);
+    let mut supervised = Vec::with_capacity(rows);
+    let mut married = Vec::with_capacity(rows);
+    let mut felon = Vec::with_capacity(rows);
+    let mut workprg = Vec::with_capacity(rows);
+    let mut property = Vec::with_capacity(rows);
+    let mut person = Vec::with_capacity(rows);
+    let mut male = Vec::with_capacity(rows);
+    let mut priors = Vec::with_capacity(rows);
+    let mut school = Vec::with_capacity(rows);
+    let mut rule_viol = Vec::with_capacity(rows);
+    let mut age = Vec::with_capacity(rows);
+    let mut time_served = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+
+    for _ in 0..rows {
+        let w = s.weighted(&[0.5, 0.5]);
+        let al = s.weighted(&[0.75, 0.25]);
+        let ju = s.weighted(&[0.8, 0.2]);
+        let sup = s.weighted(&[0.55, 0.45]);
+        let ma = s.weighted(&[0.72, 0.28]);
+        let fe = s.weighted(&[0.45, 0.55]);
+        let wp = s.weighted(&[0.5, 0.5]);
+        let pr_off = s.weighted(&[0.65, 0.35]);
+        let pe_off = s.weighted(&[0.8, 0.2]);
+        let ml = s.weighted(&[0.08, 0.92]);
+        let pri = s.heavy(1.2).clamp(0.0, 25.0).floor();
+        let sch = s.normal(9.5, 2.4).clamp(1.0, 18.0);
+        let rv = s.heavy(0.8).clamp(0.0, 20.0).floor();
+        let a = (s.heavy(80.0) + 17.0 * 12.0).clamp(16.0 * 12.0, 70.0 * 12.0); // months
+        let ts = s.heavy(14.0).clamp(1.0, 240.0);
+
+        // Recidivism rule from the criminology literature: young, prior
+        // record, rule violations in prison, drug/alcohol history increase
+        // risk; supervision, marriage, schooling decrease it.
+        let score = pri * 0.3 + rv * 0.25
+            + if ju == 1 { 0.6 } else { 0.0 }
+            + if al == 1 { 0.35 } else { 0.0 }
+            - (a / 12.0 - 27.0) * 0.05
+            - if sup == 1 { 0.4 } else { 0.0 }
+            - if ma == 1 { 0.35 } else { 0.0 }
+            - (sch - 9.0) * 0.08
+            + if pr_off == 1 { 0.3 } else { 0.0 }
+            - 1.0;
+        labels.push(label_from_score(&mut s, score, 0.09));
+
+        white.push(w);
+        alchy.push(al);
+        junky.push(ju);
+        supervised.push(sup);
+        married.push(ma);
+        felon.push(fe);
+        workprg.push(wp);
+        property.push(pr_off);
+        person.push(pe_off);
+        male.push(ml);
+        priors.push(pri);
+        school.push(sch);
+        rule_viol.push(rv);
+        age.push(a);
+        time_served.push(ts);
+    }
+
+    let yn = |codes: Vec<u32>| RawColumn::Categorical {
+        codes,
+        names: vec!["no".into(), "yes".into()],
+    };
+    RawDataset {
+        name: "Recid".into(),
+        columns: vec![
+            ("White".into(), yn(white)),
+            ("Alcohol".into(), yn(alchy)),
+            ("Drugs".into(), yn(junky)),
+            ("Supervised".into(), yn(supervised)),
+            ("Married".into(), yn(married)),
+            ("Felony".into(), yn(felon)),
+            ("WorkProgram".into(), yn(workprg)),
+            ("PropertyOffense".into(), yn(property)),
+            ("PersonOffense".into(), yn(person)),
+            ("Male".into(), yn(male)),
+            ("Priors".into(), RawColumn::Numeric(priors)),
+            ("SchoolYears".into(), RawColumn::Numeric(school)),
+            ("RuleViolations".into(), RawColumn::Numeric(rule_viol)),
+            ("AgeMonths".into(), RawColumn::Numeric(age)),
+            ("TimeServedMonths".into(), RawColumn::Numeric(time_served)),
+        ],
+        labels,
+        label_names: vec!["NoRecid".into(), "Recid".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_table1() {
+        let ds = generate(DEFAULT_ROWS, 5);
+        assert_eq!(ds.len(), 6_340);
+        assert_eq!(ds.n_features(), 15);
+    }
+
+    #[test]
+    fn recid_rate_plausible() {
+        let p = generate(6_000, 6).positive_rate();
+        assert!((0.2..0.6).contains(&p), "positive rate {p}");
+    }
+}

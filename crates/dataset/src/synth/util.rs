@@ -1,0 +1,112 @@
+//! Shared sampling machinery for the synthetic generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::instance::{Cat, Label};
+
+/// A seeded sampler with the distributions the generators need.
+pub(crate) struct Sampler {
+    rng: StdRng,
+}
+
+impl Sampler {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli with probability `p`.
+    pub(crate) fn flip(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Weighted categorical draw; returns the index of the chosen weight.
+    pub(crate) fn weighted(&mut self, weights: &[f64]) -> Cat {
+        let total: f64 = weights.iter().sum();
+        let mut t = self.rng.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            t -= w;
+            if t <= 0.0 {
+                return i as Cat;
+            }
+        }
+        (weights.len() - 1) as Cat
+    }
+
+    /// Approximately normal via the sum of 12 uniforms (Irwin–Hall),
+    /// shifted and scaled to `mean`/`sd`. Plenty for synthetic data.
+    pub(crate) fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        let s: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum();
+        mean + (s - 6.0) * sd
+    }
+
+    /// Log-normal-ish heavy-tailed positive value.
+    pub(crate) fn heavy(&mut self, scale: f64) -> f64 {
+        let n = self.normal(0.0, 1.0);
+        scale * n.exp()
+    }
+
+    /// Access to the raw RNG for anything exotic.
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Turns a latent score into a binary label with flip-noise `noise`.
+pub(crate) fn label_from_score(s: &mut Sampler, score: f64, noise: f64) -> Label {
+    let base = score > 0.0;
+    let flipped = if s.flip(noise) { !base } else { base };
+    Label(u32::from(flipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut s = Sampler::new(1);
+        for _ in 0..100 {
+            let c = s.weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(c, 1);
+        }
+    }
+
+    #[test]
+    fn weighted_covers_support() {
+        let mut s = Sampler::new(2);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[s.weighted(&[1.0, 1.0, 1.0]) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut s = Sampler::new(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| s.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn label_noise_zero_is_pure_threshold() {
+        let mut s = Sampler::new(4);
+        assert_eq!(label_from_score(&mut s, 1.0, 0.0), Label(1));
+        assert_eq!(label_from_score(&mut s, -1.0, 0.0), Label(0));
+    }
+}

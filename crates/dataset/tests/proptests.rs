@@ -1,0 +1,139 @@
+//! Property-based tests of the data substrate.
+
+use cce_dataset::csv;
+use cce_dataset::{Binning, BinningStrategy, Dataset, FeatureDef, Instance, Label, Schema};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_codes_stay_in_range(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        buckets in 1usize..25,
+        quantile in any::<bool>(),
+    ) {
+        let strategy = if quantile { BinningStrategy::Quantile } else { BinningStrategy::EqualWidth };
+        let b = Binning::fit(&values, buckets, strategy);
+        prop_assert!(b.buckets() >= 1);
+        prop_assert!(b.buckets() <= buckets);
+        for &v in &values {
+            prop_assert!((b.bucket_of(v) as usize) < b.buckets());
+        }
+        // Probes outside the observed range clamp.
+        prop_assert!((b.bucket_of(f64::MIN) as usize) < b.buckets());
+        prop_assert!((b.bucket_of(f64::MAX) as usize) < b.buckets());
+    }
+
+    #[test]
+    fn bucketing_is_monotone(
+        values in proptest::collection::vec(-1e4f64..1e4, 2..100),
+        buckets in 2usize..15,
+    ) {
+        let b = Binning::fit(&values, buckets, BinningStrategy::EqualWidth);
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for w in sorted.windows(2) {
+            prop_assert!(b.bucket_of(w[0]) <= b.bucket_of(w[1]));
+        }
+    }
+
+    #[test]
+    fn midpoints_fall_in_their_bucket(
+        values in proptest::collection::vec(0f64..1e4, 5..100),
+        buckets in 2usize..12,
+    ) {
+        let b = Binning::fit(&values, buckets, BinningStrategy::EqualWidth);
+        for code in 0..b.buckets() as u32 {
+            let mid = b.midpoint(code);
+            prop_assert_eq!(b.bucket_of(mid), code, "midpoint of bucket {} strays", code);
+        }
+    }
+
+    #[test]
+    fn agreement_is_reflexive_and_symmetric(
+        a in proptest::collection::vec(0u32..8, 1..12),
+        b_seed in proptest::collection::vec(0u32..8, 1..12),
+        feats in proptest::collection::vec(0usize..12, 0..6),
+    ) {
+        let n = a.len();
+        let b: Vec<u32> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+        let feats: Vec<usize> = feats.into_iter().filter(|&f| f < n).collect();
+        let xa = Instance::new(a);
+        let xb = Instance::new(b);
+        prop_assert!(xa.agrees_on(&xa, &feats), "reflexive");
+        prop_assert_eq!(xa.agrees_on(&xb, &feats), xb.agrees_on(&xa, &feats), "symmetric");
+        // Agreement on a superset implies agreement on the subset.
+        if xa.agrees_on(&xb, &feats) {
+            for k in 0..feats.len() {
+                prop_assert!(xa.agrees_on(&xb, &feats[..k]));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_any_dataset(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0u32..5, 3..4), 0u32..3),
+            1..30,
+        ),
+    ) {
+        let schema = Schema::new(vec![
+            FeatureDef::categorical("a", &["0", "1", "2", "3", "4"]),
+            FeatureDef::categorical("b", &["0", "1", "2", "3", "4"]),
+            FeatureDef::categorical("c", &["0", "1", "2", "3", "4"]),
+        ]);
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let ds = Dataset::new(
+            "p".into(),
+            schema,
+            xs.into_iter().map(Instance::new).collect(),
+            ys.into_iter().map(Label).collect(),
+        );
+        let text = csv::to_csv(&ds);
+        let back = csv::from_csv(&text, "p", ds.schema().clone()).unwrap();
+        prop_assert_eq!(back.instances(), ds.instances());
+        prop_assert_eq!(back.labels(), ds.labels());
+        let inferred = csv::infer_from_csv(&text, "p").unwrap();
+        prop_assert_eq!(inferred.instances(), ds.instances());
+    }
+
+    #[test]
+    fn marginals_sum_to_row_count(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0u32..4, 2..3), 0u32..2),
+            1..40,
+        ),
+    ) {
+        let schema = Schema::new(vec![
+            FeatureDef::categorical("a", &["0", "1", "2", "3"]),
+            FeatureDef::categorical("b", &["0", "1", "2", "3"]),
+        ]);
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let ds = Dataset::new(
+            "p".into(),
+            schema,
+            xs.into_iter().map(Instance::new).collect(),
+            ys.into_iter().map(Label).collect(),
+        );
+        for f in 0..2 {
+            prop_assert_eq!(ds.marginal(f).iter().sum::<u32>() as usize, ds.len());
+        }
+    }
+
+    #[test]
+    fn chunks_partition_exactly(k in 1usize..10, n in 1usize..60) {
+        let schema = Schema::new(vec![FeatureDef::categorical("a", &["0", "1"])]);
+        let instances = (0..n).map(|i| Instance::new(vec![(i % 2) as u32])).collect();
+        let labels = (0..n).map(|i| Label((i % 2) as u32)).collect();
+        let ds = Dataset::new("p".into(), schema, instances, labels);
+        let parts = ds.chunks(k);
+        prop_assert_eq!(parts.iter().map(Dataset::len).sum::<usize>(), n);
+        // Order is preserved across chunk boundaries.
+        let mut rebuilt = Vec::new();
+        for p in &parts {
+            rebuilt.extend(p.instances().iter().cloned());
+        }
+        prop_assert_eq!(rebuilt, ds.instances().to_vec());
+    }
+}

@@ -1,0 +1,21 @@
+//! Explanation quality measures (§7.1) and experiment-report helpers.
+//!
+//! * [`quality`] — conformity, precision, recall and succinctness, all
+//!   defined against an explanation [`Context`],
+//! * [`mod@faithfulness`] — the mask-and-requery faithfulness measure of \[19\]
+//!   (lower is better),
+//! * [`report`] — plain-text/markdown tables used by every experiment
+//!   binary in `cce-bench`.
+//!
+//! [`Context`]: cce_core::Context
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faithfulness;
+pub mod quality;
+pub mod report;
+
+pub use faithfulness::{faithfulness, FaithfulnessParams};
+pub use quality::{conformity, mean_precision, mean_succinctness, recall_pair, Explained};
+pub use report::Table;

@@ -1,0 +1,154 @@
+//! Conformity, precision, recall and succinctness (§7.1 (a)-(d)).
+
+use cce_core::Context;
+
+/// One explained instance: the context row and the feature explanation
+/// produced for it by some method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explained {
+    /// Row of the explained instance in the evaluation context.
+    pub target: usize,
+    /// The feature explanation (indices).
+    pub features: Vec<usize>,
+}
+
+impl Explained {
+    /// Convenience constructor.
+    pub fn new(target: usize, features: Vec<usize>) -> Self {
+        Self { target, features }
+    }
+}
+
+/// §7.1(a): the fraction of explained instances whose explanation is
+/// *conformant* over `ctx` — no instance agrees on the explanation's
+/// features while receiving a different prediction.
+pub fn conformity(ctx: &Context, explained: &[Explained]) -> f64 {
+    if explained.is_empty() {
+        return 1.0;
+    }
+    let ok = explained
+        .iter()
+        .filter(|e| ctx.count_violators(&e.features, e.target) == 0)
+        .count();
+    ok as f64 / explained.len() as f64
+}
+
+/// §7.1(b): the mean, over explained instances, of the largest α for which
+/// the explanation is an α-conformant key relative to `ctx`.
+pub fn mean_precision(ctx: &Context, explained: &[Explained]) -> f64 {
+    if explained.is_empty() {
+        return 1.0;
+    }
+    explained.iter().map(|e| ctx.max_alpha(&e.features, e.target)).sum::<f64>()
+        / explained.len() as f64
+}
+
+/// §7.1(c): pairwise recall of two *conformant* explanations for the same
+/// target. With `D(E)` the instances agreeing with and conforming to `E`,
+/// returns `(|D(e1)| / |D(e1) ∪ D(e2)|, |D(e2)| / |D(e1) ∪ D(e2)|)`.
+pub fn recall_pair(ctx: &Context, target: usize, e1: &[usize], e2: &[usize]) -> (f64, f64) {
+    let d1 = ctx.covered_rows(e1, target);
+    let d2 = ctx.covered_rows(e2, target);
+    let mut union: Vec<u32> = d1.clone();
+    for r in &d2 {
+        if !d1.contains(r) {
+            union.push(*r);
+        }
+    }
+    if union.is_empty() {
+        return (1.0, 1.0);
+    }
+    (d1.len() as f64 / union.len() as f64, d2.len() as f64 / union.len() as f64)
+}
+
+/// §7.1(d): mean number of features per explanation.
+pub fn mean_succinctness(explained: &[Explained]) -> f64 {
+    if explained.is_empty() {
+        return 0.0;
+    }
+    explained.iter().map(|e| e.features.len() as f64).sum::<f64>() / explained.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{FeatureDef, Instance, Label, Schema};
+    use std::sync::Arc;
+
+    /// The Figure 2 context (same rows as the core crate's tests).
+    fn figure2() -> Context {
+        let schema = Arc::new(Schema::new(vec![
+            FeatureDef::categorical("Gender", &["Male", "Female"]),
+            FeatureDef::categorical("Income", &["1-2K", "3-4K", "5-6K"]),
+            FeatureDef::categorical("Credit", &["poor", "good"]),
+            FeatureDef::categorical("Dependents", &["0", "1", "2"]),
+        ]));
+        let rows: Vec<(Vec<u32>, u32)> = vec![
+            (vec![0, 1, 0, 1], 0),
+            (vec![0, 2, 0, 1], 1),
+            (vec![1, 1, 0, 2], 0),
+            (vec![0, 1, 0, 1], 0),
+            (vec![0, 0, 0, 1], 0),
+            (vec![0, 1, 1, 0], 1),
+            (vec![0, 1, 1, 1], 1),
+        ];
+        let (xs, ps): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        Context::new(
+            schema,
+            xs.into_iter().map(Instance::new).collect(),
+            ps.into_iter().map(Label).collect(),
+        )
+    }
+
+    #[test]
+    fn conformity_distinguishes_valid_and_invalid() {
+        let ctx = figure2();
+        let good = Explained::new(0, vec![1, 2]); // Income+Credit: conformant
+        let bad = Explained::new(0, vec![2]); // Credit alone: x1 violates
+        assert_eq!(conformity(&ctx, std::slice::from_ref(&good)), 1.0);
+        assert_eq!(conformity(&ctx, std::slice::from_ref(&bad)), 0.0);
+        assert_eq!(conformity(&ctx, &[good, bad]), 0.5);
+    }
+
+    #[test]
+    fn precision_is_max_alpha() {
+        let ctx = figure2();
+        let e = Explained::new(0, vec![2]);
+        // One violator in seven instances.
+        assert!((mean_precision(&ctx, &[e]) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_prefers_more_general_explanations() {
+        let ctx = figure2();
+        // e1 = {Income, Credit} covers x0, x3; e2 = all features covers
+        // only x0 and its duplicate x3 as well — craft a stricter one.
+        let e1 = vec![1, 2];
+        let e2 = vec![0, 1, 2, 3];
+        let (r1, r2) = recall_pair(&ctx, 0, &e1, &e2);
+        assert!(r1 >= r2, "shorter conformant keys cover at least as much");
+        assert!(r1 <= 1.0 && r2 > 0.0);
+    }
+
+    #[test]
+    fn recall_of_identical_explanations_is_one() {
+        let ctx = figure2();
+        let (r1, r2) = recall_pair(&ctx, 0, &[1, 2], &[1, 2]);
+        assert_eq!((r1, r2), (1.0, 1.0));
+    }
+
+    #[test]
+    fn succinctness_averages() {
+        let items =
+            vec![Explained::new(0, vec![1]), Explained::new(1, vec![1, 2, 3])];
+        assert_eq!(mean_succinctness(&items), 2.0);
+        assert_eq!(mean_succinctness(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_explained_sets_are_vacuous() {
+        let ctx = figure2();
+        assert_eq!(conformity(&ctx, &[]), 1.0);
+        assert_eq!(mean_precision(&ctx, &[]), 1.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Gradient-boosted decision trees — the workspace's XGBoost stand-in.
+//!
+//! Binary classification with logistic loss and second-order (Newton)
+//! boosting: each round fits a [`RegressionTree`] to the loss gradients
+//! and hessians, exactly the scheme of XGBoost \[29\] on which the paper
+//! trains its models. The ensemble's tree structure is public so the
+//! formal Xreason baseline can reason over it.
+
+use cce_dataset::{Dataset, Instance, Label};
+
+use crate::tree::{RegressionTree, TreeParams};
+use crate::Model;
+
+/// Hyper-parameters for [`Gbdt::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct GbdtParams {
+    /// Number of boosting rounds (trees).
+    pub n_trees: usize,
+    /// Learning rate (shrinkage) applied to every leaf weight.
+    pub learning_rate: f64,
+    /// Base-learner parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        Self { n_trees: 30, learning_rate: 0.3, tree: TreeParams::default() }
+    }
+}
+
+impl GbdtParams {
+    /// A small, fast configuration for unit tests and examples.
+    pub fn fast() -> Self {
+        Self {
+            n_trees: 10,
+            learning_rate: 0.4,
+            tree: TreeParams { max_depth: 3, ..TreeParams::default() },
+        }
+    }
+
+    /// A configuration kept small enough for the exact Xreason oracle to
+    /// stay tractable (the paper's Xreason is likewise limited to modest
+    /// ensembles).
+    pub fn explainable() -> Self {
+        Self {
+            n_trees: 60,
+            learning_rate: 0.2,
+            tree: TreeParams { max_depth: 6, ..TreeParams::default() },
+        }
+    }
+}
+
+/// A trained gradient-boosted tree ensemble (binary logistic).
+///
+/// `predict` returns `Label(1)` when the boosted margin (log-odds) is
+/// positive.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    trees: Vec<RegressionTree>,
+    base_margin: f64,
+    learning_rate: f64,
+}
+
+impl Gbdt {
+    /// Trains on a binary dataset (labels must be 0/1).
+    ///
+    /// `seed` is accepted for interface uniformity; training itself is
+    /// deterministic (exact greedy splits, no subsampling).
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or contains labels other than 0/1.
+    pub fn train(ds: &Dataset, params: &GbdtParams, seed: u64) -> Self {
+        let _ = seed;
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        assert!(
+            ds.labels().iter().all(|l| l.0 <= 1),
+            "Gbdt is a binary classifier; labels must be 0/1"
+        );
+        let n = ds.len();
+        let pos = ds.labels().iter().filter(|l| l.0 == 1).count() as f64;
+        // Log-odds prior, clamped away from degenerate all-one-class data.
+        let p0 = (pos / n as f64).clamp(1e-4, 1.0 - 1e-4);
+        let base_margin = (p0 / (1.0 - p0)).ln();
+
+        let mut margins = vec![base_margin; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut g = vec![0.0f64; n];
+        let mut h = vec![0.0f64; n];
+        for _ in 0..params.n_trees {
+            for i in 0..n {
+                let p = sigmoid(margins[i]);
+                let y = f64::from(ds.label(i).0);
+                g[i] = p - y;
+                h[i] = (p * (1.0 - p)).max(1e-9);
+            }
+            let tree = RegressionTree::fit(ds, &g, &h, &params.tree);
+            for (i, x) in ds.instances().iter().enumerate() {
+                margins[i] += params.learning_rate * tree.eval(x);
+            }
+            trees.push(tree);
+        }
+        Self { trees, base_margin, learning_rate: params.learning_rate }
+    }
+
+    /// The boosted log-odds margin for an instance.
+    pub fn margin(&self, x: &Instance) -> f64 {
+        self.base_margin
+            + self.learning_rate * self.trees.iter().map(|t| t.eval(x)).sum::<f64>()
+    }
+
+    /// Predicted probability of class 1.
+    pub fn predict_proba(&self, x: &Instance) -> f64 {
+        sigmoid(self.margin(x))
+    }
+
+    /// The trained trees — consumed by the Xreason oracle.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// The constant margin added before any tree.
+    pub fn base_margin(&self) -> f64 {
+        self.base_margin
+    }
+
+    /// The shrinkage applied to each tree's output.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+impl Model for Gbdt {
+    fn predict(&self, x: &Instance) -> Label {
+        Label(u32::from(self.margin(x) > 0.0))
+    }
+}
+
+/// A multiclass gradient-boosted ensemble via one-vs-rest: one binary
+/// [`Gbdt`] per class, predicting the class with the largest margin.
+#[derive(Debug, Clone)]
+pub struct GbdtOvr {
+    per_class: Vec<Gbdt>,
+}
+
+impl GbdtOvr {
+    /// Trains one binary ensemble per observed class.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train(ds: &Dataset, params: &GbdtParams, seed: u64) -> Self {
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        let n_classes = ds.labels().iter().map(|l| l.0 as usize + 1).max().unwrap_or(1);
+        let per_class = (0..n_classes as u32)
+            .map(|c| {
+                let mut binary = ds.clone();
+                binary.set_labels(
+                    ds.labels().iter().map(|l| Label(u32::from(l.0 == c))).collect(),
+                );
+                Gbdt::train(&binary, params, seed)
+            })
+            .collect();
+        Self { per_class }
+    }
+
+    /// Per-class margins for an instance.
+    pub fn margins(&self, x: &Instance) -> Vec<f64> {
+        self.per_class.iter().map(|m| m.margin(x)).collect()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// The underlying binary ensembles (white-box access, e.g. for
+    /// per-class Xreason queries).
+    pub fn ensembles(&self) -> &[Gbdt] {
+        &self.per_class
+    }
+}
+
+impl Model for GbdtOvr {
+    fn predict(&self, x: &Instance) -> Label {
+        let best = self
+            .margins(x)
+            .into_iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins"))
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        Label(best as u32)
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+    use cce_dataset::synth;
+    use cce_dataset::BinSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loan_split() -> (Dataset, Dataset) {
+        let raw = synth::loan::generate(614, 11);
+        let ds = raw.encode(&BinSpec::uniform(10));
+        ds.split(0.7, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn learns_loan_decisions() {
+        let (train, test) = loan_split();
+        let m = Gbdt::train(&train, &GbdtParams::default(), 0);
+        let acc = accuracy(&m, &test);
+        assert!(acc > 0.8, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn beats_majority_class() {
+        let (train, test) = loan_split();
+        let m = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        let majority = test
+            .labels()
+            .iter()
+            .filter(|l| l.0 == 1)
+            .count()
+            .max(test.labels().iter().filter(|l| l.0 == 0).count()) as f64
+            / test.len() as f64;
+        assert!(accuracy(&m, &test) > majority);
+    }
+
+    #[test]
+    fn margin_agrees_with_prediction() {
+        let (train, _) = loan_split();
+        let m = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        for x in train.instances().iter().take(50) {
+            let pred = m.predict(x);
+            assert_eq!(pred, Label(u32::from(m.margin(x) > 0.0)));
+            let p = m.predict_proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (train, test) = loan_split();
+        let a = Gbdt::train(&train, &GbdtParams::fast(), 0);
+        let b = Gbdt::train(&train, &GbdtParams::fast(), 99);
+        for x in test.instances() {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn rejects_multiclass() {
+        let raw = synth::loan::generate(100, 3);
+        let mut ds = raw.encode(&BinSpec::uniform(5));
+        let mut labels = ds.labels().to_vec();
+        labels[0] = Label(2);
+        ds.set_labels(labels);
+        let _ = Gbdt::train(&ds, &GbdtParams::fast(), 0);
+    }
+
+    #[test]
+    fn ovr_learns_three_tiers() {
+        let raw = synth::tiers::generate(900, 4);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let (train, test) = ds.split(0.7, &mut StdRng::seed_from_u64(3));
+        let m = GbdtOvr::train(&train, &GbdtParams::fast(), 0);
+        assert_eq!(m.n_classes(), 3);
+        let acc = accuracy(&m, &test);
+        assert!(acc > 0.6, "OvR accuracy {acc}");
+        // Margins and prediction agree.
+        for x in test.instances().iter().take(20) {
+            let margins = m.margins(x);
+            let argmax = margins
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0 as u32;
+            assert_eq!(m.predict(x).0, argmax);
+        }
+    }
+
+    #[test]
+    fn ovr_on_binary_data_matches_classes() {
+        let raw = synth::loan::generate(300, 5);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let m = GbdtOvr::train(&ds, &GbdtParams::fast(), 0);
+        assert_eq!(m.n_classes(), 2);
+        assert_eq!(m.ensembles().len(), 2);
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let raw = synth::loan::generate(120, 3);
+        let mut ds = raw.encode(&BinSpec::uniform(5));
+        ds.set_labels(vec![Label(1); ds.len()]);
+        let m = Gbdt::train(&ds, &GbdtParams::fast(), 0);
+        for x in ds.instances().iter().take(20) {
+            assert_eq!(m.predict(x), Label(1));
+        }
+    }
+}

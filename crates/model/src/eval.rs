@@ -1,0 +1,127 @@
+//! Model evaluation helpers.
+
+use cce_dataset::{Dataset, Label};
+
+use crate::Model;
+
+/// Fraction of rows whose prediction equals the recorded label.
+pub fn accuracy<M: Model + ?Sized>(model: &M, ds: &Dataset) -> f64 {
+    if ds.is_empty() {
+        return 1.0;
+    }
+    let hits = ds.iter().filter(|(x, y)| model.predict(x) == *y).count();
+    hits as f64 / ds.len() as f64
+}
+
+/// A 2×2 confusion matrix for binary tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives (`pred = 1`, `label = 1`).
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Computes the confusion matrix of `model` over `ds`.
+    pub fn of<M: Model + ?Sized>(model: &M, ds: &Dataset) -> Self {
+        let mut c = Self::default();
+        for (x, y) in ds.iter() {
+            match (model.predict(x), y) {
+                (Label(1), Label(1)) => c.tp += 1,
+                (Label(1), _) => c.fp += 1,
+                (Label(0), Label(0)) => c.tn += 1,
+                _ => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision of the positive class (1.0 when nothing was predicted
+    /// positive).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall of the positive class (1.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelFn;
+    use cce_dataset::{FeatureDef, Instance, Schema};
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(vec![FeatureDef::categorical("a", &["0", "1"])]);
+        let instances = (0..4).map(|i| Instance::new(vec![i % 2])).collect();
+        let labels = vec![Label(0), Label(1), Label(0), Label(0)];
+        Dataset::new("t".into(), schema, instances, labels)
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let ds = toy();
+        let m = ModelFn(|x: &Instance| Label(x[0]));
+        // predictions: 0,1,0,1 vs labels 0,1,0,0 => 3/4.
+        assert_eq!(accuracy(&m, &ds), 0.75);
+    }
+
+    #[test]
+    fn confusion_matrix_totals() {
+        let ds = toy();
+        let m = ModelFn(|x: &Instance| Label(x[0]));
+        let c = Confusion::of(&m, &ds);
+        assert_eq!(c.tp + c.fp + c.tn + c.fn_, ds.len());
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 2);
+        assert_eq!(c.fn_, 0);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 1.0);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let ds = toy();
+        let never = ModelFn(|_: &Instance| Label(0));
+        let c = Confusion::of(&never, &ds);
+        assert_eq!(c.precision(), 1.0, "no positive predictions");
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_perfect() {
+        let ds = toy().head(0);
+        let m = ModelFn(|_: &Instance| Label(0));
+        assert_eq!(accuracy(&m, &ds), 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Random forest — bagged CART trees with feature subsampling.
+//!
+//! A second white-box ensemble (multiclass-capable, unlike the binary
+//! [`Gbdt`]) and a further demonstration that relative keys are
+//! model-agnostic: CCE explains it through recorded predictions exactly
+//! like every other model.
+//!
+//! [`Gbdt`]: crate::Gbdt
+
+use cce_dataset::{Dataset, Instance, Label};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::tree::{DecisionTree, TreeParams};
+use crate::Model;
+
+/// Hyper-parameters for [`RandomForest::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Fraction of rows bootstrapped per tree.
+    pub sample_frac: f64,
+    /// Base-tree parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 20,
+            sample_frac: 0.8,
+            tree: TreeParams { max_depth: 6, ..TreeParams::default() },
+        }
+    }
+}
+
+/// A trained random forest (majority vote over bagged trees).
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains on a dataset with labels `0..k`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train(ds: &Dataset, params: &ForestParams, seed: u64) -> Self {
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        let n_classes =
+            ds.labels().iter().map(|l| l.0 as usize + 1).max().unwrap_or(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let per_tree = ((ds.len() as f64) * params.sample_frac.clamp(0.05, 1.0))
+            .round()
+            .max(1.0) as usize;
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let rows: Vec<usize> =
+                    (0..per_tree).map(|_| rng.gen_range(0..ds.len())).collect();
+                DecisionTree::train(&ds.select(&rows), &params.tree)
+            })
+            .collect();
+        Self { trees, n_classes }
+    }
+
+    /// Per-class vote counts for an instance.
+    pub fn votes(&self, x: &Instance) -> Vec<usize> {
+        let mut v = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            let c = t.predict(x).0 as usize;
+            if c < v.len() {
+                v[c] += 1;
+            }
+        }
+        v
+    }
+
+    /// The trained trees (white-box access).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+}
+
+impl Model for RandomForest {
+    fn predict(&self, x: &Instance) -> Label {
+        let votes = self.votes(x);
+        let best = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        Label(best as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+    use cce_dataset::{synth, BinSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_loan() {
+        let ds = synth::loan::generate(614, 11).encode(&BinSpec::uniform(10));
+        let (train, test) = ds.split(0.7, &mut StdRng::seed_from_u64(1));
+        let m = RandomForest::train(&train, &ForestParams::default(), 0);
+        let acc = accuracy(&m, &test);
+        assert!(acc > 0.8, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn votes_sum_to_tree_count() {
+        let ds = synth::loan::generate(200, 3).encode(&BinSpec::uniform(6));
+        let m = RandomForest::train(&ds, &ForestParams { n_trees: 7, ..Default::default() }, 0);
+        let v = m.votes(ds.instance(0));
+        assert_eq!(v.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn handles_multiclass() {
+        let ds = synth::tiers::generate(600, 5).encode(&BinSpec::uniform(8));
+        let (train, test) = ds.split(0.7, &mut StdRng::seed_from_u64(2));
+        let m = RandomForest::train(&train, &ForestParams::default(), 0);
+        let acc = accuracy(&m, &test);
+        assert!(acc > 0.6, "multiclass accuracy {acc}");
+        // All three classes appear among predictions.
+        let mut seen = [false; 3];
+        for x in test.instances() {
+            seen[m.predict(x).0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all tiers predicted");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = synth::loan::generate(150, 5).encode(&BinSpec::uniform(6));
+        let a = RandomForest::train(&ds, &ForestParams::default(), 42);
+        let b = RandomForest::train(&ds, &ForestParams::default(), 42);
+        for x in ds.instances().iter().take(30) {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The entity-matching model — our Ditto \[57\] stand-in.
+//!
+//! Ditto is a fine-tuned transformer over serialized record pairs. We keep
+//! the property the paper's §7.5 evaluation needs — an *opaque, non-tree*
+//! model over entity pairs that only CCE, Anchor and CERTA can explain —
+//! while making it tractable: record pairs are featurized into
+//! per-attribute similarities (see `cce_dataset::synth::em`), discretized,
+//! and classified by an [`Mlp`].
+//!
+//! The matcher implements [`Model`] over the *encoded* instances, decoding
+//! bucket codes back to representative similarity values internally, so it
+//! plugs into every explainer in the workspace unchanged.
+
+use cce_dataset::{Dataset, FeatureKind, Instance, Label, Schema};
+use std::sync::Arc;
+
+use crate::mlp::{Mlp, MlpParams};
+use crate::Model;
+
+/// A trained entity matcher: an MLP over decoded attribute similarities.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    mlp: Mlp,
+    schema: Arc<Schema>,
+}
+
+impl Matcher {
+    /// Trains on an encoded EM dataset (binned similarity features, labels
+    /// `Match`/`NoMatch`).
+    ///
+    /// # Panics
+    /// Panics on empty data or non-binary labels.
+    pub fn train(ds: &Dataset, params: &MlpParams, seed: u64) -> Self {
+        assert!(!ds.is_empty(), "cannot train on an empty dataset");
+        assert!(ds.labels().iter().all(|l| l.0 <= 1), "Matcher is binary");
+        let schema = ds.schema_arc();
+        let xs: Vec<Vec<f64>> =
+            ds.instances().iter().map(|x| decode(&schema, x)).collect();
+        let ys: Vec<f64> = ds.labels().iter().map(|l| f64::from(l.0)).collect();
+        let mlp = Mlp::train(&xs, &ys, params, seed);
+        Self { mlp, schema }
+    }
+
+    /// Match probability of an encoded pair.
+    pub fn proba(&self, x: &Instance) -> f64 {
+        self.mlp.proba(&decode(&self.schema, x))
+    }
+}
+
+/// Decodes bucket codes to representative raw values for the MLP.
+fn decode(schema: &Schema, x: &Instance) -> Vec<f64> {
+    (0..schema.n_features())
+        .map(|f| match &schema.feature(f).kind {
+            FeatureKind::Numeric { binning } => binning.midpoint(x[f]),
+            FeatureKind::Categorical { names } => {
+                // EM features are all numeric similarities, but stay total.
+                f64::from(x[f]) / names.len().max(1) as f64
+            }
+        })
+        .collect()
+}
+
+impl Model for Matcher {
+    fn predict(&self, x: &Instance) -> Label {
+        Label(u32::from(self.proba(x) > 0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::accuracy;
+    use cce_dataset::synth::em;
+    use cce_dataset::BinSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_entity_matching() {
+        let em = em::amazon_google(1_500, 7);
+        let ds = em.to_raw().encode(&BinSpec::uniform(8));
+        let (train, test) = ds.split(0.7, &mut StdRng::seed_from_u64(5));
+        let m = Matcher::train(&train, &MlpParams::default(), 6);
+        let acc = accuracy(&m, &test);
+        assert!(acc > 0.9, "EM accuracy {acc}");
+    }
+
+    #[test]
+    fn finds_most_matches() {
+        let em = em::dblp_acm(1_200, 8);
+        let ds = em.to_raw().encode(&BinSpec::uniform(8));
+        let (train, test) = ds.split(0.7, &mut StdRng::seed_from_u64(6));
+        let m = Matcher::train(&train, &MlpParams::default(), 7);
+        let (mut hit, mut tot) = (0usize, 0usize);
+        for (x, y) in test.iter() {
+            if y == Label(1) {
+                tot += 1;
+                hit += usize::from(m.predict(x) == Label(1));
+            }
+        }
+        assert!(tot > 20, "need matches in the test split");
+        assert!(hit as f64 / tot as f64 > 0.7, "match recall {}/{tot}", hit);
+    }
+
+    #[test]
+    fn proba_is_probability() {
+        let em = em::walmart_amazon(600, 9);
+        let ds = em.to_raw().encode(&BinSpec::uniform(6));
+        let m = Matcher::train(&ds, &MlpParams { epochs: 10, ..Default::default() }, 1);
+        for x in ds.instances().iter().take(50) {
+            let p = m.proba(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

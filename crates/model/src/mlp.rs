@@ -1,0 +1,203 @@
+//! A small multi-layer perceptron, trained with plain backprop.
+//!
+//! This is the opaque "DNN" of the workspace: one hidden tanh layer and a
+//! sigmoid output, trained by seeded SGD with momentum. It deliberately
+//! exposes *no* structure — the Xreason baseline cannot explain it, which
+//! is exactly the situation §7.5 evaluates on the entity-matching task.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`Mlp::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct MlpParams {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self { hidden: 16, epochs: 60, lr: 0.05, momentum: 0.9 }
+    }
+}
+
+/// A binary MLP classifier over dense `f64` feature vectors.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Vec<f64>, // hidden x input
+    b1: Vec<f64>,
+    w2: Vec<f64>, // hidden
+    b2: f64,
+    inputs: usize,
+    hidden: usize,
+}
+
+impl Mlp {
+    /// Trains on rows `xs` with binary targets `ys` (0.0 / 1.0).
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged rows.
+    pub fn train(xs: &[Vec<f64>], ys: &[f64], params: &MlpParams, seed: u64) -> Self {
+        assert!(!xs.is_empty(), "cannot train on empty data");
+        assert_eq!(xs.len(), ys.len());
+        let inputs = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == inputs), "ragged rows");
+        let hidden = params.hidden.max(1);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / inputs as f64).sqrt();
+        let mut w1: Vec<f64> =
+            (0..hidden * inputs).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
+        let mut b1 = vec![0.0; hidden];
+        let mut w2: Vec<f64> =
+            (0..hidden).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
+        let mut b2 = 0.0f64;
+
+        let mut vw1 = vec![0.0; w1.len()];
+        let mut vb1 = vec![0.0; b1.len()];
+        let mut vw2 = vec![0.0; w2.len()];
+        let mut vb2 = 0.0f64;
+
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut hid = vec![0.0f64; hidden];
+        for _ in 0..params.epochs {
+            use rand::seq::SliceRandom;
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let x = &xs[i];
+                // Forward.
+                for h in 0..hidden {
+                    let z: f64 = b1[h]
+                        + w1[h * inputs..(h + 1) * inputs]
+                            .iter()
+                            .zip(x)
+                            .map(|(w, xi)| w * xi)
+                            .sum::<f64>();
+                    hid[h] = z.tanh();
+                }
+                let z2: f64 = b2 + w2.iter().zip(&hid).map(|(w, h)| w * h).sum::<f64>();
+                let p = 1.0 / (1.0 + (-z2).exp());
+                // Backward (cross-entropy).
+                let dz2 = p - ys[i];
+                for h in 0..hidden {
+                    let dw2 = dz2 * hid[h];
+                    vw2[h] = params.momentum * vw2[h] - params.lr * dw2;
+                    let dh = dz2 * w2[h] * (1.0 - hid[h] * hid[h]);
+                    w2[h] += vw2[h];
+                    let row = h * inputs..(h + 1) * inputs;
+                    for ((v, w), xj) in
+                        vw1[row.clone()].iter_mut().zip(&mut w1[row]).zip(x)
+                    {
+                        *v = params.momentum * *v - params.lr * dh * xj;
+                        *w += *v;
+                    }
+                    vb1[h] = params.momentum * vb1[h] - params.lr * dh;
+                    b1[h] += vb1[h];
+                }
+                vb2 = params.momentum * vb2 - params.lr * dz2;
+                b2 += vb2;
+            }
+        }
+        Self { w1, b1, w2, b2, inputs, hidden }
+    }
+
+    /// Probability of class 1 for a feature vector.
+    ///
+    /// # Panics
+    /// Panics if `x` has the wrong width.
+    pub fn proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.inputs, "input width mismatch");
+        let mut z2 = self.b2;
+        for h in 0..self.hidden {
+            let z: f64 = self.b1[h]
+                + self.w1[h * self.inputs..(h + 1) * self.inputs]
+                    .iter()
+                    .zip(x)
+                    .map(|(w, xi)| w * xi)
+                    .sum::<f64>();
+            z2 += self.w2[h] * z.tanh();
+        }
+        1.0 / (1.0 + (-z2).exp())
+    }
+
+    /// Hard 0/1 decision at threshold 0.5.
+    pub fn decide(&self, x: &[f64]) -> bool {
+        self.proba(x) > 0.5
+    }
+
+    /// Expected input width.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linearly_separable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> =
+            (0..400).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| f64::from(x[0] + x[1] > 1.0)).collect();
+        let m = Mlp::train(&xs, &ys, &MlpParams::default(), 2);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| f64::from(m.decide(x)) == y)
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn learns_xor() {
+        // Nonlinear decision boundary — a linear model cannot do this.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..600 {
+            let a = rng.gen::<f64>();
+            let b = rng.gen::<f64>();
+            xs.push(vec![a, b]);
+            ys.push(f64::from((a > 0.5) ^ (b > 0.5)));
+        }
+        let m = Mlp::train(
+            &xs,
+            &ys,
+            &MlpParams { hidden: 24, epochs: 400, lr: 0.03, momentum: 0.9 },
+            4,
+        );
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| f64::from(m.decide(x)) == y)
+            .count();
+        assert!(correct as f64 / xs.len() as f64 > 0.9, "acc={}", correct as f64 / xs.len() as f64);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i % 7) / 7.0]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| f64::from(i % 2)).collect();
+        let a = Mlp::train(&xs, &ys, &MlpParams::default(), 9);
+        let b = Mlp::train(&xs, &ys, &MlpParams::default(), 9);
+        for x in &xs {
+            assert_eq!(a.proba(x), b.proba(x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let m = Mlp::train(&[vec![0.0, 1.0]], &[1.0], &MlpParams { epochs: 1, ..Default::default() }, 0);
+        let _ = m.proba(&[0.0]);
+    }
+}

@@ -1,0 +1,502 @@
+//! Decision trees: CART classification and second-order regression trees.
+//!
+//! Trees are the white-box substrate of the workspace: [`Gbdt`] boosts
+//! [`RegressionTree`]s, and the Xreason baseline reasons over their split
+//! structure through the public [`Tree::nodes`] accessor.
+//!
+//! Splits respect the schema: binned numeric features use ordinal
+//! `value <= t` tests, categorical features use `value == v` tests.
+//!
+//! [`Gbdt`]: crate::Gbdt
+
+use cce_dataset::{Cat, Dataset, Instance, Label, Schema};
+
+/// A branching test on one feature value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitTest {
+    /// Goes left when `value <= threshold` (ordinal features).
+    LessEq(Cat),
+    /// Goes left when `value == target` (categorical features).
+    Equal(Cat),
+}
+
+impl SplitTest {
+    /// Whether value `v` takes the left branch.
+    #[inline]
+    pub fn goes_left(&self, v: Cat) -> bool {
+        match *self {
+            SplitTest::LessEq(t) => v <= t,
+            SplitTest::Equal(t) => v == t,
+        }
+    }
+}
+
+/// A tree node: leaf payload or internal split.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node<L> {
+    /// Terminal node carrying the prediction payload.
+    Leaf(L),
+    /// Internal split.
+    Split {
+        /// Feature tested.
+        feature: usize,
+        /// Branch test.
+        test: SplitTest,
+        /// Index of the left child in the node arena.
+        left: u32,
+        /// Index of the right child in the node arena.
+        right: u32,
+    },
+}
+
+/// An arena-allocated binary tree with root at index 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree<L> {
+    nodes: Vec<Node<L>>,
+}
+
+impl<L: Copy> Tree<L> {
+    /// Wraps a node arena. Root must be at index 0 and children must point
+    /// forward.
+    pub fn from_nodes(nodes: Vec<Node<L>>) -> Self {
+        debug_assert!(!nodes.is_empty());
+        Self { nodes }
+    }
+
+    /// The node arena (read-only) — used by the Xreason oracle.
+    pub fn nodes(&self) -> &[Node<L>] {
+        &self.nodes
+    }
+
+    /// Evaluates the tree on an instance.
+    pub fn eval(&self, x: &Instance) -> L {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf(v) => return *v,
+                Node::Split { feature, test, left, right } => {
+                    i = if test.goes_left(x[*feature]) { *left as usize } else { *right as usize };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf(_))).count()
+    }
+
+    /// Maximum depth (root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn go<L>(nodes: &[Node<L>], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf(_) => 0,
+                Node::Split { left, right, .. } => {
+                    1 + go(nodes, *left as usize).max(go(nodes, *right as usize))
+                }
+            }
+        }
+        go(&self.nodes, 0)
+    }
+}
+
+/// Hyper-parameters shared by tree trainers.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum rows per leaf.
+    pub min_samples_leaf: usize,
+    /// L2 regularization on leaf weights (regression trees).
+    pub lambda: f64,
+    /// Minimum gain required to split (regression trees).
+    pub gamma: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 4, min_samples_leaf: 2, lambda: 1.0, gamma: 1e-6 }
+    }
+}
+
+// --- Classification (CART / gini) ------------------------------------------
+
+/// A CART-style classification tree trained with gini impurity.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    tree: Tree<Label>,
+}
+
+impl DecisionTree {
+    /// Trains on a dataset.
+    pub fn train(ds: &Dataset, params: &TreeParams) -> Self {
+        let n_classes = ds
+            .labels()
+            .iter()
+            .map(|l| l.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let rows: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut nodes = Vec::new();
+        build_classifier(ds, &rows, n_classes, params, 0, &mut nodes);
+        Self { tree: Tree::from_nodes(nodes) }
+    }
+
+    /// The underlying split structure.
+    pub fn tree(&self) -> &Tree<Label> {
+        &self.tree
+    }
+}
+
+impl crate::Model for DecisionTree {
+    fn predict(&self, x: &Instance) -> Label {
+        self.tree.eval(x)
+    }
+}
+
+fn class_counts(ds: &Dataset, rows: &[u32], n_classes: usize) -> Vec<usize> {
+    let mut c = vec![0usize; n_classes];
+    for &r in rows {
+        c[ds.label(r as usize).0 as usize] += 1;
+    }
+    c
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn majority(counts: &[usize]) -> Label {
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Label(best as u32)
+}
+
+/// Appends the subtree for `rows` to `nodes`, returning its index.
+fn build_classifier(
+    ds: &Dataset,
+    rows: &[u32],
+    n_classes: usize,
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<Node<Label>>,
+) -> u32 {
+    let counts = class_counts(ds, rows, n_classes);
+    let here = gini(&counts);
+    let idx = nodes.len() as u32;
+    if depth >= params.max_depth || here == 0.0 || rows.len() < 2 * params.min_samples_leaf {
+        nodes.push(Node::Leaf(majority(&counts)));
+        return idx;
+    }
+
+    let schema = ds.schema();
+    let mut best: Option<(f64, usize, SplitTest)> = None;
+    for f in 0..schema.n_features() {
+        let card = schema.feature(f).cardinality();
+        if card < 2 {
+            continue;
+        }
+        // counts[value][class]
+        let mut vc = vec![vec![0usize; n_classes]; card];
+        for &r in rows {
+            vc[ds.instance(r as usize)[f] as usize][ds.label(r as usize).0 as usize] += 1;
+        }
+        let tests: Vec<SplitTest> = if schema.feature(f).is_ordinal() {
+            (0..card as Cat - 1).map(SplitTest::LessEq).collect()
+        } else {
+            (0..card as Cat).map(SplitTest::Equal).collect()
+        };
+        for test in tests {
+            let mut left = vec![0usize; n_classes];
+            for (v, classes) in vc.iter().enumerate() {
+                if test.goes_left(v as Cat) {
+                    for (l, c) in left.iter_mut().zip(classes) {
+                        *l += c;
+                    }
+                }
+            }
+            let ln: usize = left.iter().sum();
+            let rn = rows.len() - ln;
+            if ln < params.min_samples_leaf || rn < params.min_samples_leaf {
+                continue;
+            }
+            let right: Vec<usize> = counts.iter().zip(&left).map(|(t, l)| t - l).collect();
+            let w = rows.len() as f64;
+            let split_gini = (ln as f64 / w) * gini(&left) + (rn as f64 / w) * gini(&right);
+            let gain = here - split_gini;
+            if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, f, test));
+            } else if best.is_none() && gain >= -1e-12 {
+                // Zero-gain fallback: an impure node where no single split
+                // reduces gini (e.g. XOR) may still become separable one
+                // level down. Depth bounds keep this terminating.
+                best = Some((0.0, f, test));
+            }
+        }
+    }
+
+    let Some((_, f, test)) = best else {
+        nodes.push(Node::Leaf(majority(&counts)));
+        return idx;
+    };
+
+    let (lrows, rrows): (Vec<u32>, Vec<u32>) =
+        rows.iter().partition(|&&r| test.goes_left(ds.instance(r as usize)[f]));
+    // Reserve this node, then build children after it in the arena.
+    nodes.push(Node::Leaf(Label(0))); // placeholder
+    let left = build_classifier(ds, &lrows, n_classes, params, depth + 1, nodes);
+    let right = build_classifier(ds, &rrows, n_classes, params, depth + 1, nodes);
+    nodes[idx as usize] = Node::Split { feature: f, test, left, right };
+    idx
+}
+
+// --- Regression (second-order, XGBoost-style) -------------------------------
+
+/// A regression tree fit to gradient/hessian pairs with XGBoost-style gain
+/// and L2-regularized leaf weights — the base learner of [`Gbdt`].
+///
+/// [`Gbdt`]: crate::Gbdt
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    tree: Tree<f64>,
+}
+
+impl RegressionTree {
+    /// Fits a tree to per-row gradients `g` and hessians `h` over the
+    /// instances of `ds` (labels in `ds` are ignored).
+    pub fn fit(ds: &Dataset, g: &[f64], h: &[f64], params: &TreeParams) -> Self {
+        assert_eq!(ds.len(), g.len());
+        assert_eq!(ds.len(), h.len());
+        let rows: Vec<u32> = (0..ds.len() as u32).collect();
+        let mut nodes = Vec::new();
+        build_regressor(ds.schema(), ds, g, h, &rows, params, 0, &mut nodes);
+        Self { tree: Tree::from_nodes(nodes) }
+    }
+
+    /// Evaluates the tree's raw leaf weight for an instance.
+    pub fn eval(&self, x: &Instance) -> f64 {
+        self.tree.eval(x)
+    }
+
+    /// The underlying split structure — consumed by the Xreason oracle.
+    pub fn tree(&self) -> &Tree<f64> {
+        &self.tree
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_regressor(
+    schema: &Schema,
+    ds: &Dataset,
+    g: &[f64],
+    h: &[f64],
+    rows: &[u32],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<Node<f64>>,
+) -> u32 {
+    let gsum: f64 = rows.iter().map(|&r| g[r as usize]).sum();
+    let hsum: f64 = rows.iter().map(|&r| h[r as usize]).sum();
+    let leaf_weight = -gsum / (hsum + params.lambda);
+    let score = |gs: f64, hs: f64| gs * gs / (hs + params.lambda);
+    let idx = nodes.len() as u32;
+    if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
+        nodes.push(Node::Leaf(leaf_weight));
+        return idx;
+    }
+
+    let mut best: Option<(f64, usize, SplitTest)> = None;
+    for f in 0..schema.n_features() {
+        let card = schema.feature(f).cardinality();
+        if card < 2 {
+            continue;
+        }
+        let mut vg = vec![0.0f64; card];
+        let mut vh = vec![0.0f64; card];
+        let mut vn = vec![0usize; card];
+        for &r in rows {
+            let v = ds.instance(r as usize)[f] as usize;
+            vg[v] += g[r as usize];
+            vh[v] += h[r as usize];
+            vn[v] += 1;
+        }
+        let tests: Vec<SplitTest> = if schema.feature(f).is_ordinal() {
+            (0..card as Cat - 1).map(SplitTest::LessEq).collect()
+        } else {
+            (0..card as Cat).map(SplitTest::Equal).collect()
+        };
+        for test in tests {
+            let (mut gl, mut hl, mut nl) = (0.0, 0.0, 0usize);
+            for v in 0..card {
+                if test.goes_left(v as Cat) {
+                    gl += vg[v];
+                    hl += vh[v];
+                    nl += vn[v];
+                }
+            }
+            let nr = rows.len() - nl;
+            if nl < params.min_samples_leaf || nr < params.min_samples_leaf {
+                continue;
+            }
+            let gain = 0.5 * (score(gl, hl) + score(gsum - gl, hsum - hl) - score(gsum, hsum));
+            if gain > params.gamma && best.is_none_or(|(bg, _, _)| gain > bg) {
+                best = Some((gain, f, test));
+            }
+        }
+    }
+
+    let Some((_, f, test)) = best else {
+        nodes.push(Node::Leaf(leaf_weight));
+        return idx;
+    };
+
+    let (lrows, rrows): (Vec<u32>, Vec<u32>) =
+        rows.iter().partition(|&&r| test.goes_left(ds.instance(r as usize)[f]));
+    nodes.push(Node::Leaf(0.0)); // placeholder
+    let left = build_regressor(schema, ds, g, h, &lrows, params, depth + 1, nodes);
+    let right = build_regressor(schema, ds, g, h, &rrows, params, depth + 1, nodes);
+    nodes[idx as usize] = Node::Split { feature: f, test, left, right };
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+    use cce_dataset::{FeatureDef, Schema};
+
+    fn dataset(rows: Vec<(Vec<Cat>, u32)>, ordinal: &[bool]) -> Dataset {
+        let n = rows[0].0.len();
+        let feats = (0..n)
+            .map(|i| {
+                if ordinal[i] {
+                    // Fake ordinal feature via a numeric binning over 0..9.
+                    let vals: Vec<f64> = (0..10).map(f64::from).collect();
+                    FeatureDef::numeric(
+                        &format!("f{i}"),
+                        cce_dataset::Binning::fit(&vals, 10, Default::default()),
+                    )
+                } else {
+                    FeatureDef::categorical(&format!("f{i}"), &["0", "1", "2", "3", "4"])
+                }
+            })
+            .collect();
+        let schema = Schema::new(feats);
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        Dataset::new(
+            "t".into(),
+            schema,
+            xs.into_iter().map(Instance::new).collect(),
+            ys.into_iter().map(Label).collect(),
+        )
+    }
+
+    #[test]
+    fn split_test_semantics() {
+        assert!(SplitTest::LessEq(3).goes_left(3));
+        assert!(!SplitTest::LessEq(3).goes_left(4));
+        assert!(SplitTest::Equal(2).goes_left(2));
+        assert!(!SplitTest::Equal(2).goes_left(1));
+    }
+
+    #[test]
+    fn learns_single_categorical_rule() {
+        // y = (f0 == 1)
+        let rows: Vec<(Vec<Cat>, u32)> =
+            (0..40).map(|i| (vec![i % 3, i % 5], u32::from(i % 3 == 1))).collect();
+        let ds = dataset(rows, &[false, false]);
+        let t = DecisionTree::train(&ds, &TreeParams::default());
+        for (x, y) in ds.iter() {
+            assert_eq!(t.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn learns_ordinal_threshold() {
+        // y = (f0 <= 4)
+        let rows: Vec<(Vec<Cat>, u32)> =
+            (0..60).map(|i| (vec![i % 10, (i * 7) % 5], u32::from(i % 10 <= 4))).collect();
+        let ds = dataset(rows, &[true, false]);
+        let t = DecisionTree::train(&ds, &TreeParams::default());
+        assert!(t.tree().depth() <= 2, "single threshold suffices");
+        for (x, y) in ds.iter() {
+            assert_eq!(t.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        // y = (f0 == 1) XOR (f1 == 1): requires depth 2.
+        let mut rows = Vec::new();
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for _ in 0..5 {
+                    rows.push((vec![a, b], a ^ b));
+                }
+            }
+        }
+        let ds = dataset(rows, &[false, false]);
+        let t = DecisionTree::train(&ds, &TreeParams { max_depth: 3, ..Default::default() });
+        for (x, y) in ds.iter() {
+            assert_eq!(t.predict(x), y, "on {:?}", x.values());
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<(Vec<Cat>, u32)> =
+            (0..100u32)
+                .map(|i| (vec![i % 10, (i / 10) % 10], i.wrapping_mul(2654435761) % 2))
+                .collect();
+        let ds = dataset(rows, &[true, true]);
+        let t = DecisionTree::train(&ds, &TreeParams { max_depth: 2, ..Default::default() });
+        assert!(t.tree().depth() <= 2);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let rows: Vec<(Vec<Cat>, u32)> = (0..20).map(|i| (vec![i % 4, i % 3], 1)).collect();
+        let ds = dataset(rows, &[false, false]);
+        let t = DecisionTree::train(&ds, &TreeParams::default());
+        assert_eq!(t.tree().n_leaves(), 1);
+        assert_eq!(t.predict(&Instance::new(vec![9, 9])), Label(1));
+    }
+
+    #[test]
+    fn regression_tree_fits_gradients() {
+        // g encodes "pull rows with f0<=4 toward +1, others toward -1".
+        let rows: Vec<(Vec<Cat>, u32)> = (0..60).map(|i| (vec![i % 10, 0], 0)).collect();
+        let ds = dataset(rows, &[true, false]);
+        let g: Vec<f64> =
+            (0..60).map(|i| if i % 10 <= 4 { -1.0 } else { 1.0 }).collect();
+        let h = vec![1.0; 60];
+        let t = RegressionTree::fit(&ds, &g, &h, &TreeParams::default());
+        let lo = t.eval(&Instance::new(vec![2, 0]));
+        let hi = t.eval(&Instance::new(vec![8, 0]));
+        assert!(lo > 0.3, "lo={lo}");
+        assert!(hi < -0.3, "hi={hi}");
+    }
+
+    #[test]
+    fn eval_matches_manual_arena() {
+        let nodes = vec![
+            Node::Split { feature: 0, test: SplitTest::Equal(1), left: 1, right: 2 },
+            Node::Leaf(10.0),
+            Node::Leaf(20.0),
+        ];
+        let t = Tree::from_nodes(nodes);
+        assert_eq!(t.eval(&Instance::new(vec![1])), 10.0);
+        assert_eq!(t.eval(&Instance::new(vec![0])), 20.0);
+        assert_eq!(t.n_leaves(), 2);
+        assert_eq!(t.depth(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the model substrate.
+
+use cce_dataset::{Dataset, FeatureDef, Instance, Label, Schema};
+use cce_model::{DecisionTree, Gbdt, GbdtParams, Model, NaiveBayes, TreeParams};
+use proptest::prelude::*;
+
+/// Strategy: a small random binary dataset over 3 features of cardinality 4.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0u32..4, 3..4), 0u32..2),
+        4..40,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::new(vec![
+            FeatureDef::categorical("a", &["0", "1", "2", "3"]),
+            FeatureDef::categorical("b", &["0", "1", "2", "3"]),
+            FeatureDef::categorical("c", &["0", "1", "2", "3"]),
+        ]);
+        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        Dataset::new(
+            "p".into(),
+            schema,
+            xs.into_iter().map(Instance::new).collect(),
+            ys.into_iter().map(Label).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_predictions_are_valid_labels(ds in arb_dataset()) {
+        let t = DecisionTree::train(&ds, &TreeParams::default());
+        let classes = ds.distinct_labels();
+        for x in ds.instances() {
+            prop_assert!(classes.contains(&t.predict(x)));
+        }
+    }
+
+    #[test]
+    fn tree_fits_consistent_data_perfectly(ds in arb_dataset()) {
+        // If the dataset has no contradictions (identical instances with
+        // different labels), an unbounded-depth tree must fit it exactly.
+        let mut seen: std::collections::HashMap<Vec<u32>, Label> = Default::default();
+        let mut consistent = true;
+        for (x, y) in ds.iter() {
+            if *seen.entry(x.values().to_vec()).or_insert(y) != y {
+                consistent = false;
+            }
+        }
+        prop_assume!(consistent);
+        let t = DecisionTree::train(
+            &ds,
+            &TreeParams { max_depth: 12, min_samples_leaf: 1, ..Default::default() },
+        );
+        for (x, y) in ds.iter() {
+            prop_assert_eq!(t.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn gbdt_margin_sign_matches_prediction(ds in arb_dataset()) {
+        let m = Gbdt::train(&ds, &GbdtParams::fast(), 0);
+        for x in ds.instances() {
+            let margin = m.margin(x);
+            prop_assert_eq!(m.predict(x), Label(u32::from(margin > 0.0)));
+            let p = m.predict_proba(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert_eq!(p > 0.5, margin > 0.0);
+        }
+    }
+
+    #[test]
+    fn nb_scores_are_finite_everywhere(ds in arb_dataset()) {
+        let m = NaiveBayes::train(&ds, 1.0);
+        // Probe the whole (small) feature space, including unseen combos.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                for c in 0..4u32 {
+                    let x = Instance::new(vec![a, b, c]);
+                    let scores = m.log_scores(&x);
+                    prop_assert!(scores.iter().all(|s| s.is_finite()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retraining_is_bit_identical(ds in arb_dataset()) {
+        // Same data, same order → bit-identical model behavior. (Row-order
+        // *insensitivity* does not hold: float gain sums depend on
+        // accumulation order at ties.)
+        let a = Gbdt::train(&ds, &GbdtParams::fast(), 0);
+        let b = Gbdt::train(&ds, &GbdtParams::fast(), 1);
+        for x in ds.instances() {
+            prop_assert_eq!(a.predict(x), b.predict(x));
+            prop_assert_eq!(a.margin(x), b.margin(x));
+        }
+    }
+}

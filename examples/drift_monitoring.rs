@@ -1,0 +1,58 @@
+//! Monitoring a served model for silent degradation (§7.4, Fig. 3l/3m):
+//! when noise hits the serving stream, the relative keys of monitored
+//! instances abnormally grow — a model-access-free accuracy alarm.
+//!
+//! ```bash
+//! cargo run --release --example drift_monitoring
+//! ```
+
+use relative_keys::core::DriftMonitor;
+use relative_keys::dataset::synth::{self, noise};
+use relative_keys::prelude::*;
+
+fn main() {
+    let raw = synth::adult::generate(8_000, 42);
+    let data = raw.encode(&BinSpec::uniform(10));
+    let mut rng = rand_seed(4);
+    let (train, infer) = data.split(0.6, &mut rng);
+    let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+
+    for noisy in [false, true] {
+        let mut stream = infer.clone();
+        if noisy {
+            // From 60% of the stream onward, instances are random garbage —
+            // simulating an upstream data-quality incident.
+            let mut nrng = rand_seed(9);
+            noise::randomize_tail(&mut stream, 0.6, &mut nrng);
+        }
+        let preds = {
+            use relative_keys::model::Model as _;
+            model.predict_all(stream.instances())
+        };
+
+        let mut monitor = DriftMonitor::new(Alpha::ONE, 12, stream.len() / 10, 1);
+        let mut correct = 0usize;
+        println!(
+            "\n=== {} stream ===",
+            if noisy { "NOISY (incident at 60%)" } else { "clean" }
+        );
+        println!("{:>6} {:>12} {:>10}", "I%", "mean |key|", "accuracy");
+        for (i, (x, &p)) in stream.instances().iter().zip(&preds).enumerate() {
+            monitor.observe(x.clone(), p);
+            correct += usize::from(p == stream.label(i));
+            if (i + 1) % (stream.len() / 5) == 0 {
+                println!(
+                    "{:>5}% {:>12.2} {:>9.1}%",
+                    (i + 1) * 100 / stream.len(),
+                    monitor.mean_succinctness(),
+                    correct as f64 / (i + 1) as f64 * 100.0
+                );
+            }
+        }
+        println!(
+            "drift score = {:.2} → {}",
+            monitor.drift_score(0.5),
+            if monitor.drifted(1.05) { "ALARM: keys grew abnormally" } else { "nominal" }
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! # relative-keys
+//!
+//! Umbrella crate for the `relative-keys` workspace — a from-scratch Rust
+//! reproduction of *"Relative Keys: Putting Feature Explanation into
+//! Context"* (SIGMOD 2024).
+//!
+//! Relative keys are feature explanations whose rule-based semantics is
+//! enforced over a *context* — a set of inference instances — rather than
+//! the entire feature space. They combine the perfect (in-context)
+//! conformity of formal explanation methods with speed better than
+//! heuristic ones, and never need access to the model being explained.
+//!
+//! This crate re-exports the workspace's public API:
+//!
+//! * [`dataset`] — tabular substrate: schemas, binning, synthetic datasets,
+//! * [`model`] — from-scratch models (CART, gradient boosting, MLP, EM matcher),
+//! * [`core`] — the paper's contribution: SRK / OSRK / SSRK and the CCE framework,
+//! * [`baselines`] — the 7 compared explainers (Anchor, LIME, SHAP, GAM, Xreason, IDS, CERTA),
+//! * [`metrics`] — conformity, precision, recall, succinctness, faithfulness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relative_keys::prelude::*;
+//!
+//! // Generate a Loan-like dataset, discretize, split, train a model.
+//! let raw = relative_keys::dataset::synth::loan::generate(400, 42);
+//! let data = raw.encode(&BinSpec::uniform(10));
+//! let mut rng = rand_seed(7);
+//! let (train, infer) = data.split(0.7, &mut rng);
+//! let model = Gbdt::train(&train, &GbdtParams::fast(), 11);
+//!
+//! // Build the inference context: instances + their *predictions*.
+//! let ctx = Context::from_model(&infer, &model);
+//!
+//! // Explain the first inference instance with a relative key (α = 1).
+//! let key = Srk::new(Alpha::ONE).explain(&ctx, 0).unwrap();
+//! assert!(ctx.is_alpha_key(key.features(), 0, Alpha::ONE));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cce_baselines as baselines;
+pub use cce_core as core;
+pub use cce_dataset as dataset;
+pub use cce_metrics as metrics;
+pub use cce_model as model;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use cce_core::{
+        Alpha, Cce, CceConfig, Context, ExplainError, OsrkMonitor, Recorder, RelativeKey,
+        SlidingWindow, Srk, SsrkMonitor,
+    };
+    pub use cce_dataset::{BinSpec, Dataset, Instance, Label, RawDataset, Schema};
+    pub use cce_model::{Gbdt, GbdtParams, Model};
+
+    /// A seeded RNG for reproducible examples.
+    pub fn rand_seed(seed: u64) -> impl rand::Rng {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration test of the §7.5 entity-matching pipeline: raw record
+//! pairs → similarity featurization → opaque matcher → CCE and CERTA
+//! explanations.
+
+use relative_keys::baselines::{Certa, CertaParams};
+use relative_keys::core::{Alpha, Context, Srk};
+use relative_keys::dataset::synth::em;
+use relative_keys::dataset::BinSpec;
+use relative_keys::metrics::{conformity, Explained};
+use relative_keys::model::{Matcher, MlpParams, Model};
+use relative_keys::prelude::rand_seed;
+
+#[test]
+fn full_em_pipeline_with_explanations() {
+    let emd = em::dblp_acm(1_200, 13);
+    let all = emd.to_raw().encode(&BinSpec::uniform(8));
+    let mut rng = rand_seed(5);
+    let (train, infer) = all.split(0.7, &mut rng);
+    let matcher = Matcher::train(&train, &MlpParams::default(), 6);
+
+    // The matcher must actually work before explaining it.
+    let acc = relative_keys::model::eval::accuracy(&matcher, &infer);
+    assert!(acc > 0.9, "matcher accuracy {acc}");
+
+    let ctx = Context::from_model(&infer, &matcher);
+    let srk = Srk::new(Alpha::ONE);
+    let mut explained = Vec::new();
+    for t in (0..ctx.len()).step_by(ctx.len() / 15) {
+        if let Ok(key) = srk.explain(&ctx, t) {
+            assert!(key.succinctness() <= emd.attr_names.len());
+            explained.push(Explained::new(t, key.features().to_vec()));
+        }
+    }
+    assert!(explained.len() >= 10);
+    assert_eq!(conformity(&ctx, &explained), 1.0);
+}
+
+#[test]
+fn certa_explains_matches_with_attribute_swaps() {
+    let emd = em::walmart_amazon(800, 17);
+    let all = emd.to_raw().encode(&BinSpec::uniform(8));
+    let matcher = Matcher::train(&all, &MlpParams::default(), 2);
+    let certa = Certa::new(&emd, all.schema_arc(), CertaParams::default());
+
+    // Over a panel of predicted matches, attribute swaps must flip at
+    // least some decisions (a single very confident 5-attribute pair can
+    // legitimately survive any single swap).
+    let panel: Vec<usize> = (0..emd.pairs.len())
+        .filter(|&i| emd.pairs[i].matched && matcher.predict(all.instance(i)).0 == 1)
+        .take(15)
+        .collect();
+    assert!(panel.len() >= 5, "need predicted matches to explain");
+    let mut any_salient = false;
+    for &idx in &panel {
+        let scores = certa.importance(&matcher, idx);
+        assert_eq!(scores.len(), emd.attr_names.len());
+        any_salient |= scores.iter().any(|&s| s > 0.0);
+    }
+    assert!(any_salient, "attribute swaps must flip some decision in the panel");
+}
+
+#[test]
+fn em_explanations_name_attributes_not_columns() {
+    // The user-facing payoff: EM explanations are in terms of record
+    // attributes (title, authors, …).
+    let emd = em::amazon_google(600, 19);
+    let all = emd.to_raw().encode(&BinSpec::uniform(8));
+    let matcher = Matcher::train(&all, &MlpParams::default(), 3);
+    let ctx = Context::from_model(&all, &matcher);
+    let key = Srk::new(Alpha::ONE).explain(&ctx, 0).expect("explainable");
+    for &f in key.features() {
+        let attr = &emd.attr_names[f];
+        assert!(["title", "manufacturer", "price"].contains(&attr.as_str()));
+    }
+}

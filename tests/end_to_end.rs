@@ -1,0 +1,117 @@
+//! End-to-end integration: the full CCE pipeline against every baseline
+//! on generated data, checking the paper's qualitative claims hold.
+
+use relative_keys::baselines::{Anchor, AnchorParams, KernelShap, Lime, LimeParams, ShapParams, Xreason};
+use relative_keys::core::{Alpha, Context, Srk};
+use relative_keys::dataset::synth;
+use relative_keys::dataset::BinSpec;
+use relative_keys::metrics::{conformity, mean_precision, Explained};
+use relative_keys::model::{Gbdt, GbdtParams};
+use relative_keys::prelude::rand_seed;
+
+fn setup(name: &str, rows_scale: f64) -> (relative_keys::dataset::Dataset, relative_keys::dataset::Dataset, Gbdt, Context) {
+    let raw = synth::general_dataset(name, rows_scale, 42).unwrap();
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let mut rng = rand_seed(1);
+    let (train, infer) = ds.split(0.7, &mut rng);
+    let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+    let ctx = Context::from_model(&infer, &model);
+    (train, infer, model, ctx)
+}
+
+#[test]
+fn cce_is_perfectly_conformant_where_baselines_are_not_guaranteed() {
+    let (train, infer, model, ctx) = setup("Compas", 0.05);
+    let srk = Srk::new(Alpha::ONE);
+    let lime = Lime::new(&train, LimeParams::default());
+    let shap = KernelShap::new(&train, ShapParams::default());
+    let anchor = Anchor::new(&train, AnchorParams::default());
+
+    let mut cce_items = Vec::new();
+    let mut lime_items = Vec::new();
+    let mut shap_items = Vec::new();
+    let mut anchor_items = Vec::new();
+    for t in (0..ctx.len()).step_by(ctx.len() / 12) {
+        let Ok(key) = srk.explain(&ctx, t) else { continue };
+        let k = key.succinctness().max(1);
+        cce_items.push(Explained::new(t, key.features().to_vec()));
+        let x = infer.instance(t);
+        lime_items.push(Explained::new(
+            t,
+            relative_keys::baselines::top_k_features(&lime.importance(&model, x), k),
+        ));
+        shap_items.push(Explained::new(
+            t,
+            relative_keys::baselines::top_k_features(&shap.importance(&model, x), k),
+        ));
+        anchor_items.push(Explained::new(t, anchor.explain_with_size(&model, x, k)));
+    }
+    assert!(cce_items.len() >= 8, "most targets must be explainable");
+    assert_eq!(conformity(&ctx, &cce_items), 1.0, "CCE is formally conformant");
+    assert_eq!(mean_precision(&ctx, &cce_items), 1.0);
+
+    // Heuristic methods carry no guarantee; at matched sizes at least one
+    // of them should actually violate conformity on this data.
+    let worst = [&lime_items, &shap_items, &anchor_items]
+        .iter()
+        .map(|items| conformity(&ctx, items))
+        .fold(1.0f64, f64::min);
+    assert!(worst < 1.0, "some heuristic should be non-conformant, worst={worst}");
+}
+
+#[test]
+fn xreason_is_conformant_but_less_succinct() {
+    let (_, infer, model, ctx) = setup("Loan", 0.5);
+    let xr = Xreason::new(&model, infer.schema());
+    let srk = Srk::new(Alpha::ONE);
+    let (mut xr_total, mut cce_total, mut cases) = (0usize, 0usize, 0usize);
+    for t in (0..ctx.len()).step_by(11) {
+        let Ok(key) = srk.explain(&ctx, t) else { continue };
+        let formal = xr.explain(infer.instance(t));
+        // Formal explanations conform over the context too (they conform
+        // over the whole space).
+        assert_eq!(ctx.count_violators(&formal, t), 0);
+        xr_total += formal.len();
+        cce_total += key.succinctness();
+        cases += 1;
+    }
+    assert!(cases >= 5);
+    assert!(
+        xr_total >= cce_total,
+        "formal reasons ({xr_total}) should not be shorter than relative keys ({cce_total})"
+    );
+}
+
+#[test]
+fn relative_keys_are_fast() {
+    let (_, _, _, ctx) = setup("German", 0.5);
+    let srk = Srk::new(Alpha::ONE);
+    let start = std::time::Instant::now();
+    let mut explained = 0;
+    for t in 0..ctx.len().min(100) {
+        if srk.explain(&ctx, t).is_ok() {
+            explained += 1;
+        }
+    }
+    let per_instance_ms = start.elapsed().as_secs_f64() * 1e3 / explained.max(1) as f64;
+    // Debug-build budget; release is ~100x below the paper's 7-11 ms.
+    assert!(per_instance_ms < 50.0, "SRK too slow: {per_instance_ms} ms/instance");
+}
+
+#[test]
+fn hybrid_workflow_context_from_recorded_decisions() {
+    // §3.1(d): explanations of a decision process that is not a single
+    // model — use recorded final decisions as the context.
+    let raw = synth::loan::generate(300, 9);
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let ctx = Context::from_recorded(&ds);
+    let srk = Srk::new(Alpha::ONE);
+    let mut explained = 0;
+    for t in (0..ctx.len()).step_by(17) {
+        if let Ok(key) = srk.explain(&ctx, t) {
+            assert!(ctx.is_alpha_key(key.features(), t, Alpha::ONE));
+            explained += 1;
+        }
+    }
+    assert!(explained >= 10);
+}

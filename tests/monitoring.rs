@@ -1,0 +1,105 @@
+//! Integration tests for the dynamic side of CCE: sliding windows,
+//! resolution policies, and drift detection over model phases.
+
+use relative_keys::core::{Alpha, Context, DriftMonitor, ResolutionPolicy, SlidingWindow};
+use relative_keys::dataset::synth::{self, noise};
+use relative_keys::dataset::BinSpec;
+use relative_keys::model::{Gbdt, GbdtParams, Model};
+use relative_keys::prelude::rand_seed;
+
+#[test]
+fn sliding_window_tracks_model_phases() {
+    // Two model phases with opposite behavior; windowed keys must stay
+    // conformant w.r.t. the *current* phase once the window turns over.
+    let raw = synth::german::generate(600, 21);
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let mut rng = rand_seed(2);
+    let (train, infer) = ds.split(0.5, &mut rng);
+    let phases = train.chunks(2);
+    let m1 = Gbdt::train(&phases[0], &GbdtParams::fast(), 0);
+    let m2 = Gbdt::train(&phases[1], &GbdtParams::fast(), 0);
+
+    let cap = 120;
+    let mut w = SlidingWindow::new(ds.schema_arc(), cap, 30, Alpha::ONE, ResolutionPolicy::LastWins);
+    // Phase 1 fills the window...
+    for x in infer.instances().iter().take(cap) {
+        w.push(x.clone(), m1.predict(x)).unwrap();
+    }
+    // ...then phase 2 predictions completely displace it.
+    for x in infer.instances().iter().skip(cap).take(2 * cap) {
+        w.push(x.clone(), m2.predict(x)).unwrap();
+    }
+    // Explanations are now conformant w.r.t. m2's behavior on the window.
+    let probe = infer.instance(5);
+    let key = w.explain(probe, m2.predict(probe)).unwrap();
+    let mut ctx = w.context();
+    ctx.push(probe.clone(), m2.predict(probe)).unwrap();
+    assert!(ctx.is_alpha_key(key.features(), ctx.len() - 1, Alpha::ONE));
+}
+
+#[test]
+fn union_policy_is_superset_of_both_windows() {
+    let raw = synth::loan::generate(400, 5);
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let mut w =
+        SlidingWindow::new(ds.schema_arc(), 80, 20, Alpha::ONE, ResolutionPolicy::UnionKey);
+    for (x, y) in ds.iter().take(80) {
+        w.push(x.clone(), y).unwrap();
+    }
+    let x = ds.instance(300).clone();
+    let k1 = w.explain(&x, ds.label(300)).unwrap();
+    for (xi, yi) in ds.iter().skip(80).take(200) {
+        w.push(xi.clone(), yi).unwrap();
+    }
+    let k2 = w.explain(&x, ds.label(300)).unwrap();
+    assert!(k1.features().iter().all(|f| k2.features().contains(f)));
+}
+
+#[test]
+fn drift_monitor_contrasts_clean_and_noisy_streams() {
+    let raw = synth::adult::generate(6_000, 3);
+    let ds = raw.encode(&BinSpec::uniform(10));
+    let mut rng = rand_seed(4);
+    let (train, infer) = ds.split(0.6, &mut rng);
+    let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+
+    let run = |noisy: bool| {
+        let mut stream = infer.clone();
+        if noisy {
+            let mut nrng = rand_seed(9);
+            noise::randomize_tail(&mut stream, 0.6, &mut nrng);
+        }
+        let preds = model.predict_all(stream.instances());
+        let onset = (stream.len() as f64 * 0.6) as usize;
+        let mut m = DriftMonitor::new(Alpha::ONE, 12, 50, 1);
+        let mut at_onset = 0.0;
+        for (i, (x, p)) in stream.instances().iter().cloned().zip(preds).enumerate() {
+            if i == onset {
+                at_onset = m.mean_succinctness();
+            }
+            m.observe(x, p);
+        }
+        m.mean_succinctness() - at_onset
+    };
+    let clean_growth = run(false);
+    let noisy_growth = run(true);
+    assert!(
+        noisy_growth >= clean_growth,
+        "noise must not shrink key growth: clean={clean_growth} noisy={noisy_growth}"
+    );
+}
+
+#[test]
+fn window_context_matches_recent_stream() {
+    let raw = synth::compas::generate(300, 8);
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let mut w =
+        SlidingWindow::new(ds.schema_arc(), 50, 10, Alpha::ONE, ResolutionPolicy::LastWins);
+    for (x, y) in ds.iter() {
+        w.push(x.clone(), y).unwrap();
+    }
+    let ctx: Context = w.context();
+    assert!(ctx.len() >= 50 && ctx.len() < 60);
+    // The window's newest element is the dataset's last row.
+    assert_eq!(ctx.instance(ctx.len() - 1), ds.instance(ds.len() - 1));
+}

@@ -1,0 +1,150 @@
+//! Relative keys are defined for arbitrary label spaces. The paper's
+//! evaluation is binary; these tests exercise every algorithm on a
+//! 3-class task with multiclass-capable models.
+
+use relative_keys::core::{patterns, verify, Alpha, Context, OsrkMonitor, Srk, SummaryParams};
+use relative_keys::dataset::synth;
+use relative_keys::dataset::BinSpec;
+use relative_keys::model::{ForestParams, Model, NaiveBayes, RandomForest};
+use relative_keys::prelude::rand_seed;
+
+fn three_class_context() -> Context {
+    let raw = synth::tiers::generate(900, 5);
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let mut rng = rand_seed(1);
+    let (train, infer) = ds.split(0.7, &mut rng);
+    let model = RandomForest::train(&train, &ForestParams::default(), 0);
+    Context::from_model(&infer, &model)
+}
+
+#[test]
+fn srk_explains_all_three_classes() {
+    let ctx = three_class_context();
+    let srk = Srk::new(Alpha::ONE);
+    let mut explained_per_class = [0usize; 3];
+    for t in (0..ctx.len()).step_by(7) {
+        if let Ok(key) = srk.explain(&ctx, t) {
+            assert!(ctx.is_alpha_key(key.features(), t, Alpha::ONE));
+            explained_per_class[ctx.prediction(t).0 as usize] += 1;
+        }
+    }
+    assert!(
+        explained_per_class.iter().all(|&c| c > 0),
+        "every class explained: {explained_per_class:?}"
+    );
+}
+
+#[test]
+fn multiclass_violators_count_any_other_class() {
+    // A violator is any agreeing instance with a *different* prediction —
+    // not merely the "opposite" one.
+    let ctx = three_class_context();
+    for t in [0usize, 5, 11] {
+        let v = ctx.count_violators(&[], t);
+        let others = ctx
+            .predictions()
+            .iter()
+            .filter(|p| **p != ctx.prediction(t))
+            .count();
+        assert_eq!(v, others);
+    }
+}
+
+#[test]
+fn online_monitor_handles_three_classes() {
+    let ctx = three_class_context();
+    let t0 = 0;
+    let mut m = OsrkMonitor::new(
+        ctx.instance(t0).clone(),
+        ctx.prediction(t0),
+        Alpha::ONE,
+        9,
+    );
+    for r in 1..ctx.len() {
+        let _ = m.observe(ctx.instance(r).clone(), ctx.prediction(r));
+    }
+    assert!(ctx.is_alpha_key(m.key(), t0, Alpha::ONE));
+}
+
+#[test]
+fn naive_bayes_context_is_explainable() {
+    let raw = synth::tiers::generate(600, 8);
+    let ds = raw.encode(&BinSpec::uniform(6));
+    let model = NaiveBayes::train(&ds, 1.0);
+    let ctx = Context::from_model(&ds, &model);
+    let srk = Srk::new(Alpha::ONE);
+    let mut ok = 0;
+    for t in (0..ctx.len()).step_by(23) {
+        if let Ok(key) = srk.explain(&ctx, t) {
+            assert!(ctx.is_alpha_key(key.features(), t, Alpha::ONE));
+            ok += 1;
+        }
+    }
+    assert!(ok >= 15, "NB contexts explainable: {ok}");
+}
+
+#[test]
+fn pattern_summary_separates_three_classes() {
+    let ctx = three_class_context();
+    let summary = patterns::summarize(
+        &ctx,
+        SummaryParams { max_patterns: 24, coverage_target: 0.85, ..Default::default() },
+    )
+    .unwrap();
+    let mut classes_seen = [false; 3];
+    for p in summary.patterns() {
+        classes_seen[p.prediction.0 as usize] = true;
+    }
+    assert!(
+        classes_seen.iter().filter(|&&b| b).count() >= 2,
+        "patterns should cover multiple classes"
+    );
+    // Patterns never lie, regardless of class count.
+    for r in 0..ctx.len() {
+        if let Some(p) = summary.covering(ctx.instance(r)) {
+            assert_eq!(p.prediction, ctx.prediction(r));
+        }
+    }
+}
+
+#[test]
+fn exact_solver_handles_multiclass() {
+    let raw = synth::tiers::generate(60, 3);
+    let ds = raw.encode(&BinSpec::uniform(4));
+    let model = NaiveBayes::train(&ds, 1.0);
+    let ctx = Context::from_model(&ds, &model);
+    for t in [0usize, 17, 35] {
+        let (srk, opt) = (
+            Srk::new(Alpha::ONE).explain(&ctx, t),
+            verify::minimum_key(&ctx, t, Alpha::ONE),
+        );
+        match (srk, opt) {
+            (Ok(s), Ok(o)) => assert!(s.succinctness() >= o.succinctness()),
+            (Err(_), Err(_)) => {}
+            (s, o) => panic!("feasibility disagreement at {t}: {s:?} vs {o:?}"),
+        }
+    }
+}
+
+#[test]
+fn forest_and_nb_disagree_but_both_explainable() {
+    // Two different model families over the same data produce different
+    // contexts; CCE explains both without knowing which is which.
+    let raw = synth::tiers::generate(500, 4);
+    let ds = raw.encode(&BinSpec::uniform(6));
+    let mut rng = rand_seed(2);
+    let (train, infer) = ds.split(0.7, &mut rng);
+    let forest = RandomForest::train(&train, &ForestParams::default(), 0);
+    let nb = NaiveBayes::train(&train, 1.0);
+    let disagreements = infer
+        .instances()
+        .iter()
+        .filter(|x| forest.predict(x) != nb.predict(x))
+        .count();
+    assert!(disagreements > 0, "different model families should disagree somewhere");
+    for model in [&forest as &dyn Model, &nb as &dyn Model] {
+        let ctx = Context::from_model(&infer, &model);
+        let key = Srk::new(Alpha::ONE).explain(&ctx, 0).unwrap();
+        assert!(ctx.is_alpha_key(key.features(), 0, Alpha::ONE));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over randomly generated contexts: the invariants
+//! of relative keys must hold for *any* input, not just the curated
+//! datasets.
+
+use proptest::prelude::*;
+use relative_keys::core::{verify, Alpha, Context, OsrkMonitor, Srk, SsrkMonitor};
+use relative_keys::dataset::{FeatureDef, Instance, Label, Schema};
+use std::sync::Arc;
+
+/// Strategy: a random small context (n features of small cardinality, m
+/// rows, binary predictions) plus a target row.
+fn arb_context() -> impl Strategy<Value = (Context, usize)> {
+    (2usize..6, 3usize..24).prop_flat_map(|(n, m)| {
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(0u32..4, n), 0u32..2),
+            m..=m,
+        );
+        rows.prop_map(move |rows| {
+            let values: Vec<&str> = vec!["a", "b", "c", "d"];
+            let schema = Arc::new(Schema::new(
+                (0..n).map(|i| FeatureDef::categorical(&format!("f{i}"), &values)).collect(),
+            ));
+            let (xs, ps): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+            let ctx = Context::new(
+                schema,
+                xs.into_iter().map(Instance::new).collect(),
+                ps.into_iter().map(Label).collect(),
+            );
+            (ctx, 0usize)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn srk_output_is_always_alpha_conformant((ctx, target) in arb_context(), a in 0.5f64..=1.0) {
+        let alpha = Alpha::new(a).unwrap();
+        if let Ok(key) = Srk::new(alpha).explain(&ctx, target) {
+            prop_assert!(ctx.is_alpha_key(key.features(), target, alpha));
+            // No duplicate features.
+            let mut feats = key.features().to_vec();
+            feats.sort_unstable();
+            feats.dedup();
+            prop_assert_eq!(feats.len(), key.succinctness());
+        }
+    }
+
+    #[test]
+    fn srk_matches_naive_reference((ctx, target) in arb_context(), a in 0.5f64..=1.0) {
+        let alpha = Alpha::new(a).unwrap();
+        let srk = Srk::new(alpha);
+        prop_assert_eq!(srk.explain(&ctx, target), srk.explain_naive(&ctx, target));
+    }
+
+    #[test]
+    fn srk_within_lemma3_of_optimal((ctx, target) in arb_context()) {
+        let srk = Srk::new(Alpha::ONE).explain(&ctx, target);
+        let opt = verify::minimum_key(&ctx, target, Alpha::ONE);
+        match (srk, opt) {
+            (Ok(s), Ok(o)) => {
+                let bound = ((ctx.len() as f64).ln() * o.succinctness() as f64).max(1.0);
+                prop_assert!(
+                    s.succinctness() as f64 <= bound.ceil(),
+                    "srk={} opt={} bound={}", s.succinctness(), o.succinctness(), bound
+                );
+            }
+            (Err(_), Err(_)) => {} // both agree the instance is contradicted
+            (s, o) => prop_assert!(false, "feasibility disagreement: {s:?} vs {o:?}"),
+        }
+    }
+
+    #[test]
+    fn osrk_is_coherent_and_valid((ctx, target) in arb_context(), seed in 0u64..1000) {
+        let x0 = ctx.instance(target).clone();
+        let p0 = ctx.prediction(target);
+        let mut monitor = OsrkMonitor::new(x0.clone(), p0, Alpha::ONE, seed);
+        let mut grown = Context::empty(ctx.schema_arc());
+        grown.push(x0, p0).unwrap();
+        let mut prev: Vec<usize> = Vec::new();
+        for r in 0..ctx.len() {
+            if r == target { continue; }
+            let ok = monitor
+                .observe(ctx.instance(r).clone(), ctx.prediction(r))
+                .is_ok();
+            grown.push(ctx.instance(r).clone(), ctx.prediction(r)).unwrap();
+            // Coherence always holds.
+            prop_assert!(prev.iter().all(|f| monitor.key().contains(f)));
+            prev = monitor.key().to_vec();
+            if ok {
+                prop_assert!(grown.is_alpha_key(monitor.key(), 0, Alpha::ONE));
+            }
+        }
+    }
+
+    #[test]
+    fn ssrk_is_coherent_and_valid((ctx, target) in arb_context()) {
+        let x0 = ctx.instance(target).clone();
+        let p0 = ctx.prediction(target);
+        let universe: Vec<_> = ctx
+            .instances()
+            .iter()
+            .cloned()
+            .zip(ctx.predictions().iter().copied())
+            .collect();
+        let mut monitor = SsrkMonitor::new(x0.clone(), p0, Alpha::ONE, &universe);
+        let mut grown = Context::empty(ctx.schema_arc());
+        grown.push(x0, p0).unwrap();
+        let mut prev: Vec<usize> = Vec::new();
+        for r in 0..ctx.len() {
+            if r == target { continue; }
+            let ok = monitor
+                .observe(ctx.instance(r).clone(), ctx.prediction(r))
+                .is_ok();
+            grown.push(ctx.instance(r).clone(), ctx.prediction(r)).unwrap();
+            prop_assert!(prev.iter().all(|f| monitor.key().contains(f)));
+            prev = monitor.key().to_vec();
+            if ok {
+                prop_assert!(grown.is_alpha_key(monitor.key(), 0, Alpha::ONE));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_alpha_never_lengthens_keys((ctx, target) in arb_context()) {
+        let strict = Srk::new(Alpha::ONE).explain(&ctx, target);
+        let relaxed = Srk::new(Alpha::new(0.8).unwrap()).explain(&ctx, target);
+        if let (Ok(s), Ok(r)) = (strict, relaxed) {
+            prop_assert!(r.succinctness() <= s.succinctness());
+        }
+    }
+
+    #[test]
+    fn shapley_efficiency_holds_on_random_contexts((ctx, target) in arb_context()) {
+        use relative_keys::core::importance::shapley_exact;
+        let phi = shapley_exact(&ctx, target).unwrap();
+        // Efficiency: Σφ = v(N) − v(∅) for the context-precision game.
+        let n = ctx.schema().n_features();
+        let all: Vec<usize> = (0..n).collect();
+        let covered = ctx.covered_rows(&all, target).len() as f64;
+        let violators = ctx.count_violators(&all, target) as f64;
+        let v_full = covered / (covered + violators).max(1.0);
+        let p0 = ctx.prediction(target);
+        let v_empty = ctx.predictions().iter().filter(|p| **p == p0).count() as f64
+            / ctx.len() as f64;
+        let sum: f64 = phi.iter().sum();
+        prop_assert!((sum - (v_full - v_empty)).abs() < 1e-9,
+            "Σφ={sum} vs {v_full}-{v_empty}");
+    }
+
+    #[test]
+    fn pattern_summaries_never_contradict_context((ctx, _target) in arb_context()) {
+        use relative_keys::core::{patterns, SummaryParams};
+        if let Ok(summary) = patterns::summarize(&ctx, SummaryParams::default()) {
+            for r in 0..ctx.len() {
+                if let Some(p) = summary.covering(ctx.instance(r)) {
+                    prop_assert_eq!(p.prediction, ctx.prediction(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_alpha_is_consistent_with_is_alpha_key((ctx, target) in arb_context()) {
+        // For any feature subset, is_alpha_key(max_alpha) holds and
+        // is_alpha_key(max_alpha + ε) fails (when ε pushes past a violator).
+        let n = ctx.schema().n_features();
+        for feats in [vec![], vec![0], (0..n).collect::<Vec<_>>()] {
+            let ma = ctx.max_alpha(&feats, target);
+            if ma > 0.0 {
+                let alpha = Alpha::new(ma.min(1.0)).unwrap();
+                prop_assert!(ctx.is_alpha_key(&feats, target, alpha));
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The paper's systems claim (§6): CCE never accesses the model, while
+//! every baseline queries it heavily. Verified with a counting wrapper.
+
+use relative_keys::baselines::{Anchor, AnchorParams, KernelShap, Lime, LimeParams, ShapParams};
+use relative_keys::core::{Alpha, Context, OsrkMonitor, Srk};
+use relative_keys::dataset::synth;
+use relative_keys::dataset::BinSpec;
+use relative_keys::model::{Counting, Gbdt, GbdtParams};
+use relative_keys::prelude::rand_seed;
+
+#[test]
+fn cce_makes_zero_model_queries_baselines_do_not() {
+    let raw = synth::loan::generate(300, 42);
+    let ds = raw.encode(&BinSpec::uniform(8));
+    let mut rng = rand_seed(1);
+    let (train, infer) = ds.split(0.7, &mut rng);
+    let model = Counting::new(Gbdt::train(&train, &GbdtParams::fast(), 0));
+
+    // Serving: predictions recorded once by the serving loop (not by the
+    // explainer).
+    let ctx = Context::from_model(&infer, &model);
+    let serving_queries = model.queries();
+    assert_eq!(serving_queries as usize, infer.len());
+
+    // --- CCE: batch explanation makes no further queries ----------------
+    model.reset();
+    let srk = Srk::new(Alpha::ONE);
+    for t in 0..20 {
+        let _ = srk.explain(&ctx, t);
+    }
+    assert_eq!(model.queries(), 0, "CCE must not touch the model");
+
+    // --- CCE: online monitoring makes no queries either -----------------
+    let mut monitor = OsrkMonitor::new(ctx.instance(0).clone(), ctx.prediction(0), Alpha::ONE, 1);
+    for t in 1..ctx.len() {
+        let _ = monitor.observe(ctx.instance(t).clone(), ctx.prediction(t));
+    }
+    assert_eq!(model.queries(), 0, "online CCE must not touch the model");
+
+    // --- Baselines query the model per explanation ----------------------
+    let x = infer.instance(0);
+
+    model.reset();
+    let lime = Lime::new(&train, LimeParams::default());
+    let _ = lime.importance(&model, x);
+    let lime_queries = model.queries();
+    assert!(lime_queries > 100, "LIME queries heavily, got {lime_queries}");
+
+    model.reset();
+    let shap = KernelShap::new(&train, ShapParams::default());
+    let _ = shap.importance(&model, x);
+    let shap_queries = model.queries();
+    assert!(shap_queries > 500, "SHAP queries heavily, got {shap_queries}");
+
+    model.reset();
+    let anchor = Anchor::new(&train, AnchorParams::default());
+    let _ = anchor.explain(&model, x);
+    let anchor_queries = model.queries();
+    assert!(anchor_queries > 100, "Anchor queries heavily, got {anchor_queries}");
+}
