@@ -37,7 +37,13 @@ pub struct AnchorParams {
 
 impl Default for AnchorParams {
     fn default() -> Self {
-        Self { tau: 0.95, batch: 32, rounds: 4, beam: 4, seed: 0xa9c8 }
+        Self {
+            tau: 0.95,
+            batch: 32,
+            rounds: 4,
+            beam: 4,
+            seed: 0xa9c8,
+        }
     }
 }
 
@@ -77,7 +83,10 @@ impl Candidate {
 impl Anchor {
     /// Builds the explainer over a reference distribution.
     pub fn new(reference: &Dataset, params: AnchorParams) -> Self {
-        Self { sampler: PerturbationSampler::new(reference), params }
+        Self {
+            sampler: PerturbationSampler::new(reference),
+            params,
+        }
     }
 
     /// Finds an anchor rule (feature set) for the model's prediction on
@@ -96,7 +105,11 @@ impl Anchor {
             }
         };
 
-        let mut beam: Vec<Candidate> = vec![Candidate { feats: Vec::new(), hits: 0, trials: 0 }];
+        let mut beam: Vec<Candidate> = vec![Candidate {
+            feats: Vec::new(),
+            hits: 0,
+            trials: 0,
+        }];
         sample(&[], &mut beam[0], &mut rng);
         if beam[0].precision() >= self.params.tau {
             return Vec::new(); // base rate already above τ
@@ -110,14 +123,22 @@ impl Anchor {
                     if !b.feats.contains(&f) {
                         let mut feats = b.feats.clone();
                         feats.push(f);
-                        pool.push(Candidate { feats, hits: 0, trials: 0 });
+                        pool.push(Candidate {
+                            feats,
+                            hits: 0,
+                            trials: 0,
+                        });
                     }
                 }
             }
             // UCB refinement: several rounds, each sampling the most
             // promising candidates.
             for round in 0..self.params.rounds {
-                let evaluate = if round == 0 { pool.len() } else { self.params.beam * 2 };
+                let evaluate = if round == 0 {
+                    pool.len()
+                } else {
+                    self.params.beam * 2
+                };
                 pool.sort_by(|a, b| b.ucb().partial_cmp(&a.ucb()).expect("finite ucb"));
                 for cand in pool.iter_mut().take(evaluate) {
                     let feats = cand.feats.clone();
@@ -125,7 +146,9 @@ impl Anchor {
                 }
             }
             pool.sort_by(|a, b| {
-                b.precision().partial_cmp(&a.precision()).expect("finite precision")
+                b.precision()
+                    .partial_cmp(&a.precision())
+                    .expect("finite precision")
             });
             if let Some(best) = pool.first() {
                 if best.precision() >= self.params.tau {
@@ -136,7 +159,10 @@ impl Anchor {
             beam = pool;
         }
         // Fall back to the longest rule found.
-        beam.into_iter().next().map(|c| c.feats).unwrap_or_else(|| (0..n).collect())
+        beam.into_iter()
+            .next()
+            .map(|c| c.feats)
+            .unwrap_or_else(|| (0..n).collect())
     }
 
     /// Beam-searches a rule of *exactly* `size` features (or fewer when
@@ -165,7 +191,11 @@ impl Anchor {
                 cand.hits += usize::from(model.predict(&z) == target);
             }
         };
-        let mut beam: Vec<Candidate> = vec![Candidate { feats: Vec::new(), hits: 0, trials: 0 }];
+        let mut beam: Vec<Candidate> = vec![Candidate {
+            feats: Vec::new(),
+            hits: 0,
+            trials: 0,
+        }];
         for _len in 1..=size {
             let mut pool: Vec<Candidate> = Vec::new();
             for b in &beam {
@@ -173,7 +203,11 @@ impl Anchor {
                     if !b.feats.contains(&f) {
                         let mut feats = b.feats.clone();
                         feats.push(f);
-                        pool.push(Candidate { feats, hits: 0, trials: 0 });
+                        pool.push(Candidate {
+                            feats,
+                            hits: 0,
+                            trials: 0,
+                        });
                     }
                 }
             }
@@ -182,7 +216,9 @@ impl Anchor {
                 sample(&feats, cand, &mut rng);
             }
             pool.sort_by(|a, b| {
-                b.precision().partial_cmp(&a.precision()).expect("finite precision")
+                b.precision()
+                    .partial_cmp(&a.precision())
+                    .expect("finite precision")
             });
             pool.truncate(self.params.beam);
             beam = pool;
@@ -235,7 +271,11 @@ mod tests {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0 && x[0] == 0)));
         let anchor = Anchor::new(&ds, AnchorParams::default());
-        let x = ds.instances().iter().find(|x| x[7] == 0 && x[0] == 0).unwrap();
+        let x = ds
+            .instances()
+            .iter()
+            .find(|x| x[7] == 0 && x[0] == 0)
+            .unwrap();
         let rule = anchor.explain(&m, x);
         let prec = anchor.estimate_precision(&m, x, &rule, 800);
         assert!(prec >= 0.9, "rule {rule:?} precision {prec}");
@@ -246,14 +286,31 @@ mod tests {
         let ds = reference();
         // A model with several weak contributors.
         let m = ModelFn(|x: &Instance| {
-            Label(u32::from(u32::from(x[7] == 0) + u32::from(x[5] >= 4) + u32::from(x[10] == 0) >= 2))
+            Label(u32::from(
+                u32::from(x[7] == 0) + u32::from(x[5] >= 4) + u32::from(x[10] == 0) >= 2,
+            ))
         });
         let x = ds.instance(0).clone();
-        let strict =
-            Anchor::new(&ds, AnchorParams { tau: 0.97, ..Default::default() }).explain(&m, &x);
-        let loose =
-            Anchor::new(&ds, AnchorParams { tau: 0.6, ..Default::default() }).explain(&m, &x);
-        assert!(loose.len() <= strict.len(), "loose={loose:?} strict={strict:?}");
+        let strict = Anchor::new(
+            &ds,
+            AnchorParams {
+                tau: 0.97,
+                ..Default::default()
+            },
+        )
+        .explain(&m, &x);
+        let loose = Anchor::new(
+            &ds,
+            AnchorParams {
+                tau: 0.6,
+                ..Default::default()
+            },
+        )
+        .explain(&m, &x);
+        assert!(
+            loose.len() <= strict.len(),
+            "loose={loose:?} strict={strict:?}"
+        );
     }
 
     #[test]
@@ -283,7 +340,10 @@ mod tests {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
         let anchor = Anchor::new(&ds, AnchorParams::default());
-        assert_eq!(anchor.explain(&m, ds.instance(4)), anchor.explain(&m, ds.instance(4)));
+        assert_eq!(
+            anchor.explain(&m, ds.instance(4)),
+            anchor.explain(&m, ds.instance(4))
+        );
     }
 
     #[test]
@@ -293,8 +353,18 @@ mod tests {
         // with a modest τ Anchor settles for the dominant feature alone.
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0 || x[5] >= 7)));
-        let anchor = Anchor::new(&ds, AnchorParams { tau: 0.9, ..Default::default() });
-        let x = ds.instances().iter().find(|x| x[7] == 0 && x[5] < 7).unwrap();
+        let anchor = Anchor::new(
+            &ds,
+            AnchorParams {
+                tau: 0.9,
+                ..Default::default()
+            },
+        );
+        let x = ds
+            .instances()
+            .iter()
+            .find(|x| x[7] == 0 && x[5] < 7)
+            .unwrap();
         let rule = anchor.explain(&m, x);
         if rule == vec![7] {
             // A violating witness exists in the reference data or space:

@@ -27,7 +27,10 @@ pub struct CertaParams {
 
 impl Default for CertaParams {
     fn default() -> Self {
-        Self { swaps: 24, seed: 0xce27a }
+        Self {
+            swaps: 24,
+            seed: 0xce27a,
+        }
     }
 }
 
@@ -148,13 +151,23 @@ mod tests {
         // at least as often as the weakest attribute.
         let min = totals.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(totals[0] >= min, "totals={totals:?}");
-        assert!(totals.iter().any(|&t| t > 0.0), "some attribute must matter");
+        assert!(
+            totals.iter().any(|&t| t > 0.0),
+            "some attribute must matter"
+        );
     }
 
     #[test]
     fn scores_are_fractions() {
         let (emd, ds, model) = setup();
-        let certa = Certa::new(&emd, ds.schema_arc(), CertaParams { swaps: 10, ..Default::default() });
+        let certa = Certa::new(
+            &emd,
+            ds.schema_arc(),
+            CertaParams {
+                swaps: 10,
+                ..Default::default()
+            },
+        );
         for i in 0..5 {
             for s in certa.importance(&model, i) {
                 assert!((0.0..=1.0).contains(&s));

@@ -29,7 +29,10 @@ pub struct GamParams {
 
 impl Default for GamParams {
     fn default() -> Self {
-        Self { sweeps: 6, smoothing: 4.0 }
+        Self {
+            sweeps: 6,
+            smoothing: 4.0,
+        }
     }
 }
 
@@ -157,6 +160,9 @@ mod tests {
         let s_pos = gam.importance(&m, pos)[7];
         let s_neg = gam.importance(&m, neg)[7];
         assert!(s_pos > 0.0, "good credit supports 'approved': {s_pos}");
-        assert!(s_neg > 0.0, "poor credit supports 'denied' once sign-aligned: {s_neg}");
+        assert!(
+            s_neg > 0.0,
+            "poor credit supports 'denied' once sign-aligned: {s_neg}"
+        );
     }
 }

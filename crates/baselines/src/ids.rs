@@ -66,7 +66,13 @@ impl Rule {
         let conj = self
             .conditions
             .iter()
-            .map(|&(f, v)| format!("{}='{}'", schema.feature(f).name, schema.feature(f).display(v)))
+            .map(|&(f, v)| {
+                format!(
+                    "{}='{}'",
+                    schema.feature(f).name,
+                    schema.feature(f).display(v)
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ∧ ");
         format!("IF {conj} THEN Prediction='{label_name}'")
@@ -106,8 +112,11 @@ impl RuleSet {
         if data.is_empty() {
             return 1.0;
         }
-        let covered =
-            data.instances().iter().filter(|x| self.covering(x).is_some()).count();
+        let covered = data
+            .instances()
+            .iter()
+            .filter(|x| self.covering(x).is_some())
+            .count();
         covered as f64 / data.len() as f64
     }
 }
@@ -192,12 +201,7 @@ impl Ids {
 
     /// Evaluates a candidate conjunction; returns the rule when it clears
     /// the support and precision bars.
-    fn evaluate(
-        &self,
-        conds: &[(usize, Cat)],
-        data: &Dataset,
-        preds: &[Label],
-    ) -> Option<Rule> {
+    fn evaluate(&self, conds: &[(usize, Cat)], data: &Dataset, preds: &[Label]) -> Option<Rule> {
         let mut counts: std::collections::HashMap<Label, usize> = std::collections::HashMap::new();
         let mut support = 0usize;
         for (i, x) in data.instances().iter().enumerate() {
@@ -214,7 +218,12 @@ impl Ids {
         if precision < self.params.min_precision {
             return None;
         }
-        Some(Rule { conditions: conds.to_vec(), label, support, precision })
+        Some(Rule {
+            conditions: conds.to_vec(),
+            label,
+            support,
+            precision,
+        })
     }
 }
 
@@ -246,7 +255,11 @@ mod tests {
     fn size_bound_limits_rules() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
-        let rs = Ids::new(IdsParams { max_rules: 2, ..Default::default() }).fit(&m, &ds);
+        let rs = Ids::new(IdsParams {
+            max_rules: 2,
+            ..Default::default()
+        })
+        .fit(&m, &ds);
         assert!(rs.len() <= 2);
     }
 
@@ -256,8 +269,16 @@ mod tests {
         // given instance.
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(x[0] ^ x[7] & 1)); // noisy-ish target
-        let rs = Ids::new(IdsParams { max_rules: 2, ..Default::default() }).fit(&m, &ds);
-        let misses = ds.instances().iter().filter(|x| rs.covering(x).is_none()).count();
+        let rs = Ids::new(IdsParams {
+            max_rules: 2,
+            ..Default::default()
+        })
+        .fit(&m, &ds);
+        let misses = ds
+            .instances()
+            .iter()
+            .filter(|x| rs.covering(x).is_none())
+            .count();
         assert!(misses > 0, "tiny rule sets should leave gaps");
     }
 
@@ -275,7 +296,11 @@ mod tests {
     fn unbounded_run_covers_more() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(x[0] ^ (x[7] & 1)));
-        let small = Ids::new(IdsParams { max_rules: 2, ..Default::default() }).fit(&m, &ds);
+        let small = Ids::new(IdsParams {
+            max_rules: 2,
+            ..Default::default()
+        })
+        .fit(&m, &ds);
         let large = Ids::new(IdsParams {
             max_rules: usize::MAX,
             min_support: 3,

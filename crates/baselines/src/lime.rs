@@ -36,7 +36,13 @@ pub struct LimeParams {
 
 impl Default for LimeParams {
     fn default() -> Self {
-        Self { samples: 300, keep: 0.5, kernel_width: 0.75, ridge: 1e-3, seed: 0x11e }
+        Self {
+            samples: 300,
+            keep: 0.5,
+            kernel_width: 0.75,
+            ridge: 1e-3,
+            seed: 0x11e,
+        }
     }
 }
 
@@ -50,7 +56,10 @@ pub struct Lime {
 impl Lime {
     /// Builds the explainer over a reference distribution.
     pub fn new(reference: &Dataset, params: LimeParams) -> Self {
-        Self { sampler: PerturbationSampler::new(reference), params }
+        Self {
+            sampler: PerturbationSampler::new(reference),
+            params,
+        }
     }
 
     /// Per-feature importance scores for the model's prediction on `x`.
@@ -116,14 +125,23 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(top, 7, "scores={scores:?}");
-        assert!(scores[7] > 0.0, "keeping the decisive value supports the prediction");
+        assert!(
+            scores[7] > 0.0,
+            "keeping the decisive value supports the prediction"
+        );
     }
 
     #[test]
     fn irrelevant_features_score_near_zero() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
-        let lime = Lime::new(&ds, LimeParams { samples: 600, ..Default::default() });
+        let lime = Lime::new(
+            &ds,
+            LimeParams {
+                samples: 600,
+                ..Default::default()
+            },
+        );
         let scores = lime.importance(&m, ds.instance(0));
         for (f, s) in scores.iter().enumerate() {
             if f != 7 {
@@ -147,7 +165,13 @@ mod tests {
         let ds = reference();
         // Denied iff Credit poor AND Income low (feature 5 code 0..2).
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 1 && x[5] <= 2)));
-        let lime = Lime::new(&ds, LimeParams { samples: 800, ..Default::default() });
+        let lime = Lime::new(
+            &ds,
+            LimeParams {
+                samples: 800,
+                ..Default::default()
+            },
+        );
         // Pick an instance where the rule fires.
         let t = ds
             .instances()

@@ -87,7 +87,10 @@ mod tests {
         let design: Vec<Vec<f64>> = (0..20)
             .map(|i| vec![f64::from(i % 5), f64::from(i % 3), 1.0])
             .collect();
-        let y: Vec<f64> = design.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0).collect();
+        let y: Vec<f64> = design
+            .iter()
+            .map(|r| 2.0 * r[0] - 3.0 * r[1] + 1.0)
+            .collect();
         let w = vec![1.0; y.len()];
         let beta = ridge_wls(&design, &y, &w, 1e-8);
         assert!((beta[0] - 2.0).abs() < 1e-4, "beta={beta:?}");

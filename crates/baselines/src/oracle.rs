@@ -45,10 +45,14 @@ impl<'a> EnsembleOracle<'a> {
                 }
             }
         }
-        let mut relevant: Vec<usize> =
-            (0..schema.n_features()).filter(|&f| freq[f] > 0).collect();
+        let mut relevant: Vec<usize> = (0..schema.n_features()).filter(|&f| freq[f] > 0).collect();
         relevant.sort_by_key(|&f| std::cmp::Reverse(freq[f]));
-        Self { gbdt, schema, relevant, node_budget: 5_000_000 }
+        Self {
+            gbdt,
+            schema,
+            relevant,
+            node_budget: 5_000_000,
+        }
     }
 
     /// Overrides the per-query search-node budget.
@@ -78,8 +82,12 @@ impl<'a> EnsembleOracle<'a> {
         for &f in feats {
             assigned[f] = Some(x[f]);
         }
-        let free: Vec<usize> =
-            self.relevant.iter().copied().filter(|&f| assigned[f].is_none()).collect();
+        let free: Vec<usize> = self
+            .relevant
+            .iter()
+            .copied()
+            .filter(|&f| assigned[f].is_none())
+            .collect();
         let mut nodes_left = self.node_budget;
         self.dfs(&mut assigned, &free, 0, want_min, &mut nodes_left)
     }
@@ -142,7 +150,12 @@ fn tree_extreme(tree: &RegressionTree, assigned: &[Option<Cat>], want_min: bool)
     fn go(nodes: &[Node<f64>], i: usize, assigned: &[Option<Cat>], want_min: bool) -> f64 {
         match &nodes[i] {
             Node::Leaf(v) => *v,
-            Node::Split { feature, test, left, right } => match assigned[*feature] {
+            Node::Split {
+                feature,
+                test,
+                left,
+                right,
+            } => match assigned[*feature] {
                 Some(v) => {
                     let next = if test.goes_left(v) { *left } else { *right };
                     go(nodes, next as usize, assigned, want_min)
@@ -174,7 +187,15 @@ mod tests {
     fn setup() -> (Dataset, Gbdt) {
         let raw = synth::loan::generate(250, 5);
         let ds = raw.encode(&BinSpec::uniform(4));
-        let model = Gbdt::train(&ds, &GbdtParams { n_trees: 6, learning_rate: 0.4, ..GbdtParams::fast() }, 0);
+        let model = Gbdt::train(
+            &ds,
+            &GbdtParams {
+                n_trees: 6,
+                learning_rate: 0.4,
+                ..GbdtParams::fast()
+            },
+            0,
+        );
         (ds, model)
     }
 
@@ -225,8 +246,9 @@ mod tests {
         for t in 0..10 {
             let x = ds.instance(t * 7 % ds.len());
             // Random subset of features.
-            let feats: Vec<usize> =
-                (0..ds.schema().n_features()).filter(|_| rng.gen_bool(0.5)).collect();
+            let feats: Vec<usize> = (0..ds.schema().n_features())
+                .filter(|_| rng.gen_bool(0.5))
+                .collect();
             let sufficient = oracle.is_sufficient(x, &feats);
             if sufficient {
                 // No random completion may flip the prediction.
@@ -254,20 +276,31 @@ mod tests {
         let raw = synth::loan::generate(200, 9);
         let full = raw.encode(&BinSpec::uniform(3));
         // Project to features 0..5 by re-building a dataset.
-        let schema = cce_dataset::Schema::new(
-            full.schema().features()[..5].to_vec(),
-        );
+        let schema = cce_dataset::Schema::new(full.schema().features()[..5].to_vec());
         let instances: Vec<Instance> = full
             .instances()
             .iter()
             .map(|x| Instance::new(x.values()[..5].to_vec()))
             .collect();
         let ds = Dataset::new("tiny".into(), schema, instances, full.labels().to_vec());
-        let model = Gbdt::train(&ds, &GbdtParams { n_trees: 5, ..GbdtParams::fast() }, 0);
+        let model = Gbdt::train(
+            &ds,
+            &GbdtParams {
+                n_trees: 5,
+                ..GbdtParams::fast()
+            },
+            0,
+        );
         let oracle = EnsembleOracle::new(&model, ds.schema());
         for t in [0usize, 3, 11, 42] {
             let x = ds.instance(t);
-            for feats in [vec![], vec![0], vec![0, 2], vec![1, 3, 4], vec![0, 1, 2, 3, 4]] {
+            for feats in [
+                vec![],
+                vec![0],
+                vec![0, 2],
+                vec![1, 3, 4],
+                vec![0, 1, 2, 3, 4],
+            ] {
                 assert_eq!(
                     oracle.is_sufficient(x, &feats),
                     sufficient_exhaustive(&ds, &model, x, &feats),
@@ -293,8 +326,9 @@ mod tests {
         let oracle = EnsembleOracle::new(&model, ds.schema());
         // The model distinguishes classes, so fixing nothing cannot force
         // a prediction (unless the ensemble is constant — it is not).
-        let any_insufficient =
-            (0..ds.len()).step_by(11).any(|t| !oracle.is_sufficient(ds.instance(t), &[]));
+        let any_insufficient = (0..ds.len())
+            .step_by(11)
+            .any(|t| !oracle.is_sufficient(ds.instance(t), &[]));
         assert!(any_insufficient);
     }
 
@@ -310,8 +344,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for t in 0..20 {
             let x = ds.instance((t * 11) % ds.len());
-            let feats: Vec<usize> =
-                (0..ds.schema().n_features()).filter(|_| rng.gen_bool(0.6)).collect();
+            let feats: Vec<usize> = (0..ds.schema().n_features())
+                .filter(|_| rng.gen_bool(0.6))
+                .collect();
             if starved.is_sufficient(x, &feats) {
                 assert!(funded.is_sufficient(x, &feats), "starved invented a proof");
             }

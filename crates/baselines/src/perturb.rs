@@ -25,7 +25,10 @@ impl PerturbationSampler {
         let marginals = (0..reference.schema().n_features())
             .map(|f| reference.marginal(f))
             .collect();
-        Self { schema: reference.schema_arc(), marginals }
+        Self {
+            schema: reference.schema_arc(),
+            marginals,
+        }
     }
 
     /// The schema of sampled instances.
@@ -57,6 +60,7 @@ impl PerturbationSampler {
     /// This is the conditional distribution Anchor estimates rule precision
     /// under, and the coalition completion KernelSHAP uses.
     pub fn neighbor_fixing(&self, x: &Instance, fixed: &[usize], rng: &mut impl Rng) -> Instance {
+        cce_obs::counter!("cce_baseline_perturbations_total", "kind" => "fixing").inc();
         let mut vals: Vec<Cat> = x.values().to_vec();
         for (f, v) in vals.iter_mut().enumerate() {
             if !fixed.contains(&f) {
@@ -76,6 +80,7 @@ impl PerturbationSampler {
         keep: f64,
         rng: &mut impl Rng,
     ) -> (Instance, Vec<bool>) {
+        cce_obs::counter!("cce_baseline_perturbations_total", "kind" => "random").inc();
         let mut vals: Vec<Cat> = x.values().to_vec();
         let mut mask = vec![true; vals.len()];
         for f in 0..vals.len() {

@@ -31,7 +31,12 @@ pub struct ShapParams {
 
 impl Default for ShapParams {
     fn default() -> Self {
-        Self { coalitions: 128, background: 16, ridge: 1e-6, seed: 0x54a9 }
+        Self {
+            coalitions: 128,
+            background: 16,
+            ridge: 1e-6,
+            seed: 0x54a9,
+        }
     }
 }
 
@@ -45,7 +50,10 @@ pub struct KernelShap {
 impl KernelShap {
     /// Builds the explainer over a background distribution.
     pub fn new(reference: &Dataset, params: ShapParams) -> Self {
-        Self { sampler: PerturbationSampler::new(reference), params }
+        Self {
+            sampler: PerturbationSampler::new(reference),
+            params,
+        }
     }
 
     /// Shapley-value estimates for each feature of `x` toward the model's
@@ -87,10 +95,11 @@ impl KernelShap {
         y.push(v1);
         w.push(1e6);
 
-        let add_coalition = |members: &[usize], rng: &mut StdRng,
-                                 design: &mut Vec<Vec<f64>>,
-                                 y: &mut Vec<f64>,
-                                 w: &mut Vec<f64>| {
+        let add_coalition = |members: &[usize],
+                             rng: &mut StdRng,
+                             design: &mut Vec<Vec<f64>>,
+                             y: &mut Vec<f64>,
+                             w: &mut Vec<f64>| {
             let v = value(members, rng);
             let mut row = vec![0.0; n + 1];
             for &f in members {
@@ -113,8 +122,9 @@ impl KernelShap {
         // Remaining budget: sample interior sizes by their kernel mass,
         // antithetically paired with their complements to cut variance.
         if n > 3 {
-            let size_mass: Vec<f64> =
-                (2..n - 1).map(|s| (n as f64 - 1.0) / ((s * (n - s)) as f64)).collect();
+            let size_mass: Vec<f64> = (2..n - 1)
+                .map(|s| (n as f64 - 1.0) / ((s * (n - s)) as f64))
+                .collect();
             let total_mass: f64 = size_mass.iter().sum();
             let budget = self.params.coalitions.saturating_sub(2 * n) / 2;
             for _ in 0..budget {
@@ -207,7 +217,13 @@ mod tests {
         // Σ φ ≈ v(full) − v(empty) thanks to the anchored rows.
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
-        let shap = KernelShap::new(&ds, ShapParams { coalitions: 256, ..Default::default() });
+        let shap = KernelShap::new(
+            &ds,
+            ShapParams {
+                coalitions: 256,
+                ..Default::default()
+            },
+        );
         let scores = shap.importance(&m, ds.instance(0));
         let sum: f64 = scores.iter().sum();
         // v(full) = 1; v(empty) = P(Credit=good) ≈ 0.8 → sum ≈ 0.2.
@@ -219,6 +235,9 @@ mod tests {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
         let shap = KernelShap::new(&ds, ShapParams::default());
-        assert_eq!(shap.importance(&m, ds.instance(1)), shap.importance(&m, ds.instance(1)));
+        assert_eq!(
+            shap.importance(&m, ds.instance(1)),
+            shap.importance(&m, ds.instance(1))
+        );
     }
 }

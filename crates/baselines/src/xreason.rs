@@ -28,7 +28,10 @@ pub struct Xreason<'a> {
 impl<'a> Xreason<'a> {
     /// Binds the explainer to a white-box ensemble.
     pub fn new(gbdt: &'a Gbdt, schema: &'a Schema) -> Self {
-        Self { oracle: EnsembleOracle::new(gbdt, schema), n_features: schema.n_features() }
+        Self {
+            oracle: EnsembleOracle::new(gbdt, schema),
+            n_features: schema.n_features(),
+        }
     }
 
     /// Computes a subset-minimal sufficient reason for the prediction on
@@ -74,7 +77,11 @@ mod tests {
         let ds = raw.encode(&BinSpec::uniform(4));
         let model = Gbdt::train(
             &ds,
-            &GbdtParams { n_trees: 6, learning_rate: 0.4, ..GbdtParams::fast() },
+            &GbdtParams {
+                n_trees: 6,
+                learning_rate: 0.4,
+                ..GbdtParams::fast()
+            },
             0,
         );
         (ds, model)
@@ -135,7 +142,9 @@ mod tests {
         let srk = cce_core::Srk::new(cce_core::Alpha::ONE);
         let (mut total_xr, mut total_srk, mut cases) = (0usize, 0usize, 0usize);
         for t in (0..ds.len()).step_by(29) {
-            let Ok(key) = srk.explain(&ctx, t) else { continue };
+            let Ok(key) = srk.explain(&ctx, t) else {
+                continue;
+            };
             total_xr += xr.explain(ds.instance(t)).len();
             total_srk += key.succinctness();
             cases += 1;

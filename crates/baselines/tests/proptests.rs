@@ -57,7 +57,14 @@ proptest! {
 #[test]
 fn oracle_sufficiency_is_monotone() {
     let ds = synth::loan::generate(200, 3).encode(&BinSpec::uniform(4));
-    let model = Gbdt::train(&ds, &GbdtParams { n_trees: 6, ..GbdtParams::fast() }, 0);
+    let model = Gbdt::train(
+        &ds,
+        &GbdtParams {
+            n_trees: 6,
+            ..GbdtParams::fast()
+        },
+        0,
+    );
     let oracle = EnsembleOracle::new(&model, ds.schema());
     use rand::Rng;
     use rand::SeedableRng;
@@ -88,11 +95,21 @@ fn oracle_agrees_with_itself_across_feature_order() {
     // Sufficiency is a property of the *set*; permuting the slice must not
     // change the answer.
     let ds = synth::loan::generate(150, 7).encode(&BinSpec::uniform(4));
-    let model = Gbdt::train(&ds, &GbdtParams { n_trees: 5, ..GbdtParams::fast() }, 0);
+    let model = Gbdt::train(
+        &ds,
+        &GbdtParams {
+            n_trees: 5,
+            ..GbdtParams::fast()
+        },
+        0,
+    );
     let oracle = EnsembleOracle::new(&model, ds.schema());
     let x = ds.instance(3);
     let feats = vec![0usize, 3, 7, 9];
     let mut rev = feats.clone();
     rev.reverse();
-    assert_eq!(oracle.is_sufficient(x, &feats), oracle.is_sufficient(x, &rev));
+    assert_eq!(
+        oracle.is_sufficient(x, &feats),
+        oracle.is_sufficient(x, &rev)
+    );
 }

@@ -12,7 +12,12 @@ use cce_core::{Alpha, OsrkMonitor, PickRule, Srk, SsrkMonitor};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 fn bench_srk_incremental_vs_naive(c: &mut Criterion) {
-    let cfg = ExpConfig { scale: 0.2, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.2,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Adult", &cfg);
     let srk = Srk::new(Alpha::ONE);
     let mut group = c.benchmark_group("ablation_srk");
@@ -34,7 +39,12 @@ fn bench_srk_incremental_vs_naive(c: &mut Criterion) {
 }
 
 fn bench_potential_forms(c: &mut Criterion) {
-    let cfg = ExpConfig { scale: 0.2, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.2,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Adult", &cfg);
     let universe: Vec<_> = prep
         .ctx
@@ -43,8 +53,12 @@ fn bench_potential_forms(c: &mut Criterion) {
         .cloned()
         .zip(prep.ctx.predictions().iter().copied())
         .collect();
-    let monitor =
-        SsrkMonitor::new(prep.ctx.instance(0).clone(), prep.ctx.prediction(0), Alpha::ONE, &universe);
+    let monitor = SsrkMonitor::new(
+        prep.ctx.instance(0).clone(),
+        prep.ctx.prediction(0),
+        Alpha::ONE,
+        &universe,
+    );
     let mut group = c.benchmark_group("ablation_potential");
     group.bench_function("log_domain", |b| {
         b.iter(|| std::hint::black_box(monitor.recompute_log_potential()));
@@ -58,7 +72,12 @@ fn bench_potential_forms(c: &mut Criterion) {
 }
 
 fn bench_pick_rules(c: &mut Criterion) {
-    let cfg = ExpConfig { scale: 0.1, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.1,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Compas", &cfg);
     let stream: Vec<_> = prep
         .ctx
@@ -90,7 +109,12 @@ fn bench_pick_rules(c: &mut Criterion) {
 
 fn bench_context_index(c: &mut Criterion) {
     use cce_core::ContextIndex;
-    let cfg = ExpConfig { scale: 0.3, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.3,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Adult", &cfg);
     let srk = Srk::new(Alpha::ONE);
     let idx = ContextIndex::new(&prep.ctx);

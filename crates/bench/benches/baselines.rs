@@ -9,7 +9,12 @@ use cce_core::{Alpha, Srk};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_baselines(c: &mut Criterion) {
-    let cfg = ExpConfig { scale: 1.0, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 1.0,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Loan", &cfg);
     let mut group = c.benchmark_group("explain_one_loan_instance");
     group.sample_size(20);

@@ -1,0 +1,45 @@
+//! Proves the observability layer is cheap: instrumented `explain_all`
+//! must stay within a few percent of the disabled-instrumentation
+//! baseline (the ISSUE's ~5% budget).
+//!
+//! Run with `cargo bench --bench obs_overhead`; the final line prints the
+//! enabled/disabled mean-latency ratio.
+
+use cce_bench::setup::{prepare, ExpConfig};
+use cce_core::{Cce, CceConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn obs_overhead(c: &mut Criterion) {
+    let prep = prepare("Loan", &ExpConfig::from_env());
+    let cce = Cce::with_context(prep.ctx, CceConfig::default());
+
+    let mut group = c.benchmark_group("obs_overhead");
+    cce_obs::set_enabled(false);
+    group.bench_function("explain_all/disabled", |b| {
+        b.iter(|| black_box(cce.explain_all()))
+    });
+    cce_obs::set_enabled(true);
+    group.bench_function("explain_all/enabled", |b| {
+        b.iter(|| black_box(cce.explain_all()))
+    });
+    group.finish();
+
+    let stat = |needle: &str, pick: fn(f64, f64) -> f64| {
+        c.samples()
+            .iter()
+            .find(|(name, _)| name.contains(needle))
+            .map(|(_, s)| pick(s.mean_ns, s.min_ns))
+            .unwrap_or(f64::NAN)
+    };
+    let mean_ratio = stat("enabled", |m, _| m) / stat("disabled", |m, _| m);
+    // The min is the robust estimate: means absorb scheduler noise that
+    // easily exceeds the instrumentation cost itself.
+    let min_ratio = stat("enabled", |_, m| m) / stat("disabled", |_, m| m);
+    println!(
+        "obs overhead: enabled/disabled ratio = {min_ratio:.4} (min), \
+         {mean_ratio:.4} (mean) — budget ~1.05"
+    );
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -6,7 +6,12 @@ use cce_core::{Alpha, OsrkMonitor, SsrkMonitor};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 fn bench_online(c: &mut Criterion) {
-    let cfg = ExpConfig { scale: 0.2, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.2,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Adult", &cfg);
     let universe: Vec<_> = prep
         .ctx

@@ -13,7 +13,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_oracle(c: &mut Criterion) {
-    let cfg = ExpConfig { scale: 0.3, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.3,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let raw = synth::general_dataset("Loan", cfg.scale, cfg.seed).unwrap();
     let spec = BinSpec::uniform(10).with_strategy(BinningStrategy::Quantile);
     let ds = raw.encode(&spec);
@@ -26,7 +31,10 @@ fn bench_oracle(c: &mut Criterion) {
             &GbdtParams {
                 n_trees,
                 learning_rate: 0.3,
-                tree: TreeParams { max_depth: 4, ..Default::default() },
+                tree: TreeParams {
+                    max_depth: 4,
+                    ..Default::default()
+                },
             },
             0,
         );

@@ -9,7 +9,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_srk(c: &mut Criterion) {
     let mut group = c.benchmark_group("srk");
     for (scale, label) in [(0.05, "small"), (0.2, "medium"), (0.6, "large")] {
-        let cfg = ExpConfig { scale, targets: 1, seed: 42, buckets: 10 };
+        let cfg = ExpConfig {
+            scale,
+            targets: 1,
+            seed: 42,
+            buckets: 10,
+        };
         let prep = prepare("Adult", &cfg);
         let srk = Srk::new(Alpha::ONE);
         group.bench_function(
@@ -25,7 +30,12 @@ fn bench_srk(c: &mut Criterion) {
     }
 
     // α sweep at fixed size (Fig. 3g's shape: relaxing α speeds SRK up).
-    let cfg = ExpConfig { scale: 0.3, targets: 1, seed: 42, buckets: 10 };
+    let cfg = ExpConfig {
+        scale: 0.3,
+        targets: 1,
+        seed: 42,
+        buckets: 10,
+    };
     let prep = prepare("Loan", &cfg);
     for a in [1.0, 0.95, 0.9] {
         let srk = Srk::new(Alpha::new(a).unwrap());

@@ -5,4 +5,5 @@ fn main() {
     eprintln!("running experiment 'case_study' with {cfg:?}");
     let tables = cce_bench::experiments::case_study::run(&cfg);
     cce_bench::experiments::print_tables(&tables);
+    cce_bench::dump_metrics("case_study");
 }

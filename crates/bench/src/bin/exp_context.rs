@@ -5,4 +5,5 @@ fn main() {
     eprintln!("running experiment 'context' with {cfg:?}");
     let tables = cce_bench::experiments::context::run(&cfg);
     cce_bench::experiments::print_tables(&tables);
+    cce_bench::dump_metrics("context");
 }

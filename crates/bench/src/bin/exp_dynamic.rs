@@ -5,4 +5,5 @@ fn main() {
     eprintln!("running experiment 'dynamic' with {cfg:?}");
     let tables = cce_bench::experiments::dynamic::run(&cfg);
     cce_bench::experiments::print_tables(&tables);
+    cce_bench::dump_metrics("dynamic");
 }

@@ -5,4 +5,5 @@ fn main() {
     eprintln!("running experiment 'em' with {cfg:?}");
     let tables = cce_bench::experiments::em::run(&cfg);
     cce_bench::experiments::print_tables(&tables);
+    cce_bench::dump_metrics("em");
 }

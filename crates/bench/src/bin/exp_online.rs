@@ -5,4 +5,5 @@ fn main() {
     eprintln!("running experiment 'online' with {cfg:?}");
     let tables = cce_bench::experiments::online::run(&cfg);
     cce_bench::experiments::print_tables(&tables);
+    cce_bench::dump_metrics("online");
 }

@@ -5,4 +5,5 @@ fn main() {
     eprintln!("running experiment 'variance' with {cfg:?}");
     let tables = cce_bench::experiments::variance::run(&cfg);
     cce_bench::experiments::print_tables(&tables);
+    cce_bench::dump_metrics("variance");
 }

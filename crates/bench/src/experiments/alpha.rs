@@ -30,7 +30,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             .zip(prep.ctx.predictions().iter().copied())
             .collect();
 
-        let mut rows = [vec![name.to_string()], vec![name.to_string()], vec![name.to_string()]];
+        let mut rows = [
+            vec![name.to_string()],
+            vec![name.to_string()],
+            vec![name.to_string()],
+        ];
         for &a in &ALPHAS {
             let alpha = Alpha::new(a).expect("valid alpha");
             // SRK.

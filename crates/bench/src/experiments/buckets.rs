@@ -5,7 +5,9 @@
 use cce_core::Alpha;
 use cce_dataset::BinSpec;
 use cce_metrics::report::fmt_pct;
-use cce_metrics::{conformity, faithfulness, mean_succinctness, recall_pair, FaithfulnessParams, Table};
+use cce_metrics::{
+    conformity, faithfulness, mean_succinctness, recall_pair, FaithfulnessParams, Table,
+};
 
 use crate::methods::{self, faithfulness_items};
 use crate::setup::{prepare_with_spec, sample_targets, ExpConfig};
@@ -15,14 +17,17 @@ pub const BUCKETS: [usize; 6] = [10, 12, 14, 16, 18, 20];
 
 /// Runs the `#-bucket` sweeps.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let headers: Vec<String> =
-        std::iter::once("method".to_string()).chain(BUCKETS.iter().map(|b| format!("#{b}"))).collect();
+    let headers: Vec<String> = std::iter::once("method".to_string())
+        .chain(BUCKETS.iter().map(|b| format!("#{b}")))
+        .collect();
     let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
 
     let mut f3h = Table::new("Fig 3h: conformity vs #-bucket of LoanAmount (Loan)", &hdr);
     let mut f3i_recall = Table::new("Fig 3i (recall): CCE vs Xreason vs #-bucket (Loan)", &hdr);
-    let mut f3i_succ =
-        Table::new("Fig 3i (succinctness): CCE vs Xreason vs #-bucket (Loan)", &hdr);
+    let mut f3i_succ = Table::new(
+        "Fig 3i (succinctness): CCE vs Xreason vs #-bucket (Loan)",
+        &hdr,
+    );
     let mut f4d = Table::new("Fig 4d: faithfulness vs #-bucket (Adult)", &hdr);
 
     // Per-method accumulators across bucket counts.
@@ -67,8 +72,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         succ_cols[1].push(format!("{:.2}", mean_succinctness(&xr.explained)));
 
         // Fig 4d: Adult with all numeric features at b buckets.
-        let spec_a =
-            BinSpec::uniform(b).with_strategy(cce_dataset::BinningStrategy::Quantile);
+        let spec_a = BinSpec::uniform(b).with_strategy(cce_dataset::BinningStrategy::Quantile);
         let prep_a = prepare_with_spec("Adult", cfg, &spec_a);
         let targets_a = sample_targets(prep_a.ctx.len(), cfg.targets, cfg.seed);
         let (cce_a, sizes_a) = methods::run_cce(&prep_a, &targets_a, Alpha::ONE);
@@ -79,7 +83,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             methods::run_anchor(&prep_a, &targets_a, &sizes_a, cfg.seed),
             methods::run_gam(&prep_a, &targets_a, &sizes_a),
         ];
-        let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+        let fparams = FaithfulnessParams {
+            seed: cfg.seed,
+            ..Default::default()
+        };
         for (col, run) in faith_cols.iter_mut().zip(&runs_a) {
             let f = faithfulness(
                 &prep_a.model,

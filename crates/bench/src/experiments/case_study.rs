@@ -2,7 +2,10 @@
 //! feature-importance comparison, and the IDS pattern-level listing.
 
 use cce_baselines::gam::GamParams;
-use cce_baselines::{top_k_features, Anchor, AnchorParams, Gam, Ids, IdsParams, KernelShap, Lime, LimeParams, ShapParams, Xreason};
+use cce_baselines::{
+    top_k_features, Anchor, AnchorParams, Gam, Ids, IdsParams, KernelShap, Lime, LimeParams,
+    ShapParams, Xreason,
+};
 use cce_core::{Alpha, Srk};
 use cce_metrics::report::fmt_ms;
 use cce_metrics::Table;
@@ -35,7 +38,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let x0 = candidates
         .iter()
         .copied()
-        .find(|&t| srk.explain(&prep.ctx, t).map(|k| k.succinctness() >= 2).unwrap_or(false))
+        .find(|&t| {
+            srk.explain(&prep.ctx, t)
+                .map(|k| k.succinctness() >= 2)
+                .unwrap_or(false)
+        })
         .or_else(|| candidates.first().copied())
         .unwrap_or(0);
     let x = prep.infer.instance(x0).clone();
@@ -57,7 +64,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     ]);
 
     // Anchor (heuristic).
-    let anchor = Anchor::new(&prep.train, AnchorParams { seed: cfg.seed, ..Default::default() });
+    let anchor = Anchor::new(
+        &prep.train,
+        AnchorParams {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
     let (an_feats, an_ms) = time_ms(|| anchor.explain(&prep.model, &x));
     fig1.row(vec![
         "Anchor".into(),
@@ -106,8 +119,20 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     header_strings.push("top-2 derived".into());
     let headers: Vec<&str> = header_strings.iter().map(String::as_str).collect();
     let mut t3 = Table::new("Table 3: feature importance explanations for x0", &headers);
-    let lime = Lime::new(&prep.train, LimeParams { seed: cfg.seed, ..Default::default() });
-    let shap = KernelShap::new(&prep.train, ShapParams { seed: cfg.seed, ..Default::default() });
+    let lime = Lime::new(
+        &prep.train,
+        LimeParams {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
+    let shap = KernelShap::new(
+        &prep.train,
+        ShapParams {
+            seed: cfg.seed,
+            ..Default::default()
+        },
+    );
     let gam = Gam::fit(&prep.model, &prep.train, GamParams::default());
     for (name, scores) in [
         ("LIME", lime.importance(&prep.model, &x)),
@@ -118,7 +143,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         row.extend(scores.iter().map(|s| format!("{s:.2}")));
         let top2 = top_k_features(&scores, 2);
         row.push(
-            top2.iter().map(|&f| schema.feature(f).name.clone()).collect::<Vec<_>>().join("+"),
+            top2.iter()
+                .map(|&f| schema.feature(f).name.clone())
+                .collect::<Vec<_>>()
+                .join("+"),
         );
         t3.row(row);
     }
@@ -138,7 +166,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         })
         .fit(&prep.model, &prep.infer)
     });
-    for (name, rs, ms) in [("8-rule bound", &bounded, b_ms), ("unbounded", &unbounded, u_ms)] {
+    for (name, rs, ms) in [
+        ("8-rule bound", &bounded, b_ms),
+        ("unbounded", &unbounded, u_ms),
+    ] {
         let covers = rs.covering(&x).is_some();
         let sample = rs
             .rules()

@@ -14,13 +14,19 @@ pub const FRACTIONS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 /// Runs the context-size sweep.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let prep = prepare("Adult", cfg);
-    let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+    let fparams = FaithfulnessParams {
+        seed: cfg.seed,
+        ..Default::default()
+    };
 
     let headers: Vec<String> = std::iter::once("measure".to_string())
         .chain(FRACTIONS.iter().map(|f| format!("{:.0}%", f * 100.0)))
         .collect();
     let hdr: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut f3j = Table::new("Fig 3j: CCE (SRK) quality vs context size |I| (Adult)", &hdr);
+    let mut f3j = Table::new(
+        "Fig 3j: CCE (SRK) quality vs context size |I| (Adult)",
+        &hdr,
+    );
     let mut f3k = Table::new("Fig 3k: OSRK quality vs context size |I| (Adult)", &hdr);
     let mut f4e = Table::new("Fig 4e: SSRK quality vs context size |I| (Adult)", &hdr);
 
@@ -38,10 +44,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let explained: Vec<Explained> = targets
             .iter()
             .filter_map(|&t| {
-                srk.explain(&ctx, t).ok().map(|k| Explained::new(t, k.features().to_vec()))
+                srk.explain(&ctx, t)
+                    .ok()
+                    .map(|k| Explained::new(t, k.features().to_vec()))
             })
             .collect();
-        let run = MethodRun { name: "CCE", explained, avg_ms: 0.0 };
+        let run = MethodRun {
+            name: "CCE",
+            explained,
+            avg_ms: 0.0,
+        };
         let sub_prep = crate::setup::Prepared {
             name: prep.name.clone(),
             train: prep.train.clone(),
@@ -89,7 +101,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 };
                 explained.push(Explained::new(t0, feats));
             }
-            let run = MethodRun { name: "online", explained, avg_ms: 0.0 };
+            let run = MethodRun {
+                name: "online",
+                explained,
+                avg_ms: 0.0,
+            };
             let f = faithfulness(
                 &prep.model,
                 &prep.train,

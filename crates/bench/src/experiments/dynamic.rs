@@ -99,7 +99,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             let sizes: Vec<usize> = targets
                 .iter()
                 .map(|&t| {
-                    srk.explain(&ref_ctx, t).map(|k| k.succinctness().max(1)).unwrap_or(1)
+                    srk.explain(&ref_ctx, t)
+                        .map(|k| k.succinctness().max(1))
+                        .unwrap_or(1)
                 })
                 .collect();
             let phase_prep = crate::setup::Prepared {
@@ -138,7 +140,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             // Recall against the phase reference (SRK on the full phase
             // context), pairing CCE and stale Xreason.
             for e in &cce_expl {
-                let Ok(reference) = srk.explain(&ref_ctx, e.target) else { continue };
+                let Ok(reference) = srk.explain(&ref_ctx, e.target) else {
+                    continue;
+                };
                 let (r_c, _) = recall_pair(&ref_ctx, e.target, &e.features, reference.features());
                 rec_cce += r_c;
                 if let Some(x) = xr.explained.iter().find(|x| x.target == e.target) {
@@ -178,10 +182,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 for &t in sample_targets(infer_p.len(), 4, cfg.seed ^ phase as u64).iter() {
                     let x = infer_p.instance(t);
                     if let Ok(k) = w.explain(x, model.predict(x)) {
-                        conf_sum += conformity(
-                            &ref_ctx,
-                            &[Explained::new(t, k.features().to_vec())],
-                        );
+                        conf_sum +=
+                            conformity(&ref_ctx, &[Explained::new(t, k.features().to_vec())]);
                         n += 1;
                     }
                 }

@@ -62,7 +62,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let cce_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
 
         // Anchor (size-matched).
-        let anchor = Anchor::new(&train, AnchorParams { seed: cfg.seed, ..Default::default() });
+        let anchor = Anchor::new(
+            &train,
+            AnchorParams {
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        );
         let start = std::time::Instant::now();
         let an_expl: Vec<Explained> = targets
             .iter()
@@ -90,9 +96,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             .collect();
         let ce_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
 
-        let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
-        for (mi, (expl, ms)) in
-            [(cce_expl, cce_ms), (an_expl, an_ms), (ce_expl, ce_ms)].into_iter().enumerate()
+        let fparams = FaithfulnessParams {
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        for (mi, (expl, ms)) in [(cce_expl, cce_ms), (an_expl, an_ms), (ce_expl, ce_ms)]
+            .into_iter()
+            .enumerate()
         {
             conf[mi].push(fmt_pct(conformity(&prep.ctx, &expl)));
             prec[mi].push(fmt_pct(mean_precision(&prep.ctx, &expl)));

@@ -6,7 +6,10 @@
 use cce_core::Alpha;
 use cce_dataset::synth::GENERAL_DATASETS;
 use cce_metrics::report::{fmt_ms, fmt_pct};
-use cce_metrics::{conformity, faithfulness, mean_precision, mean_succinctness, recall_pair, FaithfulnessParams, Table};
+use cce_metrics::{
+    conformity, faithfulness, mean_precision, mean_succinctness, recall_pair, FaithfulnessParams,
+    Table,
+};
 
 use crate::methods::{self, faithfulness_items, MethodRun};
 use crate::setup::{prepare, sample_targets, ExpConfig};
@@ -35,7 +38,10 @@ fn evaluate(name: &str, cfg: &ExpConfig) -> DatasetResult {
     ];
     let xr = methods::run_xreason(&prep, &targets);
 
-    let fparams = FaithfulnessParams { seed: cfg.seed, ..Default::default() };
+    let fparams = FaithfulnessParams {
+        seed: cfg.seed,
+        ..Default::default()
+    };
     let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for run in std::iter::once(&cce).chain(runs.iter()) {
         let conf = conformity(&prep.ctx, &run.explained);
@@ -53,7 +59,9 @@ fn evaluate(name: &str, cfg: &ExpConfig) -> DatasetResult {
     // CCE may skip contradicted targets; align by target row.
     let (mut rc, mut rx, mut pairs) = (0.0, 0.0, 0usize);
     for c in &cce.explained {
-        let Some(x) = xr.explained.iter().find(|x| x.target == c.target) else { continue };
+        let Some(x) = xr.explained.iter().find(|x| x.target == c.target) else {
+            continue;
+        };
         let (a, b) = recall_pair(&prep.ctx, c.target, &c.features, &x.features);
         rc += a;
         rx += b;
@@ -74,21 +82,25 @@ fn evaluate(name: &str, cfg: &ExpConfig) -> DatasetResult {
 
 /// Runs the full §7.3 evaluation and renders its tables.
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
-    let results: Vec<DatasetResult> =
-        GENERAL_DATASETS.iter().map(|name| evaluate(name, cfg)).collect();
+    let results: Vec<DatasetResult> = GENERAL_DATASETS
+        .iter()
+        .map(|name| evaluate(name, cfg))
+        .collect();
     render(&results)
 }
 
 fn render(results: &[DatasetResult]) -> Vec<Table> {
-    let method_names: Vec<String> =
-        results[0].methods.iter().map(|(m, ..)| m.clone()).collect();
+    let method_names: Vec<String> = results[0].methods.iter().map(|(m, ..)| m.clone()).collect();
     // Column headers come from the dataset names actually evaluated.
     let header_strings: Vec<String> = std::iter::once("method".to_string())
         .chain(results.iter().map(|r| r.name.clone()))
         .collect();
     let hdr: Vec<&str> = header_strings.iter().map(String::as_str).collect();
 
-    let mut t4 = Table::new("Table 4: average time (ms) for computing explanations", &hdr);
+    let mut t4 = Table::new(
+        "Table 4: average time (ms) for computing explanations",
+        &hdr,
+    );
     for (mi, m) in method_names.iter().enumerate() {
         let mut row = vec![m.clone()];
         for r in results {
@@ -118,12 +130,11 @@ fn render(results: &[DatasetResult]) -> Vec<Table> {
     }
 
     let mut f3c = Table::new("Fig 3c: recall (%) of conformant methods", &hdr);
-    let mut f3d =
-        Table::new("Fig 3d: succinctness (#features) of conformant methods", &hdr);
-    for (m, recall, succ) in [
-        ("CCE", true, true),
-        ("Xreason", false, false),
-    ] {
+    let mut f3d = Table::new(
+        "Fig 3d: succinctness (#features) of conformant methods",
+        &hdr,
+    );
+    for (m, recall, succ) in [("CCE", true, true), ("Xreason", false, false)] {
         let mut rc = vec![m.to_string()];
         let mut rd = vec![m.to_string()];
         for r in results {
@@ -151,17 +162,29 @@ fn render(results: &[DatasetResult]) -> Vec<Table> {
         "speedup vs Xreason".to_string(),
         format!("{:.1}x", avg(&|r| r.xr_ms) / cce_ms.max(1e-9)),
     ]);
-    summary.row(vec!["CCE conformity".into(), fmt_pct(avg(&|r| r.methods[0].2))]);
+    summary.row(vec![
+        "CCE conformity".into(),
+        fmt_pct(avg(&|r| r.methods[0].2)),
+    ]);
     let heuristic_conf = (1..method_names.len())
         .map(|mi| avg(&|r| r.methods[mi].2))
         .sum::<f64>()
         / (method_names.len() - 1) as f64;
-    summary.row(vec!["heuristic avg conformity".into(), fmt_pct(heuristic_conf)]);
+    summary.row(vec![
+        "heuristic avg conformity".into(),
+        fmt_pct(heuristic_conf),
+    ]);
     summary.row(vec!["CCE recall".into(), fmt_pct(avg(&|r| r.cce_recall))]);
-    summary.row(vec!["Xreason recall".into(), fmt_pct(avg(&|r| r.xr_recall))]);
+    summary.row(vec![
+        "Xreason recall".into(),
+        fmt_pct(avg(&|r| r.xr_recall)),
+    ]);
     summary.row(vec![
         "Xreason/CCE succinctness".into(),
-        format!("{:.1}x", avg(&|r| r.xr_succ) / avg(&|r| r.cce_succ).max(1e-9)),
+        format!(
+            "{:.1}x",
+            avg(&|r| r.xr_succ) / avg(&|r| r.cce_succ).max(1e-9)
+        ),
     ]);
 
     vec![t4, f3a, f3b, f3c, f3d, f3e, summary]

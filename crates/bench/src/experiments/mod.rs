@@ -34,21 +34,34 @@ use crate::setup::ExpConfig;
 
 /// Runs every experiment, returning `(experiment name, tables)` pairs in
 /// report order.
+///
+/// After each experiment the global observability registry is snapshotted
+/// to `reports/metrics-<name>.jsonl` and reset, so each file holds only
+/// that experiment's counters.
 pub fn run_all(cfg: &ExpConfig) -> Vec<(&'static str, Vec<Table>)> {
-    vec![
-        ("case_study", case_study::run(cfg)),
-        ("general", general::run(cfg)),
-        ("online", online::run(cfg)),
-        ("tradeoff", tradeoff::run(cfg)),
-        ("buckets", buckets::run(cfg)),
-        ("context", context::run(cfg)),
-        ("monitor", monitor::run(cfg)),
-        ("em", em::run(cfg)),
-        ("alpha", alpha::run(cfg)),
-        ("dynamic", dynamic::run(cfg)),
-        ("patterns", patterns::run(cfg)),
-        ("variance", variance::run(cfg)),
-    ]
+    type Runner = fn(&ExpConfig) -> Vec<Table>;
+    let runs: Vec<(&'static str, Runner)> = vec![
+        ("case_study", case_study::run),
+        ("general", general::run),
+        ("online", online::run),
+        ("tradeoff", tradeoff::run),
+        ("buckets", buckets::run),
+        ("context", context::run),
+        ("monitor", monitor::run),
+        ("em", em::run),
+        ("alpha", alpha::run),
+        ("dynamic", dynamic::run),
+        ("patterns", patterns::run),
+        ("variance", variance::run),
+    ];
+    let mut out = Vec::with_capacity(runs.len());
+    for (name, run) in runs {
+        let tables = run(cfg);
+        crate::dump_metrics(name);
+        cce_obs::registry().reset();
+        out.push((name, tables));
+    }
+    out
 }
 
 /// Prints tables to stdout in aligned text form.

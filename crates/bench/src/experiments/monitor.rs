@@ -21,7 +21,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let mut infer = prep.infer.clone();
         if noisy {
             // Noise begins at 60% of the stream (the paper's setup).
-            noise::randomize_tail(&mut infer, 0.6, &mut StdRng::seed_from_u64(cfg.seed ^ 0x90153));
+            noise::randomize_tail(
+                &mut infer,
+                0.6,
+                &mut StdRng::seed_from_u64(cfg.seed ^ 0x90153),
+            );
         }
         let preds = prep.model.predict_all(infer.instances());
         (infer, preds)
@@ -49,9 +53,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             // Accuracy vs recorded ground-truth labels: the noise tail's
             // instances no longer match their labels, producing the dip.
             correct += usize::from(p == infer.label(i));
-            while next_cp < CHECKPOINTS.len()
-                && (i + 1) as f64 >= CHECKPOINTS[next_cp] * n as f64
-            {
+            while next_cp < CHECKPOINTS.len() && (i + 1) as f64 >= CHECKPOINTS[next_cp] * n as f64 {
                 succ_row.push(format!("{:.2}", m.mean_succinctness()));
                 acc_row.push(format!("{:.1}%", correct as f64 / (i + 1) as f64 * 100.0));
                 next_cp += 1;

@@ -11,7 +11,13 @@ use crate::setup::{prepare, sample_targets, ExpConfig};
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "§7.4: online monitoring — per-arrival time (ms) and final succinctness",
-        &["dataset", "OSRK ms/inst", "SSRK ms/inst", "OSRK succ", "SSRK succ"],
+        &[
+            "dataset",
+            "OSRK ms/inst",
+            "SSRK ms/inst",
+            "OSRK succ",
+            "SSRK succ",
+        ],
     );
     let mut osrk_total = (0.0f64, 0.0f64);
     let mut ssrk_total = (0.0f64, 0.0f64);
@@ -102,8 +108,7 @@ fn pick_rule_table(cfg: &ExpConfig) -> Table {
                 .with_pick_rule(rule);
                 for r in 0..prep.ctx.len() {
                     if r != t0 {
-                        let _ =
-                            m.observe(prep.ctx.instance(r).clone(), prep.ctx.prediction(r));
+                        let _ = m.observe(prep.ctx.instance(r).clone(), prep.ctx.prediction(r));
                     }
                 }
                 total += m.succinctness();

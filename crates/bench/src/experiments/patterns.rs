@@ -20,7 +20,15 @@ use crate::setup::{prepare, ExpConfig};
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut t = Table::new(
         "§8 future work: relative pattern summaries vs IDS",
-        &["dataset", "method", "rules", "coverage", "rule precision", "time (ms)", "model queries"],
+        &[
+            "dataset",
+            "method",
+            "rules",
+            "coverage",
+            "rule precision",
+            "time (ms)",
+            "model queries",
+        ],
     );
     for name in GENERAL_DATASETS {
         let prep = prepare(name, cfg);
@@ -51,7 +59,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let start = std::time::Instant::now();
         let summary = patterns::summarize(
             &prep.ctx,
-            SummaryParams { max_patterns: 16, coverage_target: 0.95, ..Default::default() },
+            SummaryParams {
+                max_patterns: 16,
+                coverage_target: 0.95,
+                ..Default::default()
+            },
         )
         .expect("non-empty context");
         let rs_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -14,7 +14,9 @@ pub const ALPHAS: [f64; 6] = [1.0, 0.98, 0.96, 0.94, 0.92, 0.9];
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut f3f = Table::new(
         "Fig 3f: succinctness of SRK keys vs conformity bound α",
-        &["dataset", "α=1", "α=0.98", "α=0.96", "α=0.94", "α=0.92", "α=0.9"],
+        &[
+            "dataset", "α=1", "α=0.98", "α=0.96", "α=0.94", "α=0.92", "α=0.9",
+        ],
     );
     let mut f3g = Table::new(
         "Fig 3g: avg explanation time (ms) vs α (Loan)",

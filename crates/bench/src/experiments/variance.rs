@@ -63,7 +63,11 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let mut cce_rec = Agg::new();
         let mut xr_rec = Agg::new();
         for &seed in &SEEDS {
-            let cfg_s = ExpConfig { seed, targets: cfg.targets.min(40), ..*cfg };
+            let cfg_s = ExpConfig {
+                seed,
+                targets: cfg.targets.min(40),
+                ..*cfg
+            };
             let prep = prepare(name, &cfg_s);
             let targets = sample_targets(prep.ctx.len(), cfg_s.targets, seed);
             let (cce, sizes) = methods::run_cce(&prep, &targets, Alpha::ONE);

@@ -25,3 +25,23 @@ pub mod methods;
 pub mod setup;
 
 pub use setup::{prepare, prepare_em, ExpConfig, Prepared, PreparedEm};
+
+/// Snapshots the global observability registry to
+/// `reports/metrics-<tag>.jsonl` (creating `reports/` if needed) so every
+/// experiment leaves its counters next to its report. Empty snapshots are
+/// skipped; IO failures are reported but never abort an experiment run.
+pub fn dump_metrics(tag: &str) {
+    let snapshot = cce_obs::registry().snapshot();
+    if snapshot.entries.is_empty() {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all("reports") {
+        eprintln!("warning: could not create reports/: {e}");
+        return;
+    }
+    let path = format!("reports/metrics-{tag}.jsonl");
+    match std::fs::write(&path, snapshot.to_jsonl_string()) {
+        Ok(()) => eprintln!("metrics snapshot written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

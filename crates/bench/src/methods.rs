@@ -3,7 +3,9 @@
 //! protocol of §7.1 and §7.3.
 
 use cce_baselines::gam::GamParams;
-use cce_baselines::{top_k_features, Anchor, AnchorParams, Gam, KernelShap, Lime, LimeParams, ShapParams, Xreason};
+use cce_baselines::{
+    top_k_features, Anchor, AnchorParams, Gam, KernelShap, Lime, LimeParams, ShapParams, Xreason,
+};
 use cce_core::{Alpha, Srk};
 use cce_metrics::Explained;
 
@@ -36,19 +38,42 @@ pub fn run_cce(prep: &Prepared, targets: &[usize], alpha: Alpha) -> (MethodRun, 
         }
     }
     let avg_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
-    (MethodRun { name: "CCE", explained, avg_ms }, sizes)
+    (
+        MethodRun {
+            name: "CCE",
+            explained,
+            avg_ms,
+        },
+        sizes,
+    )
 }
 
 /// LIME with explanations derived at the matched sizes.
 pub fn run_lime(prep: &Prepared, targets: &[usize], sizes: &[usize], seed: u64) -> MethodRun {
-    let lime = Lime::new(&prep.train, LimeParams { seed, ..Default::default() });
-    run_importance("LIME", prep, targets, sizes, |x| lime.importance(&prep.model, x))
+    let lime = Lime::new(
+        &prep.train,
+        LimeParams {
+            seed,
+            ..Default::default()
+        },
+    );
+    run_importance("LIME", prep, targets, sizes, |x| {
+        lime.importance(&prep.model, x)
+    })
 }
 
 /// KernelSHAP with explanations derived at the matched sizes.
 pub fn run_shap(prep: &Prepared, targets: &[usize], sizes: &[usize], seed: u64) -> MethodRun {
-    let shap = KernelShap::new(&prep.train, ShapParams { seed, ..Default::default() });
-    run_importance("SHAP", prep, targets, sizes, |x| shap.importance(&prep.model, x))
+    let shap = KernelShap::new(
+        &prep.train,
+        ShapParams {
+            seed,
+            ..Default::default()
+        },
+    );
+    run_importance("SHAP", prep, targets, sizes, |x| {
+        shap.importance(&prep.model, x)
+    })
 }
 
 /// GAM with explanations derived at the matched sizes. The surrogate is
@@ -63,7 +88,13 @@ pub fn run_gam(prep: &Prepared, targets: &[usize], sizes: &[usize]) -> MethodRun
 
 /// Anchor with rules beam-searched to the matched sizes.
 pub fn run_anchor(prep: &Prepared, targets: &[usize], sizes: &[usize], seed: u64) -> MethodRun {
-    let anchor = Anchor::new(&prep.train, AnchorParams { seed, ..Default::default() });
+    let anchor = Anchor::new(
+        &prep.train,
+        AnchorParams {
+            seed,
+            ..Default::default()
+        },
+    );
     let mut explained = Vec::with_capacity(targets.len());
     let start = std::time::Instant::now();
     for (&t, &k) in targets.iter().zip(sizes) {
@@ -71,13 +102,23 @@ pub fn run_anchor(prep: &Prepared, targets: &[usize], sizes: &[usize], seed: u64
         explained.push(Explained::new(t, feats));
     }
     let avg_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
-    MethodRun { name: "Anchor", explained, avg_ms }
+    MethodRun {
+        name: "Anchor",
+        explained,
+        avg_ms,
+    }
 }
 
 /// Anchor in its native threshold mode (used by the case study and the
 /// timing table, where sizes are not matched).
 pub fn run_anchor_native(prep: &Prepared, targets: &[usize], seed: u64) -> MethodRun {
-    let anchor = Anchor::new(&prep.train, AnchorParams { seed, ..Default::default() });
+    let anchor = Anchor::new(
+        &prep.train,
+        AnchorParams {
+            seed,
+            ..Default::default()
+        },
+    );
     let mut explained = Vec::with_capacity(targets.len());
     let start = std::time::Instant::now();
     for &t in targets {
@@ -85,7 +126,11 @@ pub fn run_anchor_native(prep: &Prepared, targets: &[usize], seed: u64) -> Metho
         explained.push(Explained::new(t, feats));
     }
     let avg_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
-    MethodRun { name: "Anchor", explained, avg_ms }
+    MethodRun {
+        name: "Anchor",
+        explained,
+        avg_ms,
+    }
 }
 
 /// Xreason: formal sufficient reasons at their natural size.
@@ -98,7 +143,11 @@ pub fn run_xreason(prep: &Prepared, targets: &[usize]) -> MethodRun {
         explained.push(Explained::new(t, feats));
     }
     let avg_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
-    MethodRun { name: "Xreason", explained, avg_ms }
+    MethodRun {
+        name: "Xreason",
+        explained,
+        avg_ms,
+    }
 }
 
 fn run_importance(
@@ -115,7 +164,11 @@ fn run_importance(
         explained.push(Explained::new(t, top_k_features(&scores, k)));
     }
     let avg_ms = start.elapsed().as_secs_f64() * 1e3 / targets.len().max(1) as f64;
-    MethodRun { name, explained, avg_ms }
+    MethodRun {
+        name,
+        explained,
+        avg_ms,
+    }
 }
 
 /// Faithfulness items for a method run: `(instance, features)` pairs.

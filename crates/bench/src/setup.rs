@@ -25,16 +25,34 @@ impl ExpConfig {
     /// Reads `CCE_SCALE`, `CCE_TARGETS` and `CCE_SEED` with defaults
     /// suitable for minutes-scale runs.
     pub fn from_env() -> Self {
-        let scale = std::env::var("CCE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
-        let targets =
-            std::env::var("CCE_TARGETS").ok().and_then(|v| v.parse().ok()).unwrap_or(30);
-        let seed = std::env::var("CCE_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42);
-        Self { scale, targets, seed, buckets: 10 }
+        let scale = std::env::var("CCE_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.2);
+        let targets = std::env::var("CCE_TARGETS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30);
+        let seed = std::env::var("CCE_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        Self {
+            scale,
+            targets,
+            seed,
+            buckets: 10,
+        }
     }
 
     /// A small configuration for unit tests of the harness itself.
     pub fn tiny() -> Self {
-        Self { scale: 0.05, targets: 6, seed: 7, buckets: 8 }
+        Self {
+            scale: 0.05,
+            targets: 6,
+            seed: 7,
+            buckets: 8,
+        }
     }
 }
 
@@ -69,7 +87,13 @@ pub fn prepare_with_spec(name: &str, cfg: &ExpConfig, spec: &BinSpec) -> Prepare
     let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(cfg.seed ^ 0x5114));
     let model = Gbdt::train(&train, &GbdtParams::explainable(), cfg.seed);
     let ctx = Context::from_model(&infer, &model);
-    Prepared { name: name.to_string(), train, infer, model, ctx }
+    Prepared {
+        name: name.to_string(),
+        train,
+        infer,
+        model,
+        ctx,
+    }
 }
 
 /// A prepared entity-matching experiment.
@@ -104,7 +128,15 @@ pub fn prepare_em(name: &str, cfg: &ExpConfig) -> PreparedEm {
     let matcher = Matcher::train(&train, &MlpParams::default(), cfg.seed);
     let infer = all.select(&infer_rows);
     let ctx = Context::from_model(&infer, &matcher);
-    PreparedEm { name: name.to_string(), em, all, train_rows, infer_rows, matcher, ctx }
+    PreparedEm {
+        name: name.to_string(),
+        em,
+        all,
+        train_rows,
+        infer_rows,
+        matcher,
+        ctx,
+    }
 }
 
 /// Deterministically samples `count` target rows out of `len`.
@@ -155,7 +187,10 @@ mod tests {
         let cfg = ExpConfig::tiny();
         let prep = prepare_em("A-G", &cfg);
         assert_eq!(prep.all.len(), prep.em.pairs.len());
-        assert_eq!(prep.train_rows.len() + prep.infer_rows.len(), prep.all.len());
+        assert_eq!(
+            prep.train_rows.len() + prep.infer_rows.len(),
+            prep.all.len()
+        );
         // Row i of `all` is pair i: spot-check similarity encoding.
         let i = prep.infer_rows[0];
         let sims = prep.em.similarities(&prep.em.pairs[i]);

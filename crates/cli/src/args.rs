@@ -29,14 +29,25 @@ impl Args {
 
     /// A required string flag.
     pub fn required(&self, name: &str) -> Result<String, String> {
-        self.values.get(name).cloned().ok_or_else(|| format!("missing --{name}"))
+        self.values
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<String> {
+        self.values.get(name).cloned()
     }
 
     /// An optional integer flag.
     pub fn int(&self, name: &str) -> Result<Option<i64>, String> {
         self.values
             .get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} expects an integer, got {v:?}"))
+            })
             .transpose()
     }
 
@@ -44,7 +55,10 @@ impl Args {
     pub fn float(&self, name: &str) -> Result<Option<f64>, String> {
         self.values
             .get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} expects a number, got {v:?}"))
+            })
             .transpose()
     }
 }
@@ -63,6 +77,8 @@ mod tests {
         assert_eq!(a.required("data").unwrap(), "x.csv");
         assert_eq!(a.int("target").unwrap(), Some(3));
         assert_eq!(a.float("alpha").unwrap(), None);
+        assert_eq!(a.optional("data").as_deref(), Some("x.csv"));
+        assert_eq!(a.optional("metrics"), None);
     }
 
     #[test]

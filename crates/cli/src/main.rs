@@ -12,6 +12,10 @@
 //! cce importance --data loan.csv --target 0 [--permutations 256]
 //! cce monitor --data loan.csv --target 0 [--alpha 1.0]
 //! ```
+//!
+//! Every subcommand accepts `--metrics <path>`: on exit the process-global
+//! observability registry is snapshotted to the file — JSONL by default,
+//! Prometheus text format when the path ends in `.prom`.
 
 use std::process::ExitCode;
 
@@ -42,21 +46,40 @@ const USAGE: &str = "usage:
   cce explain    --data <file.csv> --target <row> [--alpha A]
   cce summarize  --data <file.csv> [--max-patterns K] [--alpha A] [--coverage C]
   cce importance --data <file.csv> --target <row> [--permutations P] [--seed S]
-  cce monitor    --data <file.csv> --target <row> [--alpha A] [--seed S]";
+  cce monitor    --data <file.csv> --target <row> [--alpha A] [--seed S]
+  (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("missing subcommand".into());
     };
     let args = Args::parse(rest)?;
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "export" => export(&args),
         "explain" => explain(&args),
         "summarize" => summarize_cmd(&args),
         "importance" => importance_cmd(&args),
         "monitor" => monitor(&args),
         other => Err(format!("unknown subcommand {other:?}")),
+    };
+    // Dump metrics even on failure: the error path is exactly where the
+    // counters are most interesting.
+    if let Some(path) = args.optional("metrics") {
+        write_metrics(&path)?;
     }
+    result
+}
+
+/// Snapshots the global registry to `path` — JSONL unless the path ends
+/// in `.prom`, then Prometheus text format.
+fn write_metrics(path: &str) -> Result<(), String> {
+    let snapshot = cce_obs::registry().snapshot();
+    let text = if path.ends_with(".prom") {
+        snapshot.to_prometheus_string()
+    } else {
+        snapshot.to_jsonl_string()
+    };
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
 }
 
 fn load(args: &Args) -> Result<Dataset, String> {
@@ -68,8 +91,7 @@ fn load(args: &Args) -> Result<Dataset, String> {
     if let Ok(sidecar) = std::fs::read_to_string(&sidecar_path) {
         let (schema, label_names) = schema_io::sidecar_from_text(&sidecar)
             .map_err(|e| format!("parsing {sidecar_path}: {e}"))?;
-        let ds = csv::from_csv(&text, &path, schema)
-            .map_err(|e| format!("parsing {path}: {e}"))?;
+        let ds = csv::from_csv(&text, &path, schema).map_err(|e| format!("parsing {path}: {e}"))?;
         Ok(ds.with_label_names(label_names))
     } else {
         csv::infer_from_csv(&text, &path).map_err(|e| format!("parsing {path}: {e}"))
@@ -79,7 +101,9 @@ fn load(args: &Args) -> Result<Dataset, String> {
 fn context_of(ds: &Dataset) -> Context {
     // The CSV's label column holds recorded predictions (what a client
     // logs during serving).
-    Context::from_recorded(ds)
+    let ctx = Context::from_recorded(ds);
+    cce_obs::gauge!("cce_cli_context_rows").set(ctx.len() as i64);
+    ctx
 }
 
 fn alpha_of(args: &Args) -> Result<Alpha, String> {
@@ -109,8 +133,7 @@ fn export(args: &Args) -> Result<(), String> {
     // Sidecar: preserves value/label display names for later rendering.
     let sidecar = schema_io::sidecar_to_text(ds.schema(), &raw.label_names);
     let sidecar_path = format!("{out}.schema");
-    std::fs::write(&sidecar_path, sidecar)
-        .map_err(|e| format!("writing {sidecar_path}: {e}"))?;
+    std::fs::write(&sidecar_path, sidecar).map_err(|e| format!("writing {sidecar_path}: {e}"))?;
     println!(
         "wrote {} rows × {} features to {out} (+ {sidecar_path})",
         ds.len(),
@@ -124,9 +147,14 @@ fn explain(args: &Args) -> Result<(), String> {
     let ctx = context_of(&ds);
     let target = args.int("target")?.ok_or("missing --target")? as usize;
     let alpha = alpha_of(args)?;
-    let key = Srk::new(alpha).explain(&ctx, target).map_err(|e| e.to_string())?;
+    let key = Srk::new(alpha)
+        .explain(&ctx, target)
+        .map_err(|e| e.to_string())?;
     let x = ctx.instance(target);
-    println!("{}", key.render(ds.schema(), x, &ds.label_name(ctx.prediction(target))));
+    println!(
+        "{}",
+        key.render(ds.schema(), x, &ds.label_name(ctx.prediction(target)))
+    );
     println!(
         "succinctness: {} | requested α: {} | achieved conformity over {} instances: {:.2}%",
         key.succinctness(),
@@ -172,8 +200,7 @@ fn importance_cmd(args: &Args) -> Result<(), String> {
         permutations: args.int("permutations")?.unwrap_or(256) as usize,
         seed: args.int("seed")?.unwrap_or(7) as u64,
     };
-    let phi =
-        importance::shapley_sampled(&ctx, target, params).map_err(|e| e.to_string())?;
+    let phi = importance::shapley_sampled(&ctx, target, params).map_err(|e| e.to_string())?;
     let mut ranked: Vec<(usize, f64)> = phi.into_iter().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
     println!(
@@ -195,8 +222,12 @@ fn monitor(args: &Args) -> Result<(), String> {
     }
     let alpha = alpha_of(args)?;
     let seed = args.int("seed")?.unwrap_or(7) as u64;
-    let mut m =
-        OsrkMonitor::new(ctx.instance(target).clone(), ctx.prediction(target), alpha, seed);
+    let mut m = OsrkMonitor::new(
+        ctx.instance(target).clone(),
+        ctx.prediction(target),
+        alpha,
+        seed,
+    );
     let mut checkpoints = 0;
     for r in 0..ctx.len() {
         if r == target {
@@ -217,7 +248,11 @@ fn monitor(args: &Args) -> Result<(), String> {
     let key = m.to_relative_key();
     println!(
         "final: {}",
-        key.render(ds.schema(), ctx.instance(target), &ds.label_name(ctx.prediction(target)))
+        key.render(
+            ds.schema(),
+            ctx.instance(target),
+            &ds.label_name(ctx.prediction(target))
+        )
     );
     Ok(())
 }

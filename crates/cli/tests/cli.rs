@@ -15,10 +15,22 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn export_loan() -> std::path::PathBuf {
     let path = tmp("loan.csv");
     let out = cce()
-        .args(["export", "--dataset", "Loan", "--out", path.to_str().unwrap(), "--seed", "42"])
+        .args([
+            "export",
+            "--dataset",
+            "Loan",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "42",
+        ])
         .output()
         .expect("run cce export");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     path
 }
 
@@ -29,7 +41,11 @@ fn export_then_explain() {
         .args(["explain", "--data", path.to_str().unwrap(), "--target", "0"])
         .output()
         .expect("run cce explain");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("IF "), "stdout: {stdout}");
     assert!(stdout.contains("achieved conformity"), "stdout: {stdout}");
@@ -50,7 +66,11 @@ fn explain_without_sidecar_falls_back_to_codes() {
         .args(["explain", "--data", bare.to_str().unwrap(), "--target", "0"])
         .output()
         .expect("run cce explain");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Prediction='L"), "codes expected: {stdout}");
 }
@@ -59,7 +79,15 @@ fn explain_without_sidecar_falls_back_to_codes() {
 fn relaxed_alpha_is_accepted() {
     let path = export_loan();
     let out = cce()
-        .args(["explain", "--data", path.to_str().unwrap(), "--target", "3", "--alpha", "0.9"])
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "3",
+            "--alpha",
+            "0.9",
+        ])
         .output()
         .expect("run cce explain");
     assert!(out.status.success());
@@ -71,7 +99,13 @@ fn relaxed_alpha_is_accepted() {
 fn summarize_reports_patterns() {
     let path = export_loan();
     let out = cce()
-        .args(["summarize", "--data", path.to_str().unwrap(), "--max-patterns", "4"])
+        .args([
+            "summarize",
+            "--data",
+            path.to_str().unwrap(),
+            "--max-patterns",
+            "4",
+        ])
         .output()
         .expect("run cce summarize");
     assert!(out.status.success());
@@ -97,17 +131,20 @@ fn importance_ranks_features() {
         .expect("run cce importance");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("context-relative importance"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("context-relative importance"),
+        "stdout: {stdout}"
+    );
     assert!(stdout.contains("Credit"), "features named: {stdout}");
 }
 
 #[test]
 fn bad_invocations_fail_with_usage() {
     for args in [
-        vec!["explain"],                                   // missing --data
+        vec!["explain"], // missing --data
         vec!["explain", "--data", "/nonexistent.csv", "--target", "0"],
-        vec!["frobnicate"],                                // unknown subcommand
-        vec!["explain", "--data"],                         // flag without value
+        vec!["frobnicate"],        // unknown subcommand
+        vec!["explain", "--data"], // flag without value
     ] {
         let out = cce().args(&args).output().expect("run cce");
         assert!(!out.status.success(), "args {args:?} should fail");
@@ -120,7 +157,15 @@ fn bad_invocations_fail_with_usage() {
 fn invalid_alpha_rejected() {
     let path = export_loan();
     let out = cce()
-        .args(["explain", "--data", path.to_str().unwrap(), "--target", "0", "--alpha", "1.5"])
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--alpha",
+            "1.5",
+        ])
         .output()
         .expect("run cce explain");
     assert!(!out.status.success());

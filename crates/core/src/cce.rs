@@ -44,7 +44,11 @@ pub struct CceConfig {
 
 impl Default for CceConfig {
     fn default() -> Self {
-        Self { alpha: Alpha::ONE, mode: Mode::Batch, seed: 0xCCE }
+        Self {
+            alpha: Alpha::ONE,
+            mode: Mode::Batch,
+            seed: 0xCCE,
+        }
     }
 }
 
@@ -107,7 +111,10 @@ impl Cce {
                     }
                     let _ = monitor.observe(self.ctx.instance(r).clone(), self.ctx.prediction(r));
                 }
-                if !self.ctx.is_alpha_key(monitor.key(), target, self.config.alpha) {
+                if !self
+                    .ctx
+                    .is_alpha_key(monitor.key(), target, self.config.alpha)
+                {
                     return Err(ExplainError::NoConformantKey {
                         contradictions: monitor.n_violators(),
                         tolerance: self.config.alpha.tolerance(self.ctx.len()),
@@ -125,12 +132,12 @@ impl Cce {
     /// [`ExplainError::TargetOutOfRange`] when the instance is not part of
     /// the context, plus the failure modes of [`Srk::explain`].
     pub fn explain_instance(&self, x: &Instance) -> Result<RelativeKey, ExplainError> {
-        let row = self
-            .ctx
-            .instances()
-            .iter()
-            .position(|y| y == x)
-            .ok_or(ExplainError::TargetOutOfRange { target: usize::MAX, len: self.ctx.len() })?;
+        let row = self.ctx.instances().iter().position(|y| y == x).ok_or(
+            ExplainError::TargetOutOfRange {
+                target: usize::MAX,
+                len: self.ctx.len(),
+            },
+        )?;
         self.explain_row(row)
     }
 
@@ -159,36 +166,49 @@ impl Cce {
     /// whole batch (identical keys to [`Cce::explain_row`], differentially
     /// tested); online mode replays each monitor as usual.
     pub fn explain_all(&self) -> Vec<(usize, RelativeKey)> {
-        match self.config.mode {
+        let timer = cce_obs::SpanTimer::start(cce_obs::histogram!(
+            "cce_batch_explain_ns",
+            "mode" => "sequential"
+        ));
+        let out = match self.config.mode {
             Mode::Batch => {
                 let idx = crate::ContextIndex::new(&self.ctx);
                 (0..self.ctx.len())
                     .filter_map(|t| {
-                        idx.explain(&self.ctx, t, self.config.alpha).ok().map(|k| (t, k))
+                        idx.explain(&self.ctx, t, self.config.alpha)
+                            .ok()
+                            .map(|k| (t, k))
                     })
                     .collect()
             }
             Mode::Online => (0..self.ctx.len())
                 .filter_map(|t| self.explain_row(t).ok().map(|k| (t, k)))
                 .collect(),
-        }
+        };
+        timer.stop();
+        out
     }
 
-    /// [`Cce::explain_all`] fanned out over `threads` worker threads.
+    /// [`Cce::explain_all`] fanned out over `threads` worker threads
+    /// (clamped to `1..=len`).
     ///
     /// Targets are independent (the context is read-only), so this is an
     /// embarrassingly parallel batch job; results are identical to the
     /// sequential version and returned in row order.
     ///
-    /// # Panics
-    /// Panics if `threads == 0`.
+    /// The batch survives worker failures: if a worker thread panics, its
+    /// chunk is recomputed sequentially with each target isolated, so one
+    /// poisoned target costs only its own key — never the batch. Panics
+    /// are counted in `cce_parallel_worker_panics_total` and
+    /// `cce_explain_errors_total{kind="panic"}`.
     pub fn explain_all_parallel(&self, threads: usize) -> Vec<(usize, RelativeKey)> {
-        assert!(threads > 0, "need at least one worker");
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
         let n = self.ctx.len();
         if n == 0 {
             return Vec::new();
         }
-        let threads = threads.min(n);
+        let threads = threads.max(1).min(n);
         let chunk = n.div_ceil(threads);
         // Batch mode shares one read-only index across all workers.
         let idx = match self.config.mode {
@@ -196,30 +216,66 @@ impl Cce {
             Mode::Online => None,
         };
         let idx = idx.as_ref();
+        let explain_one = |t: usize| {
+            #[cfg(test)]
+            if t == tests::PANIC_TARGET.load(std::sync::atomic::Ordering::Relaxed) {
+                panic!("injected test panic for target {t}");
+            }
+            match idx {
+                Some(idx) => idx.explain(&self.ctx, t, self.config.alpha),
+                None => self.explain_row(t),
+            }
+        };
+        let explain_one = &explain_one;
+        let timer = cce_obs::SpanTimer::start(cce_obs::histogram!(
+            "cce_batch_explain_ns",
+            "mode" => "parallel"
+        ));
         let mut out: Vec<Vec<(usize, RelativeKey)>> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
-                    scope.spawn(move |_| {
-                        (lo..hi)
-                            .filter_map(|t| {
-                                let key = match idx {
-                                    Some(idx) => idx.explain(&self.ctx, t, self.config.alpha),
-                                    None => self.explain_row(t),
-                                };
-                                key.ok().map(|k| (t, k))
-                            })
-                            .collect::<Vec<_>>()
+                    scope.spawn(move || {
+                        let keys: Vec<_> = (lo..hi)
+                            .filter_map(|t| explain_one(t).ok().map(|k| (t, k)))
+                            .collect();
+                        cce_obs::counter!("cce_batch_worker_keys_total").add(keys.len() as u64);
+                        keys
                     })
                 })
                 .collect();
-            for h in handles {
-                out.push(h.join().expect("worker must not panic"));
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(keys) => out.push(keys),
+                    Err(_) => {
+                        // The worker died mid-chunk. Recover its chunk
+                        // sequentially with each target isolated, so only
+                        // the poisoned target's key is lost.
+                        cce_obs::counter!("cce_parallel_worker_panics_total").inc();
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(n);
+                        let mut keys = Vec::new();
+                        for t in lo..hi {
+                            match catch_unwind(AssertUnwindSafe(|| explain_one(t))) {
+                                Ok(Ok(k)) => keys.push((t, k)),
+                                Ok(Err(_)) => {}
+                                Err(_) => {
+                                    cce_obs::counter!(
+                                        "cce_explain_errors_total",
+                                        "kind" => "panic"
+                                    )
+                                    .inc();
+                                }
+                            }
+                        }
+                        out.push(keys);
+                    }
+                }
             }
-        })
-        .expect("scope must not panic");
+        });
+        timer.stop();
         out.into_iter().flatten().collect()
     }
 
@@ -232,7 +288,10 @@ impl Cce {
         crate::importance::shapley_sampled(
             &self.ctx,
             target,
-            crate::importance::ImportanceParams { seed: self.config.seed, ..Default::default() },
+            crate::importance::ImportanceParams {
+                seed: self.config.seed,
+                ..Default::default()
+            },
         )
     }
 
@@ -244,14 +303,22 @@ impl Cce {
     pub fn summarize(&self) -> Result<crate::patterns::RelativeSummary, ExplainError> {
         crate::patterns::summarize(
             &self.ctx,
-            crate::patterns::SummaryParams { alpha: self.config.alpha, ..Default::default() },
+            crate::patterns::SummaryParams {
+                alpha: self.config.alpha,
+                ..Default::default()
+            },
         )
     }
 
     /// A drift monitor configured like this CCE instance (§7.4): feed it
     /// the ongoing prediction stream to watch for accuracy dips.
     pub fn drift_monitor(&self, panel_size: usize, sample_every: usize) -> crate::DriftMonitor {
-        crate::DriftMonitor::new(self.config.alpha, panel_size, sample_every, self.config.seed)
+        crate::DriftMonitor::new(
+            self.config.alpha,
+            panel_size,
+            sample_every,
+            self.config.seed,
+        )
     }
 }
 
@@ -262,6 +329,19 @@ mod tests {
     use cce_model::{Gbdt, GbdtParams};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Target index `explain_all_parallel` panics on (test-only fault
+    /// injection); `usize::MAX` disarms it.
+    pub(super) static PANIC_TARGET: std::sync::atomic::AtomicUsize =
+        std::sync::atomic::AtomicUsize::new(usize::MAX);
+
+    /// Serializes the tests that touch [`PANIC_TARGET`] so concurrent
+    /// parallel-explain tests never see an armed trap.
+    fn panic_trap_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     fn setup() -> Cce {
         let raw = synth::loan::generate(300, 7);
@@ -318,12 +398,38 @@ mod tests {
 
     #[test]
     fn parallel_explain_matches_sequential() {
+        let _guard = panic_trap_lock();
         let cce = setup();
         let seq = cce.explain_all();
         for threads in [1usize, 2, 4] {
             let par = cce.explain_all_parallel(threads);
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn parallel_explain_clamps_zero_threads() {
+        let _guard = panic_trap_lock();
+        let cce = setup();
+        // Previously an assert; now clamped to one worker.
+        assert_eq!(cce.explain_all_parallel(0), cce.explain_all());
+    }
+
+    #[test]
+    fn parallel_explain_survives_worker_panic() {
+        let _guard = panic_trap_lock();
+        let cce = setup();
+        let seq = cce.explain_all();
+        // Quiet the expected worker-panic backtraces for this test only.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        PANIC_TARGET.store(7, std::sync::atomic::Ordering::Relaxed);
+        let par = cce.explain_all_parallel(4);
+        PANIC_TARGET.store(usize::MAX, std::sync::atomic::Ordering::Relaxed);
+        std::panic::set_hook(hook);
+        // Only target 7 may be missing; every other key survives intact.
+        let expect: Vec<_> = seq.iter().filter(|(t, _)| *t != 7).cloned().collect();
+        assert_eq!(par, expect);
     }
 
     #[test]
@@ -341,9 +447,15 @@ mod tests {
         let batch = setup();
         let online = Cce::with_context(
             batch.context().clone(),
-            CceConfig { mode: Mode::Online, ..CceConfig::default() },
+            CceConfig {
+                mode: Mode::Online,
+                ..CceConfig::default()
+            },
         );
-        let (kb, ko) = (batch.explain_row(0).unwrap(), online.explain_row(0).unwrap());
+        let (kb, ko) = (
+            batch.explain_row(0).unwrap(),
+            online.explain_row(0).unwrap(),
+        );
         // Both are valid keys; the online one is coherent-streaming and
         // thus no more succinct than the batch key.
         assert!(batch.context().is_alpha_key(kb.features(), 0, Alpha::ONE));
@@ -363,7 +475,10 @@ mod tests {
         }
         let mut dm = cce.drift_monitor(4, 10);
         for t in 0..cce.context().len().min(50) {
-            dm.observe(cce.context().instance(t).clone(), cce.context().prediction(t));
+            dm.observe(
+                cce.context().instance(t).clone(),
+                cce.context().prediction(t),
+            );
         }
         assert!(dm.n_seen() > 0);
     }
@@ -375,8 +490,13 @@ mod tests {
         let p0 = cce.context().prediction(0);
         let m = cce.monitor(x0.clone(), p0);
         assert_eq!(m.succinctness(), 0);
-        let uni: Vec<_> =
-            cce.context().instances().iter().cloned().zip(cce.context().predictions().iter().copied()).collect();
+        let uni: Vec<_> = cce
+            .context()
+            .instances()
+            .iter()
+            .cloned()
+            .zip(cce.context().predictions().iter().copied())
+            .collect();
         let s = cce.monitor_with_universe(x0, p0, &uni);
         assert_eq!(s.succinctness(), 0);
     }

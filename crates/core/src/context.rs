@@ -29,10 +29,21 @@ impl Context {
     /// Panics if lengths disagree or an instance width differs from the
     /// schema.
     pub fn new(schema: Arc<Schema>, instances: Vec<Instance>, predictions: Vec<Label>) -> Self {
-        assert_eq!(instances.len(), predictions.len(), "instances/predictions mismatch");
+        assert_eq!(
+            instances.len(),
+            predictions.len(),
+            "instances/predictions mismatch"
+        );
         let n = schema.n_features();
-        assert!(instances.iter().all(|x| x.len() == n), "instance width mismatch");
-        Self { schema, instances, predictions }
+        assert!(
+            instances.iter().all(|x| x.len() == n),
+            "instance width mismatch"
+        );
+        Self {
+            schema,
+            instances,
+            predictions,
+        }
     }
 
     /// Builds a context by recording `model`'s predictions over the
@@ -49,12 +60,20 @@ impl Context {
     /// ML + human-in-the-loop workflow of §3.1 benefit (d), where decisions
     /// are not produced by any single model.
     pub fn from_recorded(ds: &Dataset) -> Self {
-        Self::new(ds.schema_arc(), ds.instances().to_vec(), ds.labels().to_vec())
+        Self::new(
+            ds.schema_arc(),
+            ds.instances().to_vec(),
+            ds.labels().to_vec(),
+        )
     }
 
     /// An empty context over `schema` (online mode starts here).
     pub fn empty(schema: Arc<Schema>) -> Self {
-        Self { schema, instances: Vec::new(), predictions: Vec::new() }
+        Self {
+            schema,
+            instances: Vec::new(),
+            predictions: Vec::new(),
+        }
     }
 
     /// Number of instances `|I|`.
@@ -124,7 +143,10 @@ impl Context {
             return Err(ExplainError::EmptyContext);
         }
         if target >= self.len() {
-            return Err(ExplainError::TargetOutOfRange { target, len: self.len() });
+            return Err(ExplainError::TargetOutOfRange {
+                target,
+                len: self.len(),
+            });
         }
         Ok(())
     }
@@ -134,7 +156,9 @@ impl Context {
     /// paper's notation).
     pub fn differing_rows(&self, target: usize) -> Vec<u32> {
         let p0 = self.predictions[target];
-        (0..self.len() as u32).filter(|&r| self.predictions[r as usize] != p0).collect()
+        (0..self.len() as u32)
+            .filter(|&r| self.predictions[r as usize] != p0)
+            .collect()
     }
 
     /// Rows violating the rule semantics of `feats` for `target`: they
@@ -286,7 +310,13 @@ mod tests {
         assert!(ctx.push(Instance::new(vec![0, 0, 0, 0]), Label(0)).is_ok());
         assert_eq!(ctx.len(), 8);
         let err = ctx.push(Instance::new(vec![0]), Label(0)).unwrap_err();
-        assert!(matches!(err, ExplainError::WidthMismatch { expected: 4, got: 1 }));
+        assert!(matches!(
+            err,
+            ExplainError::WidthMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -298,7 +328,10 @@ mod tests {
             Err(ExplainError::TargetOutOfRange { target: 7, len: 7 })
         ));
         let empty = Context::empty(ctx.schema_arc());
-        assert!(matches!(empty.check_target(0), Err(ExplainError::EmptyContext)));
+        assert!(matches!(
+            empty.check_target(0),
+            Err(ExplainError::EmptyContext)
+        ));
     }
 
     #[test]

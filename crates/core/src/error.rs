@@ -50,9 +50,15 @@ impl fmt::Display for ExplainError {
             }
             ExplainError::EmptyContext => write!(f, "context is empty"),
             ExplainError::TargetOutOfRange { target, len } => {
-                write!(f, "target row {target} out of range for context of {len} instances")
+                write!(
+                    f,
+                    "target row {target} out of range for context of {len} instances"
+                )
             }
-            ExplainError::NoConformantKey { contradictions, tolerance } => write!(
+            ExplainError::NoConformantKey {
+                contradictions,
+                tolerance,
+            } => write!(
                 f,
                 "no α-conformant key exists: {contradictions} contradicting instance(s) \
                  exceed the tolerance of {tolerance}"
@@ -76,8 +82,16 @@ mod tests {
             ExplainError::InvalidAlpha { value: 2.0 }.to_string(),
             ExplainError::EmptyContext.to_string(),
             ExplainError::TargetOutOfRange { target: 9, len: 3 }.to_string(),
-            ExplainError::NoConformantKey { contradictions: 2, tolerance: 0 }.to_string(),
-            ExplainError::WidthMismatch { expected: 4, got: 2 }.to_string(),
+            ExplainError::NoConformantKey {
+                contradictions: 2,
+                tolerance: 0,
+            }
+            .to_string(),
+            ExplainError::WidthMismatch {
+                expected: 4,
+                got: 2,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -37,7 +37,10 @@ pub struct ImportanceParams {
 
 impl Default for ImportanceParams {
     fn default() -> Self {
-        Self { permutations: 64, seed: 0x1417 }
+        Self {
+            permutations: 64,
+            seed: 0x1417,
+        }
     }
 }
 
@@ -47,8 +50,10 @@ impl Default for ImportanceParams {
 /// (including the target itself), pre-filtered by the caller for
 /// incrementality.
 fn value(ctx: &Context, pred0: Label, agree: &[u32]) -> f64 {
-    let same =
-        agree.iter().filter(|&&r| ctx.prediction(r as usize) == pred0).count();
+    let same = agree
+        .iter()
+        .filter(|&&r| ctx.prediction(r as usize) == pred0)
+        .count();
     same as f64 / agree.len().max(1) as f64
 }
 
@@ -61,7 +66,10 @@ fn value(ctx: &Context, pred0: Label, agree: &[u32]) -> f64 {
 pub fn shapley_exact(ctx: &Context, target: usize) -> Result<Vec<f64>, ExplainError> {
     ctx.check_target(target)?;
     let n = ctx.schema().n_features();
-    assert!(n <= 20, "exact Shapley is exponential; use shapley_sampled for n > 20");
+    assert!(
+        n <= 20,
+        "exact Shapley is exponential; use shapley_sampled for n > 20"
+    );
     let x0 = ctx.instance(target).clone();
     let pred0 = ctx.prediction(target);
 
@@ -181,7 +189,8 @@ impl OnlineImportance {
     ) -> Self {
         let n = schema.n_features();
         let mut ctx = Context::empty(schema);
-        ctx.push(target.clone(), pred0).expect("target width matches schema");
+        ctx.push(target.clone(), pred0)
+            .expect("target width matches schema");
         Self {
             target,
             pred0,
@@ -286,7 +295,10 @@ mod tests {
         let sampled = shapley_sampled(
             &ctx,
             x0,
-            ImportanceParams { permutations: 3000, seed: 1 },
+            ImportanceParams {
+                permutations: 3000,
+                seed: 1,
+            },
         )
         .unwrap();
         for (e, s) in exact.iter().zip(&sampled) {
@@ -311,12 +323,16 @@ mod tests {
             ctx.schema_arc(),
             ctx.instance(x0).clone(),
             ctx.prediction(x0),
-            ImportanceParams { permutations: 512, seed: 3 },
+            ImportanceParams {
+                permutations: 512,
+                seed: 3,
+            },
             2,
         );
         for r in 0..ctx.len() {
             if r != x0 {
-                m.observe(ctx.instance(r).clone(), ctx.prediction(r)).unwrap();
+                m.observe(ctx.instance(r).clone(), ctx.prediction(r))
+                    .unwrap();
             }
         }
         assert_eq!(m.n_seen(), ctx.len());

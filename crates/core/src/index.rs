@@ -27,7 +27,9 @@ pub(crate) struct RowSet {
 
 impl RowSet {
     fn zeros(rows: usize) -> Self {
-        Self { words: vec![0; rows.div_ceil(64)] }
+        Self {
+            words: vec![0; rows.div_ceil(64)],
+        }
     }
 
     fn set(&mut self, row: usize) {
@@ -56,7 +58,9 @@ impl RowSet {
 
     /// Complement within the first `rows` rows.
     fn not(&self, rows: usize) -> RowSet {
-        let mut out = RowSet { words: self.words.iter().map(|w| !w).collect() };
+        let mut out = RowSet {
+            words: self.words.iter().map(|w| !w).collect(),
+        };
         // Clear the padding tail so counts stay exact.
         let tail = rows % 64;
         if tail != 0 {
@@ -88,7 +92,9 @@ impl ContextIndex {
         let n = ctx.schema().n_features();
         let mut by_value: Vec<Vec<RowSet>> = (0..n)
             .map(|f| {
-                (0..ctx.schema().feature(f).cardinality()).map(|_| RowSet::zeros(rows)).collect()
+                (0..ctx.schema().feature(f).cardinality())
+                    .map(|_| RowSet::zeros(rows))
+                    .collect()
             })
             .collect();
         let mut classes: Vec<(Label, RowSet)> = Vec::new();
@@ -110,7 +116,11 @@ impl ContextIndex {
                 }
             }
         }
-        Self { rows, by_value, classes }
+        Self {
+            rows,
+            by_value,
+            classes,
+        }
     }
 
     /// Rows indexed.
@@ -155,8 +165,11 @@ impl ContextIndex {
 
         let mut picked = Vec::new();
         let mut in_key = vec![false; n];
+        // Locally accumulated, flushed in one atomic add on success.
+        let mut scanned: u64 = 0;
         while violators.count() > tolerance {
             if picked.len() == n {
+                cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
                 return Err(ExplainError::NoConformantKey {
                     contradictions: violators.count(),
                     tolerance,
@@ -169,6 +182,7 @@ impl ContextIndex {
                     continue;
                 }
                 let posting = &self.by_value[f][x0[f] as usize];
+                scanned += 1;
                 let surv = violators.count_and(posting);
                 if surv > best.0 {
                     continue;
@@ -186,6 +200,10 @@ impl ContextIndex {
             violators.and_assign(posting);
             supporters.and_assign(posting);
         }
+        cce_obs::counter!("cce_explain_keys_total", "algo" => "indexed").inc();
+        cce_obs::histogram!("cce_explain_key_length", "algo" => "indexed")
+            .record(picked.len() as u64);
+        cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed").add(scanned);
         let achieved = 1.0 - violators.count() as f64 / self.rows as f64;
         Ok(RelativeKey::new(picked, alpha, achieved))
     }
@@ -267,6 +285,9 @@ mod tests {
         with_twin.push(twin, flipped).unwrap();
         let idx = ContextIndex::new(&with_twin);
         let srk = Srk::new(Alpha::ONE);
-        assert_eq!(idx.explain(&with_twin, 0, Alpha::ONE), srk.explain(&with_twin, 0));
+        assert_eq!(
+            idx.explain(&with_twin, 0, Alpha::ONE),
+            srk.explain(&with_twin, 0)
+        );
     }
 }

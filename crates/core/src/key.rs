@@ -21,7 +21,11 @@ pub struct RelativeKey {
 impl RelativeKey {
     /// Creates a key from the features selected by an algorithm.
     pub fn new(features: Vec<usize>, alpha: Alpha, achieved: f64) -> Self {
-        Self { features, alpha, achieved }
+        Self {
+            features,
+            alpha,
+            achieved,
+        }
     }
 
     /// The selected features, in pick order.

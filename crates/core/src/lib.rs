@@ -57,9 +57,9 @@ pub use error::ExplainError;
 pub use importance::{shapley_exact, shapley_sampled, ImportanceParams, OnlineImportance};
 pub use index::ContextIndex;
 pub use key::RelativeKey;
-pub use patterns::{summarize, RelativePattern, RelativeSummary, SummaryParams};
 pub use monitor::DriftMonitor;
 pub use osrk::{OsrkMonitor, PickRule};
+pub use patterns::{summarize, RelativePattern, RelativeSummary, SummaryParams};
 pub use recorder::Recorder;
 pub use srk::Srk;
 pub use ssrk::SsrkMonitor;

@@ -78,7 +78,10 @@ impl DriftMonitor {
         if self.monitors.is_empty() {
             return 0.0;
         }
-        self.monitors.iter().map(|m| m.succinctness() as f64).sum::<f64>()
+        self.monitors
+            .iter()
+            .map(|m| m.succinctness() as f64)
+            .sum::<f64>()
             / self.monitors.len() as f64
     }
 
@@ -108,10 +111,12 @@ impl DriftMonitor {
             return 1.0;
         }
         let cut = ((n as f64) * baseline_frac.clamp(0.1, 0.9)).ceil() as usize;
-        let base: f64 =
-            self.history[..cut].iter().map(|&(_, s)| s).sum::<f64>() / cut as f64;
+        let base: f64 = self.history[..cut].iter().map(|&(_, s)| s).sum::<f64>() / cut as f64;
         let recent_from = n - (n / 4).max(1);
-        let recent: f64 = self.history[recent_from..].iter().map(|&(_, s)| s).sum::<f64>()
+        let recent: f64 = self.history[recent_from..]
+            .iter()
+            .map(|&(_, s)| s)
+            .sum::<f64>()
             / (n - recent_from) as f64;
         if base <= f64::EPSILON {
             if recent <= f64::EPSILON {

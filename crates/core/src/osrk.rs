@@ -145,8 +145,12 @@ impl OsrkMonitor {
     ///   keeps accepting arrivals.
     pub fn observe(&mut self, x: Instance, pred: Label) -> Result<&[usize], ExplainError> {
         if x.len() != self.x0.len() {
-            return Err(ExplainError::WidthMismatch { expected: self.x0.len(), got: x.len() });
+            return Err(ExplainError::WidthMismatch {
+                expected: self.x0.len(),
+                got: x.len(),
+            });
         }
+        cce_obs::counter!("cce_monitor_arrivals_total", "algo" => "osrk").inc();
         self.n_seen += 1;
         if pred == self.pred0 {
             // Line 2: the key never changes on a same-prediction arrival —
@@ -181,13 +185,18 @@ impl OsrkMonitor {
         // Track the new arrival if it violates the current key.
         if x.agrees_on(&self.x0, &self.key) {
             self.live.push(x.clone());
+            cce_obs::gauge!("cce_monitor_live_violators", "algo" => "osrk")
+                .set(self.live.len() as i64);
         }
 
         let tolerance = self.alpha.tolerance(self.n_seen);
         // Line 7: features where the arrival disagrees with the target and
         // that are not yet in the key.
-        let mut s_t: Vec<usize> =
-            x.differing_features(&self.x0).into_iter().filter(|&f| !self.in_key[f]).collect();
+        let mut s_t: Vec<usize> = x
+            .differing_features(&self.x0)
+            .into_iter()
+            .filter(|&f| !self.in_key[f])
+            .collect();
 
         // Lines 8-15.
         while self.live.len() > tolerance {
@@ -217,9 +226,7 @@ impl OsrkMonitor {
                         let x0 = &self.x0;
                         s_t.iter()
                             .copied()
-                            .min_by_key(|&i| {
-                                self.live.iter().filter(|v| v[i] == x0[i]).count()
-                            })
+                            .min_by_key(|&i| self.live.iter().filter(|v| v[i] == x0[i]).count())
                             .expect("s_t non-empty")
                     }
                 };
@@ -228,6 +235,7 @@ impl OsrkMonitor {
                 break;
             }
             // Lines 12-15: weight augmentation.
+            cce_obs::counter!("cce_monitor_weight_doublings_total", "algo" => "osrk").inc();
             let mut added = Vec::new();
             for &i in &s_t {
                 if weights[i] < 1.0 {
@@ -262,8 +270,10 @@ impl OsrkMonitor {
         }
         self.in_key[i] = true;
         self.key.push(i);
+        cce_obs::counter!("cce_monitor_key_growth_total", "algo" => "osrk").inc();
         let x0 = &self.x0;
         self.live.retain(|v| v[i] == x0[i]);
+        cce_obs::gauge!("cce_monitor_live_violators", "algo" => "osrk").set(self.live.len() as i64);
     }
 }
 
@@ -364,7 +374,10 @@ mod tests {
         let mut m = OsrkMonitor::new(inst(vec![0, 1]), Label(0), Alpha::ONE, 5);
         assert!(matches!(
             m.observe(inst(vec![0]), Label(1)),
-            Err(ExplainError::WidthMismatch { expected: 2, got: 1 })
+            Err(ExplainError::WidthMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -373,8 +386,7 @@ mod tests {
         let raw = synth::german::generate(200, 3);
         let ds = raw.encode(&BinSpec::uniform(8));
         let run = || {
-            let mut m =
-                OsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, 99);
+            let mut m = OsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, 99);
             for (x, y) in ds.iter().skip(1) {
                 let _ = m.observe(x.clone(), y);
             }

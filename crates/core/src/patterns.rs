@@ -41,7 +41,10 @@ pub struct RelativePattern {
 impl RelativePattern {
     /// True when the pattern's conjunction holds on `x`.
     pub fn matches(&self, x: &Instance) -> bool {
-        self.features.iter().zip(&self.values).all(|(&f, &v)| x[f] == v)
+        self.features
+            .iter()
+            .zip(&self.values)
+            .all(|(&f, &v)| x[f] == v)
     }
 
     /// Renders the pattern as `IF … THEN …` (IDS-comparable form).
@@ -54,7 +57,11 @@ impl RelativePattern {
             .iter()
             .zip(&self.values)
             .map(|(&f, &v)| {
-                format!("{}='{}'", schema.feature(f).name, schema.feature(f).display(v))
+                format!(
+                    "{}='{}'",
+                    schema.feature(f).name,
+                    schema.feature(f).display(v)
+                )
             })
             .collect::<Vec<_>>()
             .join(" ∧ ");
@@ -116,7 +123,12 @@ pub struct SummaryParams {
 
 impl Default for SummaryParams {
     fn default() -> Self {
-        Self { alpha: Alpha::ONE, max_patterns: 16, coverage_target: 0.95, seeds_per_round: 8 }
+        Self {
+            alpha: Alpha::ONE,
+            max_patterns: 16,
+            coverage_target: 0.95,
+            seeds_per_round: 8,
+        }
     }
 }
 
@@ -173,14 +185,20 @@ pub fn summarize(ctx: &Context, params: SummaryParams) -> Result<RelativeSummary
         // Candidate seeds: uncovered, unskipped instances spread evenly
         // over the remaining context; the one whose key covers the most
         // uncovered rows wins (greedy set cover).
-        let pool: Vec<usize> = (0..ctx.len()).filter(|&r| !covered[r] && !skipped[r]).collect();
+        let pool: Vec<usize> = (0..ctx.len())
+            .filter(|&r| !covered[r] && !skipped[r])
+            .collect();
         if pool.is_empty() {
             break;
         }
         let step = (pool.len() / params.seeds_per_round.max(1)).max(1);
         let mut best: Option<(usize, Vec<u32>, Vec<usize>)> = None; // (gain, rows, feats)
         let mut any_key = false;
-        for &seed in pool.iter().step_by(step).take(params.seeds_per_round.max(1)) {
+        for &seed in pool
+            .iter()
+            .step_by(step)
+            .take(params.seeds_per_round.max(1))
+        {
             let Ok(key) = srk.explain(ctx, seed) else {
                 skipped[seed] = true;
                 continue;
@@ -218,7 +236,11 @@ pub fn summarize(ctx: &Context, params: SummaryParams) -> Result<RelativeSummary
         }
         patterns.push(pattern);
     }
-    Ok(RelativeSummary { patterns, covered: n_covered, total: ctx.len() })
+    Ok(RelativeSummary {
+        patterns,
+        covered: n_covered,
+        total: ctx.len(),
+    })
 }
 
 #[cfg(test)]
@@ -251,7 +273,11 @@ mod tests {
     #[test]
     fn coverage_reaches_target_or_exhausts_budget() {
         let ctx = context();
-        let params = SummaryParams { coverage_target: 0.9, max_patterns: 64, ..Default::default() };
+        let params = SummaryParams {
+            coverage_target: 0.9,
+            max_patterns: 64,
+            ..Default::default()
+        };
         let summary = summarize(&ctx, params).unwrap();
         assert!(
             summary.coverage() >= 0.9 || summary.len() == 64,
@@ -282,8 +308,14 @@ mod tests {
     fn relaxed_alpha_allows_imperfect_but_bounded_precision() {
         let ctx = context();
         let alpha = Alpha::new(0.9).unwrap();
-        let summary =
-            summarize(&ctx, SummaryParams { alpha, ..Default::default() }).unwrap();
+        let summary = summarize(
+            &ctx,
+            SummaryParams {
+                alpha,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for p in summary.patterns() {
             // Precision is bounded by the α-tolerance over the context.
             assert!(p.precision > 0.5, "{p:?}");
@@ -295,7 +327,11 @@ mod tests {
         let ctx = context();
         let summary = summarize(
             &ctx,
-            SummaryParams { max_patterns: 3, coverage_target: 1.0, ..Default::default() },
+            SummaryParams {
+                max_patterns: 3,
+                coverage_target: 1.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(summary.len() <= 3);
@@ -325,6 +361,10 @@ mod tests {
         let p = &summary.patterns()[0];
         // Rows counted in support must match the pattern.
         let matches = ctx.instances().iter().filter(|x| p.matches(x)).count();
-        assert!(matches >= p.support, "support {} > matches {matches}", p.support);
+        assert!(
+            matches >= p.support,
+            "support {} > matches {matches}",
+            p.support
+        );
     }
 }

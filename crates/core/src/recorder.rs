@@ -37,7 +37,10 @@ pub struct Recorder<M> {
 impl<M: Model> Recorder<M> {
     /// Records into an unbounded context (batch-mode CCE).
     pub fn unbounded(model: M, schema: Arc<Schema>) -> Self {
-        Self { model, store: Store::Unbounded(Context::empty(schema)) }
+        Self {
+            model,
+            store: Store::Unbounded(Context::empty(schema)),
+        }
     }
 
     /// Records into a sliding window of at most `capacity` instances,
@@ -112,11 +115,14 @@ impl<M: Model> Recorder<M> {
     /// [`ExplainError::TargetOutOfRange`] is returned.
     pub fn explain(&self, x: &Instance, alpha: Alpha) -> Result<RelativeKey, ExplainError> {
         let ctx = self.context();
-        let row = ctx
-            .instances()
-            .iter()
-            .position(|y| y == x)
-            .ok_or(ExplainError::TargetOutOfRange { target: usize::MAX, len: ctx.len() })?;
+        let row =
+            ctx.instances()
+                .iter()
+                .position(|y| y == x)
+                .ok_or(ExplainError::TargetOutOfRange {
+                    target: usize::MAX,
+                    len: ctx.len(),
+                })?;
         Srk::new(alpha).explain(&ctx, row)
     }
 

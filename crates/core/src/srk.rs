@@ -91,11 +91,15 @@ impl Srk {
             .collect();
         let mut picked: Vec<usize> = Vec::new();
         let mut in_key = vec![false; n];
+        // Accumulated locally (one atomic add at the end) so the hot loop
+        // stays allocation- and contention-free.
+        let mut scanned: u64 = 0;
 
         while violators.len() > tolerance {
             if picked.len() == n {
                 // All features used and still too many violators: those left
                 // are contradictions.
+                cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
                 return Err(ExplainError::NoConformantKey {
                     contradictions: violators.len(),
                     tolerance,
@@ -113,6 +117,7 @@ impl Srk {
                 if in_key[f] {
                     continue;
                 }
+                scanned += violators.len() as u64;
                 let surv = violators
                     .iter()
                     .filter(|&&r| ctx.instance(r as usize)[f] == x0[f])
@@ -136,6 +141,9 @@ impl Srk {
             supporters.retain(|&r| ctx.instance(r as usize)[best_feat] == x0[best_feat]);
         }
 
+        cce_obs::counter!("cce_explain_keys_total", "algo" => "srk").inc();
+        cce_obs::histogram!("cce_explain_key_length", "algo" => "srk").record(picked.len() as u64);
+        cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "srk").add(scanned);
         let achieved = 1.0 - violators.len() as f64 / ctx.len() as f64;
         Ok(RelativeKey::new(picked, self.alpha, achieved))
     }
@@ -280,10 +288,15 @@ mod tests {
         let err = Srk::new(Alpha::ONE).explain(&ctx, x0).unwrap_err();
         assert!(matches!(
             err,
-            ExplainError::NoConformantKey { contradictions: 1, tolerance: 0 }
+            ExplainError::NoConformantKey {
+                contradictions: 1,
+                tolerance: 0
+            }
         ));
         // A relaxed bound tolerates it.
-        let key = Srk::new(Alpha::new(0.8).unwrap()).explain(&ctx, x0).unwrap();
+        let key = Srk::new(Alpha::new(0.8).unwrap())
+            .explain(&ctx, x0)
+            .unwrap();
         assert!(ctx.is_alpha_key(key.features(), x0, Alpha::new(0.8).unwrap()));
     }
 
@@ -292,7 +305,8 @@ mod tests {
         let (ctx, _) = figure2();
         let schema = ctx.schema_arc();
         let mut solo = crate::Context::empty(schema);
-        solo.push(Instance::new(vec![0, 0, 0, 0]), Label(0)).unwrap();
+        solo.push(Instance::new(vec![0, 0, 0, 0]), Label(0))
+            .unwrap();
         let key = Srk::new(Alpha::ONE).explain(&solo, 0).unwrap();
         assert_eq!(key.succinctness(), 0, "nothing to distinguish from");
     }
@@ -302,7 +316,9 @@ mod tests {
         let (ctx, _) = figure2();
         let mut all_same = crate::Context::empty(ctx.schema_arc());
         for i in 0..5u32 {
-            all_same.push(Instance::new(vec![i % 2, i % 3, i % 2, i % 3]), Label(0)).unwrap();
+            all_same
+                .push(Instance::new(vec![i % 2, i % 3, i % 2, i % 3]), Label(0))
+                .unwrap();
         }
         let key = Srk::new(Alpha::ONE).explain(&all_same, 2).unwrap();
         assert_eq!(key.succinctness(), 0);

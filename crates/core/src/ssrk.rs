@@ -39,6 +39,13 @@ pub struct SsrkMonitor {
     mu: Vec<f64>,
     /// Cached differing-feature sets `Sⱼ`.
     s_sets: Vec<Vec<u16>>,
+    /// Inverted index: feature `i` → universe instances `j` with `i ∈ Sⱼ`.
+    /// Lets weight augmentation touch exactly the `μⱼ` that change instead
+    /// of rescanning every live `Sⱼ`.
+    inv: Vec<Vec<u32>>,
+    /// `live_mask[j]` ⇔ `j ∈ u_live` — O(1) membership for the
+    /// incremental `μⱼ` updates.
+    live_mask: Vec<bool>,
     key: Vec<usize>,
     in_key: Vec<bool>,
     /// Log-domain potential `ln Φ`.
@@ -54,14 +61,12 @@ impl SsrkMonitor {
     ///
     /// # Panics
     /// Panics if any universe instance width differs from the target's.
-    pub fn new(
-        x0: Instance,
-        pred0: Label,
-        alpha: Alpha,
-        universe: &[(Instance, Label)],
-    ) -> Self {
+    pub fn new(x0: Instance, pred0: Label, alpha: Alpha, universe: &[(Instance, Label)]) -> Self {
         let n = x0.len();
-        assert!(universe.iter().all(|(x, _)| x.len() == n), "universe width mismatch");
+        assert!(
+            universe.iter().all(|(x, _)| x.len() == n),
+            "universe width mismatch"
+        );
         let m = universe.len();
         let weights = vec![1.0 / (2.0 * n as f64); n];
         let uni: Vec<Instance> = universe
@@ -72,7 +77,10 @@ impl SsrkMonitor {
         let s_sets: Vec<Vec<u16>> = uni
             .iter()
             .map(|x| {
-                x.differing_features(&x0).into_iter().map(|f| f as u16).collect()
+                x.differing_features(&x0)
+                    .into_iter()
+                    .map(|f| f as u16)
+                    .collect()
             })
             .collect();
         let mu: Vec<f64> = s_sets
@@ -80,6 +88,13 @@ impl SsrkMonitor {
             .map(|s| s.iter().map(|&i| weights[i as usize]).sum())
             .collect();
         let u_live: Vec<u32> = (0..uni.len() as u32).collect();
+        let mut inv: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (j, s) in s_sets.iter().enumerate() {
+            for &i in s {
+                inv[i as usize].push(j as u32);
+            }
+        }
+        let live_mask = vec![true; uni.len()];
         let log_phi = log_potential(m, &mu, &u_live);
         Self {
             x0,
@@ -91,6 +106,8 @@ impl SsrkMonitor {
             u_live,
             mu,
             s_sets,
+            inv,
+            live_mask,
             key: Vec::new(),
             in_key: vec![false; n],
             log_phi,
@@ -141,6 +158,32 @@ impl SsrkMonitor {
             .sum()
     }
 
+    /// Recomputes `μⱼ = Σ_{i∈Sⱼ} wᵢ` from scratch for every still-live
+    /// universe instance; dead instances keep their cached value (stale by
+    /// design — only live instances enter the potential). Exposed for
+    /// differential tests of the incremental weight-augmentation update.
+    pub fn recompute_mu(&self) -> Vec<f64> {
+        let mut out = self.mu.clone();
+        for &j in &self.u_live {
+            out[j as usize] = self.s_sets[j as usize]
+                .iter()
+                .map(|&i| self.weights[i as usize])
+                .sum();
+        }
+        out
+    }
+
+    /// Largest absolute deviation between the cached incremental `μⱼ` and
+    /// a from-scratch recomputation over the live universe (float drift of
+    /// the incremental path; 0 when the cache is exact).
+    pub fn max_live_mu_drift(&self) -> f64 {
+        let fresh = self.recompute_mu();
+        self.u_live
+            .iter()
+            .map(|&j| (self.mu[j as usize] - fresh[j as usize]).abs())
+            .fold(0.0, f64::max)
+    }
+
     /// Snapshot of the current key.
     pub fn to_relative_key(&self) -> RelativeKey {
         let achieved = if self.n_seen == 0 {
@@ -160,8 +203,12 @@ impl SsrkMonitor {
     ///   tolerance.
     pub fn observe(&mut self, x: Instance, pred: Label) -> Result<&[usize], ExplainError> {
         if x.len() != self.x0.len() {
-            return Err(ExplainError::WidthMismatch { expected: self.x0.len(), got: x.len() });
+            return Err(ExplainError::WidthMismatch {
+                expected: self.x0.len(),
+                got: x.len(),
+            });
         }
+        cce_obs::counter!("cce_monitor_arrivals_total", "algo" => "ssrk").inc();
         self.n_seen += 1;
         if pred == self.pred0 {
             // Line 7: the key never changes — but report lingering
@@ -178,14 +225,19 @@ impl SsrkMonitor {
         }
         if x.agrees_on(&self.x0, &self.key) {
             self.live.push(x.clone());
+            cce_obs::gauge!("cce_monitor_live_violators", "algo" => "ssrk")
+                .set(self.live.len() as i64);
         }
         let tolerance = self.alpha.tolerance(self.n_seen);
         if self.live.len() <= tolerance {
             return Ok(&self.key); // line 8 condition not met
         }
 
-        let mut s_t: Vec<usize> =
-            x.differing_features(&self.x0).into_iter().filter(|&f| !self.in_key[f]).collect();
+        let mut s_t: Vec<usize> = x
+            .differing_features(&self.x0)
+            .into_iter()
+            .filter(|&f| !self.in_key[f])
+            .collect();
         if s_t.is_empty() {
             return Err(ExplainError::NoConformantKey {
                 contradictions: self.live.len(),
@@ -200,18 +252,30 @@ impl SsrkMonitor {
         while 2f64.powi(k) * mu_t <= 1.0 && k < 64 {
             k += 1;
         }
+        if 2f64.powi(k) * mu_t <= 1.0 {
+            // Weights start at 1/2n and only grow, so k ≤ ⌈log₂ 2n⌉ always
+            // suffices; hitting the cap means the weight state is corrupt.
+            cce_obs::counter!("cce_ssrk_invariant_violations_total").inc();
+            debug_assert!(
+                false,
+                "weight augmentation capped at 2^64 without pushing μₜ = {mu_t} above 1"
+            );
+        }
         if k > 0 {
+            cce_obs::counter!("cce_monitor_weight_doublings_total", "algo" => "ssrk").add(k as u64);
             let factor = 2f64.powi(k);
+            // Update each changed weight and push the delta through the
+            // inverted index: only the live μⱼ with i ∈ Sⱼ change, and by
+            // exactly (factor − 1)·wᵢ_old — no rescan of every Sⱼ.
             for &i in &s_t {
-                self.weights[i] *= factor;
-            }
-            // Refresh cached μⱼ for still-live universe instances.
-            for &j in &self.u_live {
-                let j = j as usize;
-                self.mu[j] = self.s_sets[j]
-                    .iter()
-                    .map(|&i| self.weights[i as usize])
-                    .sum();
+                let w_old = self.weights[i];
+                self.weights[i] = w_old * factor;
+                let delta = (factor - 1.0) * w_old;
+                for &j in &self.inv[i] {
+                    if self.live_mask[j as usize] {
+                        self.mu[j as usize] += delta;
+                    }
+                }
             }
         }
 
@@ -221,8 +285,7 @@ impl SsrkMonitor {
         // least one pick from Sₜ, which the strictly-increased potential
         // guarantees the paper's loop makes as well.
         let mut log_phi_new = log_potential(self.m, &self.mu, &self.u_live);
-        while (log_phi_new > self.log_phi + 1e-12 || self.live.len() > tolerance)
-            && !s_t.is_empty()
+        while (log_phi_new > self.log_phi + 1e-12 || self.live.len() > tolerance) && !s_t.is_empty()
         {
             // Line 13: argmin over Sₜ of surviving universe violators.
             let x0 = &self.x0;
@@ -239,11 +302,21 @@ impl SsrkMonitor {
             // Line 14-15: commit the feature, shrink U.
             self.in_key[best] = true;
             self.key.push(best);
+            cce_obs::counter!("cce_monitor_key_growth_total", "algo" => "ssrk").inc();
             s_t.retain(|&f| f != best);
             let x0 = &self.x0;
             let uni = &self.uni;
-            self.u_live.retain(|&j| uni[j as usize][best] == x0[best]);
+            let live_mask = &mut self.live_mask;
+            self.u_live.retain(|&j| {
+                let keep = uni[j as usize][best] == x0[best];
+                if !keep {
+                    live_mask[j as usize] = false;
+                }
+                keep
+            });
             self.live.retain(|v| v[best] == x0[best]);
+            cce_obs::gauge!("cce_monitor_live_violators", "algo" => "ssrk")
+                .set(self.live.len() as i64);
             // Line 16: recompute Φ' over the shrunk U.
             log_phi_new = log_potential(self.m, &self.mu, &self.u_live);
         }
@@ -306,8 +379,15 @@ mod tests {
         for (x, y) in ds.iter().skip(1) {
             m.observe(x.clone(), y).unwrap();
             ctx.push(x.clone(), y).unwrap();
-            assert!(ctx.is_alpha_key(m.key(), 0, Alpha::ONE), "|I|={}", ctx.len());
-            assert!(prev.iter().all(|f| m.key().contains(f)), "coherence violated");
+            assert!(
+                ctx.is_alpha_key(m.key(), 0, Alpha::ONE),
+                "|I|={}",
+                ctx.len()
+            );
+            assert!(
+                prev.iter().all(|f| m.key().contains(f)),
+                "coherence violated"
+            );
             prev = m.key().to_vec();
         }
     }
@@ -318,8 +398,7 @@ mod tests {
         let ds = raw.encode(&BinSpec::uniform(8));
         let uni = universe_of(&ds);
         let run = || {
-            let mut m =
-                SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, &uni);
+            let mut m = SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, &uni);
             for (x, y) in ds.iter().skip(1) {
                 let _ = m.observe(x.clone(), y);
             }
@@ -370,6 +449,30 @@ mod tests {
     }
 
     #[test]
+    fn incremental_mu_matches_full_recompute() {
+        // Differential test of the inverted-index weight augmentation: at
+        // every arrival the cached μⱼ must agree with a from-scratch
+        // recomputation (the pre-optimization rescan) over the live
+        // universe, up to float-summation-order drift.
+        let raw = synth::german::generate(250, 11);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let uni = universe_of(&ds);
+        let mut m = SsrkMonitor::new(ds.instance(0).clone(), ds.label(0), Alpha::ONE, &uni);
+        let mut doubled = false;
+        for (x, y) in ds.iter().skip(1) {
+            let before = m.succinctness();
+            let _ = m.observe(x.clone(), y);
+            doubled |= m.succinctness() > before;
+            assert!(
+                m.max_live_mu_drift() < 1e-9,
+                "drift {}",
+                m.max_live_mu_drift()
+            );
+        }
+        assert!(doubled, "stream never exercised weight augmentation");
+    }
+
+    #[test]
     fn ssrk_typically_no_worse_than_osrk_on_average() {
         // §5.3: "in practice SSRK often outperforms OSRK in the quality of
         // relative keys". Check on a small panel (average, not per-case).
@@ -382,14 +485,9 @@ mod tests {
         use rand::Rng;
         for _ in 0..8 {
             let t = rng.gen_range(0..ds.len());
-            let mut s =
-                SsrkMonitor::new(ds.instance(t).clone(), ds.label(t), Alpha::ONE, &uni);
-            let mut o = crate::OsrkMonitor::new(
-                ds.instance(t).clone(),
-                ds.label(t),
-                Alpha::ONE,
-                42,
-            );
+            let mut s = SsrkMonitor::new(ds.instance(t).clone(), ds.label(t), Alpha::ONE, &uni);
+            let mut o =
+                crate::OsrkMonitor::new(ds.instance(t).clone(), ds.label(t), Alpha::ONE, 42);
             for (i, (x, y)) in ds.iter().enumerate() {
                 if i == t {
                     continue;

@@ -41,7 +41,9 @@ pub fn minimum_key(
 
 /// The size of a most-succinct α-conformant key, if one exists.
 pub fn minimum_key_size(ctx: &Context, target: usize, alpha: Alpha) -> Option<usize> {
-    minimum_key(ctx, target, alpha).ok().map(|k| k.succinctness())
+    minimum_key(ctx, target, alpha)
+        .ok()
+        .map(|k| k.succinctness())
 }
 
 fn search(

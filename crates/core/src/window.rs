@@ -103,6 +103,7 @@ impl SlidingWindow {
                     self.buffer.pop_front();
                 }
                 self.staged = 0;
+                cce_obs::counter!("cce_window_slides_total").inc();
             }
         }
         Ok(())
@@ -128,6 +129,25 @@ impl SlidingWindow {
         let target = ctx.len() - 1;
         let fresh = Srk::new(self.alpha).explain(&ctx, target)?;
 
+        if let Some(prev) = self.resolved.get(x) {
+            // Overlapping windows produced differing keys: the event the
+            // resolution policy exists to reconcile.
+            if prev.features() != fresh.features() {
+                let policy = match self.policy {
+                    ResolutionPolicy::FirstWins => "first_wins",
+                    ResolutionPolicy::LastWins => "last_wins",
+                    ResolutionPolicy::UnionKey => "union_key",
+                };
+                // Registry lookup, not the caching macro: the label varies
+                // at runtime and conflicts are rare (cold path).
+                cce_obs::registry()
+                    .counter(
+                        "cce_window_resolution_conflicts_total",
+                        &[("policy", policy)],
+                    )
+                    .inc();
+            }
+        }
         let resolved = match (self.policy, self.resolved.get(x)) {
             (ResolutionPolicy::FirstWins, Some(prev)) => prev.clone(),
             (ResolutionPolicy::UnionKey, Some(prev)) => {
@@ -166,7 +186,11 @@ mod tests {
     use super::*;
     use cce_dataset::{synth, BinSpec};
 
-    fn setup(policy: ResolutionPolicy, capacity: usize, delta: usize) -> (SlidingWindow, cce_dataset::Dataset) {
+    fn setup(
+        policy: ResolutionPolicy,
+        capacity: usize,
+        delta: usize,
+    ) -> (SlidingWindow, cce_dataset::Dataset) {
         let raw = synth::loan::generate(400, 3);
         let ds = raw.encode(&BinSpec::uniform(8));
         let w = SlidingWindow::new(ds.schema_arc(), capacity, delta, Alpha::ONE, policy);

@@ -54,17 +54,27 @@ impl Binning {
         let buckets = buckets.max(1);
         let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
         if finite.is_empty() {
-            return Self { edges: Vec::new(), lo: 0.0, hi: 0.0 };
+            return Self {
+                edges: Vec::new(),
+                lo: 0.0,
+                hi: 0.0,
+            };
         }
         let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if lo == hi || buckets == 1 {
-            return Self { edges: Vec::new(), lo, hi };
+            return Self {
+                edges: Vec::new(),
+                lo,
+                hi,
+            };
         }
         let mut edges = match strategy {
             BinningStrategy::EqualWidth => {
                 let width = (hi - lo) / buckets as f64;
-                (1..buckets).map(|i| lo + width * i as f64).collect::<Vec<_>>()
+                (1..buckets)
+                    .map(|i| lo + width * i as f64)
+                    .collect::<Vec<_>>()
             }
             BinningStrategy::Quantile => {
                 let mut sorted = finite.clone();
@@ -133,7 +143,11 @@ impl Binning {
     pub fn midpoint(&self, b: Cat) -> f64 {
         let b = b as usize;
         let lo = if b == 0 { self.lo } else { self.edges[b - 1] };
-        let hi = if b >= self.edges.len() { self.hi } else { self.edges[b] };
+        let hi = if b >= self.edges.len() {
+            self.hi
+        } else {
+            self.edges[b]
+        };
         (lo + hi) / 2.0
     }
 
@@ -141,7 +155,11 @@ impl Binning {
     pub fn label(&self, b: Cat) -> String {
         let b = b as usize;
         let lo = if b == 0 { self.lo } else { self.edges[b - 1] };
-        let hi = if b >= self.edges.len() { self.hi } else { self.edges[b] };
+        let hi = if b >= self.edges.len() {
+            self.hi
+        } else {
+            self.edges[b]
+        };
         let (lo, hi) = (fmt_edge(lo), fmt_edge(hi));
         if b >= self.edges.len() {
             format!("[{lo}, {hi}]")
@@ -179,7 +197,11 @@ impl BinSpec {
     /// A spec discretizing every numeric feature into `default_buckets`
     /// equal-width buckets.
     pub fn uniform(default_buckets: usize) -> Self {
-        Self { default_buckets, strategy: BinningStrategy::EqualWidth, overrides: Vec::new() }
+        Self {
+            default_buckets,
+            strategy: BinningStrategy::EqualWidth,
+            overrides: Vec::new(),
+        }
     }
 
     /// Switches the cut-point strategy.
@@ -244,7 +266,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max - min <= 2, "quantile buckets should be balanced: {counts:?}");
+        assert!(
+            max - min <= 2,
+            "quantile buckets should be balanced: {counts:?}"
+        );
     }
 
     #[test]
@@ -268,7 +293,10 @@ mod tests {
         vals.extend((1..=10).map(|i| i as f64));
         let b = Binning::fit(&vals, 10, BinningStrategy::Quantile);
         assert!(b.buckets() <= 10);
-        assert!(b.buckets() >= 2, "distinct high values keep at least one cut");
+        assert!(
+            b.buckets() >= 2,
+            "distinct high values keep at least one cut"
+        );
         // All codes must stay within the realized bucket count.
         for &v in &vals {
             assert!((b.bucket_of(v) as usize) < b.buckets());

@@ -96,10 +96,12 @@ pub fn from_csv(text: &str, name: &str, schema: Schema) -> Result<Dataset, CsvEr
                 field: (*f).to_string(),
             })?);
         }
-        let y: u32 = fields[fields.len() - 1].parse().map_err(|_| CsvError::BadValue {
-            line: idx + 1,
-            field: fields[fields.len() - 1].to_string(),
-        })?;
+        let y: u32 = fields[fields.len() - 1]
+            .parse()
+            .map_err(|_| CsvError::BadValue {
+                line: idx + 1,
+                field: fields[fields.len() - 1].to_string(),
+            })?;
         instances.push(Instance::new(vals));
         labels.push(Label(y));
     }
@@ -204,7 +206,10 @@ mod tests {
             FeatureDef::categorical("zzz", &["x", "y"]),
             FeatureDef::categorical("b", &["p", "q"]),
         ]);
-        assert_eq!(from_csv(&text, "toy", wrong).unwrap_err(), CsvError::SchemaMismatch);
+        assert_eq!(
+            from_csv(&text, "toy", wrong).unwrap_err(),
+            CsvError::SchemaMismatch
+        );
     }
 
     #[test]

@@ -31,8 +31,17 @@ impl Dataset {
     pub fn new(name: String, schema: Schema, instances: Vec<Instance>, labels: Vec<Label>) -> Self {
         assert_eq!(instances.len(), labels.len(), "instances/labels mismatch");
         let n = schema.n_features();
-        assert!(instances.iter().all(|x| x.len() == n), "instance width mismatch");
-        Self { name, schema: Arc::new(schema), instances, labels, label_names: Vec::new() }
+        assert!(
+            instances.iter().all(|x| x.len() == n),
+            "instance width mismatch"
+        );
+        Self {
+            name,
+            schema: Arc::new(schema),
+            instances,
+            labels,
+            label_names: Vec::new(),
+        }
     }
 
     /// Creates a dataset sharing an existing schema handle.
@@ -43,7 +52,13 @@ impl Dataset {
         labels: Vec<Label>,
     ) -> Self {
         assert_eq!(instances.len(), labels.len(), "instances/labels mismatch");
-        Self { name, schema, instances, labels, label_names: Vec::new() }
+        Self {
+            name,
+            schema,
+            instances,
+            labels,
+            label_names: Vec::new(),
+        }
     }
 
     /// Attaches label display names.

@@ -35,7 +35,9 @@ pub struct Instance {
 impl Instance {
     /// Creates an instance from encoded values.
     pub fn new(values: Vec<Cat>) -> Self {
-        Self { values: values.into_boxed_slice() }
+        Self {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// Number of features.
@@ -89,7 +91,9 @@ impl Instance {
     /// This is the set `Sₜ` of Algorithms 2 and 3.
     pub fn differing_features(&self, other: &Instance) -> Vec<usize> {
         debug_assert_eq!(self.len(), other.len());
-        (0..self.len()).filter(|&f| self.values[f] != other.values[f]).collect()
+        (0..self.len())
+            .filter(|&f| self.values[f] != other.values[f])
+            .collect()
     }
 }
 

@@ -83,6 +83,8 @@ impl RawDataset {
     /// Panics if column lengths disagree with the label count (generator
     /// bug).
     pub fn encode(&self, spec: &BinSpec) -> Dataset {
+        cce_obs::counter!("cce_dataset_encodes_total").inc();
+        cce_obs::histogram!("cce_dataset_encode_rows").record(self.len() as u64);
         let n = self.len();
         let mut feats = Vec::with_capacity(self.columns.len());
         let mut encoded: Vec<Vec<Cat>> = Vec::with_capacity(self.columns.len());
@@ -98,7 +100,9 @@ impl RawDataset {
                     encoded.push(codes.clone());
                     feats.push(FeatureDef {
                         name: name.clone(),
-                        kind: crate::schema::FeatureKind::Categorical { names: names.clone() },
+                        kind: crate::schema::FeatureKind::Categorical {
+                            names: names.clone(),
+                        },
                     });
                 }
             }
@@ -120,7 +124,10 @@ mod tests {
         RawDataset {
             name: "toy".into(),
             columns: vec![
-                ("income".into(), RawColumn::Numeric(vec![10.0, 20.0, 30.0, 40.0])),
+                (
+                    "income".into(),
+                    RawColumn::Numeric(vec![10.0, 20.0, 30.0, 40.0]),
+                ),
                 (
                     "credit".into(),
                     RawColumn::Categorical {

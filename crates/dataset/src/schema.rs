@@ -34,13 +34,18 @@ impl FeatureDef {
     pub fn categorical(name: &str, values: &[&str]) -> Self {
         Self {
             name: name.to_string(),
-            kind: FeatureKind::Categorical { names: values.iter().map(|s| s.to_string()).collect() },
+            kind: FeatureKind::Categorical {
+                names: values.iter().map(|s| s.to_string()).collect(),
+            },
         }
     }
 
     /// A discretized numeric feature definition.
     pub fn numeric(name: &str, binning: Binning) -> Self {
-        Self { name: name.to_string(), kind: FeatureKind::Numeric { binning } }
+        Self {
+            name: name.to_string(),
+            kind: FeatureKind::Numeric { binning },
+        }
     }
 
     /// Number of distinct encoded values, i.e. `|dom(A)|`.
@@ -121,7 +126,13 @@ impl Schema {
     pub fn render_conjunction(&self, x: &crate::Instance, feats: &[usize]) -> String {
         feats
             .iter()
-            .map(|&f| format!("{}={}", self.features[f].name, self.features[f].display(x[f])))
+            .map(|&f| {
+                format!(
+                    "{}={}",
+                    self.features[f].name,
+                    self.features[f].display(x[f])
+                )
+            })
             .collect::<Vec<_>>()
             .join(" ∧ ")
     }
@@ -137,7 +148,10 @@ mod tests {
         let vals: Vec<f64> = (0..100).map(f64::from).collect();
         Schema::new(vec![
             FeatureDef::categorical("Credit", &["good", "poor"]),
-            FeatureDef::numeric("Income", Binning::fit(&vals, 4, BinningStrategy::EqualWidth)),
+            FeatureDef::numeric(
+                "Income",
+                Binning::fit(&vals, 4, BinningStrategy::EqualWidth),
+            ),
         ])
     }
 

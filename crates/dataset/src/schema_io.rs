@@ -116,13 +116,22 @@ pub fn schema_from_text(text: &str) -> Result<Schema, SchemaIoError> {
                 } else {
                     edges_str
                         .split(';')
-                        .map(|e| e.parse().map_err(|_| SchemaIoError::Malformed { line: i + 1 }))
+                        .map(|e| {
+                            e.parse()
+                                .map_err(|_| SchemaIoError::Malformed { line: i + 1 })
+                        })
                         .collect::<Result<_, _>>()?
                 };
-                feats.push(FeatureDef::numeric(&name, Binning::from_parts(edges, lo, hi)));
+                feats.push(FeatureDef::numeric(
+                    &name,
+                    Binning::from_parts(edges, lo, hi),
+                ));
             }
             other => {
-                return Err(SchemaIoError::UnknownKind { line: i + 1, kind: other.to_string() })
+                return Err(SchemaIoError::UnknownKind {
+                    line: i + 1,
+                    kind: other.to_string(),
+                })
             }
         }
     }
@@ -179,7 +188,10 @@ mod tests {
         let vals: Vec<f64> = (0..100).map(f64::from).collect();
         Schema::new(vec![
             FeatureDef::categorical("Credit", &["good", "poor"]),
-            FeatureDef::numeric("Income", Binning::fit(&vals, 4, BinningStrategy::EqualWidth)),
+            FeatureDef::numeric(
+                "Income",
+                Binning::fit(&vals, 4, BinningStrategy::EqualWidth),
+            ),
             FeatureDef::categorical("Area", &["Urban", "Semiurban", "Rural"]),
         ])
     }

@@ -11,17 +11,52 @@ use crate::synth::util::{label_from_score, Sampler};
 /// Row count used by the paper.
 pub const DEFAULT_ROWS: usize = 32_526;
 
-const WORKCLASS: [&str; 7] =
-    ["Private", "SelfEmp", "SelfEmpInc", "FedGov", "LocalGov", "StateGov", "Unemployed"];
-const EDUCATION: [&str; 8] =
-    ["HSgrad", "SomeCollege", "Bachelors", "Masters", "Doctorate", "AssocVoc", "11th", "7th-8th"];
-const MARITAL: [&str; 5] = ["Married", "NeverMarried", "Divorced", "Separated", "Widowed"];
-const OCCUPATION: [&str; 10] = [
-    "ExecManagerial", "ProfSpecialty", "Sales", "AdmClerical", "CraftRepair", "OtherService",
-    "MachineOp", "Transport", "HandlersCleaners", "TechSupport",
+const WORKCLASS: [&str; 7] = [
+    "Private",
+    "SelfEmp",
+    "SelfEmpInc",
+    "FedGov",
+    "LocalGov",
+    "StateGov",
+    "Unemployed",
 ];
-const RELATIONSHIP: [&str; 6] =
-    ["Husband", "Wife", "OwnChild", "NotInFamily", "OtherRelative", "Unmarried"];
+const EDUCATION: [&str; 8] = [
+    "HSgrad",
+    "SomeCollege",
+    "Bachelors",
+    "Masters",
+    "Doctorate",
+    "AssocVoc",
+    "11th",
+    "7th-8th",
+];
+const MARITAL: [&str; 5] = [
+    "Married",
+    "NeverMarried",
+    "Divorced",
+    "Separated",
+    "Widowed",
+];
+const OCCUPATION: [&str; 10] = [
+    "ExecManagerial",
+    "ProfSpecialty",
+    "Sales",
+    "AdmClerical",
+    "CraftRepair",
+    "OtherService",
+    "MachineOp",
+    "Transport",
+    "HandlersCleaners",
+    "TechSupport",
+];
+const RELATIONSHIP: [&str; 6] = [
+    "Husband",
+    "Wife",
+    "OwnChild",
+    "NotInFamily",
+    "OtherRelative",
+    "Unmarried",
+];
 const RACE: [&str; 5] = ["White", "Black", "AsianPacific", "AmerIndian", "Other"];
 const COUNTRY: [&str; 6] = ["US", "Mexico", "Philippines", "Germany", "Canada", "India"];
 
@@ -59,7 +94,11 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
             6 => 7.0,
             _ => 4.0,
         } + s.normal(0.0, 0.4);
-        let mar = if a < 25.0 { s.weighted(&[0.15, 0.7, 0.08, 0.04, 0.03]) } else { s.weighted(&[0.52, 0.2, 0.18, 0.05, 0.05]) };
+        let mar = if a < 25.0 {
+            s.weighted(&[0.15, 0.7, 0.08, 0.04, 0.03])
+        } else {
+            s.weighted(&[0.52, 0.2, 0.18, 0.05, 0.05])
+        };
         // High-education people skew toward professional occupations.
         let occ = if (2..=4).contains(&edu) {
             s.weighted(&[0.25, 0.3, 0.12, 0.08, 0.05, 0.04, 0.03, 0.03, 0.02, 0.08])
@@ -69,7 +108,11 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         let wc = s.weighted(&[0.7, 0.08, 0.04, 0.03, 0.07, 0.05, 0.03]);
         let sx = s.weighted(&[0.67, 0.33]); // Male / Female
         let rel = if mar == 0 {
-            if sx == 0 { 0 } else { 1 }
+            if sx == 0 {
+                0
+            } else {
+                1
+            }
         } else {
             s.weighted(&[0.0, 0.0, 0.25, 0.45, 0.08, 0.22])
         };
@@ -77,8 +120,16 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         let ct = s.weighted(&[0.9, 0.03, 0.02, 0.02, 0.02, 0.01]);
         let hw = (s.normal(40.0, 11.0) + if occ <= 1 { 5.0 } else { 0.0 }).clamp(5.0, 99.0);
         let fw = s.heavy(120_000.0).clamp(20_000.0, 900_000.0);
-        let cg = if s.flip(0.08) { s.heavy(6_000.0).clamp(0.0, 99_999.0) } else { 0.0 };
-        let cl = if s.flip(0.05) { s.heavy(1_200.0).clamp(0.0, 4_500.0) } else { 0.0 };
+        let cg = if s.flip(0.08) {
+            s.heavy(6_000.0).clamp(0.0, 99_999.0)
+        } else {
+            0.0
+        };
+        let cl = if s.flip(0.05) {
+            s.heavy(1_200.0).clamp(0.0, 4_500.0)
+        } else {
+            0.0
+        };
 
         // Income rule: education years, managerial/professional occupation,
         // married, hours, age in prime range, capital gains.

@@ -29,13 +29,31 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
     for _ in 0..rows {
         let sx = s.weighted(&[0.81, 0.19]); // Male / Female
         let a = s.heavy(12.0).clamp(0.0, 60.0) + 18.0;
-        let ac = if a < 25.0 { 0 } else if a < 45.0 { 1 } else { 2 };
+        let ac = if a < 25.0 {
+            0
+        } else if a < 45.0 {
+            1
+        } else {
+            2
+        };
         let rc = s.weighted(&[0.51, 0.34, 0.09, 0.06]);
         // Younger defendants have more juvenile history on record.
         let juvenile_rate = if ac == 0 { 0.35 } else { 0.1 };
-        let jf = if s.flip(juvenile_rate) { s.below(3) as f64 + 1.0 } else { 0.0 };
-        let jm = if s.flip(juvenile_rate) { s.below(4) as f64 + 1.0 } else { 0.0 };
-        let jo = if s.flip(juvenile_rate * 0.7) { s.below(3) as f64 + 1.0 } else { 0.0 };
+        let jf = if s.flip(juvenile_rate) {
+            s.below(3) as f64 + 1.0
+        } else {
+            0.0
+        };
+        let jm = if s.flip(juvenile_rate) {
+            s.below(4) as f64 + 1.0
+        } else {
+            0.0
+        };
+        let jo = if s.flip(juvenile_rate * 0.7) {
+            s.below(3) as f64 + 1.0
+        } else {
+            0.0
+        };
         let pr = (s.heavy(2.0) + jf + jm).clamp(0.0, 38.0).floor();
         let ch = s.weighted(&[0.64, 0.36]); // Felony / Misdemeanor
         let dsb = s.normal(0.0, 60.0).clamp(-30.0, 600.0);
@@ -44,7 +62,13 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         // Recidivism rule: priors and youth dominate; felony charge and long
         // stays add risk.
         let score = pr * 0.28
-            + if ac == 0 { 1.0 } else if ac == 2 { -0.9 } else { 0.0 }
+            + if ac == 0 {
+                1.0
+            } else if ac == 2 {
+                -0.9
+            } else {
+                0.0
+            }
             + (jf + jm + jo) * 0.2
             + if ch == 0 { 0.25 } else { -0.1 }
             + (st / 400.0)
@@ -75,12 +99,18 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
             ("Sex".into(), cat(sex, &["Male", "Female"])),
             ("Age".into(), RawColumn::Numeric(age)),
             ("AgeCat".into(), cat(age_cat, &["lt25", "25to45", "gt45"])),
-            ("Race".into(), cat(race, &["AfricanAmerican", "Caucasian", "Hispanic", "Other"])),
+            (
+                "Race".into(),
+                cat(race, &["AfricanAmerican", "Caucasian", "Hispanic", "Other"]),
+            ),
             ("JuvFelCount".into(), RawColumn::Numeric(juv_fel)),
             ("JuvMisdCount".into(), RawColumn::Numeric(juv_misd)),
             ("JuvOtherCount".into(), RawColumn::Numeric(juv_other)),
             ("PriorsCount".into(), RawColumn::Numeric(priors)),
-            ("ChargeDegree".into(), cat(charge, &["Felony", "Misdemeanor"])),
+            (
+                "ChargeDegree".into(),
+                cat(charge, &["Felony", "Misdemeanor"]),
+            ),
             ("DaysBScreening".into(), RawColumn::Numeric(days_screen)),
             ("LengthOfStay".into(), RawColumn::Numeric(stay)),
         ],

@@ -67,8 +67,21 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         labels.push(label_from_score(&mut s, score, 0.08));
 
         for (c, v) in cols.iter_mut().zip([
-            status, history, purpose, savings, employment, personal, debtors, property,
-            install_other, housing, job, phone, foreign, dependents, risk_flag,
+            status,
+            history,
+            purpose,
+            savings,
+            employment,
+            personal,
+            debtors,
+            property,
+            install_other,
+            housing,
+            job,
+            phone,
+            foreign,
+            dependents,
+            risk_flag,
         ]) {
             c.push(v);
         }
@@ -82,16 +95,43 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
 
     let cat_names: [(&str, &[&str]); 15] = [
         ("Status", &["lt0", "0to200", "ge200", "none"]),
-        ("History", &["none", "allPaidHere", "paidTilNow", "delayed", "critical"]),
-        ("Purpose", &["car", "furniture", "radio_tv", "business", "education", "repairs", "retraining", "other"]),
-        ("Savings", &["lt100", "100to500", "500to1000", "ge1000", "unknown"]),
-        ("Employment", &["unemployed", "lt1y", "1to4y", "4to7y", "ge7y"]),
-        ("PersonalStatus", &["maleSingle", "femaleDivSep", "maleMarried", "maleDivSep"]),
+        (
+            "History",
+            &["none", "allPaidHere", "paidTilNow", "delayed", "critical"],
+        ),
+        (
+            "Purpose",
+            &[
+                "car",
+                "furniture",
+                "radio_tv",
+                "business",
+                "education",
+                "repairs",
+                "retraining",
+                "other",
+            ],
+        ),
+        (
+            "Savings",
+            &["lt100", "100to500", "500to1000", "ge1000", "unknown"],
+        ),
+        (
+            "Employment",
+            &["unemployed", "lt1y", "1to4y", "4to7y", "ge7y"],
+        ),
+        (
+            "PersonalStatus",
+            &["maleSingle", "femaleDivSep", "maleMarried", "maleDivSep"],
+        ),
         ("OtherDebtors", &["none", "coApplicant", "guarantor"]),
         ("Property", &["realEstate", "savingsIns", "car", "none"]),
         ("OtherInstall", &["bank", "stores", "none"]),
         ("Housing", &["rent", "own", "free"]),
-        ("Job", &["unskilledNonRes", "unskilledRes", "skilled", "management"]),
+        (
+            "Job",
+            &["unskilledNonRes", "unskilledRes", "skilled", "management"],
+        ),
         ("Telephone", &["none", "yes"]),
         ("ForeignWorker", &["yes", "no"]),
         ("Dependents", &["1", "2+"]),
@@ -102,7 +142,10 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
     for ((name, names), codes) in cat_names.into_iter().zip(cols) {
         columns.push((
             name.to_string(),
-            RawColumn::Categorical { codes, names: names.iter().map(|s| s.to_string()).collect() },
+            RawColumn::Categorical {
+                codes,
+                names: names.iter().map(|s| s.to_string()).collect(),
+            },
         ));
     }
     columns.push(("Duration".into(), RawColumn::Numeric(duration)));
@@ -157,8 +200,6 @@ mod tests {
                 bad_without += usize::from(bad);
             }
         }
-        assert!(
-            bad_with as f64 / tot_with as f64 > bad_without as f64 / tot_without as f64 + 0.15
-        );
+        assert!(bad_with as f64 / tot_with as f64 > bad_without as f64 / tot_without as f64 + 0.15);
     }
 }

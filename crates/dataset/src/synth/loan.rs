@@ -36,19 +36,37 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         let a = s.weighted(&[0.62, 0.23, 0.15]); // Urban / Semiurban / Rural
         let g = s.weighted(&[0.8, 0.2]); // Male / Female
         let m = s.weighted(&[0.35, 0.65]); // No / Yes
-        let dep = if m == 1 { s.weighted(&[0.4, 0.25, 0.2, 0.15]) } else { s.weighted(&[0.8, 0.12, 0.05, 0.03]) };
+        let dep = if m == 1 {
+            s.weighted(&[0.4, 0.25, 0.2, 0.15])
+        } else {
+            s.weighted(&[0.8, 0.12, 0.05, 0.03])
+        };
         let edu = s.weighted(&[0.78, 0.22]); // Graduate / NotGraduate
         let se = s.weighted(&[0.86, 0.14]); // No / Yes
 
         // Income correlates with area and education.
         let base = 2600.0
-            + if a == 0 { 1500.0 } else if a == 1 { 600.0 } else { 0.0 }
+            + if a == 0 {
+                1500.0
+            } else if a == 1 {
+                600.0
+            } else {
+                0.0
+            }
             + if edu == 0 { 1200.0 } else { 0.0 };
         let inc = (base + s.heavy(900.0)).clamp(800.0, 20_000.0);
-        let co = if m == 1 && s.flip(0.7) { (s.heavy(1100.0)).clamp(0.0, 10_000.0) } else { 0.0 };
+        let co = if m == 1 && s.flip(0.7) {
+            (s.heavy(1100.0)).clamp(0.0, 10_000.0)
+        } else {
+            0.0
+        };
         // Credit history is good for ~78% of applicants, slightly better for
         // graduates.
-        let cr = if s.flip(if edu == 0 { 0.82 } else { 0.68 }) { 0u32 } else { 1 }; // good / poor
+        let cr = if s.flip(if edu == 0 { 0.82 } else { 0.68 }) {
+            0u32
+        } else {
+            1
+        }; // good / poor
         let t = s.weighted(&[0.08, 0.12, 0.12, 0.68]); // 120/180/240/360 months
         let amt = ((inc + 0.6 * co) * (2.0 + 4.0 * s.unit())).clamp(1_000.0, 60_000.0);
 
@@ -60,7 +78,11 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         // with modest repayments still get approved (the paper's x₁ — poor
         // credit, higher income, Approved — must be a live phenomenon).
         let afford = (inc + 0.5 * co) * 0.42 - monthly;
-        let score = if cr == 1 { -1.2 + afford / 2_500.0 } else { 0.6 + afford / 1_500.0 };
+        let score = if cr == 1 {
+            -1.2 + afford / 2_500.0
+        } else {
+            0.6 + afford / 1_500.0
+        };
         let y = label_from_score(&mut s, score, 0.05);
 
         gender.push(g);
@@ -80,17 +102,65 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
     RawDataset {
         name: "Loan".into(),
         columns: vec![
-            ("Gender".into(), RawColumn::Categorical { codes: gender, names: names(&["Male", "Female"]) }),
-            ("Married".into(), RawColumn::Categorical { codes: married, names: names(&["No", "Yes"]) }),
-            ("Dependents".into(), RawColumn::Categorical { codes: dependents, names: names(&["0", "1", "2", "3+"]) }),
-            ("Education".into(), RawColumn::Categorical { codes: education, names: names(&["Graduate", "NotGraduate"]) }),
-            ("SelfEmployed".into(), RawColumn::Categorical { codes: self_emp, names: names(&["No", "Yes"]) }),
+            (
+                "Gender".into(),
+                RawColumn::Categorical {
+                    codes: gender,
+                    names: names(&["Male", "Female"]),
+                },
+            ),
+            (
+                "Married".into(),
+                RawColumn::Categorical {
+                    codes: married,
+                    names: names(&["No", "Yes"]),
+                },
+            ),
+            (
+                "Dependents".into(),
+                RawColumn::Categorical {
+                    codes: dependents,
+                    names: names(&["0", "1", "2", "3+"]),
+                },
+            ),
+            (
+                "Education".into(),
+                RawColumn::Categorical {
+                    codes: education,
+                    names: names(&["Graduate", "NotGraduate"]),
+                },
+            ),
+            (
+                "SelfEmployed".into(),
+                RawColumn::Categorical {
+                    codes: self_emp,
+                    names: names(&["No", "Yes"]),
+                },
+            ),
             ("Income".into(), RawColumn::Numeric(income)),
             ("CoIncome".into(), RawColumn::Numeric(coincome)),
-            ("Credit".into(), RawColumn::Categorical { codes: credit, names: names(&["good", "poor"]) }),
+            (
+                "Credit".into(),
+                RawColumn::Categorical {
+                    codes: credit,
+                    names: names(&["good", "poor"]),
+                },
+            ),
             ("LoanAmount".into(), RawColumn::Numeric(amount)),
-            ("LoanTerm".into(), RawColumn::Categorical { codes: term, names: names(&["120", "180", "240", "360"]) }),
-            ("Area".into(), RawColumn::Categorical { codes: area, names: names(&["Urban", "Semiurban", "Rural"]) }),
+            (
+                "LoanTerm".into(),
+                RawColumn::Categorical {
+                    codes: term,
+                    names: names(&["120", "180", "240", "360"]),
+                },
+            ),
+            (
+                "Area".into(),
+                RawColumn::Categorical {
+                    codes: area,
+                    names: names(&["Urban", "Semiurban", "Rural"]),
+                },
+            ),
         ],
         labels,
         label_names: vec!["Denied".into(), "Approved".into()],
@@ -160,6 +230,9 @@ mod tests {
         assert_eq!(ds.len(), 300);
         assert_eq!(ds.schema().n_features(), 11);
         assert_eq!(ds.schema().index_of("LoanAmount"), Some(8));
-        assert!(ds.schema().feature(5).is_ordinal(), "Income is binned numeric");
+        assert!(
+            ds.schema().feature(5).is_ordinal(),
+            "Income is binned numeric"
+        );
     }
 }

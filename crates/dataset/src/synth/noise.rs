@@ -122,7 +122,9 @@ mod tests {
         for i in 0..60 {
             assert_eq!(ds.instance(i).values(), &[0, 0]);
         }
-        let changed = (60..100).filter(|&i| ds.instance(i).values() != [0, 0]).count();
+        let changed = (60..100)
+            .filter(|&i| ds.instance(i).values() != [0, 0])
+            .count();
         assert!(changed > 10, "tail should be randomized, changed={changed}");
     }
 
@@ -151,8 +153,13 @@ mod tests {
         }
         // Marginals of the toy data are concentrated on code 0, so most
         // perturbed values stay 0 — the "plausible noise" property.
-        let zeros = (50..100).filter(|&i| ds.instance(i).values() == [0, 0]).count();
-        assert!(zeros > 40, "marginal noise should mostly re-draw observed values");
+        let zeros = (50..100)
+            .filter(|&i| ds.instance(i).values() == [0, 0])
+            .count();
+        assert!(
+            zeros > 40,
+            "marginal noise should mostly re-draw observed values"
+        );
     }
 
     #[test]
@@ -164,7 +171,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let before = ds.labels().to_vec();
         flip_labels(&mut ds, 0.3, &mut rng);
-        let flipped = before.iter().zip(ds.labels()).filter(|(a, b)| a != b).count();
+        let flipped = before
+            .iter()
+            .zip(ds.labels())
+            .filter(|(a, b)| a != b)
+            .count();
         assert!((15..=45).contains(&flipped), "flipped={flipped}");
     }
 

@@ -51,7 +51,8 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         // Recidivism rule from the criminology literature: young, prior
         // record, rule violations in prison, drug/alcohol history increase
         // risk; supervision, marriage, schooling decrease it.
-        let score = pri * 0.3 + rv * 0.25
+        let score = pri * 0.3
+            + rv * 0.25
             + if ju == 1 { 0.6 } else { 0.0 }
             + if al == 1 { 0.35 } else { 0.0 }
             - (a / 12.0 - 27.0) * 0.05

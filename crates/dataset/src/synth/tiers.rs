@@ -33,13 +33,15 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
         let emp = s.weighted(&[0.1, 0.25, 0.4, 0.25]); // none/part/full/self
         let a = s.normal(40.0, 13.0).clamp(18.0, 80.0);
         let reg = s.weighted(&[0.4, 0.35, 0.25]);
-        let def = if s.flip(0.18) { 1 + s.below(4) as u32 } else { 0 };
+        let def = if s.flip(0.18) {
+            1 + s.below(4) as u32
+        } else {
+            0
+        };
         let util = s.unit().clamp(0.0, 1.0);
 
         // Latent risk score → three tiers by thresholds.
-        let score = db / inc.max(1.0) * 0.4
-            + f64::from(def) * 1.1
-            + util * 1.4
+        let score = db / inc.max(1.0) * 0.4 + f64::from(def) * 1.1 + util * 1.4
             - match hist {
                 2 => 1.2,
                 1 => 0.3,
@@ -77,10 +79,16 @@ pub fn generate(rows: usize, seed: u64) -> RawDataset {
             ("Income".into(), RawColumn::Numeric(income)),
             ("Debt".into(), RawColumn::Numeric(debt)),
             ("History".into(), cat(history, &["none", "fair", "good"])),
-            ("Employment".into(), cat(employment, &["none", "part", "full", "self"])),
+            (
+                "Employment".into(),
+                cat(employment, &["none", "part", "full", "self"]),
+            ),
             ("Age".into(), RawColumn::Numeric(age)),
             ("Region".into(), cat(region, &["north", "south", "coast"])),
-            ("PriorDefaults".into(), RawColumn::Numeric(defaults.into_iter().map(f64::from).collect())),
+            (
+                "PriorDefaults".into(),
+                RawColumn::Numeric(defaults.into_iter().map(f64::from).collect()),
+            ),
             ("Utilization".into(), RawColumn::Numeric(utilization)),
         ],
         labels,

@@ -13,7 +13,9 @@ pub(crate) struct Sampler {
 
 impl Sampler {
     pub(crate) fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Uniform in `[0, 1)`.

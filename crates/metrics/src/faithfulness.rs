@@ -23,7 +23,10 @@ pub struct FaithfulnessParams {
 
 impl Default for FaithfulnessParams {
     fn default() -> Self {
-        Self { draws: 8, seed: 0xfa117 }
+        Self {
+            draws: 8,
+            seed: 0xfa117,
+        }
     }
 }
 
@@ -42,8 +45,9 @@ pub fn faithfulness<M: Model + ?Sized>(
     if items.is_empty() {
         return 0.0;
     }
-    let marginals: Vec<Vec<u32>> =
-        (0..reference.schema().n_features()).map(|f| reference.marginal(f)).collect();
+    let marginals: Vec<Vec<u32>> = (0..reference.schema().n_features())
+        .map(|f| reference.marginal(f))
+        .collect();
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut kept = 0.0f64;
     for (x, feats) in items {
@@ -90,25 +94,40 @@ mod tests {
     fn masking_the_decisive_feature_is_most_faithful() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
-        let items_good: Vec<(Instance, Vec<usize>)> =
-            ds.instances().iter().take(50).map(|x| (x.clone(), vec![7])).collect();
-        let items_bad: Vec<(Instance, Vec<usize>)> =
-            ds.instances().iter().take(50).map(|x| (x.clone(), vec![0])).collect();
+        let items_good: Vec<(Instance, Vec<usize>)> = ds
+            .instances()
+            .iter()
+            .take(50)
+            .map(|x| (x.clone(), vec![7]))
+            .collect();
+        let items_bad: Vec<(Instance, Vec<usize>)> = ds
+            .instances()
+            .iter()
+            .take(50)
+            .map(|x| (x.clone(), vec![0]))
+            .collect();
         let f_good = faithfulness(&m, &ds, &items_good, FaithfulnessParams::default());
         let f_bad = faithfulness(&m, &ds, &items_bad, FaithfulnessParams::default());
         assert!(
             f_good < f_bad,
             "masking the real cause must flip more predictions: good={f_good} bad={f_bad}"
         );
-        assert!(f_bad > 0.95, "masking an irrelevant feature changes nothing");
+        assert!(
+            f_bad > 0.95,
+            "masking an irrelevant feature changes nothing"
+        );
     }
 
     #[test]
     fn empty_explanations_are_perfectly_unfaithful() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
-        let items: Vec<(Instance, Vec<usize>)> =
-            ds.instances().iter().take(20).map(|x| (x.clone(), vec![])).collect();
+        let items: Vec<(Instance, Vec<usize>)> = ds
+            .instances()
+            .iter()
+            .take(20)
+            .map(|x| (x.clone(), vec![]))
+            .collect();
         let f = faithfulness(&m, &ds, &items, FaithfulnessParams::default());
         assert_eq!(f, 1.0, "masking nothing keeps every prediction");
     }
@@ -117,8 +136,12 @@ mod tests {
     fn bounded_between_zero_and_one() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(x[0] ^ x[7] & 1));
-        let items: Vec<(Instance, Vec<usize>)> =
-            ds.instances().iter().take(30).map(|x| (x.clone(), vec![0, 7])).collect();
+        let items: Vec<(Instance, Vec<usize>)> = ds
+            .instances()
+            .iter()
+            .take(30)
+            .map(|x| (x.clone(), vec![0, 7]))
+            .collect();
         let f = faithfulness(&m, &ds, &items, FaithfulnessParams::default());
         assert!((0.0..=1.0).contains(&f));
     }
@@ -127,8 +150,12 @@ mod tests {
     fn deterministic_given_seed() {
         let ds = reference();
         let m = ModelFn(|x: &Instance| Label(u32::from(x[7] == 0)));
-        let items: Vec<(Instance, Vec<usize>)> =
-            ds.instances().iter().take(10).map(|x| (x.clone(), vec![7])).collect();
+        let items: Vec<(Instance, Vec<usize>)> = ds
+            .instances()
+            .iter()
+            .take(10)
+            .map(|x| (x.clone(), vec![7]))
+            .collect();
         let a = faithfulness(&m, &ds, &items, FaithfulnessParams::default());
         let b = faithfulness(&m, &ds, &items, FaithfulnessParams::default());
         assert_eq!(a, b);

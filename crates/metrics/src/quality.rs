@@ -23,6 +23,7 @@ impl Explained {
 /// *conformant* over `ctx` — no instance agrees on the explanation's
 /// features while receiving a different prediction.
 pub fn conformity(ctx: &Context, explained: &[Explained]) -> f64 {
+    cce_obs::counter!("cce_metrics_evaluations_total", "metric" => "conformity").inc();
     if explained.is_empty() {
         return 1.0;
     }
@@ -39,7 +40,10 @@ pub fn mean_precision(ctx: &Context, explained: &[Explained]) -> f64 {
     if explained.is_empty() {
         return 1.0;
     }
-    explained.iter().map(|e| ctx.max_alpha(&e.features, e.target)).sum::<f64>()
+    explained
+        .iter()
+        .map(|e| ctx.max_alpha(&e.features, e.target))
+        .sum::<f64>()
         / explained.len() as f64
 }
 
@@ -58,7 +62,10 @@ pub fn recall_pair(ctx: &Context, target: usize, e1: &[usize], e2: &[usize]) -> 
     if union.is_empty() {
         return (1.0, 1.0);
     }
-    (d1.len() as f64 / union.len() as f64, d2.len() as f64 / union.len() as f64)
+    (
+        d1.len() as f64 / union.len() as f64,
+        d2.len() as f64 / union.len() as f64,
+    )
 }
 
 /// §7.1(d): mean number of features per explanation.
@@ -66,7 +73,11 @@ pub fn mean_succinctness(explained: &[Explained]) -> f64 {
     if explained.is_empty() {
         return 0.0;
     }
-    explained.iter().map(|e| e.features.len() as f64).sum::<f64>() / explained.len() as f64
+    explained
+        .iter()
+        .map(|e| e.features.len() as f64)
+        .sum::<f64>()
+        / explained.len() as f64
 }
 
 #[cfg(test)]
@@ -139,8 +150,7 @@ mod tests {
 
     #[test]
     fn succinctness_averages() {
-        let items =
-            vec![Explained::new(0, vec![1]), Explained::new(1, vec![1, 2, 3])];
+        let items = vec![Explained::new(0, vec![1]), Explained::new(1, vec![1, 2, 3])];
         assert_eq!(mean_succinctness(&items), 2.0);
         assert_eq!(mean_succinctness(&[]), 0.0);
     }

@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(fmt_ms(0.0213), "0.021");
-        assert_eq!(fmt_ms(3.14159), "3.14");
+        assert_eq!(fmt_ms(4.56789), "4.57");
         assert_eq!(fmt_ms(428.0), "428");
         assert_eq!(fmt_pct(0.967), "96.7%");
     }

@@ -24,7 +24,11 @@ pub struct GbdtParams {
 
 impl Default for GbdtParams {
     fn default() -> Self {
-        Self { n_trees: 30, learning_rate: 0.3, tree: TreeParams::default() }
+        Self {
+            n_trees: 30,
+            learning_rate: 0.3,
+            tree: TreeParams::default(),
+        }
     }
 }
 
@@ -34,7 +38,10 @@ impl GbdtParams {
         Self {
             n_trees: 10,
             learning_rate: 0.4,
-            tree: TreeParams { max_depth: 3, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
         }
     }
 
@@ -45,7 +52,10 @@ impl GbdtParams {
         Self {
             n_trees: 60,
             learning_rate: 0.2,
-            tree: TreeParams { max_depth: 6, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 6,
+                ..TreeParams::default()
+            },
         }
     }
 }
@@ -70,6 +80,10 @@ impl Gbdt {
     /// # Panics
     /// Panics if the dataset is empty or contains labels other than 0/1.
     pub fn train(ds: &Dataset, params: &GbdtParams, seed: u64) -> Self {
+        let _timer = cce_obs::SpanTimer::start(cce_obs::histogram!(
+            "cce_model_train_ns",
+            "model" => "gbdt"
+        ));
         let _ = seed;
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         assert!(
@@ -99,13 +113,16 @@ impl Gbdt {
             }
             trees.push(tree);
         }
-        Self { trees, base_margin, learning_rate: params.learning_rate }
+        Self {
+            trees,
+            base_margin,
+            learning_rate: params.learning_rate,
+        }
     }
 
     /// The boosted log-odds margin for an instance.
     pub fn margin(&self, x: &Instance) -> f64 {
-        self.base_margin
-            + self.learning_rate * self.trees.iter().map(|t| t.eval(x)).sum::<f64>()
+        self.base_margin + self.learning_rate * self.trees.iter().map(|t| t.eval(x)).sum::<f64>()
     }
 
     /// Predicted probability of class 1.
@@ -149,12 +166,20 @@ impl GbdtOvr {
     /// Panics on an empty dataset.
     pub fn train(ds: &Dataset, params: &GbdtParams, seed: u64) -> Self {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
-        let n_classes = ds.labels().iter().map(|l| l.0 as usize + 1).max().unwrap_or(1);
+        let n_classes = ds
+            .labels()
+            .iter()
+            .map(|l| l.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
         let per_class = (0..n_classes as u32)
             .map(|c| {
                 let mut binary = ds.clone();
                 binary.set_labels(
-                    ds.labels().iter().map(|l| Label(u32::from(l.0 == c))).collect(),
+                    ds.labels()
+                        .iter()
+                        .map(|l| Label(u32::from(l.0 == c)))
+                        .collect(),
                 );
                 Gbdt::train(&binary, params, seed)
             })

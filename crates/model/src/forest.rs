@@ -31,7 +31,10 @@ impl Default for ForestParams {
         Self {
             n_trees: 20,
             sample_frac: 0.8,
-            tree: TreeParams { max_depth: 6, ..TreeParams::default() },
+            tree: TreeParams {
+                max_depth: 6,
+                ..TreeParams::default()
+            },
         }
     }
 }
@@ -50,16 +53,19 @@ impl RandomForest {
     /// Panics on an empty dataset.
     pub fn train(ds: &Dataset, params: &ForestParams, seed: u64) -> Self {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
-        let n_classes =
-            ds.labels().iter().map(|l| l.0 as usize + 1).max().unwrap_or(1);
+        let n_classes = ds
+            .labels()
+            .iter()
+            .map(|l| l.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let per_tree = ((ds.len() as f64) * params.sample_frac.clamp(0.05, 1.0))
             .round()
             .max(1.0) as usize;
         let trees = (0..params.n_trees)
             .map(|_| {
-                let rows: Vec<usize> =
-                    (0..per_tree).map(|_| rng.gen_range(0..ds.len())).collect();
+                let rows: Vec<usize> = (0..per_tree).map(|_| rng.gen_range(0..ds.len())).collect();
                 DecisionTree::train(&ds.select(&rows), &params.tree)
             })
             .collect();
@@ -117,7 +123,14 @@ mod tests {
     #[test]
     fn votes_sum_to_tree_count() {
         let ds = synth::loan::generate(200, 3).encode(&BinSpec::uniform(6));
-        let m = RandomForest::train(&ds, &ForestParams { n_trees: 7, ..Default::default() }, 0);
+        let m = RandomForest::train(
+            &ds,
+            &ForestParams {
+                n_trees: 7,
+                ..Default::default()
+            },
+            0,
+        );
         let v = m.votes(ds.instance(0));
         assert_eq!(v.iter().sum::<usize>(), 7);
     }

@@ -95,7 +95,10 @@ pub struct Counting<M> {
 impl<M> Counting<M> {
     /// Wraps `inner`.
     pub fn new(inner: M) -> Self {
-        Self { inner, queries: Cell::new(0) }
+        Self {
+            inner,
+            queries: Cell::new(0),
+        }
     }
 
     /// Number of predictions made through this wrapper so far.

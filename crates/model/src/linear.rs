@@ -25,7 +25,11 @@ pub struct LogisticParams {
 
 impl Default for LogisticParams {
     fn default() -> Self {
-        Self { epochs: 30, lr: 0.1, l2: 1e-4 }
+        Self {
+            epochs: 30,
+            lr: 0.1,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -72,7 +76,11 @@ impl Logistic {
                 b -= params.lr * err;
             }
         }
-        Self { offsets, weights: w, bias: b }
+        Self {
+            offsets,
+            weights: w,
+            bias: b,
+        }
     }
 
     /// The log-odds margin for an instance.
@@ -92,7 +100,11 @@ fn offsets_of(schema: &Schema) -> Vec<usize> {
 }
 
 fn margin(offsets: &[usize], w: &[f64], x: &Instance) -> f64 {
-    offsets.iter().enumerate().map(|(f, &off)| w[off + x[f] as usize]).sum()
+    offsets
+        .iter()
+        .enumerate()
+        .map(|(f, &off)| w[off + x[f] as usize])
+        .sum()
 }
 
 impl Model for Logistic {
@@ -112,8 +124,7 @@ mod tests {
     fn learns_loan_reasonably() {
         let raw = synth::loan::generate(614, 5);
         let ds = raw.encode(&BinSpec::uniform(10));
-        let (train, test) =
-            ds.split(0.7, &mut StdRng::seed_from_u64(2));
+        let (train, test) = ds.split(0.7, &mut StdRng::seed_from_u64(2));
         let m = Logistic::train(&train, &LogisticParams::default(), 3);
         let acc = accuracy(&m, &test);
         assert!(acc > 0.72, "accuracy {acc}");

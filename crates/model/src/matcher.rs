@@ -34,8 +34,7 @@ impl Matcher {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         assert!(ds.labels().iter().all(|l| l.0 <= 1), "Matcher is binary");
         let schema = ds.schema_arc();
-        let xs: Vec<Vec<f64>> =
-            ds.instances().iter().map(|x| decode(&schema, x)).collect();
+        let xs: Vec<Vec<f64>> = ds.instances().iter().map(|x| decode(&schema, x)).collect();
         let ys: Vec<f64> = ds.labels().iter().map(|l| f64::from(l.0)).collect();
         let mlp = Mlp::train(&xs, &ys, params, seed);
         Self { mlp, schema }
@@ -106,7 +105,14 @@ mod tests {
     fn proba_is_probability() {
         let em = em::walmart_amazon(600, 9);
         let ds = em.to_raw().encode(&BinSpec::uniform(6));
-        let m = Matcher::train(&ds, &MlpParams { epochs: 10, ..Default::default() }, 1);
+        let m = Matcher::train(
+            &ds,
+            &MlpParams {
+                epochs: 10,
+                ..Default::default()
+            },
+            1,
+        );
         for x in ds.instances().iter().take(50) {
             let p = m.proba(x);
             assert!((0.0..=1.0).contains(&p));

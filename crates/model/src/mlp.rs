@@ -24,7 +24,12 @@ pub struct MlpParams {
 
 impl Default for MlpParams {
     fn default() -> Self {
-        Self { hidden: 16, epochs: 60, lr: 0.05, momentum: 0.9 }
+        Self {
+            hidden: 16,
+            epochs: 60,
+            lr: 0.05,
+            momentum: 0.9,
+        }
     }
 }
 
@@ -53,11 +58,13 @@ impl Mlp {
 
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = (2.0 / inputs as f64).sqrt();
-        let mut w1: Vec<f64> =
-            (0..hidden * inputs).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
+        let mut w1: Vec<f64> = (0..hidden * inputs)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
         let mut b1 = vec![0.0; hidden];
-        let mut w2: Vec<f64> =
-            (0..hidden).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
+        let mut w2: Vec<f64> = (0..hidden)
+            .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+            .collect();
         let mut b2 = 0.0f64;
 
         let mut vw1 = vec![0.0; w1.len()];
@@ -92,9 +99,7 @@ impl Mlp {
                     let dh = dz2 * w2[h] * (1.0 - hid[h] * hid[h]);
                     w2[h] += vw2[h];
                     let row = h * inputs..(h + 1) * inputs;
-                    for ((v, w), xj) in
-                        vw1[row.clone()].iter_mut().zip(&mut w1[row]).zip(x)
-                    {
+                    for ((v, w), xj) in vw1[row.clone()].iter_mut().zip(&mut w1[row]).zip(x) {
                         *v = params.momentum * *v - params.lr * dh * xj;
                         *w += *v;
                     }
@@ -105,7 +110,14 @@ impl Mlp {
                 b2 += vb2;
             }
         }
-        Self { w1, b1, w2, b2, inputs, hidden }
+        Self {
+            w1,
+            b1,
+            w2,
+            b2,
+            inputs,
+            hidden,
+        }
     }
 
     /// Probability of class 1 for a feature vector.
@@ -145,8 +157,9 @@ mod tests {
     #[test]
     fn learns_linearly_separable() {
         let mut rng = StdRng::seed_from_u64(1);
-        let xs: Vec<Vec<f64>> =
-            (0..400).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let xs: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| f64::from(x[0] + x[1] > 1.0)).collect();
         let m = Mlp::train(&xs, &ys, &MlpParams::default(), 2);
         let correct = xs
@@ -172,7 +185,12 @@ mod tests {
         let m = Mlp::train(
             &xs,
             &ys,
-            &MlpParams { hidden: 24, epochs: 400, lr: 0.03, momentum: 0.9 },
+            &MlpParams {
+                hidden: 24,
+                epochs: 400,
+                lr: 0.03,
+                momentum: 0.9,
+            },
             4,
         );
         let correct = xs
@@ -180,7 +198,11 @@ mod tests {
             .zip(&ys)
             .filter(|(x, &y)| f64::from(m.decide(x)) == y)
             .count();
-        assert!(correct as f64 / xs.len() as f64 > 0.9, "acc={}", correct as f64 / xs.len() as f64);
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.9,
+            "acc={}",
+            correct as f64 / xs.len() as f64
+        );
     }
 
     #[test]
@@ -197,7 +219,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "width mismatch")]
     fn rejects_wrong_width() {
-        let m = Mlp::train(&[vec![0.0, 1.0]], &[1.0], &MlpParams { epochs: 1, ..Default::default() }, 0);
+        let m = Mlp::train(
+            &[vec![0.0, 1.0]],
+            &[1.0],
+            &MlpParams {
+                epochs: 1,
+                ..Default::default()
+            },
+            0,
+        );
         let _ = m.proba(&[0.0]);
     }
 }

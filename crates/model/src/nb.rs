@@ -25,8 +25,12 @@ impl NaiveBayes {
     pub fn train(ds: &Dataset, alpha: f64) -> Self {
         assert!(!ds.is_empty(), "cannot train on an empty dataset");
         let alpha = alpha.max(1e-9);
-        let n_classes =
-            ds.labels().iter().map(|l| l.0 as usize + 1).max().unwrap_or(1);
+        let n_classes = ds
+            .labels()
+            .iter()
+            .map(|l| l.0 as usize + 1)
+            .max()
+            .unwrap_or(1);
         let n = ds.schema().n_features();
 
         let mut class_counts = vec![0usize; n_classes];
@@ -57,7 +61,10 @@ impl NaiveBayes {
                 );
             }
         }
-        Self { log_prior, log_like }
+        Self {
+            log_prior,
+            log_like,
+        }
     }
 
     /// Per-class log-posterior (unnormalized).
@@ -144,6 +151,9 @@ mod tests {
         );
         let m = NaiveBayes::train(&ds, 1.0);
         let s = m.log_scores(&Instance::new(vec![1]));
-        assert!(s[0].is_finite(), "class 0 never saw value 1 but must not be -inf");
+        assert!(
+            s[0].is_finite(),
+            "class 0 never saw value 1 but must not be -inf"
+        );
     }
 }

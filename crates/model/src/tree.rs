@@ -74,8 +74,17 @@ impl<L: Copy> Tree<L> {
         loop {
             match &self.nodes[i] {
                 Node::Leaf(v) => return *v,
-                Node::Split { feature, test, left, right } => {
-                    i = if test.goes_left(x[*feature]) { *left as usize } else { *right as usize };
+                Node::Split {
+                    feature,
+                    test,
+                    left,
+                    right,
+                } => {
+                    i = if test.goes_left(x[*feature]) {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
                 }
             }
         }
@@ -83,7 +92,10 @@ impl<L: Copy> Tree<L> {
 
     /// Number of leaves.
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf(_)))
+            .count()
     }
 
     /// Maximum depth (root-only tree has depth 0).
@@ -115,7 +127,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 4, min_samples_leaf: 2, lambda: 1.0, gamma: 1e-6 }
+        Self {
+            max_depth: 4,
+            min_samples_leaf: 2,
+            lambda: 1.0,
+            gamma: 1e-6,
+        }
     }
 }
 
@@ -139,7 +156,9 @@ impl DecisionTree {
         let rows: Vec<u32> = (0..ds.len() as u32).collect();
         let mut nodes = Vec::new();
         build_classifier(ds, &rows, n_classes, params, 0, &mut nodes);
-        Self { tree: Tree::from_nodes(nodes) }
+        Self {
+            tree: Tree::from_nodes(nodes),
+        }
     }
 
     /// The underlying split structure.
@@ -249,13 +268,19 @@ fn build_classifier(
         return idx;
     };
 
-    let (lrows, rrows): (Vec<u32>, Vec<u32>) =
-        rows.iter().partition(|&&r| test.goes_left(ds.instance(r as usize)[f]));
+    let (lrows, rrows): (Vec<u32>, Vec<u32>) = rows
+        .iter()
+        .partition(|&&r| test.goes_left(ds.instance(r as usize)[f]));
     // Reserve this node, then build children after it in the arena.
     nodes.push(Node::Leaf(Label(0))); // placeholder
     let left = build_classifier(ds, &lrows, n_classes, params, depth + 1, nodes);
     let right = build_classifier(ds, &rrows, n_classes, params, depth + 1, nodes);
-    nodes[idx as usize] = Node::Split { feature: f, test, left, right };
+    nodes[idx as usize] = Node::Split {
+        feature: f,
+        test,
+        left,
+        right,
+    };
     idx
 }
 
@@ -279,7 +304,9 @@ impl RegressionTree {
         let rows: Vec<u32> = (0..ds.len() as u32).collect();
         let mut nodes = Vec::new();
         build_regressor(ds.schema(), ds, g, h, &rows, params, 0, &mut nodes);
-        Self { tree: Tree::from_nodes(nodes) }
+        Self {
+            tree: Tree::from_nodes(nodes),
+        }
     }
 
     /// Evaluates the tree's raw leaf weight for an instance.
@@ -359,12 +386,18 @@ fn build_regressor(
         return idx;
     };
 
-    let (lrows, rrows): (Vec<u32>, Vec<u32>) =
-        rows.iter().partition(|&&r| test.goes_left(ds.instance(r as usize)[f]));
+    let (lrows, rrows): (Vec<u32>, Vec<u32>) = rows
+        .iter()
+        .partition(|&&r| test.goes_left(ds.instance(r as usize)[f]));
     nodes.push(Node::Leaf(0.0)); // placeholder
     let left = build_regressor(schema, ds, g, h, &lrows, params, depth + 1, nodes);
     let right = build_regressor(schema, ds, g, h, &rrows, params, depth + 1, nodes);
-    nodes[idx as usize] = Node::Split { feature: f, test, left, right };
+    nodes[idx as usize] = Node::Split {
+        feature: f,
+        test,
+        left,
+        right,
+    };
     idx
 }
 
@@ -411,8 +444,9 @@ mod tests {
     #[test]
     fn learns_single_categorical_rule() {
         // y = (f0 == 1)
-        let rows: Vec<(Vec<Cat>, u32)> =
-            (0..40).map(|i| (vec![i % 3, i % 5], u32::from(i % 3 == 1))).collect();
+        let rows: Vec<(Vec<Cat>, u32)> = (0..40)
+            .map(|i| (vec![i % 3, i % 5], u32::from(i % 3 == 1)))
+            .collect();
         let ds = dataset(rows, &[false, false]);
         let t = DecisionTree::train(&ds, &TreeParams::default());
         for (x, y) in ds.iter() {
@@ -423,8 +457,9 @@ mod tests {
     #[test]
     fn learns_ordinal_threshold() {
         // y = (f0 <= 4)
-        let rows: Vec<(Vec<Cat>, u32)> =
-            (0..60).map(|i| (vec![i % 10, (i * 7) % 5], u32::from(i % 10 <= 4))).collect();
+        let rows: Vec<(Vec<Cat>, u32)> = (0..60)
+            .map(|i| (vec![i % 10, (i * 7) % 5], u32::from(i % 10 <= 4)))
+            .collect();
         let ds = dataset(rows, &[true, false]);
         let t = DecisionTree::train(&ds, &TreeParams::default());
         assert!(t.tree().depth() <= 2, "single threshold suffices");
@@ -445,7 +480,13 @@ mod tests {
             }
         }
         let ds = dataset(rows, &[false, false]);
-        let t = DecisionTree::train(&ds, &TreeParams { max_depth: 3, ..Default::default() });
+        let t = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                max_depth: 3,
+                ..Default::default()
+            },
+        );
         for (x, y) in ds.iter() {
             assert_eq!(t.predict(x), y, "on {:?}", x.values());
         }
@@ -453,12 +494,17 @@ mod tests {
 
     #[test]
     fn respects_max_depth() {
-        let rows: Vec<(Vec<Cat>, u32)> =
-            (0..100u32)
-                .map(|i| (vec![i % 10, (i / 10) % 10], i.wrapping_mul(2654435761) % 2))
-                .collect();
+        let rows: Vec<(Vec<Cat>, u32)> = (0..100u32)
+            .map(|i| (vec![i % 10, (i / 10) % 10], i.wrapping_mul(2654435761) % 2))
+            .collect();
         let ds = dataset(rows, &[true, true]);
-        let t = DecisionTree::train(&ds, &TreeParams { max_depth: 2, ..Default::default() });
+        let t = DecisionTree::train(
+            &ds,
+            &TreeParams {
+                max_depth: 2,
+                ..Default::default()
+            },
+        );
         assert!(t.tree().depth() <= 2);
     }
 
@@ -476,8 +522,9 @@ mod tests {
         // g encodes "pull rows with f0<=4 toward +1, others toward -1".
         let rows: Vec<(Vec<Cat>, u32)> = (0..60).map(|i| (vec![i % 10, 0], 0)).collect();
         let ds = dataset(rows, &[true, false]);
-        let g: Vec<f64> =
-            (0..60).map(|i| if i % 10 <= 4 { -1.0 } else { 1.0 }).collect();
+        let g: Vec<f64> = (0..60)
+            .map(|i| if i % 10 <= 4 { -1.0 } else { 1.0 })
+            .collect();
         let h = vec![1.0; 60];
         let t = RegressionTree::fit(&ds, &g, &h, &TreeParams::default());
         let lo = t.eval(&Instance::new(vec![2, 0]));
@@ -489,7 +536,12 @@ mod tests {
     #[test]
     fn eval_matches_manual_arena() {
         let nodes = vec![
-            Node::Split { feature: 0, test: SplitTest::Equal(1), left: 1, right: 2 },
+            Node::Split {
+                feature: 0,
+                test: SplitTest::Equal(1),
+                left: 1,
+                right: 2,
+            },
             Node::Leaf(10.0),
             Node::Leaf(20.0),
         ];

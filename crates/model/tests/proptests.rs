@@ -6,24 +6,22 @@ use proptest::prelude::*;
 
 /// Strategy: a small random binary dataset over 3 features of cardinality 4.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec(
-        (proptest::collection::vec(0u32..4, 3..4), 0u32..2),
-        4..40,
+    proptest::collection::vec((proptest::collection::vec(0u32..4, 3..4), 0u32..2), 4..40).prop_map(
+        |rows| {
+            let schema = Schema::new(vec![
+                FeatureDef::categorical("a", &["0", "1", "2", "3"]),
+                FeatureDef::categorical("b", &["0", "1", "2", "3"]),
+                FeatureDef::categorical("c", &["0", "1", "2", "3"]),
+            ]);
+            let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+            Dataset::new(
+                "p".into(),
+                schema,
+                xs.into_iter().map(Instance::new).collect(),
+                ys.into_iter().map(Label).collect(),
+            )
+        },
     )
-    .prop_map(|rows| {
-        let schema = Schema::new(vec![
-            FeatureDef::categorical("a", &["0", "1", "2", "3"]),
-            FeatureDef::categorical("b", &["0", "1", "2", "3"]),
-            FeatureDef::categorical("c", &["0", "1", "2", "3"]),
-        ]);
-        let (xs, ys): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
-        Dataset::new(
-            "p".into(),
-            schema,
-            xs.into_iter().map(Instance::new).collect(),
-            ys.into_iter().map(Label).collect(),
-        )
-    })
 }
 
 proptest! {

@@ -1,0 +1,311 @@
+//! Snapshot exporters: JSONL and Prometheus text format.
+//!
+//! Both formats are hand-rolled over `std::io::Write` — this crate keeps
+//! the workspace's zero-external-dependency guarantee.
+//!
+//! # JSONL
+//!
+//! One JSON object per line, one line per instrument:
+//!
+//! ```text
+//! {"name":"cce_explain_keys_total","type":"counter","labels":{"algo":"srk"},"value":42}
+//! {"name":"cce_batch_explain_ns","type":"histogram","labels":{},"count":3,"sum":91213,"buckets":[{"le":1023,"count":1},{"le":65535,"count":2}]}
+//! ```
+//!
+//! Histogram `buckets` list only non-empty buckets; `le` is the
+//! inclusive upper bound of the log₂ bucket (non-cumulative counts).
+//!
+//! # Prometheus
+//!
+//! The standard text exposition format; histograms emit cumulative
+//! `_bucket{le="…"}` series plus `_sum` and `_count`.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::instruments::Histogram;
+
+/// The recorded value of one instrument at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(i64),
+    /// Distribution: total count, sum, and per-bucket (non-cumulative)
+    /// counts indexed like [`Histogram::bucket_of`].
+    Histogram {
+        /// Observations recorded.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// One (possibly zero) count per log₂ bucket.
+        buckets: Vec<u64>,
+    },
+}
+
+/// One instrument in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct SnapshotEntry {
+    /// Family name (`cce_*`).
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: &'static str,
+    /// Sorted label pairs.
+    pub labels: BTreeMap<String, String>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a registry's instruments.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Instruments ordered by `(name, labels)`.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn labels_json(labels: &BTreeMap<String, String>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape(k, &mut out);
+        out.push_str("\":\"");
+        json_escape(v, &mut out);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+impl Snapshot {
+    /// Writes one JSON object per instrument, newline-separated.
+    ///
+    /// # Errors
+    /// Propagates I/O failures of `w`.
+    pub fn to_jsonl(&self, w: &mut impl Write) -> io::Result<()> {
+        for e in &self.entries {
+            let mut line = String::from("{\"name\":\"");
+            json_escape(&e.name, &mut line);
+            line.push_str("\",\"type\":\"");
+            line.push_str(e.kind);
+            line.push_str("\",\"labels\":");
+            line.push_str(&labels_json(&e.labels));
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    line.push_str(&format!(",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    line.push_str(&format!(",\"value\":{v}"));
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    line.push_str(&format!(",\"count\":{count},\"sum\":{sum},\"buckets\":["));
+                    let mut first = true;
+                    for (i, &c) in buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            line.push(',');
+                        }
+                        first = false;
+                        line.push_str(&format!(
+                            "{{\"le\":{},\"count\":{c}}}",
+                            Histogram::bucket_upper_bound(i)
+                        ));
+                    }
+                    line.push(']');
+                }
+            }
+            line.push('}');
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// The JSONL export as a `String`.
+    pub fn to_jsonl_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.to_jsonl(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("exporter emits UTF-8")
+    }
+
+    /// Writes the Prometheus text exposition format.
+    ///
+    /// # Errors
+    /// Propagates I/O failures of `w`.
+    pub fn to_prometheus(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut last_name = "";
+        for e in &self.entries {
+            if e.name != last_name {
+                writeln!(w, "# TYPE {} {}", e.name, e.kind)?;
+                last_name = &e.name;
+            }
+            let labels = |extra: Option<(&str, String)>| -> String {
+                let mut parts: Vec<String> = e
+                    .labels
+                    .iter()
+                    .map(|(k, v)| {
+                        format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+                    })
+                    .collect();
+                if let Some((k, v)) = extra {
+                    parts.push(format!("{k}=\"{v}\""));
+                }
+                if parts.is_empty() {
+                    String::new()
+                } else {
+                    format!("{{{}}}", parts.join(","))
+                }
+            };
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    writeln!(w, "{}{} {v}", e.name, labels(None))?;
+                }
+                MetricValue::Gauge(v) => {
+                    writeln!(w, "{}{} {v}", e.name, labels(None))?;
+                }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    let mut cumulative = 0u64;
+                    for (i, &c) in buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let le = Histogram::bucket_upper_bound(i).to_string();
+                        writeln!(
+                            w,
+                            "{}_bucket{} {cumulative}",
+                            e.name,
+                            labels(Some(("le", le)))
+                        )?;
+                    }
+                    writeln!(
+                        w,
+                        "{}_bucket{} {count}",
+                        e.name,
+                        labels(Some(("le", "+Inf".to_string())))
+                    )?;
+                    writeln!(w, "{}_sum{} {sum}", e.name, labels(None))?;
+                    writeln!(w, "{}_count{} {count}", e.name, labels(None))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The Prometheus export as a `String`.
+    pub fn to_prometheus_string(&self) -> String {
+        let mut buf = Vec::new();
+        self.to_prometheus(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("exporter emits UTF-8")
+    }
+
+    /// The entry of `name` whose labels contain every pair in `labels`
+    /// (convenience for tests and report code).
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SnapshotEntry> {
+        self.entries.iter().find(|e| {
+            e.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| e.labels.get(*k).map(String::as_str) == Some(*v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("t_total", &[("algo", "srk")]).add(42);
+        r.gauge("t_live", &[]).set(-3);
+        let h = r.histogram("t_ns", &[]);
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(1000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_and_complete() {
+        let _guard = crate::test_lock();
+        let text = sample().to_jsonl_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"name\":\"t_total\""));
+        assert!(text.contains("\"labels\":{\"algo\":\"srk\"}"));
+        assert!(text.contains("\"value\":42"));
+        assert!(text.contains("\"value\":-3"));
+        assert!(text.contains("\"count\":4,\"sum\":1010"));
+        // 5 falls in the (3, 7] bucket → le = 7 with two observations.
+        assert!(text.contains("{\"le\":7,\"count\":2}"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histograms_are_cumulative() {
+        let _guard = crate::test_lock();
+        let text = sample().to_prometheus_string();
+        assert!(text.contains("# TYPE t_ns histogram"));
+        assert!(text.contains("t_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("t_ns_bucket{le=\"7\"} 3"));
+        assert!(text.contains("t_ns_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("t_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("t_ns_sum 1010"));
+        assert!(text.contains("t_ns_count 4"));
+        assert!(text.contains("t_total{algo=\"srk\"} 42"));
+        assert!(text.contains("t_live -3"));
+    }
+
+    #[test]
+    fn escaping_survives_hostile_labels() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        r.counter("esc_total", &[("path", "a\"b\\c\nd")]).inc();
+        let text = r.snapshot().to_jsonl_string();
+        assert!(text.contains("a\\\"b\\\\c\\nd"), "{text}");
+    }
+
+    #[test]
+    fn find_matches_on_labels() {
+        let _guard = crate::test_lock();
+        let snap = sample();
+        assert!(snap.find("t_total", &[("algo", "srk")]).is_some());
+        assert!(snap.find("t_total", &[("algo", "osrk")]).is_none());
+        assert!(snap.find("missing", &[]).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! The atomic instruments: counters, gauges, histograms, span timers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Number of log₂ buckets a [`Histogram`] keeps: bucket `i` covers values
+/// `v` with `2^(i-1) < v ≤ 2^i - 1`… precisely, `bucket(v) = bit-width of
+/// v` (0 for `v = 0`), so upper bounds are `0, 1, 3, 7, …, 2^63 - 1, ∞`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A monotonically increasing count (events, items, errors).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh zeroed counter (normally obtained via
+    /// [`crate::Registry::counter`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (tests and between-experiment resets).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can go up and down (live violators, window fill).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log₂-bucketed distribution of `u64` observations (nanoseconds, key
+/// lengths, scan counts).
+///
+/// Buckets are power-of-two ranges, so recording is a `leading_zeros` +
+/// two relaxed RMWs — no floats, no locks, and a fixed 65-slot footprint
+/// per instrument.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index of a value: its bit width (0 → 0, 1 → 1, 2..=3 →
+    /// 2, 4..=7 → 3, …).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket observation counts (index = [`Histogram::bucket_of`]).
+    pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// An upper estimate of the `q`-quantile (`0.0..=1.0`) from bucket
+    /// upper bounds; 0 when empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Clears all buckets.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII latency span: measures from construction to drop and records the
+/// elapsed nanoseconds into a [`Histogram`].
+///
+/// When recording is disabled at construction, no clock is read at
+/// either end.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    histogram: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts timing into `histogram`.
+    #[inline]
+    pub fn start(histogram: &'a Histogram) -> Self {
+        let start = enabled().then(Instant::now);
+        Self { histogram, start }
+    }
+
+    /// Stops early and records (otherwise `Drop` records).
+    pub fn stop(self) {}
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        let _guard = crate::test_lock();
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 0..BUCKET_COUNT {
+            let ub = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_of(ub), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_and_quantiles() {
+        let _guard = crate::test_lock();
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        assert!(h.quantile_upper_bound(0.5) <= 127);
+        assert!(h.quantile_upper_bound(1.0) >= 1000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let _guard = crate::test_lock();
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn span_timer_records_once_on_drop() {
+        let _guard = crate::test_lock();
+        let h = Histogram::new();
+        {
+            let _t = SpanTimer::start(&h);
+            std::hint::black_box(17u64);
+        }
+        assert_eq!(h.count(), 1);
+        let t = SpanTimer::start(&h);
+        t.stop();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn disabled_instruments_do_nothing() {
+        let _guard = crate::test_lock();
+        let h = Histogram::new();
+        let c = Counter::new();
+        crate::set_enabled(false);
+        c.inc();
+        h.record(9);
+        let t = SpanTimer::start(&h);
+        assert!(t.start.is_none(), "no clock read while disabled");
+        drop(t);
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The process-global registry of labeled metric families.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::export::{MetricValue, Snapshot, SnapshotEntry};
+use crate::instruments::{Counter, Gauge, Histogram};
+
+/// One registered instrument: family name + sorted labels + the cell.
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+    pub(crate) instrument: Instrument,
+}
+
+pub(crate) enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A home for labeled metric families.
+///
+/// Registration (cold path) takes a mutex and allocates; the returned
+/// `Arc` handles are lock-free to update. Re-registering the same
+/// `(name, labels)` returns the existing instrument, so arbitrarily many
+/// call sites aggregate into one time series.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// The process-global registry every instrument macro interns into.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+fn normalize(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses
+    /// [`registry`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        pick: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: impl FnOnce() -> (Arc<T>, Instrument),
+    ) -> Arc<T> {
+        let labels = normalize(labels);
+        let mut entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for e in entries.iter() {
+            if e.name == name && e.labels == labels {
+                return pick(&e.instrument).unwrap_or_else(|| {
+                    panic!(
+                        "metric {name:?} re-registered as a different kind (was {})",
+                        e.instrument.kind()
+                    )
+                });
+            }
+        }
+        let (handle, instrument) = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels,
+            instrument,
+        });
+        handle
+    }
+
+    /// The counter of family `name` with the given labels, created on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics when the same `(name, labels)` was registered as another
+    /// instrument kind.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.intern(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Arc::clone(&c), Instrument::Counter(c))
+            },
+        )
+    }
+
+    /// The gauge of family `name` with the given labels.
+    ///
+    /// # Panics
+    /// Panics on an instrument-kind conflict (see [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.intern(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Arc::clone(&g), Instrument::Gauge(g))
+            },
+        )
+    }
+
+    /// The histogram of family `name` with the given labels.
+    ///
+    /// # Panics
+    /// Panics on an instrument-kind conflict (see [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.intern(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (Arc::clone(&h), Instrument::Histogram(h))
+            },
+        )
+    }
+
+    /// A point-in-time copy of every registered instrument, ordered by
+    /// `(name, labels)` for stable output.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out: Vec<SnapshotEntry> = entries
+            .iter()
+            .map(|e| SnapshotEntry {
+                name: e.name.clone(),
+                kind: e.instrument.kind(),
+                labels: e.labels.iter().cloned().collect::<BTreeMap<_, _>>(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.bucket_counts().to_vec(),
+                    },
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { entries: out }
+    }
+
+    /// Zeroes every registered instrument (between-experiment resets; the
+    /// instruments stay registered).
+    pub fn reset(&self) {
+        let entries = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for e in entries.iter() {
+            match &e.instrument {
+                Instrument::Counter(c) => c.reset(),
+                Instrument::Gauge(g) => g.reset(),
+                Instrument::Histogram(h) => h.reset(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_one_instrument() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        let a = r.counter("x_total", &[("k", "v")]);
+        let b = r.counter("x_total", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Label order is normalized away.
+        let c = r.gauge("g", &[("a", "1"), ("b", "2")]);
+        let d = r.gauge("g", &[("b", "2"), ("a", "1")]);
+        c.set(9);
+        assert_eq!(d.get(), 9);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_instruments() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        let a = r.counter("y_total", &[("algo", "srk")]);
+        let b = r.counter("y_total", &[("algo", "osrk")]);
+        a.add(3);
+        assert_eq!(b.get(), 0);
+        assert_eq!(r.snapshot().entries.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        let _ = r.counter("z", &[]);
+        let _ = r.gauge("z", &[]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        let c = r.counter("r_total", &[]);
+        let h = r.histogram("r_ns", &[]);
+        c.add(5);
+        h.record(100);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(r.snapshot().entries.len(), 2);
+    }
+}

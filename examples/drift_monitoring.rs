@@ -34,7 +34,11 @@ fn main() {
         let mut correct = 0usize;
         println!(
             "\n=== {} stream ===",
-            if noisy { "NOISY (incident at 60%)" } else { "clean" }
+            if noisy {
+                "NOISY (incident at 60%)"
+            } else {
+                "clean"
+            }
         );
         println!("{:>6} {:>12} {:>10}", "I%", "mean |key|", "accuracy");
         for (i, (x, &p)) in stream.instances().iter().zip(&preds).enumerate() {
@@ -52,7 +56,11 @@ fn main() {
         println!(
             "drift score = {:.2} → {}",
             monitor.drift_score(0.5),
-            if monitor.drifted(1.05) { "ALARM: keys grew abnormally" } else { "nominal" }
+            if monitor.drifted(1.05) {
+                "ALARM: keys grew abnormally"
+            } else {
+                "nominal"
+            }
         );
     }
 }

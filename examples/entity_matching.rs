@@ -38,7 +38,10 @@ fn main() {
     let attr_names: Vec<&str> = emd.attr_names.iter().map(String::as_str).collect();
     println!(
         "\nCCE: pair {t} predicted MATCH because of attributes {:?}",
-        key.features().iter().map(|&f| attr_names[f]).collect::<Vec<_>>()
+        key.features()
+            .iter()
+            .map(|&f| attr_names[f])
+            .collect::<Vec<_>>()
     );
     println!(
         "  (conformant over all {} served pairs, {} features of {})",
@@ -59,11 +62,17 @@ fn main() {
     let certa_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!("\nCERTA saliency ({certa_ms:.1} ms):");
     for (a, s) in attr_names.iter().zip(&saliency) {
-        println!("  {a:<14} flips the decision {:.0}% of the time when swapped", s * 100.0);
+        println!(
+            "  {a:<14} flips the decision {:.0}% of the time when swapped",
+            s * 100.0
+        );
     }
 
     let t0 = std::time::Instant::now();
     let _ = srk.explain(&ctx, t).unwrap();
     let cce_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!("\nCCE explained the same pair in {cce_ms:.3} ms — {:.0}x faster", certa_ms / cce_ms.max(1e-9));
+    println!(
+        "\nCCE explained the same pair in {cce_ms:.3} ms — {:.0}x faster",
+        certa_ms / cce_ms.max(1e-9)
+    );
 }

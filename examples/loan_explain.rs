@@ -36,7 +36,11 @@ fn main() {
     let x0 = candidates
         .iter()
         .copied()
-        .find(|&t| srk.explain(&ctx, t).map(|k| k.succinctness() >= 2).unwrap_or(false))
+        .find(|&t| {
+            srk.explain(&ctx, t)
+                .map(|k| k.succinctness() >= 2)
+                .unwrap_or(false)
+        })
         .or_else(|| candidates.first().copied())
         .expect("a denied urban application exists");
     let x = infer.instance(x0).clone();
@@ -50,14 +54,20 @@ fn main() {
     let t0 = std::time::Instant::now();
     let formal = xr.explain(&x);
     let xr_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!("\nXreason ({xr_ms:.2} ms): {}", schema.render_conjunction(&x, &formal));
+    println!(
+        "\nXreason ({xr_ms:.2} ms): {}",
+        schema.render_conjunction(&x, &formal)
+    );
 
     // --- Heuristic: Anchor ----------------------------------------------
     let anchor = Anchor::new(&train, AnchorParams::default());
     let t0 = std::time::Instant::now();
     let rule = anchor.explain(&model, &x);
     let an_ms = t0.elapsed().as_secs_f64() * 1e3;
-    println!("Anchor  ({an_ms:.2} ms): {}", schema.render_conjunction(&x, &rule));
+    println!(
+        "Anchor  ({an_ms:.2} ms): {}",
+        schema.render_conjunction(&x, &rule)
+    );
 
     // Does a real inference instance violate Anchor's rule (Fig. 1's x1)?
     if let Some(v) = (0..ctx.len()).find(|&t| {

@@ -53,5 +53,8 @@ fn main() {
     //    application agreeing on the key features gets the same outcome.
     let key = cce.explain_row(0).expect("row 0 explainable");
     assert!(cce.context().is_alpha_key(key.features(), 0, Alpha::ONE));
-    println!("\nverified: the key conforms over all {} inference instances", cce.context().len());
+    println!(
+        "\nverified: the key conforms over all {} inference instances",
+        cce.context().len()
+    );
 }

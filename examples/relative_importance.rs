@@ -6,9 +6,7 @@
 //! cargo run --release --example relative_importance
 //! ```
 
-use relative_keys::core::{
-    importance, patterns, Alpha, Context, ImportanceParams, SummaryParams,
-};
+use relative_keys::core::{importance, patterns, Alpha, Context, ImportanceParams, SummaryParams};
 use relative_keys::dataset::synth;
 use relative_keys::prelude::*;
 
@@ -30,7 +28,10 @@ fn main() {
     let phi = importance::shapley_sampled(
         &ctx,
         t,
-        ImportanceParams { permutations: 256, seed: 1 },
+        ImportanceParams {
+            permutations: 256,
+            seed: 1,
+        },
     )
     .expect("valid target");
     println!(
@@ -47,7 +48,10 @@ fn main() {
     let key = Srk::new(Alpha::ONE).explain(&ctx, t).unwrap();
     println!(
         "  (relative key uses {:?})",
-        key.features().iter().map(|&f| &schema.feature(f).name).collect::<Vec<_>>()
+        key.features()
+            .iter()
+            .map(|&f| &schema.feature(f).name)
+            .collect::<Vec<_>>()
     );
 
     // --- Pattern-level summary relative to the context --------------------
@@ -56,7 +60,11 @@ fn main() {
     // the conformity IDS cannot offer.
     let summary = patterns::summarize(
         &ctx,
-        SummaryParams { max_patterns: 8, coverage_target: 0.9, ..Default::default() },
+        SummaryParams {
+            max_patterns: 8,
+            coverage_target: 0.9,
+            ..Default::default()
+        },
     )
     .expect("non-empty context");
     println!(

@@ -58,8 +58,7 @@ fn exact_solver_agrees_with_definition() {
                 // have found a smaller key first).
                 assert!(
                     !ctx.is_alpha_key(&smaller, t, Alpha::ONE)
-                        || verify::minimum_key_size(&ctx, t, Alpha::ONE)
-                            == Some(smaller.len()),
+                        || verify::minimum_key_size(&ctx, t, Alpha::ONE) == Some(smaller.len()),
                     "t={t}: solver missed a smaller key"
                 );
             }
@@ -82,7 +81,9 @@ fn online_monitors_stay_within_competitive_envelope() {
     for t0 in [0usize, 31, 77] {
         let x0 = ctx.instance(t0).clone();
         let p0 = ctx.prediction(t0);
-        let Ok(opt) = verify::minimum_key(&ctx, t0, Alpha::ONE) else { continue };
+        let Ok(opt) = verify::minimum_key(&ctx, t0, Alpha::ONE) else {
+            continue;
+        };
         let k_opt = opt.succinctness().max(1) as f64;
 
         let mut osrk = OsrkMonitor::new(x0.clone(), p0, Alpha::ONE, 5);
@@ -102,8 +103,8 @@ fn online_monitors_stay_within_competitive_envelope() {
             "t0={t0}: OSRK {} exceeds envelope {envelope} (opt {k_opt})",
             osrk.succinctness()
         );
-        let envelope_s =
-            ((universe.len() as f64).ln().max(1.0) * n.log2().max(1.0) * k_opt * 3.0).ceil() as usize;
+        let envelope_s = ((universe.len() as f64).ln().max(1.0) * n.log2().max(1.0) * k_opt * 3.0)
+            .ceil() as usize;
         assert!(
             ssrk.succinctness() <= envelope_s,
             "t0={t0}: SSRK {} exceeds envelope {envelope_s} (opt {k_opt})",
@@ -123,15 +124,17 @@ fn np_hardness_witness_structure() {
     let names: Vec<String> = (0..6).map(|v| format!("v{v}")).collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let schema = Arc::new(Schema::new(
-        (0..4).map(|i| FeatureDef::categorical(&format!("S{i}"), &name_refs)).collect(),
+        (0..4)
+            .map(|i| FeatureDef::categorical(&format!("S{i}"), &name_refs))
+            .collect(),
     ));
     // x = (0,0,0,0); element e_i differs from x exactly on the sets
     // containing it (distinct non-zero values).
     let membership = [
-        vec![0, 3],  // e1 ∈ S1, S4
-        vec![0, 1],  // e2 ∈ S1, S2
-        vec![1, 2],  // e3 ∈ S2, S3
-        vec![2, 3],  // e4 ∈ S3, S4
+        vec![0, 3], // e1 ∈ S1, S4
+        vec![0, 1], // e2 ∈ S1, S2
+        vec![1, 2], // e3 ∈ S2, S3
+        vec![2, 3], // e4 ∈ S3, S4
     ];
     let mut instances = vec![Instance::new(vec![0, 0, 0, 0])];
     let mut labels = vec![Label(0)];
@@ -145,7 +148,11 @@ fn np_hardness_witness_structure() {
     }
     let ctx = Context::new(schema, instances, labels);
     let opt = verify::minimum_key(&ctx, 0, Alpha::ONE).unwrap();
-    assert_eq!(opt.succinctness(), 2, "minimum set cover of this instance is 2");
+    assert_eq!(
+        opt.succinctness(),
+        2,
+        "minimum set cover of this instance is 2"
+    );
     // SRK must find a valid key within the Lemma 3 bound.
     let srk = Srk::new(Alpha::ONE).explain(&ctx, 0).unwrap();
     assert!(ctx.is_alpha_key(srk.features(), 0, Alpha::ONE));

@@ -56,7 +56,10 @@ fn certa_explains_matches_with_attribute_swaps() {
         assert_eq!(scores.len(), emd.attr_names.len());
         any_salient |= scores.iter().any(|&s| s > 0.0);
     }
-    assert!(any_salient, "attribute swaps must flip some decision in the panel");
+    assert!(
+        any_salient,
+        "attribute swaps must flip some decision in the panel"
+    );
 }
 
 #[test]

@@ -1,7 +1,9 @@
 //! End-to-end integration: the full CCE pipeline against every baseline
 //! on generated data, checking the paper's qualitative claims hold.
 
-use relative_keys::baselines::{Anchor, AnchorParams, KernelShap, Lime, LimeParams, ShapParams, Xreason};
+use relative_keys::baselines::{
+    Anchor, AnchorParams, KernelShap, Lime, LimeParams, ShapParams, Xreason,
+};
 use relative_keys::core::{Alpha, Context, Srk};
 use relative_keys::dataset::synth;
 use relative_keys::dataset::BinSpec;
@@ -9,7 +11,15 @@ use relative_keys::metrics::{conformity, mean_precision, Explained};
 use relative_keys::model::{Gbdt, GbdtParams};
 use relative_keys::prelude::rand_seed;
 
-fn setup(name: &str, rows_scale: f64) -> (relative_keys::dataset::Dataset, relative_keys::dataset::Dataset, Gbdt, Context) {
+fn setup(
+    name: &str,
+    rows_scale: f64,
+) -> (
+    relative_keys::dataset::Dataset,
+    relative_keys::dataset::Dataset,
+    Gbdt,
+    Context,
+) {
     let raw = synth::general_dataset(name, rows_scale, 42).unwrap();
     let ds = raw.encode(&BinSpec::uniform(8));
     let mut rng = rand_seed(1);
@@ -32,7 +42,9 @@ fn cce_is_perfectly_conformant_where_baselines_are_not_guaranteed() {
     let mut shap_items = Vec::new();
     let mut anchor_items = Vec::new();
     for t in (0..ctx.len()).step_by(ctx.len() / 12) {
-        let Ok(key) = srk.explain(&ctx, t) else { continue };
+        let Ok(key) = srk.explain(&ctx, t) else {
+            continue;
+        };
         let k = key.succinctness().max(1);
         cce_items.push(Explained::new(t, key.features().to_vec()));
         let x = infer.instance(t);
@@ -47,7 +59,11 @@ fn cce_is_perfectly_conformant_where_baselines_are_not_guaranteed() {
         anchor_items.push(Explained::new(t, anchor.explain_with_size(&model, x, k)));
     }
     assert!(cce_items.len() >= 8, "most targets must be explainable");
-    assert_eq!(conformity(&ctx, &cce_items), 1.0, "CCE is formally conformant");
+    assert_eq!(
+        conformity(&ctx, &cce_items),
+        1.0,
+        "CCE is formally conformant"
+    );
     assert_eq!(mean_precision(&ctx, &cce_items), 1.0);
 
     // Heuristic methods carry no guarantee; at matched sizes at least one
@@ -56,7 +72,10 @@ fn cce_is_perfectly_conformant_where_baselines_are_not_guaranteed() {
         .iter()
         .map(|items| conformity(&ctx, items))
         .fold(1.0f64, f64::min);
-    assert!(worst < 1.0, "some heuristic should be non-conformant, worst={worst}");
+    assert!(
+        worst < 1.0,
+        "some heuristic should be non-conformant, worst={worst}"
+    );
 }
 
 #[test]
@@ -66,7 +85,9 @@ fn xreason_is_conformant_but_less_succinct() {
     let srk = Srk::new(Alpha::ONE);
     let (mut xr_total, mut cce_total, mut cases) = (0usize, 0usize, 0usize);
     for t in (0..ctx.len()).step_by(11) {
-        let Ok(key) = srk.explain(&ctx, t) else { continue };
+        let Ok(key) = srk.explain(&ctx, t) else {
+            continue;
+        };
         let formal = xr.explain(infer.instance(t));
         // Formal explanations conform over the context too (they conform
         // over the whole space).
@@ -95,7 +116,10 @@ fn relative_keys_are_fast() {
     }
     let per_instance_ms = start.elapsed().as_secs_f64() * 1e3 / explained.max(1) as f64;
     // Debug-build budget; release is ~100x below the paper's 7-11 ms.
-    assert!(per_instance_ms < 50.0, "SRK too slow: {per_instance_ms} ms/instance");
+    assert!(
+        per_instance_ms < 50.0,
+        "SRK too slow: {per_instance_ms} ms/instance"
+    );
 }
 
 #[test]

@@ -20,7 +20,13 @@ fn sliding_window_tracks_model_phases() {
     let m2 = Gbdt::train(&phases[1], &GbdtParams::fast(), 0);
 
     let cap = 120;
-    let mut w = SlidingWindow::new(ds.schema_arc(), cap, 30, Alpha::ONE, ResolutionPolicy::LastWins);
+    let mut w = SlidingWindow::new(
+        ds.schema_arc(),
+        cap,
+        30,
+        Alpha::ONE,
+        ResolutionPolicy::LastWins,
+    );
     // Phase 1 fills the window...
     for x in infer.instances().iter().take(cap) {
         w.push(x.clone(), m1.predict(x)).unwrap();
@@ -41,8 +47,13 @@ fn sliding_window_tracks_model_phases() {
 fn union_policy_is_superset_of_both_windows() {
     let raw = synth::loan::generate(400, 5);
     let ds = raw.encode(&BinSpec::uniform(8));
-    let mut w =
-        SlidingWindow::new(ds.schema_arc(), 80, 20, Alpha::ONE, ResolutionPolicy::UnionKey);
+    let mut w = SlidingWindow::new(
+        ds.schema_arc(),
+        80,
+        20,
+        Alpha::ONE,
+        ResolutionPolicy::UnionKey,
+    );
     for (x, y) in ds.iter().take(80) {
         w.push(x.clone(), y).unwrap();
     }
@@ -93,8 +104,13 @@ fn drift_monitor_contrasts_clean_and_noisy_streams() {
 fn window_context_matches_recent_stream() {
     let raw = synth::compas::generate(300, 8);
     let ds = raw.encode(&BinSpec::uniform(8));
-    let mut w =
-        SlidingWindow::new(ds.schema_arc(), 50, 10, Alpha::ONE, ResolutionPolicy::LastWins);
+    let mut w = SlidingWindow::new(
+        ds.schema_arc(),
+        50,
+        10,
+        Alpha::ONE,
+        ResolutionPolicy::LastWins,
+    );
     for (x, y) in ds.iter() {
         w.push(x.clone(), y).unwrap();
     }

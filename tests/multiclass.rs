@@ -54,12 +54,7 @@ fn multiclass_violators_count_any_other_class() {
 fn online_monitor_handles_three_classes() {
     let ctx = three_class_context();
     let t0 = 0;
-    let mut m = OsrkMonitor::new(
-        ctx.instance(t0).clone(),
-        ctx.prediction(t0),
-        Alpha::ONE,
-        9,
-    );
+    let mut m = OsrkMonitor::new(ctx.instance(t0).clone(), ctx.prediction(t0), Alpha::ONE, 9);
     for r in 1..ctx.len() {
         let _ = m.observe(ctx.instance(r).clone(), ctx.prediction(r));
     }
@@ -88,7 +83,11 @@ fn pattern_summary_separates_three_classes() {
     let ctx = three_class_context();
     let summary = patterns::summarize(
         &ctx,
-        SummaryParams { max_patterns: 24, coverage_target: 0.85, ..Default::default() },
+        SummaryParams {
+            max_patterns: 24,
+            coverage_target: 0.85,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut classes_seen = [false; 3];
@@ -141,7 +140,10 @@ fn forest_and_nb_disagree_but_both_explainable() {
         .iter()
         .filter(|x| forest.predict(x) != nb.predict(x))
         .count();
-    assert!(disagreements > 0, "different model families should disagree somewhere");
+    assert!(
+        disagreements > 0,
+        "different model families should disagree somewhere"
+    );
     for model in [&forest as &dyn Model, &nb as &dyn Model] {
         let ctx = Context::from_model(&infer, &model);
         let key = Srk::new(Alpha::ONE).explain(&ctx, 0).unwrap();

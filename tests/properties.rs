@@ -11,14 +11,14 @@ use std::sync::Arc;
 /// rows, binary predictions) plus a target row.
 fn arb_context() -> impl Strategy<Value = (Context, usize)> {
     (2usize..6, 3usize..24).prop_flat_map(|(n, m)| {
-        let rows = proptest::collection::vec(
-            (proptest::collection::vec(0u32..4, n), 0u32..2),
-            m..=m,
-        );
+        let rows =
+            proptest::collection::vec((proptest::collection::vec(0u32..4, n), 0u32..2), m..=m);
         rows.prop_map(move |rows| {
             let values: Vec<&str> = vec!["a", "b", "c", "d"];
             let schema = Arc::new(Schema::new(
-                (0..n).map(|i| FeatureDef::categorical(&format!("f{i}"), &values)).collect(),
+                (0..n)
+                    .map(|i| FeatureDef::categorical(&format!("f{i}"), &values))
+                    .collect(),
             ));
             let (xs, ps): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
             let ctx = Context::new(

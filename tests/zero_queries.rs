@@ -44,17 +44,26 @@ fn cce_makes_zero_model_queries_baselines_do_not() {
     let lime = Lime::new(&train, LimeParams::default());
     let _ = lime.importance(&model, x);
     let lime_queries = model.queries();
-    assert!(lime_queries > 100, "LIME queries heavily, got {lime_queries}");
+    assert!(
+        lime_queries > 100,
+        "LIME queries heavily, got {lime_queries}"
+    );
 
     model.reset();
     let shap = KernelShap::new(&train, ShapParams::default());
     let _ = shap.importance(&model, x);
     let shap_queries = model.queries();
-    assert!(shap_queries > 500, "SHAP queries heavily, got {shap_queries}");
+    assert!(
+        shap_queries > 500,
+        "SHAP queries heavily, got {shap_queries}"
+    );
 
     model.reset();
     let anchor = Anchor::new(&train, AnchorParams::default());
     let _ = anchor.explain(&model, x);
     let anchor_queries = model.queries();
-    assert!(anchor_queries > 100, "Anchor queries heavily, got {anchor_queries}");
+    assert!(
+        anchor_queries > 100,
+        "Anchor queries heavily, got {anchor_queries}"
+    );
 }

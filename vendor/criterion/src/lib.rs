@@ -1,0 +1,402 @@
+//! Vendored, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified relative to upstream): every benchmark is
+//! warmed up briefly, then timed over batches until a wall-clock budget
+//! is spent; the mean, min, and max per-iteration times are printed.
+//! There are no statistical outlier reports or HTML artifacts. Two
+//! environment knobs tune the budget:
+//!
+//! * `CRITERION_WARMUP_MS` — warm-up per benchmark (default 50),
+//! * `CRITERION_MEASURE_MS` — measurement per benchmark (default 300).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity; re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; this stand-in times each
+/// routine invocation individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's display identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id rendered as the bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Measurement state handed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Mean/min/max per-iteration nanoseconds and iteration count of the
+    /// last `iter*` call.
+    result: Option<Sample>,
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration.
+    pub min_ns: f64,
+    /// Slowest observed iteration.
+    pub max_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measure in growing batches so cheap routines aren't dominated
+        // by clock reads.
+        let mut batch: u64 = 1;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        while total < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            let per = dt.as_nanos() as f64 / batch as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+            total += dt;
+            iters += batch;
+            if dt < Duration::from_millis(5) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        self.result = Some(Sample {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            min_ns,
+            max_ns,
+            iters,
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup cost is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        while total < self.measure {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            let per = dt.as_nanos() as f64;
+            min_ns = min_ns.min(per);
+            max_ns = max_ns.max(per);
+            total += dt;
+            iters += 1;
+        }
+        self.result = Some(Sample {
+            mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+            min_ns,
+            max_ns,
+            iters,
+        });
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(
+    name: &str,
+    warm_up: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> Option<Sample> {
+    let mut b = Bencher {
+        warm_up,
+        measure,
+        result: None,
+    };
+    f(&mut b);
+    if let Some(s) = b.result {
+        let mut line = format!(
+            "{name:<48} time: [{} {} {}]  ({} iters)",
+            human(s.min_ns),
+            human(s.mean_ns),
+            human(s.max_ns),
+            s.iters
+        );
+        if let Some(t) = throughput {
+            let (amount, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let rate = amount / (s.mean_ns / 1e9);
+            line.push_str(&format!("  thrpt: {rate:.0} {unit}"));
+        }
+        println!("{line}");
+    } else {
+        println!("{name:<48} (no measurement recorded)");
+    }
+    b.result
+}
+
+/// The benchmark manager; collects and prints measurements.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    /// `(name, sample)` pairs in execution order.
+    samples: Vec<(String, Sample)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: env_ms("CRITERION_WARMUP_MS", 50),
+            measure: env_ms("CRITERION_MEASURE_MS", 300),
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; this stand-in accepts and ignores
+    /// them (cargo passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if let Some(s) = run_one(&id.id, self.warm_up, self.measure, None, &mut f) {
+            self.samples.push((id.id, s));
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far (exposed so harness code can
+    /// post-process, e.g. compute overhead ratios).
+    pub fn samples(&self) -> &[(String, Sample)] {
+        &self.samples
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream controls sampling counts; this stand-in keeps its
+    /// wall-clock budget and ignores the value.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream lengthens measurement; this stand-in uses the value as
+    /// the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.measure = d;
+        self
+    }
+
+    /// Annotates following benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(s) = run_one(
+            &full,
+            self.parent.warm_up,
+            self.parent.measure,
+            self.throughput,
+            &mut f,
+        ) {
+            self.parent.samples.push((full, s));
+        }
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (purely cosmetic here).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function invoking each benchmark function with
+/// a shared [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("batched", 1), |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.samples().len(), 2);
+        assert!(c
+            .samples()
+            .iter()
+            .all(|(_, s)| s.iters > 0 && s.mean_ns > 0.0));
+    }
+}

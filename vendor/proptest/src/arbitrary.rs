@@ -1,0 +1,71 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (uniform over its whole domain).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for primitives.
+#[derive(Debug, Clone, Copy)]
+pub struct FullDomain<T>(core::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+        impl Strategy for FullDomain<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullDomain<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullDomain(core::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    f64 => |rng| rng.next_f64();
+    f32 => |rng| rng.next_f64() as f32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = TestRng::from_seed(8);
+        let strat = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(strat.generate(&mut rng))] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+}

@@ -1,0 +1,303 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no shrinking: a strategy is just a
+/// deterministic function of the test RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// String-pattern strategies: a `&str` is treated as a (tiny subset of a)
+/// regex and generates matching `String`s.
+///
+/// Supported syntax: literal characters, `[...]` character classes with
+/// ranges (no negation), and the quantifiers `{n}`, `{n,m}`, `?`, `*`,
+/// `+` (`*`/`+` capped at 8 repeats). This covers patterns like
+/// `"[a-d ]{0,20}"`; anything fancier panics loudly rather than
+/// mis-generating.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let class: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {self:?}"))
+                        + i;
+                    let body = &chars[i + 1..close];
+                    assert!(
+                        body.first() != Some(&'^'),
+                        "negated classes are not supported in pattern {self:?}"
+                    );
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                            assert!(lo <= hi, "bad range in pattern {self:?}");
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling \\ in pattern {self:?}"));
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    assert!(
+                        !"(|)^$.".contains(c),
+                        "unsupported regex syntax {c:?} in pattern {self:?}"
+                    );
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(
+                !class.is_empty(),
+                "empty character class in pattern {self:?}"
+            );
+            // Optional quantifier.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {self:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.parse()
+                                .unwrap_or_else(|_| panic!("bad repeat in {self:?}")),
+                            b.parse()
+                                .unwrap_or_else(|_| panic!("bad repeat in {self:?}")),
+                        ),
+                        None => {
+                            let n: usize = body
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad repeat in {self:?}"));
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            assert!(lo <= hi, "bad repeat range in pattern {self:?}");
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tuples_and_combinators_compose() {
+        let mut rng = TestRng::from_seed(11);
+        let strat = (0u32..4, 1usize..=3).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..7).contains(&v), "v={v}");
+        }
+        let flat = (2usize..5).prop_flat_map(|n| crate::collection::vec(0u8..2, n..=n));
+        for _ in 0..50 {
+            let v = flat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        assert_eq!(Just(7).generate(&mut rng), 7);
+    }
+
+    #[test]
+    fn string_patterns_generate_matching_text() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[a-d ]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(
+                s.chars().all(|c| ('a'..='d').contains(&c) || c == ' '),
+                "{s:?}"
+            );
+        }
+        let s = "ab[0-1]+c?".generate(&mut rng);
+        assert!(s.starts_with("ab"), "{s:?}");
+        assert_eq!("x{3}".generate(&mut rng), "xxx");
+    }
+}
