@@ -1,0 +1,359 @@
+//! `exp_bench_batch` — measures the batch explanation engine and writes
+//! `BENCH_batch.json`, the first entry of the repo's `BENCH_*` perf
+//! trajectory.
+//!
+//! Three paths are timed over the same `explain_all` workload:
+//!
+//! * **before** — the pre-engine path: eager full-rescan indexed explain,
+//!   sequential, fresh allocations per target
+//!   ([`ContextIndex::explain_eager`]);
+//! * **lazy_seq** — lazy-greedy (CELF) selection with scratch reuse,
+//!   still sequential ([`ContextIndex::explain_with`]);
+//! * **after** — the full engine: lazy greedy + scratch reuse +
+//!   duplicate-row memoization + work-stealing scheduler
+//!   ([`Cce::explain_all_parallel`]).
+//!
+//! Alongside wall-clock rows/sec it records p50/p99 per-key latency, the
+//! memo hit rate, and the observability counters the optimizations move
+//! (`cce_explain_violator_scans_total`, `cce_lazy_greedy_skips_total`).
+//!
+//! Flags / environment:
+//!
+//! * `--quick` or `CCE_BENCH_QUICK=1` — 2 000-row contexts (CI mode;
+//!   default is the 10 000-row workload of the acceptance criteria),
+//! * `--out <path>` — output path (default `BENCH_batch.json`),
+//! * `--baseline <path>` — compare against a previous run and exit
+//!   non-zero when `after` rows/sec regresses by more than 20%.
+
+use std::time::Instant;
+
+use cce_core::{Alpha, Cce, CceConfig, Context, ContextIndex, ExplainScratch};
+use cce_dataset::{synth, BinSpec};
+
+/// One `(dataset, buckets, alpha)` measurement.
+struct RunResult {
+    dataset: &'static str,
+    buckets: usize,
+    alpha: f64,
+    rows: usize,
+    classes: usize,
+    memo_hit_rate: f64,
+    before_rows_per_sec: f64,
+    lazy_seq_rows_per_sec: f64,
+    after_rows_per_sec: f64,
+    speedup: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    violator_scans_before: u64,
+    violator_scans_after: u64,
+    lazy_skip_ratio: f64,
+}
+
+/// Sums a counter family's value, optionally restricted to one `algo`
+/// label, from a fresh registry snapshot.
+fn counter_value(name: &str, algo: Option<&str>) -> u64 {
+    cce_obs::registry()
+        .snapshot()
+        .entries
+        .iter()
+        .filter(|e| {
+            e.name == name
+                && algo.is_none_or(|a| e.labels.get("algo").map(String::as_str) == Some(a))
+        })
+        .map(|e| match e.value {
+            cce_obs::MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum()
+}
+
+fn percentile(sorted_ns: &[u64], pct: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * pct).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+/// Runs `f` `reps` times and returns the fastest wall-clock seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn run_config(
+    dataset: &'static str,
+    buckets: usize,
+    alpha_v: f64,
+    rows: usize,
+    threads: usize,
+    reps: usize,
+) -> RunResult {
+    // Generate at the exact requested row count (`general_dataset` scales
+    // the paper's sizes; the bench wants a controlled context).
+    let raw = match dataset {
+        "Loan" => synth::loan::generate(rows, 42),
+        "Compas" => synth::compas::generate(rows, 42),
+        other => panic!("unsupported bench dataset {other}"),
+    };
+    let ds = raw.encode(&BinSpec::uniform(buckets));
+    let ctx = Context::from_recorded(&ds);
+    let alpha = Alpha::new(alpha_v).expect("valid alpha");
+    let n = ctx.len();
+
+    // Every measured side pays the full `explain_all` cost, index build
+    // included — that is what the batch entry point actually does.
+
+    // --- before: eager sequential (the pre-engine explain_all) ---------
+    let scans_eager_0 = counter_value("cce_explain_violator_scans_total", Some("indexed_eager"));
+    let mut before_keys = 0usize;
+    let before_secs = time_best(reps, || {
+        let idx = ContextIndex::new(&ctx);
+        let mut keys = 0usize;
+        for t in 0..n {
+            keys += usize::from(idx.explain_eager(&ctx, t, alpha).is_ok());
+        }
+        before_keys = keys;
+    });
+    let violator_scans_before =
+        (counter_value("cce_explain_violator_scans_total", Some("indexed_eager")) - scans_eager_0)
+            / reps as u64;
+
+    // --- lazy sequential with scratch reuse ----------------------------
+    let scans_lazy_0 = counter_value("cce_explain_violator_scans_total", Some("indexed"));
+    let skips_0 = counter_value("cce_lazy_greedy_skips_total", None);
+    let mut lazy_keys = 0usize;
+    let lazy_secs = time_best(reps, || {
+        let idx = ContextIndex::new(&ctx);
+        let mut scratch = ExplainScratch::new();
+        let mut keys = 0usize;
+        for t in 0..n {
+            keys += usize::from(idx.explain_with(&ctx, t, alpha, &mut scratch).is_ok());
+        }
+        lazy_keys = keys;
+    });
+    let violator_scans_after = (counter_value("cce_explain_violator_scans_total", Some("indexed"))
+        - scans_lazy_0)
+        / reps as u64;
+    let lazy_skips = (counter_value("cce_lazy_greedy_skips_total", None) - skips_0) / reps as u64;
+    assert_eq!(
+        before_keys, lazy_keys,
+        "lazy and eager paths must succeed on identical targets"
+    );
+
+    // --- per-key latency percentiles (separate pass: the per-key timer
+    // pairs would otherwise inflate the throughput numbers) -------------
+    let idx = ContextIndex::new(&ctx);
+    let mut scratch = ExplainScratch::new();
+    let mut per_key_ns: Vec<u64> = Vec::with_capacity(n);
+    for t in 0..n {
+        let k0 = Instant::now();
+        let _ = idx.explain_with(&ctx, t, alpha, &mut scratch);
+        per_key_ns.push(k0.elapsed().as_nanos() as u64);
+    }
+
+    // --- after: the full engine (memo + work stealing) -----------------
+    let cce = Cce::with_context(
+        ctx.clone(),
+        CceConfig {
+            alpha,
+            ..CceConfig::default()
+        },
+    );
+    let warm = cce.explain_all_parallel(threads); // warm-up + correctness
+    assert_eq!(warm.len(), lazy_keys, "engine must produce the same keys");
+    let after_secs = time_best(reps, || {
+        assert_eq!(cce.explain_all_parallel(threads).len(), lazy_keys);
+    });
+
+    let (class_reps, _) = ctx.duplicate_classes();
+    let classes = class_reps.len();
+    per_key_ns.sort_unstable();
+    let denom = violator_scans_after + lazy_skips;
+    RunResult {
+        dataset,
+        buckets,
+        alpha: alpha_v,
+        rows: n,
+        classes,
+        memo_hit_rate: (n - classes) as f64 / n as f64,
+        before_rows_per_sec: n as f64 / before_secs,
+        lazy_seq_rows_per_sec: n as f64 / lazy_secs,
+        after_rows_per_sec: n as f64 / after_secs,
+        speedup: before_secs / after_secs,
+        p50_ns: percentile(&per_key_ns, 0.50),
+        p99_ns: percentile(&per_key_ns, 0.99),
+        violator_scans_before,
+        violator_scans_after,
+        lazy_skip_ratio: if denom == 0 {
+            0.0
+        } else {
+            lazy_skips as f64 / denom as f64
+        },
+    }
+}
+
+fn to_json(results: &[RunResult], rows: usize, threads: usize, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"batch_engine\",\n");
+    out.push_str(&format!("  \"rows\": {rows},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"dataset\": \"{}\", ", r.dataset));
+        out.push_str(&format!("\"buckets\": {}, ", r.buckets));
+        out.push_str(&format!("\"alpha\": {}, ", r.alpha));
+        out.push_str(&format!("\"rows\": {}, ", r.rows));
+        out.push_str(&format!("\"classes\": {}, ", r.classes));
+        out.push_str(&format!("\"memo_hit_rate\": {:.4}, ", r.memo_hit_rate));
+        out.push_str(&format!(
+            "\"before_rows_per_sec\": {:.1}, ",
+            r.before_rows_per_sec
+        ));
+        out.push_str(&format!(
+            "\"lazy_seq_rows_per_sec\": {:.1}, ",
+            r.lazy_seq_rows_per_sec
+        ));
+        out.push_str(&format!(
+            "\"after_rows_per_sec\": {:.1}, ",
+            r.after_rows_per_sec
+        ));
+        out.push_str(&format!("\"speedup\": {:.2}, ", r.speedup));
+        out.push_str(&format!("\"p50_ns\": {}, ", r.p50_ns));
+        out.push_str(&format!("\"p99_ns\": {}, ", r.p99_ns));
+        out.push_str(&format!(
+            "\"violator_scans_before\": {}, ",
+            r.violator_scans_before
+        ));
+        out.push_str(&format!(
+            "\"violator_scans_after\": {}, ",
+            r.violator_scans_after
+        ));
+        out.push_str(&format!("\"lazy_skip_ratio\": {:.4}", r.lazy_skip_ratio));
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts every `"<key>": <number>` occurrence from a JSON document, in
+/// document order — enough structure for the baseline comparison without
+/// a JSON dependency.
+fn extract_numbers(doc: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Compares `after_rows_per_sec` against a baseline document; returns the
+/// number of >20% regressions (0 = pass).
+fn check_baseline(current: &str, baseline: &str) -> usize {
+    let cur = extract_numbers(current, "after_rows_per_sec");
+    let base = extract_numbers(baseline, "after_rows_per_sec");
+    if cur.len() != base.len() {
+        eprintln!(
+            "baseline shape mismatch ({} vs {} configs) — regenerate the baseline; skipping check",
+            base.len(),
+            cur.len()
+        );
+        return 0;
+    }
+    let mut regressions = 0;
+    for (i, (c, b)) in cur.iter().zip(&base).enumerate() {
+        if *c < 0.8 * *b {
+            eprintln!(
+                "REGRESSION: config {i}: {c:.1} rows/sec vs baseline {b:.1} (>{:.0}% drop)",
+                (1.0 - c / b) * 100.0
+            );
+            regressions += 1;
+        } else {
+            eprintln!("ok: config {i}: {c:.1} rows/sec vs baseline {b:.1}");
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let quick = flag("--quick")
+        || std::env::var("CCE_BENCH_QUICK")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let baseline_path = opt("--baseline");
+    let rows = if quick { 2_000 } else { 10_000 };
+    let reps = if quick { 2 } else { 3 };
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+
+    // The acceptance workload (Loan at α ∈ {1.0, 0.95}) plus a coarse
+    // 4-bucket encode, where binning collisions make rows collide and the
+    // duplicate-row memoization carries the win.
+    let configs: [(&'static str, usize, f64); 3] =
+        [("Loan", 10, 1.0), ("Loan", 10, 0.95), ("Loan", 4, 1.0)];
+    let mut results = Vec::new();
+    for (dataset, buckets, alpha) in configs {
+        eprintln!("running {dataset} buckets={buckets} α={alpha} rows={rows} threads={threads}…");
+        let r = run_config(dataset, buckets, alpha, rows, threads, reps);
+        eprintln!(
+            "  before {:>9.0} rows/s | lazy seq {:>9.0} | engine {:>9.0} ({:.2}×) | memo {:.0}% | skip {:.0}%",
+            r.before_rows_per_sec,
+            r.lazy_seq_rows_per_sec,
+            r.after_rows_per_sec,
+            r.speedup,
+            r.memo_hit_rate * 100.0,
+            r.lazy_skip_ratio * 100.0
+        );
+        results.push(r);
+    }
+
+    let json = to_json(&results, rows, threads, quick);
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("wrote {out_path}");
+    cce_bench::dump_metrics("bench_batch");
+
+    if let Some(bp) = baseline_path {
+        match std::fs::read_to_string(&bp) {
+            Ok(baseline) => {
+                let regressions = check_baseline(&json, &baseline);
+                if regressions > 0 {
+                    eprintln!("{regressions} regression(s) against {bp}");
+                    std::process::exit(1);
+                }
+                eprintln!("no regressions against {bp}");
+            }
+            Err(e) => eprintln!("baseline {bp} unreadable ({e}); skipping check"),
+        }
+    }
+}

@@ -11,11 +11,15 @@
 //!   by [`OsrkMonitor`] (or [`SsrkMonitor`] when the instance universe is
 //!   static and known, §5.3).
 
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
 use cce_dataset::{Instance, Label};
 
 use crate::alpha::Alpha;
 use crate::context::Context;
 use crate::error::ExplainError;
+use crate::index::ExplainScratch;
 use crate::key::RelativeKey;
 use crate::osrk::OsrkMonitor;
 use crate::srk::Srk;
@@ -57,12 +61,20 @@ impl Default for CceConfig {
 pub struct Cce {
     ctx: Context,
     config: CceConfig,
+    /// Lazily-built map from instance to its first context row, backing
+    /// [`Cce::explain_instance`]'s O(1) lookup. Kept coherent by
+    /// [`Cce::record`].
+    row_lookup: OnceLock<HashMap<Instance, usize>>,
 }
 
 impl Cce {
     /// Builds a batch-mode CCE over an already-collected context.
     pub fn with_context(ctx: Context, config: CceConfig) -> Self {
-        Self { ctx, config }
+        Self {
+            ctx,
+            config,
+            row_lookup: OnceLock::new(),
+        }
     }
 
     /// The collected context.
@@ -80,7 +92,19 @@ impl Cce {
     /// # Errors
     /// [`ExplainError::WidthMismatch`] on a wrong-width instance.
     pub fn record(&mut self, x: Instance, pred: Label) -> Result<(), ExplainError> {
-        self.ctx.push(x, pred)
+        let row = self.ctx.len();
+        if self.row_lookup.get().is_some() {
+            // Keep the built lookup warm; first occurrence wins, and the
+            // entry is only added once the width check has passed.
+            let key = x.clone();
+            self.ctx.push(x, pred)?;
+            if let Some(map) = self.row_lookup.get_mut() {
+                map.entry(key).or_insert(row);
+            }
+            Ok(())
+        } else {
+            self.ctx.push(x, pred)
+        }
     }
 
     /// Explains the context row `target` with an α-conformant relative key.
@@ -126,18 +150,22 @@ impl Cce {
     }
 
     /// Explains an instance by locating it in the context (it must have
-    /// been served, i.e. recorded).
+    /// been served, i.e. recorded). The first lookup builds a hash map
+    /// from instance to its first row; subsequent lookups are O(1)
+    /// instead of an `O(n·|I|)` linear scan.
     ///
     /// # Errors
-    /// [`ExplainError::TargetOutOfRange`] when the instance is not part of
-    /// the context, plus the failure modes of [`Srk::explain`].
+    /// [`ExplainError::UnknownInstance`] when the instance was never
+    /// recorded, plus the failure modes of [`Srk::explain`].
     pub fn explain_instance(&self, x: &Instance) -> Result<RelativeKey, ExplainError> {
-        let row = self.ctx.instances().iter().position(|y| y == x).ok_or(
-            ExplainError::TargetOutOfRange {
-                target: usize::MAX,
-                len: self.ctx.len(),
-            },
-        )?;
+        let lookup = self.row_lookup.get_or_init(|| {
+            let mut map = HashMap::with_capacity(self.ctx.len());
+            for (r, y) in self.ctx.instances().iter().enumerate() {
+                map.entry(y.clone()).or_insert(r);
+            }
+            map
+        });
+        let row = *lookup.get(x).ok_or(ExplainError::UnknownInstance)?;
         self.explain_row(row)
     }
 
@@ -173,9 +201,10 @@ impl Cce {
         let out = match self.config.mode {
             Mode::Batch => {
                 let idx = crate::ContextIndex::new(&self.ctx);
+                let mut scratch = ExplainScratch::new();
                 (0..self.ctx.len())
                     .filter_map(|t| {
-                        idx.explain(&self.ctx, t, self.config.alpha)
+                        idx.explain_with(&self.ctx, t, self.config.alpha, &mut scratch)
                             .ok()
                             .map(|k| (t, k))
                     })
@@ -190,93 +219,152 @@ impl Cce {
     }
 
     /// [`Cce::explain_all`] fanned out over `threads` worker threads
-    /// (clamped to `1..=len`).
+    /// (clamped to `1..=len`): the batch engine.
     ///
     /// Targets are independent (the context is read-only), so this is an
     /// embarrassingly parallel batch job; results are identical to the
-    /// sequential version and returned in row order.
+    /// sequential version and returned in row order. Two engine-level
+    /// optimizations ride on top of the lazy-greedy indexed path:
     ///
-    /// The batch survives worker failures: if a worker thread panics, its
-    /// chunk is recomputed sequentially with each target isolated, so one
-    /// poisoned target costs only its own key — never the batch. Panics
-    /// are counted in `cce_parallel_worker_panics_total` and
+    /// * **Duplicate-row memoization** (batch mode): every algorithm here
+    ///   depends on the target only through its `(instance, prediction)`
+    ///   pair, so identical rows provably receive identical keys. The
+    ///   engine partitions rows into equivalence classes
+    ///   ([`Context::duplicate_classes`]), explains each class's first
+    ///   row once, and fans the key out (`cce_batch_memo_hits_total`).
+    ///   Online replay is order-sensitive, so online mode keeps one class
+    ///   per row.
+    /// * **Work stealing**: instead of static chunks, workers claim
+    ///   striped batches of classes from a shared atomic cursor, so a run
+    ///   of slow targets (long keys, big violator sets) cannot straggle
+    ///   the batch behind one unlucky worker.
+    ///
+    /// The batch survives worker failures: each finished class is
+    /// published to a shared slot immediately, so a panicking worker
+    /// loses only its in-flight class; unfinished classes are recovered
+    /// sequentially with each target isolated under `catch_unwind`, and
+    /// one poisoned target costs only its own key — never the batch.
+    /// Panics are counted in `cce_parallel_worker_panics_total` and
     /// `cce_explain_errors_total{kind="panic"}`.
     pub fn explain_all_parallel(&self, threads: usize) -> Vec<(usize, RelativeKey)> {
         use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
 
         let n = self.ctx.len();
         if n == 0 {
             return Vec::new();
         }
-        let threads = threads.max(1).min(n);
-        let chunk = n.div_ceil(threads);
+        let threads = threads.clamp(1, n);
         // Batch mode shares one read-only index across all workers.
         let idx = match self.config.mode {
             Mode::Batch => Some(crate::ContextIndex::new(&self.ctx)),
             Mode::Online => None,
         };
         let idx = idx.as_ref();
-        let explain_one = |t: usize| {
-            #[cfg(test)]
-            if t == tests::PANIC_TARGET.load(std::sync::atomic::Ordering::Relaxed) {
-                panic!("injected test panic for target {t}");
-            }
-            match idx {
-                Some(idx) => idx.explain(&self.ctx, t, self.config.alpha),
-                None => self.explain_row(t),
+        // Duplicate-target memoization: identical (instance, prediction)
+        // rows get identical keys in batch mode, so each equivalence
+        // class is explained once. OSRK's replay depends on the target's
+        // position in the stream, so online mode gets one class per row.
+        let (reps, class_of) = match self.config.mode {
+            Mode::Batch => self.ctx.duplicate_classes(),
+            Mode::Online => ((0..n as u32).collect(), (0..n as u32).collect()),
+        };
+        let n_classes = reps.len();
+        cce_obs::counter!("cce_batch_memo_hits_total").add((n - n_classes) as u64);
+        cce_obs::counter!("cce_batch_memo_classes_total").add(n_classes as u64);
+
+        let explain_rep = |rep: usize, scratch: &mut ExplainScratch| match idx {
+            Some(idx) => idx.explain_with(&self.ctx, rep, self.config.alpha, scratch),
+            None => self.explain_row(rep),
+        };
+        let explain_rep = &explain_rep;
+        #[cfg(test)]
+        let trap = |row: usize| {
+            if row == tests::PANIC_TARGET.load(Ordering::Relaxed) {
+                panic!("injected test panic for target {row}");
             }
         };
-        let explain_one = &explain_one;
+        // One write-once slot per class: workers publish each result the
+        // moment it is computed, so nothing finished is ever lost to a
+        // later panic in the same worker.
+        let slots: Vec<OnceLock<Result<RelativeKey, ExplainError>>> =
+            (0..n_classes).map(|_| OnceLock::new()).collect();
+        let slots = &slots;
+        let cursor = AtomicUsize::new(0);
+        let cursor = &cursor;
+        // Stripes are sized so each worker claims ~8 batches: large
+        // enough to keep cursor contention negligible, small enough that
+        // skewed classes rebalance.
+        let stripe = n_classes.div_ceil(threads * 8).clamp(1, 256);
+
         let timer = cce_obs::SpanTimer::start(cce_obs::histogram!(
             "cce_batch_explain_ns",
             "mode" => "parallel"
         ));
-        let mut out: Vec<Vec<(usize, RelativeKey)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
+                .map(|_| {
+                    #[cfg(test)]
+                    let class_of = &class_of;
+                    let reps = &reps;
                     scope.spawn(move || {
-                        let keys: Vec<_> = (lo..hi)
-                            .filter_map(|t| explain_one(t).ok().map(|k| (t, k)))
-                            .collect();
-                        cce_obs::counter!("cce_batch_worker_keys_total").add(keys.len() as u64);
-                        keys
+                        let mut scratch = ExplainScratch::new();
+                        let mut keys: u64 = 0;
+                        loop {
+                            let start = cursor.fetch_add(stripe, Ordering::Relaxed);
+                            if start >= n_classes {
+                                break;
+                            }
+                            for c in start..(start + stripe).min(n_classes) {
+                                #[cfg(test)]
+                                class_of
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|&(_, &cc)| cc as usize == c)
+                                    .for_each(|(row, _)| trap(row));
+                                let res = explain_rep(reps[c] as usize, &mut scratch);
+                                keys += u64::from(res.is_ok());
+                                let _ = slots[c].set(res);
+                            }
+                        }
+                        cce_obs::counter!("cce_batch_worker_keys_total").add(keys);
                     })
                 })
                 .collect();
-            for (w, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(keys) => out.push(keys),
-                    Err(_) => {
-                        // The worker died mid-chunk. Recover its chunk
-                        // sequentially with each target isolated, so only
-                        // the poisoned target's key is lost.
-                        cce_obs::counter!("cce_parallel_worker_panics_total").inc();
-                        let lo = w * chunk;
-                        let hi = ((w + 1) * chunk).min(n);
-                        let mut keys = Vec::new();
-                        for t in lo..hi {
-                            match catch_unwind(AssertUnwindSafe(|| explain_one(t))) {
-                                Ok(Ok(k)) => keys.push((t, k)),
-                                Ok(Err(_)) => {}
-                                Err(_) => {
-                                    cce_obs::counter!(
-                                        "cce_explain_errors_total",
-                                        "kind" => "panic"
-                                    )
-                                    .inc();
-                                }
-                            }
-                        }
-                        out.push(keys);
-                    }
+            for h in handles {
+                if h.join().is_err() {
+                    cce_obs::counter!("cce_parallel_worker_panics_total").inc();
                 }
             }
         });
+        // Fan classes back out to rows, in row order. A class left unset
+        // by a dead worker is recovered here with each of its rows
+        // isolated, so only a genuinely poisoned target loses its key.
+        let mut recovery_scratch = ExplainScratch::new();
+        let mut out = Vec::with_capacity(n);
+        for (r, &class) in class_of.iter().enumerate() {
+            let c = class as usize;
+            match slots[c].get() {
+                Some(Ok(k)) => out.push((r, k.clone())),
+                Some(Err(_)) => {}
+                None => {
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(test)]
+                        trap(r);
+                        explain_rep(reps[c] as usize, &mut recovery_scratch)
+                    }));
+                    match attempt {
+                        Ok(Ok(k)) => out.push((r, k)),
+                        Ok(Err(_)) => {}
+                        Err(_) => {
+                            cce_obs::counter!("cce_explain_errors_total", "kind" => "panic").inc();
+                        }
+                    }
+                }
+            }
+        }
         timer.stop();
-        out.into_iter().flatten().collect()
+        out
     }
 
     /// Context-relative Shapley importance for the context row `target`
@@ -374,7 +462,36 @@ mod tests {
         let n = cce.context().schema().n_features();
         // A value outside every feature's domain cannot be in the context.
         let ghost = Instance::new(vec![u32::MAX; n]);
-        assert!(cce.explain_instance(&ghost).is_err());
+        assert_eq!(
+            cce.explain_instance(&ghost),
+            Err(ExplainError::UnknownInstance)
+        );
+    }
+
+    #[test]
+    fn explain_instance_lookup_stays_coherent_after_record() {
+        let mut cce = setup();
+        let n = cce.context().schema().n_features();
+        let ghost = Instance::new(vec![u32::MAX; n]);
+        // Build the lookup, prove the instance is unknown...
+        assert_eq!(
+            cce.explain_instance(&ghost),
+            Err(ExplainError::UnknownInstance)
+        );
+        // ...then record it: the warm lookup must see the new row.
+        cce.record(ghost.clone(), Label(0)).unwrap();
+        assert!(cce.explain_instance(&ghost).is_ok());
+        // After recording a duplicate, the incrementally-updated lookup
+        // must agree with a from-scratch rebuild (first occurrence wins
+        // in both).
+        let first = cce.context().instance(0).clone();
+        cce.record(first.clone(), Label(1)).unwrap();
+        let warm = cce.explain_instance(&first);
+        let fresh = Cce::with_context(cce.context().clone(), cce.config());
+        assert_eq!(fresh.explain_instance(&first), warm);
+        // And a wrong-width record still fails without poisoning the map.
+        assert!(cce.record(Instance::new(vec![0]), Label(0)).is_err());
+        assert_eq!(cce.explain_instance(&first), warm);
     }
 
     #[test]
@@ -404,6 +521,55 @@ mod tests {
         for threads in [1usize, 2, 4] {
             let par = cce.explain_all_parallel(threads);
             assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    /// A duplicate-heavy context: the base context plus same-prediction
+    /// twins of every 3rd row and flipped-prediction twins of every 11th,
+    /// exercising both memo sharing and memoized error classes.
+    fn setup_with_duplicates() -> Cce {
+        let base = setup();
+        let mut ctx = base.context().clone();
+        for t in (0..base.context().len()).step_by(3) {
+            let x = base.context().instance(t).clone();
+            ctx.push(x, base.context().prediction(t)).unwrap();
+        }
+        for t in (0..base.context().len()).step_by(11) {
+            let x = base.context().instance(t).clone();
+            let flipped = Label(u32::from(base.context().prediction(t).0 == 0));
+            ctx.push(x, flipped).unwrap();
+        }
+        Cce::with_context(
+            ctx,
+            CceConfig {
+                alpha: Alpha::new(0.95).unwrap(),
+                ..CceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn work_stealing_is_deterministic_across_thread_counts() {
+        let _guard = panic_trap_lock();
+        let cce = setup_with_duplicates();
+        // The sequential path is memo-free, so this differentially checks
+        // memoization + work stealing against per-row recomputation.
+        let seq = cce.explain_all();
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(cce.explain_all_parallel(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn memoized_twins_get_identical_keys() {
+        let _guard = panic_trap_lock();
+        let cce = setup_with_duplicates();
+        let keys: std::collections::HashMap<usize, RelativeKey> =
+            cce.explain_all_parallel(4).into_iter().collect();
+        let (reps, class_of) = cce.context().duplicate_classes();
+        for r in 0..cce.context().len() {
+            let rep = reps[class_of[r] as usize] as usize;
+            assert_eq!(keys.get(&r), keys.get(&rep), "row {r} vs rep {rep}");
         }
     }
 

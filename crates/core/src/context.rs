@@ -221,6 +221,30 @@ impl Context {
         )
     }
 
+    /// Partitions the rows into `(instance, prediction)` equivalence
+    /// classes: `reps[c]` is the first row of class `c` (classes are in
+    /// first-occurrence order) and `class_of[r]` maps every row to its
+    /// class.
+    ///
+    /// Every explanation algorithm in this crate depends on the target
+    /// only through its instance values and prediction, so rows of one
+    /// class provably receive identical keys — the batch engine explains
+    /// each class once and fans the key out (duplicate-row memoization).
+    pub fn duplicate_classes(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut reps: Vec<u32> = Vec::new();
+        let mut class_of: Vec<u32> = Vec::with_capacity(self.len());
+        let mut seen: std::collections::HashMap<(&Instance, Label), u32> =
+            std::collections::HashMap::with_capacity(self.len());
+        for (r, (x, &p)) in self.instances.iter().zip(&self.predictions).enumerate() {
+            let id = *seen.entry((x, p)).or_insert_with(|| {
+                reps.push(r as u32);
+                (reps.len() - 1) as u32
+            });
+            class_of.push(id);
+        }
+        (reps, class_of)
+    }
+
     /// The largest α for which `feats` is an α-conformant key for the
     /// target — the *precision* of the explanation over this context
     /// (§7.1(b)).
@@ -332,6 +356,28 @@ mod tests {
             empty.check_target(0),
             Err(ExplainError::EmptyContext)
         ));
+    }
+
+    #[test]
+    fn duplicate_classes_partition_by_instance_and_prediction() {
+        let (mut ctx, _) = figure2();
+        // x0 and x3 are identical rows with identical predictions; add a
+        // flipped-prediction twin of x0, which must form its own class.
+        let twin = ctx.instance(0).clone();
+        ctx.push(twin, Label(1)).unwrap();
+        let (reps, class_of) = ctx.duplicate_classes();
+        assert_eq!(class_of.len(), ctx.len());
+        assert_eq!(class_of[0], class_of[3], "identical rows share a class");
+        assert_ne!(class_of[0], class_of[7], "flipped twin is a new class");
+        assert_eq!(reps.len(), 7, "7 rows + 1 duplicate + 1 new class");
+        for (c, &rep) in reps.iter().enumerate() {
+            assert_eq!(
+                class_of[rep as usize] as usize, c,
+                "rep belongs to its class"
+            );
+            let first = class_of.iter().position(|&x| x as usize == c).unwrap();
+            assert_eq!(first as u32, rep, "rep is the first occurrence");
+        }
     }
 
     #[test]

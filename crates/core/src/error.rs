@@ -32,6 +32,10 @@ pub enum ExplainError {
         /// The tolerance `⌊(1 - α)·|I|⌋` that was exceeded.
         tolerance: usize,
     },
+    /// An explanation was requested for an instance that was never
+    /// recorded into the context (so it has no row — and no recorded
+    /// prediction — to explain relative to).
+    UnknownInstance,
     /// An instance with a different width than the context's schema was
     /// offered to an online monitor.
     WidthMismatch {
@@ -63,6 +67,9 @@ impl fmt::Display for ExplainError {
                 "no α-conformant key exists: {contradictions} contradicting instance(s) \
                  exceed the tolerance of {tolerance}"
             ),
+            ExplainError::UnknownInstance => {
+                write!(f, "instance was never recorded into this context")
+            }
             ExplainError::WidthMismatch { expected, got } => {
                 write!(f, "instance has {got} features, context expects {expected}")
             }
@@ -87,6 +94,7 @@ mod tests {
                 tolerance: 0,
             }
             .to_string(),
+            ExplainError::UnknownInstance.to_string(),
             ExplainError::WidthMismatch {
                 expected: 4,
                 got: 2,

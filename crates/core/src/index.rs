@@ -9,8 +9,35 @@
 //! soon as a handful of instances of the *same* context are explained
 //! (the `explain_all` / evaluation workload).
 //!
-//! The indexed path is differentially tested against [`Srk::explain`]:
+//! On top of the bitset representation, [`ContextIndex::explain`] runs a
+//! **lazy-greedy (CELF-style) selection**: a feature's marginal gain —
+//! the number of violators it would eliminate — is monotone
+//! non-increasing as the violator set shrinks, so a score computed in an
+//! earlier round is a valid *upper bound* on the current one. Candidates
+//! wait in a max-heap keyed by their last-known `(gain, coverage)`; each
+//! round re-evaluates only until the heap's top carries a fresh score,
+//! skipping the features whose stale bounds already lose (counted in
+//! `cce_lazy_greedy_skips_total`). Because the comparison key includes
+//! the supporter-coverage tie-break (also monotone non-increasing), the
+//! selected feature is *exactly* the one the full rescan would pick —
+//! including all tie-breaks — so the output is byte-identical to
+//! [`ContextIndex::explain_eager`] and [`Srk::explain`].
+//!
+//! Round 0 never touches a bitset at all: its scores depend on the
+//! target only through `(class, feature, value)`, so the index tabulates
+//! them at build time ([`ClassIndex::seed`]). Short keys — the common
+//! case — therefore cost a table argmax plus one fused materialization
+//! pass per picked feature, and empty keys (the tolerance already
+//! covers the violators) cost nothing.
+//!
+//! The indexed paths are differentially tested against [`Srk::explain`]:
 //! identical keys, always.
+//!
+//! [`Srk::explain`]: crate::Srk::explain
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
 
 use cce_dataset::Label;
 
@@ -20,7 +47,7 @@ use crate::error::ExplainError;
 use crate::key::RelativeKey;
 
 /// A dense bitset over context rows.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct RowSet {
     words: Vec<u64>,
 }
@@ -49,6 +76,43 @@ impl RowSet {
             .sum()
     }
 
+    /// Fused `(|self ∩ a|, |self ∩ b|)` in a single pass over the words.
+    ///
+    /// The seed-table build needs a posting's coverage against every
+    /// class; fusing two classes per pass halves the passes over the
+    /// posting words, and the 4-wide unrolling lets the two popcount
+    /// chains run independently (ILP) instead of serializing on one
+    /// accumulator.
+    fn count_and2(&self, a: &RowSet, b: &RowSet) -> (usize, usize) {
+        debug_assert_eq!(self.words.len(), a.words.len());
+        debug_assert_eq!(self.words.len(), b.words.len());
+        let mut ca: u64 = 0;
+        let mut cb: u64 = 0;
+        let mut pw = self.words.chunks_exact(4);
+        let mut aw = a.words.chunks_exact(4);
+        let mut bw = b.words.chunks_exact(4);
+        for ((p, av), bv) in (&mut pw).zip(&mut aw).zip(&mut bw) {
+            ca += u64::from((p[0] & av[0]).count_ones())
+                + u64::from((p[1] & av[1]).count_ones())
+                + u64::from((p[2] & av[2]).count_ones())
+                + u64::from((p[3] & av[3]).count_ones());
+            cb += u64::from((p[0] & bv[0]).count_ones())
+                + u64::from((p[1] & bv[1]).count_ones())
+                + u64::from((p[2] & bv[2]).count_ones())
+                + u64::from((p[3] & bv[3]).count_ones());
+        }
+        for ((p, av), bv) in pw
+            .remainder()
+            .iter()
+            .zip(aw.remainder())
+            .zip(bw.remainder())
+        {
+            ca += u64::from((p & av).count_ones());
+            cb += u64::from((p & bv).count_ones());
+        }
+        (ca as usize, cb as usize)
+    }
+
     /// `self ∩= other`.
     fn and_assign(&mut self, other: &RowSet) {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
@@ -56,20 +120,160 @@ impl RowSet {
         }
     }
 
+    /// `self ∩= other`, returning the new cardinality so the loop head
+    /// never re-popcounts the whole set.
+    fn and_assign_count(&mut self, other: &RowSet) -> usize {
+        let mut count: u64 = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+            count += u64::from(a.count_ones());
+        }
+        count as usize
+    }
+
     /// Complement within the first `rows` rows.
     fn not(&self, rows: usize) -> RowSet {
         let mut out = RowSet {
             words: self.words.iter().map(|w| !w).collect(),
         };
-        // Clear the padding tail so counts stay exact.
+        out.mask_tail(rows);
+        out
+    }
+
+    /// Overwrites `self` with `b ∩ ¬a` (within `rows`), returning the new
+    /// cardinality — the fused first-pick materialization of the violator
+    /// set (`posting ∩ ¬class`) in a single pass.
+    fn copy_and_not_count(&mut self, b: &RowSet, a: &RowSet, rows: usize) -> usize {
+        self.words.clear();
+        let mut count: u64 = 0;
+        self.words
+            .extend(b.words.iter().zip(&a.words).map(|(bw, aw)| {
+                let w = bw & !aw;
+                count += u64::from(w.count_ones());
+                w
+            }));
         let tail = rows % 64;
         if tail != 0 {
-            if let Some(last) = out.words.last_mut() {
+            if let Some(last) = self.words.last_mut() {
+                let masked = *last & ((1u64 << tail) - 1);
+                count -= u64::from((*last ^ masked).count_ones());
+                *last = masked;
+            }
+        }
+        count as usize
+    }
+
+    /// Overwrites `self` with `a ∩ b`, reusing the allocation.
+    fn copy_and_from(&mut self, a: &RowSet, b: &RowSet) {
+        self.words.clear();
+        self.words
+            .extend(a.words.iter().zip(&b.words).map(|(x, y)| x & y));
+    }
+
+    /// Clears the padding bits beyond `rows` so counts stay exact.
+    fn mask_tail(&mut self, rows: usize) {
+        let tail = rows % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
         }
-        out
     }
+}
+
+/// A lazy-greedy candidate: a feature with its last-evaluated score.
+///
+/// Each score component carries its own stamp — the selection round it
+/// was last computed in. A component is *fresh* when its stamp matches
+/// the current round and *stale* (score = upper bound) otherwise; both
+/// components are monotone non-increasing as picks shrink the live
+/// sets, so stale values stay valid upper bounds. Splitting the stamps
+/// lets a re-evaluation refresh `killed` with a cheap two-stream
+/// `count_and` and leave `cover` stale: the cover tie-break only
+/// matters when the heap's runner-up ties on `killed`, so most rounds
+/// never touch the supporter set at all.
+///
+/// Ordering is the greedy objective: maximize eliminated violators,
+/// then kept supporters, then prefer the lowest feature index — exactly
+/// the eager scan's `min (survivors, MAX - coverage)` with its
+/// first-wins tie-break.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    /// Violators this feature eliminated when `killed` was last fresh.
+    killed: usize,
+    /// Supporters this feature kept when `cover` was last fresh.
+    cover: usize,
+    /// The feature.
+    feat: usize,
+    /// Round `killed` was computed in.
+    kstamp: usize,
+    /// Round `cover` was computed in.
+    cstamp: usize,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.killed
+            .cmp(&other.killed)
+            .then(self.cover.cmp(&other.cover))
+            .then(other.feat.cmp(&self.feat))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Candidate {}
+
+/// Reusable per-worker buffers for [`ContextIndex::explain_with`].
+///
+/// A single explanation needs two row bitsets (live violators and
+/// supporters) and a candidate heap. Allocating them per target puts two
+/// heap allocations on every call of the batch loop; a worker instead
+/// owns one `ExplainScratch` and reuses it across its whole batch, so the
+/// steady-state loop allocates nothing but the returned key.
+#[derive(Debug, Default, Clone)]
+pub struct ExplainScratch {
+    violators: RowSet,
+    supporters: RowSet,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl ExplainScratch {
+    /// An empty scratch; buffers grow to the context's size on first use
+    /// and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One prediction class of the indexed context, with its round-0 seed
+/// scores.
+///
+/// The first greedy round scores every candidate feature against the
+/// *initial* live sets, which depend on the target only through its
+/// class: violator survivors are `|posting ∩ ¬class|` and supporter
+/// coverage is `|posting ∩ class|`. Both are constants of the index, so
+/// they are tabulated once at build time and round 0 of every
+/// explanation becomes a table lookup — zero bitset passes.
+#[derive(Debug, Clone)]
+struct ClassIndex {
+    label: Label,
+    /// Rows carrying this prediction.
+    rows: RowSet,
+    /// `|rows|`; the initial violator count is `context rows - size`.
+    size: usize,
+    /// `seed[f][v] = (surv0, cover0)` for posting `(f, v)`.
+    seed: Vec<Vec<(usize, usize)>>,
 }
 
 /// The posting-list index of one [`Context`].
@@ -81,8 +285,15 @@ pub struct ContextIndex {
     rows: usize,
     /// `by_value[f][v]` — rows where feature `f` takes value `v`.
     by_value: Vec<Vec<RowSet>>,
-    /// Distinct predictions and, aligned, the rows carrying each.
-    classes: Vec<(Label, RowSet)>,
+    /// Distinct predictions with their row sets and seed-score tables.
+    classes: Vec<ClassIndex>,
+    /// `exact_violators[r]` — rows identical to row `r` on *every*
+    /// feature but carrying a different prediction. This is the violator
+    /// count left after greedily picking all features (pick order cannot
+    /// change a full intersection), so a target is unsatisfiable iff it
+    /// exceeds the tolerance — an O(1) check replacing `n` futile greedy
+    /// rounds on contradiction-heavy rows.
+    exact_violators: Vec<usize>,
 }
 
 impl ContextIndex {
@@ -97,7 +308,25 @@ impl ContextIndex {
                     .collect()
             })
             .collect();
-        let mut classes: Vec<(Label, RowSet)> = Vec::new();
+        // Class discovery is hoisted into a pre-pass: one hash probe per
+        // row replaces the per-row linear scan over the class list, so
+        // the bit-setting loop below runs branch-predictably.
+        let mut classes: Vec<ClassIndex> = Vec::new();
+        let mut class_of: Vec<u32> = Vec::with_capacity(rows);
+        let mut class_ids: HashMap<Label, u32> = HashMap::new();
+        for r in 0..rows {
+            let p = ctx.prediction(r);
+            let id = *class_ids.entry(p).or_insert_with(|| {
+                classes.push(ClassIndex {
+                    label: p,
+                    rows: RowSet::zeros(rows),
+                    size: 0,
+                    seed: Vec::new(),
+                });
+                (classes.len() - 1) as u32
+            });
+            class_of.push(id);
+        }
         for r in 0..rows {
             let x = ctx.instance(r);
             for (f, posting) in by_value.iter_mut().enumerate() {
@@ -106,20 +335,60 @@ impl ContextIndex {
                     posting[v].set(r);
                 }
             }
-            let p = ctx.prediction(r);
-            match classes.iter_mut().find(|(l, _)| *l == p) {
-                Some((_, set)) => set.set(r),
-                None => {
-                    let mut set = RowSet::zeros(rows);
-                    set.set(r);
-                    classes.push((p, set));
+            classes[class_of[r] as usize].rows.set(r);
+        }
+        // Tabulate the round-0 seed scores: per class, per posting, the
+        // violator-survivor and supporter-coverage counts against the
+        // initial live sets. Classes are consumed two at a time through
+        // the fused `count_and2` kernel, so a binary-label context pays a
+        // single pass per posting — amortized over every explanation the
+        // index will serve.
+        for class in &mut classes {
+            class.size = class.rows.count();
+            class.seed = by_value
+                .iter()
+                .map(|postings| vec![(0, 0); postings.len()])
+                .collect();
+        }
+        let mut covers = vec![0usize; classes.len()];
+        for (f, postings) in by_value.iter().enumerate() {
+            for (v, posting) in postings.iter().enumerate() {
+                let total = posting.count();
+                let mut pairs = classes.chunks_exact(2);
+                for (c, pair) in (&mut pairs).enumerate() {
+                    let (c0, c1) = posting.count_and2(&pair[0].rows, &pair[1].rows);
+                    covers[2 * c] = c0;
+                    covers[2 * c + 1] = c1;
+                }
+                if let [last] = pairs.remainder() {
+                    covers[classes.len() - 1] = posting.count_and(&last.rows);
+                }
+                for (class, &cover) in classes.iter_mut().zip(&covers) {
+                    class.seed[f][v] = (total - cover, cover);
                 }
             }
         }
+        // One hash pass tabulates, per row, how many exact-instance twins
+        // carry a different prediction — the unsatisfiability certificate
+        // consulted before any greedy round runs.
+        let mut inst_count: HashMap<&cce_dataset::Instance, usize> = HashMap::new();
+        let mut pair_count: HashMap<(&cce_dataset::Instance, Label), usize> = HashMap::new();
+        for r in 0..rows {
+            *inst_count.entry(ctx.instance(r)).or_insert(0) += 1;
+            *pair_count
+                .entry((ctx.instance(r), ctx.prediction(r)))
+                .or_insert(0) += 1;
+        }
+        let exact_violators = (0..rows)
+            .map(|r| {
+                inst_count[ctx.instance(r)] - pair_count[&(ctx.instance(r), ctx.prediction(r))]
+            })
+            .collect();
         Self {
             rows,
             by_value,
             classes,
+            exact_violators,
         }
     }
 
@@ -136,6 +405,9 @@ impl ContextIndex {
     /// SRK over the index: identical output to [`Srk::explain`], much
     /// faster when many targets share the context.
     ///
+    /// Allocates a fresh [`ExplainScratch`] per call; batch loops should
+    /// hold one scratch and call [`ContextIndex::explain_with`] instead.
+    ///
     /// # Errors
     /// Same failure modes as [`Srk::explain`].
     ///
@@ -146,26 +418,216 @@ impl ContextIndex {
         target: usize,
         alpha: Alpha,
     ) -> Result<RelativeKey, ExplainError> {
+        self.explain_with(ctx, target, alpha, &mut ExplainScratch::new())
+    }
+
+    /// [`ContextIndex::explain`] with caller-provided scratch buffers:
+    /// the steady-state batch path, allocating nothing but the returned
+    /// key once the scratch has grown to the context's size.
+    ///
+    /// Selection is lazy-greedy (CELF): each round pops candidates off a
+    /// max-heap of last-known `(gain, coverage)` scores, re-evaluating
+    /// only until the top is fresh. Stale scores are valid upper bounds —
+    /// both the violator gain and the supporter coverage of a fixed
+    /// feature are monotone non-increasing as picks shrink the live sets —
+    /// so a fresh top beats every true score below it and the pick equals
+    /// the eager full rescan's, tie-breaks included.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain`].
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
+    pub fn explain_with(
+        &self,
+        ctx: &Context,
+        target: usize,
+        alpha: Alpha,
+        scratch: &mut ExplainScratch,
+    ) -> Result<RelativeKey, ExplainError> {
         ctx.check_target(target)?;
         assert_eq!(ctx.len(), self.rows, "index built for a different context");
         let n = ctx.schema().n_features();
         let tolerance = alpha.tolerance(self.rows);
-        let x0 = ctx.instance(target).clone();
+        let x0 = ctx.instance(target);
+        let p0 = ctx.prediction(target);
+
+        let class = self
+            .classes
+            .iter()
+            .find(|c| c.label == p0)
+            .expect("target's class is indexed");
+        // Violators of the empty key: every row of a different class.
+        let mut live_violators = self.rows - class.size;
+
+        // Unsatisfiable targets fail identically after `n` futile rounds:
+        // the violators surviving a full intersection are the target's
+        // differently-predicted exact twins, regardless of pick order.
+        // Certify the failure up front instead of scanning toward it.
+        if live_violators > tolerance && self.exact_violators[target] > tolerance {
+            cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
+            return Err(ExplainError::NoConformantKey {
+                contradictions: self.exact_violators[target],
+                tolerance,
+            });
+        }
+
+        let mut picked = Vec::new();
+        // Locally accumulated, flushed in one atomic add on success.
+        let mut evaluated: u64 = 0;
+        let mut eager_scans: u64 = 0;
+        while live_violators > tolerance {
+            if picked.len() == n {
+                cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: live_violators,
+                    tolerance,
+                });
+            }
+            eager_scans += (n - picked.len()) as u64;
+            let round = picked.len();
+            let best_feat = if round == 0 {
+                // Round 0 from the seed table: a linear argmax over
+                // precomputed scores, zero bitset passes, and no heap —
+                // one-feature keys never touch the scratch buffers.
+                let mut best = Candidate {
+                    killed: 0,
+                    cover: 0,
+                    feat: usize::MAX,
+                    kstamp: 0,
+                    cstamp: 0,
+                };
+                for (f, seeds) in class.seed.iter().enumerate() {
+                    let (surv0, cover0) = seeds[x0[f] as usize];
+                    let cand = Candidate {
+                        killed: live_violators - surv0,
+                        cover: cover0,
+                        feat: f,
+                        kstamp: 0,
+                        cstamp: 0,
+                    };
+                    if best.feat == usize::MAX || cand > best {
+                        best = cand;
+                    }
+                }
+                best.feat
+            } else {
+                if round == 1 {
+                    // A second round is actually needed: build the heap
+                    // now. The stamp-0 seed scores are stale but remain
+                    // valid upper bounds (both components are monotone
+                    // non-increasing as picks shrink the live sets).
+                    scratch.heap.clear();
+                    for (f, seeds) in class.seed.iter().enumerate() {
+                        if f == picked[0] {
+                            continue;
+                        }
+                        let (surv0, cover0) = seeds[x0[f] as usize];
+                        scratch.heap.push(Candidate {
+                            killed: (self.rows - class.size) - surv0,
+                            cover: cover0,
+                            feat: f,
+                            kstamp: 0,
+                            cstamp: 0,
+                        });
+                    }
+                }
+                loop {
+                    let mut top = scratch.heap.pop().expect("unpicked candidates remain");
+                    let posting = &self.by_value[top.feat][x0[top.feat] as usize];
+                    if top.kstamp < round {
+                        // Refresh the primary component only; the stale
+                        // cover stays a valid upper bound for ordering.
+                        let surv = scratch.violators.count_and(posting);
+                        evaluated += 1;
+                        top.killed = live_violators - surv;
+                        top.kstamp = round;
+                        scratch.heap.push(top);
+                        continue;
+                    }
+                    // Fresh `killed`: the top dominates every true killed
+                    // count below it. The cover tie-break can only change
+                    // the pick if the runner-up's killed *upper bound*
+                    // ties — otherwise every other true score already
+                    // loses on the first component.
+                    let tie = scratch
+                        .heap
+                        .peek()
+                        .is_some_and(|next| next.killed == top.killed);
+                    if top.cstamp == round || !tie {
+                        // A fresh (killed, cover) top beats every stale
+                        // upper bound below it, hence every true score —
+                        // including the first-wins feature tie-break (an
+                        // equal-tuple rival with a lower index would have
+                        // popped first).
+                        break top.feat;
+                    }
+                    top.cover = scratch.supporters.count_and(posting);
+                    top.cstamp = round;
+                    scratch.heap.push(top);
+                }
+            };
+            picked.push(best_feat);
+            let posting = &self.by_value[best_feat][x0[best_feat] as usize];
+            if round == 0 {
+                // First pick: materialize the live sets fused with the
+                // pick's intersection — `posting ∩ ¬class` and
+                // `posting ∩ class` in one pass each.
+                live_violators =
+                    scratch
+                        .violators
+                        .copy_and_not_count(posting, &class.rows, self.rows);
+                scratch.supporters.copy_and_from(posting, &class.rows);
+            } else {
+                live_violators = scratch.violators.and_assign_count(posting);
+                scratch.supporters.and_assign(posting);
+            }
+        }
+        cce_obs::counter!("cce_explain_keys_total", "algo" => "indexed").inc();
+        cce_obs::histogram!("cce_explain_key_length", "algo" => "indexed")
+            .record(picked.len() as u64);
+        cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed").add(evaluated);
+        // Skips = evaluations the eager rescan would have done but the
+        // seed table (all of round 0) or the heap proved unnecessary.
+        // Later rounds re-evaluate each candidate at most once, so the
+        // subtraction cannot underflow.
+        cce_obs::counter!("cce_lazy_greedy_skips_total").add(eager_scans - evaluated);
+        let achieved = 1.0 - live_violators as f64 / self.rows as f64;
+        Ok(RelativeKey::new(picked, alpha, achieved))
+    }
+
+    /// The pre-CELF eager scan: every round re-evaluates every unpicked
+    /// feature. Identical output to [`ContextIndex::explain`]; kept as
+    /// the differential-testing reference and the `BENCH_batch.json`
+    /// "before" baseline.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain`].
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
+    pub fn explain_eager(
+        &self,
+        ctx: &Context,
+        target: usize,
+        alpha: Alpha,
+    ) -> Result<RelativeKey, ExplainError> {
+        ctx.check_target(target)?;
+        assert_eq!(ctx.len(), self.rows, "index built for a different context");
+        let n = ctx.schema().n_features();
+        let tolerance = alpha.tolerance(self.rows);
+        let x0 = ctx.instance(target);
         let p0 = ctx.prediction(target);
 
         let same_class = &self
             .classes
             .iter()
-            .find(|(l, _)| *l == p0)
+            .find(|c| c.label == p0)
             .expect("target's class is indexed")
-            .1;
-        // Violators: differing prediction, agreeing on the (empty) key.
+            .rows;
         let mut violators = same_class.not(self.rows);
         let mut supporters = same_class.clone();
 
         let mut picked = Vec::new();
         let mut in_key = vec![false; n];
-        // Locally accumulated, flushed in one atomic add on success.
         let mut scanned: u64 = 0;
         while violators.count() > tolerance {
             if picked.len() == n {
@@ -200,10 +662,11 @@ impl ContextIndex {
             violators.and_assign(posting);
             supporters.and_assign(posting);
         }
-        cce_obs::counter!("cce_explain_keys_total", "algo" => "indexed").inc();
-        cce_obs::histogram!("cce_explain_key_length", "algo" => "indexed")
+        cce_obs::counter!("cce_explain_keys_total", "algo" => "indexed_eager").inc();
+        cce_obs::histogram!("cce_explain_key_length", "algo" => "indexed_eager")
             .record(picked.len() as u64);
-        cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed").add(scanned);
+        cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed_eager")
+            .add(scanned);
         let achieved = 1.0 - violators.count() as f64 / self.rows as f64;
         Ok(RelativeKey::new(picked, alpha, achieved))
     }
@@ -229,14 +692,22 @@ mod tests {
     fn indexed_explain_matches_srk_exactly() {
         for ctx in contexts() {
             let idx = ContextIndex::new(&ctx);
+            let mut scratch = ExplainScratch::new();
             for &a in &[1.0, 0.95, 0.9] {
                 let alpha = Alpha::new(a).unwrap();
                 let srk = Srk::new(alpha);
                 for t in (0..ctx.len()).step_by(7) {
+                    let expected = srk.explain(&ctx, t);
+                    assert_eq!(idx.explain(&ctx, t, alpha), expected, "α={a} target={t}");
                     assert_eq!(
-                        idx.explain(&ctx, t, alpha),
-                        srk.explain(&ctx, t),
-                        "α={a} target={t}"
+                        idx.explain_eager(&ctx, t, alpha),
+                        expected,
+                        "eager α={a} target={t}"
+                    );
+                    assert_eq!(
+                        idx.explain_with(&ctx, t, alpha, &mut scratch),
+                        expected,
+                        "scratch-reuse α={a} target={t}"
                     );
                 }
             }
@@ -254,6 +725,79 @@ mod tests {
             let c = s.not(rows);
             assert_eq!(s.count() + c.count(), rows, "rows={rows}");
             assert_eq!(s.count_and(&c), 0);
+        }
+    }
+
+    #[test]
+    fn fused_copy_kernels_match_composed_ops() {
+        // `copy_and_not_count` and `copy_and_from` must agree with the
+        // composed not/and at every word-boundary shape, including a
+        // posting with bits in the (masked) tail word's valid range.
+        for rows in [1usize, 63, 64, 65, 128, 130, 300] {
+            let mut class = RowSet::zeros(rows);
+            let mut posting = RowSet::zeros(rows);
+            for r in 0..rows {
+                if r % 2 == 0 {
+                    class.set(r);
+                }
+                if r % 3 != 1 {
+                    posting.set(r);
+                }
+            }
+            let mut fused = RowSet::default();
+            let live = fused.copy_and_not_count(&posting, &class, rows);
+            let mut expected = class.not(rows);
+            expected.and_assign(&posting);
+            assert_eq!(fused, expected, "rows={rows}");
+            assert_eq!(live, expected.count(), "rows={rows}");
+
+            fused.copy_and_from(&posting, &class);
+            let mut both = class.clone();
+            both.and_assign(&posting);
+            assert_eq!(fused, both, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn fused_count_and2_matches_two_count_ands() {
+        // Cross the 4-word unrolling boundary (≤4, exactly 4, >4 words).
+        for rows in [3usize, 64, 256, 300, 1027] {
+            let mut p = RowSet::zeros(rows);
+            let mut a = RowSet::zeros(rows);
+            let mut b = RowSet::zeros(rows);
+            for r in 0..rows {
+                if r % 3 == 0 {
+                    p.set(r);
+                }
+                if r % 2 == 0 {
+                    a.set(r);
+                }
+                if r % 5 == 0 {
+                    b.set(r);
+                }
+            }
+            let (ca, cb) = p.count_and2(&a, &b);
+            assert_eq!(ca, p.count_and(&a), "rows={rows}");
+            assert_eq!(cb, p.count_and(&b), "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn and_assign_count_returns_new_cardinality() {
+        for rows in [5usize, 64, 200] {
+            let mut a = RowSet::zeros(rows);
+            let mut b = RowSet::zeros(rows);
+            for r in 0..rows {
+                if r % 2 == 0 {
+                    a.set(r);
+                }
+                if r % 3 == 0 {
+                    b.set(r);
+                }
+            }
+            let expected = a.count_and(&b);
+            assert_eq!(a.and_assign_count(&b), expected, "rows={rows}");
+            assert_eq!(a.count(), expected);
         }
     }
 
@@ -285,9 +829,22 @@ mod tests {
         with_twin.push(twin, flipped).unwrap();
         let idx = ContextIndex::new(&with_twin);
         let srk = Srk::new(Alpha::ONE);
-        assert_eq!(
-            idx.explain(&with_twin, 0, Alpha::ONE),
-            srk.explain(&with_twin, 0)
-        );
+        let expected = srk.explain(&with_twin, 0);
+        assert_eq!(idx.explain(&with_twin, 0, Alpha::ONE), expected);
+        assert_eq!(idx.explain_eager(&with_twin, 0, Alpha::ONE), expected);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_contexts_of_different_sizes() {
+        let mut scratch = ExplainScratch::new();
+        for ctx in contexts() {
+            let idx = ContextIndex::new(&ctx);
+            for t in (0..ctx.len()).step_by(31) {
+                assert_eq!(
+                    idx.explain_with(&ctx, t, Alpha::ONE, &mut scratch),
+                    idx.explain(&ctx, t, Alpha::ONE),
+                );
+            }
+        }
     }
 }

@@ -55,7 +55,7 @@ pub use cce::{Cce, CceConfig, Mode};
 pub use context::Context;
 pub use error::ExplainError;
 pub use importance::{shapley_exact, shapley_sampled, ImportanceParams, OnlineImportance};
-pub use index::ContextIndex;
+pub use index::{ContextIndex, ExplainScratch};
 pub use key::RelativeKey;
 pub use monitor::DriftMonitor;
 pub use osrk::{OsrkMonitor, PickRule};

@@ -79,7 +79,9 @@ impl Srk {
         ctx.check_target(target)?;
         let n = ctx.schema().n_features();
         let tolerance = self.alpha.tolerance(ctx.len());
-        let x0 = ctx.instance(target).clone();
+        // Borrow, don't clone: the context is read-only for the whole
+        // scan, and the target row never moves.
+        let x0 = ctx.instance(target);
 
         // Live violators: rows with a different prediction that still agree
         // with x0 on everything picked so far — and, for tie-breaking, the

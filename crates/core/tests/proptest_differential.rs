@@ -1,18 +1,25 @@
-//! Property-based differential tests: the bitset-indexed explain path
-//! ([`ContextIndex::explain`]) and the optimized scan ([`Srk::explain`])
-//! must agree with the literal Algorithm 1 ([`Srk::explain_naive`]) on
-//! every context — keys, achieved conformity, and failures alike.
+//! Property-based differential tests: the bitset-indexed explain paths
+//! (lazy-greedy [`ContextIndex::explain`], the eager
+//! [`ContextIndex::explain_eager`] rescan, and the scratch-reusing
+//! [`ContextIndex::explain_with`]) and the optimized scan
+//! ([`Srk::explain`]) must agree with the literal Algorithm 1
+//! ([`Srk::explain_naive`]) on every context — keys, achieved
+//! conformity, and failures alike — and the memoizing work-stealing
+//! batch engine ([`Cce::explain_all_parallel`]) must return byte-equal
+//! output to the sequential memo-free [`Cce::explain_all`] at every
+//! thread count.
 //!
 //! Coverage deliberately includes the `rows % 64 == 0` boundary of the
 //! index's `RowSet::not` (64- and 128-row contexts, where the complement
 //! has no padding tail to mask), single-row contexts (zero violators by
-//! construction), and contradiction-heavy streams (rows identical on
-//! every feature but differing in prediction, exercising the
-//! `NoConformantKey` path).
+//! construction), contradiction-heavy streams (rows identical on every
+//! feature but differing in prediction, exercising the `NoConformantKey`
+//! path), and duplicate-heavy contexts (tiled base rows with same- and
+//! flipped-prediction twins, exercising duplicate-row memoization).
 
 use std::sync::Arc;
 
-use cce_core::{Alpha, Context, ContextIndex, Srk};
+use cce_core::{Alpha, Cce, CceConfig, Context, ContextIndex, ExplainScratch, Srk};
 use cce_dataset::{FeatureDef, Instance, Label, Schema};
 use proptest::prelude::*;
 
@@ -48,14 +55,20 @@ fn assert_all_agree(ctx: &Context, target: usize, alpha: f64) {
     let srk = Srk::new(alpha);
     let naive = srk.explain_naive(ctx, target);
     let fast = srk.explain(ctx, target);
-    let indexed = ContextIndex::new(ctx).explain(ctx, target, alpha);
+    let index = ContextIndex::new(ctx);
+    let indexed = index.explain(ctx, target, alpha);
+    let eager = index.explain_eager(ctx, target, alpha);
     assert_eq!(
         fast, naive,
         "optimized scan diverged from Algorithm 1 (target {target})"
     );
     assert_eq!(
         indexed, naive,
-        "indexed path diverged from Algorithm 1 (target {target})"
+        "lazy-greedy indexed path diverged from Algorithm 1 (target {target})"
+    );
+    assert_eq!(
+        eager, naive,
+        "eager indexed path diverged from Algorithm 1 (target {target})"
     );
     if let Ok(key) = naive {
         // The greedy key must actually satisfy the bound it reports.
@@ -108,6 +121,57 @@ proptest! {
         let ctx = build_ctx(&vals, &labels);
         let target = target_seed % ctx.len();
         assert_all_agree(&ctx, target, f64::from(alpha_pct) / 100.0);
+    }
+
+    /// Duplicate-heavy contexts at the 64/128-row word boundaries: a few
+    /// distinct base rows tiled across the whole context, with both
+    /// same-prediction twins (tiling) and flipped-prediction twins
+    /// (label reassignment), so the memoized + scratch-reusing +
+    /// lazy-greedy path sees many rows per equivalence class and some
+    /// contradictory classes.
+    #[test]
+    fn differential_on_duplicate_heavy_contexts(
+        base_vals in proptest::collection::vec(0u32..CARD, 5 * N_FEATURES..=5 * N_FEATURES),
+        assign in proptest::collection::vec(0usize..5, 128..=128),
+        labels in proptest::collection::vec(0u32..2, 128..=128),
+        use_full in 0usize..2,
+        target_seed in 0usize..1000,
+        alpha_pct in 90u32..=100,
+    ) {
+        let rows = if use_full == 1 { 128 } else { 64 };
+        let vals: Vec<u32> = assign[..rows]
+            .iter()
+            .flat_map(|&b| base_vals[b * N_FEATURES..(b + 1) * N_FEATURES].iter().copied())
+            .collect();
+        let ctx = build_ctx(&vals, &labels[..rows]);
+        let alpha = f64::from(alpha_pct) / 100.0;
+        assert_all_agree(&ctx, target_seed % rows, alpha);
+
+        // The scratch-reusing path must match a fresh-scratch call even
+        // after being reused across many (duplicate) targets.
+        let a = Alpha::new(alpha).unwrap();
+        let index = ContextIndex::new(&ctx);
+        let mut scratch = ExplainScratch::new();
+        for t in (0..rows).step_by(7) {
+            assert_eq!(
+                index.explain_with(&ctx, t, a, &mut scratch),
+                index.explain(&ctx, t, a),
+                "scratch reuse diverged at target {t}"
+            );
+        }
+
+        // And the memoizing work-stealing engine must be byte-identical
+        // to the sequential memo-free batch at every thread count.
+        let cce = Cce::with_context(ctx, CceConfig { alpha: a, ..CceConfig::default() });
+        let seq = cce.explain_all();
+        for threads in [1usize, 2, 4, 8] {
+            prop_assert_eq!(
+                &cce.explain_all_parallel(threads),
+                &seq,
+                "work stealing diverged at {} threads",
+                threads
+            );
+        }
     }
 
     /// Contradiction-heavy streams: a single feature value pattern repeated
