@@ -43,7 +43,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     for noisy in [false, true] {
         let (infer, preds) = make_stream(noisy);
         let n = infer.len();
-        let mut m = DriftMonitor::new(Alpha::ONE, 12, (n / 50).max(1), cfg.seed);
+        let mut m = DriftMonitor::new(Alpha::ONE, 12, (n / 50).max(1), cfg.seed)
+            .expect("valid monitor config");
         let mut succ_row = vec![if noisy { "noise" } else { "base" }.to_string()];
         let mut acc_row = succ_row.clone();
         let mut next_cp = 0usize;

@@ -9,18 +9,21 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses alternating `--key value` tokens.
+    /// Parses alternating `--key value` tokens. A flag followed by
+    /// another `--flag` (or by nothing) is a bare boolean, stored as
+    /// `"true"` — e.g. `--resume`.
     pub fn parse(tokens: &[String]) -> Result<Self, String> {
         let mut values = HashMap::new();
-        let mut it = tokens.iter();
+        let mut it = tokens.iter().peekable();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --flag, got {key:?}"));
             };
-            let Some(value) = it.next() else {
-                return Err(format!("flag --{name} is missing a value"));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
             };
-            if values.insert(name.to_string(), value.clone()).is_some() {
+            if values.insert(name.to_string(), value).is_some() {
                 return Err(format!("flag --{name} given twice"));
             }
         }
@@ -49,6 +52,12 @@ impl Args {
                     .map_err(|_| format!("--{name} expects an integer, got {v:?}"))
             })
             .transpose()
+    }
+
+    /// A bare boolean flag: `--name` present with no value (or an
+    /// explicit `true`).
+    pub fn flag(&self, name: &str) -> bool {
+        self.values.get(name).map(|v| v == "true").unwrap_or(false)
     }
 
     /// An optional float flag.
@@ -84,8 +93,17 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(Args::parse(&toks(&["data"])).is_err());
-        assert!(Args::parse(&toks(&["--data"])).is_err());
         assert!(Args::parse(&toks(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn bare_flags_are_booleans() {
+        let a = Args::parse(&toks(&["--resume", "--data", "x.csv", "--verbose"])).unwrap();
+        assert!(a.flag("resume"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("data"), "valued flag is not a boolean");
+        assert!(!a.flag("absent"));
+        assert_eq!(a.required("data").unwrap(), "x.csv");
     }
 
     #[test]

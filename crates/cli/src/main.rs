@@ -19,8 +19,10 @@
 
 use std::process::ExitCode;
 
+use cce_core::persist::StdVfs;
 use cce_core::{
-    importance, summarize, Alpha, Context, ImportanceParams, OsrkMonitor, Srk, SummaryParams,
+    importance, summarize, Alpha, Context, Durable, ExplainStatus, ImportanceParams, OsrkMonitor,
+    Srk, SummaryParams, WorkBudget,
 };
 use cce_dataset::{csv, schema_io, synth, BinSpec, Dataset};
 
@@ -43,10 +45,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cce export     --dataset <Adult|German|Compas|Loan|Recid|Tiers> --out <file.csv> [--rows N] [--seed S] [--buckets B]
-  cce explain    --data <file.csv> --target <row> [--alpha A]
+  cce explain    --data <file.csv> --target <row> [--alpha A] [--budget SCANS]
   cce summarize  --data <file.csv> [--max-patterns K] [--alpha A] [--coverage C]
   cce importance --data <file.csv> --target <row> [--permutations P] [--seed S]
   cce monitor    --data <file.csv> --target <row> [--alpha A] [--seed S]
+                 [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
   (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -147,9 +150,25 @@ fn explain(args: &Args) -> Result<(), String> {
     let ctx = context_of(&ds);
     let target = args.int("target")?.ok_or("missing --target")? as usize;
     let alpha = alpha_of(args)?;
-    let key = Srk::new(alpha)
-        .explain(&ctx, target)
+    let budget = match args.int("budget")? {
+        Some(b) if b >= 0 => WorkBudget::new(b as u64),
+        Some(b) => return Err(format!("--budget must be non-negative, got {b}")),
+        None => WorkBudget::unlimited(),
+    };
+    let budgeted = Srk::new(alpha)
+        .explain_budgeted(&ctx, target, budget)
         .map_err(|e| e.to_string())?;
+    let key = budgeted.key;
+    if let ExplainStatus::Degraded {
+        spent,
+        remaining_violators,
+    } = budgeted.status
+    {
+        println!(
+            "NOTE: work budget exhausted after {spent} scans — partial key, \
+             {remaining_violators} violators not yet covered"
+        );
+    }
     let x = ctx.instance(target);
     println!(
         "{}",
@@ -222,20 +241,17 @@ fn monitor(args: &Args) -> Result<(), String> {
     }
     let alpha = alpha_of(args)?;
     let seed = args.int("seed")?.unwrap_or(7) as u64;
-    let mut m = OsrkMonitor::new(
-        ctx.instance(target).clone(),
-        ctx.prediction(target),
-        alpha,
-        seed,
-    );
-    let mut checkpoints = 0;
-    for r in 0..ctx.len() {
-        if r == target {
-            continue;
-        }
-        let _ = m.observe(ctx.instance(r).clone(), ctx.prediction(r));
-        if (r + 1) % (ctx.len() / 10).max(1) == 0 {
-            checkpoints += 1;
+    let ckpt_dir = args.optional("checkpoint-dir");
+    let every = args.int("checkpoint-every")?.unwrap_or(256).max(1) as u64;
+    if args.flag("resume") && ckpt_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+
+    // The arrival stream is every row but the target, in file order.
+    let arrivals: Vec<usize> = (0..ctx.len()).filter(|&r| r != target).collect();
+    let progress_step = (ctx.len() / 10).max(1);
+    let report = |m: &OsrkMonitor, r: usize| {
+        if (r + 1).is_multiple_of(progress_step) {
             println!(
                 "after {:>6} arrivals: key size {} ({} violators tolerated)",
                 m.n_seen(),
@@ -243,8 +259,52 @@ fn monitor(args: &Args) -> Result<(), String> {
                 m.n_violators()
             );
         }
-    }
-    let _ = checkpoints;
+    };
+
+    let m = if let Some(dir) = ckpt_dir {
+        // Crash-safe path: every arrival is WAL-logged before it is
+        // applied; snapshots rotate every `--checkpoint-every` arrivals.
+        let (mut durable, skip) = if args.flag("resume") {
+            let (d, replayed) = Durable::<OsrkMonitor, StdVfs>::resume(StdVfs, &dir, every)
+                .map_err(|e| format!("resuming from {dir}: {e}"))?;
+            let done = d.state().n_seen();
+            println!(
+                "resumed epoch {} from {dir}: {done} arrivals already durable \
+                 ({replayed} replayed from WAL)",
+                d.epoch()
+            );
+            (d, done)
+        } else {
+            let m = OsrkMonitor::new(
+                ctx.instance(target).clone(),
+                ctx.prediction(target),
+                alpha,
+                seed,
+            );
+            let d = Durable::create(m, StdVfs, &dir, every)
+                .map_err(|e| format!("creating checkpoint in {dir}: {e}"))?;
+            (d, 0)
+        };
+        for &r in arrivals.iter().skip(skip) {
+            durable
+                .observe(ctx.instance(r), ctx.prediction(r))
+                .map_err(|e| format!("durable observe: {e}"))?;
+            report(durable.state(), r);
+        }
+        durable.into_state()
+    } else {
+        let mut m = OsrkMonitor::new(
+            ctx.instance(target).clone(),
+            ctx.prediction(target),
+            alpha,
+            seed,
+        );
+        for &r in &arrivals {
+            let _ = m.observe(ctx.instance(r).clone(), ctx.prediction(r));
+            report(&m, r);
+        }
+        m
+    };
     let key = m.to_relative_key();
     println!(
         "final: {}",

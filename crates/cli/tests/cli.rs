@@ -174,6 +174,121 @@ fn invalid_alpha_rejected() {
 }
 
 #[test]
+fn monitor_checkpoints_and_resumes() {
+    let path = export_loan();
+    let ckpt = tmp("monitor-ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    // First run: stream everything under durability.
+    let out = cce()
+        .args([
+            "monitor",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "64",
+        ])
+        .output()
+        .expect("run cce monitor with checkpoints");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let first = String::from_utf8_lossy(&out.stdout);
+    let final_line = first
+        .lines()
+        .find(|l| l.starts_with("final:"))
+        .expect("final key line")
+        .to_string();
+    let names: Vec<String> = std::fs::read_dir(&ckpt)
+        .expect("checkpoint dir exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("snap-")),
+        "snapshot written: {names:?}"
+    );
+    // Second run resumes: the whole stream is already durable, so it
+    // replays nothing new and must reach the identical final key.
+    let out = cce()
+        .args([
+            "monitor",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "64",
+            "--resume",
+        ])
+        .output()
+        .expect("run cce monitor --resume");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let second = String::from_utf8_lossy(&out.stdout);
+    assert!(second.contains("resumed epoch"), "stdout: {second}");
+    assert!(
+        second.contains(&final_line),
+        "resumed run must reproduce the key:\nfirst: {final_line}\nsecond: {second}"
+    );
+}
+
+#[test]
+fn resume_without_checkpoint_dir_fails() {
+    let path = export_loan();
+    let out = cce()
+        .args([
+            "monitor",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--resume",
+        ])
+        .output()
+        .expect("run cce monitor --resume");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume requires --checkpoint-dir"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn explain_with_tiny_budget_reports_degradation() {
+    let path = export_loan();
+    let out = cce()
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--budget",
+            "0",
+        ])
+        .output()
+        .expect("run cce explain --budget");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("work budget exhausted"), "stdout: {stdout}");
+}
+
+#[test]
 fn monitor_streams_checkpoints() {
     let path = export_loan();
     let out = cce()

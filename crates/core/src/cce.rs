@@ -400,7 +400,15 @@ impl Cce {
 
     /// A drift monitor configured like this CCE instance (§7.4): feed it
     /// the ongoing prediction stream to watch for accuracy dips.
-    pub fn drift_monitor(&self, panel_size: usize, sample_every: usize) -> crate::DriftMonitor {
+    ///
+    /// # Errors
+    /// [`ExplainError::InvalidConfig`] if `panel_size` or `sample_every`
+    /// is zero.
+    pub fn drift_monitor(
+        &self,
+        panel_size: usize,
+        sample_every: usize,
+    ) -> Result<crate::DriftMonitor, ExplainError> {
         crate::DriftMonitor::new(
             self.config.alpha,
             panel_size,
@@ -639,7 +647,7 @@ mod tests {
         for p in summary.patterns() {
             assert_eq!(p.precision, 1.0, "α = 1 patterns are exact");
         }
-        let mut dm = cce.drift_monitor(4, 10);
+        let mut dm = cce.drift_monitor(4, 10).unwrap();
         for t in 0..cce.context().len().min(50) {
             dm.observe(
                 cce.context().instance(t).clone(),

@@ -257,6 +257,58 @@ impl Context {
     }
 }
 
+impl crate::persist::PersistState for Context {
+    const TYPE_TAG: u8 = 1;
+
+    fn encode_state(&self, enc: &mut crate::persist::Enc) {
+        enc.schema(&self.schema);
+        enc.usize(self.instances.len());
+        for x in &self.instances {
+            enc.instance(x);
+        }
+        enc.usize(self.predictions.len());
+        for &p in &self.predictions {
+            enc.label(p);
+        }
+    }
+
+    fn decode_state(
+        dec: &mut crate::persist::Dec<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let schema = Arc::new(dec.schema()?);
+        let n = schema.n_features();
+        let n_inst = dec.len()?;
+        let mut instances = Vec::with_capacity(n_inst);
+        for _ in 0..n_inst {
+            let x = dec.instance()?;
+            if x.len() != n {
+                return Err(PersistError::corrupt("instance width mismatch"));
+            }
+            instances.push(x);
+        }
+        let n_pred = dec.len()?;
+        if n_pred != instances.len() {
+            return Err(PersistError::corrupt("instances/predictions mismatch"));
+        }
+        let mut predictions = Vec::with_capacity(n_pred);
+        for _ in 0..n_pred {
+            predictions.push(dec.label()?);
+        }
+        Ok(Self {
+            schema,
+            instances,
+            predictions,
+        })
+    }
+}
+
+impl crate::persist::Replayable for Context {
+    fn replay(&mut self, x: Instance, pred: Label) {
+        let _ = self.push(x, pred);
+    }
+}
+
 #[cfg(test)]
 pub(crate) use tests::figure2;
 

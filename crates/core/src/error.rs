@@ -44,6 +44,12 @@ pub enum ExplainError {
         /// Offered feature count.
         got: usize,
     },
+    /// A monitor or window was configured with an invalid parameter
+    /// (e.g. an empty panel or a zero sampling period).
+    InvalidConfig {
+        /// Which parameter was rejected and why.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ExplainError {
@@ -73,6 +79,9 @@ impl fmt::Display for ExplainError {
             ExplainError::WidthMismatch { expected, got } => {
                 write!(f, "instance has {got} features, context expects {expected}")
             }
+            ExplainError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
         }
     }
 }
@@ -98,6 +107,10 @@ mod tests {
             ExplainError::WidthMismatch {
                 expected: 4,
                 got: 2,
+            }
+            .to_string(),
+            ExplainError::InvalidConfig {
+                reason: "panel must be non-empty",
             }
             .to_string(),
         ];

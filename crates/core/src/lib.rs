@@ -22,6 +22,10 @@
 //!   ([`monitor`], §7.4).
 //! * [`verify`] — an exact (exponential) minimum-key solver used by tests
 //!   and benchmarks to validate the approximation guarantees.
+//! * [`persist`] — crash safety for the online monitors: checksummed
+//!   snapshots, a write-ahead log of arrivals, atomic checkpoint
+//!   rotation, and a fault-injection harness proving byte-identical
+//!   recovery.
 //!
 //! Beyond the paper's published algorithms, the crate implements both of
 //! its §8 future-work directions: [`importance`] (context-relative Shapley
@@ -44,6 +48,7 @@ pub mod key;
 pub mod monitor;
 pub mod osrk;
 pub mod patterns;
+pub mod persist;
 pub mod recorder;
 pub mod srk;
 pub mod ssrk;
@@ -60,7 +65,8 @@ pub use key::RelativeKey;
 pub use monitor::DriftMonitor;
 pub use osrk::{OsrkMonitor, PickRule};
 pub use patterns::{summarize, RelativePattern, RelativeSummary, SummaryParams};
+pub use persist::{Durable, PersistError, PersistState, Replayable};
 pub use recorder::Recorder;
-pub use srk::Srk;
+pub use srk::{BudgetedKey, ExplainStatus, Srk, WorkBudget};
 pub use ssrk::SsrkMonitor;
 pub use window::{ResolutionPolicy, SlidingWindow};

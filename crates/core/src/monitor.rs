@@ -10,6 +10,7 @@
 use cce_dataset::{Instance, Label};
 
 use crate::alpha::Alpha;
+use crate::error::ExplainError;
 use crate::osrk::OsrkMonitor;
 
 /// Tracks mean key succinctness of a panel of monitored instances over a
@@ -33,12 +34,27 @@ impl DriftMonitor {
     /// its monitored panel and samples mean succinctness every
     /// `sample_every` arrivals.
     ///
-    /// # Panics
-    /// Panics if `panel_size == 0` or `sample_every == 0`.
-    pub fn new(alpha: Alpha, panel_size: usize, sample_every: usize, seed: u64) -> Self {
-        assert!(panel_size > 0, "panel must be non-empty");
-        assert!(sample_every > 0, "sampling period must be positive");
-        Self {
+    /// # Errors
+    /// [`ExplainError::InvalidConfig`] if `panel_size == 0` or
+    /// `sample_every == 0` — a long-running serving component must reject
+    /// bad configuration as a value, not a panic.
+    pub fn new(
+        alpha: Alpha,
+        panel_size: usize,
+        sample_every: usize,
+        seed: u64,
+    ) -> Result<Self, ExplainError> {
+        if panel_size == 0 {
+            return Err(ExplainError::InvalidConfig {
+                reason: "panel must be non-empty",
+            });
+        }
+        if sample_every == 0 {
+            return Err(ExplainError::InvalidConfig {
+                reason: "sampling period must be positive",
+            });
+        }
+        Ok(Self {
             alpha,
             seed,
             panel_size,
@@ -47,7 +63,7 @@ impl DriftMonitor {
             n_seen: 0,
             history: Vec::new(),
             contradictions: 0,
-        }
+        })
     }
 
     /// Feeds one serving-time observation.
@@ -136,6 +152,74 @@ impl DriftMonitor {
     }
 }
 
+impl crate::persist::PersistState for DriftMonitor {
+    const TYPE_TAG: u8 = 5;
+
+    fn encode_state(&self, enc: &mut crate::persist::Enc) {
+        enc.f64(self.alpha.get());
+        enc.u64(self.seed);
+        enc.usize(self.panel_size);
+        enc.usize(self.sample_every);
+        enc.usize(self.monitors.len());
+        for m in &self.monitors {
+            m.encode_state(enc);
+        }
+        enc.usize(self.n_seen);
+        enc.usize(self.history.len());
+        for &(at, s) in &self.history {
+            enc.usize(at);
+            enc.f64(s);
+        }
+        enc.usize(self.contradictions);
+    }
+
+    fn decode_state(
+        dec: &mut crate::persist::Dec<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let alpha = Alpha::new(dec.f64()?).map_err(|_| PersistError::corrupt("invalid alpha"))?;
+        let seed = dec.u64()?;
+        let panel_size = dec.usize()?;
+        let sample_every = dec.usize()?;
+        if panel_size == 0 || sample_every == 0 {
+            return Err(PersistError::corrupt("invalid drift monitor geometry"));
+        }
+        let n_mon = dec.len()?;
+        if n_mon > panel_size {
+            return Err(PersistError::corrupt("panel larger than its size bound"));
+        }
+        let mut monitors = Vec::with_capacity(panel_size);
+        for _ in 0..n_mon {
+            monitors.push(OsrkMonitor::decode_state(dec)?);
+        }
+        let n_seen = dec.usize()?;
+        let n_hist = dec.len()?;
+        let mut history = Vec::with_capacity(n_hist);
+        for _ in 0..n_hist {
+            let at = dec.usize()?;
+            let s = dec.f64()?;
+            history.push((at, s));
+        }
+        let contradictions = dec.usize()?;
+        Ok(Self {
+            alpha,
+            seed,
+            panel_size,
+            sample_every,
+            monitors,
+            n_seen,
+            history,
+            contradictions,
+        })
+    }
+}
+
+impl crate::persist::Replayable for DriftMonitor {
+    fn replay(&mut self, x: Instance, pred: Label) {
+        self.observe(x, pred);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,7 +249,7 @@ mod tests {
     #[test]
     fn clean_stream_does_not_drift() {
         let (pairs, _) = stream(false);
-        let mut m = DriftMonitor::new(Alpha::ONE, 8, 20, 1);
+        let mut m = DriftMonitor::new(Alpha::ONE, 8, 20, 1).unwrap();
         for (x, p) in pairs {
             m.observe(x, p);
         }
@@ -181,7 +265,7 @@ mod tests {
         let (noisy, _) = stream(true);
         let onset = (clean.len() as f64 * 0.6) as usize;
         let run = |pairs: Vec<(Instance, Label)>| {
-            let mut m = DriftMonitor::new(Alpha::ONE, 12, 50, 1);
+            let mut m = DriftMonitor::new(Alpha::ONE, 12, 50, 1).unwrap();
             let mut at_onset = 0.0;
             for (i, (x, p)) in pairs.into_iter().enumerate() {
                 if i == onset {
@@ -203,7 +287,7 @@ mod tests {
     fn trajectory_is_sampled() {
         let (pairs, _) = stream(false);
         let n = pairs.len();
-        let mut m = DriftMonitor::new(Alpha::ONE, 4, 25, 2);
+        let mut m = DriftMonitor::new(Alpha::ONE, 4, 25, 2).unwrap();
         for (x, p) in pairs {
             m.observe(x, p);
         }
@@ -218,7 +302,7 @@ mod tests {
 
     #[test]
     fn drift_score_defaults_before_samples() {
-        let m = DriftMonitor::new(Alpha::ONE, 2, 1000, 3);
+        let m = DriftMonitor::new(Alpha::ONE, 2, 1000, 3).unwrap();
         assert_eq!(m.drift_score(0.5), 1.0);
         assert!(!m.drifted(1.2));
     }

@@ -215,12 +215,14 @@ impl OsrkMonitor {
                 // Line 10-11: add one feature outright.
                 let i = match self.pick {
                     PickRule::First => s_t[0],
+                    // total_cmp, not partial_cmp: a NaN smuggled into the
+                    // weights (e.g. restored from a tampered snapshot)
+                    // must degrade to an arbitrary-but-valid pick, not a
+                    // panic in the serving loop.
                     PickRule::MaxWeight => s_t
                         .iter()
                         .copied()
-                        .max_by(|&a, &b| {
-                            weights[a].partial_cmp(&weights[b]).expect("finite weights")
-                        })
+                        .max_by(|&a, &b| weights[a].total_cmp(&weights[b]))
                         .expect("s_t non-empty"),
                     PickRule::MaxKill => {
                         let x0 = &self.x0;
@@ -277,6 +279,104 @@ impl OsrkMonitor {
     }
 }
 
+impl crate::persist::PersistState for OsrkMonitor {
+    const TYPE_TAG: u8 = 2;
+
+    fn encode_state(&self, enc: &mut crate::persist::Enc) {
+        enc.instance(&self.x0);
+        enc.label(self.pred0);
+        enc.f64(self.alpha.get());
+        enc.u8(match self.pick {
+            PickRule::First => 0,
+            PickRule::MaxWeight => 1,
+            PickRule::MaxKill => 2,
+        });
+        for w in self.rng.state_words() {
+            enc.u64(w);
+        }
+        match &self.weights {
+            None => enc.bool(false),
+            Some(ws) => {
+                enc.bool(true);
+                enc.f64s(ws);
+            }
+        }
+        enc.usizes(&self.key);
+        enc.usize(self.n_seen);
+        enc.usize(self.p_count);
+        enc.usize(self.live.len());
+        for v in &self.live {
+            enc.instance(v);
+        }
+    }
+
+    fn decode_state(
+        dec: &mut crate::persist::Dec<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let x0 = dec.instance()?;
+        let n = x0.len();
+        let pred0 = dec.label()?;
+        let alpha = Alpha::new(dec.f64()?).map_err(|_| PersistError::corrupt("invalid alpha"))?;
+        let pick = match dec.u8()? {
+            0 => PickRule::First,
+            1 => PickRule::MaxWeight,
+            2 => PickRule::MaxKill,
+            _ => return Err(PersistError::corrupt("unknown pick rule")),
+        };
+        let rng = StdRng::from_state_words([dec.u64()?, dec.u64()?, dec.u64()?, dec.u64()?]);
+        let weights = if dec.bool()? {
+            let ws = dec.f64s()?;
+            if ws.len() != n {
+                return Err(PersistError::corrupt("weight vector width mismatch"));
+            }
+            Some(ws)
+        } else {
+            None
+        };
+        let key = dec.usizes()?;
+        if key.iter().any(|&f| f >= n) {
+            return Err(PersistError::corrupt("key feature out of range"));
+        }
+        let mut in_key = vec![false; n];
+        for &f in &key {
+            in_key[f] = true;
+        }
+        let n_seen = dec.usize()?;
+        let p_count = dec.usize()?;
+        let n_live = dec.len()?;
+        let mut live = Vec::with_capacity(n_live);
+        for _ in 0..n_live {
+            let v = dec.instance()?;
+            if v.len() != n {
+                return Err(PersistError::corrupt("live violator width mismatch"));
+            }
+            live.push(v);
+        }
+        Ok(Self {
+            x0,
+            pred0,
+            alpha,
+            pick,
+            rng,
+            weights,
+            key,
+            in_key,
+            n_seen,
+            p_count,
+            live,
+        })
+    }
+}
+
+impl crate::persist::Replayable for OsrkMonitor {
+    fn replay(&mut self, x: Instance, pred: Label) {
+        // Error outcomes (contradictions, width mismatches) mutate state
+        // deterministically too, so replay ignores the verdict.
+        let _ = self.observe(x, pred);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +384,31 @@ mod tests {
 
     fn inst(v: Vec<u32>) -> Instance {
         Instance::new(v)
+    }
+
+    #[test]
+    fn nan_weights_never_panic_the_monitor() {
+        // Weight state poisoned with NaN (e.g. restored from a tampered
+        // snapshot) must degrade gracefully, not panic the serving loop
+        // (f64::total_cmp in the MaxWeight pick).
+        let mut m = OsrkMonitor::new(inst(vec![0, 0, 0, 0]), Label(0), Alpha::ONE, 4)
+            .with_pick_rule(PickRule::MaxWeight);
+        m.observe(inst(vec![1, 1, 0, 0]), Label(1)).unwrap();
+        if let Some(ws) = m.weights.as_mut() {
+            for w in ws.iter_mut() {
+                *w = f64::NAN;
+            }
+        }
+        // An arrival agreeing with x0 on every key feature goes live and
+        // forces the growth loop to run over the NaN weights.
+        let free: Vec<usize> = (0..4).filter(|f| !m.key().contains(f)).collect();
+        assert!(!free.is_empty(), "seed must leave the key partial");
+        let mut vals = vec![0u32; 4];
+        for &f in &free {
+            vals[f] = 1;
+        }
+        m.observe(inst(vals), Label(1)).unwrap();
+        assert_eq!(m.n_violators(), 0, "growth loop must still cover arrivals");
     }
 
     #[test]

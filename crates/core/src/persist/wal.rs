@@ -1,0 +1,249 @@
+//! Write-ahead log of `(instance, prediction)` arrivals.
+//!
+//! Record layout (all little-endian):
+//!
+//! ```text
+//! [u32 payload_len][u32 crc32(payload)][payload]
+//! payload = label u32 · instance-len u64 · instance values u32…
+//! ```
+//!
+//! The reader accepts a *prefix* of valid records: a truncated header,
+//! truncated payload, or checksum mismatch terminates iteration cleanly
+//! (that is the expected shape of a post-crash tail), reporting how many
+//! bytes of clean prefix were consumed so callers can truncate the rest.
+
+use cce_dataset::{Instance, Label};
+
+use super::codec::{crc32, Dec, Enc};
+use super::vfs::Vfs;
+use super::PersistError;
+
+/// One durable arrival.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The arriving instance.
+    pub instance: Instance,
+    /// The model's prediction for it.
+    pub prediction: Label,
+}
+
+/// Serializes one record into its framed wire form.
+pub fn encode_record(instance: &Instance, prediction: Label) -> Vec<u8> {
+    let mut payload = Enc::new();
+    payload.label(prediction);
+    payload.instance(instance);
+    let payload = payload.into_bytes();
+    let mut frame = Enc::new();
+    frame.u32(payload.len() as u32);
+    frame.u32(crc32(&payload));
+    frame.raw(&payload);
+    frame.into_bytes()
+}
+
+/// Appends records to a WAL file through a [`Vfs`].
+#[derive(Debug)]
+pub struct WalWriter {
+    path: String,
+}
+
+impl WalWriter {
+    /// A writer appending to `path` (created on first append).
+    pub fn new(path: impl Into<String>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs, making the arrival durable before
+    /// the caller applies it to in-memory state (write-ahead ordering).
+    pub fn append<V: Vfs>(
+        &mut self,
+        vfs: &mut V,
+        instance: &Instance,
+        prediction: Label,
+    ) -> Result<(), PersistError> {
+        let frame = encode_record(instance, prediction);
+        vfs.append(&self.path, &frame)?;
+        vfs.sync_file(&self.path)
+    }
+}
+
+/// The outcome of scanning a WAL file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalReader {
+    /// Records recovered from the clean prefix, in arrival order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of clean prefix (a safe truncation point).
+    pub clean_len: usize,
+    /// True when trailing bytes were dropped as torn or corrupt.
+    pub tail_dropped: bool,
+}
+
+impl WalReader {
+    /// Scans the WAL at `path`, stopping at the first invalid record.
+    /// A missing file reads as an empty log.
+    pub fn scan<V: Vfs>(vfs: &mut V, path: &str) -> Result<Self, PersistError> {
+        let Some(bytes) = vfs.read(path)? else {
+            return Ok(Self {
+                records: Vec::new(),
+                clean_len: 0,
+                tail_dropped: false,
+            });
+        };
+        Ok(Self::scan_bytes(&bytes))
+    }
+
+    /// Scans an in-memory WAL image (see [`WalReader::scan`]).
+    pub fn scan_bytes(bytes: &[u8]) -> Self {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &bytes[pos..];
+            if rest.len() < 8 {
+                // No room for a header: clean EOF or torn header.
+                return Self {
+                    records,
+                    clean_len: pos,
+                    tail_dropped: !rest.is_empty(),
+                };
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            let want_crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+            if rest.len() < 8 + len {
+                // Torn payload.
+                return Self {
+                    records,
+                    clean_len: pos,
+                    tail_dropped: true,
+                };
+            }
+            let payload = &rest[8..8 + len];
+            if crc32(payload) != want_crc {
+                // Bit rot or a torn boundary that happened to leave
+                // enough bytes; either way the record is unusable and,
+                // with it, everything after.
+                return Self {
+                    records,
+                    clean_len: pos,
+                    tail_dropped: true,
+                };
+            }
+            let mut dec = Dec::new(payload);
+            let parsed = (|| -> Result<WalRecord, PersistError> {
+                let prediction = dec.label()?;
+                let instance = dec.instance()?;
+                Ok(WalRecord {
+                    instance,
+                    prediction,
+                })
+            })();
+            match parsed {
+                Ok(rec) if dec.is_exhausted() => records.push(rec),
+                // A record that checksums but does not parse means the
+                // writer and reader disagree on layout — stop here too.
+                _ => {
+                    return Self {
+                        records,
+                        clean_len: pos,
+                        tail_dropped: true,
+                    };
+                }
+            }
+            pos += 8 + len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::vfs::MemVfs;
+
+    fn rec(vals: &[u32], label: u32) -> (Instance, Label) {
+        (Instance::new(vals.to_vec()), Label(label))
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let mut vfs = MemVfs::new();
+        let mut w = WalWriter::new("d/wal-0.log");
+        let (x1, p1) = rec(&[1, 2, 3], 0);
+        let (x2, p2) = rec(&[4, 5, 6], 1);
+        w.append(&mut vfs, &x1, p1).unwrap();
+        w.append(&mut vfs, &x2, p2).unwrap();
+        let r = WalReader::scan(&mut vfs, "d/wal-0.log").unwrap();
+        assert!(!r.tail_dropped);
+        assert_eq!(
+            r.records,
+            vec![
+                WalRecord {
+                    instance: x1,
+                    prediction: p1
+                },
+                WalRecord {
+                    instance: x2,
+                    prediction: p2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let mut vfs = MemVfs::new();
+        let r = WalReader::scan(&mut vfs, "d/absent.log").unwrap();
+        assert!(r.records.is_empty());
+        assert!(!r.tail_dropped);
+    }
+
+    #[test]
+    fn torn_tail_recovers_clean_prefix() {
+        let (x1, p1) = rec(&[7, 8], 2);
+        let (x2, p2) = rec(&[9, 10], 3);
+        let mut bytes = encode_record(&x1, p1);
+        let full_len = bytes.len();
+        let second = encode_record(&x2, p2);
+        // Drop the last 3 bytes of the second record: torn write.
+        bytes.extend_from_slice(&second[..second.len() - 3]);
+        let r = WalReader::scan_bytes(&bytes);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.records[0].instance, x1);
+        assert_eq!(r.clean_len, full_len);
+        assert!(r.tail_dropped);
+    }
+
+    #[test]
+    fn corrupt_final_record_is_dropped() {
+        let (x1, p1) = rec(&[1], 0);
+        let (x2, p2) = rec(&[2], 1);
+        let mut bytes = encode_record(&x1, p1);
+        let clean = bytes.len();
+        bytes.extend_from_slice(&encode_record(&x2, p2));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload byte → CRC mismatch
+        let r = WalReader::scan_bytes(&bytes);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.clean_len, clean);
+        assert!(r.tail_dropped);
+    }
+
+    #[test]
+    fn corruption_mid_log_drops_everything_after() {
+        let (x1, p1) = rec(&[1], 0);
+        let (x2, p2) = rec(&[2], 1);
+        let (x3, p3) = rec(&[3], 0);
+        let mut bytes = encode_record(&x1, p1);
+        let clean = bytes.len();
+        let mid_start = bytes.len();
+        bytes.extend_from_slice(&encode_record(&x2, p2));
+        bytes[mid_start + 9] ^= 0x01; // corrupt the middle record's payload
+        bytes.extend_from_slice(&encode_record(&x3, p3));
+        let r = WalReader::scan_bytes(&bytes);
+        assert_eq!(r.records.len(), 1, "records after corruption are unsafe");
+        assert_eq!(r.clean_len, clean);
+        assert!(r.tail_dropped);
+    }
+}

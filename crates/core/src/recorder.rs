@@ -132,6 +132,51 @@ impl<M: Model> Recorder<M> {
     }
 }
 
+impl<M> Recorder<M> {
+    /// Encodes the recorded store (context or window). The model itself
+    /// is configuration, not accumulated state — on resume the caller
+    /// supplies it again to [`Recorder::restore_store`].
+    pub fn encode_store(&self, enc: &mut crate::persist::Enc) {
+        use crate::persist::PersistState;
+        match &self.store {
+            Store::Unbounded(ctx) => {
+                enc.u8(0);
+                ctx.encode_state(enc);
+            }
+            Store::Windowed(w) => {
+                enc.u8(1);
+                w.encode_state(enc);
+            }
+        }
+    }
+
+    /// The canonical store encoding by itself — the equality witness used
+    /// by round-trip tests (mirrors [`crate::persist::PersistState::state_bytes`]).
+    pub fn store_bytes(&self) -> Vec<u8> {
+        let mut enc = crate::persist::Enc::new();
+        self.encode_store(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Rebuilds a recorder around `model` from a store encoded by
+    /// [`Recorder::encode_store`].
+    ///
+    /// # Errors
+    /// [`crate::persist::PersistError::Corrupt`] on invalid bytes.
+    pub fn restore_store(
+        model: M,
+        dec: &mut crate::persist::Dec<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::{PersistError, PersistState};
+        let store = match dec.u8()? {
+            0 => Store::Unbounded(Context::decode_state(dec)?),
+            1 => Store::Windowed(SlidingWindow::decode_state(dec)?),
+            _ => return Err(PersistError::corrupt("unknown recorder store kind")),
+        };
+        Ok(Self { model, store })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

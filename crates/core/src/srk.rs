@@ -22,6 +22,67 @@ use crate::context::Context;
 use crate::error::ExplainError;
 use crate::key::RelativeKey;
 
+/// A cap on the violator-scan work one explain call may spend.
+///
+/// On adversarial rows (huge violator sets that barely shrink) the greedy
+/// loop's `O(n²·|I|)` worst case can stall a serving thread. A budget
+/// turns that stall into *graceful degradation*: the call returns the
+/// best partial key found within budget, explicitly labeled as such.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkBudget {
+    /// Maximum individual violator-row scans (the unit counted by the
+    /// `cce_explain_violator_scans_total` metric).
+    pub max_scans: u64,
+}
+
+impl WorkBudget {
+    /// A budget of `max_scans` violator-row scans.
+    pub fn new(max_scans: u64) -> Self {
+        Self { max_scans }
+    }
+
+    /// Effectively no cap.
+    pub fn unlimited() -> Self {
+        Self {
+            max_scans: u64::MAX,
+        }
+    }
+}
+
+/// Whether an explanation ran to completion or was cut short by its
+/// [`WorkBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainStatus {
+    /// The key satisfies the requested α bound.
+    Complete,
+    /// The budget ran out first: the key is a *partial* explanation —
+    /// coherent with what a finished run would pick first, but with
+    /// violators left uncovered.
+    Degraded {
+        /// Violator scans spent before stopping.
+        spent: u64,
+        /// Violators still uncovered when the budget ran out.
+        remaining_violators: usize,
+    },
+}
+
+impl ExplainStatus {
+    /// True for [`ExplainStatus::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ExplainStatus::Complete)
+    }
+}
+
+/// The result of a budget-guarded explanation: a (possibly partial) key
+/// plus the status telling whether the α bound was reached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedKey {
+    /// The key built within budget.
+    pub key: RelativeKey,
+    /// Completion status.
+    pub status: ExplainStatus,
+}
+
 /// The greedy batch explainer.
 ///
 /// ```
@@ -76,6 +137,25 @@ impl Srk {
     ///   (identical to the target, different prediction) exceed the
     ///   tolerance, so no feature subset can work.
     pub fn explain(&self, ctx: &Context, target: usize) -> Result<RelativeKey, ExplainError> {
+        self.explain_budgeted(ctx, target, WorkBudget::unlimited())
+            .map(|b| b.key)
+    }
+
+    /// Like [`Srk::explain`], but spends at most `budget` violator scans.
+    ///
+    /// When the budget runs out, the call returns the partial key built so
+    /// far with [`ExplainStatus::Degraded`] instead of hanging on an
+    /// adversarial row; the partial key is a prefix of what the unbounded
+    /// run would have picked.
+    ///
+    /// # Errors
+    /// Same as [`Srk::explain`]; running out of budget is *not* an error.
+    pub fn explain_budgeted(
+        &self,
+        ctx: &Context,
+        target: usize,
+        budget: WorkBudget,
+    ) -> Result<BudgetedKey, ExplainError> {
         ctx.check_target(target)?;
         let n = ctx.schema().n_features();
         let tolerance = self.alpha.tolerance(ctx.len());
@@ -105,6 +185,20 @@ impl Srk {
                 return Err(ExplainError::NoConformantKey {
                     contradictions: violators.len(),
                     tolerance,
+                });
+            }
+            if scanned >= budget.max_scans {
+                // Out of budget: degrade gracefully with the partial key
+                // built so far instead of stalling the serving thread.
+                cce_obs::counter!("cce_explain_degraded_total").inc();
+                cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "srk").add(scanned);
+                let achieved = 1.0 - violators.len() as f64 / ctx.len() as f64;
+                return Ok(BudgetedKey {
+                    key: RelativeKey::new(picked, self.alpha, achieved),
+                    status: ExplainStatus::Degraded {
+                        spent: scanned,
+                        remaining_violators: violators.len(),
+                    },
                 });
             }
             // Pick the feature minimizing surviving violators (Algorithm 1
@@ -147,7 +241,10 @@ impl Srk {
         cce_obs::histogram!("cce_explain_key_length", "algo" => "srk").record(picked.len() as u64);
         cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "srk").add(scanned);
         let achieved = 1.0 - violators.len() as f64 / ctx.len() as f64;
-        Ok(RelativeKey::new(picked, self.alpha, achieved))
+        Ok(BudgetedKey {
+            key: RelativeKey::new(picked, self.alpha, achieved),
+            status: ExplainStatus::Complete,
+        })
     }
 
     /// Reference implementation that re-scans the context every iteration —
@@ -330,5 +427,74 @@ mod tests {
     fn errors_on_bad_target() {
         let (ctx, _) = figure2();
         assert!(Srk::new(Alpha::ONE).explain(&ctx, 99).is_err());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_explain() {
+        let raw = synth::loan::generate(250, 31);
+        let ds = raw.encode(&BinSpec::uniform(8));
+        let ctx = crate::Context::from_recorded(&ds);
+        let srk = Srk::new(Alpha::ONE);
+        for t in (0..ctx.len()).step_by(23) {
+            let plain = srk.explain(&ctx, t);
+            let budgeted = srk.explain_budgeted(&ctx, t, WorkBudget::unlimited());
+            match (plain, budgeted) {
+                (Ok(k), Ok(b)) => {
+                    assert_eq!(k, b.key, "target {t}");
+                    assert!(b.status.is_complete());
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2),
+                (p, b) => panic!("divergence at {t}: {p:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_a_partial_prefix() {
+        let raw = synth::german::generate(300, 12);
+        let ds = raw.encode(&BinSpec::uniform(10));
+        let ctx = crate::Context::from_recorded(&ds);
+        let srk = Srk::new(Alpha::ONE);
+        // Find a target that genuinely needs multiple features.
+        let target = (0..ctx.len())
+            .find(|&t| {
+                srk.explain(&ctx, t)
+                    .map(|k| k.succinctness() >= 2)
+                    .unwrap_or(false)
+            })
+            .expect("some target needs a multi-feature key");
+        let full = srk.explain(&ctx, target).unwrap();
+        // A budget covering exactly one pick round: n·|violators| scans.
+        let one_round = (ctx.schema().n_features() * ctx.differing_rows(target).len()) as u64;
+        let b = srk
+            .explain_budgeted(&ctx, target, WorkBudget::new(one_round))
+            .unwrap();
+        match b.status {
+            ExplainStatus::Degraded {
+                spent,
+                remaining_violators,
+            } => {
+                assert!(spent >= one_round);
+                assert!(remaining_violators > 0);
+            }
+            ExplainStatus::Complete => panic!("budget should have been exhausted"),
+        }
+        assert!(b.key.succinctness() < full.succinctness());
+        // The partial key is a prefix of the unbounded greedy pick order.
+        assert_eq!(
+            full.features()[..b.key.succinctness()],
+            *b.key.features(),
+            "degraded key must be a greedy prefix"
+        );
+    }
+
+    #[test]
+    fn zero_budget_returns_empty_degraded_key() {
+        let (ctx, x0) = figure2();
+        let b = Srk::new(Alpha::ONE)
+            .explain_budgeted(&ctx, x0, WorkBudget::new(0))
+            .unwrap();
+        assert_eq!(b.key.succinctness(), 0);
+        assert!(!b.status.is_complete());
     }
 }

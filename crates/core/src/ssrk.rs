@@ -288,6 +288,8 @@ impl SsrkMonitor {
         while (log_phi_new > self.log_phi + 1e-12 || self.live.len() > tolerance) && !s_t.is_empty()
         {
             // Line 13: argmin over Sₜ of surviving universe violators.
+            // (Integer counts — total order, no NaN hazard unlike the
+            // float-weight pick OSRK needs total_cmp for.)
             let x0 = &self.x0;
             let best = s_t
                 .iter()
@@ -329,6 +331,129 @@ impl SsrkMonitor {
             });
         }
         Ok(&self.key)
+    }
+}
+
+impl crate::persist::PersistState for SsrkMonitor {
+    const TYPE_TAG: u8 = 3;
+
+    fn encode_state(&self, enc: &mut crate::persist::Enc) {
+        enc.instance(&self.x0);
+        enc.label(self.pred0);
+        enc.f64(self.alpha.get());
+        enc.usize(self.m);
+        enc.usize(self.uni.len());
+        for x in &self.uni {
+            enc.instance(x);
+        }
+        enc.f64s(&self.weights);
+        enc.u32s(&self.u_live);
+        // Full μ vector, dead entries included: they are stale by design
+        // and must round-trip bit-exactly, not be recomputed.
+        enc.f64s(&self.mu);
+        enc.usizes(&self.key);
+        enc.f64(self.log_phi);
+        enc.usize(self.n_seen);
+        enc.usize(self.live.len());
+        for v in &self.live {
+            enc.instance(v);
+        }
+    }
+
+    fn decode_state(
+        dec: &mut crate::persist::Dec<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let x0 = dec.instance()?;
+        let n = x0.len();
+        let pred0 = dec.label()?;
+        let alpha = Alpha::new(dec.f64()?).map_err(|_| PersistError::corrupt("invalid alpha"))?;
+        let m = dec.usize()?;
+        let n_uni = dec.len()?;
+        let mut uni = Vec::with_capacity(n_uni);
+        for _ in 0..n_uni {
+            let x = dec.instance()?;
+            if x.len() != n {
+                return Err(PersistError::corrupt("universe width mismatch"));
+            }
+            uni.push(x);
+        }
+        let weights = dec.f64s()?;
+        if weights.len() != n {
+            return Err(PersistError::corrupt("weight vector width mismatch"));
+        }
+        let u_live = dec.u32s()?;
+        if u_live.iter().any(|&j| j as usize >= uni.len()) {
+            return Err(PersistError::corrupt("live universe index out of range"));
+        }
+        let mu = dec.f64s()?;
+        if mu.len() != uni.len() {
+            return Err(PersistError::corrupt("mu length mismatch"));
+        }
+        let key = dec.usizes()?;
+        if key.iter().any(|&f| f >= n) {
+            return Err(PersistError::corrupt("key feature out of range"));
+        }
+        let log_phi = dec.f64()?;
+        let n_seen = dec.usize()?;
+        let n_live = dec.len()?;
+        let mut live = Vec::with_capacity(n_live);
+        for _ in 0..n_live {
+            let v = dec.instance()?;
+            if v.len() != n {
+                return Err(PersistError::corrupt("live violator width mismatch"));
+            }
+            live.push(v);
+        }
+        // Derived caches (Sⱼ, inverted index, masks) are pure functions
+        // of the persisted fields — rebuild instead of storing.
+        let s_sets: Vec<Vec<u16>> = uni
+            .iter()
+            .map(|x| {
+                x.differing_features(&x0)
+                    .into_iter()
+                    .map(|f| f as u16)
+                    .collect()
+            })
+            .collect();
+        let mut inv: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (j, s) in s_sets.iter().enumerate() {
+            for &i in s {
+                inv[i as usize].push(j as u32);
+            }
+        }
+        let mut live_mask = vec![false; uni.len()];
+        for &j in &u_live {
+            live_mask[j as usize] = true;
+        }
+        let mut in_key = vec![false; n];
+        for &f in &key {
+            in_key[f] = true;
+        }
+        Ok(Self {
+            x0,
+            pred0,
+            alpha,
+            m,
+            uni,
+            weights,
+            u_live,
+            mu,
+            s_sets,
+            inv,
+            live_mask,
+            key,
+            in_key,
+            log_phi,
+            n_seen,
+            live,
+        })
+    }
+}
+
+impl crate::persist::Replayable for SsrkMonitor {
+    fn replay(&mut self, x: Instance, pred: Label) {
+        let _ = self.observe(x, pred);
     }
 }
 

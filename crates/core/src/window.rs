@@ -181,6 +181,100 @@ impl SlidingWindow {
     }
 }
 
+impl crate::persist::PersistState for SlidingWindow {
+    const TYPE_TAG: u8 = 4;
+
+    fn encode_state(&self, enc: &mut crate::persist::Enc) {
+        enc.schema(&self.schema);
+        enc.usize(self.capacity);
+        enc.usize(self.delta);
+        enc.f64(self.alpha.get());
+        enc.u8(match self.policy {
+            ResolutionPolicy::FirstWins => 0,
+            ResolutionPolicy::LastWins => 1,
+            ResolutionPolicy::UnionKey => 2,
+        });
+        enc.usize(self.buffer.len());
+        for (x, p) in &self.buffer {
+            enc.instance(x);
+            enc.label(*p);
+        }
+        enc.usize(self.staged);
+        // HashMap iteration order is nondeterministic; sort entries by
+        // instance values so the encoding is canonical (the byte-equality
+        // witness the crash tests compare).
+        let mut entries: Vec<(&Instance, &RelativeKey)> = self.resolved.iter().collect();
+        entries.sort_by(|a, b| a.0.values().cmp(b.0.values()));
+        enc.usize(entries.len());
+        for (x, k) in entries {
+            enc.instance(x);
+            enc.usizes(k.features());
+            enc.f64(k.alpha().get());
+            enc.f64(k.achieved_conformity());
+        }
+    }
+
+    fn decode_state(
+        dec: &mut crate::persist::Dec<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::PersistError;
+        let schema = Arc::new(dec.schema()?);
+        let n = schema.n_features();
+        let capacity = dec.usize()?;
+        let delta = dec.usize()?;
+        if capacity == 0 || delta == 0 || delta > capacity {
+            return Err(PersistError::corrupt("invalid window geometry"));
+        }
+        let alpha = Alpha::new(dec.f64()?).map_err(|_| PersistError::corrupt("invalid alpha"))?;
+        let policy = match dec.u8()? {
+            0 => ResolutionPolicy::FirstWins,
+            1 => ResolutionPolicy::LastWins,
+            2 => ResolutionPolicy::UnionKey,
+            _ => return Err(PersistError::corrupt("unknown resolution policy")),
+        };
+        let n_buf = dec.len()?;
+        let mut buffer = VecDeque::with_capacity(capacity + delta);
+        for _ in 0..n_buf {
+            let x = dec.instance()?;
+            if x.len() != n {
+                return Err(PersistError::corrupt("buffered instance width mismatch"));
+            }
+            let p = dec.label()?;
+            buffer.push_back((x, p));
+        }
+        let staged = dec.usize()?;
+        let n_res = dec.len()?;
+        let mut resolved = HashMap::with_capacity(n_res);
+        for _ in 0..n_res {
+            let x = dec.instance()?;
+            let feats = dec.usizes()?;
+            if feats.iter().any(|&f| f >= n) {
+                return Err(PersistError::corrupt("resolved key feature out of range"));
+            }
+            let k_alpha =
+                Alpha::new(dec.f64()?).map_err(|_| PersistError::corrupt("invalid alpha"))?;
+            let achieved = dec.f64()?;
+            resolved.insert(x, RelativeKey::new(feats, k_alpha, achieved));
+        }
+        Ok(Self {
+            schema,
+            capacity,
+            delta,
+            alpha,
+            policy,
+            buffer,
+            staged,
+            resolved,
+        })
+    }
+}
+
+impl crate::persist::Replayable for SlidingWindow {
+    fn replay(&mut self, x: Instance, pred: Label) {
+        let _ = self.push(x, pred);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,275 @@
+//! Kill-at-random-point crash tests: the property the durability layer
+//! exists for.
+//!
+//! A [`Durable`]-wrapped OSRK monitor is driven over a deterministic
+//! arrival stream on a fault-injecting [`MemVfs`] that kills the
+//! "process" after the N-th storage operation (tearing the in-flight
+//! write). The filesystem is then rebooted — each file keeps its fsynced
+//! prefix while the unsynced tail survives, tears, vanishes, or rots,
+//! chosen per-file from the VFS seed — and the monitor is resumed.
+//!
+//! For every kill point and every reboot fate the recovered state must
+//! be **byte-identical** (canonical `state_bytes`) to an uninterrupted
+//! monitor run over the first `j` arrivals for some `j ≥` the number of
+//! acknowledged observes: durability for everything acknowledged,
+//! prefix-consistency for everything else. On top of that the paper's
+//! coherence invariant `Eₜ ⊆ Eₜ₊₁` must hold *across the restart
+//! boundary*: the pre-crash key is contained in the recovered key, which
+//! is contained in every key after the stream continues.
+
+use cce_core::persist::{FaultPlan, MemVfs, OpKind, Vfs};
+use cce_core::{Alpha, Durable, OsrkMonitor, PersistError, PersistState, PickRule};
+use cce_dataset::{Instance, Label};
+
+const N_FEATURES: usize = 5;
+const CARD: u32 = 3;
+const DIR: &str = "ck";
+
+/// SplitMix64 — a self-contained deterministic stream generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn stream(n: usize, seed: u64) -> Vec<(Instance, Label)> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            let vals = (0..N_FEATURES)
+                .map(|_| (splitmix(&mut s) % CARD as u64) as u32)
+                .collect();
+            (Instance::new(vals), Label((splitmix(&mut s) % 3) as u32))
+        })
+        .collect()
+}
+
+fn target() -> (Instance, Label) {
+    (Instance::new(vec![0; N_FEATURES]), Label(0))
+}
+
+fn fresh_monitor(rng_seed: u64, pick: PickRule) -> OsrkMonitor {
+    let (x0, p0) = target();
+    OsrkMonitor::new(x0, p0, Alpha::new(0.9).expect("valid"), rng_seed).with_pick_rule(pick)
+}
+
+/// An uninterrupted run over the first `j` arrivals — ground truth.
+fn clean_prefix(
+    arrivals: &[(Instance, Label)],
+    j: usize,
+    rng_seed: u64,
+    pick: PickRule,
+) -> OsrkMonitor {
+    let mut m = fresh_monitor(rng_seed, pick);
+    for (x, p) in &arrivals[..j] {
+        let _ = m.observe(x.clone(), *p);
+    }
+    m
+}
+
+fn is_subset(small: &[usize], big: &[usize]) -> bool {
+    small.iter().all(|f| big.contains(f))
+}
+
+/// Drives one crash-and-recover scenario; returns false when the fault
+/// plan never fired (kill point past the run's total op count).
+fn run_crash_case(kill_after: u64, vfs_seed: u64, every: u64, pick: PickRule) -> bool {
+    let rng_seed = 0xC0FFEE ^ vfs_seed;
+    let arrivals = stream(120, 42);
+    let vfs = MemVfs::with_plan(FaultPlan::crash_after(kill_after), vfs_seed);
+
+    let mut acked = 0usize;
+    let mut pre_crash_key: Vec<usize> = Vec::new();
+    match Durable::create(fresh_monitor(rng_seed, pick), vfs.clone(), DIR, every) {
+        Ok(mut durable) => {
+            for (x, p) in &arrivals {
+                match durable.observe(x, *p) {
+                    Ok(()) => {
+                        acked += 1;
+                        pre_crash_key = durable.state().key().to_vec();
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        Err(e) => assert_eq!(e, PersistError::Crashed, "create may only fail by dying"),
+    }
+    if !vfs.has_crashed() {
+        return false;
+    }
+
+    let rebooted = vfs.into_rebooted();
+    match Durable::<OsrkMonitor, _>::resume(rebooted, DIR, every) {
+        Ok((recovered, _replayed)) => {
+            let j = recovered.state().n_seen();
+            assert!(
+                j >= acked,
+                "kill@{kill_after} seed {vfs_seed}: {acked} acknowledged but only {j} recovered"
+            );
+            assert!(j <= arrivals.len());
+            let truth = clean_prefix(&arrivals, j, rng_seed, pick);
+            assert_eq!(
+                recovered.state().state_bytes(),
+                truth.state_bytes(),
+                "kill@{kill_after} seed {vfs_seed}: recovered state must be byte-identical \
+                 to an uninterrupted run over the first {j} arrivals"
+            );
+            // Coherence across the restart boundary: E_crash ⊆ E_resume,
+            // and keys only grow as the stream continues.
+            assert!(
+                is_subset(&pre_crash_key, recovered.state().key()),
+                "kill@{kill_after}: pre-crash key {pre_crash_key:?} ⊄ {:?}",
+                recovered.state().key()
+            );
+            let mut after = recovered;
+            let mut prev = after.state().key().to_vec();
+            for (x, p) in &arrivals[j..] {
+                after.observe(x, *p).expect("fault-free after reboot");
+                let now = after.state().key();
+                assert!(is_subset(&prev, now), "coherence broken after resume");
+                prev = now.to_vec();
+            }
+            // The continued run must agree byte-for-byte with a run that
+            // never crashed at all.
+            let full = clean_prefix(&arrivals, arrivals.len(), rng_seed, pick);
+            assert_eq!(after.state().state_bytes(), full.state_bytes());
+        }
+        Err(PersistError::NoSnapshot) => {
+            // Only possible when the crash predates the first published
+            // snapshot — i.e. nothing was ever acknowledged.
+            assert_eq!(acked, 0, "acknowledged arrivals must always be recoverable");
+        }
+        Err(e) => panic!("kill@{kill_after} seed {vfs_seed}: unexpected {e}"),
+    }
+    true
+}
+
+/// Every early kill point, one by one: covers crashes inside `create`'s
+/// initial snapshot, inside WAL append/fsync pairs, and inside the first
+/// few checkpoint rotations (write-tmp → fsync → rename → prune).
+#[test]
+fn kill_at_every_early_op_recovers_byte_identically() {
+    let mut fired = 0;
+    for kill_after in 1..=160 {
+        if run_crash_case(kill_after, 0xA5A5 + kill_after, 4, PickRule::First) {
+            fired += 1;
+        }
+    }
+    assert_eq!(fired, 160, "all early kill points are within the run");
+}
+
+/// Scattered kill points deep into the stream, across reboot-fate seeds
+/// and pick rules (the randomized MaxWeight path exercises RNG-state
+/// persistence: replay must consume the same random draws).
+#[test]
+fn kill_at_scattered_points_and_seeds() {
+    let mut fired = 0;
+    for (i, &kill_after) in [173, 219, 250, 307, 351, 402].iter().enumerate() {
+        for vfs_seed in 0..6 {
+            for (r, pick) in [PickRule::First, PickRule::MaxWeight, PickRule::MaxKill]
+                .into_iter()
+                .enumerate()
+            {
+                let seed = (i as u64) << 16 | vfs_seed << 4 | r as u64;
+                if run_crash_case(kill_after, seed, 8, pick) {
+                    fired += 1;
+                }
+            }
+        }
+    }
+    assert!(fired > 0, "at least some deep kill points must fire");
+}
+
+/// A non-fatal injected I/O error surfaces as `Err` from `observe`
+/// without poisoning the monitor: the arrival is simply not acknowledged
+/// and the caller may retry.
+#[test]
+fn injected_append_error_is_reported_not_fatal() {
+    let arrivals = stream(20, 7);
+    let vfs = MemVfs::with_plan(FaultPlan::fail_nth(OpKind::Append, 3), 1);
+    let mut durable =
+        Durable::create(fresh_monitor(9, PickRule::First), vfs.clone(), DIR, 100).expect("create");
+    let mut errors = 0;
+    for (x, p) in &arrivals {
+        if durable.observe(x, *p).is_err() {
+            errors += 1;
+        }
+    }
+    assert_eq!(errors, 1, "exactly the injected site fails");
+    assert!(!vfs.has_crashed());
+    // The WAL holds every acknowledged arrival; recovery sees a state
+    // equal to replaying exactly those.
+    let n_ok = durable.state().n_seen();
+    assert_eq!(n_ok, arrivals.len() - 1);
+    drop(durable);
+    let (recovered, _) = Durable::<OsrkMonitor, _>::resume(vfs, DIR, 100).expect("resume");
+    assert_eq!(recovered.state().n_seen(), n_ok);
+}
+
+/// Crashing *during* `resume`'s own roll-forward rotation must leave the
+/// directory recoverable: recovery is idempotent over the old epoch.
+#[test]
+fn crash_during_resume_rotation_is_recoverable() {
+    let arrivals = stream(40, 3);
+    let rng_seed = 11;
+    let vfs = MemVfs::new();
+    let mut durable = Durable::create(
+        fresh_monitor(rng_seed, PickRule::First),
+        vfs.clone(),
+        DIR,
+        10,
+    )
+    .expect("create");
+    for (x, p) in &arrivals {
+        durable.observe(x, *p).expect("fault-free");
+    }
+    let want = durable.state().state_bytes();
+    drop(durable);
+
+    // Reboot into a vfs that dies at each op of the resume path in turn.
+    let image: Vec<(String, Vec<u8>)> = {
+        let mut probe = vfs.clone();
+        probe
+            .list(DIR)
+            .expect("list")
+            .into_iter()
+            .map(|name| {
+                let path = format!("{DIR}/{name}");
+                let data = probe.read(&path).expect("read").expect("exists");
+                (path, data)
+            })
+            .collect()
+    };
+    // Seeding the image consumes (write + fsync) ops per file; offset
+    // the kill point so it fires inside resume's rotation, not seeding.
+    let seed_ops = 2 * image.len() as u64;
+    for resume_op in 1..=12 {
+        let kill_after = seed_ops + resume_op;
+        let crashy = MemVfs::with_plan(FaultPlan::crash_after(kill_after), kill_after);
+        {
+            let mut w = crashy.clone();
+            for (path, data) in &image {
+                w.write(path, data).expect("seed image");
+                w.sync_file(path).expect("seed image");
+            }
+        }
+        let res = Durable::<OsrkMonitor, _>::resume(crashy.clone(), DIR, 10);
+        if !crashy.has_crashed() {
+            let (recovered, _) = res.expect("no crash, resume succeeds");
+            assert_eq!(recovered.state().state_bytes(), want);
+            continue;
+        }
+        assert!(res.is_err(), "a killed resume reports the crash");
+        // Second reboot, fault-free: recovery must still reach the exact
+        // pre-crash state — the interrupted rotation lost nothing.
+        let (recovered, _) =
+            Durable::<OsrkMonitor, _>::resume(crashy.into_rebooted(), DIR, 10).expect("re-resume");
+        assert_eq!(
+            recovered.state().state_bytes(),
+            want,
+            "kill@{kill_after} during resume rotation"
+        );
+    }
+}

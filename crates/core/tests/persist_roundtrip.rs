@@ -1,0 +1,252 @@
+//! Property-based round-trip tests for the durability layer: every
+//! persisted type must decode from its own snapshot back to a
+//! **byte-identical** canonical encoding, arbitrary corruption must be
+//! *detected* (an error, never a panic or a silently wrong state), and
+//! the WAL reader must recover exactly the intact record prefix from a
+//! torn tail.
+
+use std::sync::Arc;
+
+use cce_core::persist::{Dec, MemVfs, PersistState, Vfs, WalReader, WalWriter};
+use cce_core::{
+    Alpha, Context, DriftMonitor, OsrkMonitor, PickRule, Recorder, ResolutionPolicy, SlidingWindow,
+    SsrkMonitor,
+};
+use cce_dataset::{FeatureDef, Instance, Label, Schema};
+use proptest::prelude::*;
+
+const N_FEATURES: usize = 4;
+const CARD: u32 = 3;
+
+fn schema() -> Arc<Schema> {
+    let names: Vec<String> = (0..CARD).map(|v| format!("v{v}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let feats = (0..N_FEATURES)
+        .map(|f| FeatureDef::categorical(&format!("f{f}"), &name_refs))
+        .collect();
+    Arc::new(Schema::new(feats))
+}
+
+/// One generated arrival: feature values plus a predicted label.
+fn arrival_strategy() -> impl Strategy<Value = (Vec<u32>, u32)> {
+    (proptest::collection::vec(0..CARD, N_FEATURES), 0u32..3)
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<(Vec<u32>, u32)>> {
+    proptest::collection::vec(arrival_strategy(), 1..60)
+}
+
+fn alpha_strategy() -> impl Strategy<Value = Alpha> {
+    (0usize..3).prop_map(|i| Alpha::new([1.0, 0.95, 0.8][i]).expect("valid"))
+}
+
+/// Snapshot → decode → re-encode must be byte-identical, both at the
+/// canonical-state and the framed-snapshot level.
+fn assert_round_trip<T: PersistState>(t: &T, what: &str) {
+    let snap = t.snapshot_bytes();
+    let back = T::from_snapshot_bytes(&snap).unwrap_or_else(|e| panic!("{what}: {e}"));
+    assert_eq!(back.state_bytes(), t.state_bytes(), "{what}: state bytes");
+    assert_eq!(back.snapshot_bytes(), snap, "{what}: snapshot bytes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn context_round_trips(stream in stream_strategy()) {
+        let mut ctx = Context::empty(schema());
+        for (vals, l) in stream {
+            ctx.push(Instance::new(vals), Label(l)).expect("width");
+        }
+        assert_round_trip(&ctx, "Context");
+    }
+
+    #[test]
+    fn window_round_trips(
+        stream in stream_strategy(),
+        capacity in 1usize..20,
+        delta_seed in 1usize..20,
+        policy_ix in 0usize..3,
+    ) {
+        let delta = (delta_seed % capacity) + 1;
+        let policy = [
+            ResolutionPolicy::FirstWins,
+            ResolutionPolicy::LastWins,
+            ResolutionPolicy::UnionKey,
+        ][policy_ix];
+        let mut w = SlidingWindow::new(schema(), capacity, delta, Alpha::ONE, policy);
+        for (vals, l) in stream {
+            w.push(Instance::new(vals), Label(l)).expect("width");
+        }
+        assert_round_trip(&w, "SlidingWindow");
+    }
+
+    #[test]
+    fn osrk_round_trips(
+        x0 in arrival_strategy(),
+        stream in stream_strategy(),
+        seed in any::<u64>(),
+        alpha in alpha_strategy(),
+        pick_ix in 0usize..3,
+    ) {
+        let pick = [PickRule::First, PickRule::MaxWeight, PickRule::MaxKill][pick_ix];
+        let mut m = OsrkMonitor::new(Instance::new(x0.0), Label(x0.1), alpha, seed)
+            .with_pick_rule(pick);
+        for (vals, l) in stream {
+            // Errors (tolerance exceeded) still mutate deterministically.
+            let _ = m.observe(Instance::new(vals), Label(l));
+        }
+        assert_round_trip(&m, "OsrkMonitor");
+    }
+
+    #[test]
+    fn ssrk_round_trips(
+        x0 in arrival_strategy(),
+        universe in proptest::collection::vec(arrival_strategy(), 1..12),
+        picks in proptest::collection::vec(0usize..1024, 0..40),
+        alpha in alpha_strategy(),
+    ) {
+        let uni: Vec<(Instance, Label)> = universe
+            .iter()
+            .map(|(vals, l)| (Instance::new(vals.clone()), Label(*l)))
+            .collect();
+        let mut m = SsrkMonitor::new(Instance::new(x0.0), Label(x0.1), alpha, &uni);
+        for ix in picks {
+            // SSRK arrivals are drawn from the fixed universe (Alg. 3's
+            // static-universe setting).
+            let (x, l) = &uni[ix % uni.len()];
+            let _ = m.observe(x.clone(), *l);
+        }
+        assert_round_trip(&m, "SsrkMonitor");
+    }
+
+    #[test]
+    fn drift_monitor_round_trips(
+        stream in stream_strategy(),
+        panel in 1usize..4,
+        sample_every in 1usize..5,
+        seed in any::<u64>(),
+        alpha in alpha_strategy(),
+    ) {
+        let mut m = DriftMonitor::new(alpha, panel, sample_every, seed).expect("valid config");
+        for (vals, l) in stream {
+            m.observe(Instance::new(vals), Label(l));
+        }
+        assert_round_trip(&m, "DriftMonitor");
+    }
+
+    /// CRC-32 detects every burst error of ≤32 bits, so any single-byte
+    /// flip anywhere in a snapshot — header, payload, or the checksum
+    /// itself — must surface as an error, never a panic and never a
+    /// silently different state.
+    #[test]
+    fn any_single_byte_flip_is_detected(
+        x0 in arrival_strategy(),
+        stream in stream_strategy(),
+        seed in any::<u64>(),
+        flip in 0usize..1_000_000,
+        xor in 1u8..=255,
+    ) {
+        let mut m = OsrkMonitor::new(Instance::new(x0.0), Label(x0.1), Alpha::ONE, seed);
+        for (vals, l) in stream {
+            let _ = m.observe(Instance::new(vals), Label(l));
+        }
+        let mut snap = m.snapshot_bytes();
+        let at = flip % snap.len();
+        snap[at] ^= xor;
+        prop_assert!(OsrkMonitor::from_snapshot_bytes(&snap).is_err());
+    }
+
+    /// Truncating a WAL at *any* byte offset recovers exactly the whole
+    /// records that fit before the cut — never a partial record, never a
+    /// crash — and flags the torn tail iff the cut is mid-record.
+    #[test]
+    fn wal_truncated_anywhere_recovers_intact_prefix(
+        stream in proptest::collection::vec(arrival_strategy(), 1..10),
+        cut_ix in 0usize..1_000_000,
+    ) {
+        let mut vfs = MemVfs::new();
+        let mut wal = WalWriter::new("w.log");
+        let mut boundaries = vec![0usize];
+        for (vals, l) in &stream {
+            wal.append(&mut vfs, &Instance::new(vals.clone()), Label(*l))
+                .expect("append");
+            boundaries.push(vfs.read("w.log").expect("read").expect("exists").len());
+        }
+        let bytes = vfs.read("w.log").expect("read").expect("exists");
+        let cut = cut_ix % (bytes.len() + 1);
+        let scanned = WalReader::scan_bytes(&bytes[..cut]);
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        prop_assert_eq!(scanned.records.len(), whole, "cut at {}", cut);
+        prop_assert_eq!(scanned.clean_len, boundaries[whole]);
+        prop_assert_eq!(scanned.tail_dropped, cut != boundaries[whole]);
+        for (rec, (vals, l)) in scanned.records.iter().zip(&stream) {
+            prop_assert_eq!(rec.instance.values(), &vals[..]);
+            prop_assert_eq!(rec.prediction, Label(*l));
+        }
+    }
+}
+
+/// A WAL whose tail bytes are *corrupted in place* (not truncated) still
+/// yields the intact prefix: the CRC rejects the damaged record.
+#[test]
+fn wal_corrupt_tail_record_is_dropped() {
+    let mut vfs = MemVfs::new();
+    let mut wal = WalWriter::new("w.log");
+    for i in 0..5u32 {
+        wal.append(&mut vfs, &Instance::new(vec![i; N_FEATURES]), Label(i % 2))
+            .expect("append");
+    }
+    let mut bytes = vfs.read("w.log").expect("read").expect("exists");
+    let last = bytes.len() - 3;
+    bytes[last] ^= 0x55;
+    let scanned = WalReader::scan_bytes(&bytes);
+    assert_eq!(scanned.records.len(), 4, "damaged fifth record dropped");
+    assert!(scanned.tail_dropped);
+    for (i, rec) in scanned.records.iter().enumerate() {
+        assert_eq!(rec.instance.values(), &[i as u32; N_FEATURES]);
+    }
+}
+
+/// The recorder's store (context or window) round-trips through
+/// `encode_store`/`restore_store`; the model is re-supplied as
+/// configuration.
+#[test]
+fn recorder_store_round_trips() {
+    use cce_dataset::{synth, BinSpec};
+    use cce_model::{Gbdt, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let ds = synth::loan::generate(200, 9).encode(&BinSpec::uniform(6));
+    let (train, infer) = ds.split(0.7, &mut StdRng::seed_from_u64(5));
+    let model = Gbdt::train(&train, &GbdtParams::fast(), 0);
+
+    let mut unbounded = Recorder::unbounded(model.clone(), infer.schema_arc());
+    unbounded.serve_all(infer.instances());
+    let bytes = unbounded.store_bytes();
+    let back = Recorder::restore_store(model.clone(), &mut Dec::new(&bytes)).expect("restore");
+    assert_eq!(back.store_bytes(), bytes);
+    assert_eq!(back.len(), unbounded.len());
+
+    let mut windowed = Recorder::windowed(model.clone(), infer.schema_arc(), 30, 10);
+    windowed.serve_all(infer.instances());
+    let bytes = windowed.store_bytes();
+    let back = Recorder::restore_store(model, &mut Dec::new(&bytes)).expect("restore");
+    assert_eq!(back.store_bytes(), bytes);
+    assert_eq!(back.len(), windowed.len());
+}
+
+/// Wrong-type snapshots are rejected by tag, not misparsed.
+#[test]
+fn cross_type_snapshots_are_rejected() {
+    let mut ctx = Context::empty(schema());
+    ctx.push(Instance::new(vec![0; N_FEATURES]), Label(0))
+        .expect("width");
+    let snap = ctx.snapshot_bytes();
+    let err = OsrkMonitor::from_snapshot_bytes(&snap).unwrap_err();
+    assert!(
+        matches!(err, cce_core::PersistError::WrongType { .. }),
+        "got {err:?}"
+    );
+}

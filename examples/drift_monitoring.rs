@@ -30,7 +30,8 @@ fn main() {
             model.predict_all(stream.instances())
         };
 
-        let mut monitor = DriftMonitor::new(Alpha::ONE, 12, stream.len() / 10, 1);
+        let mut monitor =
+            DriftMonitor::new(Alpha::ONE, 12, stream.len() / 10, 1).expect("valid monitor config");
         let mut correct = 0usize;
         println!(
             "\n=== {} stream ===",

@@ -82,7 +82,7 @@ fn drift_monitor_contrasts_clean_and_noisy_streams() {
         }
         let preds = model.predict_all(stream.instances());
         let onset = (stream.len() as f64 * 0.6) as usize;
-        let mut m = DriftMonitor::new(Alpha::ONE, 12, 50, 1);
+        let mut m = DriftMonitor::new(Alpha::ONE, 12, 50, 1).unwrap();
         let mut at_onset = 0.0;
         for (i, (x, p)) in stream.instances().iter().cloned().zip(preds).enumerate() {
             if i == onset {
