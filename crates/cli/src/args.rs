@@ -12,13 +12,31 @@ impl Args {
     /// Parses alternating `--key value` tokens. A flag followed by
     /// another `--flag` (or by nothing) is a bare boolean, stored as
     /// `"true"` — e.g. `--resume`.
-    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+    ///
+    /// Flags outside `allowed` are rejected up front — a typo like
+    /// `--buget 100` must fail loudly, not silently run unbudgeted.
+    pub fn parse(tokens: &[String], allowed: &[&str]) -> Result<Self, String> {
         let mut values = HashMap::new();
         let mut it = tokens.iter().peekable();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("expected --flag, got {key:?}"));
             };
+            if !allowed.contains(&name) {
+                let mut msg = format!("unknown flag --{name}");
+                if let Some(close) = closest(name, allowed) {
+                    msg.push_str(&format!(" (did you mean --{close}?)"));
+                }
+                msg.push_str(&format!(
+                    "\nflags accepted here: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+                return Err(msg);
+            }
             let value = match it.peek() {
                 Some(next) if !next.starts_with("--") => it.next().expect("peeked").clone(),
                 _ => "true".to_string(),
@@ -72,9 +90,41 @@ impl Args {
     }
 }
 
+/// The allowed flag nearest to `name` (edit distance ≤ 2), if any — just
+/// enough fuzziness to catch transpositions and dropped letters.
+fn closest<'a>(name: &str, allowed: &[&'a str]) -> Option<&'a str> {
+    allowed
+        .iter()
+        .map(|a| (edit_distance(name, a), *a))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, a)| a)
+}
+
+/// Plain Levenshtein distance — flag names are short, so the O(nm) table
+/// is a few dozen cells.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ALLOWED: &[&str] = &[
+        "data", "target", "alpha", "resume", "verbose", "metrics", "a", "budget",
+    ];
 
     fn toks(s: &[&str]) -> Vec<String> {
         s.iter().map(|t| t.to_string()).collect()
@@ -82,7 +132,7 @@ mod tests {
 
     #[test]
     fn parses_pairs() {
-        let a = Args::parse(&toks(&["--data", "x.csv", "--target", "3"])).unwrap();
+        let a = Args::parse(&toks(&["--data", "x.csv", "--target", "3"]), ALLOWED).unwrap();
         assert_eq!(a.required("data").unwrap(), "x.csv");
         assert_eq!(a.int("target").unwrap(), Some(3));
         assert_eq!(a.float("alpha").unwrap(), None);
@@ -92,13 +142,17 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        assert!(Args::parse(&toks(&["data"])).is_err());
-        assert!(Args::parse(&toks(&["--a", "1", "--a", "2"])).is_err());
+        assert!(Args::parse(&toks(&["data"]), ALLOWED).is_err());
+        assert!(Args::parse(&toks(&["--a", "1", "--a", "2"]), ALLOWED).is_err());
     }
 
     #[test]
     fn bare_flags_are_booleans() {
-        let a = Args::parse(&toks(&["--resume", "--data", "x.csv", "--verbose"])).unwrap();
+        let a = Args::parse(
+            &toks(&["--resume", "--data", "x.csv", "--verbose"]),
+            ALLOWED,
+        )
+        .unwrap();
         assert!(a.flag("resume"));
         assert!(a.flag("verbose"));
         assert!(!a.flag("data"), "valued flag is not a boolean");
@@ -108,7 +162,35 @@ mod tests {
 
     #[test]
     fn type_errors_are_reported() {
-        let a = Args::parse(&toks(&["--target", "abc"])).unwrap();
+        let a = Args::parse(&toks(&["--target", "abc"]), ALLOWED).unwrap();
         assert!(a.int("target").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_suggestion() {
+        let err = Args::parse(&toks(&["--buget", "100"]), ALLOWED).unwrap_err();
+        assert!(err.contains("unknown flag --buget"), "{err}");
+        assert!(err.contains("did you mean --budget?"), "{err}");
+        assert!(err.contains("--data"), "allowed list shown: {err}");
+
+        // Far-from-everything flags get the list but no bogus suggestion.
+        let err = Args::parse(&toks(&["--frobnicate"]), ALLOWED).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn unknown_bare_flag_rejected_even_with_valid_neighbors() {
+        let err = Args::parse(&toks(&["--data", "x.csv", "--vrbose"]), ALLOWED).unwrap_err();
+        assert!(err.contains("unknown flag --vrbose"), "{err}");
+        assert!(err.contains("did you mean --verbose?"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("buget", "budget"), 1);
     }
 }

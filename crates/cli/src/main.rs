@@ -45,24 +45,71 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cce export     --dataset <Adult|German|Compas|Loan|Recid|Tiers> --out <file.csv> [--rows N] [--seed S] [--buckets B]
-  cce explain    --data <file.csv> --target <row> [--alpha A] [--budget SCANS]
+  cce explain    --data <file.csv> --target <row> [--alpha A] [--budget SCANS] [--json]
   cce summarize  --data <file.csv> [--max-patterns K] [--alpha A] [--coverage C]
   cce importance --data <file.csv> --target <row> [--permutations P] [--seed S]
   cce monitor    --data <file.csv> --target <row> [--alpha A] [--seed S]
                  [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
+  cce serve      --data <file.csv> [--addr HOST:PORT] [--alpha A] [--target ROW] [--seed S]
+                 [--linger-ms MS] [--max-batch N] [--threads T]
+                 [--shed-depth N] [--degrade-depth N] [--degrade-budget SCANS]
+                 [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
+                 [--max-conns N] [--keepalive-ms MS]
   (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
+
+/// The flags each subcommand accepts (`None` → unknown subcommand).
+fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
+    Some(match cmd {
+        "export" => &["dataset", "out", "rows", "seed", "buckets", "metrics"],
+        "explain" => &["data", "target", "alpha", "budget", "json", "metrics"],
+        "summarize" => &["data", "max-patterns", "alpha", "coverage", "metrics"],
+        "importance" => &["data", "target", "permutations", "seed", "metrics"],
+        "monitor" => &[
+            "data",
+            "target",
+            "alpha",
+            "seed",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
+            "metrics",
+        ],
+        "serve" => &[
+            "data",
+            "addr",
+            "alpha",
+            "target",
+            "seed",
+            "linger-ms",
+            "max-batch",
+            "threads",
+            "shed-depth",
+            "degrade-depth",
+            "degrade-budget",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "resume",
+            "max-conns",
+            "keepalive-ms",
+            "metrics",
+        ],
+        _ => return None,
+    })
+}
 
 fn run(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err("missing subcommand".into());
     };
-    let args = Args::parse(rest)?;
+    let allowed = allowed_flags(cmd).ok_or_else(|| format!("unknown subcommand {cmd:?}"))?;
+    let args = Args::parse(rest, allowed)?;
     let result = match cmd.as_str() {
         "export" => export(&args),
         "explain" => explain(&args),
         "summarize" => summarize_cmd(&args),
         "importance" => importance_cmd(&args),
         "monitor" => monitor(&args),
+        "serve" => serve(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     // Dump metrics even on failure: the error path is exactly where the
@@ -155,9 +202,15 @@ fn explain(args: &Args) -> Result<(), String> {
         Some(b) => return Err(format!("--budget must be non-negative, got {b}")),
         None => WorkBudget::unlimited(),
     };
-    let budgeted = Srk::new(alpha)
-        .explain_budgeted(&ctx, target, budget)
-        .map_err(|e| e.to_string())?;
+    let result = Srk::new(alpha).explain_budgeted(&ctx, target, budget);
+    if args.flag("json") {
+        // Render through the exact same function the serving daemon
+        // uses, so scripted clients see one JSON shape everywhere.
+        let resp = cce_serve::explain_response(target, alpha, &result);
+        println!("{}", String::from_utf8_lossy(&resp.body));
+        return result.map(|_| ()).map_err(|e| e.to_string());
+    }
+    let budgeted = result.map_err(|e| e.to_string())?;
     let key = budgeted.key;
     if let ExplainStatus::Degraded {
         spent,
@@ -315,4 +368,97 @@ fn monitor(args: &Args) -> Result<(), String> {
         )
     );
     Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    use cce_serve::{AdmissionConfig, BatcherConfig, MonitorBackend, Server, ServerConfig};
+    use std::time::Duration;
+
+    let ds = load(args)?;
+    let ctx = context_of(&ds);
+    let alpha = alpha_of(args)?;
+    let addr = args
+        .optional("addr")
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    // The ingest monitor tracks one target row's key online.
+    let target = args.int("target")?.unwrap_or(0) as usize;
+    if target >= ctx.len() {
+        return Err(format!("--target {target} out of range (0..{})", ctx.len()));
+    }
+    let seed = args.int("seed")?.unwrap_or(7) as u64;
+
+    let mut batcher_cfg = BatcherConfig::default();
+    if let Some(v) = args.int("max-batch")? {
+        batcher_cfg.max_batch = v.max(1) as usize;
+    }
+    if let Some(v) = args.int("linger-ms")? {
+        batcher_cfg.linger = Duration::from_millis(v.max(0) as u64);
+    }
+    if let Some(v) = args.int("threads")? {
+        batcher_cfg.threads = v.max(1) as usize;
+    }
+    let mut admission_cfg = AdmissionConfig::default();
+    if let Some(v) = args.int("shed-depth")? {
+        admission_cfg.shed_depth = v.max(0) as usize;
+    }
+    if let Some(v) = args.int("degrade-depth")? {
+        admission_cfg.degrade_depth = v.max(0) as usize;
+    }
+    if let Some(v) = args.int("degrade-budget")? {
+        admission_cfg.degrade_budget = v.max(0) as u64;
+    }
+    let mut server_cfg = ServerConfig::default();
+    if let Some(v) = args.int("max-conns")? {
+        server_cfg.max_connections = v.max(1) as usize;
+    }
+    if let Some(v) = args.int("keepalive-ms")? {
+        server_cfg.keep_alive_timeout = Duration::from_millis(v.max(1) as u64);
+    }
+
+    let backend = if let Some(dir) = args.optional("checkpoint-dir") {
+        let every = args.int("checkpoint-every")?.unwrap_or(256).max(1) as u64;
+        let durable = if args.flag("resume") {
+            let (d, replayed) = Durable::<OsrkMonitor, StdVfs>::resume(StdVfs, &dir, every)
+                .map_err(|e| format!("resuming from {dir}: {e}"))?;
+            println!(
+                "resumed epoch {} from {dir}: {} arrivals already durable \
+                 ({replayed} replayed from WAL)",
+                d.epoch(),
+                d.state().n_seen()
+            );
+            d
+        } else {
+            let m = OsrkMonitor::new(
+                ctx.instance(target).clone(),
+                ctx.prediction(target),
+                alpha,
+                seed,
+            );
+            Durable::create(m, StdVfs, &dir, every)
+                .map_err(|e| format!("creating checkpoint in {dir}: {e}"))?
+        };
+        MonitorBackend::Durable(durable)
+    } else {
+        if args.flag("resume") {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        MonitorBackend::Plain(OsrkMonitor::new(
+            ctx.instance(target).clone(),
+            ctx.prediction(target),
+            alpha,
+            seed,
+        ))
+    };
+
+    let app = cce_serve::build_app(ctx, alpha, batcher_cfg, admission_cfg, backend);
+    let server =
+        Server::bind(app, &addr, server_cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("resolving bound address: {e}"))?;
+    // Scripts (the CI smoke job, the e2e tests) wait for this line.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run().map_err(|e| format!("serving: {e}"))
 }

@@ -300,3 +300,232 @@ fn monitor_streams_checkpoints() {
     assert!(stdout.contains("arrivals"), "stdout: {stdout}");
     assert!(stdout.contains("final: IF"), "stdout: {stdout}");
 }
+
+#[test]
+fn unknown_flags_fail_with_suggestion() {
+    let path = export_loan();
+    let out = cce()
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--buget",
+            "100",
+        ])
+        .output()
+        .expect("run cce explain with typo'd flag");
+    assert!(!out.status.success(), "typo'd flag must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --buget"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("did you mean --budget?"),
+        "stderr: {stderr}"
+    );
+
+    // A flag valid for one subcommand is still rejected by another.
+    let out = cce()
+        .args([
+            "summarize",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+        ])
+        .output()
+        .expect("run cce summarize with explain-only flag");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --target"), "stderr: {stderr}");
+    assert!(stderr.contains("flags accepted here"), "stderr: {stderr}");
+}
+
+#[test]
+fn explain_json_snapshot() {
+    let path = export_loan();
+    // Complete key: the full budgeted-key shape, exact bytes.
+    let out = cce()
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--json",
+        ])
+        .output()
+        .expect("run cce explain --json");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        r#"{"status":"complete","target":0,"alpha":1,"features":[6,3],"succinctness":2,"achieved_conformity":1}"#,
+    );
+
+    // Degraded key: ExplainStatus surfaces with spent/remaining fields.
+    let out = cce()
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+            "--budget",
+            "1",
+            "--json",
+        ])
+        .output()
+        .expect("run cce explain --json --budget");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stdout = stdout.trim();
+    assert_eq!(
+        stdout,
+        r#"{"status":"degraded","spent":5093,"remaining_violators":1,"target":0,"alpha":1,"features":[6],"succinctness":1,"achieved_conformity":0.998371335504886}"#,
+    );
+
+    // Errors keep the same envelope and a nonzero exit.
+    let out = cce()
+        .args([
+            "explain",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "999999",
+            "--json",
+        ])
+        .output()
+        .expect("run cce explain --json out of range");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(r#""status":"error""#) && stdout.contains(r#""target":999999"#),
+        "stdout: {stdout}"
+    );
+}
+
+/// Raw-TCP client helper against a spawned `cce serve` child.
+fn http_roundtrip(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::Write as _;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to cce serve");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    let (status, bytes) = cce_serve::http::read_response(&mut reader).expect("read serve response");
+    (status, String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Reads the child's stdout until the `listening on ADDR` line; returns
+/// the address and the lines seen before it.
+fn wait_for_listening(
+    stdout: &mut std::io::BufReader<std::process::ChildStdout>,
+) -> (String, Vec<String>) {
+    use std::io::BufRead as _;
+    let mut seen = Vec::new();
+    loop {
+        let mut line = String::new();
+        let n = stdout.read_line(&mut line).expect("read serve stdout");
+        assert!(n > 0, "serve exited before listening (saw {seen:?})");
+        let line = line.trim().to_string();
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            return (addr.to_string(), seen);
+        }
+        seen.push(line);
+    }
+}
+
+#[test]
+fn serve_ingest_survives_restart_with_resume() {
+    let path = export_loan();
+    let ckpt = tmp("serve-ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let serve_args = |extra: &[&str]| {
+        let mut v = vec![
+            "serve".to_string(),
+            "--data".into(),
+            path.to_str().unwrap().into(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--checkpoint-dir".into(),
+            ckpt.to_str().unwrap().into(),
+            "--checkpoint-every".into(),
+            "4".into(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+
+    // First life: ingest a handful of arrivals durably, then drain.
+    let mut child = cce()
+        .args(serve_args(&[]))
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn cce serve");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let (addr, _) = wait_for_listening(&mut stdout);
+
+    let (status, health) = http_roundtrip(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{health}");
+    assert!(health.contains("\"durable\":true"), "{health}");
+    let features: usize = health
+        .split("\"features\":")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.parse().ok())
+        .expect("features in healthz");
+
+    let acked = 6;
+    for i in 1..=acked {
+        let body = format!(
+            "{{\"values\":[{}],\"prediction\":0}}",
+            vec!["0"; features].join(",")
+        );
+        let (status, resp) = http_roundtrip(&addr, "POST", "/monitor/ingest", &body);
+        assert_eq!(status, 200, "{resp}");
+        assert!(resp.contains(&format!("\"n_seen\":{i}")), "{resp}");
+        assert!(resp.contains("\"durable\":true"), "{resp}");
+    }
+    let (status, resp) = http_roundtrip(&addr, "POST", "/explain", "{\"target\":0}");
+    assert_eq!(status, 200, "{resp}");
+
+    let (status, _) = http_roundtrip(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve exits after drain");
+    assert!(exit.success(), "drain must exit cleanly");
+
+    // Second life: --resume must recover every acknowledged arrival.
+    let mut child = cce()
+        .args(serve_args(&["--resume"]))
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("respawn cce serve --resume");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().unwrap());
+    let (addr, before) = wait_for_listening(&mut stdout);
+    assert!(
+        before.iter().any(|l| l.contains("resumed epoch")),
+        "resume banner expected, saw {before:?}"
+    );
+
+    let (status, health) = http_roundtrip(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains(&format!("\"ingested\":{acked}")),
+        "all acknowledged arrivals must survive the restart: {health}"
+    );
+
+    let (status, _) = http_roundtrip(&addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(child.wait().expect("serve exits").success());
+}

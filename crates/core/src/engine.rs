@@ -1,0 +1,268 @@
+//! A reusable micro-batch explanation engine for serving.
+//!
+//! [`Cce::explain_all_parallel`] amortizes one [`ContextIndex`] and the
+//! duplicate-row memoizer across a *whole-context* batch; a serving
+//! front end instead sees a stream of small, arbitrary target sets — the
+//! micro-batches a request coalescer forms. [`BatchEngine`] keeps the
+//! expensive shared state (index, duplicate classes) alive across calls
+//! so each micro-batch pays only its own greedy work:
+//!
+//! * **Duplicate-target memoization across a batch** — targets with
+//!   identical `(instance, prediction)` rows provably receive identical
+//!   keys, so each equivalence class in a batch is explained once and
+//!   the result fanned out (`cce_batch_memo_hits_total`).
+//! * **Budgeted degradation** — a non-unlimited [`WorkBudget`] routes
+//!   through [`Srk::explain_budgeted`], so an overloaded server can
+//!   trade key completeness for bounded latency per target and report
+//!   the [`ExplainStatus`] honestly.
+//! * **Scoped parallelism** — distinct classes of one batch fan out over
+//!   `threads` scoped workers; results are returned in input order.
+//!
+//! The unbudgeted path is the indexed lazy-greedy explainer, which is
+//! differentially tested elsewhere to match [`Srk::explain`] exactly;
+//! `serve`'s coalescing differential test extends that guarantee to the
+//! HTTP response bytes.
+//!
+//! [`Cce::explain_all_parallel`]: crate::Cce::explain_all_parallel
+
+use std::collections::HashMap;
+
+use crate::alpha::Alpha;
+use crate::context::Context;
+use crate::error::ExplainError;
+use crate::index::{ContextIndex, ExplainScratch};
+use crate::srk::{BudgetedKey, ExplainStatus, Srk, WorkBudget};
+
+/// Shared, read-only explanation state amortized across micro-batches.
+#[derive(Debug)]
+pub struct BatchEngine {
+    ctx: Context,
+    alpha: Alpha,
+    idx: ContextIndex,
+    /// Row → duplicate-class id ([`Context::duplicate_classes`]).
+    class_of: Vec<u32>,
+    /// Class id → representative row.
+    reps: Vec<u32>,
+}
+
+impl BatchEngine {
+    /// Builds the engine over an immutable context: one index build, one
+    /// duplicate-class partition, reused for every later batch.
+    pub fn new(ctx: Context, alpha: Alpha) -> Self {
+        let idx = ContextIndex::new(&ctx);
+        let (reps, class_of) = ctx.duplicate_classes();
+        Self {
+            ctx,
+            alpha,
+            idx,
+            class_of,
+            reps,
+        }
+    }
+
+    /// The context the engine explains against.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// The conformity bound every produced key targets.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Explains one target through the shared index (no memoization —
+    /// single-request path). Identical output to [`Srk::explain`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain_budgeted`].
+    pub fn explain_one(
+        &self,
+        target: usize,
+        budget: WorkBudget,
+    ) -> Result<BudgetedKey, ExplainError> {
+        self.explain_rep(target, budget, &mut ExplainScratch::new())
+    }
+
+    /// Explains a micro-batch of targets, memoizing duplicate rows and
+    /// fanning the per-class work over up to `threads` scoped workers.
+    ///
+    /// Returns one entry per input target, in input order. Each entry is
+    /// exactly what a per-request [`Srk::explain_budgeted`] call with the
+    /// same budget would have produced (duplicate targets share one
+    /// computation, which is provably identical for all of them).
+    pub fn explain_batch(
+        &self,
+        targets: &[usize],
+        budget: WorkBudget,
+        threads: usize,
+    ) -> Vec<Result<BudgetedKey, ExplainError>> {
+        // Unique classes among the valid targets, first-seen order.
+        let mut slot_of_class: HashMap<u32, usize> = HashMap::with_capacity(targets.len());
+        let mut uniques: Vec<u32> = Vec::with_capacity(targets.len());
+        for &t in targets {
+            if t < self.ctx.len() {
+                let class = self.class_of[t];
+                slot_of_class.entry(class).or_insert_with(|| {
+                    uniques.push(class);
+                    uniques.len() - 1
+                });
+            }
+        }
+        cce_obs::counter!("cce_batch_memo_classes_total").add(uniques.len() as u64);
+        cce_obs::counter!("cce_batch_memo_hits_total")
+            .add((targets.len() - uniques.len()).min(targets.len()) as u64);
+        cce_obs::histogram!("cce_microbatch_size").record(targets.len() as u64);
+
+        let results = self.explain_classes(&uniques, budget, threads);
+
+        targets
+            .iter()
+            .map(|&t| {
+                if t >= self.ctx.len() {
+                    return Err(ExplainError::TargetOutOfRange {
+                        target: t,
+                        len: self.ctx.len(),
+                    });
+                }
+                results[slot_of_class[&self.class_of[t]]].clone()
+            })
+            .collect()
+    }
+
+    /// Explains each class representative once, in parallel when the
+    /// batch and thread budget both allow it.
+    fn explain_classes(
+        &self,
+        uniques: &[u32],
+        budget: WorkBudget,
+        threads: usize,
+    ) -> Vec<Result<BudgetedKey, ExplainError>> {
+        let threads = threads.clamp(1, uniques.len().max(1));
+        if threads == 1 || uniques.len() <= 1 {
+            let mut scratch = ExplainScratch::new();
+            return uniques
+                .iter()
+                .map(|&c| self.explain_rep(self.reps[c as usize] as usize, budget, &mut scratch))
+                .collect();
+        }
+        type Slot = Option<Result<BudgetedKey, ExplainError>>;
+        let mut results: Vec<Slot> = vec![None; uniques.len()];
+        std::thread::scope(|scope| {
+            // Round-robin slot ownership: micro-batches are small enough
+            // that static striping balances fine, and exclusive &mut
+            // slots keep the fan-out lock-free.
+            let mut workers: Vec<Vec<(usize, &mut Slot)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, slot) in results.iter_mut().enumerate() {
+                workers[i % threads].push((i, slot));
+            }
+            for stripe in workers {
+                scope.spawn(move || {
+                    let mut scratch = ExplainScratch::new();
+                    for (i, slot) in stripe {
+                        let rep = self.reps[uniques[i] as usize] as usize;
+                        *slot = Some(self.explain_rep(rep, budget, &mut scratch));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot was assigned to a worker"))
+            .collect()
+    }
+
+    /// One representative explain: indexed lazy-greedy when unlimited
+    /// (identical to [`Srk::explain`]), budgeted SRK otherwise.
+    fn explain_rep(
+        &self,
+        target: usize,
+        budget: WorkBudget,
+        scratch: &mut ExplainScratch,
+    ) -> Result<BudgetedKey, ExplainError> {
+        if budget == WorkBudget::unlimited() {
+            self.idx
+                .explain_with(&self.ctx, target, self.alpha, scratch)
+                .map(|key| BudgetedKey {
+                    key,
+                    status: ExplainStatus::Complete,
+                })
+        } else {
+            Srk::new(self.alpha).explain_budgeted(&self.ctx, target, budget)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cce_dataset::{synth, BinSpec};
+
+    fn loan_engine(rows: usize, alpha: f64) -> BatchEngine {
+        let raw = synth::loan::generate(rows, 42);
+        let ds = raw.encode(&BinSpec::uniform(6));
+        let ctx = Context::from_recorded(&ds);
+        BatchEngine::new(ctx, Alpha::new(alpha).unwrap())
+    }
+
+    #[test]
+    fn batch_matches_per_request_srk() {
+        let engine = loan_engine(400, 1.0);
+        let srk = Srk::new(engine.alpha());
+        let targets: Vec<usize> = (0..engine.context().len()).step_by(7).collect();
+        for threads in [1, 4] {
+            let batch = engine.explain_batch(&targets, WorkBudget::unlimited(), threads);
+            assert_eq!(batch.len(), targets.len());
+            for (&t, got) in targets.iter().zip(&batch) {
+                let want = srk.explain_budgeted(engine.context(), t, WorkBudget::unlimited());
+                assert_eq!(&want, got, "target {t}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_targets_share_one_result() {
+        let engine = loan_engine(200, 0.95);
+        let targets = [3, 3, 3, 5, 3];
+        let out = engine.explain_batch(&targets, WorkBudget::unlimited(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0], out[2]);
+        assert_eq!(out[0], out[4]);
+    }
+
+    #[test]
+    fn budgeted_batch_degrades_like_srk() {
+        let engine = loan_engine(300, 1.0);
+        let srk = Srk::new(engine.alpha());
+        let budget = WorkBudget::new(50);
+        let targets: Vec<usize> = (0..60).collect();
+        let batch = engine.explain_batch(&targets, budget, 3);
+        for (&t, got) in targets.iter().zip(&batch) {
+            assert_eq!(&srk.explain_budgeted(engine.context(), t, budget), got);
+        }
+        assert!(
+            batch.iter().flatten().any(|b| !b.status.is_complete()),
+            "a 50-scan budget should degrade some 300-row Loan targets"
+        );
+    }
+
+    #[test]
+    fn out_of_range_targets_error_individually() {
+        let engine = loan_engine(50, 1.0);
+        let out = engine.explain_batch(&[1, 999, 2], WorkBudget::unlimited(), 1);
+        assert!(out[0].is_ok());
+        assert!(matches!(
+            out[1],
+            Err(ExplainError::TargetOutOfRange { target: 999, .. })
+        ));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = loan_engine(50, 1.0);
+        assert!(engine
+            .explain_batch(&[], WorkBudget::unlimited(), 4)
+            .is_empty());
+    }
+}

@@ -41,6 +41,7 @@
 pub mod alpha;
 pub mod cce;
 pub mod context;
+pub mod engine;
 pub mod error;
 pub mod importance;
 pub mod index;
@@ -58,6 +59,7 @@ pub mod window;
 pub use alpha::Alpha;
 pub use cce::{Cce, CceConfig, Mode};
 pub use context::Context;
+pub use engine::BatchEngine;
 pub use error::ExplainError;
 pub use importance::{shapley_exact, shapley_sampled, ImportanceParams, OnlineImportance};
 pub use index::{ContextIndex, ExplainScratch};

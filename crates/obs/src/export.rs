@@ -239,6 +239,21 @@ impl Snapshot {
                     .all(|(k, v)| e.labels.get(*k).map(String::as_str) == Some(*v))
         })
     }
+
+    /// Sums a counter family across all its label sets (0 when absent).
+    /// Smoke checks and dashboards usually want the aggregate of a
+    /// per-label family — e.g. `cce_serve_requests_total` over every
+    /// `{endpoint, status}` combination.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match e.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +304,25 @@ mod tests {
         assert!(text.contains("t_ns_count 4"));
         assert!(text.contains("t_total{algo=\"srk\"} 42"));
         assert!(text.contains("t_live -3"));
+    }
+
+    #[test]
+    fn counter_total_sums_across_label_sets() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        r.counter("req_total", &[("endpoint", "explain"), ("status", "2xx")])
+            .add(7);
+        r.counter("req_total", &[("endpoint", "explain"), ("status", "429")])
+            .add(2);
+        r.counter("req_total", &[("endpoint", "ingest"), ("status", "2xx")])
+            .add(5);
+        r.counter("other_total", &[]).add(100);
+        // A histogram sharing the name must not pollute the counter sum.
+        r.histogram("req_total_ns", &[]).record(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter_total("req_total"), 14);
+        assert_eq!(snap.counter_total("other_total"), 100);
+        assert_eq!(snap.counter_total("absent_total"), 0);
     }
 
     #[test]

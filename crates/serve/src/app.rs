@@ -1,0 +1,298 @@
+//! Route handling: the transport-independent half of the daemon.
+//!
+//! [`App::handle`] maps one [`Request`] to one [`Response`]; the TCP
+//! layer ([`crate::server`]) and the tests drive the same code. The app
+//! is generic over the [`Vfs`] so the kill-during-ingest test can run
+//! the production handler on the fault-injecting `MemVfs`.
+//!
+//! Endpoints:
+//!
+//! | route                  | behavior                                            |
+//! |------------------------|-----------------------------------------------------|
+//! | `POST /explain`        | coalesced, budgeted relative-key explanation        |
+//! | `POST /monitor/ingest` | WAL-durable online monitor arrival (ack = fsynced)  |
+//! | `GET /metrics`         | Prometheus text exposition of the whole registry    |
+//! | `GET /healthz`         | liveness + context/queue/drain summary              |
+//! | `POST /admin/shutdown` | begins graceful drain, idempotent                   |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cce_core::persist::Vfs;
+use cce_core::{Alpha, BudgetedKey, ExplainError, ExplainStatus};
+use cce_dataset::{Instance, Label};
+
+use crate::batcher::{Batcher, Submission};
+use crate::http::{Request, Response};
+use crate::ingest::{IngestError, IngestState};
+use crate::json::{escape, int_array, Json};
+
+/// The daemon's shared state.
+pub struct App<V: Vfs> {
+    batcher: Arc<Batcher>,
+    ingest: Mutex<IngestState<V>>,
+    draining: AtomicBool,
+}
+
+impl<V: Vfs> App<V> {
+    /// Assembles the app over a running batcher and an ingest state.
+    pub fn new(batcher: Arc<Batcher>, ingest: IngestState<V>) -> Self {
+        Self {
+            batcher,
+            ingest: Mutex::new(ingest),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The coalescing queue (the server spawns its run loop).
+    pub fn batcher(&self) -> &Arc<Batcher> {
+        &self.batcher
+    }
+
+    /// True once a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts the drain: new ingests get `503`, the explain queue closes
+    /// after flushing, connections stop being kept alive. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain protocol final step: checkpoint the durable monitor so a
+    /// clean shutdown never needs WAL replay on the next boot.
+    ///
+    /// # Errors
+    /// Propagates snapshot-write failures from the durability layer.
+    pub fn final_checkpoint(&self) -> Result<(), cce_core::persist::PersistError> {
+        self.ingest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .final_checkpoint()
+    }
+
+    /// Read access to the ingest monitor (tests, health).
+    pub fn with_ingest<R>(&self, f: impl FnOnce(&IngestState<V>) -> R) -> R {
+        f(&self.ingest.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Routes one request. Every path records a per-endpoint latency
+    /// histogram and a status-code counter.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let (endpoint, resp) = match (req.method.as_str(), route_of(&req.path)) {
+            ("POST", "/explain") => ("explain", self.explain(req)),
+            ("POST", "/monitor/ingest") => ("ingest", self.monitor_ingest(req)),
+            ("GET", "/metrics") => ("metrics", metrics_response()),
+            ("GET", "/healthz") => ("healthz", self.healthz()),
+            ("POST", "/admin/shutdown") => ("shutdown", self.shutdown()),
+            (_, "/explain" | "/monitor/ingest" | "/metrics" | "/healthz" | "/admin/shutdown") => {
+                ("method", Response::error_json(405, "method not allowed"))
+            }
+            _ => ("unknown", Response::error_json(404, "no such route")),
+        };
+        observe_request(endpoint, resp.status, t0);
+        resp
+    }
+
+    fn explain(&self, req: &Request) -> Response {
+        let body = match parse_body(req) {
+            Ok(v) => v,
+            Err(resp) => return *resp,
+        };
+        let Some(target) = body.get("target").and_then(Json::as_u64) else {
+            return Response::error_json(400, "body must carry a non-negative integer \"target\"");
+        };
+        let target = target as usize;
+        match self.batcher.submit(target) {
+            Submission::Shed => Response::json(
+                429,
+                "{\"status\":\"shed\",\"error\":\"server overloaded, retry later\"}".to_string(),
+            )
+            .with_header("Retry-After", "1".to_string()),
+            Submission::Closed => Response::error_json(503, "server is draining"),
+            Submission::Enqueued(rx) => match rx.recv() {
+                Ok(result) => {
+                    let alpha = self.batcher.engine().alpha();
+                    explain_response(target, alpha, &result)
+                }
+                // The batcher thread died without answering: a server
+                // bug, reported as such.
+                Err(_) => Response::error_json(500, "explanation worker unavailable"),
+            },
+        }
+    }
+
+    fn monitor_ingest(&self, req: &Request) -> Response {
+        if self.draining() {
+            return Response::error_json(503, "server is draining");
+        }
+        let body = match parse_body(req) {
+            Ok(v) => v,
+            Err(resp) => return *resp,
+        };
+        let Some(values) = body.get("values").and_then(Json::as_array) else {
+            return Response::error_json(400, "body must carry a \"values\" array");
+        };
+        let Some(pred) = body.get("prediction").and_then(Json::as_u64) else {
+            return Response::error_json(
+                400,
+                "body must carry a non-negative integer \"prediction\"",
+            );
+        };
+        let mut cats = Vec::with_capacity(values.len());
+        for v in values {
+            match v.as_u64() {
+                Some(c) if c <= u32::MAX as u64 => cats.push(c as u32),
+                _ => return Response::error_json(400, "\"values\" must be non-negative integers"),
+            }
+        }
+        if pred > u32::MAX as u64 {
+            return Response::error_json(400, "\"prediction\" out of range");
+        }
+        let mut ingest = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        match ingest.observe(Instance::new(cats), Label(pred as u32)) {
+            Ok(ack) => Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"n_seen\":{},\"key\":{},\"violators\":{},\"durable\":{}}}",
+                    ack.n_seen,
+                    int_array(ack.key),
+                    ack.n_violators,
+                    ack.durable,
+                ),
+            ),
+            Err(IngestError::Width { expected, got }) => Response::error_json(
+                400,
+                &format!("instance width {got} does not match monitor width {expected}"),
+            ),
+            Err(IngestError::Persist(e)) => {
+                cce_obs::counter!("cce_serve_ingest_rejected_total", "kind" => "persist").inc();
+                Response::error_json(500, &format!("durability failure, arrival NOT recorded: {e}"))
+            }
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let engine = self.batcher.engine();
+        let m = self.with_ingest(|i| (i.monitor().n_seen(), i.is_durable()));
+        Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}}}",
+                engine.context().len(),
+                engine.context().schema().n_features(),
+                engine.alpha().get(),
+                self.batcher.depth(),
+                m.0,
+                m.1,
+                self.draining(),
+            ),
+        )
+    }
+
+    fn shutdown(&self) -> Response {
+        self.begin_drain();
+        Response::json(200, "{\"status\":\"draining\"}".to_string())
+    }
+}
+
+/// Strips the query string: routing ignores it.
+fn route_of(path: &str) -> &str {
+    path.split('?').next().unwrap_or(path)
+}
+
+fn parse_body(req: &Request) -> Result<Json, Box<Response>> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Box::new(Response::error_json(400, "body is not UTF-8")))?;
+    Json::parse(text).map_err(|e| {
+        Box::new(Response::error_json(
+            400,
+            &format!("invalid JSON body: {e}"),
+        ))
+    })
+}
+
+fn metrics_response() -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        extra_headers: Vec::new(),
+        body: cce_obs::registry()
+            .snapshot()
+            .to_prometheus_string()
+            .into_bytes(),
+    }
+}
+
+fn observe_request(endpoint: &str, status: u16, t0: Instant) {
+    let ns = t0.elapsed().as_nanos() as u64;
+    cce_obs::registry()
+        .histogram("cce_serve_request_ns", &[("endpoint", endpoint)])
+        .record(ns);
+    let class = match status {
+        200..=299 => "2xx",
+        400..=428 | 430..=499 => "4xx",
+        429 => "429",
+        _ => "5xx",
+    };
+    cce_obs::registry()
+        .counter(
+            "cce_serve_requests_total",
+            &[("endpoint", endpoint), ("status", class)],
+        )
+        .inc();
+}
+
+/// Renders the deterministic `/explain` response for `result`.
+///
+/// This function is `pub` because the coalescing differential test feeds
+/// it per-request [`Srk::explain_budgeted`] outputs and asserts the
+/// served bytes are identical — batching must be invisible.
+///
+/// [`Srk::explain_budgeted`]: cce_core::Srk::explain_budgeted
+pub fn explain_response(
+    target: usize,
+    alpha: Alpha,
+    result: &Result<BudgetedKey, ExplainError>,
+) -> Response {
+    match result {
+        Ok(b) => {
+            let status_field = match b.status {
+                ExplainStatus::Complete => "\"status\":\"complete\"".to_string(),
+                ExplainStatus::Degraded {
+                    spent,
+                    remaining_violators,
+                } => format!(
+                    "\"status\":\"degraded\",\"spent\":{spent},\"remaining_violators\":{remaining_violators}"
+                ),
+            };
+            Response::json(
+                200,
+                format!(
+                    "{{{status_field},\"target\":{target},\"alpha\":{},\"features\":{},\"succinctness\":{},\"achieved_conformity\":{}}}",
+                    alpha.get(),
+                    int_array(b.key.features().iter().copied()),
+                    b.key.succinctness(),
+                    b.key.achieved_conformity(),
+                ),
+            )
+        }
+        Err(e) => {
+            let status = match e {
+                ExplainError::TargetOutOfRange { .. } | ExplainError::EmptyContext => 400,
+                ExplainError::NoConformantKey { .. } => 409,
+                _ => 422,
+            };
+            Response::json(
+                status,
+                format!(
+                    "{{\"status\":\"error\",\"target\":{target},\"error\":\"{}\"}}",
+                    escape(&e.to_string())
+                ),
+            )
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The request-coalescing queue feeding explain micro-batches.
+//!
+//! Concurrent `POST /explain` requests land in one queue; a single
+//! batcher thread drains it in micro-batches bounded by `max_batch` and
+//! a linger window, and runs each batch through the shared
+//! [`BatchEngine`] — so requests arriving together share one
+//! duplicate-row memo pass and fan out across the engine's scoped
+//! workers, exactly like the offline batch path. Each connection thread
+//! blocks on a oneshot-style channel for its own result; batching is
+//! invisible in the response bytes (the coalescing differential test
+//! proves them identical to per-request [`Srk::explain`]).
+//!
+//! The queue is also the admission-control sensor: submit feeds the
+//! post-enqueue depth to the [`Admission`] machine (shedding with `429`
+//! happens *before* enqueueing), and the drain path feeds the backlog
+//! left behind, which decides whether the next batch runs degraded.
+//!
+//! [`Srk::explain`]: cce_core::Srk::explain
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use cce_core::{BatchEngine, BudgetedKey, ExplainError, WorkBudget};
+
+use crate::admission::{Admission, AdmissionConfig, Level};
+
+/// Coalescing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Largest micro-batch drained at once.
+    pub max_batch: usize,
+    /// How long the batcher waits for co-travelers after the first
+    /// request of a batch arrives.
+    pub linger: Duration,
+    /// Worker threads the engine may fan one batch over.
+    pub threads: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            linger: Duration::from_millis(2),
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// What happened to a submitted explain request.
+pub enum Submission {
+    /// Accepted; await the result on the receiver.
+    Enqueued(mpsc::Receiver<Result<BudgetedKey, ExplainError>>),
+    /// Refused by admission control (respond `429`).
+    Shed,
+    /// The queue is closed for drain (respond `503`).
+    Closed,
+}
+
+struct Job {
+    target: usize,
+    tx: mpsc::Sender<Result<BudgetedKey, ExplainError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Job>,
+    open: bool,
+}
+
+/// The coalescing queue plus its drain loop.
+pub struct Batcher {
+    engine: Arc<BatchEngine>,
+    admission: Admission,
+    cfg: BatcherConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl Batcher {
+    /// A new open queue over `engine`.
+    pub fn new(engine: Arc<BatchEngine>, cfg: BatcherConfig, admission: AdmissionConfig) -> Self {
+        Self {
+            engine,
+            admission: Admission::new(admission),
+            cfg,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The shared engine (for single-shot paths that bypass coalescing).
+    pub fn engine(&self) -> &Arc<BatchEngine> {
+        &self.engine
+    }
+
+    /// The admission machine (for health reporting).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Submits one target for explanation. Sheds *before* enqueueing when
+    /// the admission machine says so, so a 429 costs no queue slot.
+    pub fn submit(&self, target: usize) -> Submission {
+        let mut st = self.lock();
+        if !st.open {
+            return Submission::Closed;
+        }
+        let level = self.admission.observe(st.queue.len() + 1);
+        if level == Level::Shedding {
+            cce_obs::counter!("cce_serve_shed_total").inc();
+            return Submission::Shed;
+        }
+        let (tx, rx) = mpsc::channel();
+        st.queue.push_back(Job { target, tx });
+        cce_obs::gauge!("cce_serve_queue_depth").set(st.queue.len() as i64);
+        drop(st);
+        self.cv.notify_all();
+        Submission::Enqueued(rx)
+    }
+
+    /// Current queue depth (tests and `/healthz`).
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Closes the queue: new submits get [`Submission::Closed`]; the run
+    /// loop drains what is already queued, then returns.
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.cv.notify_all();
+    }
+
+    /// The batcher thread body: drains micro-batches until the queue is
+    /// closed *and* empty. Every dequeued job is answered — even during
+    /// drain — so no accepted request is ever dropped.
+    pub fn run(&self) {
+        loop {
+            let batch = self.next_batch();
+            let Some(batch) = batch else { return };
+            let budget = self.admission.budget();
+            if budget != WorkBudget::unlimited() {
+                cce_obs::counter!("cce_serve_degraded_batches_total").inc();
+            }
+            cce_obs::histogram!("cce_serve_batch_size").record(batch.len() as u64);
+            let targets: Vec<usize> = batch.iter().map(|j| j.target).collect();
+            let t0 = Instant::now();
+            let results = self
+                .engine
+                .explain_batch(&targets, budget, self.cfg.threads);
+            cce_obs::histogram!("cce_serve_batch_explain_ns")
+                .record(t0.elapsed().as_nanos() as u64);
+            for (job, result) in batch.into_iter().zip(results) {
+                // A receiver may have given up (client gone); that is fine.
+                let _ = job.tx.send(result);
+            }
+        }
+    }
+
+    /// Blocks for the next micro-batch; `None` means closed and drained.
+    fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut st = self.lock();
+        while st.queue.is_empty() {
+            if !st.open {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        // First job seen: linger briefly so concurrent requests coalesce
+        // into one engine pass (bounded by max_batch).
+        let deadline = Instant::now() + self.cfg.linger;
+        while st.queue.len() < self.cfg.max_batch && st.open {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, left)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = st.queue.len().min(self.cfg.max_batch);
+        let batch: Vec<Job> = st.queue.drain(..take).collect();
+        cce_obs::gauge!("cce_serve_queue_depth").set(st.queue.len() as i64);
+        // The backlog left behind decides this batch's fidelity: a deep
+        // residue means the server is behind, so the drained batch runs
+        // under the degraded budget.
+        self.admission.observe(st.queue.len());
+        Some(batch)
+    }
+}

@@ -1,0 +1,443 @@
+//! `cce-load` — the load generator for `cce serve`.
+//!
+//! Closed-loop mode (default) runs a sweep of concurrency points: each
+//! point opens `conns` keep-alive connections and has every connection
+//! issue `requests` back-to-back `POST /explain` calls. Open-loop mode
+//! (`--rate`) paces request *starts* on a fixed schedule regardless of
+//! response times, so queueing delay shows up in the measured latency
+//! instead of silently throttling the offered load (the coordinated-
+//! omission trap closed-loop testers fall into).
+//!
+//! Latency is recorded into a `cce-obs` [`Histogram`] per load point;
+//! the report carries throughput, quantile upper bounds, and a status
+//! breakdown. Any `5xx` makes the process exit nonzero, which is what
+//! the CI smoke job keys off. `--baseline` compares throughput against a
+//! committed `BENCH_serve.json` with a deliberately loose 50% tolerance
+//! (shared CI runners), mirroring the `exp_bench_batch` pattern.
+
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cce_obs::Histogram;
+use cce_serve::http::read_response;
+use cce_serve::json::Json;
+
+/// Status-class tallies for one load point.
+#[derive(Default)]
+struct StatusCounts {
+    s2xx: AtomicU64,
+    s429: AtomicU64,
+    s4xx: AtomicU64,
+    s5xx: AtomicU64,
+}
+
+impl StatusCounts {
+    fn record(&self, status: u16) {
+        let slot = match status {
+            200..=299 => &self.s2xx,
+            429 => &self.s429,
+            400..=499 => &self.s4xx,
+            _ => &self.s5xx,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One measured load point, as it lands in `BENCH_serve.json`.
+struct PointReport {
+    mode: &'static str,
+    conns: usize,
+    requests: u64,
+    offered_rps: Option<f64>,
+    wall_ms: f64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p90_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    s2xx: u64,
+    s429: u64,
+    s4xx: u64,
+    s5xx: u64,
+}
+
+fn post(stream: &mut TcpStream, addr: &str, path: &str, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn connect(addr: &str) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((stream, reader))
+}
+
+/// One round-trip on an established connection; returns the status.
+fn explain_once(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    addr: &str,
+    target: u64,
+) -> io::Result<u16> {
+    post(
+        stream,
+        addr,
+        "/explain",
+        &format!("{{\"target\":{target}}}"),
+    )?;
+    let (status, _body) = read_response(reader).map_err(|e| io::Error::other(format!("{e:?}")))?;
+    Ok(status)
+}
+
+/// Asks `/healthz` for the context size so targets stay in range.
+fn fetch_rows(addr: &str) -> io::Result<u64> {
+    let (mut stream, mut reader) = connect(addr)?;
+    write!(
+        stream,
+        "GET /healthz HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let (status, body) =
+        read_response(&mut reader).map_err(|e| io::Error::other(format!("{e:?}")))?;
+    if status != 200 {
+        return Err(io::Error::other(format!("healthz returned {status}")));
+    }
+    let text = String::from_utf8_lossy(&body).into_owned();
+    let doc = Json::parse(&text).map_err(|e| io::Error::other(format!("healthz body: {e}")))?;
+    doc.get("rows")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| io::Error::other("healthz body has no \"rows\""))
+}
+
+/// Closed loop: `conns` connections, each sending `per_conn` requests
+/// back to back. Returns the report for this point.
+fn run_closed(addr: &str, rows: u64, conns: usize, per_conn: u64) -> io::Result<PointReport> {
+    let hist = Histogram::new();
+    let counts = StatusCounts::default();
+    let issued = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| -> io::Result<()> {
+        let mut handles = Vec::new();
+        for c in 0..conns {
+            let (hist, counts, issued) = (&hist, &counts, &issued);
+            handles.push(s.spawn(move || -> io::Result<()> {
+                let (mut stream, mut reader) = connect(addr)?;
+                for i in 0..per_conn {
+                    // Deterministic target mix with enough repeats to
+                    // exercise cross-request memoization.
+                    let target = (c as u64 * 131 + i * 7) % rows;
+                    let r0 = Instant::now();
+                    let status = explain_once(&mut stream, &mut reader, addr, target)?;
+                    hist.record_duration(r0.elapsed());
+                    counts.record(status);
+                    issued.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("load worker panicked")?;
+        }
+        Ok(())
+    })?;
+    Ok(report(
+        "closed",
+        conns,
+        None,
+        &hist,
+        &counts,
+        issued.load(Ordering::Relaxed),
+        t0.elapsed(),
+    ))
+}
+
+/// Open loop: request starts are paced at `rate` per second across a
+/// worker pool; latency is measured from the *scheduled* start, so a
+/// slow server accrues queueing delay instead of shrinking the load.
+fn run_open(
+    addr: &str,
+    rows: u64,
+    rate: f64,
+    total: u64,
+    workers: usize,
+) -> io::Result<PointReport> {
+    let hist = Histogram::new();
+    let counts = StatusCounts::default();
+    let issued = AtomicU64::new(0);
+    let next = Arc::new(AtomicU64::new(0));
+    let interval = Duration::from_secs_f64(1.0 / rate.max(0.001));
+    let t0 = Instant::now();
+    std::thread::scope(|s| -> io::Result<()> {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let (hist, counts, issued, next) = (&hist, &counts, &issued, Arc::clone(&next));
+            handles.push(s.spawn(move || -> io::Result<()> {
+                let (mut stream, mut reader) = connect(addr)?;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        return Ok(());
+                    }
+                    let scheduled = t0 + interval.mul_f64(i as f64);
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let target = (i * 13) % rows;
+                    let status = explain_once(&mut stream, &mut reader, addr, target)?;
+                    hist.record_duration(scheduled.elapsed());
+                    counts.record(status);
+                    issued.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("load worker panicked")?;
+        }
+        Ok(())
+    })?;
+    Ok(report(
+        "open",
+        workers,
+        Some(rate),
+        &hist,
+        &counts,
+        issued.load(Ordering::Relaxed),
+        t0.elapsed(),
+    ))
+}
+
+fn report(
+    mode: &'static str,
+    conns: usize,
+    offered_rps: Option<f64>,
+    hist: &Histogram,
+    counts: &StatusCounts,
+    requests: u64,
+    wall: Duration,
+) -> PointReport {
+    let us = |q: f64| hist.quantile_upper_bound(q) as f64 / 1_000.0;
+    PointReport {
+        mode,
+        conns,
+        requests,
+        offered_rps,
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+        throughput_rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: us(0.5),
+        p90_us: us(0.9),
+        p99_us: us(0.99),
+        mean_us: hist.mean() / 1_000.0,
+        s2xx: counts.s2xx.load(Ordering::Relaxed),
+        s429: counts.s429.load(Ordering::Relaxed),
+        s4xx: counts.s4xx.load(Ordering::Relaxed),
+        s5xx: counts.s5xx.load(Ordering::Relaxed),
+    }
+}
+
+fn render_json(addr: &str, rows: u64, points: &[PointReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"cce-serve load\",\n");
+    out.push_str(&format!(
+        "  \"addr\": \"{addr}\",\n  \"rows\": {rows},\n  \"load_points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"conns\": {}, \"requests\": {}, ",
+            p.mode, p.conns, p.requests
+        ));
+        if let Some(r) = p.offered_rps {
+            out.push_str(&format!("\"offered_rps\": {r:.1}, "));
+        }
+        out.push_str(&format!(
+            "\"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"status\": {{\"2xx\": {}, \"429\": {}, \"4xx\": {}, \"5xx\": {}}}}}",
+            p.wall_ms, p.throughput_rps, p.p50_us, p.p90_us, p.p99_us, p.mean_us,
+            p.s2xx, p.s429, p.s4xx, p.s5xx
+        ));
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `"<key>": <number>` occurrences in document order (same shape-free
+/// comparison `exp_bench_batch` uses).
+fn extract_numbers(doc: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let num: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Counts >50% throughput drops against the baseline (0 = pass). The
+/// tolerance is loose on purpose: serve throughput on shared runners is
+/// far noisier than the in-process batch bench.
+fn check_baseline(current: &str, baseline: &str) -> usize {
+    let cur = extract_numbers(current, "throughput_rps");
+    let base = extract_numbers(baseline, "throughput_rps");
+    if cur.len() != base.len() {
+        eprintln!(
+            "baseline shape mismatch ({} vs {} load points) — regenerate the baseline; skipping check",
+            base.len(),
+            cur.len()
+        );
+        return 0;
+    }
+    let mut regressions = 0;
+    for (i, (c, b)) in cur.iter().zip(&base).enumerate() {
+        if *c < 0.5 * *b {
+            eprintln!(
+                "REGRESSION: load point {i}: {c:.1} req/s vs baseline {b:.1} (>{:.0}% drop)",
+                (1.0 - c / b) * 100.0
+            );
+            regressions += 1;
+        } else {
+            eprintln!("ok: load point {i}: {c:.1} req/s vs baseline {b:.1}");
+        }
+    }
+    regressions
+}
+
+fn shutdown(addr: &str) -> io::Result<u16> {
+    let (mut stream, mut reader) = connect(addr)?;
+    post(&mut stream, addr, "/admin/shutdown", "")?;
+    let (status, _) = read_response(&mut reader).map_err(|e| io::Error::other(format!("{e:?}")))?;
+    Ok(status)
+}
+
+const USAGE: &str = "usage: cce-load --addr HOST:PORT [--conns 1,8] [--requests N] \
+[--rate RPS --total N [--workers W]] [--out BENCH_serve.json] [--baseline FILE] [--shutdown]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let Some(addr) = opt("--addr") else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let conns: Vec<usize> = opt("--conns")
+        .unwrap_or_else(|| "1,8".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&c| c > 0)
+        .collect();
+    let per_conn: u64 = opt("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let rate: Option<f64> = opt("--rate").and_then(|v| v.parse().ok());
+    let total: u64 = opt("--total").and_then(|v| v.parse().ok()).unwrap_or(500);
+    let workers: usize = opt("--workers").and_then(|v| v.parse().ok()).unwrap_or(16);
+    let out_path = opt("--out");
+    let baseline_path = opt("--baseline");
+
+    let rows = match fetch_rows(&addr) {
+        Ok(r) if r > 0 => r,
+        Ok(_) => {
+            eprintln!("server reports an empty context; nothing to explain");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("cannot reach {addr}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("target range: 0..{rows}");
+
+    let mut points = Vec::new();
+    if rate.is_none() {
+        for &c in &conns {
+            eprint!("closed loop, {c} conns x {per_conn} reqs ... ");
+            match run_closed(&addr, rows, c, per_conn) {
+                Ok(p) => {
+                    eprintln!(
+                        "{:.1} req/s, p50 {:.0}us, p99 {:.0}us, 2xx {} / 429 {} / 4xx {} / 5xx {}",
+                        p.throughput_rps, p.p50_us, p.p99_us, p.s2xx, p.s429, p.s4xx, p.s5xx
+                    );
+                    points.push(p);
+                }
+                Err(e) => {
+                    eprintln!("FAILED: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if let Some(r) = rate {
+        eprint!("open loop, {r:.0} req/s offered, {total} reqs over {workers} workers ... ");
+        match run_open(&addr, rows, r, total, workers) {
+            Ok(p) => {
+                eprintln!(
+                    "{:.1} req/s achieved, p50 {:.0}us, p99 {:.0}us (from scheduled start)",
+                    p.throughput_rps, p.p50_us, p.p99_us
+                );
+                points.push(p);
+            }
+            Err(e) => {
+                eprintln!("FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let json = render_json(&addr, rows, &points);
+    print!("{json}");
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if flag("--shutdown") {
+        match shutdown(&addr) {
+            Ok(status) => eprintln!("shutdown: {status}"),
+            Err(e) => eprintln!("shutdown request failed (already drained?): {e}"),
+        }
+    }
+
+    let total_5xx: u64 = points.iter().map(|p| p.s5xx).sum();
+    if total_5xx > 0 {
+        eprintln!("FAIL: {total_5xx} server errors (5xx) observed");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => {
+                if check_baseline(&json, &baseline) > 0 {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => eprintln!("no baseline at {path} ({e}); skipping check"),
+        }
+    }
+    ExitCode::SUCCESS
+}

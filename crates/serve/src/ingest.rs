@@ -1,0 +1,131 @@
+//! Durable `/monitor/ingest`: online monitoring behind the WAL.
+//!
+//! Every ingested arrival drives an [`OsrkMonitor`] — optionally wrapped
+//! in [`Durable`], in which case the arrival is WAL-appended and fsynced
+//! *before* it is applied and before the HTTP `200` is written. A `200`
+//! therefore IS the durability acknowledgment: the kill-during-ingest
+//! test proves (under `MemVfs` fault injection) that every acknowledged
+//! arrival survives a crash and `--resume`.
+//!
+//! The state is generic over the [`Vfs`] so the production path
+//! (`StdVfs`) and the fault-injected test path (`MemVfs`) run the exact
+//! same handler code.
+
+use cce_core::persist::{PersistError, Vfs};
+use cce_core::{Durable, OsrkMonitor};
+use cce_dataset::{Instance, Label};
+
+/// The monitor, with or without durability.
+#[derive(Debug)]
+pub enum MonitorBackend<V: Vfs> {
+    /// In-memory only: a crash loses the monitor.
+    Plain(OsrkMonitor),
+    /// WAL + checkpoint protected.
+    Durable(Durable<OsrkMonitor, V>),
+}
+
+/// Acknowledgment data returned for one accepted arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestAck {
+    /// Arrivals observed so far (this one included).
+    pub n_seen: usize,
+    /// The monitor's current key (feature indices).
+    pub key: Vec<usize>,
+    /// Violators currently tolerated by the monitor.
+    pub n_violators: usize,
+    /// True when the arrival was WAL-fsynced before this ack.
+    pub durable: bool,
+}
+
+/// Why an arrival was rejected.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Wrong feature count for the monitor's schema (respond `400`; the
+    /// arrival is rejected *before* touching the WAL).
+    Width {
+        /// Expected feature count.
+        expected: usize,
+        /// Received feature count.
+        got: usize,
+    },
+    /// The durability layer failed (respond `500`; NOT acknowledged).
+    Persist(PersistError),
+}
+
+/// Serialized ingest state; the server guards it with one mutex (the WAL
+/// is inherently sequential — fsync order is the acknowledgment order).
+#[derive(Debug)]
+pub struct IngestState<V: Vfs> {
+    backend: MonitorBackend<V>,
+    width: usize,
+}
+
+impl<V: Vfs> IngestState<V> {
+    /// Wraps an existing backend; `width` is the expected feature count.
+    pub fn new(backend: MonitorBackend<V>, width: usize) -> Self {
+        Self { backend, width }
+    }
+
+    /// The monitor, whichever backend holds it.
+    pub fn monitor(&self) -> &OsrkMonitor {
+        match &self.backend {
+            MonitorBackend::Plain(m) => m,
+            MonitorBackend::Durable(d) => d.state(),
+        }
+    }
+
+    /// True when arrivals are WAL-protected.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backend, MonitorBackend::Durable(_))
+    }
+
+    /// Observes one arrival. On the durable backend the `Ok` return
+    /// implies the arrival is fsynced — the caller may acknowledge.
+    ///
+    /// # Errors
+    /// [`IngestError::Width`] on malformed arrivals (nothing logged),
+    /// [`IngestError::Persist`] when the WAL append/fsync failed (nothing
+    /// acknowledged; the in-memory state is *not* advanced either, so a
+    /// later retry cannot double-count).
+    pub fn observe(&mut self, x: Instance, pred: Label) -> Result<IngestAck, IngestError> {
+        if x.len() != self.width {
+            cce_obs::counter!("cce_serve_ingest_rejected_total", "kind" => "width").inc();
+            return Err(IngestError::Width {
+                expected: self.width,
+                got: x.len(),
+            });
+        }
+        let durable = match &mut self.backend {
+            MonitorBackend::Plain(m) => {
+                // Width was pre-checked, so observe can only report the
+                // arrival's violator verdict — not a failure.
+                let _ = m.observe(x, pred);
+                false
+            }
+            MonitorBackend::Durable(d) => {
+                d.observe(&x, pred).map_err(IngestError::Persist)?;
+                true
+            }
+        };
+        cce_obs::counter!("cce_serve_ingest_acks_total").inc();
+        let m = self.monitor();
+        Ok(IngestAck {
+            n_seen: m.n_seen(),
+            key: m.key().to_vec(),
+            n_violators: m.n_violators(),
+            durable,
+        })
+    }
+
+    /// Publishes a final checkpoint (drain protocol step 3). A no-op for
+    /// the plain backend.
+    ///
+    /// # Errors
+    /// Propagates snapshot-write failures.
+    pub fn final_checkpoint(&mut self) -> Result<(), PersistError> {
+        match &mut self.backend {
+            MonitorBackend::Plain(_) => Ok(()),
+            MonitorBackend::Durable(d) => d.rotate(),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `cce-serve` — the explanation-serving daemon.
+//!
+//! The front door the ROADMAP's "millions of users" north star asks for:
+//! a zero-dependency HTTP/1.1 service wrapping the CCE explainability
+//! core, in the mold of an analytics service around an explanation
+//! engine. Every production substrate the repo already has is wired
+//! through it:
+//!
+//! * concurrent `POST /explain` requests **coalesce** into micro-batches
+//!   over the shared [`BatchEngine`], exploiting duplicate-row
+//!   memoization *across requests* ([`batcher`]);
+//! * overload triggers **budgeted admission control** — degraded partial
+//!   keys via [`WorkBudget`]s, then `429` shedding — with an explicit
+//!   hysteresis state machine ([`admission`]);
+//! * `POST /monitor/ingest` runs the online monitor behind the
+//!   [`Durable`] WAL wrapper, so an HTTP `200` *is* a durability
+//!   acknowledgment that survives `kill -9` ([`ingest`]);
+//! * `GET /metrics` exposes the whole `cce-obs` registry in Prometheus
+//!   text format, including per-endpoint latency histograms and
+//!   queue-depth gauges;
+//! * `POST /admin/shutdown` runs the graceful drain protocol
+//!   ([`server`] module docs).
+//!
+//! [`Durable`]: cce_core::Durable
+//! [`WorkBudget`]: cce_core::WorkBudget
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod app;
+pub mod batcher;
+pub mod http;
+pub mod ingest;
+pub mod json;
+pub mod server;
+
+pub use admission::{Admission, AdmissionConfig, Level};
+pub use app::{explain_response, App};
+pub use batcher::{Batcher, BatcherConfig, Submission};
+pub use ingest::{IngestAck, IngestError, IngestState, MonitorBackend};
+pub use server::{Server, ServerConfig};
+
+use std::sync::Arc;
+
+use cce_core::persist::Vfs;
+use cce_core::{Alpha, BatchEngine, Context};
+
+/// Assembles an [`App`] from its parts: engine over `ctx`, coalescing
+/// batcher, and an ingest state over `backend`. The CLI, the tests, and
+/// the fault-injection harness all build the daemon through here.
+pub fn build_app<V: Vfs>(
+    ctx: Context,
+    alpha: Alpha,
+    batcher_cfg: BatcherConfig,
+    admission_cfg: AdmissionConfig,
+    backend: MonitorBackend<V>,
+) -> Arc<App<V>> {
+    let width = ctx.schema().n_features();
+    let engine = Arc::new(BatchEngine::new(ctx, alpha));
+    let batcher = Arc::new(Batcher::new(engine, batcher_cfg, admission_cfg));
+    Arc::new(App::new(batcher, IngestState::new(backend, width)))
+}

@@ -1,0 +1,173 @@
+//! The TCP layer: accept loop, connection threads, graceful drain.
+//!
+//! Hand-rolled over `std::net::TcpListener` + `std::thread::scope` (the
+//! workspace has no async runtime and no registry access). One scoped
+//! thread per connection (capped; excess connections get an immediate
+//! `503`), one batcher thread draining the coalescing queue.
+//!
+//! # Drain protocol (SIGTERM-equivalent)
+//!
+//! `POST /admin/shutdown` (or any path that calls [`App::begin_drain`])
+//! starts the drain:
+//!
+//! 1. **Stop accepting** — the accept loop exits on its next wake-up
+//!    (the connection that carried the shutdown pokes the listener so
+//!    "next" is immediate).
+//! 2. **Finish in-flight** — connection threads stop keep-alive reuse
+//!    (`Connection: close` on every response once draining) and are
+//!    joined; blocked keep-alive reads expire via the read timeout.
+//! 3. **Flush the batch queue** — the batcher queue closes, every
+//!    already-accepted explain is answered, then the batcher exits.
+//! 4. **Final checkpoint** — the durable monitor rotates one last
+//!    snapshot, so a clean restart replays zero WAL records.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cce_core::persist::Vfs;
+
+use crate::app::App;
+use crate::http::{read_request, Response};
+
+/// Transport-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Hard cap on concurrent connections; beyond it new connections are
+    /// answered `503` and closed without a thread.
+    pub max_connections: usize,
+    /// Idle keep-alive read timeout — also the drain deadline for idle
+    /// connections.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            keep_alive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server<V: Vfs + Send> {
+    app: Arc<App<V>>,
+    listener: TcpListener,
+    cfg: ServerConfig,
+}
+
+impl<V: Vfs + Send> Server<V> {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(app: Arc<App<V>>, addr: &str, cfg: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self { app, listener, cfg })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    /// Propagates socket introspection failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until drained; returns once the drain protocol has fully
+    /// completed (final checkpoint included).
+    ///
+    /// # Errors
+    /// Transport setup failures, or a failed final checkpoint.
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let app = &self.app;
+        let cfg = self.cfg;
+        let active = AtomicUsize::new(0);
+        let active = &active;
+        std::thread::scope(|s| {
+            let batcher = Arc::clone(app.batcher());
+            let batcher_thread = s.spawn(move || batcher.run());
+            let mut connections = Vec::new();
+            for stream in self.listener.incoming() {
+                if app.draining() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if active.load(Ordering::SeqCst) >= cfg.max_connections {
+                    cce_obs::counter!("cce_serve_conn_rejected_total").inc();
+                    let mut stream = stream;
+                    let _ = Response::error_json(503, "connection limit reached")
+                        .write_to(&mut stream, false);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                cce_obs::gauge!("cce_serve_connections").set(active.load(Ordering::SeqCst) as i64);
+                let app = Arc::clone(app);
+                connections.push(s.spawn(move || {
+                    handle_connection(&app, stream, addr, cfg);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    cce_obs::gauge!("cce_serve_connections")
+                        .set(active.load(Ordering::SeqCst) as i64);
+                }));
+            }
+            // Draining: no new connections. Join the existing ones (their
+            // keep-alive loops exit on the next response or read timeout),
+            // then flush the queue.
+            for c in connections {
+                let _ = c.join();
+            }
+            app.batcher().close();
+            let _ = batcher_thread.join();
+        });
+        self.app
+            .final_checkpoint()
+            .map_err(|e| io::Error::other(format!("final checkpoint: {e}")))
+    }
+}
+
+/// One connection's keep-alive loop.
+fn handle_connection<V: Vfs>(app: &App<V>, stream: TcpStream, addr: SocketAddr, cfg: ServerConfig) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(cfg.keep_alive_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let resp = app.handle(&req);
+                // Drain may have begun *during* this request (the
+                // shutdown route) — never keep alive past that point.
+                let keep = req.wants_keep_alive() && !app.draining();
+                if resp.write_to(&mut writer, keep).is_err() {
+                    break;
+                }
+                if app.draining() {
+                    poke(addr);
+                }
+                if !keep {
+                    break;
+                }
+            }
+            Err(e) => {
+                if let Some(resp) = e.response() {
+                    cce_obs::counter!("cce_serve_http_errors_total").inc();
+                    let _ = resp.write_to(&mut writer, false);
+                }
+                break;
+            }
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Unblocks the accept loop so it can notice the drain flag.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+}

@@ -1,0 +1,153 @@
+//! Edge-case tests for the hand-rolled HTTP/1.1 parser.
+//!
+//! Every case drives [`read_request`] over an in-memory reader — the
+//! same code path a TCP connection uses (the server hands it a
+//! `BufReader<TcpStream>`).
+
+use std::io::Cursor;
+
+use cce_serve::http::{read_request, HttpError, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+
+fn parse(bytes: &[u8]) -> Result<cce_serve::http::Request, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()))
+}
+
+#[test]
+fn malformed_request_lines_are_rejected_with_400() {
+    for line in [
+        "GET\r\n\r\n",                   // no path, no version
+        "GET /x\r\n\r\n",                // no version
+        "GET /x HTTP/1.1 extra\r\n\r\n", // trailing token
+        " GET /x HTTP/1.1\r\n\r\n",      // empty method
+        "\r\n\r\n",                      // empty line
+    ] {
+        let err = parse(line.as_bytes()).expect_err(&format!("{line:?} must fail"));
+        assert!(
+            matches!(err, HttpError::BadRequestLine(_)),
+            "{line:?} → {err:?}"
+        );
+        assert_eq!(err.response().expect("respondable").status, 400);
+    }
+}
+
+#[test]
+fn unsupported_versions_get_505() {
+    let err = parse(b"GET /x HTTP/2.0\r\n\r\n").unwrap_err();
+    assert!(matches!(err, HttpError::UnsupportedVersion(_)));
+    assert_eq!(err.response().unwrap().status, 505);
+}
+
+#[test]
+fn oversized_header_block_is_cut_off_with_431() {
+    let mut req = String::from("GET /x HTTP/1.1\r\n");
+    while req.len() <= MAX_HEADER_BYTES {
+        req.push_str("x-filler: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    req.push_str("\r\n");
+    let err = parse(req.as_bytes()).unwrap_err();
+    assert!(matches!(err, HttpError::HeadersTooLarge), "{err:?}");
+    assert_eq!(err.response().unwrap().status, 431);
+}
+
+#[test]
+fn truncated_body_is_detected_against_content_length() {
+    let err = parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap_err();
+    match err {
+        HttpError::TruncatedBody { expected, got } => {
+            assert_eq!(expected, 10);
+            assert_eq!(got, 3);
+        }
+        other => panic!("expected TruncatedBody, got {other:?}"),
+    }
+    assert_eq!(
+        parse(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+            .unwrap_err()
+            .response()
+            .unwrap()
+            .status,
+        400
+    );
+}
+
+#[test]
+fn bad_and_oversized_content_lengths_are_rejected() {
+    let err = parse(b"POST /x HTTP/1.1\r\ncontent-length: ten\r\n\r\n").unwrap_err();
+    assert!(matches!(err, HttpError::BadContentLength(_)));
+    assert_eq!(err.response().unwrap().status, 400);
+
+    let huge = format!(
+        "POST /x HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    let err = parse(huge.as_bytes()).unwrap_err();
+    assert!(matches!(err, HttpError::BodyTooLarge(_)));
+    assert_eq!(err.response().unwrap().status, 413);
+}
+
+#[test]
+fn chunked_transfer_encoding_is_refused_with_501() {
+    let err = parse(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err();
+    assert!(matches!(err, HttpError::ChunkedUnsupported));
+    assert_eq!(err.response().unwrap().status, 501);
+}
+
+#[test]
+fn malformed_headers_are_rejected() {
+    for raw in [
+        "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+        "GET /x HTTP/1.1\r\n: empty-name\r\n\r\n",
+        "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+    ] {
+        let err = parse(raw.as_bytes()).expect_err(&format!("{raw:?} must fail"));
+        assert!(matches!(err, HttpError::BadHeader(_)), "{raw:?} → {err:?}");
+        assert_eq!(err.response().unwrap().status, 400);
+    }
+}
+
+#[test]
+fn clean_eof_at_request_boundary_is_closed_not_an_error_response() {
+    let err = parse(b"").unwrap_err();
+    assert!(matches!(err, HttpError::Closed));
+    assert!(err.response().is_none(), "nothing to respond to");
+}
+
+#[test]
+fn pipelined_requests_parse_back_to_back_from_one_stream() {
+    let wire = b"POST /explain HTTP/1.1\r\ncontent-length: 12\r\n\r\n{\"target\":1}\
+POST /explain HTTP/1.1\r\ncontent-length: 12\r\n\r\n{\"target\":2}\
+GET /healthz HTTP/1.1\r\n\r\n";
+    let mut cursor = Cursor::new(wire.to_vec());
+    let first = read_request(&mut cursor).expect("first pipelined request");
+    assert_eq!(first.path, "/explain");
+    assert_eq!(first.body, b"{\"target\":1}");
+    let second = read_request(&mut cursor).expect("second pipelined request");
+    assert_eq!(second.body, b"{\"target\":2}");
+    let third = read_request(&mut cursor).expect("third pipelined request");
+    assert_eq!(third.method, "GET");
+    assert_eq!(third.path, "/healthz");
+    assert!(third.body.is_empty());
+    assert!(matches!(
+        read_request(&mut cursor).unwrap_err(),
+        HttpError::Closed
+    ));
+}
+
+#[test]
+fn keep_alive_defaults_follow_the_http_version() {
+    let v11 = parse(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+    assert!(v11.wants_keep_alive(), "1.1 defaults to keep-alive");
+    let v10 = parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap();
+    assert!(!v10.wants_keep_alive(), "1.0 defaults to close");
+
+    let close = parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+    assert!(!close.wants_keep_alive(), "explicit close wins over 1.1");
+    let keep = parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+    assert!(keep.wants_keep_alive(), "explicit keep-alive wins over 1.0");
+}
+
+#[test]
+fn header_names_are_lowercased_and_values_trimmed() {
+    let req = parse(b"GET /x HTTP/1.1\r\nX-Custom:  spaced out  \r\n\r\n").unwrap();
+    assert_eq!(req.header("x-custom"), Some("spaced out"));
+    assert_eq!(req.header("X-Custom"), None, "lookup is by lower-case name");
+}
