@@ -17,16 +17,27 @@
 //! memo hit rate, and the observability counters the optimizations move
 //! (`cce_explain_violator_scans_total`, `cce_lazy_greedy_skips_total`).
 //!
+//! A separate **large-context** entry exercises the SIMD + striped
+//! kernel path at production scale: one Loan context of 1 000 000 rows
+//! (200 000 in `--quick`), explained at ~512 sampled targets through
+//! [`ContextIndex::explain_striped`], reporting index build time and
+//! `explains_per_sec` — the number the kernel work moves.
+//!
 //! Flags / environment:
 //!
-//! * `--quick` or `CCE_BENCH_QUICK=1` — 2 000-row contexts (CI mode;
-//!   default is the 10 000-row workload of the acceptance criteria),
+//! * `--quick` or `CCE_BENCH_QUICK=1` — 2 000-row contexts and a
+//!   200 000-row large entry (CI mode; default is the 10 000-row /
+//!   1 000 000-row workload of the acceptance criteria),
 //! * `--out <path>` — output path (default `BENCH_batch.json`),
 //! * `--baseline <path>` — compare against a previous run and exit
-//!   non-zero when `after` rows/sec regresses by more than 20%.
+//!   non-zero when `after` rows/sec or the large entry's
+//!   `explains_per_sec` regresses by more than 20% — or when the
+//!   baseline itself is malformed (shape mismatch, zero/NaN fields):
+//!   a silently-skipped gate passes every regression.
 
 use std::time::Instant;
 
+use cce_core::kernels::StripeConfig;
 use cce_core::{Alpha, Cce, CceConfig, Context, ContextIndex, ExplainScratch};
 use cce_dataset::{synth, BinSpec};
 
@@ -67,12 +78,19 @@ fn counter_value(name: &str, algo: Option<&str>) -> u64 {
         .sum()
 }
 
+/// Nearest-rank percentile: the sample at 1-based rank `⌈pct·n⌉`,
+/// clamped to `[1, n]`. The previous `round((n-1)·pct)` index sat a
+/// half-step *below* the named order statistic (for 100 samples it read
+/// p99 from position 98.01 → rank 99 only by rounding luck, and p50
+/// from rank 50.5 → biased low), so p50/p99 systematically understated
+/// tail latency.
 fn percentile(sorted_ns: &[u64], pct: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
     }
-    let idx = ((sorted_ns.len() as f64 - 1.0) * pct).round() as usize;
-    sorted_ns[idx.min(sorted_ns.len() - 1)]
+    let n = sorted_ns.len();
+    let rank = (pct * n as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, n) - 1]
 }
 
 /// Runs `f` `reps` times and returns the fastest wall-clock seconds.
@@ -198,13 +216,96 @@ fn run_config(
     }
 }
 
-fn to_json(results: &[RunResult], rows: usize, threads: usize, quick: bool) -> String {
+/// The 1M-row (200k in quick mode) single-huge-context measurement:
+/// index build time plus sampled-target explain throughput through the
+/// striped kernel path.
+struct LargeResult {
+    dataset: &'static str,
+    rows: usize,
+    targets: usize,
+    kernels: &'static str,
+    stripe_threads: usize,
+    index_build_ms: f64,
+    explains_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn run_large(rows: usize) -> LargeResult {
+    let raw = synth::loan::generate(rows, 42);
+    let ds = raw.encode(&BinSpec::uniform(10));
+    let ctx = Context::from_recorded(&ds);
+    let alpha = Alpha::ONE;
+    let stripes = StripeConfig::default();
+
+    let t0 = Instant::now();
+    let idx = ContextIndex::with_stripes(&ctx, &stripes);
+    let index_build_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+    // Explaining every row of a 1M context would take the eager-scale
+    // path minutes; ~512 evenly-spaced targets measure the same kernel
+    // work with stable statistics.
+    let n_targets = 512.min(rows);
+    let step = (rows / n_targets).max(1);
+    let targets: Vec<usize> = (0..n_targets).map(|i| i * step).collect();
+    let mut scratch = ExplainScratch::new();
+    // Warm-up pass (page in the postings, settle the kernel dispatch).
+    for &t in targets.iter().take(32) {
+        let _ = idx.explain_striped(&ctx, t, alpha, &mut scratch, &stripes);
+    }
+    let mut per_key_ns: Vec<u64> = Vec::with_capacity(targets.len());
+    let t1 = Instant::now();
+    for &t in &targets {
+        let k0 = Instant::now();
+        let _ = idx.explain_striped(&ctx, t, alpha, &mut scratch, &stripes);
+        per_key_ns.push(k0.elapsed().as_nanos() as u64);
+    }
+    let secs = t1.elapsed().as_secs_f64();
+    per_key_ns.sort_unstable();
+    LargeResult {
+        dataset: "Loan",
+        rows,
+        targets: targets.len(),
+        kernels: cce_core::kernels::active().name,
+        stripe_threads: stripes.threads,
+        index_build_ms,
+        explains_per_sec: targets.len() as f64 / secs.max(1e-9),
+        p50_us: percentile(&per_key_ns, 0.50) / 1_000,
+        p99_us: percentile(&per_key_ns, 0.99) / 1_000,
+    }
+}
+
+fn large_to_json(l: &LargeResult) -> String {
+    format!(
+        "  \"large_context\": {{\"dataset\": \"{}\", \"rows\": {}, \"targets\": {}, \
+         \"kernels\": \"{}\", \"stripe_threads\": {}, \"index_build_ms\": {:.1}, \
+         \"explains_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}},\n",
+        l.dataset,
+        l.rows,
+        l.targets,
+        l.kernels,
+        l.stripe_threads,
+        l.index_build_ms,
+        l.explains_per_sec,
+        l.p50_us,
+        l.p99_us
+    )
+}
+
+fn to_json(
+    results: &[RunResult],
+    large: &LargeResult,
+    rows: usize,
+    threads: usize,
+    quick: bool,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"batch_engine\",\n");
     out.push_str(&format!("  \"rows\": {rows},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&large_to_json(large));
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {");
@@ -269,32 +370,55 @@ fn extract_numbers(doc: &str, key: &str) -> Vec<f64> {
     out
 }
 
-/// Compares `after_rows_per_sec` against a baseline document; returns the
-/// number of >20% regressions (0 = pass).
-fn check_baseline(current: &str, baseline: &str) -> usize {
-    let cur = extract_numbers(current, "after_rows_per_sec");
-    let base = extract_numbers(baseline, "after_rows_per_sec");
+/// Compares one gated key between the current and baseline documents;
+/// returns the number of failures (0 = pass). A failure is either a
+/// regression past 20% or a **malformed baseline** — missing key, shape
+/// mismatch, zero/negative/NaN reference value. The old behavior of
+/// "skipping" on mismatch meant a truncated or hand-edited baseline
+/// silently disabled the gate; now it fails the build until the
+/// baseline is regenerated.
+fn check_key(current: &str, baseline: &str, key: &str) -> usize {
+    let cur = extract_numbers(current, key);
+    let base = extract_numbers(baseline, key);
+    if base.is_empty() {
+        eprintln!("GATE FAILURE: baseline has no \"{key}\" fields — regenerate the baseline");
+        return 1;
+    }
     if cur.len() != base.len() {
         eprintln!(
-            "baseline shape mismatch ({} vs {} configs) — regenerate the baseline; skipping check",
+            "GATE FAILURE: baseline shape mismatch for \"{key}\" ({} vs {} entries) — regenerate the baseline",
             base.len(),
             cur.len()
         );
-        return 0;
+        return 1;
     }
-    let mut regressions = 0;
+    let mut failures = 0;
     for (i, (c, b)) in cur.iter().zip(&base).enumerate() {
+        if !(b.is_finite() && *b > 0.0) {
+            eprintln!(
+                "GATE FAILURE: \"{key}\" entry {i}: baseline value {b} is not a positive number"
+            );
+            failures += 1;
+            continue;
+        }
         if *c < 0.8 * *b {
             eprintln!(
-                "REGRESSION: config {i}: {c:.1} rows/sec vs baseline {b:.1} (>{:.0}% drop)",
+                "REGRESSION: \"{key}\" entry {i}: {c:.1} vs baseline {b:.1} (>{:.0}% drop)",
                 (1.0 - c / b) * 100.0
             );
-            regressions += 1;
+            failures += 1;
         } else {
-            eprintln!("ok: config {i}: {c:.1} rows/sec vs baseline {b:.1}");
+            eprintln!("ok: \"{key}\" entry {i}: {c:.1} vs baseline {b:.1}");
         }
     }
-    regressions
+    failures
+}
+
+/// Gates both the batch-engine throughput and the large-context explain
+/// rate; returns the total failure count (0 = pass).
+fn check_baseline(current: &str, baseline: &str) -> usize {
+    check_key(current, baseline, "after_rows_per_sec")
+        + check_key(current, baseline, "explains_per_sec")
 }
 
 fn main() {
@@ -338,7 +462,21 @@ fn main() {
         results.push(r);
     }
 
-    let json = to_json(&results, rows, threads, quick);
+    let large_rows = if quick { 200_000 } else { 1_000_000 };
+    eprintln!("running large-context Loan rows={large_rows} (striped kernels)…");
+    let large = run_large(large_rows);
+    eprintln!(
+        "  kernels={} stripes={} | index build {:.0} ms | {:.1} explains/s (p50 {} µs, p99 {} µs over {} targets)",
+        large.kernels,
+        large.stripe_threads,
+        large.index_build_ms,
+        large.explains_per_sec,
+        large.p50_us,
+        large.p99_us,
+        large.targets
+    );
+
+    let json = to_json(&results, &large, rows, threads, quick);
     std::fs::write(&out_path, &json).expect("write bench json");
     eprintln!("wrote {out_path}");
     cce_bench::dump_metrics("bench_batch");
@@ -346,14 +484,87 @@ fn main() {
     if let Some(bp) = baseline_path {
         match std::fs::read_to_string(&bp) {
             Ok(baseline) => {
-                let regressions = check_baseline(&json, &baseline);
-                if regressions > 0 {
-                    eprintln!("{regressions} regression(s) against {bp}");
+                let failures = check_baseline(&json, &baseline);
+                if failures > 0 {
+                    eprintln!("{failures} gate failure(s) against {bp}");
                     std::process::exit(1);
                 }
                 eprintln!("no regressions against {bp}");
             }
-            Err(e) => eprintln!("baseline {bp} unreadable ({e}); skipping check"),
+            Err(e) => {
+                eprintln!("GATE FAILURE: baseline {bp} unreadable ({e})");
+                std::process::exit(1);
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins nearest-rank on the canonical 1..=100 sample: p50 must be
+    /// exactly 50 and p99 exactly 99 (the old rounded `(n-1)·pct` index
+    /// returned 50 only after reading rank 50.5 rounded down-ish, and
+    /// sat below the named statistic in general).
+    #[test]
+    fn percentile_pins_p50_p99_of_1_to_100() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.90), 90);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.00), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        // n=2: ⌈0.5·2⌉ = 1 → the lower sample, never an interpolation.
+        assert_eq!(percentile(&[10, 20], 0.5), 10);
+    }
+
+    const CUR: &str = r#"{
+  "large_context": {"explains_per_sec": 500.0},
+  "results": [{"after_rows_per_sec": 1000.0}, {"after_rows_per_sec": 2000.0}]
+}"#;
+
+    #[test]
+    fn healthy_baseline_passes_and_regressions_fail() {
+        let same = CUR;
+        assert_eq!(check_baseline(CUR, same), 0);
+        let fast = r#"{
+  "large_context": {"explains_per_sec": 500.0},
+  "results": [{"after_rows_per_sec": 9000.0}, {"after_rows_per_sec": 2000.0}]
+}"#;
+        assert_eq!(check_baseline(CUR, fast), 1);
+    }
+
+    /// The corrupted-baseline matrix: every malformation must FAIL the
+    /// gate (non-zero), never silently pass.
+    #[test]
+    fn corrupted_baseline_fails_loudly() {
+        // Missing key entirely (e.g. a pre-large-context baseline).
+        let no_large =
+            r#"{"results": [{"after_rows_per_sec": 1000.0}, {"after_rows_per_sec": 2000.0}]}"#;
+        assert!(check_baseline(CUR, no_large) > 0);
+        // Truncated results array (shape mismatch).
+        let truncated = r#"{
+  "large_context": {"explains_per_sec": 500.0},
+  "results": [{"after_rows_per_sec": 1000.0}]
+}"#;
+        assert!(check_baseline(CUR, truncated) > 0);
+        // Zeroed field: any current value would beat 0.8 × 0.
+        let zeroed = r#"{
+  "large_context": {"explains_per_sec": 0},
+  "results": [{"after_rows_per_sec": 1000.0}, {"after_rows_per_sec": 2000.0}]
+}"#;
+        assert!(check_baseline(CUR, zeroed) > 0);
+        // NaN field: every comparison against NaN is false → would pass.
+        let nan = r#"{
+  "large_context": {"explains_per_sec": 500.0},
+  "results": [{"after_rows_per_sec": NaN}, {"after_rows_per_sec": 2000.0}]
+}"#;
+        assert!(check_baseline(CUR, nan) > 0);
+        // Outright garbage / empty document.
+        assert!(check_baseline(CUR, "{}") > 0);
+        assert!(check_baseline(CUR, "not json at all") > 0);
     }
 }

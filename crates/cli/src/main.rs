@@ -55,6 +55,7 @@ const USAGE: &str = "usage:
                  [--shed-depth N] [--degrade-depth N] [--degrade-budget SCANS]
                  [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
                  [--max-conns N] [--keepalive-ms MS]
+                 [--kernels auto|scalar|avx2|neon] [--stripe-threads T] [--stripe-words W]
   (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
 
 /// The flags each subcommand accepts (`None` → unknown subcommand).
@@ -91,6 +92,9 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "resume",
             "max-conns",
             "keepalive-ms",
+            "kernels",
+            "stripe-threads",
+            "stripe-words",
             "metrics",
         ],
         _ => return None,
@@ -414,6 +418,21 @@ fn serve(args: &Args) -> Result<(), String> {
     if let Some(v) = args.int("keepalive-ms")? {
         server_cfg.keep_alive_timeout = Duration::from_millis(v.max(1) as u64);
     }
+    // Kernel selection must land before the first bitset op (the index
+    // build below) — after that the process-wide choice is frozen.
+    if let Some(v) = args.optional("kernels") {
+        let mode = cce_core::kernels::Mode::parse(&v)
+            .ok_or_else(|| format!("--kernels {v:?}: expected auto|scalar|avx2|neon"))?;
+        let active = cce_core::kernels::force(mode);
+        println!("kernels: {active}");
+    }
+    let mut engine_cfg = cce_core::engine::EngineConfig::default();
+    if let Some(v) = args.int("stripe-threads")? {
+        engine_cfg.stripes.threads = v.max(1) as usize;
+    }
+    if let Some(v) = args.int("stripe-words")? {
+        engine_cfg.stripes.words_per_stripe = v.max(1) as usize;
+    }
 
     let backend = if let Some(dir) = args.optional("checkpoint-dir") {
         let every = args.int("checkpoint-every")?.unwrap_or(256).max(1) as u64;
@@ -450,7 +469,8 @@ fn serve(args: &Args) -> Result<(), String> {
         ))
     };
 
-    let app = cce_serve::build_app(ctx, alpha, batcher_cfg, admission_cfg, backend);
+    let app =
+        cce_serve::build_app_with(ctx, alpha, engine_cfg, batcher_cfg, admission_cfg, backend);
     let server =
         Server::bind(app, &addr, server_cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = server

@@ -12,11 +12,18 @@
 //!   keys, so each equivalence class in a batch is explained once and
 //!   the result fanned out (`cce_batch_memo_hits_total`).
 //! * **Budgeted degradation** — a non-unlimited [`WorkBudget`] routes
-//!   through [`Srk::explain_budgeted`], so an overloaded server can
-//!   trade key completeness for bounded latency per target and report
-//!   the [`ExplainStatus`] honestly.
+//!   through the budget-accounted indexed path
+//!   ([`ContextIndex::explain_budgeted_with`]), byte-identical to
+//!   [`Srk::explain_budgeted`] including its degradation points, so an
+//!   overloaded server can trade key completeness for bounded latency
+//!   per target and report the [`ExplainStatus`] honestly.
 //! * **Scoped parallelism** — distinct classes of one batch fan out over
-//!   `threads` scoped workers; results are returned in input order.
+//!   `threads` scoped workers; results are returned in input order. When
+//!   a batch collapses to a *single* huge explain (one class, or one
+//!   target via [`BatchEngine::explain_one`]) and the context is large
+//!   enough for [`StripeConfig`] to engage, the engine instead stripes
+//!   that one explain's bitset passes across the cores — so a
+//!   multi-million-row context saturates the machine either way.
 //!
 //! The unbudgeted path is the indexed lazy-greedy explainer, which is
 //! differentially tested elsewhere to match [`Srk::explain`] exactly;
@@ -24,6 +31,7 @@
 //! HTTP response bytes.
 //!
 //! [`Cce::explain_all_parallel`]: crate::Cce::explain_all_parallel
+//! [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
 
 use std::collections::HashMap;
 
@@ -31,7 +39,16 @@ use crate::alpha::Alpha;
 use crate::context::Context;
 use crate::error::ExplainError;
 use crate::index::{ContextIndex, ExplainScratch};
-use crate::srk::{BudgetedKey, ExplainStatus, Srk, WorkBudget};
+use crate::kernels::StripeConfig;
+use crate::srk::{BudgetedKey, ExplainStatus, WorkBudget};
+
+/// Tunables for a [`BatchEngine`], beyond the context and α.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// When (and how wide) to stripe a single explain's bitset passes
+    /// across cores; see [`StripeConfig::engages`].
+    pub stripes: StripeConfig,
+}
 
 /// Shared, read-only explanation state amortized across micro-batches.
 #[derive(Debug)]
@@ -39,6 +56,7 @@ pub struct BatchEngine {
     ctx: Context,
     alpha: Alpha,
     idx: ContextIndex,
+    stripes: StripeConfig,
     /// Row → duplicate-class id ([`Context::duplicate_classes`]).
     class_of: Vec<u32>,
     /// Class id → representative row.
@@ -49,12 +67,21 @@ impl BatchEngine {
     /// Builds the engine over an immutable context: one index build, one
     /// duplicate-class partition, reused for every later batch.
     pub fn new(ctx: Context, alpha: Alpha) -> Self {
-        let idx = ContextIndex::new(&ctx);
+        Self::with_config(ctx, alpha, EngineConfig::default())
+    }
+
+    /// [`BatchEngine::new`] with explicit [`EngineConfig`] — the serve
+    /// daemon's constructor, plumbing `--stripe-*` flags through. The
+    /// index build itself uses the same stripe config to parallelize its
+    /// seed tables on large contexts.
+    pub fn with_config(ctx: Context, alpha: Alpha, cfg: EngineConfig) -> Self {
+        let idx = ContextIndex::with_stripes(&ctx, &cfg.stripes);
         let (reps, class_of) = ctx.duplicate_classes();
         Self {
             ctx,
             alpha,
             idx,
+            stripes: cfg.stripes,
             class_of,
             reps,
         }
@@ -80,7 +107,7 @@ impl BatchEngine {
         target: usize,
         budget: WorkBudget,
     ) -> Result<BudgetedKey, ExplainError> {
-        self.explain_rep(target, budget, &mut ExplainScratch::new())
+        self.explain_rep(target, budget, &mut ExplainScratch::new(), true)
     }
 
     /// Explains a micro-batch of targets, memoizing duplicate rows and
@@ -139,10 +166,14 @@ impl BatchEngine {
     ) -> Vec<Result<BudgetedKey, ExplainError>> {
         let threads = threads.clamp(1, uniques.len().max(1));
         if threads == 1 || uniques.len() <= 1 {
+            // No class-level fan-out: let each explain stripe itself
+            // across cores instead (engages only on large contexts).
             let mut scratch = ExplainScratch::new();
             return uniques
                 .iter()
-                .map(|&c| self.explain_rep(self.reps[c as usize] as usize, budget, &mut scratch))
+                .map(|&c| {
+                    self.explain_rep(self.reps[c as usize] as usize, budget, &mut scratch, true)
+                })
                 .collect();
         }
         type Slot = Option<Result<BudgetedKey, ExplainError>>;
@@ -161,7 +192,9 @@ impl BatchEngine {
                     let mut scratch = ExplainScratch::new();
                     for (i, slot) in stripe {
                         let rep = self.reps[uniques[i] as usize] as usize;
-                        *slot = Some(self.explain_rep(rep, budget, &mut scratch));
+                        // Class fan-out already owns the cores; striping
+                        // inside each explain would only oversubscribe.
+                        *slot = Some(self.explain_rep(rep, budget, &mut scratch, false));
                     }
                 });
             }
@@ -172,23 +205,36 @@ impl BatchEngine {
             .collect()
     }
 
-    /// One representative explain: indexed lazy-greedy when unlimited
-    /// (identical to [`Srk::explain`]), budgeted SRK otherwise.
+    /// One representative explain, always through the index: lazy-greedy
+    /// when unlimited (identical to [`Srk::explain`]; striped across
+    /// cores when `may_stripe` and the context is large enough),
+    /// budget-accounted otherwise (identical to
+    /// [`Srk::explain_budgeted`]).
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
+    /// [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
     fn explain_rep(
         &self,
         target: usize,
         budget: WorkBudget,
         scratch: &mut ExplainScratch,
+        may_stripe: bool,
     ) -> Result<BudgetedKey, ExplainError> {
         if budget == WorkBudget::unlimited() {
-            self.idx
-                .explain_with(&self.ctx, target, self.alpha, scratch)
-                .map(|key| BudgetedKey {
-                    key,
-                    status: ExplainStatus::Complete,
-                })
+            let key = if may_stripe {
+                self.idx
+                    .explain_striped(&self.ctx, target, self.alpha, scratch, &self.stripes)
+            } else {
+                self.idx
+                    .explain_with(&self.ctx, target, self.alpha, scratch)
+            };
+            key.map(|key| BudgetedKey {
+                key,
+                status: ExplainStatus::Complete,
+            })
         } else {
-            Srk::new(self.alpha).explain_budgeted(&self.ctx, target, budget)
+            self.idx
+                .explain_budgeted_with(&self.ctx, target, self.alpha, budget, scratch)
         }
     }
 }
@@ -196,6 +242,7 @@ impl BatchEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::srk::Srk;
     use cce_dataset::{synth, BinSpec};
 
     fn loan_engine(rows: usize, alpha: f64) -> BatchEngine {
@@ -256,6 +303,35 @@ mod tests {
             Err(ExplainError::TargetOutOfRange { target: 999, .. })
         ));
         assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn striped_engine_matches_default() {
+        // Force stripes to engage at toy sizes with an oversubscribed
+        // team; every path (single, batch, budgeted) must agree with the
+        // unstriped engine bit for bit.
+        let raw = synth::loan::generate(300, 42);
+        let ctx = Context::from_recorded(&raw.encode(&BinSpec::uniform(6)));
+        let cfg = EngineConfig {
+            stripes: StripeConfig {
+                words_per_stripe: 2,
+                min_words: 1,
+                threads: 3,
+            },
+        };
+        let striped = BatchEngine::with_config(ctx.clone(), Alpha::ONE, cfg);
+        let plain = BatchEngine::new(ctx, Alpha::ONE);
+        let targets: Vec<usize> = (0..striped.context().len()).step_by(11).collect();
+        for budget in [WorkBudget::unlimited(), WorkBudget::new(75)] {
+            assert_eq!(
+                striped.explain_batch(&targets, budget, 1),
+                plain.explain_batch(&targets, budget, 1),
+            );
+        }
+        assert_eq!(
+            striped.explain_one(0, WorkBudget::unlimited()),
+            plain.explain_one(0, WorkBudget::unlimited()),
+        );
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! soon as a handful of instances of the *same* context are explained
 //! (the `explain_all` / evaluation workload).
 //!
+//! The word-level inner loops live in [`crate::kernels`]: runtime-
+//! dispatched AVX2/NEON SIMD with the portable scalar path as fallback
+//! and differential-testing oracle, plus an optional stripe team that
+//! shards one huge bitset pass across cores
+//! ([`ContextIndex::explain_striped`]).
+//!
 //! On top of the bitset representation, [`ContextIndex::explain`] runs a
 //! **lazy-greedy (CELF-style) selection**: a feature's marginal gain —
 //! the number of violators it would eliminate — is monotone
@@ -30,6 +36,17 @@
 //! pass per picked feature, and empty keys (the tolerance already
 //! covers the violators) cost nothing.
 //!
+//! # Tail-bit invariant
+//!
+//! Every `RowSet` keeps its padding bits — bit positions at or above
+//! `rows` in the last word — **clear at all times**. Constructors start
+//! zeroed, `set` refuses out-of-range rows, intersections only clear
+//! bits, and the one complement operation masks its own tail; every
+//! kernel entry checks the invariant with
+//! [`RowSet::debug_assert_tail_clear`]. This is what lets the fused
+//! kernels skip per-call tail masking entirely (`b ∩ ¬a` is clean
+//! because `b` is), at every `rows % 64` shape and SIMD lane width.
+//!
 //! The indexed paths are differentially tested against [`Srk::explain`]:
 //! identical keys, always.
 //!
@@ -44,77 +61,90 @@ use cce_dataset::Label;
 use crate::alpha::Alpha;
 use crate::context::Context;
 use crate::error::ExplainError;
+use crate::kernels::{self, Kernels, StripeConfig, TeamHandle};
 use crate::key::RelativeKey;
+use crate::srk::{BudgetedKey, ExplainStatus, WorkBudget};
 
 /// A dense bitset over context rows.
+///
+/// Padding bits above `rows` are always clear (the tail-bit invariant;
+/// see the module docs). All word-level work is delegated to the
+/// process-selected [`crate::kernels`] implementation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct RowSet {
     words: Vec<u64>,
+    /// Logical universe size; bits at or above it are zero.
+    rows: usize,
 }
 
 impl RowSet {
     fn zeros(rows: usize) -> Self {
         Self {
             words: vec![0; rows.div_ceil(64)],
+            rows,
         }
     }
 
     fn set(&mut self, row: usize) {
+        debug_assert!(row < self.rows, "set({row}) beyond rows={}", self.rows);
         self.words[row / 64] |= 1 << (row % 64);
     }
 
+    /// Checks the tail-bit invariant (debug builds only): every bit at
+    /// or above `rows` must be clear. Called on entry to every kernel so
+    /// a constructor or mutator that leaks garbage above `rows` fails
+    /// the nearest differential test instead of silently corrupting
+    /// counts.
+    #[inline]
+    fn debug_assert_tail_clear(&self) {
+        debug_assert_eq!(self.words.len(), self.rows.div_ceil(64));
+        if cfg!(debug_assertions) {
+            let tail = self.rows % 64;
+            if tail != 0 {
+                if let Some(last) = self.words.last() {
+                    debug_assert_eq!(
+                        last & !((1u64 << tail) - 1),
+                        0,
+                        "tail bits above rows={} are set",
+                        self.rows
+                    );
+                }
+            }
+        }
+    }
+
     fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.debug_assert_tail_clear();
+        (kernels::active().count)(&self.words) as usize
     }
 
     /// `|self ∩ other|` without materializing the intersection.
     fn count_and(&self, other: &RowSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.debug_assert_tail_clear();
+        other.debug_assert_tail_clear();
+        debug_assert_eq!(self.words.len(), other.words.len());
+        (kernels::active().count_and)(&self.words, &other.words) as usize
     }
 
     /// Fused `(|self ∩ a|, |self ∩ b|)` in a single pass over the words.
     ///
     /// The seed-table build needs a posting's coverage against every
     /// class; fusing two classes per pass halves the passes over the
-    /// posting words, and the 4-wide unrolling lets the two popcount
-    /// chains run independently (ILP) instead of serializing on one
-    /// accumulator.
+    /// posting words.
     fn count_and2(&self, a: &RowSet, b: &RowSet) -> (usize, usize) {
+        self.debug_assert_tail_clear();
+        a.debug_assert_tail_clear();
+        b.debug_assert_tail_clear();
         debug_assert_eq!(self.words.len(), a.words.len());
         debug_assert_eq!(self.words.len(), b.words.len());
-        let mut ca: u64 = 0;
-        let mut cb: u64 = 0;
-        let mut pw = self.words.chunks_exact(4);
-        let mut aw = a.words.chunks_exact(4);
-        let mut bw = b.words.chunks_exact(4);
-        for ((p, av), bv) in (&mut pw).zip(&mut aw).zip(&mut bw) {
-            ca += u64::from((p[0] & av[0]).count_ones())
-                + u64::from((p[1] & av[1]).count_ones())
-                + u64::from((p[2] & av[2]).count_ones())
-                + u64::from((p[3] & av[3]).count_ones());
-            cb += u64::from((p[0] & bv[0]).count_ones())
-                + u64::from((p[1] & bv[1]).count_ones())
-                + u64::from((p[2] & bv[2]).count_ones())
-                + u64::from((p[3] & bv[3]).count_ones());
-        }
-        for ((p, av), bv) in pw
-            .remainder()
-            .iter()
-            .zip(aw.remainder())
-            .zip(bw.remainder())
-        {
-            ca += u64::from((p & av).count_ones());
-            cb += u64::from((p & bv).count_ones());
-        }
+        let (ca, cb) = (kernels::active().count_and2)(&self.words, &a.words, &b.words);
         (ca as usize, cb as usize)
     }
 
     /// `self ∩= other`.
     fn and_assign(&mut self, other: &RowSet) {
+        self.debug_assert_tail_clear();
+        other.debug_assert_tail_clear();
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
         }
@@ -123,60 +153,125 @@ impl RowSet {
     /// `self ∩= other`, returning the new cardinality so the loop head
     /// never re-popcounts the whole set.
     fn and_assign_count(&mut self, other: &RowSet) -> usize {
-        let mut count: u64 = 0;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-            count += u64::from(a.count_ones());
-        }
-        count as usize
+        self.debug_assert_tail_clear();
+        other.debug_assert_tail_clear();
+        debug_assert_eq!(self.words.len(), other.words.len());
+        (kernels::active().and_assign_count)(&mut self.words, &other.words) as usize
     }
 
-    /// Complement within the first `rows` rows.
-    fn not(&self, rows: usize) -> RowSet {
+    /// Complement within the first `rows` rows — the one operation that
+    /// can set padding bits, so it masks its own tail.
+    fn not(&self) -> RowSet {
+        self.debug_assert_tail_clear();
         let mut out = RowSet {
             words: self.words.iter().map(|w| !w).collect(),
+            rows: self.rows,
         };
-        out.mask_tail(rows);
+        out.mask_tail();
         out
     }
 
-    /// Overwrites `self` with `b ∩ ¬a` (within `rows`), returning the new
-    /// cardinality — the fused first-pick materialization of the violator
-    /// set (`posting ∩ ¬class`) in a single pass.
-    fn copy_and_not_count(&mut self, b: &RowSet, a: &RowSet, rows: usize) -> usize {
-        self.words.clear();
-        let mut count: u64 = 0;
-        self.words
-            .extend(b.words.iter().zip(&a.words).map(|(bw, aw)| {
-                let w = bw & !aw;
-                count += u64::from(w.count_ones());
-                w
-            }));
-        let tail = rows % 64;
-        if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
-                let masked = *last & ((1u64 << tail) - 1);
-                count -= u64::from((*last ^ masked).count_ones());
-                *last = masked;
-            }
+    /// Overwrites `self` with `b ∩ ¬a`, returning the new cardinality —
+    /// the fused first-pick materialization of the violator set
+    /// (`posting ∩ ¬class`) in a single pass. `b`'s clear tail keeps the
+    /// result's tail clear without masking.
+    fn copy_and_not_count(&mut self, b: &RowSet, a: &RowSet) -> usize {
+        b.debug_assert_tail_clear();
+        a.debug_assert_tail_clear();
+        debug_assert_eq!(b.words.len(), a.words.len());
+        self.rows = b.rows;
+        self.words.resize(b.words.len(), 0);
+        if self.words.len() > b.words.len() {
+            self.words.truncate(b.words.len());
         }
-        count as usize
+        (kernels::active().and_not_count)(&mut self.words, &b.words, &a.words) as usize
     }
 
     /// Overwrites `self` with `a ∩ b`, reusing the allocation.
     fn copy_and_from(&mut self, a: &RowSet, b: &RowSet) {
+        a.debug_assert_tail_clear();
+        b.debug_assert_tail_clear();
+        self.rows = a.rows;
         self.words.clear();
         self.words
             .extend(a.words.iter().zip(&b.words).map(|(x, y)| x & y));
     }
 
     /// Clears the padding bits beyond `rows` so counts stay exact.
-    fn mask_tail(&mut self, rows: usize) {
-        let tail = rows % 64;
+    fn mask_tail(&mut self) {
+        let tail = self.rows % 64;
         if tail != 0 {
             if let Some(last) = self.words.last_mut() {
                 *last &= (1u64 << tail) - 1;
             }
+        }
+    }
+}
+
+/// Execution environment for one explanation: the dispatched kernel
+/// vtable plus an optional stripe team for huge contexts.
+struct Exec<'t> {
+    k: &'static Kernels,
+    team: Option<&'t TeamHandle<'t>>,
+    words_per_stripe: usize,
+}
+
+impl Exec<'_> {
+    /// Plain single-threaded execution through the active kernels.
+    fn direct() -> Self {
+        Exec {
+            k: kernels::active(),
+            team: None,
+            words_per_stripe: 0,
+        }
+    }
+
+    fn count_and(&self, a: &RowSet, b: &RowSet) -> usize {
+        match self.team {
+            Some(team) => {
+                a.debug_assert_tail_clear();
+                b.debug_assert_tail_clear();
+                kernels::stripes::count_and(self.k, team, self.words_per_stripe, &a.words, &b.words)
+                    as usize
+            }
+            None => a.count_and(b),
+        }
+    }
+
+    fn and_assign_count(&self, dst: &mut RowSet, src: &RowSet) -> usize {
+        match self.team {
+            Some(team) => {
+                dst.debug_assert_tail_clear();
+                src.debug_assert_tail_clear();
+                kernels::stripes::and_assign_count(
+                    self.k,
+                    team,
+                    self.words_per_stripe,
+                    &mut dst.words,
+                    &src.words,
+                ) as usize
+            }
+            None => dst.and_assign_count(src),
+        }
+    }
+
+    fn copy_and_not_count(&self, dst: &mut RowSet, b: &RowSet, a: &RowSet) -> usize {
+        match self.team {
+            Some(team) => {
+                b.debug_assert_tail_clear();
+                a.debug_assert_tail_clear();
+                dst.rows = b.rows;
+                dst.words.resize(b.words.len(), 0);
+                kernels::stripes::and_not_count(
+                    self.k,
+                    team,
+                    self.words_per_stripe,
+                    &mut dst.words,
+                    &b.words,
+                    &a.words,
+                ) as usize
+            }
+            None => dst.copy_and_not_count(b, a),
         }
     }
 }
@@ -297,8 +392,20 @@ pub struct ContextIndex {
 }
 
 impl ContextIndex {
-    /// Builds the index in `O(n·|I|)` time and `O(n·Σcard·|I|/64)` space.
+    /// Builds the index in `O(n·|I|)` time and `O(n·Σcard·|I|/64)` space,
+    /// using the default [`StripeConfig`] to parallelize the seed-table
+    /// build on large contexts.
     pub fn new(ctx: &Context) -> Self {
+        Self::with_stripes(ctx, &StripeConfig::default())
+    }
+
+    /// [`ContextIndex::new`] with an explicit stripe configuration: when
+    /// `stripes` engages for this context's bitset width, the seed-table
+    /// build (one fused `count_and2` pass per posting) fans out over
+    /// `stripes.threads` scoped workers with per-posting slots — exact
+    /// integer counts, so the result is byte-identical at every thread
+    /// count.
+    pub fn with_stripes(ctx: &Context, stripes: &StripeConfig) -> Self {
         let rows = ctx.len();
         let n = ctx.schema().n_features();
         let mut by_value: Vec<Vec<RowSet>> = (0..n)
@@ -337,12 +444,6 @@ impl ContextIndex {
             }
             classes[class_of[r] as usize].rows.set(r);
         }
-        // Tabulate the round-0 seed scores: per class, per posting, the
-        // violator-survivor and supporter-coverage counts against the
-        // initial live sets. Classes are consumed two at a time through
-        // the fused `count_and2` kernel, so a binary-label context pays a
-        // single pass per posting — amortized over every explanation the
-        // index will serve.
         for class in &mut classes {
             class.size = class.rows.count();
             class.seed = by_value
@@ -350,24 +451,7 @@ impl ContextIndex {
                 .map(|postings| vec![(0, 0); postings.len()])
                 .collect();
         }
-        let mut covers = vec![0usize; classes.len()];
-        for (f, postings) in by_value.iter().enumerate() {
-            for (v, posting) in postings.iter().enumerate() {
-                let total = posting.count();
-                let mut pairs = classes.chunks_exact(2);
-                for (c, pair) in (&mut pairs).enumerate() {
-                    let (c0, c1) = posting.count_and2(&pair[0].rows, &pair[1].rows);
-                    covers[2 * c] = c0;
-                    covers[2 * c + 1] = c1;
-                }
-                if let [last] = pairs.remainder() {
-                    covers[classes.len() - 1] = posting.count_and(&last.rows);
-                }
-                for (class, &cover) in classes.iter_mut().zip(&covers) {
-                    class.seed[f][v] = (total - cover, cover);
-                }
-            }
-        }
+        Self::build_seed_tables(&by_value, &mut classes, stripes, rows);
         // One hash pass tabulates, per row, how many exact-instance twins
         // carry a different prediction — the unsatisfiability certificate
         // consulted before any greedy round runs.
@@ -389,6 +473,63 @@ impl ContextIndex {
             by_value,
             classes,
             exact_violators,
+        }
+    }
+
+    /// Tabulates the round-0 seed scores: per class, per posting, the
+    /// violator-survivor and supporter-coverage counts against the
+    /// initial live sets. Classes are consumed two at a time through the
+    /// fused `count_and2` kernel, so a binary-label context pays a
+    /// single pass per posting — amortized over every explanation the
+    /// index will serve. On large contexts the postings fan out over
+    /// scoped workers writing disjoint result slots.
+    fn build_seed_tables(
+        by_value: &[Vec<RowSet>],
+        classes: &mut [ClassIndex],
+        stripes: &StripeConfig,
+        rows: usize,
+    ) {
+        let postings: Vec<(usize, usize, &RowSet)> = by_value
+            .iter()
+            .enumerate()
+            .flat_map(|(f, ps)| ps.iter().enumerate().map(move |(v, p)| (f, v, p)))
+            .collect();
+        // slot = (posting total, per-class cover counts).
+        let mut slots: Vec<(usize, Vec<usize>)> = vec![(0, vec![0; classes.len()]); postings.len()];
+        let fill = |posting: &RowSet, slot: &mut (usize, Vec<usize>), classes: &[ClassIndex]| {
+            slot.0 = posting.count();
+            let mut pairs = classes.chunks_exact(2);
+            for (c, pair) in (&mut pairs).enumerate() {
+                let (c0, c1) = posting.count_and2(&pair[0].rows, &pair[1].rows);
+                slot.1[2 * c] = c0;
+                slot.1[2 * c + 1] = c1;
+            }
+            if let [last] = pairs.remainder() {
+                slot.1[classes.len() - 1] = posting.count_and(&last.rows);
+            }
+        };
+        let threads = stripes.threads.clamp(1, postings.len().max(1));
+        if threads > 1 && stripes.engages(rows.div_ceil(64)) {
+            let chunk = postings.len().div_ceil(threads);
+            let classes_ref: &[ClassIndex] = classes;
+            std::thread::scope(|scope| {
+                for (p_chunk, s_chunk) in postings.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for ((_, _, posting), slot) in p_chunk.iter().zip(s_chunk) {
+                            fill(posting, slot, classes_ref);
+                        }
+                    });
+                }
+            });
+        } else {
+            for ((_, _, posting), slot) in postings.iter().zip(&mut slots) {
+                fill(posting, slot, classes);
+            }
+        }
+        for ((f, v, _), (total, covers)) in postings.iter().zip(&slots) {
+            for (class, &cover) in classes.iter_mut().zip(covers) {
+                class.seed[*f][*v] = (total - cover, cover);
+            }
         }
     }
 
@@ -444,12 +585,104 @@ impl ContextIndex {
         alpha: Alpha,
         scratch: &mut ExplainScratch,
     ) -> Result<RelativeKey, ExplainError> {
+        self.explain_core(
+            ctx,
+            target,
+            alpha,
+            scratch,
+            WorkBudget::unlimited(),
+            &Exec::direct(),
+        )
+        .map(|b| b.key)
+    }
+
+    /// [`ContextIndex::explain_with`] with the kernel passes of one
+    /// explanation striped across a scoped worker team — the
+    /// single-huge-explain path: a multi-million-row context keeps every
+    /// core busy on *one* target instead of only parallelizing across
+    /// targets.
+    ///
+    /// Falls back to the plain path when `stripes` does not engage for
+    /// this context's bitset width. Output is byte-identical to
+    /// [`ContextIndex::explain_with`] at every thread count (per-stripe
+    /// partial popcounts are exact integers reduced at the join point).
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain`].
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
+    pub fn explain_striped(
+        &self,
+        ctx: &Context,
+        target: usize,
+        alpha: Alpha,
+        scratch: &mut ExplainScratch,
+        stripes: &StripeConfig,
+    ) -> Result<RelativeKey, ExplainError> {
+        let words = self.rows.div_ceil(64);
+        if !stripes.engages(words) {
+            return self.explain_with(ctx, target, alpha, scratch);
+        }
+        cce_obs::counter!("cce_stripe_explains_total").inc();
+        kernels::with_team(stripes.threads, |team| {
+            let exec = Exec {
+                k: kernels::active(),
+                team,
+                words_per_stripe: stripes.words_per_stripe.max(1),
+            };
+            self.explain_core(ctx, target, alpha, scratch, WorkBudget::unlimited(), &exec)
+                .map(|b| b.key)
+        })
+    }
+
+    /// Budget-guarded indexed explanation: byte-identical results *and*
+    /// degradation behavior to [`Srk::explain_budgeted`], at indexed
+    /// speed.
+    ///
+    /// The budget is accounted in **eager-scan units** — each greedy
+    /// round charges `unpicked features × live violators`, exactly what
+    /// the reference scan would spend — so whether a call completes or
+    /// degrades (and the reported `spent`) is independent of which
+    /// execution path served it, even though the lazy-greedy path does
+    /// far less actual work. The unsatisfiability certificate is *not*
+    /// consulted under a finite budget: the reference semantics degrade
+    /// mid-way through doomed targets when the budget runs out first,
+    /// and this path must agree.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain_budgeted`]; running out of
+    /// budget is not an error.
+    ///
+    /// [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
+    pub fn explain_budgeted_with(
+        &self,
+        ctx: &Context,
+        target: usize,
+        alpha: Alpha,
+        budget: WorkBudget,
+        scratch: &mut ExplainScratch,
+    ) -> Result<BudgetedKey, ExplainError> {
+        self.explain_core(ctx, target, alpha, scratch, budget, &Exec::direct())
+    }
+
+    /// The one lazy-greedy loop behind every indexed entry point;
+    /// `budget` and `exec` select the budgeted / striped variants.
+    fn explain_core(
+        &self,
+        ctx: &Context,
+        target: usize,
+        alpha: Alpha,
+        scratch: &mut ExplainScratch,
+        budget: WorkBudget,
+        exec: &Exec<'_>,
+    ) -> Result<BudgetedKey, ExplainError> {
         ctx.check_target(target)?;
         assert_eq!(ctx.len(), self.rows, "index built for a different context");
         let n = ctx.schema().n_features();
         let tolerance = alpha.tolerance(self.rows);
         let x0 = ctx.instance(target);
         let p0 = ctx.prediction(target);
+        let budgeted = budget != WorkBudget::unlimited();
 
         let class = self
             .classes
@@ -462,8 +695,11 @@ impl ContextIndex {
         // Unsatisfiable targets fail identically after `n` futile rounds:
         // the violators surviving a full intersection are the target's
         // differently-predicted exact twins, regardless of pick order.
-        // Certify the failure up front instead of scanning toward it.
-        if live_violators > tolerance && self.exact_violators[target] > tolerance {
+        // Certify the failure up front instead of scanning toward it —
+        // but only with an unlimited budget: a finite budget may run out
+        // before the reference scan reaches the error, and the budgeted
+        // contract is to degrade exactly where the reference would.
+        if !budgeted && live_violators > tolerance && self.exact_violators[target] > tolerance {
             cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
             return Err(ExplainError::NoConformantKey {
                 contradictions: self.exact_violators[target],
@@ -475,6 +711,8 @@ impl ContextIndex {
         // Locally accumulated, flushed in one atomic add on success.
         let mut evaluated: u64 = 0;
         let mut eager_scans: u64 = 0;
+        // Budget accounting in eager-scan units (see the method docs).
+        let mut accounted: u64 = 0;
         while live_violators > tolerance {
             if picked.len() == n {
                 cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
@@ -483,7 +721,21 @@ impl ContextIndex {
                     tolerance,
                 });
             }
+            if budgeted && accounted >= budget.max_scans {
+                cce_obs::counter!("cce_explain_degraded_total").inc();
+                cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed")
+                    .add(evaluated);
+                let achieved = 1.0 - live_violators as f64 / self.rows as f64;
+                return Ok(BudgetedKey {
+                    key: RelativeKey::new(picked, alpha, achieved),
+                    status: ExplainStatus::Degraded {
+                        spent: accounted,
+                        remaining_violators: live_violators,
+                    },
+                });
+            }
             eager_scans += (n - picked.len()) as u64;
+            accounted += ((n - picked.len()) * live_violators) as u64;
             let round = picked.len();
             let best_feat = if round == 0 {
                 // Round 0 from the seed table: a linear argmax over
@@ -537,7 +789,7 @@ impl ContextIndex {
                     if top.kstamp < round {
                         // Refresh the primary component only; the stale
                         // cover stays a valid upper bound for ordering.
-                        let surv = scratch.violators.count_and(posting);
+                        let surv = exec.count_and(&scratch.violators, posting);
                         evaluated += 1;
                         top.killed = live_violators - surv;
                         top.kstamp = round;
@@ -561,7 +813,7 @@ impl ContextIndex {
                         // popped first).
                         break top.feat;
                     }
-                    top.cover = scratch.supporters.count_and(posting);
+                    top.cover = exec.count_and(&scratch.supporters, posting);
                     top.cstamp = round;
                     scratch.heap.push(top);
                 }
@@ -573,12 +825,10 @@ impl ContextIndex {
                 // pick's intersection — `posting ∩ ¬class` and
                 // `posting ∩ class` in one pass each.
                 live_violators =
-                    scratch
-                        .violators
-                        .copy_and_not_count(posting, &class.rows, self.rows);
+                    exec.copy_and_not_count(&mut scratch.violators, posting, &class.rows);
                 scratch.supporters.copy_and_from(posting, &class.rows);
             } else {
-                live_violators = scratch.violators.and_assign_count(posting);
+                live_violators = exec.and_assign_count(&mut scratch.violators, posting);
                 scratch.supporters.and_assign(posting);
             }
         }
@@ -592,7 +842,10 @@ impl ContextIndex {
         // subtraction cannot underflow.
         cce_obs::counter!("cce_lazy_greedy_skips_total").add(eager_scans - evaluated);
         let achieved = 1.0 - live_violators as f64 / self.rows as f64;
-        Ok(RelativeKey::new(picked, alpha, achieved))
+        Ok(BudgetedKey {
+            key: RelativeKey::new(picked, alpha, achieved),
+            status: ExplainStatus::Complete,
+        })
     }
 
     /// The pre-CELF eager scan: every round re-evaluates every unpicked
@@ -623,7 +876,7 @@ impl ContextIndex {
             .find(|c| c.label == p0)
             .expect("target's class is indexed")
             .rows;
-        let mut violators = same_class.not(self.rows);
+        let mut violators = same_class.not();
         let mut supporters = same_class.clone();
 
         let mut picked = Vec::new();
@@ -715,6 +968,58 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_indexed_matches_srk_budgeted_exactly() {
+        // The indexed budgeted path must agree with the reference on
+        // completion, degradation point, spent scans, and partial keys —
+        // across budgets bracketing round boundaries.
+        for ctx in contexts() {
+            let idx = ContextIndex::new(&ctx);
+            let mut scratch = ExplainScratch::new();
+            for &a in &[1.0, 0.95] {
+                let alpha = Alpha::new(a).unwrap();
+                let srk = Srk::new(alpha);
+                for t in (0..ctx.len()).step_by(23) {
+                    for budget in [0u64, 1, 100, 1_000, 50_000, u64::MAX - 1] {
+                        let b = WorkBudget::new(budget);
+                        assert_eq!(
+                            idx.explain_budgeted_with(&ctx, t, alpha, b, &mut scratch),
+                            srk.explain_budgeted(&ctx, t, b),
+                            "α={a} target={t} budget={budget}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn striped_explain_is_byte_identical() {
+        // Force stripes on at small sizes with an oversubscribed team
+        // (more threads than cores is fine — only slower), so the striped
+        // code path runs even on single-core CI.
+        let stripes = StripeConfig {
+            words_per_stripe: 4,
+            min_words: 1,
+            threads: 3,
+        };
+        for ctx in contexts() {
+            let idx = ContextIndex::with_stripes(&ctx, &stripes);
+            let plain = ContextIndex::new(&ctx);
+            let mut scratch = ExplainScratch::new();
+            for &a in &[1.0, 0.95] {
+                let alpha = Alpha::new(a).unwrap();
+                for t in (0..ctx.len()).step_by(13) {
+                    assert_eq!(
+                        idx.explain_striped(&ctx, t, alpha, &mut scratch, &stripes),
+                        plain.explain(&ctx, t, alpha),
+                        "α={a} target={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn rowset_complement_is_exact_at_word_boundaries() {
         for rows in [1usize, 63, 64, 65, 128, 130] {
             let mut s = RowSet::zeros(rows);
@@ -722,7 +1027,7 @@ mod tests {
             if rows > 2 {
                 s.set(rows - 1);
             }
-            let c = s.not(rows);
+            let c = s.not();
             assert_eq!(s.count() + c.count(), rows, "rows={rows}");
             assert_eq!(s.count_and(&c), 0);
         }
@@ -745,8 +1050,8 @@ mod tests {
                 }
             }
             let mut fused = RowSet::default();
-            let live = fused.copy_and_not_count(&posting, &class, rows);
-            let mut expected = class.not(rows);
+            let live = fused.copy_and_not_count(&posting, &class);
+            let mut expected = class.not();
             expected.and_assign(&posting);
             assert_eq!(fused, expected, "rows={rows}");
             assert_eq!(live, expected.count(), "rows={rows}");
@@ -802,6 +1107,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "tail bits")]
+    #[cfg(debug_assertions)]
+    fn tail_invariant_violations_are_caught() {
+        // A constructor/mutator that leaked garbage above `rows` must
+        // trip the kernel-entry assert, not silently corrupt counts.
+        let mut s = RowSet::zeros(65);
+        s.words[1] = u64::MAX; // bits 65..128 are padding garbage
+        let _ = s.count();
+    }
+
+    #[test]
     fn index_len_tracks_context() {
         let ctx = contexts().remove(0);
         let idx = ContextIndex::new(&ctx);
@@ -809,6 +1125,24 @@ mod tests {
         assert!(!idx.is_empty());
         let empty = ContextIndex::new(&Context::empty(ctx.schema_arc()));
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parallel_seed_build_matches_sequential() {
+        // The scoped-worker seed build must tabulate identical tables.
+        let forced = StripeConfig {
+            words_per_stripe: 8,
+            min_words: 1,
+            threads: 4,
+        };
+        for ctx in contexts() {
+            let par = ContextIndex::with_stripes(&ctx, &forced);
+            let seq = ContextIndex::new(&ctx);
+            for (cp, cs) in par.classes.iter().zip(&seq.classes) {
+                assert_eq!(cp.seed, cs.seed);
+                assert_eq!(cp.size, cs.size);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! NEON bitset kernels (`aarch64`): 128-bit AND + `vcntq_u8` byte
+//! popcounts with `vaddlvq_u8` horizontal sums, two words per vector.
+//!
+//! # Safety
+//!
+//! Mirrors [`super::x86`]: the `unsafe fn`s are unsafe only because of
+//! `#[target_feature(enable = "neon")]` and are published exclusively
+//! through [`KERNELS`] after `is_aarch64_feature_detected!("neon")`
+//! succeeded (NEON is mandatory on AArch64, so detection is a
+//! formality). All loads/stores use `vld1q_u64`/`vst1q_u64` on pointers
+//! from exact 2-word `chunks_exact` sub-slices; remainders go to the
+//! scalar oracle.
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::{
+    uint64x2_t, vaddlvq_u8, vandq_u64, vbicq_u64, vcntq_u8, vld1q_u64, vreinterpretq_u8_u64,
+    vst1q_u64,
+};
+
+use super::scalar;
+
+/// The NEON implementation; install only after runtime detection.
+pub static KERNELS: super::Kernels = super::Kernels {
+    name: "neon",
+    count,
+    count_and,
+    count_and2,
+    and_assign_count,
+    and_not_count,
+};
+
+/// Popcount of one 128-bit vector (≤ 128 fits any integer type).
+///
+/// # Safety
+/// Requires NEON.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn popcnt128(v: uint64x2_t) -> u64 {
+    u64::from(vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v))))
+}
+
+/// Loads 2 consecutive `u64`.
+///
+/// # Safety
+/// Requires NEON; `w` must be exactly a 2-word `chunks_exact` chunk.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn load(w: &[u64]) -> uint64x2_t {
+    debug_assert_eq!(w.len(), 2);
+    vld1q_u64(w.as_ptr())
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn count_impl(a: &[u64]) -> u64 {
+    let mut c: u64 = 0;
+    let mut chunks = a.chunks_exact(2);
+    for w in &mut chunks {
+        c += popcnt128(load(w));
+    }
+    c + scalar::count(chunks.remainder())
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn count_and_impl(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut c: u64 = 0;
+    let mut aw = a.chunks_exact(2);
+    let mut bw = b.chunks_exact(2);
+    for (x, y) in (&mut aw).zip(&mut bw) {
+        c += popcnt128(vandq_u64(load(x), load(y)));
+    }
+    c + scalar::count_and(aw.remainder(), bw.remainder())
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn count_and2_impl(p: &[u64], a: &[u64], b: &[u64]) -> (u64, u64) {
+    debug_assert_eq!(p.len(), a.len());
+    debug_assert_eq!(p.len(), b.len());
+    let mut ca: u64 = 0;
+    let mut cb: u64 = 0;
+    let mut pw = p.chunks_exact(2);
+    let mut aw = a.chunks_exact(2);
+    let mut bw = b.chunks_exact(2);
+    for ((pv, av), bv) in (&mut pw).zip(&mut aw).zip(&mut bw) {
+        let pvec = load(pv);
+        ca += popcnt128(vandq_u64(pvec, load(av)));
+        cb += popcnt128(vandq_u64(pvec, load(bv)));
+    }
+    let (ta, tb) = scalar::count_and2(pw.remainder(), aw.remainder(), bw.remainder());
+    (ca + ta, cb + tb)
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn and_assign_count_impl(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut c: u64 = 0;
+    let mut dw = dst.chunks_exact_mut(2);
+    let mut sw = src.chunks_exact(2);
+    for (d, s) in (&mut dw).zip(&mut sw) {
+        let anded = vandq_u64(load(d), load(s));
+        vst1q_u64(d.as_mut_ptr(), anded);
+        c += popcnt128(anded);
+    }
+    c + scalar::and_assign_count(dw.into_remainder(), sw.remainder())
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn and_not_count_impl(dst: &mut [u64], b: &[u64], a: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), b.len());
+    debug_assert_eq!(dst.len(), a.len());
+    let mut c: u64 = 0;
+    let mut dw = dst.chunks_exact_mut(2);
+    let mut bw = b.chunks_exact(2);
+    let mut aw = a.chunks_exact(2);
+    for ((d, bv), av) in (&mut dw).zip(&mut bw).zip(&mut aw) {
+        // vbic(x, y) computes x & !y — so (b, a) is exactly `b ∩ ¬a`.
+        let w = vbicq_u64(load(bv), load(av));
+        vst1q_u64(d.as_mut_ptr(), w);
+        c += popcnt128(w);
+    }
+    c + scalar::and_not_count(dw.into_remainder(), bw.remainder(), aw.remainder())
+}
+
+// Safe vtable entries. SAFETY: published only post-detection; see the
+// module-level safety argument.
+fn count(a: &[u64]) -> u64 {
+    unsafe { count_impl(a) }
+}
+fn count_and(a: &[u64], b: &[u64]) -> u64 {
+    unsafe { count_and_impl(a, b) }
+}
+fn count_and2(p: &[u64], a: &[u64], b: &[u64]) -> (u64, u64) {
+    unsafe { count_and2_impl(p, a, b) }
+}
+fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+    unsafe { and_assign_count_impl(dst, src) }
+}
+fn and_not_count(dst: &mut [u64], b: &[u64], a: &[u64]) -> u64 {
+    unsafe { and_not_count_impl(dst, b, a) }
+}

@@ -1,0 +1,155 @@
+//! The portable scalar kernels: 4-wide-unrolled popcount chains.
+//!
+//! Always compiled, on every target. This is the fallback on hardware
+//! without usable SIMD **and** the oracle the vectorized paths are
+//! differentially tested against — its results define the contract in
+//! [`super::Kernels`]. The 4-wide unrolling lets independent popcount
+//! chains run in parallel (ILP) instead of serializing on one
+//! accumulator; `u64::count_ones` lowers to a single `popcnt`-class
+//! instruction on every mainstream target.
+
+/// The scalar implementation of every kernel.
+pub static KERNELS: super::Kernels = super::Kernels {
+    name: "scalar",
+    count,
+    count_and,
+    count_and2,
+    and_assign_count,
+    and_not_count,
+};
+
+/// `popcount(a)`.
+pub fn count(a: &[u64]) -> u64 {
+    let mut c0: u64 = 0;
+    let mut c1: u64 = 0;
+    let mut chunks = a.chunks_exact(4);
+    for w in &mut chunks {
+        c0 += u64::from(w[0].count_ones()) + u64::from(w[1].count_ones());
+        c1 += u64::from(w[2].count_ones()) + u64::from(w[3].count_ones());
+    }
+    for w in chunks.remainder() {
+        c0 += u64::from(w.count_ones());
+    }
+    c0 + c1
+}
+
+/// `popcount(a & b)` without materializing the intersection.
+pub fn count_and(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut c0: u64 = 0;
+    let mut c1: u64 = 0;
+    let mut aw = a.chunks_exact(4);
+    let mut bw = b.chunks_exact(4);
+    for (x, y) in (&mut aw).zip(&mut bw) {
+        c0 += u64::from((x[0] & y[0]).count_ones()) + u64::from((x[1] & y[1]).count_ones());
+        c1 += u64::from((x[2] & y[2]).count_ones()) + u64::from((x[3] & y[3]).count_ones());
+    }
+    for (x, y) in aw.remainder().iter().zip(bw.remainder()) {
+        c0 += u64::from((x & y).count_ones());
+    }
+    c0 + c1
+}
+
+/// Fused `(popcount(p & a), popcount(p & b))` in a single pass over `p`:
+/// one load of each posting word feeds both popcount chains.
+pub fn count_and2(p: &[u64], a: &[u64], b: &[u64]) -> (u64, u64) {
+    debug_assert_eq!(p.len(), a.len());
+    debug_assert_eq!(p.len(), b.len());
+    let mut ca: u64 = 0;
+    let mut cb: u64 = 0;
+    let mut pw = p.chunks_exact(4);
+    let mut aw = a.chunks_exact(4);
+    let mut bw = b.chunks_exact(4);
+    for ((pv, av), bv) in (&mut pw).zip(&mut aw).zip(&mut bw) {
+        ca += u64::from((pv[0] & av[0]).count_ones())
+            + u64::from((pv[1] & av[1]).count_ones())
+            + u64::from((pv[2] & av[2]).count_ones())
+            + u64::from((pv[3] & av[3]).count_ones());
+        cb += u64::from((pv[0] & bv[0]).count_ones())
+            + u64::from((pv[1] & bv[1]).count_ones())
+            + u64::from((pv[2] & bv[2]).count_ones())
+            + u64::from((pv[3] & bv[3]).count_ones());
+    }
+    for ((pv, av), bv) in pw
+        .remainder()
+        .iter()
+        .zip(aw.remainder())
+        .zip(bw.remainder())
+    {
+        ca += u64::from((pv & av).count_ones());
+        cb += u64::from((pv & bv).count_ones());
+    }
+    (ca, cb)
+}
+
+/// `dst &= src`, returning the new cardinality so the caller never
+/// re-popcounts the whole set.
+pub fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut c: u64 = 0;
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+        c += u64::from(d.count_ones());
+    }
+    c
+}
+
+/// `dst = b & !a`, returning the new cardinality — the fused first-pick
+/// materialization (`posting ∩ ¬class`) in a single pass. `b`'s clear
+/// padding bits keep the output's padding clear.
+pub fn and_not_count(dst: &mut [u64], b: &[u64], a: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), b.len());
+    debug_assert_eq!(dst.len(), a.len());
+    let mut c: u64 = 0;
+    for ((d, bw), aw) in dst.iter_mut().zip(b).zip(a) {
+        let w = bw & !aw;
+        c += u64::from(w.count_ones());
+        *d = w;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force bit-by-bit references pin the oracle itself.
+    #[test]
+    fn oracle_matches_bit_by_bit_reference() {
+        let a: Vec<u64> = (0..13)
+            .map(|i| (i as u64) << 60 | 0x0123_4567_89ab_cdef)
+            .collect();
+        let b: Vec<u64> = (0..13)
+            .map(|i| !(i as u64) ^ 0xdead_beef_0000_ffff)
+            .collect();
+        let naive_and: u64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x & y).count_ones() as u64)
+            .sum();
+        assert_eq!(count_and(&a, &b), naive_and);
+        assert_eq!(count(&a), a.iter().map(|x| x.count_ones() as u64).sum());
+        let (ca, cb) = count_and2(&a, &a, &b);
+        assert_eq!(ca, count(&a));
+        assert_eq!(cb, naive_and);
+        let mut d = a.clone();
+        assert_eq!(and_assign_count(&mut d, &b), naive_and);
+        let mut out = vec![0u64; a.len()];
+        let c = and_not_count(&mut out, &b, &a);
+        let naive_not: u64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (y & !x).count_ones() as u64)
+            .sum();
+        assert_eq!(c, naive_not);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        assert_eq!(count(&[]), 0);
+        assert_eq!(count_and(&[], &[]), 0);
+        assert_eq!(count_and2(&[], &[], &[]), (0, 0));
+        assert_eq!(and_assign_count(&mut [], &[]), 0);
+        assert_eq!(and_not_count(&mut [], &[], &[]), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Striped execution: shard one huge bitset pass across cores.
+//!
+//! Row-level parallelism (`explain_all_parallel`, the serve batcher)
+//! saturates cores when a batch has many *distinct* targets. A single
+//! explain over a multi-million-row context is the opposite shape: a
+//! handful of sequential greedy rounds, each dominated by full-width
+//! kernel passes over megabytes of bitset words. This module shards the
+//! word universe into cache-sized **stripes** (a few KiB of words each)
+//! and fans the stripes of every kernel call over a small scoped worker
+//! team, reducing the per-stripe partial popcounts at the join point —
+//! so one explain parallelizes across cores *inside* a round.
+//!
+//! Determinism: partial popcounts are exact integers, stripe writes are
+//! disjoint sub-slices, and addition is associative — striped results
+//! are byte-identical to single-threaded ones at every thread count
+//! (differentially proven in the tests below and in `kernel_diff`).
+//!
+//! # Team lifecycle
+//!
+//! [`with_team`] spawns `threads - 1` helper threads inside a
+//! `std::thread::scope` and hands the closure a [`TeamHandle`]; the
+//! helpers park on a condvar between jobs, so the spawn cost is paid
+//! once per explain and each greedy round's kernel calls reuse the same
+//! team. The submitting thread always participates in the drain, so a
+//! team never deadlocks even if helpers are slow to wake — a job a
+//! helper misses entirely costs nothing.
+//!
+//! # Safety
+//!
+//! The one `unsafe` block erases the lifetime of the per-job closure
+//! reference so it can sit in the shared job cell while helpers run it.
+//! The argument, in full:
+//!
+//! 1. A helper may dereference the stored closure only between
+//!    incrementing `active` (under the state mutex, and only while the
+//!    cell holds `Some`) and decrementing it.
+//! 2. [`TeamHandle::run`] clears the cell (blocking new pickups) and
+//!    then waits until `active == 0` before returning.
+//! 3. Therefore every dereference happens-before `run` returns, and the
+//!    erased borrow — which lives for at least the whole `run` call —
+//!    strictly outlives every use. Helpers that never woke during the
+//!    job observe an empty cell and touch nothing.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Stripe-execution knobs, plumbed from the engine / serve config.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeConfig {
+    /// Words per stripe. The default (1024 words = 8 KiB) keeps a
+    /// stripe's three operand slices comfortably inside L1/L2 while
+    /// leaving enough stripes to balance across a team.
+    pub words_per_stripe: usize,
+    /// Bitsets below this many words never stripe: the pass is too
+    /// cheap to pay a team wake-up. The default (16 384 words ≈ 1M
+    /// rows) makes striping a large-context feature only.
+    pub min_words: usize,
+    /// Team size (including the submitting thread); `<= 1` disables
+    /// striping. Defaults to `available_parallelism`.
+    pub threads: usize,
+}
+
+impl Default for StripeConfig {
+    fn default() -> Self {
+        static CORES: OnceLock<usize> = OnceLock::new();
+        let cores = *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Self {
+            words_per_stripe: 1024,
+            min_words: 1 << 14,
+            threads: cores,
+        }
+    }
+}
+
+impl StripeConfig {
+    /// True when a bitset of `words` words should be striped under this
+    /// config.
+    pub fn engages(&self, words: usize) -> bool {
+        self.threads > 1 && words >= self.min_words.max(1)
+    }
+}
+
+/// A lifetime-erased stripe job; see the module safety argument.
+type Job = &'static (dyn Fn(usize) -> u64 + Sync);
+
+struct State {
+    /// Bumped once per job so parked helpers can tell old from new.
+    epoch: u64,
+    /// The current job, cleared by `run` before it returns.
+    job: Option<(Job, usize)>,
+    /// Helpers currently holding a reference to the job closure.
+    active: usize,
+    /// Scope teardown flag.
+    quit: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    done: Condvar,
+    cursor: AtomicUsize,
+    acc: AtomicU64,
+}
+
+/// Handle to a live stripe team, valid inside [`with_team`]'s closure.
+pub struct TeamHandle<'a> {
+    shared: &'a Shared,
+}
+
+impl TeamHandle<'_> {
+    /// Runs `job(stripe_index)` for every stripe in `0..n_stripes`
+    /// across the team (submitter included) and returns the sum of the
+    /// per-stripe results.
+    pub fn run(&self, n_stripes: usize, job: &(dyn Fn(usize) -> u64 + Sync)) -> u64 {
+        let shared = self.shared;
+        {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            // SAFETY: the erased borrow is used only by helpers that
+            // register in `active` while the cell is `Some`; the cell is
+            // cleared and `active` drained back to 0 below, before this
+            // function — and therefore the borrow — ends. (Points 1–3 of
+            // the module safety argument.)
+            let erased: Job =
+                unsafe { std::mem::transmute::<&(dyn Fn(usize) -> u64 + Sync), Job>(job) };
+            st.epoch += 1;
+            st.job = Some((erased, n_stripes));
+            shared.cursor.store(0, Ordering::Relaxed);
+            shared.acc.store(0, Ordering::Relaxed);
+            shared.work.notify_all();
+        }
+        // The submitter drains stripes too — no job ever waits on a
+        // helper waking up.
+        let mut local: u64 = 0;
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_stripes {
+                break;
+            }
+            local += job(i);
+        }
+        shared.acc.fetch_add(local, Ordering::Relaxed);
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.job = None;
+        while st.active > 0 {
+            st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(st);
+        cce_obs::counter!("cce_stripe_jobs_total").inc();
+        cce_obs::counter!("cce_stripe_tasks_total").add(n_stripes as u64);
+        shared.acc.load(Ordering::Relaxed)
+    }
+}
+
+fn helper_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let (job, n_stripes) = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.quit {
+                    return;
+                }
+                if st.epoch > seen {
+                    seen = st.epoch;
+                    if let Some((job, n)) = st.job {
+                        st.active += 1;
+                        break (job, n);
+                    }
+                    // Missed this job entirely (the submitter finished
+                    // it); keep waiting for the next epoch.
+                }
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let mut local: u64 = 0;
+        loop {
+            let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_stripes {
+                break;
+            }
+            local += job(i);
+        }
+        shared.acc.fetch_add(local, Ordering::Relaxed);
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Spawns a stripe team of `threads` (including the caller) for the
+/// duration of `f`. With `threads <= 1` no threads spawn and `f`
+/// receives `None` — callers fall back to direct kernel calls.
+pub fn with_team<R>(threads: usize, f: impl FnOnce(Option<&TeamHandle<'_>>) -> R) -> R {
+    if threads <= 1 {
+        return f(None);
+    }
+    let shared = Shared {
+        state: Mutex::new(State {
+            epoch: 0,
+            job: None,
+            active: 0,
+            quit: false,
+        }),
+        work: Condvar::new(),
+        done: Condvar::new(),
+        cursor: AtomicUsize::new(0),
+        acc: AtomicU64::new(0),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..threads - 1 {
+            scope.spawn(|| helper_loop(&shared));
+        }
+        let out = f(Some(&TeamHandle { shared: &shared }));
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.quit = true;
+        shared.work.notify_all();
+        drop(st);
+        out
+    })
+}
+
+/// The stripe index range `[start, end)` in words.
+#[inline]
+fn stripe_range(i: usize, words_per_stripe: usize, len: usize) -> std::ops::Range<usize> {
+    let start = i * words_per_stripe;
+    start..(start + words_per_stripe).min(len)
+}
+
+/// Striped `popcount(a & b)`.
+pub fn count_and(
+    k: &'static super::Kernels,
+    team: &TeamHandle<'_>,
+    words_per_stripe: usize,
+    a: &[u64],
+    b: &[u64],
+) -> u64 {
+    let n = a.len().div_ceil(words_per_stripe.max(1));
+    team.run(n, &|i| {
+        let r = stripe_range(i, words_per_stripe, a.len());
+        (k.count_and)(&a[r.clone()], &b[r])
+    })
+}
+
+/// Striped `dst &= src` returning the new cardinality.
+pub fn and_assign_count(
+    k: &'static super::Kernels,
+    team: &TeamHandle<'_>,
+    words_per_stripe: usize,
+    dst: &mut [u64],
+    src: &[u64],
+) -> u64 {
+    let wps = words_per_stripe.max(1);
+    // Disjoint per-stripe `&mut` chunks; the mutexes are uncontended by
+    // construction (each stripe index is claimed exactly once).
+    let chunks: Vec<Mutex<&mut [u64]>> = dst.chunks_mut(wps).map(Mutex::new).collect();
+    team.run(chunks.len(), &|i| {
+        let mut d = chunks[i].lock().unwrap_or_else(|e| e.into_inner());
+        let r = stripe_range(i, wps, src.len());
+        (k.and_assign_count)(&mut d, &src[r])
+    })
+}
+
+/// Striped `dst = b & !a` returning the new cardinality.
+pub fn and_not_count(
+    k: &'static super::Kernels,
+    team: &TeamHandle<'_>,
+    words_per_stripe: usize,
+    dst: &mut [u64],
+    b: &[u64],
+    a: &[u64],
+) -> u64 {
+    let wps = words_per_stripe.max(1);
+    let chunks: Vec<Mutex<&mut [u64]>> = dst.chunks_mut(wps).map(Mutex::new).collect();
+    team.run(chunks.len(), &|i| {
+        let mut d = chunks[i].lock().unwrap_or_else(|e| e.into_inner());
+        let r = stripe_range(i, wps, b.len());
+        (k.and_not_count)(&mut d, &b[r.clone()], &a[r])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::scalar;
+    use super::*;
+
+    fn words(len: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(7);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn striped_ops_match_direct_at_every_team_size() {
+        let k = &scalar::KERNELS;
+        for len in [0usize, 1, 5, 1023, 1024, 1025, 5000] {
+            let a = words(len, 1);
+            let b = words(len, 2);
+            for threads in [2usize, 3, 4] {
+                with_team(threads, |team| {
+                    let team = team.expect("threads > 1 must build a team");
+                    for wps in [64usize, 1000, 1024, 4096] {
+                        assert_eq!(
+                            count_and(k, team, wps, &a, &b),
+                            scalar::count_and(&a, &b),
+                            "count_and len={len} threads={threads} wps={wps}"
+                        );
+                        let mut d1 = a.clone();
+                        let mut d2 = a.clone();
+                        let c1 = and_assign_count(k, team, wps, &mut d1, &b);
+                        let c2 = scalar::and_assign_count(&mut d2, &b);
+                        assert_eq!(c1, c2, "and_assign len={len} wps={wps}");
+                        assert_eq!(d1, d2);
+                        let mut o1 = vec![0u64; len];
+                        let mut o2 = vec![0u64; len];
+                        let c1 = and_not_count(k, team, wps, &mut o1, &b, &a);
+                        let c2 = scalar::and_not_count(&mut o2, &b, &a);
+                        assert_eq!(c1, c2, "and_not len={len} wps={wps}");
+                        assert_eq!(o1, o2);
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn teams_survive_many_consecutive_jobs() {
+        // Stresses the epoch/pickup protocol: tiny jobs in a tight loop
+        // maximize the chance a helper misses a job or races a wake-up.
+        let a = words(257, 9);
+        let b = words(257, 10);
+        let expect = scalar::count_and(&a, &b);
+        with_team(4, |team| {
+            let team = team.unwrap();
+            for _ in 0..500 {
+                assert_eq!(count_and(&scalar::KERNELS, team, 16, &a, &b), expect);
+            }
+        });
+    }
+
+    #[test]
+    fn single_thread_means_no_team() {
+        assert!(with_team(1, |t| t.is_none()));
+        assert!(with_team(0, |t| t.is_none()));
+    }
+
+    #[test]
+    fn config_engagement_thresholds() {
+        let cfg = StripeConfig {
+            words_per_stripe: 1024,
+            min_words: 100,
+            threads: 4,
+        };
+        assert!(cfg.engages(100));
+        assert!(!cfg.engages(99));
+        let solo = StripeConfig { threads: 1, ..cfg };
+        assert!(!solo.engages(1 << 20));
+    }
+}

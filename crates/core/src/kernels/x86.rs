@@ -1,0 +1,180 @@
+//! AVX2 bitset kernels (`x86_64`): 256-bit AND + `vpshufb` nibble-LUT
+//! popcount (the Muła algorithm), processing 8 words per unrolled step.
+//!
+//! # Safety
+//!
+//! Every `unsafe fn` here is unsafe **only** because of
+//! `#[target_feature(enable = "avx2")]`: executing one on a CPU without
+//! AVX2 would be undefined behavior. The safe wrappers below are private
+//! to this module and reachable exclusively through [`KERNELS`], which
+//! [`super::detect`] installs only after
+//! `is_x86_feature_detected!("avx2")` returned `true` — so the required
+//! instructions are guaranteed present on every call. Memory safety is
+//! inherited from safe slice handling: all loads/stores go through
+//! `_mm256_loadu_si256`/`_mm256_storeu_si256` on pointers derived from
+//! `chunks_exact(4)` sub-slices (exactly 32 bytes each, unaligned ok),
+//! and the remainder words are delegated to the scalar oracle.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_andnot_si256,
+    _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256,
+    _mm256_shuffle_epi8, _mm256_srli_epi16, _mm256_storeu_si256,
+};
+
+use super::scalar;
+
+/// The AVX2 implementation; install only after runtime detection.
+pub static KERNELS: super::Kernels = super::Kernels {
+    name: "avx2",
+    count,
+    count_and,
+    count_and2,
+    and_assign_count,
+    and_not_count,
+};
+
+/// Per-byte popcount of a 256-bit lane, summed into four `u64` counts
+/// (one per 64-bit sub-lane): the `vpshufb` nibble-lookup popcount.
+///
+/// # Safety
+/// Requires AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcnt256(v: __m256i) -> __m256i {
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+    let per_byte = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+    // Horizontal sums of 8 bytes each (≤ 64) → four u64 partials that
+    // can be accumulated with 64-bit adds without ever overflowing.
+    _mm256_sad_epu8(per_byte, _mm256_setzero_si256())
+}
+
+/// Sums the four `u64` lanes of an accumulator.
+///
+/// # Safety
+/// Requires AVX2.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum(v: __m256i) -> u64 {
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v);
+    lanes[0] + lanes[1] + lanes[2] + lanes[3]
+}
+
+/// Loads 4 consecutive `u64` (one 256-bit vector), unaligned.
+///
+/// # Safety
+/// Requires AVX2; `w` must be exactly a 4-word `chunks_exact` chunk.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn load(w: &[u64]) -> __m256i {
+    debug_assert_eq!(w.len(), 4);
+    _mm256_loadu_si256(w.as_ptr().cast())
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn count_impl(a: &[u64]) -> u64 {
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    let mut chunks = a.chunks_exact(8);
+    for w in &mut chunks {
+        acc0 = _mm256_add_epi64(acc0, popcnt256(load(&w[..4])));
+        acc1 = _mm256_add_epi64(acc1, popcnt256(load(&w[4..])));
+    }
+    hsum(_mm256_add_epi64(acc0, acc1)) + scalar::count(chunks.remainder())
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn count_and_impl(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    let mut aw = a.chunks_exact(8);
+    let mut bw = b.chunks_exact(8);
+    for (x, y) in (&mut aw).zip(&mut bw) {
+        acc0 = _mm256_add_epi64(
+            acc0,
+            popcnt256(_mm256_and_si256(load(&x[..4]), load(&y[..4]))),
+        );
+        acc1 = _mm256_add_epi64(
+            acc1,
+            popcnt256(_mm256_and_si256(load(&x[4..]), load(&y[4..]))),
+        );
+    }
+    hsum(_mm256_add_epi64(acc0, acc1)) + scalar::count_and(aw.remainder(), bw.remainder())
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn count_and2_impl(p: &[u64], a: &[u64], b: &[u64]) -> (u64, u64) {
+    debug_assert_eq!(p.len(), a.len());
+    debug_assert_eq!(p.len(), b.len());
+    let mut acc_a = _mm256_setzero_si256();
+    let mut acc_b = _mm256_setzero_si256();
+    let mut pw = p.chunks_exact(4);
+    let mut aw = a.chunks_exact(4);
+    let mut bw = b.chunks_exact(4);
+    for ((pv, av), bv) in (&mut pw).zip(&mut aw).zip(&mut bw) {
+        let pvec = load(pv);
+        acc_a = _mm256_add_epi64(acc_a, popcnt256(_mm256_and_si256(pvec, load(av))));
+        acc_b = _mm256_add_epi64(acc_b, popcnt256(_mm256_and_si256(pvec, load(bv))));
+    }
+    let (ta, tb) = scalar::count_and2(pw.remainder(), aw.remainder(), bw.remainder());
+    (hsum(acc_a) + ta, hsum(acc_b) + tb)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn and_assign_count_impl(dst: &mut [u64], src: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), src.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut dw = dst.chunks_exact_mut(4);
+    let mut sw = src.chunks_exact(4);
+    for (d, s) in (&mut dw).zip(&mut sw) {
+        let anded = _mm256_and_si256(load(d), load(s));
+        _mm256_storeu_si256(d.as_mut_ptr().cast(), anded);
+        acc = _mm256_add_epi64(acc, popcnt256(anded));
+    }
+    hsum(acc) + scalar::and_assign_count(dw.into_remainder(), sw.remainder())
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn and_not_count_impl(dst: &mut [u64], b: &[u64], a: &[u64]) -> u64 {
+    debug_assert_eq!(dst.len(), b.len());
+    debug_assert_eq!(dst.len(), a.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut dw = dst.chunks_exact_mut(4);
+    let mut bw = b.chunks_exact(4);
+    let mut aw = a.chunks_exact(4);
+    for ((d, bv), av) in (&mut dw).zip(&mut bw).zip(&mut aw) {
+        // andnot(a, b) computes (!a) & b — exactly `b ∩ ¬a`.
+        let w = _mm256_andnot_si256(load(av), load(bv));
+        _mm256_storeu_si256(d.as_mut_ptr().cast(), w);
+        acc = _mm256_add_epi64(acc, popcnt256(w));
+    }
+    hsum(acc) + scalar::and_not_count(dw.into_remainder(), bw.remainder(), aw.remainder())
+}
+
+// Safe vtable entries. SAFETY: private to this module and only ever
+// published through `super::detect()` after AVX2 detection succeeded,
+// so the target-feature precondition holds on every call.
+fn count(a: &[u64]) -> u64 {
+    unsafe { count_impl(a) }
+}
+fn count_and(a: &[u64], b: &[u64]) -> u64 {
+    unsafe { count_and_impl(a, b) }
+}
+fn count_and2(p: &[u64], a: &[u64], b: &[u64]) -> (u64, u64) {
+    unsafe { count_and2_impl(p, a, b) }
+}
+fn and_assign_count(dst: &mut [u64], src: &[u64]) -> u64 {
+    unsafe { and_assign_count_impl(dst, src) }
+}
+fn and_not_count(dst: &mut [u64], b: &[u64], a: &[u64]) -> u64 {
+    unsafe { and_not_count_impl(dst, b, a) }
+}

@@ -34,8 +34,15 @@
 //!
 //! Computing a most-succinct relative key is NP-complete (Theorem 1); the
 //! algorithms here implement the paper's provable approximations.
+//!
+//! The hot word-level loops run on runtime-dispatched SIMD kernels
+//! ([`kernels`]): AVX2 on `x86_64`, NEON on `aarch64`, with a portable
+//! scalar oracle as fallback (force it with `CCE_KERNELS=scalar`). The
+//! crate denies `unsafe_code` globally; the only `unsafe` lives in the
+//! `kernels` SIMD/stripe submodules behind a safe vtable (see the safety
+//! argument in [`kernels`]).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alpha;
@@ -45,6 +52,7 @@ pub mod engine;
 pub mod error;
 pub mod importance;
 pub mod index;
+pub mod kernels;
 pub mod key;
 pub mod monitor;
 pub mod osrk;
@@ -63,6 +71,7 @@ pub use engine::BatchEngine;
 pub use error::ExplainError;
 pub use importance::{shapley_exact, shapley_sampled, ImportanceParams, OnlineImportance};
 pub use index::{ContextIndex, ExplainScratch};
+pub use kernels::{Kernels, StripeConfig};
 pub use key::RelativeKey;
 pub use monitor::DriftMonitor;
 pub use osrk::{OsrkMonitor, PickRule};

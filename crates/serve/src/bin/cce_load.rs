@@ -8,21 +8,26 @@
 //! instead of silently throttling the offered load (the coordinated-
 //! omission trap closed-loop testers fall into).
 //!
-//! Latency is recorded into a `cce-obs` [`Histogram`] per load point;
-//! the report carries throughput, quantile upper bounds, and a status
-//! breakdown. Any `5xx` makes the process exit nonzero, which is what
-//! the CI smoke job keys off. `--baseline` compares throughput against a
-//! committed `BENCH_serve.json` with a deliberately loose 50% tolerance
-//! (shared CI runners), mirroring the `exp_bench_batch` pattern.
+//! Per-request latency is kept as an **exact sample set** per load point
+//! and summarized with nearest-rank percentiles (`rank = ⌈q·n⌉`,
+//! clamped to `[1, n]`) — a log2-bucketed histogram's bucket bounds
+//! systematically bias p50/p99, and a rounded `(n-1)·q` index reads
+//! *below* the order statistic the percentile names. The report carries
+//! throughput, percentiles, and a status breakdown. Any `5xx` makes the
+//! process exit nonzero, which is what the CI smoke job keys off.
+//! `--baseline` compares throughput against a committed
+//! `BENCH_serve.json` with a deliberately loose 50% tolerance (shared
+//! CI runners), mirroring the `exp_bench_batch` pattern — and fails
+//! *loudly* on a malformed baseline (shape mismatch, zero/NaN fields)
+//! instead of silently passing.
 
 use std::io::{self, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cce_obs::Histogram;
 use cce_serve::http::read_response;
 use cce_serve::json::Json;
 
@@ -122,26 +127,29 @@ fn fetch_rows(addr: &str) -> io::Result<u64> {
 /// Closed loop: `conns` connections, each sending `per_conn` requests
 /// back to back. Returns the report for this point.
 fn run_closed(addr: &str, rows: u64, conns: usize, per_conn: u64) -> io::Result<PointReport> {
-    let hist = Histogram::new();
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let counts = StatusCounts::default();
     let issued = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|s| -> io::Result<()> {
         let mut handles = Vec::new();
         for c in 0..conns {
-            let (hist, counts, issued) = (&hist, &counts, &issued);
+            let (samples, counts, issued) = (&samples, &counts, &issued);
             handles.push(s.spawn(move || -> io::Result<()> {
                 let (mut stream, mut reader) = connect(addr)?;
+                // Batch into a local buffer; one lock per connection.
+                let mut local = Vec::with_capacity(per_conn as usize);
                 for i in 0..per_conn {
                     // Deterministic target mix with enough repeats to
                     // exercise cross-request memoization.
                     let target = (c as u64 * 131 + i * 7) % rows;
                     let r0 = Instant::now();
                     let status = explain_once(&mut stream, &mut reader, addr, target)?;
-                    hist.record_duration(r0.elapsed());
+                    local.push(r0.elapsed().as_nanos() as u64);
                     counts.record(status);
                     issued.fetch_add(1, Ordering::Relaxed);
                 }
+                samples.lock().unwrap().extend(local);
                 Ok(())
             }));
         }
@@ -154,7 +162,7 @@ fn run_closed(addr: &str, rows: u64, conns: usize, per_conn: u64) -> io::Result<
         "closed",
         conns,
         None,
-        &hist,
+        samples.into_inner().unwrap(),
         &counts,
         issued.load(Ordering::Relaxed),
         t0.elapsed(),
@@ -171,7 +179,7 @@ fn run_open(
     total: u64,
     workers: usize,
 ) -> io::Result<PointReport> {
-    let hist = Histogram::new();
+    let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let counts = StatusCounts::default();
     let issued = AtomicU64::new(0);
     let next = Arc::new(AtomicU64::new(0));
@@ -180,12 +188,14 @@ fn run_open(
     std::thread::scope(|s| -> io::Result<()> {
         let mut handles = Vec::new();
         for _ in 0..workers {
-            let (hist, counts, issued, next) = (&hist, &counts, &issued, Arc::clone(&next));
+            let (samples, counts, issued, next) = (&samples, &counts, &issued, Arc::clone(&next));
             handles.push(s.spawn(move || -> io::Result<()> {
                 let (mut stream, mut reader) = connect(addr)?;
+                let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
+                        samples.lock().unwrap().extend(local);
                         return Ok(());
                     }
                     let scheduled = t0 + interval.mul_f64(i as f64);
@@ -194,7 +204,7 @@ fn run_open(
                     }
                     let target = (i * 13) % rows;
                     let status = explain_once(&mut stream, &mut reader, addr, target)?;
-                    hist.record_duration(scheduled.elapsed());
+                    local.push(scheduled.elapsed().as_nanos() as u64);
                     counts.record(status);
                     issued.fetch_add(1, Ordering::Relaxed);
                 }
@@ -209,23 +219,43 @@ fn run_open(
         "open",
         workers,
         Some(rate),
-        &hist,
+        samples.into_inner().unwrap(),
         &counts,
         issued.load(Ordering::Relaxed),
         t0.elapsed(),
     ))
 }
 
+/// Nearest-rank percentile over a **sorted** sample set: the value at
+/// rank `⌈q·n⌉` (1-based), clamped to `[1, n]`. This is an actual
+/// observed sample — never an interpolation, never the bucket bound of
+/// a coarse histogram — and for q=0.5/0.99 over 1..=100 it returns
+/// exactly 50/99. Empty input returns 0 (no requests completed).
+fn percentile_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 fn report(
     mode: &'static str,
     conns: usize,
     offered_rps: Option<f64>,
-    hist: &Histogram,
+    mut samples_ns: Vec<u64>,
     counts: &StatusCounts,
     requests: u64,
     wall: Duration,
 ) -> PointReport {
-    let us = |q: f64| hist.quantile_upper_bound(q) as f64 / 1_000.0;
+    samples_ns.sort_unstable();
+    let us = |q: f64| percentile_nearest_rank(&samples_ns, q) as f64 / 1_000.0;
+    let mean_us = if samples_ns.is_empty() {
+        0.0
+    } else {
+        samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64 / 1_000.0
+    };
     PointReport {
         mode,
         conns,
@@ -236,7 +266,7 @@ fn report(
         p50_us: us(0.5),
         p90_us: us(0.9),
         p99_us: us(0.99),
-        mean_us: hist.mean() / 1_000.0,
+        mean_us,
         s2xx: counts.s2xx.load(Ordering::Relaxed),
         s429: counts.s429.load(Ordering::Relaxed),
         s4xx: counts.s4xx.load(Ordering::Relaxed),
@@ -292,33 +322,47 @@ fn extract_numbers(doc: &str, key: &str) -> Vec<f64> {
     out
 }
 
-/// Counts >50% throughput drops against the baseline (0 = pass). The
-/// tolerance is loose on purpose: serve throughput on shared runners is
-/// far noisier than the in-process batch bench.
+/// Counts gate failures against the baseline (0 = pass). A regression
+/// is a >50% throughput drop — the tolerance is loose on purpose: serve
+/// throughput on shared runners is far noisier than the in-process
+/// batch bench. A *malformed* baseline (shape mismatch, missing
+/// fields, zero/negative/NaN values) is also a failure: a gate that
+/// silently skips on bad reference data passes every regression.
 fn check_baseline(current: &str, baseline: &str) -> usize {
     let cur = extract_numbers(current, "throughput_rps");
     let base = extract_numbers(baseline, "throughput_rps");
+    if base.is_empty() {
+        eprintln!("GATE FAILURE: baseline has no throughput_rps fields — regenerate it");
+        return 1;
+    }
     if cur.len() != base.len() {
         eprintln!(
-            "baseline shape mismatch ({} vs {} load points) — regenerate the baseline; skipping check",
+            "GATE FAILURE: baseline shape mismatch ({} vs {} load points) — regenerate the baseline",
             base.len(),
             cur.len()
         );
-        return 0;
+        return 1;
     }
-    let mut regressions = 0;
+    let mut failures = 0;
     for (i, (c, b)) in cur.iter().zip(&base).enumerate() {
+        if !(b.is_finite() && *b > 0.0) {
+            eprintln!(
+                "GATE FAILURE: load point {i}: baseline throughput {b} is not a positive number"
+            );
+            failures += 1;
+            continue;
+        }
         if *c < 0.5 * *b {
             eprintln!(
                 "REGRESSION: load point {i}: {c:.1} req/s vs baseline {b:.1} (>{:.0}% drop)",
                 (1.0 - c / b) * 100.0
             );
-            regressions += 1;
+            failures += 1;
         } else {
             eprintln!("ok: load point {i}: {c:.1} req/s vs baseline {b:.1}");
         }
     }
-    regressions
+    failures
 }
 
 fn shutdown(addr: &str) -> io::Result<u16> {
@@ -436,8 +480,68 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            Err(e) => eprintln!("no baseline at {path} ({e}); skipping check"),
+            Err(e) => {
+                // An explicitly requested gate with no reference data is
+                // a failure, not a skip — otherwise a renamed baseline
+                // file silently disables the check forever.
+                eprintln!("GATE FAILURE: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the nearest-rank definition on the canonical 1..=100 vector:
+    /// p50 is exactly 50 and p99 exactly 99 — the rounded `(n-1)·q`
+    /// index (50.5 → position 49 → 50… but 99 → position 98.01 → 99.0
+    /// only by luck of rounding) and log2 bucket bounds both drift off
+    /// these on at least one of the pinned points.
+    #[test]
+    fn nearest_rank_pins_p50_p99_of_1_to_100() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nearest_rank(&v, 0.50), 50);
+        assert_eq!(percentile_nearest_rank(&v, 0.90), 90);
+        assert_eq!(percentile_nearest_rank(&v, 0.99), 99);
+        assert_eq!(percentile_nearest_rank(&v, 1.00), 100);
+        // ⌈0.001·100⌉ = 1 → the minimum, and q=0 clamps up to rank 1.
+        assert_eq!(percentile_nearest_rank(&v, 0.001), 1);
+        assert_eq!(percentile_nearest_rank(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn nearest_rank_handles_tiny_sample_sets() {
+        assert_eq!(percentile_nearest_rank(&[], 0.5), 0);
+        assert_eq!(percentile_nearest_rank(&[7], 0.5), 7);
+        assert_eq!(percentile_nearest_rank(&[7], 0.99), 7);
+        // n=2: p50 is the first sample (⌈1.0⌉=1), p99 the second.
+        assert_eq!(percentile_nearest_rank(&[3, 9], 0.5), 3);
+        assert_eq!(percentile_nearest_rank(&[3, 9], 0.99), 9);
+    }
+
+    #[test]
+    fn baseline_gate_fails_loudly_on_malformed_reference() {
+        let cur = r#"{"load_points": [{"throughput_rps": 100.0}, {"throughput_rps": 200.0}]}"#;
+        // Healthy baseline, no regression.
+        let good = r#"{"load_points": [{"throughput_rps": 90.0}, {"throughput_rps": 150.0}]}"#;
+        assert_eq!(check_baseline(cur, good), 0);
+        // A real >50% regression is caught.
+        let fast = r#"{"load_points": [{"throughput_rps": 900.0}, {"throughput_rps": 150.0}]}"#;
+        assert_eq!(check_baseline(cur, fast), 1);
+        // Shape mismatch must FAIL, not silently pass.
+        let short = r#"{"load_points": [{"throughput_rps": 90.0}]}"#;
+        assert_eq!(check_baseline(cur, short), 1);
+        // Zero / NaN baseline fields must FAIL: any current value would
+        // "pass" a `c < 0.5*b` comparison against them.
+        let zero = r#"{"load_points": [{"throughput_rps": 0}, {"throughput_rps": 150.0}]}"#;
+        assert!(check_baseline(cur, zero) > 0);
+        let nan = r#"{"load_points": [{"throughput_rps": nan}, {"throughput_rps": 150.0}]}"#;
+        assert!(check_baseline(cur, nan) > 0);
+        // An empty / key-free baseline must FAIL.
+        assert_eq!(check_baseline(cur, "{}"), 1);
+    }
 }

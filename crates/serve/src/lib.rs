@@ -43,6 +43,7 @@ pub use server::{Server, ServerConfig};
 
 use std::sync::Arc;
 
+use cce_core::engine::EngineConfig;
 use cce_core::persist::Vfs;
 use cce_core::{Alpha, BatchEngine, Context};
 
@@ -56,8 +57,30 @@ pub fn build_app<V: Vfs>(
     admission_cfg: AdmissionConfig,
     backend: MonitorBackend<V>,
 ) -> Arc<App<V>> {
+    build_app_with(
+        ctx,
+        alpha,
+        EngineConfig::default(),
+        batcher_cfg,
+        admission_cfg,
+        backend,
+    )
+}
+
+/// [`build_app`] with an explicit [`EngineConfig`] — the CLI's entry
+/// point, carrying the `--stripe-threads`/`--stripe-words` flags into
+/// the engine so one huge explain can shard its bitset passes across
+/// cores.
+pub fn build_app_with<V: Vfs>(
+    ctx: Context,
+    alpha: Alpha,
+    engine_cfg: EngineConfig,
+    batcher_cfg: BatcherConfig,
+    admission_cfg: AdmissionConfig,
+    backend: MonitorBackend<V>,
+) -> Arc<App<V>> {
     let width = ctx.schema().n_features();
-    let engine = Arc::new(BatchEngine::new(ctx, alpha));
+    let engine = Arc::new(BatchEngine::with_config(ctx, alpha, engine_cfg));
     let batcher = Arc::new(Batcher::new(engine, batcher_cfg, admission_cfg));
     Arc::new(App::new(batcher, IngestState::new(backend, width)))
 }
