@@ -227,8 +227,10 @@ struct LargeResult {
     stripe_threads: usize,
     index_build_ms: f64,
     explains_per_sec: f64,
-    p50_us: u64,
-    p99_us: u64,
+    /// Fractional µs: at quick-mode sizes a striped explain is
+    /// sub-microsecond, and integer-µs truncation reported `p50_us: 0`.
+    p50_us: f64,
+    p99_us: f64,
 }
 
 fn run_large(rows: usize) -> LargeResult {
@@ -270,8 +272,8 @@ fn run_large(rows: usize) -> LargeResult {
         stripe_threads: stripes.threads,
         index_build_ms,
         explains_per_sec: targets.len() as f64 / secs.max(1e-9),
-        p50_us: percentile(&per_key_ns, 0.50) / 1_000,
-        p99_us: percentile(&per_key_ns, 0.99) / 1_000,
+        p50_us: percentile(&per_key_ns, 0.50) as f64 / 1_000.0,
+        p99_us: percentile(&per_key_ns, 0.99) as f64 / 1_000.0,
     }
 }
 
@@ -279,7 +281,7 @@ fn large_to_json(l: &LargeResult) -> String {
     format!(
         "  \"large_context\": {{\"dataset\": \"{}\", \"rows\": {}, \"targets\": {}, \
          \"kernels\": \"{}\", \"stripe_threads\": {}, \"index_build_ms\": {:.1}, \
-         \"explains_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}},\n",
+         \"explains_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}},\n",
         l.dataset,
         l.rows,
         l.targets,
@@ -466,7 +468,7 @@ fn main() {
     eprintln!("running large-context Loan rows={large_rows} (striped kernels)…");
     let large = run_large(large_rows);
     eprintln!(
-        "  kernels={} stripes={} | index build {:.0} ms | {:.1} explains/s (p50 {} µs, p99 {} µs over {} targets)",
+        "  kernels={} stripes={} | index build {:.0} ms | {:.1} explains/s (p50 {:.3} µs, p99 {:.3} µs over {} targets)",
         large.kernels,
         large.stripe_threads,
         large.index_build_ms,

@@ -56,6 +56,7 @@ const USAGE: &str = "usage:
                  [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
                  [--max-conns N] [--keepalive-ms MS]
                  [--kernels auto|scalar|avx2|neon] [--stripe-threads T] [--stripe-words W]
+                 [--window ROWS [--window-delta D]]  slide the live ingest context by ΔI=D
   (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
 
 /// The flags each subcommand accepts (`None` → unknown subcommand).
@@ -95,6 +96,8 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "kernels",
             "stripe-threads",
             "stripe-words",
+            "window",
+            "window-delta",
             "metrics",
         ],
         _ => return None,
@@ -433,6 +436,20 @@ fn serve(args: &Args) -> Result<(), String> {
     if let Some(v) = args.int("stripe-words")? {
         engine_cfg.stripes.words_per_stripe = v.max(1) as usize;
     }
+    let window = match (args.int("window")?, args.int("window-delta")?) {
+        (Some(cap), delta) => {
+            let capacity = cap.max(1) as usize;
+            let delta = delta.unwrap_or(1).max(1) as usize;
+            if delta > capacity {
+                return Err(format!(
+                    "--window-delta {delta} must not exceed --window {capacity}"
+                ));
+            }
+            Some(cce_serve::LiveWindow { capacity, delta })
+        }
+        (None, Some(_)) => return Err("--window-delta requires --window".into()),
+        (None, None) => None,
+    };
 
     let backend = if let Some(dir) = args.optional("checkpoint-dir") {
         let every = args.int("checkpoint-every")?.unwrap_or(256).max(1) as u64;
@@ -469,8 +486,15 @@ fn serve(args: &Args) -> Result<(), String> {
         ))
     };
 
-    let app =
-        cce_serve::build_app_with(ctx, alpha, engine_cfg, batcher_cfg, admission_cfg, backend);
+    let app = cce_serve::build_app_with(
+        ctx,
+        alpha,
+        engine_cfg,
+        batcher_cfg,
+        admission_cfg,
+        backend,
+        window,
+    );
     let server =
         Server::bind(app, &addr, server_cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = server

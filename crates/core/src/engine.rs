@@ -1,71 +1,137 @@
-//! A reusable micro-batch explanation engine for serving.
+//! A reusable micro-batch explanation engine for serving — now
+//! **churn-capable**: the engine survives context mutation.
 //!
 //! [`Cce::explain_all_parallel`] amortizes one [`ContextIndex`] and the
 //! duplicate-row memoizer across a *whole-context* batch; a serving
 //! front end instead sees a stream of small, arbitrary target sets — the
-//! micro-batches a request coalescer forms. [`BatchEngine`] keeps the
-//! expensive shared state (index, duplicate classes) alive across calls
-//! so each micro-batch pays only its own greedy work:
+//! micro-batches a request coalescer forms — interleaved with context
+//! churn (arrivals and evictions). [`BatchEngine`] keeps the expensive
+//! shared state alive across both:
 //!
-//! * **Duplicate-target memoization across a batch** — targets with
-//!   identical `(instance, prediction)` rows provably receive identical
-//!   keys, so each equivalence class in a batch is explained once and
-//!   the result fanned out (`cce_batch_memo_hits_total`).
+//! * **ΔI deltas instead of rebuilds** — [`BatchEngine::push`] and
+//!   [`BatchEngine::evict_oldest`] patch the [`ContextIndex`] in place
+//!   ([`ContextIndex::insert_row`] / [`ContextIndex::remove_row`]):
+//!   generational slot tombstones, seed-table cell deltas, and an
+//!   incremental twin-hash certificate, costing microseconds where a
+//!   rebuild costs `O(n·|I|)` bitset passes. Once tombstone density
+//!   crosses [`EngineConfig::max_tombstone_ratio`] the engine *compacts*:
+//!   one dense rebuild over the live rows reclaims the dead bitset width.
+//! * **Duplicate-target memoization, within and across batches** —
+//!   targets with identical `(instance, prediction)` rows provably
+//!   receive identical keys, so each equivalence class in a batch is
+//!   explained once and the result fanned out
+//!   (`cce_batch_memo_hits_total`); results are additionally memoized
+//!   *across* batches keyed by `(class, budget)`
+//!   (`cce_engine_memo_hits_total`). The **memo-invalidation rule**: any
+//!   delta bumps [`BatchEngine::version`] and clears the memo — every
+//!   cached key is provably valid for exactly one context version —
+//!   and compaction clears it too (class ids are renumbered).
 //! * **Budgeted degradation** — a non-unlimited [`WorkBudget`] routes
-//!   through the budget-accounted indexed path
-//!   ([`ContextIndex::explain_budgeted_with`]), byte-identical to
+//!   through the budget-accounted indexed path, byte-identical to
 //!   [`Srk::explain_budgeted`] including its degradation points, so an
 //!   overloaded server can trade key completeness for bounded latency
 //!   per target and report the [`ExplainStatus`] honestly.
 //! * **Scoped parallelism** — distinct classes of one batch fan out over
 //!   `threads` scoped workers; results are returned in input order. When
-//!   a batch collapses to a *single* huge explain (one class, or one
-//!   target via [`BatchEngine::explain_one`]) and the context is large
-//!   enough for [`StripeConfig`] to engage, the engine instead stripes
-//!   that one explain's bitset passes across the cores — so a
-//!   multi-million-row context saturates the machine either way.
+//!   a batch collapses to a *single* huge explain and the context is
+//!   large enough for [`StripeConfig`] to engage, the engine instead
+//!   stripes that one explain's bitset passes across the cores.
 //!
-//! The unbudgeted path is the indexed lazy-greedy explainer, which is
-//! differentially tested elsewhere to match [`Srk::explain`] exactly;
-//! `serve`'s coalescing differential test extends that guarantee to the
-//! HTTP response bytes.
+//! Targets are addressed by **logical index**: position in arrival order
+//! among the live rows (identical to the row index when no eviction has
+//! happened). Every explain path is differentially tested to match
+//! [`Srk::explain`] over the materialized live context exactly.
 //!
 //! [`Cce::explain_all_parallel`]: crate::Cce::explain_all_parallel
+//! [`Srk::explain`]: crate::Srk::explain
 //! [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use cce_dataset::{Instance, Label, Schema};
 
 use crate::alpha::Alpha;
 use crate::context::Context;
 use crate::error::ExplainError;
 use crate::index::{ContextIndex, ExplainScratch};
 use crate::kernels::StripeConfig;
-use crate::srk::{BudgetedKey, ExplainStatus, WorkBudget};
+use crate::srk::{BudgetedKey, WorkBudget};
 
 /// Tunables for a [`BatchEngine`], beyond the context and α.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// When (and how wide) to stripe a single explain's bitset passes
     /// across cores; see [`StripeConfig::engages`].
     pub stripes: StripeConfig,
+    /// Tombstone density (`tombstones / slot_rows`) beyond which the
+    /// engine compacts the index after an eviction.
+    pub max_tombstone_ratio: f64,
+    /// Never compact below this many slots — at toy sizes a rebuild is
+    /// cheaper than the bookkeeping, and the ratio is noisy.
+    pub compact_min_slots: usize,
 }
 
-/// Shared, read-only explanation state amortized across micro-batches.
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            stripes: StripeConfig::default(),
+            max_tombstone_ratio: 0.5,
+            compact_min_slots: 1024,
+        }
+    }
+}
+
+/// Shared explanation state amortized across micro-batches and kept
+/// alive across context churn (see the module docs).
 #[derive(Debug)]
 pub struct BatchEngine {
-    ctx: Context,
+    schema: Arc<Schema>,
     alpha: Alpha,
-    idx: ContextIndex,
     stripes: StripeConfig,
-    /// Row → duplicate-class id ([`Context::duplicate_classes`]).
+    max_tombstone_ratio: f64,
+    compact_min_slots: usize,
+    idx: ContextIndex,
+    /// Slot-addressed row storage; tombstoned slots keep their (stale)
+    /// data until compaction reclaims them.
+    rows: Vec<(Instance, Label)>,
+    /// Live slots in arrival order — the logical-index → slot map.
+    order: VecDeque<u32>,
+    /// `(instance, prediction)` → duplicate-class id. Grows with churn,
+    /// renumbered at compaction.
+    dup_of: HashMap<(Instance, Label), u32>,
+    /// Slot → duplicate-class id.
     class_of: Vec<u32>,
-    /// Class id → representative row.
-    reps: Vec<u32>,
+    /// Bumped by every delta; each memo entry is valid for exactly one
+    /// version (the memo-invalidation rule).
+    version: u64,
+    /// `(class, budget.max_scans)` → result, cleared on version bump.
+    memo: Mutex<HashMap<(u32, u64), Result<BudgetedKey, ExplainError>>>,
+}
+
+impl Clone for BatchEngine {
+    fn clone(&self) -> Self {
+        Self {
+            schema: Arc::clone(&self.schema),
+            alpha: self.alpha,
+            stripes: self.stripes,
+            max_tombstone_ratio: self.max_tombstone_ratio,
+            compact_min_slots: self.compact_min_slots,
+            idx: self.idx.clone(),
+            rows: self.rows.clone(),
+            order: self.order.clone(),
+            dup_of: self.dup_of.clone(),
+            class_of: self.class_of.clone(),
+            version: self.version,
+            memo: Mutex::new(self.memo.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+        }
+    }
 }
 
 impl BatchEngine {
-    /// Builds the engine over an immutable context: one index build, one
-    /// duplicate-class partition, reused for every later batch.
+    /// Builds the engine over a context snapshot: one index build, one
+    /// duplicate-class partition, reused for every later batch and
+    /// patched in place by every later delta.
     pub fn new(ctx: Context, alpha: Alpha) -> Self {
         Self::with_config(ctx, alpha, EngineConfig::default())
     }
@@ -76,20 +142,40 @@ impl BatchEngine {
     /// seed tables on large contexts.
     pub fn with_config(ctx: Context, alpha: Alpha, cfg: EngineConfig) -> Self {
         let idx = ContextIndex::with_stripes(&ctx, &cfg.stripes);
-        let (reps, class_of) = ctx.duplicate_classes();
+        let schema = ctx.schema_arc();
+        let n = ctx.len();
+        let mut rows: Vec<(Instance, Label)> = Vec::with_capacity(n);
+        for r in 0..n {
+            rows.push((ctx.instance(r).clone(), ctx.prediction(r)));
+        }
+        let (mut dup_of, mut class_of) = (HashMap::with_capacity(n), Vec::with_capacity(n));
+        let mut next = 0u32;
+        for (x, p) in &rows {
+            let id = *dup_of.entry((x.clone(), *p)).or_insert_with(|| {
+                next += 1;
+                next - 1
+            });
+            class_of.push(id);
+        }
         Self {
-            ctx,
+            schema,
             alpha,
-            idx,
             stripes: cfg.stripes,
+            max_tombstone_ratio: cfg.max_tombstone_ratio,
+            compact_min_slots: cfg.compact_min_slots,
+            idx,
+            rows,
+            order: (0..n as u32).collect(),
+            dup_of,
             class_of,
-            reps,
+            version: 0,
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The context the engine explains against.
-    pub fn context(&self) -> &Context {
-        &self.ctx
+    /// The schema every row conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
     }
 
     /// The conformity bound every produced key targets.
@@ -97,40 +183,256 @@ impl BatchEngine {
         self.alpha
     }
 
-    /// Explains one target through the shared index (no memoization —
-    /// single-request path). Identical output to [`Srk::explain`].
+    /// Live rows (logical indices `0..len()` are explainable targets).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the live context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Context version: bumped by every delta. A memoized or cached
+    /// result is valid only against the version it was computed at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Tombstoned slots awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.idx.tombstones()
+    }
+
+    /// Live rows in arrival order (persistence and materialization).
+    pub fn rows_in_order(&self) -> impl Iterator<Item = (&Instance, Label)> {
+        self.order.iter().map(|&s| {
+            let (x, p) = &self.rows[s as usize];
+            (x, *p)
+        })
+    }
+
+    /// Materializes the live context in arrival order — compaction-
+    /// and tombstone-free, the reference the differential tests rebuild
+    /// from.
+    pub fn materialize(&self) -> Context {
+        let mut xs = Vec::with_capacity(self.order.len());
+        let mut ps = Vec::with_capacity(self.order.len());
+        for (x, p) in self.rows_in_order() {
+            xs.push(x.clone());
+            ps.push(p);
+        }
+        Context::new(Arc::clone(&self.schema), xs, ps)
+    }
+
+    fn bump_version(&mut self) {
+        self.version += 1;
+        self.memo.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+
+    /// Applies one arrival delta: patches the index in place and appends
+    /// the row at the top of the logical order. Returns the row's
+    /// logical index (== `len() - 1`).
+    ///
+    /// # Errors
+    /// [`ExplainError::WidthMismatch`] on a wrong-width instance (the
+    /// engine is left untouched).
+    pub fn push(&mut self, x: Instance, pred: Label) -> Result<usize, ExplainError> {
+        let slot = self.idx.insert_row(&x, pred)?;
+        debug_assert_eq!(slot, self.rows.len());
+        let class = *self
+            .dup_of
+            .entry((x.clone(), pred))
+            .or_insert(self.class_of.iter().copied().max().map_or(0, |m| m + 1));
+        self.class_of.push(class);
+        self.rows.push((x, pred));
+        self.order.push_back(slot as u32);
+        self.bump_version();
+        Ok(self.order.len() - 1)
+    }
+
+    /// Applies eviction deltas for the `k` oldest live rows (fewer if
+    /// the context is smaller), then compacts if tombstone density
+    /// crossed the threshold. Returns rows evicted.
+    pub fn evict_oldest(&mut self, k: usize) -> usize {
+        let k = k.min(self.order.len());
+        for _ in 0..k {
+            let slot = self.order.pop_front().expect("len checked") as usize;
+            let (x, p) = &self.rows[slot];
+            self.idx.remove_row(slot, x, *p);
+        }
+        if k > 0 {
+            self.reclaim_tail();
+            self.bump_version();
+            self.maybe_compact();
+        }
+        k
+    }
+
+    /// Shrinks slot storage in lockstep with the index's trailing-
+    /// tombstone reclamation (popped slots are dead, so their stale row
+    /// data can go too).
+    fn reclaim_tail(&mut self) {
+        if self.idx.truncate_dead_tail() > 0 {
+            self.rows.truncate(self.idx.slot_rows());
+            self.class_of.truncate(self.idx.slot_rows());
+        }
+    }
+
+    /// Tombstone density over the slot universe (0 when empty).
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.idx.slot_rows() == 0 {
+            0.0
+        } else {
+            self.idx.tombstones() as f64 / self.idx.slot_rows() as f64
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.idx.slot_rows() >= self.compact_min_slots
+            && self.tombstone_ratio() > self.max_tombstone_ratio
+        {
+            self.compact();
+        }
+    }
+
+    /// Compacts: rebuilds the index dense over the live rows, renumbers
+    /// slots to `0..len()`, and rebuilds the duplicate-class partition.
+    /// Logical indices, explain results, and the materialized context are
+    /// unchanged; the memo is cleared because class ids are renumbered.
+    pub fn compact(&mut self) {
+        let ctx = self.materialize();
+        cce_obs::counter!("cce_engine_compactions_total").inc();
+        *self = Self::with_config(
+            ctx,
+            self.alpha,
+            EngineConfig {
+                stripes: self.stripes,
+                max_tombstone_ratio: self.max_tombstone_ratio,
+                compact_min_slots: self.compact_min_slots,
+            },
+        );
+        // Compaction is a physical reorganization, but cached results
+        // keyed by the old class numbering must not survive it.
+        self.version += 1;
+    }
+
+    /// Explains one logical target through the shared index and the
+    /// cross-batch memo. Identical output to [`Srk::explain_budgeted`]
+    /// over the materialized context.
     ///
     /// # Errors
     /// Same failure modes as [`Srk::explain_budgeted`].
+    ///
+    /// [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
     pub fn explain_one(
         &self,
         target: usize,
         budget: WorkBudget,
     ) -> Result<BudgetedKey, ExplainError> {
-        self.explain_rep(target, budget, &mut ExplainScratch::new(), true)
+        let Some(&slot) = self.order.get(target) else {
+            return Err(self.range_error(target));
+        };
+        let class = self.class_of[slot as usize];
+        if let Some(hit) = self.memo_get(class, budget) {
+            return hit;
+        }
+        let result = self.explain_slot(slot as usize, budget, &mut ExplainScratch::new(), true);
+        self.memo_put(class, budget, &result);
+        result
     }
 
-    /// Explains a micro-batch of targets, memoizing duplicate rows and
+    fn range_error(&self, target: usize) -> ExplainError {
+        if self.order.is_empty() {
+            ExplainError::EmptyContext
+        } else {
+            ExplainError::TargetOutOfRange {
+                target,
+                len: self.order.len(),
+            }
+        }
+    }
+
+    fn memo_get(
+        &self,
+        class: u32,
+        budget: WorkBudget,
+    ) -> Option<Result<BudgetedKey, ExplainError>> {
+        let hit = self
+            .memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(class, budget.max_scans))
+            .cloned();
+        if hit.is_some() {
+            cce_obs::counter!("cce_engine_memo_hits_total").inc();
+        }
+        hit
+    }
+
+    fn memo_put(&self, class: u32, budget: WorkBudget, result: &Result<BudgetedKey, ExplainError>) {
+        self.memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((class, budget.max_scans), result.clone());
+    }
+
+    /// Explains `(x, pred)` as a *transient member* of the context: the
+    /// pair joins via an insert delta, is explained in place, and its
+    /// slot is removed and reclaimed — the sliding window's
+    /// explain-a-visitor path, byte-identical to materializing the
+    /// context, appending the target, and running [`Srk::explain`].
+    /// State (and [`BatchEngine::version`]) is unchanged on return.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Srk::explain`] over the joined context.
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
+    pub fn explain_adhoc(
+        &mut self,
+        x: &Instance,
+        pred: Label,
+    ) -> Result<BudgetedKey, ExplainError> {
+        let slot = self.idx.insert_row(x, pred)?;
+        let result = self.idx.explain_value(
+            x,
+            pred,
+            self.alpha,
+            WorkBudget::unlimited(),
+            &mut ExplainScratch::new(),
+            Some(&self.stripes),
+        );
+        self.idx.remove_row(slot, x, pred);
+        self.reclaim_tail();
+        result
+    }
+
+    /// Explains a micro-batch of logical targets, memoizing duplicate
+    /// rows (within the batch and across batches of one version) and
     /// fanning the per-class work over up to `threads` scoped workers.
     ///
     /// Returns one entry per input target, in input order. Each entry is
     /// exactly what a per-request [`Srk::explain_budgeted`] call with the
-    /// same budget would have produced (duplicate targets share one
-    /// computation, which is provably identical for all of them).
+    /// same budget would have produced over the materialized context
+    /// (duplicate targets share one computation, which is provably
+    /// identical for all of them).
+    ///
+    /// [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
     pub fn explain_batch(
         &self,
         targets: &[usize],
         budget: WorkBudget,
         threads: usize,
     ) -> Vec<Result<BudgetedKey, ExplainError>> {
-        // Unique classes among the valid targets, first-seen order.
+        // Unique classes among the valid targets, first-seen order, each
+        // with a representative slot.
         let mut slot_of_class: HashMap<u32, usize> = HashMap::with_capacity(targets.len());
-        let mut uniques: Vec<u32> = Vec::with_capacity(targets.len());
+        let mut uniques: Vec<(u32, u32)> = Vec::with_capacity(targets.len());
         for &t in targets {
-            if t < self.ctx.len() {
-                let class = self.class_of[t];
+            if let Some(&slot) = self.order.get(t) {
+                let class = self.class_of[slot as usize];
                 slot_of_class.entry(class).or_insert_with(|| {
-                    uniques.push(class);
+                    uniques.push((class, slot));
                     uniques.len() - 1
                 });
             }
@@ -140,44 +442,55 @@ impl BatchEngine {
             .add((targets.len() - uniques.len()).min(targets.len()) as u64);
         cce_obs::histogram!("cce_microbatch_size").record(targets.len() as u64);
 
-        let results = self.explain_classes(&uniques, budget, threads);
+        // Cross-batch memo probe: only the missing classes compute.
+        let mut results: Vec<Option<Result<BudgetedKey, ExplainError>>> = uniques
+            .iter()
+            .map(|&(c, _)| self.memo_get(c, budget))
+            .collect();
+        let misses: Vec<(usize, u32)> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| (i, uniques[i].1))
+            .collect();
+        let computed = self.explain_classes(&misses, budget, threads);
+        for ((i, _), result) in misses.iter().zip(computed) {
+            self.memo_put(uniques[*i].0, budget, &result);
+            results[*i] = Some(result);
+        }
 
         targets
             .iter()
             .map(|&t| {
-                if t >= self.ctx.len() {
-                    return Err(ExplainError::TargetOutOfRange {
-                        target: t,
-                        len: self.ctx.len(),
-                    });
-                }
-                results[slot_of_class[&self.class_of[t]]].clone()
+                let Some(&slot) = self.order.get(t) else {
+                    return Err(self.range_error(t));
+                };
+                let unique = slot_of_class[&self.class_of[slot as usize]];
+                results[unique].clone().expect("every unique was resolved")
             })
             .collect()
     }
 
-    /// Explains each class representative once, in parallel when the
+    /// Explains each representative slot once, in parallel when the
     /// batch and thread budget both allow it.
     fn explain_classes(
         &self,
-        uniques: &[u32],
+        misses: &[(usize, u32)],
         budget: WorkBudget,
         threads: usize,
     ) -> Vec<Result<BudgetedKey, ExplainError>> {
-        let threads = threads.clamp(1, uniques.len().max(1));
-        if threads == 1 || uniques.len() <= 1 {
+        let threads = threads.clamp(1, misses.len().max(1));
+        if threads == 1 || misses.len() <= 1 {
             // No class-level fan-out: let each explain stripe itself
             // across cores instead (engages only on large contexts).
             let mut scratch = ExplainScratch::new();
-            return uniques
+            return misses
                 .iter()
-                .map(|&c| {
-                    self.explain_rep(self.reps[c as usize] as usize, budget, &mut scratch, true)
-                })
+                .map(|&(_, slot)| self.explain_slot(slot as usize, budget, &mut scratch, true))
                 .collect();
         }
         type Slot = Option<Result<BudgetedKey, ExplainError>>;
-        let mut results: Vec<Slot> = vec![None; uniques.len()];
+        let mut results: Vec<Slot> = vec![None; misses.len()];
         std::thread::scope(|scope| {
             // Round-robin slot ownership: micro-batches are small enough
             // that static striping balances fine, and exclusive &mut
@@ -190,11 +503,11 @@ impl BatchEngine {
             for stripe in workers {
                 scope.spawn(move || {
                     let mut scratch = ExplainScratch::new();
-                    for (i, slot) in stripe {
-                        let rep = self.reps[uniques[i] as usize] as usize;
+                    for (i, out) in stripe {
+                        let rep = misses[i].1 as usize;
                         // Class fan-out already owns the cores; striping
                         // inside each explain would only oversubscribe.
-                        *slot = Some(self.explain_rep(rep, budget, &mut scratch, false));
+                        *out = Some(self.explain_slot(rep, budget, &mut scratch, false));
                     }
                 });
             }
@@ -213,29 +526,17 @@ impl BatchEngine {
     ///
     /// [`Srk::explain`]: crate::Srk::explain
     /// [`Srk::explain_budgeted`]: crate::Srk::explain_budgeted
-    fn explain_rep(
+    fn explain_slot(
         &self,
-        target: usize,
+        slot: usize,
         budget: WorkBudget,
         scratch: &mut ExplainScratch,
         may_stripe: bool,
     ) -> Result<BudgetedKey, ExplainError> {
-        if budget == WorkBudget::unlimited() {
-            let key = if may_stripe {
-                self.idx
-                    .explain_striped(&self.ctx, target, self.alpha, scratch, &self.stripes)
-            } else {
-                self.idx
-                    .explain_with(&self.ctx, target, self.alpha, scratch)
-            };
-            key.map(|key| BudgetedKey {
-                key,
-                status: ExplainStatus::Complete,
-            })
-        } else {
-            self.idx
-                .explain_budgeted_with(&self.ctx, target, self.alpha, budget, scratch)
-        }
+        let (x, p) = &self.rows[slot];
+        let stripes = may_stripe.then_some(&self.stripes);
+        self.idx
+            .explain_value(x, *p, self.alpha, budget, scratch, stripes)
     }
 }
 
@@ -245,23 +546,27 @@ mod tests {
     use crate::srk::Srk;
     use cce_dataset::{synth, BinSpec};
 
-    fn loan_engine(rows: usize, alpha: f64) -> BatchEngine {
+    fn loan_ctx(rows: usize) -> Context {
         let raw = synth::loan::generate(rows, 42);
         let ds = raw.encode(&BinSpec::uniform(6));
-        let ctx = Context::from_recorded(&ds);
-        BatchEngine::new(ctx, Alpha::new(alpha).unwrap())
+        Context::from_recorded(&ds)
+    }
+
+    fn loan_engine(rows: usize, alpha: f64) -> BatchEngine {
+        BatchEngine::new(loan_ctx(rows), Alpha::new(alpha).unwrap())
     }
 
     #[test]
     fn batch_matches_per_request_srk() {
         let engine = loan_engine(400, 1.0);
         let srk = Srk::new(engine.alpha());
-        let targets: Vec<usize> = (0..engine.context().len()).step_by(7).collect();
+        let ctx = engine.materialize();
+        let targets: Vec<usize> = (0..engine.len()).step_by(7).collect();
         for threads in [1, 4] {
             let batch = engine.explain_batch(&targets, WorkBudget::unlimited(), threads);
             assert_eq!(batch.len(), targets.len());
             for (&t, got) in targets.iter().zip(&batch) {
-                let want = srk.explain_budgeted(engine.context(), t, WorkBudget::unlimited());
+                let want = srk.explain_budgeted(&ctx, t, WorkBudget::unlimited());
                 assert_eq!(&want, got, "target {t}, threads {threads}");
             }
         }
@@ -281,11 +586,12 @@ mod tests {
     fn budgeted_batch_degrades_like_srk() {
         let engine = loan_engine(300, 1.0);
         let srk = Srk::new(engine.alpha());
+        let ctx = engine.materialize();
         let budget = WorkBudget::new(50);
         let targets: Vec<usize> = (0..60).collect();
         let batch = engine.explain_batch(&targets, budget, 3);
         for (&t, got) in targets.iter().zip(&batch) {
-            assert_eq!(&srk.explain_budgeted(engine.context(), t, budget), got);
+            assert_eq!(&srk.explain_budgeted(&ctx, t, budget), got);
         }
         assert!(
             batch.iter().flatten().any(|b| !b.status.is_complete()),
@@ -310,18 +616,18 @@ mod tests {
         // Force stripes to engage at toy sizes with an oversubscribed
         // team; every path (single, batch, budgeted) must agree with the
         // unstriped engine bit for bit.
-        let raw = synth::loan::generate(300, 42);
-        let ctx = Context::from_recorded(&raw.encode(&BinSpec::uniform(6)));
+        let ctx = loan_ctx(300);
         let cfg = EngineConfig {
             stripes: StripeConfig {
                 words_per_stripe: 2,
                 min_words: 1,
                 threads: 3,
             },
+            ..EngineConfig::default()
         };
         let striped = BatchEngine::with_config(ctx.clone(), Alpha::ONE, cfg);
         let plain = BatchEngine::new(ctx, Alpha::ONE);
-        let targets: Vec<usize> = (0..striped.context().len()).step_by(11).collect();
+        let targets: Vec<usize> = (0..striped.len()).step_by(11).collect();
         for budget in [WorkBudget::unlimited(), WorkBudget::new(75)] {
             assert_eq!(
                 striped.explain_batch(&targets, budget, 1),
@@ -340,5 +646,155 @@ mod tests {
         assert!(engine
             .explain_batch(&[], WorkBudget::unlimited(), 4)
             .is_empty());
+    }
+
+    #[test]
+    fn churned_engine_matches_fresh_engine() {
+        // Interleave pushes and evictions, then require every logical
+        // target's key to equal a from-scratch engine over the
+        // materialized live context — the patched-index ≡ rebuild
+        // guarantee at the engine level.
+        let pool = loan_ctx(300);
+        let mut engine = BatchEngine::new(loan_ctx(120), Alpha::ONE);
+        let v0 = engine.version();
+        for r in 0..90 {
+            engine
+                .push(pool.instance(r).clone(), pool.prediction(r))
+                .unwrap();
+            if r % 3 == 0 {
+                engine.evict_oldest(2);
+            }
+        }
+        assert!(engine.version() > v0);
+        assert!(engine.tombstones() > 0, "interior tombstones expected");
+        let fresh = BatchEngine::new(engine.materialize(), Alpha::ONE);
+        assert_eq!(engine.len(), fresh.len());
+        let targets: Vec<usize> = (0..engine.len()).collect();
+        for budget in [WorkBudget::unlimited(), WorkBudget::new(60)] {
+            assert_eq!(
+                engine.explain_batch(&targets, budget, 2),
+                fresh.explain_batch(&targets, budget, 2),
+            );
+        }
+    }
+
+    #[test]
+    fn forced_compaction_preserves_results() {
+        let cfg = EngineConfig {
+            compact_min_slots: 1,
+            max_tombstone_ratio: 0.1,
+            ..EngineConfig::default()
+        };
+        let mut engine = BatchEngine::with_config(loan_ctx(200), Alpha::ONE, cfg);
+        let before_all: Vec<_> = engine.explain_batch(
+            &(0..engine.len()).collect::<Vec<_>>(),
+            WorkBudget::unlimited(),
+            2,
+        );
+        // Evicting 40 rows crosses the 10% ratio repeatedly → compactions.
+        engine.evict_oldest(40);
+        assert_eq!(engine.tombstones(), 0, "compaction reclaimed tombstones");
+        let after: Vec<_> = engine.explain_batch(
+            &(0..engine.len()).collect::<Vec<_>>(),
+            WorkBudget::unlimited(),
+            2,
+        );
+        // Logical index i after eviction corresponds to old index i + 40.
+        for (i, got) in after.iter().enumerate() {
+            let fresh = BatchEngine::new(engine.materialize(), Alpha::ONE)
+                .explain_one(i, WorkBudget::unlimited());
+            assert_eq!(got, &fresh, "target {i}");
+        }
+        assert_eq!(before_all.len(), 200);
+    }
+
+    #[test]
+    fn adhoc_matches_temporary_join() {
+        let mut engine = loan_engine(150, 1.0);
+        let pool = loan_ctx(300);
+        let srk = Srk::new(engine.alpha());
+        let v = engine.version();
+        for r in (150..300).step_by(17) {
+            let (x, p) = (pool.instance(r).clone(), pool.prediction(r));
+            let got = engine.explain_adhoc(&x, p).map(|b| b.key);
+            let mut joined = engine.materialize();
+            joined.push(x, p).unwrap();
+            let want = srk.explain(&joined, joined.len() - 1);
+            assert_eq!(got, want, "target {r}");
+        }
+        assert_eq!(engine.version(), v, "adhoc must not invalidate the memo");
+        assert_eq!(engine.tombstones(), 0, "adhoc must reclaim its slot");
+    }
+
+    #[test]
+    fn memo_survives_batches_and_dies_on_delta() {
+        let mut engine = loan_engine(120, 1.0);
+        let first = engine.explain_one(5, WorkBudget::unlimited());
+        // Second call is a memo hit — must be identical, not just equal.
+        assert_eq!(first, engine.explain_one(5, WorkBudget::unlimited()));
+        // Budgeted results memoize under their own key.
+        let b = WorkBudget::new(30);
+        assert_eq!(engine.explain_one(5, b), engine.explain_one(5, b));
+        // A delta invalidates: the fresh result must match a fresh engine.
+        let pool = loan_ctx(130);
+        engine
+            .push(pool.instance(125).clone(), pool.prediction(125))
+            .unwrap();
+        let fresh = BatchEngine::new(engine.materialize(), Alpha::ONE);
+        assert_eq!(
+            engine.explain_one(5, WorkBudget::unlimited()),
+            fresh.explain_one(5, WorkBudget::unlimited()),
+        );
+    }
+
+    #[test]
+    fn eviction_shifts_logical_indices() {
+        let mut engine = loan_engine(100, 1.0);
+        let want = engine.explain_one(10, WorkBudget::unlimited());
+        engine.evict_oldest(10);
+        assert_eq!(engine.len(), 90);
+        let got = engine.explain_one(0, WorkBudget::unlimited());
+        assert_eq!(want, got, "old index 10 is new index 0");
+        // Draining everything empties the context.
+        engine.evict_oldest(1000);
+        assert!(engine.is_empty());
+        assert!(matches!(
+            engine.explain_one(0, WorkBudget::unlimited()),
+            Err(ExplainError::EmptyContext)
+        ));
+    }
+
+    #[test]
+    fn push_rejects_width_mismatch() {
+        let mut engine = loan_engine(50, 1.0);
+        let err = engine.push(Instance::new(vec![1]), Label(0)).unwrap_err();
+        assert!(matches!(err, ExplainError::WidthMismatch { .. }));
+        assert_eq!(engine.len(), 50, "engine untouched after rejection");
+    }
+
+    /// An out-of-cardinality value code must be rejected at the delta
+    /// boundary — silently admitting it used to panic the seed-table
+    /// argmax when the row was later explained as a target.
+    #[test]
+    fn push_rejects_out_of_cardinality_value() {
+        let mut engine = loan_engine(50, 1.0);
+        let version = engine.version();
+        let mut bad: Vec<u32> = engine.materialize().instance(0).values().to_vec();
+        bad[0] = u32::MAX;
+        let err = engine.push(Instance::new(bad), Label(0)).unwrap_err();
+        assert!(matches!(
+            err,
+            ExplainError::ValueOutOfRange { feature: 0, .. }
+        ));
+        assert_eq!(engine.len(), 50, "engine untouched after rejection");
+        assert_eq!(engine.version(), version, "no delta applied");
+        // Every existing target still explains fine.
+        let targets: Vec<usize> = (0..engine.len()).collect();
+        for r in engine.explain_batch(&targets, WorkBudget::unlimited(), 2) {
+            assert!(!matches!(
+                r,
+                Err(ExplainError::ValueOutOfRange { .. } | ExplainError::TargetOutOfRange { .. })
+            ));
+        }
     }
 }

@@ -50,6 +50,17 @@ pub enum ExplainError {
         /// Which parameter was rejected and why.
         reason: &'static str,
     },
+    /// A categorical value code exceeded its feature's cardinality — the
+    /// instance cannot join an indexed context (posting lists and seed
+    /// tables are addressed by value code).
+    ValueOutOfRange {
+        /// Feature position with the bad code.
+        feature: usize,
+        /// The rejected value code.
+        value: u32,
+        /// The feature's cardinality (valid codes are `0..cardinality`).
+        cardinality: usize,
+    },
 }
 
 impl fmt::Display for ExplainError {
@@ -82,6 +93,14 @@ impl fmt::Display for ExplainError {
             ExplainError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            ExplainError::ValueOutOfRange {
+                feature,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value code {value} at feature {feature} exceeds cardinality {cardinality}"
+            ),
         }
     }
 }

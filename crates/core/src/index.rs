@@ -90,6 +90,39 @@ impl RowSet {
         self.words[row / 64] |= 1 << (row % 64);
     }
 
+    /// Clears one bit (tombstoning a slot keeps the tail invariant: only
+    /// bits *below* `rows` are touched).
+    fn clear(&mut self, row: usize) {
+        debug_assert!(row < self.rows, "clear({row}) beyond rows={}", self.rows);
+        self.words[row / 64] &= !(1 << (row % 64));
+    }
+
+    /// Whether `row` is set.
+    fn get(&self, row: usize) -> bool {
+        debug_assert!(row < self.rows, "get({row}) beyond rows={}", self.rows);
+        self.words[row / 64] & (1 << (row % 64)) != 0
+    }
+
+    /// Extends the universe by one (clear) slot, pushing a fresh word
+    /// only at 64-slot boundaries — the amortized-O(1) insert path.
+    fn grow(&mut self) {
+        self.rows += 1;
+        if self.words.len() < self.rows.div_ceil(64) {
+            self.words.push(0);
+        }
+    }
+
+    /// Shrinks the universe by one slot. The caller guarantees the
+    /// popped slot's bit is already clear (it was tombstoned), so the
+    /// tail invariant holds without re-masking; the debug assert below
+    /// would catch a violation at the next kernel entry anyway.
+    fn pop(&mut self) {
+        debug_assert!(self.rows > 0);
+        self.rows -= 1;
+        self.words.truncate(self.rows.div_ceil(64));
+        self.mask_tail();
+    }
+
     /// Checks the tail-bit invariant (debug builds only): every bit at
     /// or above `rows` must be clear. Called on entry to every kernel so
     /// a constructor or mutator that leaks garbage above `rows` fails
@@ -371,24 +404,59 @@ struct ClassIndex {
     seed: Vec<Vec<(usize, usize)>>,
 }
 
-/// The posting-list index of one [`Context`].
+/// The posting-list index of one [`Context`], **patchable in place**.
 ///
-/// Invalidated by any mutation of the context — build it once per frozen
-/// context snapshot.
+/// Built once over a frozen context snapshot, then kept current under
+/// churn through [`ContextIndex::insert_row`] / [`ContextIndex::remove_row`]
+/// deltas instead of a rebuild:
+///
+/// * **Generational slots.** Every inserted row gets a fresh slot at the
+///   top of the bitset universe (`slots`); a removed row becomes a
+///   *tombstone* — its bit is eagerly cleared from every posting, its
+///   class set, and the live mask, and the slot is never reused. Because
+///   clears are eager, the hot lazy-greedy path needs **no masking**:
+///   every posting intersection already excludes dead slots, at the cost
+///   of padding words that an owner reclaims by compacting (rebuilding
+///   dense) once `tombstones()` crosses its density threshold.
+/// * **Seed-table deltas.** A row with values `x` only participates in
+///   the `(f, x[f])` cells: an insert bumps `cover0` in its own class
+///   and `surv0` in every other class for exactly those cells — `O(|I|·C)`
+///   integer increments, no bitset pass. A class first seen mid-stream
+///   is seeded from the current posting totals (`surv0 + cover0` of any
+///   existing class).
+/// * **Twin-hash certificate.** The unsatisfiability certificate is an
+///   owned multiset `instance → per-label multiplicities`; an insert or
+///   remove touches one entry, and the certificate for any target is one
+///   hash lookup at explain time.
+///
+/// Under this maintenance the index over `k` live rows is
+/// *count-equivalent* to a fresh build of the compacted live context —
+/// every popcount any explain path computes is identical — so patched
+/// explains are byte-identical to rebuild explains (the churn
+/// differential suite proves it).
 #[derive(Debug, Clone)]
 pub struct ContextIndex {
-    rows: usize,
-    /// `by_value[f][v]` — rows where feature `f` takes value `v`.
+    /// Slot-universe size: live rows **plus** tombstones. Every `RowSet`
+    /// in the index is `slots` wide.
+    slots: usize,
+    /// Tombstoned slots (`slots - dead` rows are live).
+    dead: usize,
+    /// Live mask: slot → not tombstoned. The lazy path never consults it
+    /// (postings are eagerly cleared); it guards slot-state transitions
+    /// and tail reclamation.
+    live: RowSet,
+    /// `by_value[f][v]` — live slots where feature `f` takes value `v`.
     by_value: Vec<Vec<RowSet>>,
     /// Distinct predictions with their row sets and seed-score tables.
     classes: Vec<ClassIndex>,
-    /// `exact_violators[r]` — rows identical to row `r` on *every*
-    /// feature but carrying a different prediction. This is the violator
-    /// count left after greedily picking all features (pick order cannot
-    /// change a full intersection), so a target is unsatisfiable iff it
-    /// exceeds the tolerance — an O(1) check replacing `n` futile greedy
-    /// rounds on contradiction-heavy rows.
-    exact_violators: Vec<usize>,
+    /// `instance → [(label, multiplicity)]` over live rows. The
+    /// unsatisfiability certificate for a target `(x₀, p₀)` is the
+    /// multiplicity mass of `x₀` under labels `≠ p₀` — the violators left
+    /// after intersecting *all* postings (pick order cannot change a full
+    /// intersection), so a target is unsatisfiable iff it exceeds the
+    /// tolerance: an O(1) check replacing `n` futile greedy rounds on
+    /// contradiction-heavy rows.
+    twins: HashMap<cce_dataset::Instance, Vec<(Label, u32)>>,
 }
 
 impl ContextIndex {
@@ -452,27 +520,32 @@ impl ContextIndex {
                 .collect();
         }
         Self::build_seed_tables(&by_value, &mut classes, stripes, rows);
-        // One hash pass tabulates, per row, how many exact-instance twins
-        // carry a different prediction — the unsatisfiability certificate
-        // consulted before any greedy round runs.
-        let mut inst_count: HashMap<&cce_dataset::Instance, usize> = HashMap::new();
-        let mut pair_count: HashMap<(&cce_dataset::Instance, Label), usize> = HashMap::new();
+        // One hash pass tabulates the instance → per-label multiset — the
+        // unsatisfiability certificate consulted before any greedy round
+        // runs, and the structure insert/remove deltas keep current.
+        let mut twins: HashMap<cce_dataset::Instance, Vec<(Label, u32)>> = HashMap::new();
         for r in 0..rows {
-            *inst_count.entry(ctx.instance(r)).or_insert(0) += 1;
-            *pair_count
-                .entry((ctx.instance(r), ctx.prediction(r)))
-                .or_insert(0) += 1;
+            let p = ctx.prediction(r);
+            let entry = match twins.get_mut(ctx.instance(r)) {
+                Some(e) => e,
+                None => twins.entry(ctx.instance(r).clone()).or_default(),
+            };
+            match entry.iter_mut().find(|(l, _)| *l == p) {
+                Some((_, c)) => *c += 1,
+                None => entry.push((p, 1)),
+            }
         }
-        let exact_violators = (0..rows)
-            .map(|r| {
-                inst_count[ctx.instance(r)] - pair_count[&(ctx.instance(r), ctx.prediction(r))]
-            })
-            .collect();
+        let mut live = RowSet::zeros(rows);
+        for r in 0..rows {
+            live.set(r);
+        }
         Self {
-            rows,
+            slots: rows,
+            dead: 0,
+            live,
             by_value,
             classes,
-            exact_violators,
+            twins,
         }
     }
 
@@ -533,14 +606,27 @@ impl ContextIndex {
         }
     }
 
-    /// Rows indexed.
+    /// Live rows indexed (tombstones excluded).
     pub fn len(&self) -> usize {
-        self.rows
+        self.slots - self.dead
     }
 
-    /// True when the index covers no rows.
+    /// True when the index covers no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.len() == 0
+    }
+
+    /// Tombstoned slots still occupying bitset width — the compaction
+    /// trigger an owner watches.
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// Slot-universe size: live rows plus tombstones. This is the width
+    /// every bitset pass actually runs over, so `tombstones() / slot_rows()`
+    /// is the fraction of dead work per pass.
+    pub fn slot_rows(&self) -> usize {
+        self.slots
     }
 
     /// SRK over the index: identical output to [`Srk::explain`], much
@@ -585,9 +671,10 @@ impl ContextIndex {
         alpha: Alpha,
         scratch: &mut ExplainScratch,
     ) -> Result<RelativeKey, ExplainError> {
-        self.explain_core(
-            ctx,
-            target,
+        self.check_frozen(ctx, target)?;
+        self.explain_value_core(
+            ctx.instance(target),
+            ctx.prediction(target),
             alpha,
             scratch,
             WorkBudget::unlimited(),
@@ -619,20 +706,16 @@ impl ContextIndex {
         scratch: &mut ExplainScratch,
         stripes: &StripeConfig,
     ) -> Result<RelativeKey, ExplainError> {
-        let words = self.rows.div_ceil(64);
-        if !stripes.engages(words) {
-            return self.explain_with(ctx, target, alpha, scratch);
-        }
-        cce_obs::counter!("cce_stripe_explains_total").inc();
-        kernels::with_team(stripes.threads, |team| {
-            let exec = Exec {
-                k: kernels::active(),
-                team,
-                words_per_stripe: stripes.words_per_stripe.max(1),
-            };
-            self.explain_core(ctx, target, alpha, scratch, WorkBudget::unlimited(), &exec)
-                .map(|b| b.key)
-        })
+        self.check_frozen(ctx, target)?;
+        self.explain_value(
+            ctx.instance(target),
+            ctx.prediction(target),
+            alpha,
+            WorkBudget::unlimited(),
+            scratch,
+            Some(stripes),
+        )
+        .map(|b| b.key)
     }
 
     /// Budget-guarded indexed explanation: byte-identical results *and*
@@ -662,35 +745,113 @@ impl ContextIndex {
         budget: WorkBudget,
         scratch: &mut ExplainScratch,
     ) -> Result<BudgetedKey, ExplainError> {
-        self.explain_core(ctx, target, alpha, scratch, budget, &Exec::direct())
+        self.check_frozen(ctx, target)?;
+        self.explain_value_core(
+            ctx.instance(target),
+            ctx.prediction(target),
+            alpha,
+            scratch,
+            budget,
+            &Exec::direct(),
+        )
+    }
+
+    /// Validates a context-addressed explain: the row-index entry points
+    /// predate churn and address rows positionally, which is only
+    /// meaningful on a compact (tombstone-free) index whose slots are
+    /// exactly the context's rows. Churn owners address by value through
+    /// [`ContextIndex::explain_value`] instead.
+    fn check_frozen(&self, ctx: &Context, target: usize) -> Result<(), ExplainError> {
+        ctx.check_target(target)?;
+        assert_eq!(ctx.len(), self.slots, "index built for a different context");
+        assert_eq!(
+            self.dead, 0,
+            "context-addressed explain on a patched index; address by value"
+        );
+        Ok(())
+    }
+
+    /// The certificate lookup: live rows carrying the target's exact
+    /// instance under a *different* label — the violators no feature set
+    /// can eliminate.
+    fn twin_violators(&self, x0: &cce_dataset::Instance, p0: Label) -> usize {
+        self.twins.get(x0).map_or(0, |entry| {
+            entry
+                .iter()
+                .map(|&(l, c)| if l == p0 { 0 } else { c as usize })
+                .sum()
+        })
+    }
+
+    /// Value-addressed explain dispatcher: routes to the striped
+    /// execution when unbudgeted and `stripes` engages for this universe
+    /// width, the direct path otherwise — the churn owners' entry point
+    /// ([`crate::BatchEngine`], [`crate::SlidingWindow`]).
+    pub(crate) fn explain_value(
+        &self,
+        x0: &cce_dataset::Instance,
+        p0: Label,
+        alpha: Alpha,
+        budget: WorkBudget,
+        scratch: &mut ExplainScratch,
+        stripes: Option<&StripeConfig>,
+    ) -> Result<BudgetedKey, ExplainError> {
+        if budget == WorkBudget::unlimited() {
+            if let Some(s) = stripes {
+                if s.engages(self.slots.div_ceil(64)) {
+                    cce_obs::counter!("cce_stripe_explains_total").inc();
+                    return kernels::with_team(s.threads, |team| {
+                        let exec = Exec {
+                            k: kernels::active(),
+                            team,
+                            words_per_stripe: s.words_per_stripe.max(1),
+                        };
+                        self.explain_value_core(x0, p0, alpha, scratch, budget, &exec)
+                    });
+                }
+            }
+        }
+        self.explain_value_core(x0, p0, alpha, scratch, budget, &Exec::direct())
     }
 
     /// The one lazy-greedy loop behind every indexed entry point;
-    /// `budget` and `exec` select the budgeted / striped variants.
-    fn explain_core(
+    /// `budget` and `exec` select the budgeted / striped variants. The
+    /// target is addressed **by value** — everything the greedy loop
+    /// consults (tolerance, seeds, postings, certificate) depends on the
+    /// target only through `(x₀, p₀)`, which is also why patched and
+    /// rebuilt indexes agree byte for byte.
+    ///
+    /// `p₀`'s class must be indexed (callers explaining an out-of-context
+    /// pair insert it first); an unindexed label reports
+    /// [`ExplainError::UnknownInstance`].
+    fn explain_value_core(
         &self,
-        ctx: &Context,
-        target: usize,
+        x0: &cce_dataset::Instance,
+        p0: Label,
         alpha: Alpha,
         scratch: &mut ExplainScratch,
         budget: WorkBudget,
         exec: &Exec<'_>,
     ) -> Result<BudgetedKey, ExplainError> {
-        ctx.check_target(target)?;
-        assert_eq!(ctx.len(), self.rows, "index built for a different context");
-        let n = ctx.schema().n_features();
-        let tolerance = alpha.tolerance(self.rows);
-        let x0 = ctx.instance(target);
-        let p0 = ctx.prediction(target);
+        let live = self.slots - self.dead;
+        if live == 0 {
+            return Err(ExplainError::EmptyContext);
+        }
+        let n = self.by_value.len();
+        if x0.len() != n {
+            return Err(ExplainError::WidthMismatch {
+                expected: n,
+                got: x0.len(),
+            });
+        }
+        let tolerance = alpha.tolerance(live);
         let budgeted = budget != WorkBudget::unlimited();
 
-        let class = self
-            .classes
-            .iter()
-            .find(|c| c.label == p0)
-            .expect("target's class is indexed");
-        // Violators of the empty key: every row of a different class.
-        let mut live_violators = self.rows - class.size;
+        let Some(class) = self.classes.iter().find(|c| c.label == p0) else {
+            return Err(ExplainError::UnknownInstance);
+        };
+        // Violators of the empty key: every live row of a different class.
+        let mut live_violators = live - class.size;
 
         // Unsatisfiable targets fail identically after `n` futile rounds:
         // the violators surviving a full intersection are the target's
@@ -699,12 +860,15 @@ impl ContextIndex {
         // but only with an unlimited budget: a finite budget may run out
         // before the reference scan reaches the error, and the budgeted
         // contract is to degrade exactly where the reference would.
-        if !budgeted && live_violators > tolerance && self.exact_violators[target] > tolerance {
-            cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
-            return Err(ExplainError::NoConformantKey {
-                contradictions: self.exact_violators[target],
-                tolerance,
-            });
+        if !budgeted && live_violators > tolerance {
+            let contradictions = self.twin_violators(x0, p0);
+            if contradictions > tolerance {
+                cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
+                return Err(ExplainError::NoConformantKey {
+                    contradictions,
+                    tolerance,
+                });
+            }
         }
 
         let mut picked = Vec::new();
@@ -725,7 +889,7 @@ impl ContextIndex {
                 cce_obs::counter!("cce_explain_degraded_total").inc();
                 cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed")
                     .add(evaluated);
-                let achieved = 1.0 - live_violators as f64 / self.rows as f64;
+                let achieved = 1.0 - live_violators as f64 / live as f64;
                 return Ok(BudgetedKey {
                     key: RelativeKey::new(picked, alpha, achieved),
                     status: ExplainStatus::Degraded {
@@ -775,7 +939,7 @@ impl ContextIndex {
                         }
                         let (surv0, cover0) = seeds[x0[f] as usize];
                         scratch.heap.push(Candidate {
-                            killed: (self.rows - class.size) - surv0,
+                            killed: (live - class.size) - surv0,
                             cover: cover0,
                             feat: f,
                             kstamp: 0,
@@ -841,7 +1005,7 @@ impl ContextIndex {
         // Later rounds re-evaluate each candidate at most once, so the
         // subtraction cannot underflow.
         cce_obs::counter!("cce_lazy_greedy_skips_total").add(eager_scans - evaluated);
-        let achieved = 1.0 - live_violators as f64 / self.rows as f64;
+        let achieved = 1.0 - live_violators as f64 / live as f64;
         Ok(BudgetedKey {
             key: RelativeKey::new(picked, alpha, achieved),
             status: ExplainStatus::Complete,
@@ -863,10 +1027,9 @@ impl ContextIndex {
         target: usize,
         alpha: Alpha,
     ) -> Result<RelativeKey, ExplainError> {
-        ctx.check_target(target)?;
-        assert_eq!(ctx.len(), self.rows, "index built for a different context");
+        self.check_frozen(ctx, target)?;
         let n = ctx.schema().n_features();
-        let tolerance = alpha.tolerance(self.rows);
+        let tolerance = alpha.tolerance(self.slots);
         let x0 = ctx.instance(target);
         let p0 = ctx.prediction(target);
 
@@ -920,8 +1083,191 @@ impl ContextIndex {
             .record(picked.len() as u64);
         cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "indexed_eager")
             .add(scanned);
-        let achieved = 1.0 - violators.count() as f64 / self.rows as f64;
+        let achieved = 1.0 - violators.count() as f64 / self.slots as f64;
         Ok(RelativeKey::new(picked, alpha, achieved))
+    }
+
+    /// Inserts one live row, returning its (fresh, generational) slot id.
+    ///
+    /// Cost: `O(|I|·C)` integer seed updates, `|I|` posting bit-sets, one
+    /// certificate hash update, and an amortized-O(1) grow of every
+    /// bitset — microseconds against the hundreds of milliseconds a
+    /// 100k+-row rebuild pays. A label first seen here opens a new class
+    /// seeded from the current posting totals.
+    ///
+    /// # Errors
+    /// [`ExplainError::WidthMismatch`] when `x` does not match the
+    /// indexed feature count (the index is left untouched).
+    pub fn insert_row(
+        &mut self,
+        x: &cce_dataset::Instance,
+        p: Label,
+    ) -> Result<usize, ExplainError> {
+        let n = self.by_value.len();
+        if x.len() != n {
+            return Err(ExplainError::WidthMismatch {
+                expected: n,
+                got: x.len(),
+            });
+        }
+        // Reject out-of-cardinality value codes before any mutation:
+        // posting lists and seed tables are addressed by code, and a row
+        // silently skipped here would later panic the seed argmax when
+        // explained as a target.
+        for (f, postings) in self.by_value.iter().enumerate() {
+            if x[f] as usize >= postings.len() {
+                return Err(ExplainError::ValueOutOfRange {
+                    feature: f,
+                    value: x[f],
+                    cardinality: postings.len(),
+                });
+            }
+        }
+        let cid = match self.classes.iter().position(|c| c.label == p) {
+            Some(i) => i,
+            None => {
+                // A brand-new class: nothing covers it yet, so every seed
+                // cell is (posting total, 0) — and any existing class's
+                // surv0 + cover0 *is* the posting total, so no bitset is
+                // popcounted.
+                let seed: Vec<Vec<(usize, usize)>> = match self.classes.first() {
+                    Some(c0) => c0
+                        .seed
+                        .iter()
+                        .map(|cells| cells.iter().map(|&(s, c)| (s + c, 0)).collect())
+                        .collect(),
+                    None => self
+                        .by_value
+                        .iter()
+                        .map(|ps| vec![(0, 0); ps.len()])
+                        .collect(),
+                };
+                self.classes.push(ClassIndex {
+                    label: p,
+                    rows: RowSet::zeros(self.slots),
+                    size: 0,
+                    seed,
+                });
+                self.classes.len() - 1
+            }
+        };
+        let slot = self.slots;
+        self.slots += 1;
+        self.live.grow();
+        self.live.set(slot);
+        for postings in &mut self.by_value {
+            for ps in postings {
+                ps.grow();
+            }
+        }
+        for c in &mut self.classes {
+            c.rows.grow();
+        }
+        self.classes[cid].rows.set(slot);
+        self.classes[cid].size += 1;
+        let classes = &mut self.classes;
+        for (f, postings) in self.by_value.iter_mut().enumerate() {
+            let v = x[f] as usize;
+            postings[v].set(slot);
+            // Seed deltas touch only this row's (f, v) cells: the new
+            // row covers its own class and survives every other.
+            for (i, c) in classes.iter_mut().enumerate() {
+                let cell = &mut c.seed[f][v];
+                if i == cid {
+                    cell.1 += 1;
+                } else {
+                    cell.0 += 1;
+                }
+            }
+        }
+        let entry = match self.twins.get_mut(x) {
+            Some(e) => e,
+            None => self.twins.entry(x.clone()).or_default(),
+        };
+        match entry.iter_mut().find(|(l, _)| *l == p) {
+            Some((_, c)) => *c += 1,
+            None => entry.push((p, 1)),
+        }
+        cce_obs::counter!("cce_index_deltas_total", "op" => "insert").inc();
+        Ok(slot)
+    }
+
+    /// Tombstones one live row. The caller supplies the slot's original
+    /// `(x, p)` — churn owners keep slot-addressed row storage — and the
+    /// delta eagerly clears the row's bit from its postings, class set,
+    /// and live mask, and decrements its seed cells and certificate
+    /// entry, so no explain path ever needs a tombstone mask.
+    ///
+    /// # Panics
+    /// Panics when `slot` is out of range or already dead; debug builds
+    /// also verify `x` matches the bits being cleared.
+    pub fn remove_row(&mut self, slot: usize, x: &cce_dataset::Instance, p: Label) {
+        assert!(
+            slot < self.slots && self.live.get(slot),
+            "remove_row({slot}): slot dead or out of range"
+        );
+        let cid = self
+            .classes
+            .iter()
+            .position(|c| c.label == p)
+            .expect("removed row's class is indexed");
+        debug_assert!(self.classes[cid].rows.get(slot), "row/class mismatch");
+        self.live.clear(slot);
+        self.dead += 1;
+        self.classes[cid].rows.clear(slot);
+        self.classes[cid].size -= 1;
+        let classes = &mut self.classes;
+        for (f, postings) in self.by_value.iter_mut().enumerate() {
+            let v = x[f] as usize;
+            if v < postings.len() {
+                debug_assert!(postings[v].get(slot), "row data mismatch on remove");
+                postings[v].clear(slot);
+                for (i, c) in classes.iter_mut().enumerate() {
+                    let cell = &mut c.seed[f][v];
+                    if i == cid {
+                        cell.1 -= 1;
+                    } else {
+                        cell.0 -= 1;
+                    }
+                }
+            }
+        }
+        if let Some(entry) = self.twins.get_mut(x) {
+            if let Some(pos) = entry.iter().position(|(l, _)| *l == p) {
+                entry[pos].1 -= 1;
+                if entry[pos].1 == 0 {
+                    entry.swap_remove(pos);
+                }
+            }
+            if entry.is_empty() {
+                self.twins.remove(x);
+            }
+        }
+        cce_obs::counter!("cce_index_deltas_total", "op" => "remove").inc();
+    }
+
+    /// Reclaims trailing tombstones: pops dead slots off the top of the
+    /// universe until a live slot (or zero) is reached, shrinking every
+    /// bitset. This makes transient membership — insert, explain, remove,
+    /// the sliding window's explain-a-visitor pattern — allocation-stable
+    /// instead of growing the universe forever. Returns slots reclaimed.
+    pub fn truncate_dead_tail(&mut self) -> usize {
+        let mut popped = 0;
+        while self.slots > 0 && !self.live.get(self.slots - 1) {
+            for postings in &mut self.by_value {
+                for ps in postings {
+                    ps.pop();
+                }
+            }
+            for c in &mut self.classes {
+                c.rows.pop();
+            }
+            self.live.pop();
+            self.slots -= 1;
+            self.dead -= 1;
+            popped += 1;
+        }
+        popped
     }
 }
 
@@ -1166,6 +1512,146 @@ mod tests {
         let expected = srk.explain(&with_twin, 0);
         assert_eq!(idx.explain(&with_twin, 0, Alpha::ONE), expected);
         assert_eq!(idx.explain_eager(&with_twin, 0, Alpha::ONE), expected);
+    }
+
+    /// Explains every live row of `idx` by value and asserts byte
+    /// equality with a fresh rebuild over the live rows.
+    fn assert_matches_rebuild(idx: &ContextIndex, live: &[(cce_dataset::Instance, Label)]) {
+        let schema = contexts().remove(0).schema_arc();
+        let (xs, ps): (Vec<_>, Vec<_>) = live.iter().cloned().unzip();
+        let ctx = Context::new(schema, xs, ps);
+        let rebuilt = ContextIndex::new(&ctx);
+        let mut s1 = ExplainScratch::new();
+        let mut s2 = ExplainScratch::new();
+        for &a in &[1.0, 0.9] {
+            let alpha = Alpha::new(a).unwrap();
+            for (t, (x, p)) in live.iter().enumerate() {
+                for budget in [WorkBudget::unlimited(), WorkBudget::new(40)] {
+                    assert_eq!(
+                        idx.explain_value(x, *p, alpha, budget, &mut s1, None),
+                        rebuilt.explain_value(x, *p, alpha, budget, &mut s2, None),
+                        "α={a} target={t} live={}",
+                        live.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patched_index_matches_rebuild_under_churn() {
+        let ctx = contexts().remove(0);
+        let mut idx = ContextIndex::new(&Context::empty(ctx.schema_arc()));
+        // Slot-addressed shadow of what the owner would store.
+        let mut slots: Vec<(cce_dataset::Instance, Label)> = Vec::new();
+        let mut live_of: Vec<usize> = Vec::new(); // live order → slot
+        for r in 0..ctx.len().min(140) {
+            let (x, p) = (ctx.instance(r).clone(), ctx.prediction(r));
+            let slot = idx.insert_row(&x, p).unwrap();
+            assert_eq!(slot, slots.len());
+            slots.push((x, p));
+            live_of.push(slot);
+            // Evict from the middle and the front to exercise interior
+            // tombstones, at word-boundary-crossing cadences.
+            if r % 7 == 3 {
+                let victim = live_of.remove(live_of.len() / 2);
+                let (vx, vp) = slots[victim].clone();
+                idx.remove_row(victim, &vx, vp);
+            }
+        }
+        let live: Vec<_> = live_of.iter().map(|&s| slots[s].clone()).collect();
+        assert_eq!(idx.len(), live.len());
+        assert!(idx.tombstones() > 0);
+        assert_matches_rebuild(&idx, &live);
+    }
+
+    #[test]
+    fn incremental_build_equals_bulk_build_counts() {
+        // Pure inserts: the patched index must carry identical seed
+        // tables, class sizes, and certificate as the bulk build.
+        let ctx = contexts().remove(0);
+        let mut inc = ContextIndex::new(&Context::empty(ctx.schema_arc()));
+        for r in 0..ctx.len() {
+            inc.insert_row(ctx.instance(r), ctx.prediction(r)).unwrap();
+        }
+        let bulk = ContextIndex::new(&ctx);
+        assert_eq!(inc.slots, bulk.slots);
+        for (ci, cb) in inc.classes.iter().zip(&bulk.classes) {
+            assert_eq!(ci.label, cb.label);
+            assert_eq!(ci.size, cb.size);
+            assert_eq!(ci.seed, cb.seed);
+            assert_eq!(ci.rows, cb.rows);
+        }
+        assert_eq!(inc.twins, bulk.twins);
+        for (f, (pi, pb)) in inc.by_value.iter().zip(&bulk.by_value).enumerate() {
+            assert_eq!(pi, pb, "postings differ for feature {f}");
+        }
+    }
+
+    #[test]
+    fn transient_membership_reclaims_the_tail() {
+        let ctx = contexts().remove(0);
+        let mut idx = ContextIndex::new(&ctx);
+        let slots_before = idx.slot_rows();
+        let x = ctx.instance(3).clone();
+        let p = ctx.prediction(3);
+        let mut scratch = ExplainScratch::new();
+        let direct = idx
+            .explain_value(
+                &x,
+                p,
+                Alpha::ONE,
+                WorkBudget::unlimited(),
+                &mut scratch,
+                None,
+            )
+            .unwrap();
+        for _ in 0..130 {
+            let slot = idx.insert_row(&x, p).unwrap();
+            idx.remove_row(slot, &x, p);
+            assert_eq!(idx.truncate_dead_tail(), 1);
+        }
+        assert_eq!(idx.slot_rows(), slots_before);
+        assert_eq!(idx.tombstones(), 0);
+        let after = idx
+            .explain_value(
+                &x,
+                p,
+                Alpha::ONE,
+                WorkBudget::unlimited(),
+                &mut scratch,
+                None,
+            )
+            .unwrap();
+        assert_eq!(direct, after);
+    }
+
+    #[test]
+    fn mid_churn_new_class_is_seeded_from_totals() {
+        // A label first seen via insert_row must behave exactly like a
+        // rebuild that always knew it.
+        let ctx = contexts().remove(0);
+        let mut idx = ContextIndex::new(&ctx);
+        let mut live: Vec<_> = (0..ctx.len())
+            .map(|r| (ctx.instance(r).clone(), ctx.prediction(r)))
+            .collect();
+        let exotic = (ctx.instance(5).clone(), Label(7));
+        idx.insert_row(&exotic.0, exotic.1).unwrap();
+        live.push(exotic);
+        assert_matches_rebuild(&idx, &live);
+    }
+
+    #[test]
+    fn remove_rejects_dead_slots() {
+        let ctx = contexts().remove(0);
+        let mut idx = ContextIndex::new(&ctx);
+        let (x, p) = (ctx.instance(0).clone(), ctx.prediction(0));
+        idx.remove_row(0, &x, p);
+        assert_eq!(idx.len(), ctx.len() - 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.remove_row(0, &x, p);
+        }));
+        assert!(err.is_err(), "double-remove must panic");
     }
 
     #[test]

@@ -24,7 +24,9 @@ use crate::window::{ResolutionPolicy, SlidingWindow};
 #[derive(Debug, Clone)]
 enum Store {
     Unbounded(Context),
-    Windowed(SlidingWindow),
+    // Boxed: a churn-capable window embeds a whole `BatchEngine` and
+    // dwarfs the unbounded variant.
+    Windowed(Box<SlidingWindow>),
 }
 
 /// A model wrapper that records every served prediction as context.
@@ -48,13 +50,13 @@ impl<M: Model> Recorder<M> {
     pub fn windowed(model: M, schema: Arc<Schema>, capacity: usize, delta: usize) -> Self {
         Self {
             model,
-            store: Store::Windowed(SlidingWindow::new(
+            store: Store::Windowed(Box::new(SlidingWindow::new(
                 schema,
                 capacity,
                 delta,
                 Alpha::ONE,
                 ResolutionPolicy::LastWins,
-            )),
+            ))),
         }
     }
 
@@ -170,7 +172,7 @@ impl<M> Recorder<M> {
         use crate::persist::{PersistError, PersistState};
         let store = match dec.u8()? {
             0 => Store::Unbounded(Context::decode_state(dec)?),
-            1 => Store::Windowed(SlidingWindow::decode_state(dec)?),
+            1 => Store::Windowed(Box::new(SlidingWindow::decode_state(dec)?)),
             _ => return Err(PersistError::corrupt("unknown recorder store kind")),
         };
         Ok(Self { model, store })

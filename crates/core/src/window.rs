@@ -6,18 +6,24 @@
 //! overlapping windows can receive different keys; a [`ResolutionPolicy`]
 //! reconciles them (the paper's First-wins / Last-wins / Union-key, with
 //! Last-wins the default).
+//!
+//! The window rides on a churn-capable [`BatchEngine`]: every arrival and
+//! every `ΔI` slide is an in-place index **delta**
+//! ([`BatchEngine::push`] / [`BatchEngine::evict_oldest`]), not a rebuild,
+//! and [`SlidingWindow::explain`] joins the target transiently through
+//! [`BatchEngine::explain_adhoc`] — so a full window is always hot for
+//! explanation, at any size, without re-paying the index build.
 
 use std::collections::HashMap;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use cce_dataset::{Instance, Label, Schema};
 
 use crate::alpha::Alpha;
 use crate::context::Context;
+use crate::engine::BatchEngine;
 use crate::error::ExplainError;
 use crate::key::RelativeKey;
-use crate::srk::Srk;
 
 /// How keys from overlapping windows are reconciled for one instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,12 +40,11 @@ pub enum ResolutionPolicy {
 /// A bounded, sliding explanation context.
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
-    schema: Arc<Schema>,
     capacity: usize,
     delta: usize,
-    alpha: Alpha,
     policy: ResolutionPolicy,
-    buffer: VecDeque<(Instance, Label)>,
+    /// The live, delta-patched index over the windowed rows.
+    engine: BatchEngine,
     /// Arrivals since the last slide; sliding happens in ΔI granules.
     staged: usize,
     /// Resolved keys per explained instance.
@@ -62,12 +67,10 @@ impl SlidingWindow {
         assert!(capacity > 0, "capacity must be positive");
         assert!(delta > 0 && delta <= capacity, "ΔI must be in 1..=capacity");
         Self {
-            schema,
             capacity,
             delta,
-            alpha,
             policy,
-            buffer: VecDeque::with_capacity(capacity + delta),
+            engine: BatchEngine::new(Context::new(schema, Vec::new(), Vec::new()), alpha),
             staged: 0,
             resolved: HashMap::new(),
         }
@@ -75,33 +78,32 @@ impl SlidingWindow {
 
     /// Number of instances currently in the window.
     pub fn len(&self) -> usize {
-        self.buffer.len()
+        self.engine.len()
     }
 
     /// True when the window holds no instances.
     pub fn is_empty(&self) -> bool {
-        self.buffer.is_empty()
+        self.engine.is_empty()
+    }
+
+    /// The delta-patched engine the window maintains (always explainable;
+    /// read-only — mutate only through [`SlidingWindow::push`]).
+    pub fn engine(&self) -> &BatchEngine {
+        &self.engine
     }
 
     /// Pushes one serving-time observation, sliding the window in `ΔI`
-    /// granules once it is full.
+    /// granules once it is full. Both the arrival and the slide patch the
+    /// index in place.
     ///
     /// # Errors
     /// [`ExplainError::WidthMismatch`] on a wrong-width instance.
     pub fn push(&mut self, x: Instance, pred: Label) -> Result<(), ExplainError> {
-        if x.len() != self.schema.n_features() {
-            return Err(ExplainError::WidthMismatch {
-                expected: self.schema.n_features(),
-                got: x.len(),
-            });
-        }
-        self.buffer.push_back((x, pred));
-        if self.buffer.len() > self.capacity {
+        self.engine.push(x, pred)?;
+        if self.engine.len() > self.capacity {
             self.staged += 1;
             if self.staged >= self.delta {
-                for _ in 0..self.staged {
-                    self.buffer.pop_front();
-                }
+                self.engine.evict_oldest(self.staged);
                 self.staged = 0;
                 cce_obs::counter!("cce_window_slides_total").inc();
             }
@@ -111,23 +113,23 @@ impl SlidingWindow {
 
     /// Materializes the current window as a [`Context`].
     pub fn context(&self) -> Context {
-        let (xs, ps): (Vec<_>, Vec<_>) = self.buffer.iter().cloned().unzip();
-        Context::new(Arc::clone(&self.schema), xs, ps)
+        self.engine.materialize()
     }
 
     /// Explains `(x, pred)` against the current window, reconciling with
     /// previous keys for the same instance under the configured policy.
     ///
     /// The instance does not need to be in the window; it joins the
-    /// context temporarily as the target.
+    /// context *transiently* through an insert delta (and leaves the same
+    /// way), identical to materializing the window with the target
+    /// appended and running [`Srk::explain`].
     ///
     /// # Errors
     /// Failure modes of [`Srk::explain`].
+    ///
+    /// [`Srk::explain`]: crate::Srk::explain
     pub fn explain(&mut self, x: &Instance, pred: Label) -> Result<RelativeKey, ExplainError> {
-        let mut ctx = self.context();
-        ctx.push(x.clone(), pred)?;
-        let target = ctx.len() - 1;
-        let fresh = Srk::new(self.alpha).explain(&ctx, target)?;
+        let fresh = self.engine.explain_adhoc(x, pred)?.key;
 
         if let Some(prev) = self.resolved.get(x) {
             // Overlapping windows produced differing keys: the event the
@@ -157,8 +159,12 @@ impl SlidingWindow {
                         feats.push(f);
                     }
                 }
-                let achieved = ctx.max_alpha(&feats, target);
-                RelativeKey::new(feats, self.alpha, achieved)
+                // Rare reconciliation path: materializing here is fine,
+                // the hot explain above went through the live index.
+                let mut ctx = self.context();
+                ctx.push(x.clone(), pred)?;
+                let achieved = ctx.max_alpha(&feats, ctx.len() - 1);
+                RelativeKey::new(feats, self.engine.alpha(), achieved)
             }
             _ => fresh,
         };
@@ -175,7 +181,9 @@ impl SlidingWindow {
     /// for a *known* model change ("CCE naturally cleans its context and
     /// switches to inference instances ... from the updated M").
     pub fn reset(&mut self) {
-        self.buffer.clear();
+        let schema = Arc::clone(self.engine.schema());
+        let alpha = self.engine.alpha();
+        self.engine = BatchEngine::new(Context::new(schema, Vec::new(), Vec::new()), alpha);
         self.staged = 0;
         self.resolved.clear();
     }
@@ -185,19 +193,19 @@ impl crate::persist::PersistState for SlidingWindow {
     const TYPE_TAG: u8 = 4;
 
     fn encode_state(&self, enc: &mut crate::persist::Enc) {
-        enc.schema(&self.schema);
+        enc.schema(self.engine.schema());
         enc.usize(self.capacity);
         enc.usize(self.delta);
-        enc.f64(self.alpha.get());
+        enc.f64(self.engine.alpha().get());
         enc.u8(match self.policy {
             ResolutionPolicy::FirstWins => 0,
             ResolutionPolicy::LastWins => 1,
             ResolutionPolicy::UnionKey => 2,
         });
-        enc.usize(self.buffer.len());
-        for (x, p) in &self.buffer {
+        enc.usize(self.engine.len());
+        for (x, p) in self.engine.rows_in_order() {
             enc.instance(x);
-            enc.label(*p);
+            enc.label(p);
         }
         enc.usize(self.staged);
         // HashMap iteration order is nondeterministic; sort entries by
@@ -233,14 +241,16 @@ impl crate::persist::PersistState for SlidingWindow {
             _ => return Err(PersistError::corrupt("unknown resolution policy")),
         };
         let n_buf = dec.len()?;
-        let mut buffer = VecDeque::with_capacity(capacity + delta);
+        let mut xs = Vec::with_capacity(n_buf);
+        let mut ps = Vec::with_capacity(n_buf);
         for _ in 0..n_buf {
             let x = dec.instance()?;
             if x.len() != n {
                 return Err(PersistError::corrupt("buffered instance width mismatch"));
             }
             let p = dec.label()?;
-            buffer.push_back((x, p));
+            xs.push(x);
+            ps.push(p);
         }
         let staged = dec.usize()?;
         let n_res = dec.len()?;
@@ -256,13 +266,13 @@ impl crate::persist::PersistState for SlidingWindow {
             let achieved = dec.f64()?;
             resolved.insert(x, RelativeKey::new(feats, k_alpha, achieved));
         }
+        // One bulk build on recovery; deltas take over from here.
+        let engine = BatchEngine::new(Context::new(schema, xs, ps), alpha);
         Ok(Self {
-            schema,
             capacity,
             delta,
-            alpha,
             policy,
-            buffer,
+            engine,
             staged,
             resolved,
         })
@@ -278,6 +288,7 @@ impl crate::persist::Replayable for SlidingWindow {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::srk::Srk;
     use cce_dataset::{synth, BinSpec};
 
     fn setup(
@@ -312,6 +323,26 @@ mod tests {
         let mut ctx = w.context();
         ctx.push(x.clone(), y).unwrap();
         assert!(ctx.is_alpha_key(key.features(), ctx.len() - 1, Alpha::ONE));
+    }
+
+    #[test]
+    fn explain_matches_materialized_srk() {
+        // The windowed explain goes through the delta-patched index
+        // (transient join); it must equal the paper's reference: append
+        // the target to a fresh context and run SRK.
+        let (mut w, ds) = setup(ResolutionPolicy::LastWins, 64, 16);
+        for (i, (x, y)) in ds.iter().take(230).enumerate() {
+            w.push(x.clone(), y).unwrap();
+            if i % 13 == 0 {
+                let (tx, ty) = (ds.instance(300 + i % 50), ds.label(300 + i % 50));
+                let got = w.explain(tx, ty).unwrap();
+                let mut ctx = w.context();
+                ctx.push(tx.clone(), ty).unwrap();
+                let want = Srk::new(Alpha::ONE).explain(&ctx, ctx.len() - 1);
+                // LastWins always stores the fresh key, so `got` is it.
+                assert_eq!(Ok(got), want, "arrival {i}");
+            }
+        }
     }
 
     #[test]
@@ -359,6 +390,22 @@ mod tests {
         }
         let k2 = w.explain(&x, y).unwrap();
         assert_eq!(w.resolved_key(&x), Some(&k2));
+    }
+
+    #[test]
+    fn reset_empties_the_window() {
+        let (mut w, ds) = setup(ResolutionPolicy::LastWins, 40, 10);
+        for (x, y) in ds.iter().take(80) {
+            w.push(x.clone(), y).unwrap();
+        }
+        w.reset();
+        assert!(w.is_empty());
+        // Still fully usable after the model change.
+        for (x, y) in ds.iter().skip(100).take(20) {
+            w.push(x.clone(), y).unwrap();
+        }
+        assert_eq!(w.len(), 20);
+        assert!(w.explain(ds.instance(200), ds.label(200)).is_ok());
     }
 
     #[test]

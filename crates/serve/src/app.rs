@@ -15,7 +15,7 @@
 //! | `GET /healthz`         | liveness + context/queue/drain summary              |
 //! | `POST /admin/shutdown` | begins graceful drain, idempotent                   |
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -28,19 +28,38 @@ use crate::http::{Request, Response};
 use crate::ingest::{IngestError, IngestState};
 use crate::json::{escape, int_array, Json};
 
+/// Sliding bound on the live ingest context: once the engine holds more
+/// than `capacity` rows, every `delta` further arrivals evict the
+/// `delta` oldest — each a tombstone delta, never a rebuild.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveWindow {
+    /// Live rows beyond which the context starts sliding.
+    pub capacity: usize,
+    /// ΔI: evictions happen in granules of this many rows.
+    pub delta: usize,
+}
+
 /// The daemon's shared state.
 pub struct App<V: Vfs> {
     batcher: Arc<Batcher>,
     ingest: Mutex<IngestState<V>>,
+    /// Optional ΔI bound on the live context (`None` → it only grows).
+    window: Option<LiveWindow>,
+    /// Arrivals past capacity awaiting the next ΔI slide; mutated only
+    /// under the ingest lock (the WAL serializes arrivals anyway).
+    staged: AtomicUsize,
     draining: AtomicBool,
 }
 
 impl<V: Vfs> App<V> {
     /// Assembles the app over a running batcher and an ingest state.
-    pub fn new(batcher: Arc<Batcher>, ingest: IngestState<V>) -> Self {
+    /// `window`, when set, bounds the live ingest context by ΔI slides.
+    pub fn new(batcher: Arc<Batcher>, ingest: IngestState<V>, window: Option<LiveWindow>) -> Self {
         Self {
             batcher,
             ingest: Mutex::new(ingest),
+            window,
+            staged: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
         }
     }
@@ -115,7 +134,12 @@ impl<V: Vfs> App<V> {
             Submission::Closed => Response::error_json(503, "server is draining"),
             Submission::Enqueued(rx) => match rx.recv() {
                 Ok(result) => {
-                    let alpha = self.batcher.engine().alpha();
+                    let alpha = self
+                        .batcher
+                        .engine()
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .alpha();
                     explain_response(target, alpha, &result)
                 }
                 // The batcher thread died without answering: a server
@@ -152,39 +176,120 @@ impl<V: Vfs> App<V> {
         if pred > u32::MAX as u64 {
             return Response::error_json(400, "\"prediction\" out of range");
         }
+        let x = Instance::new(cats);
+        let pred = Label(pred as u32);
+        // Validate value codes against the serving schema BEFORE the WAL
+        // observe: a row the live context would reject must not become
+        // durable monitor state, and an out-of-cardinality code would
+        // otherwise poison the value-addressed index.
+        {
+            let engine = self
+                .batcher
+                .engine()
+                .read()
+                .unwrap_or_else(|e| e.into_inner());
+            let schema = engine.schema();
+            if x.len() != schema.n_features() {
+                return Response::error_json(
+                    400,
+                    &format!(
+                        "instance width {} does not match context width {}",
+                        x.len(),
+                        schema.n_features()
+                    ),
+                );
+            }
+            for f in 0..x.len() {
+                let card = schema.feature(f).cardinality();
+                if x[f] as usize >= card {
+                    cce_obs::counter!("cce_serve_ingest_rejected_total", "kind" => "value").inc();
+                    return Response::error_json(
+                        400,
+                        &format!(
+                            "value code {} at feature {f} exceeds cardinality {card}",
+                            x[f]
+                        ),
+                    );
+                }
+            }
+        }
         let mut ingest = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
-        match ingest.observe(Instance::new(cats), Label(pred as u32)) {
-            Ok(ack) => Response::json(
-                200,
-                format!(
-                    "{{\"status\":\"ok\",\"n_seen\":{},\"key\":{},\"violators\":{},\"durable\":{}}}",
-                    ack.n_seen,
-                    int_array(ack.key),
-                    ack.n_violators,
-                    ack.durable,
-                ),
-            ),
+        match ingest.observe(x.clone(), pred) {
+            Ok(ack) => {
+                // The arrival is durable (or the backend is plain): join
+                // it to the live explanation context as an insert delta,
+                // sliding in ΔI granules when a window bound is set. Held
+                // under the ingest lock so the staged counter is exact.
+                let context_rows = self.push_live(x, pred);
+                Response::json(
+                    200,
+                    format!(
+                        "{{\"status\":\"ok\",\"n_seen\":{},\"key\":{},\"violators\":{},\"durable\":{},\"context_rows\":{}}}",
+                        ack.n_seen,
+                        int_array(ack.key),
+                        ack.n_violators,
+                        ack.durable,
+                        context_rows,
+                    ),
+                )
+            }
             Err(IngestError::Width { expected, got }) => Response::error_json(
                 400,
                 &format!("instance width {got} does not match monitor width {expected}"),
             ),
             Err(IngestError::Persist(e)) => {
                 cce_obs::counter!("cce_serve_ingest_rejected_total", "kind" => "persist").inc();
-                Response::error_json(500, &format!("durability failure, arrival NOT recorded: {e}"))
+                Response::error_json(
+                    500,
+                    &format!("durability failure, arrival NOT recorded: {e}"),
+                )
             }
         }
     }
 
+    /// Applies one live-context insert delta (plus any due ΔI slide) and
+    /// returns the resulting live row count.
+    fn push_live(&self, x: Instance, pred: Label) -> usize {
+        let mut engine = self
+            .batcher
+            .engine()
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
+        if engine.push(x, pred).is_err() {
+            // Unreachable when monitor and context share a schema, but a
+            // mismatched arrival must not poison the serving context.
+            cce_obs::counter!("cce_serve_live_push_rejected_total").inc();
+            return engine.len();
+        }
+        if let Some(w) = self.window {
+            if engine.len() > w.capacity {
+                let staged = self.staged.fetch_add(1, Ordering::SeqCst) + 1;
+                if staged >= w.delta {
+                    engine.evict_oldest(staged);
+                    self.staged.store(0, Ordering::SeqCst);
+                    cce_obs::counter!("cce_serve_window_slides_total").inc();
+                }
+            }
+        }
+        engine.len()
+    }
+
     fn healthz(&self) -> Response {
-        let engine = self.batcher.engine();
+        let engine = self
+            .batcher
+            .engine()
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
         let m = self.with_ingest(|i| (i.monitor().n_seen(), i.is_durable()));
         Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}}}",
-                engine.context().len(),
-                engine.context().schema().n_features(),
+                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"version\":{},\"tombstones\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}}}",
+                engine.len(),
+                engine.schema().n_features(),
                 engine.alpha().get(),
+                engine.version(),
+                engine.tombstones(),
                 self.batcher.depth(),
                 m.0,
                 m.1,

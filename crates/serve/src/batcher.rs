@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use cce_core::{BatchEngine, BudgetedKey, ExplainError, WorkBudget};
@@ -71,8 +71,13 @@ struct QueueState {
 }
 
 /// The coalescing queue plus its drain loop.
+///
+/// The engine sits behind an `RwLock` so the ingest path can apply
+/// context **deltas** concurrently with serving: explain batches take
+/// the read lock, arrivals/evictions take the write lock briefly (the
+/// patch is microseconds — no index rebuild happens on either side).
 pub struct Batcher {
-    engine: Arc<BatchEngine>,
+    engine: Arc<RwLock<BatchEngine>>,
     admission: Admission,
     cfg: BatcherConfig,
     state: Mutex<QueueState>,
@@ -81,7 +86,11 @@ pub struct Batcher {
 
 impl Batcher {
     /// A new open queue over `engine`.
-    pub fn new(engine: Arc<BatchEngine>, cfg: BatcherConfig, admission: AdmissionConfig) -> Self {
+    pub fn new(
+        engine: Arc<RwLock<BatchEngine>>,
+        cfg: BatcherConfig,
+        admission: AdmissionConfig,
+    ) -> Self {
         Self {
             engine,
             admission: Admission::new(admission),
@@ -94,8 +103,8 @@ impl Batcher {
         }
     }
 
-    /// The shared engine (for single-shot paths that bypass coalescing).
-    pub fn engine(&self) -> &Arc<BatchEngine> {
+    /// The shared engine (health reporting and the live ingest deltas).
+    pub fn engine(&self) -> &Arc<RwLock<BatchEngine>> {
         &self.engine
     }
 
@@ -156,6 +165,8 @@ impl Batcher {
             let t0 = Instant::now();
             let results = self
                 .engine
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
                 .explain_batch(&targets, budget, self.cfg.threads);
             cce_obs::histogram!("cce_serve_batch_explain_ns")
                 .record(t0.elapsed().as_nanos() as u64);

@@ -36,12 +36,12 @@ pub mod json;
 pub mod server;
 
 pub use admission::{Admission, AdmissionConfig, Level};
-pub use app::{explain_response, App};
+pub use app::{explain_response, App, LiveWindow};
 pub use batcher::{Batcher, BatcherConfig, Submission};
 pub use ingest::{IngestAck, IngestError, IngestState, MonitorBackend};
 pub use server::{Server, ServerConfig};
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use cce_core::engine::EngineConfig;
 use cce_core::persist::Vfs;
@@ -64,13 +64,15 @@ pub fn build_app<V: Vfs>(
         batcher_cfg,
         admission_cfg,
         backend,
+        None,
     )
 }
 
-/// [`build_app`] with an explicit [`EngineConfig`] — the CLI's entry
-/// point, carrying the `--stripe-threads`/`--stripe-words` flags into
-/// the engine so one huge explain can shard its bitset passes across
-/// cores.
+/// [`build_app`] with an explicit [`EngineConfig`] and an optional
+/// [`LiveWindow`] bound on the ingest context — the CLI's entry point,
+/// carrying the `--stripe-*` flags into the engine and
+/// `--window`/`--window-delta` into the ΔI slide policy.
+#[allow(clippy::too_many_arguments)]
 pub fn build_app_with<V: Vfs>(
     ctx: Context,
     alpha: Alpha,
@@ -78,9 +80,12 @@ pub fn build_app_with<V: Vfs>(
     batcher_cfg: BatcherConfig,
     admission_cfg: AdmissionConfig,
     backend: MonitorBackend<V>,
+    window: Option<LiveWindow>,
 ) -> Arc<App<V>> {
     let width = ctx.schema().n_features();
-    let engine = Arc::new(BatchEngine::with_config(ctx, alpha, engine_cfg));
+    let engine = Arc::new(RwLock::new(BatchEngine::with_config(
+        ctx, alpha, engine_cfg,
+    )));
     let batcher = Arc::new(Batcher::new(engine, batcher_cfg, admission_cfg));
-    Arc::new(App::new(batcher, IngestState::new(backend, width)))
+    Arc::new(App::new(batcher, IngestState::new(backend, width), window))
 }

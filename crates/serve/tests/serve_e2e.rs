@@ -22,8 +22,8 @@ use cce_core::{Alpha, Context, Durable, OsrkMonitor, Srk, WorkBudget};
 use cce_dataset::{synth, BinSpec};
 use cce_serve::http::{read_response, Request};
 use cce_serve::{
-    build_app, explain_response, AdmissionConfig, App, BatcherConfig, MonitorBackend, Server,
-    ServerConfig,
+    build_app, build_app_with, explain_response, AdmissionConfig, App, BatcherConfig, LiveWindow,
+    MonitorBackend, Server, ServerConfig,
 };
 
 const ALPHA: f64 = 1.0;
@@ -341,6 +341,126 @@ fn ingest_acks_and_metrics_flow_end_to_end() {
     ] {
         assert!(metrics.contains(name), "metrics must carry {name}");
     }
+    daemon.stop();
+}
+
+/// The tentpole's serving contract: ingested arrivals become part of the
+/// live explanation context via in-place deltas (no rebuild), the
+/// `--window` bound slides it in ΔI granules, and freshly ingested rows
+/// are immediately explainable with results identical to a from-scratch
+/// SRK over the materialized context.
+#[test]
+fn ingested_arrivals_are_immediately_explainable() {
+    let initial = loan_ctx(40);
+    let pool = loan_ctx(120);
+    let alpha = Alpha::new(ALPHA).unwrap();
+    let backend: MonitorBackend<MemVfs> = MonitorBackend::Plain(monitor_for(&initial, alpha));
+    let app = build_app_with(
+        initial,
+        alpha,
+        cce_core::engine::EngineConfig::default(),
+        BatcherConfig::default(),
+        AdmissionConfig::default(),
+        backend,
+        Some(LiveWindow {
+            capacity: 60,
+            delta: 8,
+        }),
+    );
+    let daemon = start(Arc::clone(&app));
+
+    let mut live = 40usize;
+    for r in 40..120 {
+        let values: Vec<String> = pool
+            .instance(r)
+            .values()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let body = format!(
+            "{{\"values\":[{}],\"prediction\":{}}}",
+            values.join(","),
+            pool.prediction(r).0
+        );
+        let (status, resp) = roundtrip(daemon.addr, "POST", "/monitor/ingest", &body);
+        assert_eq!(status, 200, "{resp}");
+        // The ack reports the live context; it must never exceed
+        // capacity + ΔI and must track our model of the slide exactly.
+        live += 1;
+        if live > 60 + 8 - 1 {
+            live -= 8;
+        }
+        assert!(resp.contains(&format!("\"context_rows\":{live}")), "{resp}");
+    }
+
+    let (status, health) = roundtrip(daemon.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains(&format!("\"rows\":{live}")), "{health}");
+
+    // A row that arrived via ingest is now a servable explain target,
+    // and the served bytes match a fresh SRK over the live context.
+    let engine = app.batcher().engine().read().unwrap();
+    let ctx = engine.materialize();
+    drop(engine);
+    let srk = Srk::new(alpha);
+    for t in [0, live / 2, live - 1] {
+        let (status, body) = roundtrip(
+            daemon.addr,
+            "POST",
+            "/explain",
+            &format!("{{\"target\":{t}}}"),
+        );
+        let expected = explain_response(
+            t,
+            alpha,
+            &srk.explain_budgeted(&ctx, t, WorkBudget::unlimited()),
+        );
+        assert_eq!(status, expected.status, "target {t}");
+        assert_eq!(body.into_bytes(), expected.body, "target {t}");
+    }
+    daemon.stop();
+}
+
+/// An ingest carrying a value code beyond its feature's cardinality must
+/// be rejected with 400 *before* touching the monitor WAL or the live
+/// context — admitting it used to panic the explain worker (the
+/// value-addressed seed tables index by code) on the next explain of
+/// that row, killing every subsequent `/explain`.
+#[test]
+fn ingest_rejects_out_of_cardinality_values_without_poisoning_context() {
+    let initial = loan_ctx(40);
+    let alpha = Alpha::new(ALPHA).unwrap();
+    let backend: MonitorBackend<MemVfs> = MonitorBackend::Plain(monitor_for(&initial, alpha));
+    let app = build_app_with(
+        initial,
+        alpha,
+        cce_core::engine::EngineConfig::default(),
+        BatcherConfig::default(),
+        AdmissionConfig::default(),
+        backend,
+        Some(LiveWindow {
+            capacity: 60,
+            delta: 8,
+        }),
+    );
+    let daemon = start(Arc::clone(&app));
+
+    let n = app.batcher().engine().read().unwrap().schema().n_features();
+    // Every feature gets a wildly out-of-range code.
+    let values: Vec<String> = (0..n).map(|_| "4096".to_string()).collect();
+    let body = format!("{{\"values\":[{}],\"prediction\":0}}", values.join(","));
+    let (status, resp) = roundtrip(daemon.addr, "POST", "/monitor/ingest", &body);
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("cardinality"), "{resp}");
+
+    // Nothing was ingested: the monitor saw no arrival, the context is
+    // untouched, and explains still work.
+    let (status, health) = roundtrip(daemon.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"rows\":40"), "{health}");
+    assert!(health.contains("\"ingested\":0"), "{health}");
+    let (status, _) = roundtrip(daemon.addr, "POST", "/explain", "{\"target\":0}");
+    assert_ne!(status, 500, "explain worker must survive the bad ingest");
     daemon.stop();
 }
 
