@@ -45,25 +45,32 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cce export     --dataset <Adult|German|Compas|Loan|Recid|Tiers> --out <file.csv> [--rows N] [--seed S] [--buckets B]
+  cce convert    --data <file.csv> --out <store.pg> [--page-size BYTES]
   cce explain    --data <file.csv> --target <row> [--alpha A] [--budget SCANS] [--json]
+  cce explain    --store <store.pg> --target <row> [--cache-mb N] [--alpha A] [--budget SCANS] [--json]
   cce summarize  --data <file.csv> [--max-patterns K] [--alpha A] [--coverage C]
   cce importance --data <file.csv> --target <row> [--permutations P] [--seed S]
   cce monitor    --data <file.csv> --target <row> [--alpha A] [--seed S]
                  [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
-  cce serve      --data <file.csv> [--addr HOST:PORT] [--alpha A] [--target ROW] [--seed S]
+  cce serve      (--data <file.csv> | --store <store.pg> [--cache-mb N])
+                 [--addr HOST:PORT] [--alpha A] [--target ROW] [--seed S]
                  [--linger-ms MS] [--max-batch N] [--threads T]
                  [--shed-depth N] [--degrade-depth N] [--degrade-budget SCANS]
                  [--checkpoint-dir <dir> [--checkpoint-every N] [--resume]]
                  [--max-conns N] [--keepalive-ms MS]
                  [--kernels auto|scalar|avx2|neon] [--stripe-threads T] [--stripe-words W]
                  [--window ROWS [--window-delta D]]  slide the live ingest context by ΔI=D
+                 --store serves explains out-of-core from a converted store (no CSV load)
   (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
 
 /// The flags each subcommand accepts (`None` → unknown subcommand).
 fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
     Some(match cmd {
         "export" => &["dataset", "out", "rows", "seed", "buckets", "metrics"],
-        "explain" => &["data", "target", "alpha", "budget", "json", "metrics"],
+        "convert" => &["data", "out", "page-size", "metrics"],
+        "explain" => &[
+            "data", "store", "cache-mb", "target", "alpha", "budget", "json", "metrics",
+        ],
         "summarize" => &["data", "max-patterns", "alpha", "coverage", "metrics"],
         "importance" => &["data", "target", "permutations", "seed", "metrics"],
         "monitor" => &[
@@ -98,6 +105,8 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "stripe-words",
             "window",
             "window-delta",
+            "store",
+            "cache-mb",
             "metrics",
         ],
         _ => return None,
@@ -112,6 +121,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(rest, allowed)?;
     let result = match cmd.as_str() {
         "export" => export(&args),
+        "convert" => convert(&args),
         "explain" => explain(&args),
         "summarize" => summarize_cmd(&args),
         "importance" => importance_cmd(&args),
@@ -199,16 +209,105 @@ fn export(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Converts an encoded CSV into the paged on-disk store format.
+fn convert(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let ctx = context_of(&ds);
+    let out = args.required("out")?;
+    let page_size = match args.int("page-size")? {
+        Some(v) if v > 0 => v as usize,
+        Some(v) => return Err(format!("--page-size must be positive, got {v}")),
+        None => cce_core::pagestore::DEFAULT_PAGE_SIZE,
+    };
+    let summary =
+        cce_core::pagestore::write_store(&mut StdVfs, &out, &ctx, page_size, ds.label_names())
+            .map_err(|e| format!("converting to {out}: {e}"))?;
+    println!(
+        "wrote {} rows to {out}: {} pages × {} B ({} bytes total)",
+        summary.rows, summary.pages, summary.page_size, summary.bytes
+    );
+    Ok(())
+}
+
+fn budget_of(args: &Args) -> Result<WorkBudget, String> {
+    match args.int("budget")? {
+        Some(b) if b >= 0 => Ok(WorkBudget::new(b as u64)),
+        Some(b) => Err(format!("--budget must be non-negative, got {b}")),
+        None => Ok(WorkBudget::unlimited()),
+    }
+}
+
+/// `--cache-mb` as a byte budget for the page cache (default 64 MiB).
+fn cache_bytes_of(args: &Args) -> Result<usize, String> {
+    match args.int("cache-mb")? {
+        Some(v) if v >= 0 => Ok((v as usize) << 20),
+        Some(v) => Err(format!("--cache-mb must be non-negative, got {v}")),
+        None => Ok(64 << 20),
+    }
+}
+
+/// `cce explain --store`: out-of-core explain over a converted store.
+/// Rendering uses the store's embedded schema and label names, so the
+/// output text matches a CSV-backed explain of the same context.
+fn explain_store(args: &Args, store: &str) -> Result<(), String> {
+    let target = args.int("target")?.ok_or("missing --target")? as usize;
+    let alpha = alpha_of(args)?;
+    let budget = budget_of(args)?;
+    let mut paged = cce_core::PagedContextIndex::open(StdVfs, store, cache_bytes_of(args)?)
+        .map_err(|e| format!("opening {store}: {e}"))?;
+    let rows = paged.len();
+    let result = paged.explain_row_budgeted(target, alpha, budget);
+    if args.flag("json") {
+        let resp = cce_serve::explain_response(target, alpha, &result);
+        println!("{}", String::from_utf8_lossy(&resp.body));
+        return result.map(|_| ()).map_err(|e| e.to_string());
+    }
+    let budgeted = result.map_err(|e| e.to_string())?;
+    let key = budgeted.key;
+    if let ExplainStatus::Degraded {
+        spent,
+        remaining_violators,
+    } = budgeted.status
+    {
+        println!(
+            "NOTE: work budget exhausted after {spent} scans — partial key, \
+             {remaining_violators} violators not yet covered"
+        );
+    }
+    let (x, label, _twins) = paged
+        .store_mut()
+        .row(target)
+        .map_err(|e| format!("reading row {target} from {store}: {e}"))?;
+    let schema = paged.store().schema().clone();
+    let label_name = paged.store().directory().label_name(label);
+    println!("{}", key.render(&schema, &x, &label_name));
+    let stats = paged.cache_stats();
+    println!(
+        "succinctness: {} | requested α: {} | achieved conformity over {} instances: {:.2}%",
+        key.succinctness(),
+        alpha,
+        rows,
+        key.achieved_conformity() * 100.0
+    );
+    println!(
+        "page cache: {} B resident, {} hits / {} misses / {} evictions",
+        stats.resident_bytes, stats.hits, stats.misses, stats.evictions
+    );
+    Ok(())
+}
+
 fn explain(args: &Args) -> Result<(), String> {
+    if let Some(store) = args.optional("store") {
+        if args.optional("data").is_some() {
+            return Err("--store and --data are mutually exclusive".into());
+        }
+        return explain_store(args, &store);
+    }
     let ds = load(args)?;
     let ctx = context_of(&ds);
     let target = args.int("target")?.ok_or("missing --target")? as usize;
     let alpha = alpha_of(args)?;
-    let budget = match args.int("budget")? {
-        Some(b) if b >= 0 => WorkBudget::new(b as u64),
-        Some(b) => return Err(format!("--budget must be non-negative, got {b}")),
-        None => WorkBudget::unlimited(),
-    };
+    let budget = budget_of(args)?;
     let result = Srk::new(alpha).explain_budgeted(&ctx, target, budget);
     if args.flag("json") {
         // Render through the exact same function the serving daemon
@@ -381,17 +480,50 @@ fn serve(args: &Args) -> Result<(), String> {
     use cce_serve::{AdmissionConfig, BatcherConfig, MonitorBackend, Server, ServerConfig};
     use std::time::Duration;
 
-    let ds = load(args)?;
-    let ctx = context_of(&ds);
     let alpha = alpha_of(args)?;
+    // Disk-backed mode: `/explain` answers from the converted store via
+    // the page cache; the live ingest context starts empty over the
+    // store's schema and fills from `/monitor/ingest`.
+    let mut paged = match args.optional("store") {
+        Some(path) => {
+            if args.optional("data").is_some() {
+                return Err("--store and --data are mutually exclusive".into());
+            }
+            let idx = cce_core::PagedContextIndex::open(StdVfs, &path, cache_bytes_of(args)?)
+                .map_err(|e| format!("opening {path}: {e}"))?;
+            println!("store: {path} ({} rows)", idx.len());
+            Some(idx)
+        }
+        None => None,
+    };
+    let ctx = match &paged {
+        Some(p) => Context::new(p.store().schema().clone(), Vec::new(), Vec::new()),
+        None => context_of(&load(args)?),
+    };
     let addr = args
         .optional("addr")
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     // The ingest monitor tracks one target row's key online.
     let target = args.int("target")?.unwrap_or(0) as usize;
-    if target >= ctx.len() {
-        return Err(format!("--target {target} out of range (0..{})", ctx.len()));
+    let monitor_rows = paged
+        .as_ref()
+        .map_or(ctx.len(), cce_core::PagedContextIndex::len);
+    if target >= monitor_rows {
+        return Err(format!(
+            "--target {target} out of range (0..{monitor_rows})"
+        ));
     }
+    // The monitor's seed row comes from the store when disk-backed.
+    let (seed_x, seed_pred) = match paged.as_mut() {
+        Some(p) => {
+            let (x, pred, _twins) = p
+                .store_mut()
+                .row(target)
+                .map_err(|e| format!("reading row {target}: {e}"))?;
+            (x, pred)
+        }
+        None => (ctx.instance(target).clone(), ctx.prediction(target)),
+    };
     let seed = args.int("seed")?.unwrap_or(7) as u64;
 
     let mut batcher_cfg = BatcherConfig::default();
@@ -464,12 +596,7 @@ fn serve(args: &Args) -> Result<(), String> {
             );
             d
         } else {
-            let m = OsrkMonitor::new(
-                ctx.instance(target).clone(),
-                ctx.prediction(target),
-                alpha,
-                seed,
-            );
+            let m = OsrkMonitor::new(seed_x.clone(), seed_pred, alpha, seed);
             Durable::create(m, StdVfs, &dir, every)
                 .map_err(|e| format!("creating checkpoint in {dir}: {e}"))?
         };
@@ -478,23 +605,30 @@ fn serve(args: &Args) -> Result<(), String> {
         if args.flag("resume") {
             return Err("--resume requires --checkpoint-dir".into());
         }
-        MonitorBackend::Plain(OsrkMonitor::new(
-            ctx.instance(target).clone(),
-            ctx.prediction(target),
-            alpha,
-            seed,
-        ))
+        MonitorBackend::Plain(OsrkMonitor::new(seed_x.clone(), seed_pred, alpha, seed))
     };
 
-    let app = cce_serve::build_app_with(
-        ctx,
-        alpha,
-        engine_cfg,
-        batcher_cfg,
-        admission_cfg,
-        backend,
-        window,
-    );
+    let app = match paged {
+        Some(p) => cce_serve::build_app_paged(
+            ctx,
+            alpha,
+            engine_cfg,
+            batcher_cfg,
+            admission_cfg,
+            backend,
+            window,
+            p,
+        ),
+        None => cce_serve::build_app_with(
+            ctx,
+            alpha,
+            engine_cfg,
+            batcher_cfg,
+            admission_cfg,
+            backend,
+            window,
+        ),
+    };
     let server =
         Server::bind(app, &addr, server_cfg).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = server

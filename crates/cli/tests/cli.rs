@@ -529,3 +529,150 @@ fn serve_ingest_survives_restart_with_resume() {
     assert_eq!(status, 200);
     assert!(child.wait().expect("serve exits").success());
 }
+
+#[test]
+fn convert_then_explain_store_matches_in_ram_json() {
+    let path = export_loan();
+    let store = tmp("loan.pg");
+    let out = cce()
+        .args([
+            "convert",
+            "--data",
+            path.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+            "--page-size",
+            "4096",
+        ])
+        .output()
+        .expect("run cce convert");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pages"), "summary expected: {stdout}");
+
+    // The out-of-core path must render the exact same JSON as the
+    // in-RAM path — even with a 1 MiB cache forcing real page churn.
+    for target in ["0", "3", "17", "299"] {
+        let ram = cce()
+            .args([
+                "explain",
+                "--data",
+                path.to_str().unwrap(),
+                "--target",
+                target,
+                "--json",
+            ])
+            .output()
+            .expect("run in-RAM explain");
+        let disk = cce()
+            .args([
+                "explain",
+                "--store",
+                store.to_str().unwrap(),
+                "--target",
+                target,
+                "--cache-mb",
+                "1",
+                "--json",
+            ])
+            .output()
+            .expect("run store explain");
+        assert!(ram.status.success() && disk.status.success());
+        assert_eq!(
+            String::from_utf8_lossy(&ram.stdout),
+            String::from_utf8_lossy(&disk.stdout),
+            "target {target}"
+        );
+    }
+}
+
+#[test]
+fn explain_store_text_mode_reports_the_page_cache() {
+    let path = export_loan();
+    let store = tmp("loan_text.pg");
+    let out = cce()
+        .args([
+            "convert",
+            "--data",
+            path.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cce convert");
+    assert!(out.status.success());
+    let out = cce()
+        .args([
+            "explain",
+            "--store",
+            store.to_str().unwrap(),
+            "--target",
+            "0",
+        ])
+        .output()
+        .expect("run store explain");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("IF "), "stdout: {stdout}");
+    assert!(stdout.contains("page cache:"), "stdout: {stdout}");
+}
+
+#[test]
+fn explain_rejects_store_plus_data() {
+    let path = export_loan();
+    let out = cce()
+        .args([
+            "explain",
+            "--store",
+            "whatever.pg",
+            "--data",
+            path.to_str().unwrap(),
+            "--target",
+            "0",
+        ])
+        .output()
+        .expect("run cce explain");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mutually exclusive"), "stderr: {stderr}");
+}
+
+#[test]
+fn explain_store_rejects_a_truncated_store() {
+    let path = export_loan();
+    let store = tmp("loan_trunc.pg");
+    let out = cce()
+        .args([
+            "convert",
+            "--data",
+            path.to_str().unwrap(),
+            "--out",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run cce convert");
+    assert!(out.status.success());
+    let bytes = std::fs::read(&store).expect("read store");
+    std::fs::write(&store, &bytes[..bytes.len() - 7]).expect("truncate");
+    let out = cce()
+        .args([
+            "explain",
+            "--store",
+            store.to_str().unwrap(),
+            "--target",
+            "0",
+        ])
+        .output()
+        .expect("run cce explain");
+    assert!(!out.status.success(), "truncated store must not explain");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("opening"), "stderr: {stderr}");
+}

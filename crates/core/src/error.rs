@@ -50,6 +50,13 @@ pub enum ExplainError {
         /// Which parameter was rejected and why.
         reason: &'static str,
     },
+    /// An out-of-core explain could not fault in a page it needed: the
+    /// underlying store read failed or the page failed validation. The
+    /// explanation is abandoned rather than computed over corrupt bits.
+    Storage {
+        /// The persistence-layer failure, rendered.
+        reason: String,
+    },
     /// A categorical value code exceeded its feature's cardinality — the
     /// instance cannot join an indexed context (posting lists and seed
     /// tables are addressed by value code).
@@ -92,6 +99,9 @@ impl fmt::Display for ExplainError {
             }
             ExplainError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            ExplainError::Storage { reason } => {
+                write!(f, "context store failure: {reason}")
             }
             ExplainError::ValueOutOfRange {
                 feature,

@@ -230,6 +230,13 @@ impl RowSet {
             .extend(a.words.iter().zip(&b.words).map(|(x, y)| x & y));
     }
 
+    /// The raw word buffer — read access for the pagestore writer, which
+    /// re-frames these exact words into CRC'd pages (so the on-disk
+    /// columns inherit the tail-bit invariant for free).
+    pub(crate) fn word_slice(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Clears the padding bits beyond `rows` so counts stay exact.
     fn mask_tail(&mut self) {
         let tail = self.rows % 64;
@@ -326,17 +333,17 @@ impl Exec<'_> {
 /// the eager scan's `min (survivors, MAX - coverage)` with its
 /// first-wins tie-break.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
+pub(crate) struct Candidate {
     /// Violators this feature eliminated when `killed` was last fresh.
-    killed: usize,
+    pub(crate) killed: usize,
     /// Supporters this feature kept when `cover` was last fresh.
-    cover: usize,
+    pub(crate) cover: usize,
     /// The feature.
-    feat: usize,
+    pub(crate) feat: usize,
     /// Round `killed` was computed in.
-    kstamp: usize,
+    pub(crate) kstamp: usize,
     /// Round `cover` was computed in.
-    cstamp: usize,
+    pub(crate) cstamp: usize,
 }
 
 impl Ord for Candidate {
@@ -394,7 +401,7 @@ impl ExplainScratch {
 /// they are tabulated once at build time and round 0 of every
 /// explanation becomes a table lookup — zero bitset passes.
 #[derive(Debug, Clone)]
-struct ClassIndex {
+pub(crate) struct ClassIndex {
     label: Label,
     /// Rows carrying this prediction.
     rows: RowSet,
@@ -402,6 +409,28 @@ struct ClassIndex {
     size: usize,
     /// `seed[f][v] = (surv0, cover0)` for posting `(f, v)`.
     seed: Vec<Vec<(usize, usize)>>,
+}
+
+impl ClassIndex {
+    /// The class's prediction label (pagestore export).
+    pub(crate) fn label_ref(&self) -> Label {
+        self.label
+    }
+
+    /// The class's row bitset (pagestore export).
+    pub(crate) fn rows_ref(&self) -> &RowSet {
+        &self.rows
+    }
+
+    /// `|rows|` (pagestore export).
+    pub(crate) fn size_ref(&self) -> usize {
+        self.size
+    }
+
+    /// The round-0 seed table (pagestore export).
+    pub(crate) fn seed_ref(&self) -> &[Vec<(usize, usize)>] {
+        &self.seed
+    }
 }
 
 /// The posting-list index of one [`Context`], **patchable in place**.
@@ -606,6 +635,18 @@ impl ContextIndex {
         }
     }
 
+    /// Crate-internal read access for the pagestore writer: the posting
+    /// bitsets by `(feature, value)`.
+    pub(crate) fn postings_ref(&self) -> &[Vec<RowSet>] {
+        &self.by_value
+    }
+
+    /// Crate-internal read access for the pagestore writer: the indexed
+    /// classes with their seed tables.
+    pub(crate) fn classes_ref(&self) -> &[ClassIndex] {
+        &self.classes
+    }
+
     /// Live rows indexed (tombstones excluded).
     pub fn len(&self) -> usize {
         self.slots - self.dead
@@ -774,7 +815,7 @@ impl ContextIndex {
     /// The certificate lookup: live rows carrying the target's exact
     /// instance under a *different* label — the violators no feature set
     /// can eliminate.
-    fn twin_violators(&self, x0: &cce_dataset::Instance, p0: Label) -> usize {
+    pub(crate) fn twin_violators(&self, x0: &cce_dataset::Instance, p0: Label) -> usize {
         self.twins.get(x0).map_or(0, |entry| {
             entry
                 .iter()

@@ -56,6 +56,7 @@ pub mod kernels;
 pub mod key;
 pub mod monitor;
 pub mod osrk;
+pub mod pagestore;
 pub mod patterns;
 pub mod persist;
 pub mod recorder;
@@ -75,6 +76,7 @@ pub use kernels::{Kernels, StripeConfig};
 pub use key::RelativeKey;
 pub use monitor::DriftMonitor;
 pub use osrk::{OsrkMonitor, PickRule};
+pub use pagestore::{write_store, CacheStats, LruPageCache, PageStore, PagedContextIndex};
 pub use patterns::{summarize, RelativePattern, RelativeSummary, SummaryParams};
 pub use persist::{Durable, PersistError, PersistState, Replayable};
 pub use recorder::Recorder;

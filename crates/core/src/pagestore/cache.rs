@@ -1,0 +1,348 @@
+//! Byte-budgeted LRU cache over decoded store pages.
+//!
+//! The cache is the only thing standing between an out-of-core explain
+//! and one disk read per bitset pass, so its contract is precise:
+//!
+//! * **Byte budget, not page count.** Every resident page is accounted
+//!   at its decoded size; an insert evicts least-recently-used pages
+//!   until the budget holds again.
+//! * **Pinned while borrowed.** Pages are handed out as [`Arc`] clones.
+//!   Eviction skips any page whose `Arc` is still held by a caller
+//!   (`strong_count > 1`) — a kernel streaming two columns must never
+//!   have one of them freed mid-pass, even under a pathologically small
+//!   budget. A fully-pinned cache is allowed to run over budget rather
+//!   than deadlock; it sheds the excess on the next unpinned insert.
+//! * **Observable.** Hits, misses, evictions, and resident bytes are
+//!   mirrored into the process-global `cce-obs` registry
+//!   (`cce_pagestore_*`) and kept as local counters for `/healthz`.
+//!
+//! Recency is tracked with a monotonic tick and a second-chance queue:
+//! a `get` only stamps the page's tick — the hot path mutates no queue,
+//! because it runs once per page per kernel pass and its cost is paid
+//! on every single bitset scan. Eviction pops the queue front and
+//! compares ticks: a page referenced since it was enqueued is re-queued
+//! at its newer tick instead of evicted (classic second-chance ≈ LRU),
+//! stale entries for evicted pages are discarded, and the queue is
+//! compacted once it outgrows the live set by a constant factor. The
+//! map is keyed by page id through a splitmix-style mixer rather than
+//! the default SipHash — page ids are trusted internal integers, not
+//! attacker-controlled strings.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// A one-shot `u64` mixer for page-id keys (SipHash costs more than the
+/// map lookup itself on this hot path).
+#[derive(Default)]
+struct PageIdHasher(u64);
+
+impl Hasher for PageIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused by u64 keys; FNV-style fallback keeps the impl total.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// One decoded page: bitset columns decode to `u64` words (what the
+/// kernels consume), row-data pages stay raw bytes.
+#[derive(Debug)]
+pub enum PageData {
+    /// A bitset-column page: little-endian words, padding words zero.
+    Words(Vec<u64>),
+    /// A row-data page: fixed-width `(values…, label)` records.
+    Bytes(Vec<u8>),
+}
+
+impl PageData {
+    /// Decoded size used for budget accounting.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            PageData::Words(w) => w.len() * 8,
+            PageData::Bytes(b) => b.len(),
+        }
+    }
+}
+
+/// Point-in-time cache statistics (served by `/healthz` and the bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bytes of decoded pages currently resident.
+    pub resident_bytes: usize,
+    /// The configured byte budget.
+    pub budget_bytes: usize,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to fault the page in.
+    pub misses: u64,
+    /// Pages evicted to fit the budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, 0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    page: Arc<PageData>,
+    /// Tick of the newest queue entry for this page; older queue
+    /// entries are stale and skipped by eviction.
+    tick: u64,
+    bytes: usize,
+}
+
+/// The byte-budgeted, pin-aware LRU page cache.
+#[derive(Debug, Default)]
+pub struct LruPageCache {
+    budget_bytes: usize,
+    resident_bytes: usize,
+    tick: u64,
+    map: HashMap<u64, Entry, BuildHasherDefault<PageIdHasher>>,
+    /// `(tick, page_id)` in enqueue order; entries whose tick trails the
+    /// page's are second-chance re-queued, stale ids are discarded.
+    lru: VecDeque<(u64, u64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruPageCache {
+    /// A cache that evicts past `budget_bytes` of decoded pages.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Looks a page up, refreshing its recency. A miss is counted here
+    /// so the hit rate reflects every lookup, whether or not the caller
+    /// goes on to fault the page in. Hits only stamp the entry's tick —
+    /// eviction notices the newer tick and gives the page its second
+    /// chance — so the hot path is one map probe, no queue traffic.
+    pub fn get(&mut self, id: u64) -> Option<Arc<PageData>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&id) {
+            Some(e) => {
+                e.tick = tick;
+                self.hits += 1;
+                cce_obs::counter!("cce_pagestore_hits_total").inc();
+                Some(Arc::clone(&e.page))
+            }
+            None => {
+                self.misses += 1;
+                cce_obs::counter!("cce_pagestore_misses_total").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly-faulted page and evicts down to the budget.
+    /// Inserting under an id that is already resident refreshes it.
+    pub fn insert(&mut self, id: u64, page: Arc<PageData>) {
+        let bytes = page.byte_size();
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.insert(id, Entry { page, tick, bytes }) {
+            self.resident_bytes -= old.bytes;
+        }
+        self.resident_bytes += bytes;
+        self.lru.push_back((tick, id));
+        self.evict_to_budget(id);
+        self.maybe_compact();
+        cce_obs::gauge!("cce_pagestore_resident_bytes").set(self.resident_bytes as i64);
+    }
+
+    /// Evicts LRU-first until the budget holds, skipping (and
+    /// re-queuing) pinned pages. If every resident page is pinned the
+    /// sweep stops over budget — correctness over budget adherence.
+    ///
+    /// `fresh` is the id just inserted: it is the MRU and is evicted
+    /// strictly last, and *kept* when the overrun is caused by pinned
+    /// pages — the caller is about to borrow it, and evicting it would
+    /// turn a fully-pinned cache into a fault loop instead of a
+    /// temporary overrun.
+    fn evict_to_budget(&mut self, fresh: u64) {
+        let mut repinned = 0usize;
+        let mut saw_pinned = false;
+        let mut fresh_held: Option<u64> = None;
+        while self.resident_bytes > self.budget_bytes {
+            let Some((tick, id)) = self.lru.pop_front() else {
+                break;
+            };
+            let Some(e) = self.map.get_mut(&id) else {
+                continue; // already evicted; stale queue entry
+            };
+            if e.tick != tick {
+                // Referenced since it was enqueued: second chance — put
+                // it back at its newer tick. The re-queued entry matches
+                // the page's tick, so the next encounter is decisive
+                // (unless referenced again, which is the point).
+                self.lru.push_back((e.tick, id));
+                continue;
+            }
+            if id == fresh {
+                // Hold the fresh page out of the queue; it is decided
+                // after every older candidate has been considered.
+                fresh_held = Some(tick);
+                continue;
+            }
+            if Arc::strong_count(&e.page) > 1 {
+                // Pinned by a borrower: keep it resident, but push it to
+                // the back so the sweep reaches the next candidate.
+                saw_pinned = true;
+                self.tick += 1;
+                e.tick = self.tick;
+                self.lru.push_back((self.tick, id));
+                repinned += 1;
+                if repinned > self.map.len() {
+                    break; // everything left is pinned
+                }
+                continue;
+            }
+            let e = self.map.remove(&id).expect("checked above");
+            self.resident_bytes -= e.bytes;
+            self.evictions += 1;
+            cce_obs::counter!("cce_pagestore_evictions_total").inc();
+        }
+        if let Some(tick) = fresh_held {
+            let evict_fresh = self.resident_bytes > self.budget_bytes
+                && !saw_pinned
+                && self
+                    .map
+                    .get(&fresh)
+                    .is_some_and(|e| Arc::strong_count(&e.page) == 1);
+            if evict_fresh {
+                let e = self.map.remove(&fresh).expect("checked above");
+                self.resident_bytes -= e.bytes;
+                self.evictions += 1;
+                cce_obs::counter!("cce_pagestore_evictions_total").inc();
+            } else {
+                self.lru.push_back((tick, fresh));
+            }
+        }
+    }
+
+    /// Drops queue entries for evicted pages once they outnumber live
+    /// pages 4:1. Entries with trailing ticks are kept: under second
+    /// chance they may be a live page's only path to eviction.
+    fn maybe_compact(&mut self) {
+        if self.lru.len() > 4 * self.map.len() + 16 {
+            let map = &self.map;
+            self.lru.retain(|&(_, id)| map.contains_key(&id));
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident_bytes: self.resident_bytes,
+            budget_bytes: self.budget_bytes,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(words: usize) -> Arc<PageData> {
+        Arc::new(PageData::Words(vec![0; words]))
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        // Budget fits exactly two 80-byte pages.
+        let mut c = LruPageCache::new(160);
+        c.insert(1, page(10));
+        c.insert(2, page(10));
+        assert!(c.get(1).is_some(), "page 1 refreshed");
+        c.insert(3, page(10)); // must evict 2, the LRU
+        assert!(c.get(2).is_none(), "page 2 was LRU");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().resident_bytes, 160);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction() {
+        let mut c = LruPageCache::new(160);
+        c.insert(1, page(10));
+        let pin = c.get(1).expect("resident");
+        c.insert(2, page(10));
+        c.insert(3, page(10)); // over budget; 1 is LRU but pinned
+        assert!(c.get(1).is_some(), "pinned page must not be evicted");
+        drop(pin);
+        c.insert(4, page(10)); // now 1 is evictable
+        assert_eq!(c.stats().resident_bytes, 160);
+    }
+
+    #[test]
+    fn fully_pinned_cache_overruns_rather_than_deadlocks() {
+        let mut c = LruPageCache::new(80);
+        c.insert(1, page(10));
+        let _p1 = c.get(1).unwrap();
+        c.insert(2, page(10));
+        let _p2 = c.get(2).unwrap();
+        // Both pages pinned; the sweep must terminate over budget.
+        assert_eq!(c.stats().resident_bytes, 160);
+    }
+
+    #[test]
+    fn zero_budget_keeps_nothing_unpinned() {
+        let mut c = LruPageCache::new(0);
+        c.insert(1, page(10));
+        assert!(c.get(1).is_none(), "unpinned page evicted immediately");
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_rate() {
+        let mut c = LruPageCache::new(1 << 20);
+        assert!(c.get(7).is_none());
+        c.insert(7, page(4));
+        assert!(c.get(7).is_some());
+        assert!(c.get(7).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheStats::hit_rate(&LruPageCache::new(1).stats()), 0.0);
+    }
+
+    #[test]
+    fn queue_compaction_bounds_stale_entries() {
+        let mut c = LruPageCache::new(1 << 20);
+        c.insert(1, page(1));
+        for _ in 0..10_000 {
+            let _ = c.get(1);
+        }
+        assert!(c.lru.len() <= 4 * c.map.len() + 17, "queue must compact");
+    }
+}

@@ -1,0 +1,489 @@
+//! Out-of-core explains: the lazy-greedy loop of
+//! [`ContextIndex`](crate::ContextIndex), executed over paged columns
+//! faulted in on demand.
+//!
+//! # Byte-identity argument
+//!
+//! Every quantity the greedy loop consults is reproduced exactly:
+//!
+//! * **Round 0** reads the directory's seed table — the same
+//!   `(surv₀, cover₀)` values the in-RAM index precomputed (the writer
+//!   copies them verbatim).
+//! * **Later rounds** run the same heap with the same
+//!   [`Candidate`] ordering and staleness stamps; the only difference
+//!   is that `count_and` / `and_assign_count` / `and_not_count` stream
+//!   the posting column page by page, summing per-page kernel counts.
+//!   Addition over disjoint word ranges is exact, so every refreshed
+//!   score equals its in-RAM counterpart, hence every pick matches.
+//! * **The unsatisfiable case** reads the per-row twin certificate
+//!   stored in the target's row record — the same `contradictions`
+//!   count the in-RAM twins table serves — and fails up front with
+//!   zero bitset passes. Value-addressed explains (no stored row) fall
+//!   back to exhaustion: after intersecting all `n` postings, the
+//!   surviving violators are exactly the differently-labeled twins, so
+//!   the error is identical either way.
+//!
+//! `tests/pagestore_diff.rs` holds the differential proptests that pin
+//! this equivalence across row counts straddling word boundaries, page
+//! sizes, and cache budgets down to a single page.
+//!
+//! # Failure semantics
+//!
+//! A page fault that fails — I/O error, truncated frame, checksum
+//! mismatch — aborts the explain with [`ExplainError::Storage`]. The
+//! loop never consumes unverified bits, so a corrupt store yields an
+//! error, never a silently wrong key.
+
+use std::collections::BinaryHeap;
+
+use cce_dataset::{Instance, Label};
+
+use crate::alpha::Alpha;
+use crate::error::ExplainError;
+use crate::index::Candidate;
+use crate::kernels;
+use crate::key::RelativeKey;
+use crate::persist::{PersistError, Vfs};
+use crate::srk::{BudgetedKey, ExplainStatus, WorkBudget};
+
+use super::cache::{CacheStats, PageData};
+use super::format::PageStore;
+
+/// Renders a persistence failure as an explain abort.
+fn storage_err(e: PersistError) -> ExplainError {
+    ExplainError::Storage {
+        reason: e.to_string(),
+    }
+}
+
+/// Borrows the word payload of a bitset page.
+fn words_of(page: &PageData) -> Result<&[u64], PersistError> {
+    match page {
+        PageData::Words(w) => Ok(w),
+        PageData::Bytes(_) => Err(PersistError::corrupt("bitset page decoded as row data")),
+    }
+}
+
+/// `|scratch ∩ col|`, streamed page by page.
+fn col_count_and<V: Vfs>(
+    store: &mut PageStore<V>,
+    scratch: &[u64],
+    col: usize,
+) -> Result<u64, PersistError> {
+    let k = kernels::active();
+    let (pages, wpp) = (
+        store.geometry().pages_per_col,
+        store.geometry().words_per_page,
+    );
+    let mut total = 0u64;
+    for pk in 0..pages {
+        let live = store.geometry().page_words(pk);
+        let page = store.page(store.geometry().col_page(col, pk))?;
+        let words = words_of(&page)?;
+        total += (k.count_and)(&scratch[pk * wpp..pk * wpp + live], &words[..live]);
+    }
+    Ok(total)
+}
+
+/// `scratch ∩= col`, returning the new cardinality.
+fn col_and_assign_count<V: Vfs>(
+    store: &mut PageStore<V>,
+    scratch: &mut [u64],
+    col: usize,
+) -> Result<u64, PersistError> {
+    let k = kernels::active();
+    let (pages, wpp) = (
+        store.geometry().pages_per_col,
+        store.geometry().words_per_page,
+    );
+    let mut total = 0u64;
+    for pk in 0..pages {
+        let live = store.geometry().page_words(pk);
+        let page = store.page(store.geometry().col_page(col, pk))?;
+        let words = words_of(&page)?;
+        total += (k.and_assign_count)(&mut scratch[pk * wpp..pk * wpp + live], &words[..live]);
+    }
+    Ok(total)
+}
+
+/// `scratch ∩= col`, count not needed (the supporter set).
+fn col_and_assign<V: Vfs>(
+    store: &mut PageStore<V>,
+    scratch: &mut [u64],
+    col: usize,
+) -> Result<(), PersistError> {
+    let wpp = store.geometry().words_per_page;
+    for pk in 0..store.geometry().pages_per_col {
+        let live = store.geometry().page_words(pk);
+        let page = store.page(store.geometry().col_page(col, pk))?;
+        let words = words_of(&page)?;
+        for (dst, src) in scratch[pk * wpp..pk * wpp + live]
+            .iter_mut()
+            .zip(&words[..live])
+        {
+            *dst &= src;
+        }
+    }
+    Ok(())
+}
+
+/// `scratch = b ∩ ¬a`, returning the cardinality — the fused
+/// first-pick violator materialization (`posting ∩ ¬class`).
+fn col_copy_and_not_count<V: Vfs>(
+    store: &mut PageStore<V>,
+    scratch: &mut [u64],
+    b_col: usize,
+    a_col: usize,
+) -> Result<u64, PersistError> {
+    let k = kernels::active();
+    let (pages, wpp) = (
+        store.geometry().pages_per_col,
+        store.geometry().words_per_page,
+    );
+    let mut total = 0u64;
+    for pk in 0..pages {
+        let live = store.geometry().page_words(pk);
+        // Both pages pinned at once: the cache must not evict `b` to
+        // admit `a`, even on a single-page budget (pin-aware eviction).
+        let b = store.page(store.geometry().col_page(b_col, pk))?;
+        let a = store.page(store.geometry().col_page(a_col, pk))?;
+        let (b, a) = (words_of(&b)?, words_of(&a)?);
+        total += (k.and_not_count)(
+            &mut scratch[pk * wpp..pk * wpp + live],
+            &b[..live],
+            &a[..live],
+        );
+    }
+    Ok(total)
+}
+
+/// `scratch = a ∩ b` (the supporter set's first-pick materialization).
+fn col_copy_and<V: Vfs>(
+    store: &mut PageStore<V>,
+    scratch: &mut [u64],
+    a_col: usize,
+    b_col: usize,
+) -> Result<(), PersistError> {
+    let wpp = store.geometry().words_per_page;
+    for pk in 0..store.geometry().pages_per_col {
+        let live = store.geometry().page_words(pk);
+        let pa = store.page(store.geometry().col_page(a_col, pk))?;
+        let pb = store.page(store.geometry().col_page(b_col, pk))?;
+        let (a, b) = (words_of(&pa)?, words_of(&pb)?);
+        for ((dst, x), y) in scratch[pk * wpp..pk * wpp + live]
+            .iter_mut()
+            .zip(&a[..live])
+            .zip(&b[..live])
+        {
+            *dst = x & y;
+        }
+    }
+    Ok(())
+}
+
+/// An out-of-core [`ContextIndex`](crate::ContextIndex): answers the
+/// same explain queries from a [`PageStore`], faulting bitset pages
+/// through the LRU cache instead of holding every posting in RAM.
+#[derive(Debug)]
+pub struct PagedContextIndex<V: Vfs> {
+    store: PageStore<V>,
+    /// Violator-set scratch — the only full-width bitsets the paged
+    /// path keeps resident (2 × ⌈rows/64⌉ words).
+    violators: Vec<u64>,
+    supporters: Vec<u64>,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl<V: Vfs> PagedContextIndex<V> {
+    /// Wraps an opened store.
+    pub fn new(store: PageStore<V>) -> Self {
+        let words = store.geometry().words;
+        Self {
+            store,
+            violators: vec![0; words],
+            supporters: vec![0; words],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Opens the store at `path` and wraps it; see [`PageStore::open`].
+    ///
+    /// # Errors
+    /// Propagates [`PageStore::open`] validation failures.
+    pub fn open(vfs: V, path: &str, cache_budget: usize) -> Result<Self, PersistError> {
+        Ok(Self::new(PageStore::open(vfs, path, cache_budget)?))
+    }
+
+    /// Context rows in the backing store.
+    pub fn len(&self) -> usize {
+        self.store.rows()
+    }
+
+    /// True when the backing store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.store.rows() == 0
+    }
+
+    /// The backing store (schema, directory, geometry access).
+    pub fn store(&self) -> &PageStore<V> {
+        &self.store
+    }
+
+    /// Mutable store access — row reads fault pages through the cache.
+    pub fn store_mut(&mut self) -> &mut PageStore<V> {
+        &mut self.store
+    }
+
+    /// Page-cache counters (`/healthz`, the bench harness).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.store.cache_stats()
+    }
+
+    /// Explains the prediction of context row `target` — the paged
+    /// equivalent of [`ContextIndex::explain`](crate::ContextIndex::explain).
+    ///
+    /// # Errors
+    /// Same failure modes as the in-RAM path, plus
+    /// [`ExplainError::Storage`] when a page cannot be faulted in.
+    pub fn explain_row(
+        &mut self,
+        target: usize,
+        alpha: Alpha,
+    ) -> Result<RelativeKey, ExplainError> {
+        self.explain_row_budgeted(target, alpha, WorkBudget::unlimited())
+            .map(|b| b.key)
+    }
+
+    /// Budgeted row explain; see
+    /// [`ContextIndex::explain_budgeted_with`](crate::ContextIndex::explain_budgeted_with).
+    ///
+    /// # Errors
+    /// Same failure modes as [`PagedContextIndex::explain_row`].
+    pub fn explain_row_budgeted(
+        &mut self,
+        target: usize,
+        alpha: Alpha,
+        budget: WorkBudget,
+    ) -> Result<BudgetedKey, ExplainError> {
+        // Mirrors `Context::check_target`: empty before out-of-range.
+        let rows = self.store.rows();
+        if rows == 0 {
+            return Err(ExplainError::EmptyContext);
+        }
+        if target >= rows {
+            return Err(ExplainError::TargetOutOfRange { target, len: rows });
+        }
+        let (x0, p0, twins) = self.store.row(target).map_err(storage_err)?;
+        self.explain_value_core(&x0, p0, alpha, budget, Some(twins as usize))
+    }
+
+    /// Value-addressed explain: the paged lazy-greedy loop. Addressing
+    /// is by `(x₀, p₀)` exactly as in the in-RAM core, so row-addressed
+    /// and value-addressed paged explains agree with their in-RAM
+    /// counterparts byte for byte.
+    ///
+    /// # Errors
+    /// Same failure modes as the in-RAM value core, plus
+    /// [`ExplainError::ValueOutOfRange`] for codes outside the schema
+    /// and [`ExplainError::Storage`] for fault failures.
+    pub fn explain_value(
+        &mut self,
+        x0: &Instance,
+        p0: Label,
+        alpha: Alpha,
+        budget: WorkBudget,
+    ) -> Result<BudgetedKey, ExplainError> {
+        // An arbitrary (x₀, p₀) has no stored certificate; the loop
+        // discovers unsatisfiability by exhaustion instead (see below).
+        self.explain_value_core(x0, p0, alpha, budget, None)
+    }
+
+    /// The paged greedy loop; `twin_certificate` is row `target`'s
+    /// stored contradiction count when the caller is row-addressed.
+    fn explain_value_core(
+        &mut self,
+        x0: &Instance,
+        p0: Label,
+        alpha: Alpha,
+        budget: WorkBudget,
+        twin_certificate: Option<usize>,
+    ) -> Result<BudgetedKey, ExplainError> {
+        let live = self.store.rows();
+        if live == 0 {
+            return Err(ExplainError::EmptyContext);
+        }
+        let geom = self.store.geometry();
+        let n = geom.cards.len();
+        if x0.len() != n {
+            return Err(ExplainError::WidthMismatch {
+                expected: n,
+                got: x0.len(),
+            });
+        }
+        for (f, &card) in geom.cards.iter().enumerate() {
+            if x0[f] as usize >= card {
+                return Err(ExplainError::ValueOutOfRange {
+                    feature: f,
+                    value: x0[f],
+                    cardinality: card,
+                });
+            }
+        }
+        let tolerance = alpha.tolerance(live);
+        let budgeted = budget != WorkBudget::unlimited();
+
+        let dir = self.store.directory();
+        let Some(ci) = dir.classes.iter().position(|c| c.label == p0) else {
+            return Err(ExplainError::UnknownInstance);
+        };
+        let class_size = dir.classes[ci].size;
+        let class_col = geom.class_col(ci);
+        // Posting column per feature, fixed by the target's values, and
+        // the target's slice of the seed table — owned copies, so no
+        // directory borrow outlives the faulting loop below.
+        let posting_col: Vec<usize> = (0..n).map(|f| geom.value_col(f, x0[f] as usize)).collect();
+        let seeds0: Vec<(usize, usize)> = (0..n)
+            .map(|f| dir.classes[ci].seed[f][x0[f] as usize])
+            .collect();
+        let mut live_violators = live - class_size;
+
+        // Row-addressed explains carry the stored twin certificate:
+        // fail doomed targets up front exactly like the in-RAM path
+        // (same error, same counts), with zero bitset passes. Only with
+        // an unlimited budget — a finite budget must degrade where the
+        // reference scan would, which may be before the error.
+        if budget == WorkBudget::unlimited() && live_violators > tolerance {
+            if let Some(contradictions) = twin_certificate {
+                if contradictions > tolerance {
+                    cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key")
+                        .inc();
+                    return Err(ExplainError::NoConformantKey {
+                        contradictions,
+                        tolerance,
+                    });
+                }
+            }
+        }
+
+        // Value-addressed explains have no stored certificate: the loop
+        // discovers the same `contradictions` count when it exhausts
+        // all `n` features — the violators surviving the full
+        // intersection *are* the differently-labeled exact twins.
+        let mut picked = Vec::new();
+        let mut evaluated: u64 = 0;
+        let mut eager_scans: u64 = 0;
+        let mut accounted: u64 = 0;
+        while live_violators > tolerance {
+            if picked.len() == n {
+                cce_obs::counter!("cce_explain_errors_total", "kind" => "no_conformant_key").inc();
+                return Err(ExplainError::NoConformantKey {
+                    contradictions: live_violators,
+                    tolerance,
+                });
+            }
+            if budgeted && accounted >= budget.max_scans {
+                cce_obs::counter!("cce_explain_degraded_total").inc();
+                cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "paged")
+                    .add(evaluated);
+                let achieved = 1.0 - live_violators as f64 / live as f64;
+                return Ok(BudgetedKey {
+                    key: RelativeKey::new(picked, alpha, achieved),
+                    status: ExplainStatus::Degraded {
+                        spent: accounted,
+                        remaining_violators: live_violators,
+                    },
+                });
+            }
+            eager_scans += (n - picked.len()) as u64;
+            accounted += ((n - picked.len()) * live_violators) as u64;
+            let round = picked.len();
+            let best_feat = if round == 0 {
+                // Round 0 from the directory's seed table: zero faults.
+                let mut best = Candidate {
+                    killed: 0,
+                    cover: 0,
+                    feat: usize::MAX,
+                    kstamp: 0,
+                    cstamp: 0,
+                };
+                for (f, &(surv0, cover0)) in seeds0.iter().enumerate() {
+                    let cand = Candidate {
+                        killed: live_violators - surv0,
+                        cover: cover0,
+                        feat: f,
+                        kstamp: 0,
+                        cstamp: 0,
+                    };
+                    if best.feat == usize::MAX || cand > best {
+                        best = cand;
+                    }
+                }
+                best.feat
+            } else {
+                if round == 1 {
+                    self.heap.clear();
+                    for (f, &(surv0, cover0)) in seeds0.iter().enumerate() {
+                        if f == picked[0] {
+                            continue;
+                        }
+                        self.heap.push(Candidate {
+                            killed: (live - class_size) - surv0,
+                            cover: cover0,
+                            feat: f,
+                            kstamp: 0,
+                            cstamp: 0,
+                        });
+                    }
+                }
+                loop {
+                    let mut top = self.heap.pop().expect("unpicked candidates remain");
+                    if top.kstamp < round {
+                        let surv =
+                            col_count_and(&mut self.store, &self.violators, posting_col[top.feat])
+                                .map_err(storage_err)? as usize;
+                        evaluated += 1;
+                        top.killed = live_violators - surv;
+                        top.kstamp = round;
+                        self.heap.push(top);
+                        continue;
+                    }
+                    let tie = self
+                        .heap
+                        .peek()
+                        .is_some_and(|next| next.killed == top.killed);
+                    if top.cstamp == round || !tie {
+                        break top.feat;
+                    }
+                    top.cover =
+                        col_count_and(&mut self.store, &self.supporters, posting_col[top.feat])
+                            .map_err(storage_err)? as usize;
+                    top.cstamp = round;
+                    self.heap.push(top);
+                }
+            };
+            picked.push(best_feat);
+            let pcol = posting_col[best_feat];
+            if round == 0 {
+                live_violators =
+                    col_copy_and_not_count(&mut self.store, &mut self.violators, pcol, class_col)
+                        .map_err(storage_err)? as usize;
+                col_copy_and(&mut self.store, &mut self.supporters, pcol, class_col)
+                    .map_err(storage_err)?;
+            } else {
+                live_violators = col_and_assign_count(&mut self.store, &mut self.violators, pcol)
+                    .map_err(storage_err)? as usize;
+                col_and_assign(&mut self.store, &mut self.supporters, pcol).map_err(storage_err)?;
+            }
+        }
+        cce_obs::counter!("cce_explain_keys_total", "algo" => "paged").inc();
+        cce_obs::histogram!("cce_explain_key_length", "algo" => "paged")
+            .record(picked.len() as u64);
+        cce_obs::counter!("cce_explain_violator_scans_total", "algo" => "paged").add(evaluated);
+        cce_obs::counter!("cce_lazy_greedy_skips_total").add(eager_scans - evaluated);
+        let achieved = 1.0 - live_violators as f64 / live as f64;
+        Ok(BudgetedKey {
+            key: RelativeKey::new(picked, alpha, achieved),
+            status: ExplainStatus::Complete,
+        })
+    }
+}

@@ -38,7 +38,7 @@ pub mod wal;
 
 pub use checkpoint::{Checkpoint, Durable, Replayable};
 pub use codec::{crc32, Dec, Enc};
-pub use vfs::{FaultPlan, MemVfs, OpKind, StdVfs, Vfs};
+pub use vfs::{FaultPlan, MemVfs, OpKind, ReadFault, StdVfs, Vfs};
 pub use wal::{WalReader, WalRecord, WalWriter};
 
 use std::fmt;

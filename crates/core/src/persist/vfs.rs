@@ -51,6 +51,27 @@ pub trait Vfs {
     fn remove(&mut self, path: &str) -> Result<(), PersistError>;
     /// Reads the whole file, `None` when it does not exist.
     fn read(&mut self, path: &str) -> Result<Option<Vec<u8>>, PersistError>;
+    /// Reads up to `len` bytes starting at byte `offset`, `None` when the
+    /// file does not exist. A read past EOF is clamped, so the returned
+    /// buffer may be **shorter than `len`** — callers validating framed
+    /// structures must check the length themselves (a short read is how
+    /// truncation surfaces).
+    ///
+    /// The default implementation slices a whole-file [`Vfs::read`];
+    /// backends with random access override it (pread-style) so paged
+    /// readers never materialize the full file.
+    fn read_range(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, PersistError> {
+        Ok(self.read(path)?.map(|b| {
+            let start = usize::try_from(offset).unwrap_or(usize::MAX).min(b.len());
+            let end = start.saturating_add(len).min(b.len());
+            b[start..end].to_vec()
+        }))
+    }
     /// File names (not paths) directly inside `dir`.
     fn list(&mut self, dir: &str) -> Result<Vec<String>, PersistError>;
     /// Ensures `dir` exists and is durable.
@@ -117,6 +138,30 @@ impl Vfs for StdVfs {
         }
     }
 
+    fn read_range(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, PersistError> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut f = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("open-range", path, e)),
+        };
+        f.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err("seek", path, e))?;
+        // `take` clamps at EOF, and `read_to_end` grows the buffer
+        // incrementally, so a corrupt caller-supplied length cannot force
+        // a huge up-front allocation.
+        let mut buf = Vec::new();
+        f.take(len as u64)
+            .read_to_end(&mut buf)
+            .map_err(|e| io_err("read-range", path, e))?;
+        Ok(Some(buf))
+    }
+
     fn list(&mut self, dir: &str) -> Result<Vec<String>, PersistError> {
         let rd = std::fs::read_dir(dir).map_err(|e| io_err("list", dir, e))?;
         let mut names = Vec::new();
@@ -146,6 +191,17 @@ pub enum TailFate {
     Corrupted,
 }
 
+/// How a targeted ranged read misbehaves (see [`FaultPlan::read_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Only a prefix of the requested range is returned — the short read
+    /// a truncated or concurrently-shrunk file produces.
+    Short,
+    /// The full range is returned with one byte flipped in flight — bit
+    /// rot between platter and page cache.
+    Torn,
+}
+
 /// Deterministic fault schedule for a [`MemVfs`].
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -155,6 +211,10 @@ pub struct FaultPlan {
     /// Return an injected error (without killing the process) on the
     /// n-th occurrence (1-based) of the given op kind.
     pub fail_at: Option<(OpKind, u64)>,
+    /// Corrupt the n-th (1-based) **ranged read** in the given way,
+    /// without killing the process. Whole-file reads are unaffected;
+    /// this targets the paged read path specifically.
+    pub read_fault: Option<(ReadFault, u64)>,
 }
 
 impl FaultPlan {
@@ -178,6 +238,14 @@ impl FaultPlan {
             ..Self::default()
         }
     }
+
+    /// A plan that corrupts the `n`-th ranged read in the given way.
+    pub fn fault_read(kind: ReadFault, n: u64) -> Self {
+        Self {
+            read_fault: Some((kind, n)),
+            ..Self::default()
+        }
+    }
 }
 
 #[derive(Debug, Clone, Default)]
@@ -193,6 +261,8 @@ struct MemInner {
     plan: FaultPlan,
     ops: u64,
     per_kind: BTreeMap<&'static str, u64>,
+    /// Ranged reads served so far (drives [`FaultPlan::read_fault`]).
+    ranged_reads: u64,
     crashed: bool,
     /// Cheap deterministic RNG for torn-write prefixes.
     rng: u64,
@@ -427,6 +497,44 @@ impl Vfs for MemVfs {
         Ok(g.files.get(path).map(|f| f.data.clone()))
     }
 
+    fn read_range(
+        &mut self,
+        path: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Option<Vec<u8>>, PersistError> {
+        let mut g = self.lock();
+        if g.crashed {
+            return Err(PersistError::Crashed);
+        }
+        g.ranged_reads += 1;
+        let nth = g.ranged_reads;
+        let fault = match g.plan.read_fault {
+            Some((kind, n)) if n == nth => Some(kind),
+            _ => None,
+        };
+        let Some(f) = g.files.get(path) else {
+            return Ok(None);
+        };
+        let start = usize::try_from(offset)
+            .unwrap_or(usize::MAX)
+            .min(f.data.len());
+        let end = start.saturating_add(len).min(f.data.len());
+        let mut out = f.data[start..end].to_vec();
+        match fault {
+            Some(ReadFault::Short) if !out.is_empty() => {
+                let keep = (g.next_rand() as usize) % out.len();
+                out.truncate(keep);
+            }
+            Some(ReadFault::Torn) if !out.is_empty() => {
+                let at = (g.next_rand() as usize) % out.len();
+                out[at] ^= 0x40;
+            }
+            _ => {}
+        }
+        Ok(Some(out))
+    }
+
     fn list(&mut self, dir: &str) -> Result<Vec<String>, PersistError> {
         let g = self.lock();
         if g.crashed {
@@ -498,6 +606,94 @@ mod tests {
             v.append("x", b"zz").unwrap_err(),
             PersistError::Crashed
         ));
+    }
+
+    #[test]
+    fn read_range_clamps_at_eof() {
+        let mut v = MemVfs::new();
+        v.write("f", b"0123456789").unwrap();
+        assert_eq!(v.read_range("f", 2, 3).unwrap().unwrap(), b"234");
+        assert_eq!(v.read_range("f", 8, 10).unwrap().unwrap(), b"89");
+        assert_eq!(v.read_range("f", 100, 4).unwrap().unwrap(), b"");
+        assert_eq!(v.read_range("missing", 0, 4).unwrap(), None);
+    }
+
+    /// A [`Vfs`] wrapper that hides `MemVfs`'s `read_range` override, so
+    /// the trait's default whole-file-slice fallback is what runs.
+    struct DefaultRange(MemVfs);
+
+    impl Vfs for DefaultRange {
+        fn append(&mut self, p: &str, b: &[u8]) -> Result<(), PersistError> {
+            self.0.append(p, b)
+        }
+        fn write(&mut self, p: &str, b: &[u8]) -> Result<(), PersistError> {
+            self.0.write(p, b)
+        }
+        fn sync_file(&mut self, p: &str) -> Result<(), PersistError> {
+            self.0.sync_file(p)
+        }
+        fn rename(&mut self, f: &str, t: &str) -> Result<(), PersistError> {
+            self.0.rename(f, t)
+        }
+        fn remove(&mut self, p: &str) -> Result<(), PersistError> {
+            self.0.remove(p)
+        }
+        fn read(&mut self, p: &str) -> Result<Option<Vec<u8>>, PersistError> {
+            self.0.read(p)
+        }
+        fn list(&mut self, d: &str) -> Result<Vec<String>, PersistError> {
+            self.0.list(d)
+        }
+        fn create_dir_all(&mut self, d: &str) -> Result<(), PersistError> {
+            self.0.create_dir_all(d)
+        }
+    }
+
+    #[test]
+    fn default_read_range_fallback_slices_whole_file() {
+        let mut v = DefaultRange(MemVfs::new());
+        v.0.write("f", b"abcdef").unwrap();
+        assert_eq!(v.read_range("f", 1, 3).unwrap().unwrap(), b"bcd");
+        assert_eq!(v.read_range("f", 4, 99).unwrap().unwrap(), b"ef");
+        assert_eq!(v.read_range("gone", 0, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn std_vfs_read_range_is_pread_style() {
+        let dir = std::env::temp_dir().join(format!("cce-vfs-range-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ranged.bin");
+        let path = path.to_str().unwrap().to_string();
+        let mut v = StdVfs;
+        v.write(&path, b"hello world").unwrap();
+        assert_eq!(v.read_range(&path, 6, 5).unwrap().unwrap(), b"world");
+        assert_eq!(v.read_range(&path, 6, 50).unwrap().unwrap(), b"world");
+        assert_eq!(v.read_range(&path, 50, 5).unwrap().unwrap(), b"");
+        assert_eq!(v.read_range("/nonexistent/x", 0, 1).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ranged_read_faults_hit_only_their_target() {
+        // Short read on the 2nd ranged read only.
+        let mut v = MemVfs::with_plan(FaultPlan::fault_read(ReadFault::Short, 2), 11);
+        v.write("f", b"0123456789").unwrap();
+        assert_eq!(v.read_range("f", 0, 10).unwrap().unwrap(), b"0123456789");
+        let short = v.read_range("f", 0, 10).unwrap().unwrap();
+        assert!(short.len() < 10, "2nd ranged read must be short");
+        assert_eq!(
+            &short[..],
+            &b"0123456789"[..short.len()],
+            "a short read is a strict prefix"
+        );
+        assert_eq!(v.read_range("f", 0, 10).unwrap().unwrap(), b"0123456789");
+        // Whole-file reads never trip the ranged-read fault.
+        let mut v = MemVfs::with_plan(FaultPlan::fault_read(ReadFault::Torn, 1), 5);
+        v.write("f", b"abc").unwrap();
+        assert_eq!(v.read("f").unwrap().unwrap(), b"abc");
+        let torn = v.read_range("f", 0, 3).unwrap().unwrap();
+        assert_eq!(torn.len(), 3, "a torn read keeps its length");
+        assert_ne!(torn, b"abc", "exactly one byte flipped");
     }
 
     #[test]

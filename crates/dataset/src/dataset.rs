@@ -67,6 +67,11 @@ impl Dataset {
         self
     }
 
+    /// Label display names, indexed by label code (may be empty).
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
     /// Dataset name.
     pub fn name(&self) -> &str {
         &self.name

@@ -27,6 +27,7 @@ use crate::batcher::{Batcher, Submission};
 use crate::http::{Request, Response};
 use crate::ingest::{IngestError, IngestState};
 use crate::json::{escape, int_array, Json};
+use crate::store::PagedBackend;
 
 /// Sliding bound on the live ingest context: once the engine holds more
 /// than `capacity` rows, every `delta` further arrivals evict the
@@ -48,6 +49,10 @@ pub struct App<V: Vfs> {
     /// Arrivals past capacity awaiting the next ΔI slide; mutated only
     /// under the ingest lock (the WAL serializes arrivals anyway).
     staged: AtomicUsize,
+    /// Disk-backed explain backend (`cce serve --store`). When present,
+    /// `/explain` targets address the store's rows through the page
+    /// cache instead of the in-RAM batch engine.
+    paged: Option<PagedBackend<V>>,
     draining: AtomicBool,
 }
 
@@ -60,8 +65,22 @@ impl<V: Vfs> App<V> {
             ingest: Mutex::new(ingest),
             window,
             staged: AtomicUsize::new(0),
+            paged: None,
             draining: AtomicBool::new(false),
         }
+    }
+
+    /// Attaches a disk-backed explain backend: `/explain` routes through
+    /// the paged index, and `/healthz` reports its page-cache stats.
+    #[must_use]
+    pub fn with_paged(mut self, backend: PagedBackend<V>) -> Self {
+        self.paged = Some(backend);
+        self
+    }
+
+    /// The disk-backed backend, when serving from a store.
+    pub fn paged(&self) -> Option<&PagedBackend<V>> {
+        self.paged.as_ref()
     }
 
     /// The coalescing queue (the server spawns its run loop).
@@ -125,6 +144,22 @@ impl<V: Vfs> App<V> {
             return Response::error_json(400, "body must carry a non-negative integer \"target\"");
         };
         let target = target as usize;
+        // Disk-backed serving: answer from the store, bypassing the
+        // coalescing batcher (its memoization keys on live-context rows,
+        // not store rows). Drain semantics match the batcher's Closed.
+        if let Some(paged) = &self.paged {
+            if self.draining() {
+                return Response::error_json(503, "server is draining");
+            }
+            let alpha = self
+                .batcher
+                .engine()
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .alpha();
+            let result = paged.explain(target, alpha);
+            return explain_response(target, alpha, &result);
+        }
         match self.batcher.submit(target) {
             Submission::Shed => Response::json(
                 429,
@@ -281,10 +316,28 @@ impl<V: Vfs> App<V> {
             .read()
             .unwrap_or_else(|e| e.into_inner());
         let m = self.with_ingest(|i| (i.monitor().n_seen(), i.is_durable()));
+        // When disk-backed, surface the page cache so operators can see
+        // residency and hit rate without scraping /metrics.
+        let pagestore = match &self.paged {
+            Some(p) => {
+                let s = p.stats();
+                format!(
+                    ",\"pagestore\":{{\"store_rows\":{},\"resident_bytes\":{},\"budget_bytes\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{}}}",
+                    p.rows(),
+                    s.resident_bytes,
+                    s.budget_bytes,
+                    s.hits,
+                    s.misses,
+                    s.evictions,
+                    s.hit_rate(),
+                )
+            }
+            None => String::new(),
+        };
         Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"version\":{},\"tombstones\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}}}",
+                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"version\":{},\"tombstones\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}{pagestore}}}",
                 engine.len(),
                 engine.schema().n_features(),
                 engine.alpha().get(),
@@ -389,6 +442,9 @@ pub fn explain_response(
             let status = match e {
                 ExplainError::TargetOutOfRange { .. } | ExplainError::EmptyContext => 400,
                 ExplainError::NoConformantKey { .. } => 409,
+                // A page that failed to fault is a server-side fault, not
+                // a bad request.
+                ExplainError::Storage { .. } => 500,
                 _ => 422,
             };
             Response::json(

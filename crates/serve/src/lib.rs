@@ -34,18 +34,20 @@ pub mod http;
 pub mod ingest;
 pub mod json;
 pub mod server;
+pub mod store;
 
 pub use admission::{Admission, AdmissionConfig, Level};
 pub use app::{explain_response, App, LiveWindow};
 pub use batcher::{Batcher, BatcherConfig, Submission};
 pub use ingest::{IngestAck, IngestError, IngestState, MonitorBackend};
 pub use server::{Server, ServerConfig};
+pub use store::PagedBackend;
 
 use std::sync::{Arc, RwLock};
 
 use cce_core::engine::EngineConfig;
 use cce_core::persist::Vfs;
-use cce_core::{Alpha, BatchEngine, Context};
+use cce_core::{Alpha, BatchEngine, Context, PagedContextIndex};
 
 /// Assembles an [`App`] from its parts: engine over `ctx`, coalescing
 /// batcher, and an ingest state over `backend`. The CLI, the tests, and
@@ -88,4 +90,30 @@ pub fn build_app_with<V: Vfs>(
     )));
     let batcher = Arc::new(Batcher::new(engine, batcher_cfg, admission_cfg));
     Arc::new(App::new(batcher, IngestState::new(backend, width), window))
+}
+
+/// [`build_app_with`] plus a disk-backed explain backend: `/explain`
+/// answers from the paged store (through the LRU page cache) while
+/// ingest/monitor still run over the live `ctx`. The store and the
+/// monitor share one [`Vfs`] type, so fault injection covers both.
+#[allow(clippy::too_many_arguments)]
+pub fn build_app_paged<V: Vfs>(
+    ctx: Context,
+    alpha: Alpha,
+    engine_cfg: EngineConfig,
+    batcher_cfg: BatcherConfig,
+    admission_cfg: AdmissionConfig,
+    backend: MonitorBackend<V>,
+    window: Option<LiveWindow>,
+    paged: PagedContextIndex<V>,
+) -> Arc<App<V>> {
+    let width = ctx.schema().n_features();
+    let engine = Arc::new(RwLock::new(BatchEngine::with_config(
+        ctx, alpha, engine_cfg,
+    )));
+    let batcher = Arc::new(Batcher::new(engine, batcher_cfg, admission_cfg));
+    Arc::new(
+        App::new(batcher, IngestState::new(backend, width), window)
+            .with_paged(PagedBackend::new(paged)),
+    )
 }

@@ -1,0 +1,61 @@
+//! Disk-backed explanation serving: routes `/explain` through a
+//! [`PagedContextIndex`] instead of the in-RAM batch engine.
+//!
+//! When the daemon is started over a converted store (`cce serve
+//! --store`), explain targets address the store's rows; bitset pages
+//! fault in through the LRU cache on demand, so the daemon's resident
+//! footprint is the cache budget plus two scratch bitsets — not the
+//! full posting index. The coalescing batcher still exists (it owns the
+//! live ingest context and the serving α), but `/explain` bypasses it:
+//! paged explains are answered one at a time under the store lock,
+//! which also serializes cache mutation.
+//!
+//! `/healthz` gains a `pagestore` object (resident bytes, hit rate,
+//! eviction count) so operators can watch the cache breathe; the same
+//! counters are exported process-wide as `cce_pagestore_*`.
+
+use std::sync::Mutex;
+
+use cce_core::pagestore::CacheStats;
+use cce_core::persist::Vfs;
+use cce_core::{Alpha, BudgetedKey, ExplainError, PagedContextIndex, WorkBudget};
+
+/// The disk-backed explain backend: an opened paged index behind a
+/// lock (explains mutate the page cache).
+pub struct PagedBackend<V: Vfs> {
+    index: Mutex<PagedContextIndex<V>>,
+}
+
+impl<V: Vfs> PagedBackend<V> {
+    /// Wraps an opened paged index.
+    pub fn new(index: PagedContextIndex<V>) -> Self {
+        Self {
+            index: Mutex::new(index),
+        }
+    }
+
+    /// Explains store row `target` with an unlimited work budget.
+    ///
+    /// # Errors
+    /// The paged explain's failure modes, including
+    /// [`ExplainError::Storage`] when a page cannot be faulted.
+    pub fn explain(&self, target: usize, alpha: Alpha) -> Result<BudgetedKey, ExplainError> {
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .explain_row_budgeted(target, alpha, WorkBudget::unlimited())
+    }
+
+    /// Rows in the backing store.
+    pub fn rows(&self) -> usize {
+        self.index.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Point-in-time page-cache statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cache_stats()
+    }
+}

@@ -591,3 +591,115 @@ fn kill_during_ingest_preserves_every_acked_arrival() {
         "fault plan must actually fire in most cases (fired {crashed_cases})"
     );
 }
+
+/// Disk-backed serving: `/explain` answers from a converted store via
+/// the page cache, byte-identical to per-request in-RAM explains
+/// rendered through the same `explain_response`; `/healthz` surfaces
+/// the page-cache counters; and a page that fails its CRC at fault
+/// time surfaces as a `500`, never a wrong key.
+#[test]
+fn store_backed_serving_matches_ram_and_reports_cache() {
+    let ctx = loan_ctx(200);
+    let alpha = Alpha::new(ALPHA).unwrap();
+    let mut vfs = MemVfs::new();
+    cce_core::pagestore::write_store(&mut vfs, "loan.pg", &ctx, 4096, &[]).expect("convert");
+    let paged =
+        cce_core::PagedContextIndex::open(vfs.clone(), "loan.pg", 1 << 22).expect("open store");
+    // The live ingest context starts empty over the store's schema —
+    // exactly what `cce serve --store` builds.
+    let empty = Context::new(Arc::new(ctx.schema().clone()), Vec::new(), Vec::new());
+    let backend = MonitorBackend::Plain(monitor_for(&ctx, alpha));
+    let app = cce_serve::build_app_paged(
+        empty,
+        alpha,
+        cce_core::engine::EngineConfig::default(),
+        BatcherConfig::default(),
+        AdmissionConfig::default(),
+        backend,
+        None,
+        paged,
+    );
+    let daemon = start(app);
+
+    let srk = Srk::new(alpha);
+    for target in [0usize, 7, 42, 111, 199] {
+        let (status, body) = roundtrip(
+            daemon.addr,
+            "POST",
+            "/explain",
+            &format!("{{\"target\":{target}}}"),
+        );
+        let want = explain_response(
+            target,
+            alpha,
+            &srk.explain_budgeted(&ctx, target, WorkBudget::unlimited()),
+        );
+        assert_eq!(status, want.status, "target {target}: {body}");
+        assert_eq!(
+            body,
+            String::from_utf8(want.body).unwrap(),
+            "target {target}"
+        );
+    }
+
+    // Out-of-range targets address the *store*, not the (empty) live
+    // context, and map to 400.
+    let (status, body) = roundtrip(daemon.addr, "POST", "/explain", "{\"target\":100000}");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, health) = roundtrip(daemon.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"pagestore\""), "healthz: {health}");
+    assert!(health.contains("\"store_rows\":200"), "healthz: {health}");
+    assert!(
+        !health.contains("\"misses\":0"),
+        "explains must have faulted pages: {health}"
+    );
+
+    daemon.stop();
+}
+
+/// Corrupt every page payload *after* the store was opened (MemVfs
+/// clones share state, modeling on-disk rot under a running daemon):
+/// the CRC catches the first fault and the request maps to `500`.
+#[test]
+fn store_page_rot_surfaces_as_500_not_wrong_bits() {
+    let ctx = loan_ctx(120);
+    let alpha = Alpha::new(ALPHA).unwrap();
+    let mut vfs = MemVfs::new();
+    cce_core::pagestore::write_store(&mut vfs, "loan.pg", &ctx, 4096, &[]).expect("convert");
+    let paged =
+        cce_core::PagedContextIndex::open(vfs.clone(), "loan.pg", 1 << 22).expect("open store");
+
+    // Flip the first payload byte of every page frame; header and
+    // footer stay intact so only fault-time CRCs can object.
+    let mut bytes = vfs.read("loan.pg").expect("read").expect("exists");
+    let footer_offset = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let mut off = 24;
+    while off < footer_offset {
+        bytes[off] ^= 0xFF;
+        off += 4096 + 4;
+    }
+    vfs.write("loan.pg", &bytes).expect("rot the shared file");
+
+    let empty = Context::new(Arc::new(ctx.schema().clone()), Vec::new(), Vec::new());
+    let backend = MonitorBackend::Plain(monitor_for(&ctx, alpha));
+    let app = cce_serve::build_app_paged(
+        empty,
+        alpha,
+        cce_core::engine::EngineConfig::default(),
+        BatcherConfig::default(),
+        AdmissionConfig::default(),
+        backend,
+        None,
+        paged,
+    );
+    let daemon = start(app);
+    let (status, body) = roundtrip(daemon.addr, "POST", "/explain", "{\"target\":5}");
+    assert_eq!(status, 500, "rotted page must 500: {body}");
+    assert!(
+        body.contains("store failure"),
+        "error names the layer: {body}"
+    );
+    daemon.stop();
+}
