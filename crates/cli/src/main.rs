@@ -60,7 +60,12 @@ const USAGE: &str = "usage:
                  [--max-conns N] [--keepalive-ms MS]
                  [--kernels auto|scalar|avx2|neon] [--stripe-threads T] [--stripe-words W]
                  [--window ROWS [--window-delta D]]  slide the live ingest context by ΔI=D
+                 [--shards N [--shard-deadline-ms MS] [--shard-retries R]
+                  [--shard-backoff-ms MS] [--shard-hedge-ms MS] [--chaos]]
                  --store serves explains out-of-core from a converted store (no CSV load)
+                 --shards partitions rows across N supervised worker processes
+  cce shard-worker --data <file.csv> --shard-index I --shards N [--addr HOST:PORT]
+                 (spawned by `cce serve --shards`; rarely run by hand)
   (any subcommand) [--metrics <file.jsonl|file.prom>]  dump metrics on exit";
 
 /// The flags each subcommand accepts (`None` → unknown subcommand).
@@ -107,6 +112,20 @@ fn allowed_flags(cmd: &str) -> Option<&'static [&'static str]> {
             "window-delta",
             "store",
             "cache-mb",
+            "shards",
+            "shard-deadline-ms",
+            "shard-retries",
+            "shard-backoff-ms",
+            "shard-hedge-ms",
+            "chaos",
+            "metrics",
+        ],
+        "shard-worker" => &[
+            "data",
+            "shard-index",
+            "shards",
+            "addr",
+            "no-stdin-watch",
             "metrics",
         ],
         _ => return None,
@@ -127,6 +146,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "importance" => importance_cmd(&args),
         "monitor" => monitor(&args),
         "serve" => serve(&args),
+        "shard-worker" => shard_worker(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     // Dump metrics even on failure: the error path is exactly where the
@@ -476,11 +496,44 @@ fn monitor(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `cce shard-worker`: the worker-process body behind `cce serve
+/// --shards` — loads its hash partition of the data and serves the shard
+/// wire protocol until its supervisor exits.
+fn shard_worker(args: &Args) -> Result<(), String> {
+    let cfg = cce_serve::shard::worker::WorkerConfig {
+        data: args.required("data")?,
+        shard_index: args.int("shard-index")?.ok_or("missing --shard-index")? as usize,
+        shards: args.int("shards")?.ok_or("missing --shards")? as usize,
+        addr: args
+            .optional("addr")
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        watch_stdin: !args.flag("no-stdin-watch"),
+    };
+    cce_serve::shard::worker::run(&cfg).map_err(|e| e.to_string())
+}
+
 fn serve(args: &Args) -> Result<(), String> {
     use cce_serve::{AdmissionConfig, BatcherConfig, MonitorBackend, Server, ServerConfig};
     use std::time::Duration;
 
     let alpha = alpha_of(args)?;
+    // Sharded mode partitions rows across worker processes; it owns the
+    // whole explain path, so the single-process backends are excluded.
+    let shards = match args.int("shards")? {
+        Some(n) if n >= 1 => Some(n as usize),
+        Some(n) => return Err(format!("--shards must be at least 1, got {n}")),
+        None => None,
+    };
+    if shards.is_some() {
+        if args.optional("store").is_some() {
+            return Err("--shards and --store are mutually exclusive".into());
+        }
+        if args.int("window")?.is_some() {
+            return Err(
+                "--window is not supported with --shards (worker partitions never evict)".into(),
+            );
+        }
+    }
     // Disk-backed mode: `/explain` answers from the converted store via
     // the page cache; the live ingest context starts empty over the
     // store's schema and fills from `/monitor/ingest`.
@@ -608,26 +661,79 @@ fn serve(args: &Args) -> Result<(), String> {
         MonitorBackend::Plain(OsrkMonitor::new(seed_x.clone(), seed_pred, alpha, seed))
     };
 
-    let app = match paged {
-        Some(p) => cce_serve::build_app_paged(
-            ctx,
+    let app = if let Some(n_shards) = shards {
+        use cce_serve::shard::router::IngestLog;
+        use cce_serve::shard::{
+            spawn_shards, ShardClient, ShardPolicy, ShardedBackend, WorkerSpec,
+        };
+        use std::sync::Arc;
+
+        let data = args.required("data")?;
+        let mut policy = ShardPolicy::default();
+        if let Some(v) = args.int("shard-deadline-ms")? {
+            policy.deadline = Duration::from_millis(v.max(1) as u64);
+        }
+        if let Some(v) = args.int("shard-retries")? {
+            policy.retries = v.max(0) as u32;
+        }
+        if let Some(v) = args.int("shard-backoff-ms")? {
+            policy.backoff = Duration::from_millis(v.max(0) as u64);
+        }
+        if let Some(v) = args.int("shard-hedge-ms")? {
+            policy.hedge_after = match v.max(0) {
+                0 => None,
+                ms => Some(Duration::from_millis(ms as u64)),
+            };
+        }
+        let clients: Vec<Arc<ShardClient>> = (0..n_shards)
+            .map(|i| Arc::new(ShardClient::down(i, policy)))
+            .collect();
+        let log = Arc::new(IngestLog::new());
+        let exe = std::env::current_exe().map_err(|e| format!("locating cce binary: {e}"))?;
+        let spec = WorkerSpec {
+            program: exe,
+            args_prefix: vec!["shard-worker".to_string()],
+            data: data.clone(),
+            shards: n_shards,
+        };
+        let handle = spawn_shards(spec, clients.clone(), Arc::clone(&log))
+            .map_err(|e| format!("spawning shard workers: {e}"))?;
+        let sharded = Arc::new(ShardedBackend::new(
             alpha,
-            engine_cfg,
-            batcher_cfg,
-            admission_cfg,
-            backend,
-            window,
-            p,
-        ),
-        None => cce_serve::build_app_with(
-            ctx,
-            alpha,
-            engine_cfg,
-            batcher_cfg,
-            admission_cfg,
-            backend,
-            window,
-        ),
+            ctx.schema().n_features(),
+            clients,
+            ctx.len() as u64,
+            log,
+            args.flag("chaos"),
+        ));
+        sharded.set_supervisor(handle);
+        println!("shards: {n_shards} workers up over {} rows", ctx.len());
+        // The local engine only carries the schema (ingest validation,
+        // health); all rows live with the workers.
+        let empty = Context::new(ctx.schema_arc(), Vec::new(), Vec::new());
+        cce_serve::build_app_sharded(empty, alpha, batcher_cfg, admission_cfg, backend, sharded)
+    } else {
+        match paged {
+            Some(p) => cce_serve::build_app_paged(
+                ctx,
+                alpha,
+                engine_cfg,
+                batcher_cfg,
+                admission_cfg,
+                backend,
+                window,
+                p,
+            ),
+            None => cce_serve::build_app_with(
+                ctx,
+                alpha,
+                engine_cfg,
+                batcher_cfg,
+                admission_cfg,
+                backend,
+                window,
+            ),
+        }
     };
     let server =
         Server::bind(app, &addr, server_cfg).map_err(|e| format!("binding {addr}: {e}"))?;

@@ -23,10 +23,13 @@ use cce_core::persist::Vfs;
 use cce_core::{Alpha, BudgetedKey, ExplainError, ExplainStatus};
 use cce_dataset::{Instance, Label};
 
+use crate::admission::Level;
 use crate::batcher::{Batcher, Submission};
 use crate::http::{Request, Response};
 use crate::ingest::{IngestError, IngestState};
 use crate::json::{escape, int_array, Json};
+use crate::shard::router::ShardedAnswer;
+use crate::shard::ShardedBackend;
 use crate::store::PagedBackend;
 
 /// Sliding bound on the live ingest context: once the engine holds more
@@ -53,6 +56,10 @@ pub struct App<V: Vfs> {
     /// `/explain` targets address the store's rows through the page
     /// cache instead of the in-RAM batch engine.
     paged: Option<PagedBackend<V>>,
+    /// Sharded scatter/gather backend (`cce serve --shards N`). When
+    /// present, `/explain` and live-context ingest route to the shard
+    /// workers instead of the in-RAM batch engine.
+    sharded: Option<Arc<ShardedBackend>>,
     draining: AtomicBool,
 }
 
@@ -66,6 +73,7 @@ impl<V: Vfs> App<V> {
             window,
             staged: AtomicUsize::new(0),
             paged: None,
+            sharded: None,
             draining: AtomicBool::new(false),
         }
     }
@@ -81,6 +89,28 @@ impl<V: Vfs> App<V> {
     /// The disk-backed backend, when serving from a store.
     pub fn paged(&self) -> Option<&PagedBackend<V>> {
         self.paged.as_ref()
+    }
+
+    /// Attaches the sharded scatter/gather backend: `/explain` routes
+    /// through the shard router, ingest forwards to owner shards, and
+    /// `/healthz` reports shard liveness.
+    #[must_use]
+    pub fn with_sharded(mut self, backend: Arc<ShardedBackend>) -> Self {
+        self.sharded = Some(backend);
+        self
+    }
+
+    /// The sharded backend, when serving sharded.
+    pub fn sharded(&self) -> Option<&Arc<ShardedBackend>> {
+        self.sharded.as_ref()
+    }
+
+    /// Stops the shard supervisor and workers (drain path). No-op when
+    /// not sharded; idempotent.
+    pub fn stop_shards(&self) {
+        if let Some(s) = &self.sharded {
+            s.stop();
+        }
     }
 
     /// The coalescing queue (the server spawns its run loop).
@@ -126,9 +156,16 @@ impl<V: Vfs> App<V> {
             ("GET", "/metrics") => ("metrics", metrics_response()),
             ("GET", "/healthz") => ("healthz", self.healthz()),
             ("POST", "/admin/shutdown") => ("shutdown", self.shutdown()),
-            (_, "/explain" | "/monitor/ingest" | "/metrics" | "/healthz" | "/admin/shutdown") => {
-                ("method", Response::error_json(405, "method not allowed"))
-            }
+            ("POST", "/admin/chaos/kill-shard") => ("chaos", self.chaos_kill()),
+            (
+                _,
+                "/explain"
+                | "/monitor/ingest"
+                | "/metrics"
+                | "/healthz"
+                | "/admin/shutdown"
+                | "/admin/chaos/kill-shard",
+            ) => ("method", Response::error_json(405, "method not allowed")),
             _ => ("unknown", Response::error_json(404, "no such route")),
         };
         observe_request(endpoint, resp.status, t0);
@@ -144,6 +181,46 @@ impl<V: Vfs> App<V> {
             return Response::error_json(400, "body must carry a non-negative integer \"target\"");
         };
         let target = target as usize;
+        // Sharded serving: the router runs the greedy loop itself via
+        // scatter/gather, bypassing the batcher. Admission observes the
+        // scatter concurrency instead of a queue depth, reusing the same
+        // Normal→Degraded→Shedding machine and budgets.
+        if let Some(sharded) = &self.sharded {
+            if self.draining() {
+                return Response::error_json(503, "server is draining");
+            }
+            let admission = self.batcher.admission();
+            if admission.observe(sharded.inflight()) == Level::Shedding {
+                return Response::json(
+                    429,
+                    "{\"status\":\"shed\",\"error\":\"server overloaded, retry later\"}"
+                        .to_string(),
+                )
+                .with_header("Retry-After", "1".to_string());
+            }
+            let alpha = sharded.alpha();
+            return match sharded.explain(target as u64, admission.budget()) {
+                ShardedAnswer::Done {
+                    result,
+                    missing_shards,
+                } => {
+                    let resp = explain_response(target, alpha, &result);
+                    if missing_shards.is_empty() {
+                        resp
+                    } else {
+                        mark_partial(resp, &missing_shards)
+                    }
+                }
+                ShardedAnswer::Unavailable { missing_shards } => Response::json(
+                    503,
+                    format!(
+                        "{{\"status\":\"unavailable\",\"error\":\"target row's shard is down, retry shortly\",\"missing_shards\":{}}}",
+                        int_array(missing_shards),
+                    ),
+                )
+                .with_header("Retry-After", "1".to_string()),
+            };
+        }
         // Disk-backed serving: answer from the store, bypassing the
         // coalescing batcher (its memoization keys on live-context rows,
         // not store rows). Drain semantics match the batcher's Closed.
@@ -255,7 +332,15 @@ impl<V: Vfs> App<V> {
                 // it to the live explanation context as an insert delta,
                 // sliding in ΔI granules when a window bound is set. Held
                 // under the ingest lock so the staged counter is exact.
-                let context_rows = self.push_live(x, pred);
+                // Sharded: the row goes to its owner worker (and the
+                // replay log) instead of the local engine.
+                let context_rows = match &self.sharded {
+                    Some(s) => {
+                        let codes: Vec<u32> = (0..x.len()).map(|f| x[f]).collect();
+                        s.push(codes, pred.0).1 as usize
+                    }
+                    None => self.push_live(x, pred),
+                };
                 Response::json(
                     200,
                     format!(
@@ -334,11 +419,24 @@ impl<V: Vfs> App<V> {
             }
             None => String::new(),
         };
+        // Sharded: the authoritative row count lives with the router, and
+        // operators need shard liveness at a glance.
+        let (rows, shards) = match &self.sharded {
+            Some(s) => (
+                s.total_rows() as usize,
+                format!(
+                    ",\"shards\":{{\"total\":{},\"up\":{}}}",
+                    s.n_shards(),
+                    s.shards_up(),
+                ),
+            ),
+            None => (engine.len(), String::new()),
+        };
         Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"version\":{},\"tombstones\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}{pagestore}}}",
-                engine.len(),
+                "{{\"status\":\"ok\",\"rows\":{},\"features\":{},\"alpha\":{},\"version\":{},\"tombstones\":{},\"queue_depth\":{},\"ingested\":{},\"durable\":{},\"draining\":{}{shards}{pagestore}}}",
+                rows,
                 engine.schema().n_features(),
                 engine.alpha().get(),
                 engine.version(),
@@ -355,6 +453,46 @@ impl<V: Vfs> App<V> {
         self.begin_drain();
         Response::json(200, "{\"status\":\"draining\"}".to_string())
     }
+
+    /// Chaos hook: kills one random live shard worker. Only honored when
+    /// the daemon was started with chaos testing enabled (`--chaos`).
+    fn chaos_kill(&self) -> Response {
+        match &self.sharded {
+            Some(s) if s.chaos_enabled() => {
+                if s.kill_random_shard() {
+                    Response::json(200, "{\"status\":\"killed\"}".to_string())
+                } else {
+                    Response::error_json(503, "shard supervisor unavailable")
+                }
+            }
+            Some(_) => Response::error_json(403, "chaos endpoints disabled"),
+            None => Response::error_json(404, "not serving sharded"),
+        }
+    }
+}
+
+/// Stamps a sharded response as explicitly partial: injects the
+/// `"degraded":{"missing_shards":[...]}` field right after the leading
+/// `{` and converts `200` into `206 Partial Content`. Error statuses
+/// keep their code but still carry the field, so a caller can always
+/// tell a full-context answer from a degraded one.
+fn mark_partial(mut resp: Response, missing: &[usize]) -> Response {
+    cce_obs::counter!("cce_serve_partial_responses_total").inc();
+    let field = format!(
+        "\"degraded\":{{\"missing_shards\":{}}},",
+        int_array(missing.iter().copied()),
+    );
+    if resp.body.first() == Some(&b'{') {
+        let mut body = Vec::with_capacity(resp.body.len() + field.len());
+        body.push(b'{');
+        body.extend_from_slice(field.as_bytes());
+        body.extend_from_slice(&resp.body[1..]);
+        resp.body = body;
+    }
+    if resp.status == 200 {
+        resp.status = 206;
+    }
+    resp
 }
 
 /// Strips the query string: routing ignores it.

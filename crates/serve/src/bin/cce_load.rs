@@ -26,7 +26,7 @@
 use std::io::{self, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -49,7 +49,14 @@ struct StatusCounts {
     s409: AtomicU64,
     s429: AtomicU64,
     s4xx: AtomicU64,
+    s503: AtomicU64,
     s5xx: AtomicU64,
+    /// Requests that never produced a response within `--timeout`, even
+    /// after `--retries` fresh-connection attempts. Kept apart from
+    /// `s5xx`: a timeout is a *client-side* verdict about latency, not a
+    /// server protocol answer, and conflating the two made every slow
+    /// run read as a server-error run.
+    timeouts: AtomicU64,
 }
 
 impl StatusCounts {
@@ -59,10 +66,106 @@ impl StatusCounts {
             409 => &self.s409,
             429 => &self.s429,
             400..=499 => &self.s4xx,
+            // 503 is the sharded router's explicit "target's shard is
+            // down, retry shortly" answer — expected under chaos,
+            // a capacity failure otherwise. Its own bucket lets the
+            // exit policy tell those cases apart.
+            503 => &self.s503,
             _ => &self.s5xx,
         };
         slot.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Client-side retry policy: per-request read timeout, retry budget, and
+/// exponential backoff with **full jitter** (uniform in
+/// `[0, backoff·2^attempt]`) so retried requests from many connections
+/// don't re-synchronize into waves against a recovering server.
+#[derive(Clone, Copy)]
+struct RetryPolicy {
+    timeout: Duration,
+    retries: u32,
+    backoff: Duration,
+}
+
+fn full_jitter(base: Duration, attempt: u32) -> Duration {
+    static SALT: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    let mut z = SALT
+        .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+        .wrapping_add(u64::from(std::process::id()));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let cap = base.saturating_mul(1u32 << attempt.min(16));
+    if cap.is_zero() {
+        return cap;
+    }
+    Duration::from_nanos(z % u64::try_from(cap.as_nanos()).unwrap_or(u64::MAX).max(1))
+}
+
+/// A lazily (re)established keep-alive connection. Any I/O failure
+/// tears it down: a stream that timed out mid-response has unknowable
+/// framing state and must never be reused.
+struct Conn {
+    addr: String,
+    timeout: Duration,
+    inner: Option<(TcpStream, BufReader<TcpStream>)>,
+}
+
+impl Conn {
+    fn new(addr: &str, timeout: Duration) -> Self {
+        Self {
+            addr: addr.to_string(),
+            timeout,
+            inner: None,
+        }
+    }
+
+    fn try_explain(&mut self, target: u64) -> io::Result<u16> {
+        let addr = self.addr.clone();
+        if self.inner.is_none() {
+            let (stream, reader) = connect(&addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            self.inner = Some((stream, reader));
+        }
+        let (stream, reader) = self.inner.as_mut().expect("just established");
+        let r = explain_once(stream, reader, &addr, target);
+        if r.is_err() {
+            self.inner = None;
+        }
+        r
+    }
+}
+
+/// One logical request under the retry policy. `Ok(Some(status))` is a
+/// server answer; `Ok(None)` means every attempt timed out (each one
+/// already tallied in `counts.timeouts`); `Err` is a non-timeout
+/// transport failure that survived the whole retry budget.
+fn explain_retrying(
+    conn: &mut Conn,
+    target: u64,
+    policy: RetryPolicy,
+    counts: &StatusCounts,
+) -> io::Result<Option<u16>> {
+    for attempt in 0..=policy.retries {
+        match conn.try_explain(target) {
+            Ok(status) => return Ok(Some(status)),
+            Err(e) => {
+                let timed_out = matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                );
+                if timed_out {
+                    counts.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                if attempt == policy.retries {
+                    return if timed_out { Ok(None) } else { Err(e) };
+                }
+                std::thread::sleep(full_jitter(policy.backoff, attempt));
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt")
 }
 
 /// One measured load point, as it lands in `BENCH_serve.json`.
@@ -81,7 +184,9 @@ struct PointReport {
     s409: u64,
     s429: u64,
     s4xx: u64,
+    s503: u64,
     s5xx: u64,
+    timeouts: u64,
 }
 
 fn post(stream: &mut TcpStream, addr: &str, path: &str, body: &str) -> io::Result<()> {
@@ -140,7 +245,13 @@ fn fetch_rows(addr: &str) -> io::Result<u64> {
 
 /// Closed loop: `conns` connections, each sending `per_conn` requests
 /// back to back. Returns the report for this point.
-fn run_closed(addr: &str, rows: u64, conns: usize, per_conn: u64) -> io::Result<PointReport> {
+fn run_closed(
+    addr: &str,
+    rows: u64,
+    conns: usize,
+    per_conn: u64,
+    policy: RetryPolicy,
+) -> io::Result<PointReport> {
     let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let counts = StatusCounts::default();
     let issued = AtomicU64::new(0);
@@ -150,7 +261,7 @@ fn run_closed(addr: &str, rows: u64, conns: usize, per_conn: u64) -> io::Result<
         for c in 0..conns {
             let (samples, counts, issued) = (&samples, &counts, &issued);
             handles.push(s.spawn(move || -> io::Result<()> {
-                let (mut stream, mut reader) = connect(addr)?;
+                let mut conn = Conn::new(addr, policy.timeout);
                 // Batch into a local buffer; one lock per connection.
                 let mut local = Vec::with_capacity(per_conn as usize);
                 for i in 0..per_conn {
@@ -158,10 +269,11 @@ fn run_closed(addr: &str, rows: u64, conns: usize, per_conn: u64) -> io::Result<
                     // exercise cross-request memoization.
                     let target = (c as u64 * 131 + i * 7) % rows;
                     let r0 = Instant::now();
-                    let status = explain_once(&mut stream, &mut reader, addr, target)?;
-                    local.push(r0.elapsed().as_nanos() as u64);
-                    counts.record(status);
-                    issued.fetch_add(1, Ordering::Relaxed);
+                    if let Some(status) = explain_retrying(&mut conn, target, policy, counts)? {
+                        local.push(r0.elapsed().as_nanos() as u64);
+                        counts.record(status);
+                        issued.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
                 samples.lock().unwrap().extend(local);
                 Ok(())
@@ -192,6 +304,7 @@ fn run_open(
     rate: f64,
     total: u64,
     workers: usize,
+    policy: RetryPolicy,
 ) -> io::Result<PointReport> {
     let samples: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let counts = StatusCounts::default();
@@ -204,7 +317,7 @@ fn run_open(
         for _ in 0..workers {
             let (samples, counts, issued, next) = (&samples, &counts, &issued, Arc::clone(&next));
             handles.push(s.spawn(move || -> io::Result<()> {
-                let (mut stream, mut reader) = connect(addr)?;
+                let mut conn = Conn::new(addr, policy.timeout);
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -217,10 +330,11 @@ fn run_open(
                         std::thread::sleep(wait);
                     }
                     let target = (i * 13) % rows;
-                    let status = explain_once(&mut stream, &mut reader, addr, target)?;
-                    local.push(scheduled.elapsed().as_nanos() as u64);
-                    counts.record(status);
-                    issued.fetch_add(1, Ordering::Relaxed);
+                    if let Some(status) = explain_retrying(&mut conn, target, policy, counts)? {
+                        local.push(scheduled.elapsed().as_nanos() as u64);
+                        counts.record(status);
+                        issued.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }));
         }
@@ -285,7 +399,9 @@ fn report(
         s409: counts.s409.load(Ordering::Relaxed),
         s429: counts.s429.load(Ordering::Relaxed),
         s4xx: counts.s4xx.load(Ordering::Relaxed),
+        s503: counts.s503.load(Ordering::Relaxed),
         s5xx: counts.s5xx.load(Ordering::Relaxed),
+        timeouts: counts.timeouts.load(Ordering::Relaxed),
     }
 }
 
@@ -304,9 +420,9 @@ fn render_json(addr: &str, rows: u64, points: &[PointReport]) -> String {
             out.push_str(&format!("\"offered_rps\": {r:.1}, "));
         }
         out.push_str(&format!(
-            "\"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"status\": {{\"2xx\": {}, \"409\": {}, \"429\": {}, \"4xx\": {}, \"5xx\": {}}}}}",
+            "\"wall_ms\": {:.1}, \"throughput_rps\": {:.1}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}, \"status\": {{\"2xx\": {}, \"409\": {}, \"429\": {}, \"4xx\": {}, \"503\": {}, \"5xx\": {}, \"timeouts\": {}}}}}",
             p.wall_ms, p.throughput_rps, p.p50_us, p.p90_us, p.p99_us, p.mean_us,
-            p.s2xx, p.s409, p.s429, p.s4xx, p.s5xx
+            p.s2xx, p.s409, p.s429, p.s4xx, p.s503, p.s5xx, p.timeouts
         ));
         if i + 1 < points.len() {
             out.push(',');
@@ -388,7 +504,9 @@ fn shutdown(addr: &str) -> io::Result<u16> {
 }
 
 const USAGE: &str = "usage: cce-load --addr HOST:PORT [--conns 1,8] [--requests N] \
-[--rate RPS --total N [--workers W]] [--out BENCH_serve.json] [--baseline FILE] [--shutdown]";
+[--rate RPS --total N [--workers W]] [--timeout MS] [--retries N] [--backoff-ms MS] \
+[--chaos kill-shard [--chaos-interval-ms MS]] \
+[--out BENCH_serve.json] [--baseline FILE] [--shutdown]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -416,6 +534,29 @@ fn main() -> ExitCode {
     let workers: usize = opt("--workers").and_then(|v| v.parse().ok()).unwrap_or(16);
     let out_path = opt("--out");
     let baseline_path = opt("--baseline");
+    let policy = RetryPolicy {
+        timeout: Duration::from_millis(
+            opt("--timeout")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(30_000),
+        ),
+        retries: opt("--retries").and_then(|v| v.parse().ok()).unwrap_or(0),
+        backoff: Duration::from_millis(
+            opt("--backoff-ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100),
+        ),
+    };
+    let chaos_mode = opt("--chaos");
+    let chaos_interval: u64 = opt("--chaos-interval-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    if let Some(mode) = chaos_mode.as_deref() {
+        if mode != "kill-shard" {
+            eprintln!("unknown --chaos mode {mode:?} (supported: kill-shard)");
+            return ExitCode::from(2);
+        }
+    }
 
     let rows = match fetch_rows(&addr) {
         Ok(r) if r > 0 => r,
@@ -430,15 +571,47 @@ fn main() -> ExitCode {
     };
     eprintln!("target range: 0..{rows}");
 
+    // Chaos: a background thread killing a random shard on a fixed
+    // cadence while the load runs — the router must keep every accepted
+    // request well-formed (200 / 206-partial / 409 / 429 / 503-retry).
+    let chaos_stop = Arc::new(AtomicBool::new(false));
+    let chaos_thread = chaos_mode.as_deref().map(|_| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&chaos_stop);
+        std::thread::spawn(move || -> u64 {
+            let mut kills = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(chaos_interval));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok((mut stream, mut reader)) = connect(&addr) else {
+                    continue;
+                };
+                if post(&mut stream, &addr, "/admin/chaos/kill-shard", "").is_err() {
+                    continue;
+                }
+                match read_response(&mut reader) {
+                    Ok((200, _)) => kills += 1,
+                    Ok((status, _)) if kills == 0 => {
+                        eprintln!("chaos: kill-shard returned {status} (daemon not sharded, or started without --chaos?)");
+                    }
+                    _ => {}
+                }
+            }
+            kills
+        })
+    });
+
     let mut points = Vec::new();
     if rate.is_none() {
         for &c in &conns {
             eprint!("closed loop, {c} conns x {per_conn} reqs ... ");
-            match run_closed(&addr, rows, c, per_conn) {
+            match run_closed(&addr, rows, c, per_conn, policy) {
                 Ok(p) => {
                     eprintln!(
-                        "{:.1} req/s, p50 {:.0}us, p99 {:.0}us, 2xx {} / 409 {} / 429 {} / 4xx {} / 5xx {}",
-                        p.throughput_rps, p.p50_us, p.p99_us, p.s2xx, p.s409, p.s429, p.s4xx, p.s5xx
+                        "{:.1} req/s, p50 {:.0}us, p99 {:.0}us, 2xx {} / 409 {} / 429 {} / 4xx {} / 503 {} / 5xx {} / timeouts {}",
+                        p.throughput_rps, p.p50_us, p.p99_us, p.s2xx, p.s409, p.s429, p.s4xx, p.s503, p.s5xx, p.timeouts
                     );
                     points.push(p);
                 }
@@ -451,7 +624,7 @@ fn main() -> ExitCode {
     }
     if let Some(r) = rate {
         eprint!("open loop, {r:.0} req/s offered, {total} reqs over {workers} workers ... ");
-        match run_open(&addr, rows, r, total, workers) {
+        match run_open(&addr, rows, r, total, workers, policy) {
             Ok(p) => {
                 eprintln!(
                     "{:.1} req/s achieved, p50 {:.0}us, p99 {:.0}us (from scheduled start)",
@@ -463,6 +636,14 @@ fn main() -> ExitCode {
                 eprintln!("FAILED: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    chaos_stop.store(true, Ordering::Relaxed);
+    if let Some(t) = chaos_thread {
+        match t.join() {
+            Ok(kills) => eprintln!("chaos: {kills} shard kills injected"),
+            Err(_) => eprintln!("chaos thread panicked"),
         }
     }
 
@@ -485,13 +666,22 @@ fn main() -> ExitCode {
 
     let total_5xx: u64 = points.iter().map(|p| p.s5xx).sum();
     if total_5xx > 0 {
-        eprintln!("FAIL: {total_5xx} server errors (5xx) observed");
+        eprintln!("FAIL: {total_5xx} server errors (non-503 5xx) observed");
+        return ExitCode::FAILURE;
+    }
+    // 503 is the sharded router's explicit "shard down, retry" answer —
+    // the designed outcome when chaos is killing workers, but a capacity
+    // or availability failure in a run that promised a healthy server.
+    let total_503: u64 = points.iter().map(|p| p.s503).sum();
+    if total_503 > 0 && chaos_mode.is_none() {
+        eprintln!("FAIL: {total_503} service-unavailable (503) answers without --chaos");
         return ExitCode::FAILURE;
     }
     // 409 (no conformant key) and 429 (shed) are expected under this
     // workload; anything else in the 4xx range means the generator sent
     // a request the server rejected — a protocol bug on one side or the
-    // other, and just as fatal as a 5xx.
+    // other, and just as fatal as a 5xx. Timeouts are reported but never
+    // fatal: they are a latency verdict, not a protocol error.
     let total_4xx: u64 = points.iter().map(|p| p.s4xx).sum();
     if total_4xx > 0 {
         eprintln!("FAIL: {total_4xx} unexpected client errors (non-409/429 4xx) observed");
@@ -553,14 +743,35 @@ mod tests {
     #[test]
     fn status_counts_split_409_from_unexpected_4xx() {
         let c = StatusCounts::default();
-        for s in [200, 200, 409, 429, 400, 404, 422, 500] {
+        for s in [200, 200, 206, 409, 429, 400, 404, 422, 500, 503] {
             c.record(s);
         }
-        assert_eq!(c.s2xx.load(Ordering::Relaxed), 2);
+        // 206 (explicit partial under shard loss) is a success class.
+        assert_eq!(c.s2xx.load(Ordering::Relaxed), 3);
         assert_eq!(c.s409.load(Ordering::Relaxed), 1);
         assert_eq!(c.s429.load(Ordering::Relaxed), 1);
         assert_eq!(c.s4xx.load(Ordering::Relaxed), 3);
+        assert_eq!(c.s503.load(Ordering::Relaxed), 1);
         assert_eq!(c.s5xx.load(Ordering::Relaxed), 1);
+    }
+
+    /// Full jitter stays within `[0, base·2^attempt]` and actually
+    /// varies — synchronized retry waves are what it exists to break.
+    #[test]
+    fn full_jitter_is_bounded_and_varies() {
+        let base = Duration::from_millis(10);
+        let mut distinct = std::collections::HashSet::new();
+        for attempt in 0..4u32 {
+            let cap = base * (1 << attempt);
+            for _ in 0..50 {
+                let j = full_jitter(base, attempt);
+                assert!(j <= cap, "jitter {j:?} above cap {cap:?}");
+                distinct.insert(j.as_nanos());
+            }
+        }
+        assert!(distinct.len() > 10, "jitter must vary, got {distinct:?}");
+        // Zero base (backoff disabled) never sleeps.
+        assert_eq!(full_jitter(Duration::ZERO, 3), Duration::ZERO);
     }
 
     #[test]

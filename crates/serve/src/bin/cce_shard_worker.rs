@@ -1,0 +1,73 @@
+//! `cce-shard-worker` — a standalone shard worker process.
+//!
+//! The `cce` CLI normally spawns workers via its own `shard-worker`
+//! subcommand; this dedicated binary exists so the serve crate's
+//! integration tests can spawn real worker processes through
+//! `CARGO_BIN_EXE_cce-shard-worker` without depending on the CLI crate.
+//!
+//! ```text
+//! cce-shard-worker --data rows.csv --shard-index 0 --shards 4 \
+//!     [--addr 127.0.0.1:0] [--no-stdin-watch]
+//! ```
+
+use std::process::ExitCode;
+
+use cce_serve::shard::worker::{run, WorkerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = WorkerConfig {
+        data: String::new(),
+        shard_index: usize::MAX,
+        shards: 0,
+        addr: "127.0.0.1:0".to_string(),
+        watch_stdin: true,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--no-stdin-watch" {
+            cfg.watch_stdin = false;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return ExitCode::from(2);
+        };
+        match flag {
+            "--data" => cfg.data = value.clone(),
+            "--addr" => cfg.addr = value.clone(),
+            "--shard-index" => match value.parse() {
+                Ok(v) => cfg.shard_index = v,
+                Err(_) => {
+                    eprintln!("--shard-index must be an integer, got {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--shards" => match value.parse() {
+                Ok(v) => cfg.shards = v,
+                Err(_) => {
+                    eprintln!("--shards must be an integer, got {value}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 2;
+    }
+    if cfg.data.is_empty() || cfg.shards == 0 || cfg.shard_index == usize::MAX {
+        eprintln!("usage: cce-shard-worker --data FILE --shard-index I --shards N [--addr A] [--no-stdin-watch]");
+        return ExitCode::from(2);
+    }
+    match run(&cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

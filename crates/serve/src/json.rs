@@ -227,7 +227,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Copy one UTF-8 scalar (multi-byte sequences included).
                 let rest = std::str::from_utf8(&b[*pos..])
                     .map_err(|_| format!("non-utf8 string content at offset {pos}"))?;
-                let ch = rest.chars().next().expect("non-empty");
+                // `b.get(*pos)` matched `Some(_)`, so `rest` cannot be
+                // empty — but request bytes never justify a panic path.
+                let Some(ch) = rest.chars().next() else {
+                    return Err(format!("unterminated string at offset {pos}"));
+                };
                 out.push(ch);
                 *pos += ch.len_utf8();
             }
@@ -308,6 +312,31 @@ mod tests {
     fn rejects_deep_nesting() {
         let deep = "[".repeat(64) + &"]".repeat(64);
         assert!(Json::parse(&deep).is_err());
+    }
+
+    /// Regression: hostile request bodies must map to `Err`, never a
+    /// panic — this parser sits directly on network bytes. The truncated
+    /// `\u` escape and the mid-string cut through a multi-byte scalar
+    /// are the paths that used to reach `expect`-style shortcuts.
+    #[test]
+    fn hostile_bodies_error_instead_of_panicking() {
+        for bad in [
+            "{\"k\": \"\\u12\"}",   // truncated \u escape
+            "{\"k\": \"\\uzzzz\"}", // non-hex \u escape
+            "{\"k\": \"\\q\"}",     // unknown escape
+            "{\"k\": \"a\x01b\"}",  // raw control byte in a string
+            "{\"k\"",               // cut after key
+            "{\"k\":}",             // missing value
+            "{1: 2}",               // non-string key
+            "[\"\\\"]",             // escape eats the closing quote
+            "-",                    // sign with no digits
+            "{\"k\": 1e}",          // dangling exponent
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail cleanly");
+        }
+        // Multi-byte scalars survive intact next to escapes.
+        let v = Json::parse("{\"k\": \"héllo\\n→\"}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("héllo\n→"));
     }
 
     #[test]

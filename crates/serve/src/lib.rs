@@ -34,6 +34,7 @@ pub mod http;
 pub mod ingest;
 pub mod json;
 pub mod server;
+pub mod shard;
 pub mod store;
 
 pub use admission::{Admission, AdmissionConfig, Level};
@@ -116,4 +117,26 @@ pub fn build_app_paged<V: Vfs>(
         App::new(batcher, IngestState::new(backend, width), window)
             .with_paged(PagedBackend::new(paged)),
     )
+}
+
+/// [`build_app`] over a sharded scatter/gather backend: `/explain` and
+/// live ingest route to supervised shard workers; the local engine exists
+/// only to carry the schema for ingest validation and health reporting.
+/// `ctx` should be an empty context over the serving schema.
+pub fn build_app_sharded<V: Vfs>(
+    ctx: Context,
+    alpha: Alpha,
+    batcher_cfg: BatcherConfig,
+    admission_cfg: AdmissionConfig,
+    backend: MonitorBackend<V>,
+    sharded: Arc<shard::ShardedBackend>,
+) -> Arc<App<V>> {
+    let width = ctx.schema().n_features();
+    let engine = Arc::new(RwLock::new(BatchEngine::with_config(
+        ctx,
+        alpha,
+        EngineConfig::default(),
+    )));
+    let batcher = Arc::new(Batcher::new(engine, batcher_cfg, admission_cfg));
+    Arc::new(App::new(batcher, IngestState::new(backend, width), None).with_sharded(sharded))
 }

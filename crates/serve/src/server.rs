@@ -21,16 +21,16 @@
 //! 4. **Final checkpoint** — the durable monitor rotates one last
 //!    snapshot, so a clean restart replays zero WAL records.
 
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use cce_core::persist::Vfs;
 
 use crate::app::App;
-use crate::http::{read_request, Response};
+use crate::http::{read_request, HttpError, Response};
 
 /// Transport-level knobs.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +41,14 @@ pub struct ServerConfig {
     /// Idle keep-alive read timeout — also the drain deadline for idle
     /// connections.
     pub keep_alive_timeout: Duration,
+    /// Absolute deadline for reading one complete request (headers and
+    /// body) once its first byte has arrived. A slowloris client
+    /// trickling one header byte per keep-alive interval used to pin a
+    /// connection thread forever; now it gets a `408` and a close.
+    pub request_deadline: Duration,
+    /// Socket write timeout: a client that stops reading its response
+    /// cannot pin a connection thread either.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +56,53 @@ impl Default for ServerConfig {
         Self {
             max_connections: 256,
             keep_alive_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The read half of a connection with an absolute per-request deadline.
+///
+/// While no request is in flight the socket waits under the keep-alive
+/// timeout; the first byte of a request arms the shared deadline cell,
+/// and every subsequent read shrinks the socket timeout to the time
+/// remaining — so a complete request must arrive within
+/// `request_deadline` of its first byte, however slowly the client
+/// trickles. The connection loop clears the cell after each complete
+/// request.
+struct DeadlineReader {
+    stream: TcpStream,
+    deadline: Arc<Mutex<Option<Instant>>>,
+    keep_alive: Duration,
+    request_deadline: Duration,
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let armed = *self.deadline.lock().unwrap_or_else(|e| e.into_inner());
+        match armed {
+            Some(dl) => {
+                let Some(remaining) = dl.checked_duration_since(Instant::now()) else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "request read deadline exceeded",
+                    ));
+                };
+                self.stream.set_read_timeout(Some(
+                    remaining.min(self.keep_alive).max(Duration::from_millis(1)),
+                ))?;
+                self.stream.read(buf)
+            }
+            None => {
+                self.stream.set_read_timeout(Some(self.keep_alive))?;
+                let n = self.stream.read(buf)?;
+                if n > 0 {
+                    *self.deadline.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(Instant::now() + self.request_deadline);
+                }
+                Ok(n)
+            }
         }
     }
 }
@@ -122,6 +177,9 @@ impl<V: Vfs + Send> Server<V> {
             }
             app.batcher().close();
             let _ = batcher_thread.join();
+            // Sharded: stop the supervisor and workers only after every
+            // in-flight scatter has been answered.
+            app.stop_shards();
         });
         self.app
             .final_checkpoint()
@@ -132,15 +190,24 @@ impl<V: Vfs + Send> Server<V> {
 /// One connection's keep-alive loop.
 fn handle_connection<V: Vfs>(app: &App<V>, stream: TcpStream, addr: SocketAddr, cfg: ServerConfig) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(cfg.keep_alive_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let deadline = Arc::new(Mutex::new(None));
+    let mut reader = BufReader::new(DeadlineReader {
+        stream: read_half,
+        deadline: Arc::clone(&deadline),
+        keep_alive: cfg.keep_alive_timeout,
+        request_deadline: cfg.request_deadline,
+    });
     let mut writer = stream;
     loop {
         match read_request(&mut reader) {
             Ok(req) => {
+                // Full request in hand: disarm the slow-client deadline
+                // so keep-alive idling is governed by its own timeout.
+                *deadline.lock().unwrap_or_else(|e| e.into_inner()) = None;
                 let resp = app.handle(&req);
                 // Drain may have begun *during* this request (the
                 // shutdown route) — never keep alive past that point.
@@ -156,7 +223,22 @@ fn handle_connection<V: Vfs>(app: &App<V>, stream: TcpStream, addr: SocketAddr, 
                 }
             }
             Err(e) => {
-                if let Some(resp) = e.response() {
+                // A timeout with the deadline armed is a stalled client
+                // mid-request — tell it why before closing. Idle
+                // keep-alive expiry (deadline unarmed) closes silently.
+                let armed = deadline.lock().unwrap_or_else(|p| p.into_inner()).is_some();
+                let stalled = armed
+                    && matches!(
+                        &e,
+                        HttpError::Io(io)
+                            if io.kind() == io::ErrorKind::TimedOut
+                                || io.kind() == io::ErrorKind::WouldBlock
+                    );
+                if stalled {
+                    cce_obs::counter!("cce_serve_slow_client_timeouts_total").inc();
+                    let _ = Response::error_json(408, "request read deadline exceeded")
+                        .write_to(&mut writer, false);
+                } else if let Some(resp) = e.response() {
                     cce_obs::counter!("cce_serve_http_errors_total").inc();
                     let _ = resp.write_to(&mut writer, false);
                 }

@@ -1,0 +1,469 @@
+//! The per-shard client: connection pool, deadlines, budgeted retries
+//! with full-jitter backoff, one hedged request, and a half-open circuit
+//! breaker.
+//!
+//! Call outcomes feed the breaker: enough consecutive failures open it,
+//! an open breaker fails calls instantly (the router then treats the
+//! shard as missing and answers partially), and after a cooloff one
+//! half-open probe decides between closing it again and re-opening.
+//! Because every wire request is stateless, a hedge — a duplicate of a
+//! slow in-flight request on a fresh connection — is always safe; the
+//! first answer wins and the loser is discarded.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::wire::{read_frame, write_frame, Req, Resp};
+
+/// Failure-handling knobs, shared by every shard client.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPolicy {
+    /// Per-attempt deadline (connect + round trip).
+    pub deadline: Duration,
+    /// Extra attempts after the first (each opens a fresh connection).
+    pub retries: u32,
+    /// Base backoff between attempts; attempt `k` sleeps a uniformly
+    /// random duration in `[0, base·2^k]` (full jitter).
+    pub backoff: Duration,
+    /// How long the primary attempt may stay silent before one hedged
+    /// duplicate is fired. `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Consecutive failures that open the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before allowing a probe.
+    pub breaker_cooloff: Duration,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_millis(2_000),
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            hedge_after: Some(Duration::from_millis(200)),
+            breaker_threshold: 3,
+            breaker_cooloff: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Why a call (all attempts included) failed.
+#[derive(Debug)]
+pub enum CallError {
+    /// The shard is known-down (no address — worker dead, respawn
+    /// pending) — failing fast, no attempt was made.
+    Down,
+    /// The breaker is open — failing fast, no attempt was made.
+    BreakerOpen,
+    /// Every attempt failed; the last transport error.
+    Exhausted(io::Error),
+    /// The worker answered with an application-level error.
+    Rejected(String),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Down => write!(f, "shard is down"),
+            CallError::BreakerOpen => write!(f, "circuit breaker open"),
+            CallError::Exhausted(e) => write!(f, "all attempts failed: {e}"),
+            CallError::Rejected(m) => write!(f, "worker rejected request: {m}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// Half-open circuit breaker. All transitions happen under one mutex;
+/// the hot path is a single lock round-trip per call.
+struct Breaker {
+    state: Mutex<(BreakerState, Instant)>,
+    consecutive: AtomicU32,
+    threshold: u32,
+    cooloff: Duration,
+}
+
+impl Breaker {
+    fn new(threshold: u32, cooloff: Duration) -> Self {
+        Self {
+            state: Mutex::new((BreakerState::Closed, Instant::now())),
+            consecutive: AtomicU32::new(0),
+            threshold: threshold.max(1),
+            cooloff,
+        }
+    }
+
+    /// May a call proceed right now? An open breaker past its cooloff
+    /// converts to half-open and admits exactly this caller as the probe.
+    fn admit(&self) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match st.0 {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                if st.1.elapsed() >= self.cooloff {
+                    st.0 = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        self.consecutive.store(0, Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.0 = BreakerState::Closed;
+    }
+
+    fn on_failure(&self) -> BreakerState {
+        let n = self.consecutive.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.0 == BreakerState::HalfOpen || n >= self.threshold {
+            st.0 = BreakerState::Open;
+            st.1 = Instant::now();
+        }
+        st.0
+    }
+
+    fn reset(&self) {
+        self.consecutive.store(0, Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.0 = BreakerState::Closed;
+    }
+
+    fn gauge_value(&self) -> i64 {
+        match self.state.lock().unwrap_or_else(|e| e.into_inner()).0 {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// Full-jitter sleep duration: uniform in `[0, cap]`, where
+/// `cap = base · 2^attempt`. Randomness is a splitmix64 stream over a
+/// process-global counter mixed with the clock — no RNG dependency.
+fn full_jitter(base: Duration, attempt: u32) -> Duration {
+    static SALT: AtomicU64 = AtomicU64::new(0x5bf0_3635);
+    let cap = base.saturating_mul(1u32 << attempt.min(10));
+    if cap.is_zero() {
+        return cap;
+    }
+    let tick = Instant::now().elapsed().as_nanos() as u64; // always 0-ish; salt does the work
+    let mut z = SALT
+        .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+        .wrapping_add(tick)
+        .wrapping_add(std::process::id() as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    cap.mul_f64((z >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// One shard's client state. Lives in an [`Arc`] shared by the router's
+/// scatter threads and the supervisor (which swaps the address on
+/// respawn).
+pub struct ShardClient {
+    id: usize,
+    /// `None` while the worker is down (supervisor clears it on death,
+    /// restores it after respawn + replay).
+    addr: Mutex<Option<SocketAddr>>,
+    pool: Mutex<Vec<TcpStream>>,
+    breaker: Breaker,
+    policy: ShardPolicy,
+}
+
+impl ShardClient {
+    /// A client for shard `id` at `addr`.
+    #[must_use]
+    pub fn new(id: usize, addr: SocketAddr, policy: ShardPolicy) -> Self {
+        Self {
+            id,
+            addr: Mutex::new(Some(addr)),
+            pool: Mutex::new(Vec::new()),
+            breaker: Breaker::new(policy.breaker_threshold, policy.breaker_cooloff),
+            policy,
+        }
+    }
+
+    /// A client for shard `id` with no worker yet (the supervisor points
+    /// it at one via [`ShardClient::set_addr`] once spawned).
+    #[must_use]
+    pub fn down(id: usize, policy: ShardPolicy) -> Self {
+        Self {
+            id,
+            addr: Mutex::new(None),
+            pool: Mutex::new(Vec::new()),
+            breaker: Breaker::new(policy.breaker_threshold, policy.breaker_cooloff),
+            policy,
+        }
+    }
+
+    /// This client's shard index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The current worker address, if the shard is up.
+    #[must_use]
+    pub fn addr(&self) -> Option<SocketAddr> {
+        *self.addr.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// True when the shard has a live address and a non-open breaker —
+    /// the router's definition of "worth scattering to".
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.addr().is_some()
+    }
+
+    /// Marks the shard down (worker died). Calls fail fast until
+    /// [`ShardClient::set_addr`] restores it.
+    pub fn set_down(&self) {
+        *self.addr.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.publish_breaker();
+    }
+
+    /// Points the client at a (re)spawned worker and resets the breaker.
+    pub fn set_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().unwrap_or_else(|e| e.into_inner()) = Some(addr);
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.breaker.reset();
+        self.publish_breaker();
+    }
+
+    fn publish_breaker(&self) {
+        let v = if self.is_up() {
+            self.breaker.gauge_value()
+        } else {
+            2 // down reads as open: the router skips it either way
+        };
+        cce_obs::registry()
+            .gauge(
+                "cce_shard_breaker_state",
+                &[("shard", &self.id.to_string())],
+            )
+            .set(v);
+    }
+
+    fn checkout(&self, addr: SocketAddr) -> io::Result<TcpStream> {
+        if let Some(s) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(s);
+        }
+        let s = TcpStream::connect_timeout(&addr, self.policy.deadline)?;
+        s.set_nodelay(true)?;
+        Ok(s)
+    }
+
+    fn checkin(&self, s: TcpStream) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < 8 {
+            pool.push(s);
+        }
+    }
+
+    /// One framed round trip on one connection, under `deadline`.
+    fn roundtrip(stream: &mut TcpStream, payload: &[u8], deadline: Duration) -> io::Result<Resp> {
+        stream.set_write_timeout(Some(deadline))?;
+        stream.set_read_timeout(Some(deadline))?;
+        write_frame(stream, payload)?;
+        let frame = read_frame(stream)?;
+        Resp::decode(&frame).map_err(io::Error::from)
+    }
+
+    /// Issues `req`, applying the whole policy: breaker admission, per
+    /// attempt deadlines, budgeted retries with full-jitter backoff, and
+    /// (for the first attempt) one hedged duplicate if the primary stays
+    /// silent past `hedge_after`.
+    ///
+    /// # Errors
+    /// [`CallError`] when the shard is down, the breaker is open, the
+    /// worker rejected the request, or every attempt failed.
+    pub fn call(self: &Arc<Self>, req: &Req) -> Result<Resp, CallError> {
+        let Some(addr) = self.addr() else {
+            return Err(CallError::Down);
+        };
+        if !self.breaker.admit() {
+            cce_obs::counter!("cce_shard_breaker_rejected_total").inc();
+            return Err(CallError::BreakerOpen);
+        }
+        let payload = req.encode();
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..=self.policy.retries {
+            if attempt > 0 {
+                cce_obs::counter!("cce_shard_retries_total").inc();
+                std::thread::sleep(full_jitter(self.policy.backoff, attempt - 1));
+                // The address may have moved (respawn) between attempts.
+                let Some(_) = self.addr() else {
+                    return Err(CallError::Down);
+                };
+            }
+            let addr = self.addr().unwrap_or(addr);
+            let outcome = if attempt == 0 {
+                self.attempt_hedged(addr, &payload)
+            } else {
+                self.attempt_plain(addr, &payload)
+            };
+            match outcome {
+                Ok(Resp::Err { msg }) => {
+                    // An application-level rejection is deterministic —
+                    // retrying cannot help, and it is not a shard fault.
+                    self.breaker.on_success();
+                    self.publish_breaker();
+                    return Err(CallError::Rejected(msg));
+                }
+                Ok(resp) => {
+                    self.breaker.on_success();
+                    self.publish_breaker();
+                    return Ok(resp);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        self.breaker.on_failure();
+        self.publish_breaker();
+        cce_obs::counter!("cce_shard_call_failures_total").inc();
+        Err(CallError::Exhausted(
+            last_err.unwrap_or_else(|| io::Error::other("no attempt was made")),
+        ))
+    }
+
+    /// One attempt on one pooled connection, no hedge.
+    fn attempt_plain(&self, addr: SocketAddr, payload: &[u8]) -> io::Result<Resp> {
+        let mut stream = self.checkout(addr)?;
+        match Self::roundtrip(&mut stream, payload, self.policy.deadline) {
+            Ok(resp) => {
+                self.checkin(stream);
+                Ok(resp)
+            }
+            Err(e) => Err(e), // poisoned mid-frame: drop, never pool
+        }
+    }
+
+    /// First attempt with hedging: the primary runs in a helper thread;
+    /// if it stays silent past `hedge_after`, a duplicate request races
+    /// it on a fresh connection and the first answer wins.
+    fn attempt_hedged(self: &Arc<Self>, addr: SocketAddr, payload: &[u8]) -> io::Result<Resp> {
+        let Some(hedge_after) = self.policy.hedge_after else {
+            return self.attempt_plain(addr, payload);
+        };
+        let (tx, rx) = mpsc::channel::<(bool, io::Result<Resp>)>();
+        let spawn_leg = |is_hedge: bool, tx: mpsc::Sender<(bool, io::Result<Resp>)>| {
+            let this = Arc::clone(self);
+            let payload = payload.to_vec();
+            std::thread::spawn(move || {
+                let result = this.checkout(addr).and_then(|mut stream| {
+                    let r = Self::roundtrip(&mut stream, &payload, this.policy.deadline);
+                    if r.is_ok() {
+                        this.checkin(stream);
+                    }
+                    r
+                });
+                let _ = tx.send((is_hedge, result));
+            });
+        };
+        spawn_leg(false, tx.clone());
+        let mut hedged = false;
+        let mut first_failure: Option<io::Error> = None;
+        let deadline = Instant::now() + self.policy.deadline + hedge_after;
+        loop {
+            let wait = if hedged {
+                deadline.saturating_duration_since(Instant::now())
+            } else {
+                hedge_after
+            };
+            match rx.recv_timeout(wait) {
+                Ok((is_hedge, Ok(resp))) => {
+                    if hedged {
+                        if is_hedge {
+                            cce_obs::counter!("cce_shard_hedges_won_total").inc();
+                        } else {
+                            cce_obs::counter!("cce_shard_hedges_wasted_total").inc();
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Ok((_, Err(e))) => {
+                    // One leg failed; if the other is still running, keep
+                    // waiting for it. If both are done, report.
+                    match first_failure.take() {
+                        None if hedged => first_failure = Some(e),
+                        None => return Err(e), // only leg there was
+                        Some(_) => return Err(e),
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) if !hedged => {
+                    hedged = true;
+                    cce_obs::counter!("cce_shard_hedges_total").inc();
+                    spawn_leg(true, tx.clone());
+                }
+                Err(_) => {
+                    return Err(first_failure.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::TimedOut, "attempt deadline exceeded")
+                    }))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_opens_half_opens_and_recloses() {
+        let b = Breaker::new(2, Duration::from_millis(20));
+        assert!(b.admit());
+        assert_eq!(b.on_failure(), BreakerState::Closed);
+        assert_eq!(b.on_failure(), BreakerState::Open);
+        assert!(!b.admit(), "open breaker must reject");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit(), "cooled-off breaker admits one probe");
+        assert!(!b.admit(), "half-open admits only the probe");
+        b.on_success();
+        assert!(b.admit(), "probe success recloses");
+        // A half-open probe failure reopens immediately.
+        b.on_failure();
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit());
+        assert_eq!(b.on_failure(), BreakerState::Open);
+        assert!(!b.admit());
+    }
+
+    #[test]
+    fn full_jitter_stays_within_cap() {
+        let base = Duration::from_millis(10);
+        for attempt in 0..5 {
+            let cap = base * (1 << attempt);
+            for _ in 0..50 {
+                assert!(full_jitter(base, attempt) <= cap);
+            }
+        }
+        assert_eq!(full_jitter(Duration::ZERO, 3), Duration::ZERO);
+    }
+
+    #[test]
+    fn down_shard_fails_fast() {
+        let c = Arc::new(ShardClient::new(
+            0,
+            "127.0.0.1:1".parse().unwrap(),
+            ShardPolicy::default(),
+        ));
+        c.set_down();
+        assert!(matches!(c.call(&Req::Ping), Err(CallError::Down)));
+    }
+}

@@ -1,0 +1,477 @@
+//! The scatter/gather router: a distributed `Srk::explain_budgeted`.
+//!
+//! The router owns the greedy loop. Every round it scatters one stateless
+//! [`Req::Counts`] — target instance, its prediction, key-so-far — to all
+//! live shards and sums three quantities that are each additive over
+//! disjoint row partitions:
+//!
+//! * the live **violator** count (rows matching the target on every
+//!   picked feature with a different prediction),
+//! * per candidate feature, the **surviving** violators after also
+//!   fixing that feature,
+//! * per candidate feature, the **supporter coverage** used by the
+//!   tie-break.
+//!
+//! With the sums in hand it applies the exact pick rule of
+//! `cce_core::Srk::explain_budgeted` — minimize survivors, break ties
+//! toward coverage then lowest index — and replicates its scan
+//! accounting, so with no faults the result (key, status, achieved
+//! conformity, even the error cases) is byte-identical to the
+//! single-process engine.
+//!
+//! Faults: when a shard call ultimately fails (after retries, hedge, and
+//! breaker), the shard is excluded for the rest of this request and the
+//! greedy **restarts from round zero** over the reduced live set — rounds
+//! are cheap, and a restart guarantees every count in the final answer
+//! was computed over one consistent partition set. The answer is then a
+//! clean explanation over the surviving sub-context, labeled with the
+//! missing shards so the caller can tell. Only when the *target row's
+//! owner* is unreachable is there nothing left to explain against —
+//! that surfaces as [`ShardedAnswer::Unavailable`] (a `503`, never a
+//! `500`).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cce_core::{Alpha, BudgetedKey, ExplainError, ExplainStatus, RelativeKey, WorkBudget};
+
+use super::client::ShardClient;
+use super::shard_of;
+use super::supervisor::SupervisorHandle;
+use super::wire::{Req, Resp};
+
+/// The in-memory ingest record the supervisor replays into a respawned
+/// worker: every accepted live row, as `(global_index, values,
+/// prediction)`. The PR-4 durable WAL remains the *persistence*
+/// authority; this log exists so a worker respawned mid-flight can be
+/// rebuilt without touching disk.
+#[derive(Default)]
+pub struct IngestLog {
+    entries: Mutex<Vec<(u64, Vec<u32>, u32)>>,
+}
+
+impl IngestLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one accepted row.
+    pub fn append(&self, global: u64, x: Vec<u32>, pred: u32) {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((global, x, pred));
+    }
+
+    /// The slice of the log owned by `shard` — what a respawned worker
+    /// must replay on top of its base partition.
+    #[must_use]
+    pub fn for_shard(&self, shard: usize, n_shards: usize) -> Vec<(u64, Vec<u32>, u32)> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|(g, _, _)| shard_of(*g, n_shards) == shard)
+            .cloned()
+            .collect()
+    }
+
+    /// Total recorded rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been ingested yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a sharded explain produced.
+#[derive(Debug)]
+pub enum ShardedAnswer {
+    /// An answer was computed — over all shards (`missing_shards` empty,
+    /// byte-identical to the single-process engine) or over the
+    /// surviving subset (explicitly partial).
+    Done {
+        /// The engine-shaped result, renderable by the existing
+        /// `explain_response`.
+        result: Result<BudgetedKey, ExplainError>,
+        /// Shards that contributed nothing, ascending. Empty ⇒ complete.
+        missing_shards: Vec<usize>,
+    },
+    /// The target row's owner shard (or every shard) was unreachable:
+    /// there is no sub-context to answer from. Retryable — the
+    /// supervisor is respawning.
+    Unavailable {
+        /// The unreachable shards, ascending.
+        missing_shards: Vec<usize>,
+    },
+}
+
+/// One round's gathered sums.
+struct Gathered {
+    rows: u64,
+    violators: u64,
+    surv: Vec<u64>,
+    cover: Vec<u64>,
+}
+
+/// The sharded serving backend: shard clients, the ingest log, the row
+/// counter that assigns global indices, and the supervisor handle.
+pub struct ShardedBackend {
+    alpha: Alpha,
+    n_features: usize,
+    clients: Vec<Arc<ShardClient>>,
+    /// Total rows ever accepted (base CSV + live ingest); the next
+    /// ingested row takes this as its global index.
+    total_rows: AtomicU64,
+    log: Arc<IngestLog>,
+    supervisor: Mutex<Option<SupervisorHandle>>,
+    inflight: AtomicUsize,
+    chaos: bool,
+}
+
+impl ShardedBackend {
+    /// A backend over `clients`, with `base_rows` rows already in the
+    /// workers' base partitions. `chaos` enables the kill-shard admin
+    /// endpoint.
+    #[must_use]
+    pub fn new(
+        alpha: Alpha,
+        n_features: usize,
+        clients: Vec<Arc<ShardClient>>,
+        base_rows: u64,
+        log: Arc<IngestLog>,
+        chaos: bool,
+    ) -> Self {
+        Self {
+            alpha,
+            n_features,
+            clients,
+            total_rows: AtomicU64::new(base_rows),
+            log,
+            supervisor: Mutex::new(None),
+            inflight: AtomicUsize::new(0),
+            chaos,
+        }
+    }
+
+    /// Attaches the supervisor once the workers are up.
+    pub fn set_supervisor(&self, handle: SupervisorHandle) {
+        *self.supervisor.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Shards currently reachable.
+    #[must_use]
+    pub fn shards_up(&self) -> usize {
+        self.clients.iter().filter(|c| c.is_up()).count()
+    }
+
+    /// Total rows (base + live ingest).
+    #[must_use]
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows.load(Ordering::SeqCst)
+    }
+
+    /// The configured conformity bound.
+    #[must_use]
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Whether the kill-shard chaos endpoint is enabled.
+    #[must_use]
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos
+    }
+
+    /// Current scatter concurrency (requests inside [`Self::explain`]).
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Asks the supervisor to kill one random live worker (chaos
+    /// testing). Returns false when no supervisor is attached.
+    pub fn kill_random_shard(&self) -> bool {
+        match &*self.supervisor.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(h) => h.kill_random(),
+            None => false,
+        }
+    }
+
+    /// Stops the supervisor and all workers (drain path). Idempotent.
+    pub fn stop(&self) {
+        if let Some(h) = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+        {
+            h.stop();
+        }
+    }
+
+    /// Accepts one live row: assigns it the next global index, records
+    /// it in the replay log, and forwards it to its owner shard. A
+    /// forward that fails after retries triggers a supervisor-driven
+    /// restart of the owner, whose replay delivers the row — so an
+    /// accepted row is never silently absent once the shard is healthy.
+    ///
+    /// Returns `(global_index, total_rows_after)`.
+    pub fn push(self: &Arc<Self>, x: Vec<u32>, pred: u32) -> (u64, u64) {
+        let global = self.total_rows.fetch_add(1, Ordering::SeqCst);
+        self.log.append(global, x.clone(), pred);
+        let owner = shard_of(global, self.n_shards());
+        match self.clients[owner].call(&Req::Push { global, x, pred }) {
+            Ok(Resp::Pushed { .. }) => {}
+            _ => {
+                cce_obs::counter!("cce_shard_push_forward_failures_total").inc();
+                if let Some(h) = &*self.supervisor.lock().unwrap_or_else(|e| e.into_inner()) {
+                    h.restart(owner);
+                }
+            }
+        }
+        (global, global + 1)
+    }
+
+    /// Scatters one counts round to `live` shards and sums. On a shard
+    /// failure returns that shard's index so the caller can exclude it
+    /// and restart.
+    fn gather(
+        &self,
+        live: &[usize],
+        x0: &[u32],
+        pred: u32,
+        picked: &[u32],
+    ) -> Result<Gathered, usize> {
+        cce_obs::counter!("cce_shard_scatter_rounds_total").inc();
+        let req = Req::Counts {
+            x: x0.to_vec(),
+            pred,
+            picked: picked.to_vec(),
+        };
+        let results: Vec<(usize, Result<Resp, super::client::CallError>)> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = live
+                    .iter()
+                    .map(|&i| {
+                        let client = &self.clients[i];
+                        let req = &req;
+                        s.spawn(move || (i, client.call(req)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        let mut g = Gathered {
+            rows: 0,
+            violators: 0,
+            surv: vec![0; self.n_features],
+            cover: vec![0; self.n_features],
+        };
+        for (i, r) in results {
+            match r {
+                Ok(Resp::Counts {
+                    rows,
+                    violators,
+                    surv,
+                    cover,
+                }) if surv.len() == self.n_features && cover.len() == self.n_features => {
+                    g.rows += rows;
+                    g.violators += violators;
+                    for (a, b) in g.surv.iter_mut().zip(&surv) {
+                        *a += b;
+                    }
+                    for (a, b) in g.cover.iter_mut().zip(&cover) {
+                        *a += b;
+                    }
+                }
+                _ => return Err(i),
+            }
+        }
+        Ok(g)
+    }
+
+    /// Distributed `Srk::explain_budgeted` for global row `target`.
+    ///
+    /// With all shards reachable the returned result is byte-identical
+    /// to the single-process engine over the same rows. With shards down
+    /// or failing mid-request, the greedy restarts over the surviving
+    /// partitions and the answer is labeled with the missing shards.
+    pub fn explain(self: &Arc<Self>, target: u64, budget: WorkBudget) -> ShardedAnswer {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        let answer = self.explain_inner(target, budget);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        if let ShardedAnswer::Done { missing_shards, .. } = &answer {
+            if !missing_shards.is_empty() {
+                cce_obs::counter!("cce_shard_partial_answers_total").inc();
+            }
+        }
+        answer
+    }
+
+    fn explain_inner(self: &Arc<Self>, target: u64, budget: WorkBudget) -> ShardedAnswer {
+        let n_shards = self.n_shards();
+        // Shards already known-down are excluded from the start; shards
+        // that fail mid-request join them and trigger a restart.
+        let mut excluded: Vec<usize> = (0..n_shards)
+            .filter(|&i| !self.clients[i].is_up())
+            .collect();
+
+        // Input validation mirrors `Context::check_target` over the full
+        // (global) row space.
+        let total = self.total_rows();
+        if total == 0 {
+            return ShardedAnswer::Done {
+                result: Err(ExplainError::EmptyContext),
+                missing_shards: excluded,
+            };
+        }
+        if target >= total {
+            return ShardedAnswer::Done {
+                result: Err(ExplainError::TargetOutOfRange {
+                    target: target as usize,
+                    len: total as usize,
+                }),
+                missing_shards: excluded,
+            };
+        }
+
+        // The target row lives on exactly one shard; without it there is
+        // nothing to explain relative to.
+        let owner = shard_of(target, n_shards);
+        if excluded.contains(&owner) {
+            excluded.sort_unstable();
+            return ShardedAnswer::Unavailable {
+                missing_shards: excluded,
+            };
+        }
+        let (x0, p0) = match self.clients[owner].call(&Req::Fetch { global: target }) {
+            Ok(Resp::Row { x, pred }) if x.len() == self.n_features => (x, pred),
+            _ => {
+                excluded.push(owner);
+                excluded.sort_unstable();
+                return ShardedAnswer::Unavailable {
+                    missing_shards: excluded,
+                };
+            }
+        };
+
+        let n = self.n_features;
+        // Restart loop: each iteration runs the whole greedy over one
+        // fixed live set; a shard failure shrinks the set and retries.
+        'restart: loop {
+            let live: Vec<usize> = (0..n_shards).filter(|i| !excluded.contains(i)).collect();
+            if !live.contains(&owner) {
+                excluded.sort_unstable();
+                return ShardedAnswer::Unavailable {
+                    missing_shards: excluded,
+                };
+            }
+
+            let mut picked: Vec<u32> = Vec::new();
+            let mut in_key = vec![false; n];
+            let mut scanned: u64 = 0;
+
+            let mut g = match self.gather(&live, &x0, p0, &picked) {
+                Ok(g) => g,
+                Err(failed) => {
+                    excluded.push(failed);
+                    continue 'restart;
+                }
+            };
+            // The live context size is fixed for this attempt: tolerance
+            // and achieved conformity both derive from it, exactly as
+            // `ctx.len()` does in the single-process loop.
+            let len_live = g.rows as usize;
+            let tolerance = self.alpha.tolerance(len_live);
+
+            loop {
+                let violators = g.violators as usize;
+                if violators <= tolerance {
+                    excluded.sort_unstable();
+                    let achieved = 1.0 - violators as f64 / len_live as f64;
+                    return ShardedAnswer::Done {
+                        result: Ok(BudgetedKey {
+                            key: RelativeKey::new(
+                                picked.iter().map(|&f| f as usize).collect(),
+                                self.alpha,
+                                achieved,
+                            ),
+                            status: ExplainStatus::Complete,
+                        }),
+                        missing_shards: excluded,
+                    };
+                }
+                if picked.len() == n {
+                    excluded.sort_unstable();
+                    return ShardedAnswer::Done {
+                        result: Err(ExplainError::NoConformantKey {
+                            contradictions: violators,
+                            tolerance,
+                        }),
+                        missing_shards: excluded,
+                    };
+                }
+                if scanned >= budget.max_scans {
+                    excluded.sort_unstable();
+                    let achieved = 1.0 - violators as f64 / len_live as f64;
+                    return ShardedAnswer::Done {
+                        result: Ok(BudgetedKey {
+                            key: RelativeKey::new(
+                                picked.iter().map(|&f| f as usize).collect(),
+                                self.alpha,
+                                achieved,
+                            ),
+                            status: ExplainStatus::Degraded {
+                                spent: scanned,
+                                remaining_violators: violators,
+                            },
+                        }),
+                        missing_shards: excluded,
+                    };
+                }
+                // The exact pick rule: minimize surviving violators, break
+                // ties toward supporter coverage, then lowest index.
+                let mut best_feat = usize::MAX;
+                let mut best = (usize::MAX, usize::MAX);
+                for (f, &already) in in_key.iter().enumerate() {
+                    if already {
+                        continue;
+                    }
+                    scanned += violators as u64;
+                    let surv = g.surv[f] as usize;
+                    if surv > best.0 {
+                        continue;
+                    }
+                    let cover = g.cover[f] as usize;
+                    let cand = (surv, usize::MAX - cover);
+                    if cand < best {
+                        best = cand;
+                        best_feat = f;
+                    }
+                }
+                in_key[best_feat] = true;
+                picked.push(best_feat as u32);
+                g = match self.gather(&live, &x0, p0, &picked) {
+                    Ok(g) => g,
+                    Err(failed) => {
+                        excluded.push(failed);
+                        continue 'restart;
+                    }
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The shard worker process body: one row partition behind the wire
+//! protocol.
+//!
+//! A worker loads the source CSV, keeps only the rows whose **global**
+//! index hashes to its shard ([`crate::shard::shard_of`]), and serves
+//! [`Req`]s over a local TCP listener — one thread per connection, one
+//! framed request/response per round trip. It holds no derived state
+//! beyond the raw partition: every `Counts` request recomputes its
+//! answer from the rows, so a worker respawned from the source data plus
+//! the router's ingest-log replay is indistinguishable from one that
+//! never died.
+//!
+//! The worker also watches its stdin: the supervisor holds the pipe
+//! open, so EOF means the parent daemon is gone and the worker exits
+//! instead of leaking.
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use cce_dataset::{csv, schema_io, Dataset, Instance, Label};
+
+use super::shard_of;
+use super::wire::{read_frame, write_frame, Req, Resp};
+
+/// Everything a worker needs to serve its partition.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Path to the encoded CSV the whole context is defined over.
+    pub data: String,
+    /// This worker's shard index, `0..shards`.
+    pub shard_index: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// Bind address (use port 0 for ephemeral).
+    pub addr: String,
+    /// When set, exit on stdin EOF (orphan protection under a
+    /// supervisor; tests driving a worker directly leave it off).
+    pub watch_stdin: bool,
+}
+
+/// One shard's row partition: `(global_index, instance, prediction)`
+/// triples, kept in ascending global order (base rows arrive in file
+/// order; ingest pushes carry ever-increasing indices).
+struct Partition {
+    shard: usize,
+    n_features: usize,
+    rows: RwLock<Vec<(u64, Instance, Label)>>,
+}
+
+impl Partition {
+    fn handle(&self, req: Req, stop: &AtomicBool) -> Resp {
+        match req {
+            Req::Ping => Resp::Pong {
+                shard: self.shard as u32,
+                rows: self.rows.read().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            },
+            Req::Fetch { global } => {
+                let rows = self.rows.read().unwrap_or_else(|e| e.into_inner());
+                match rows.binary_search_by_key(&global, |(g, _, _)| *g) {
+                    Ok(i) => Resp::Row {
+                        x: (0..self.n_features).map(|f| rows[i].1[f]).collect(),
+                        pred: rows[i].2 .0,
+                    },
+                    Err(_) => Resp::NotOwned,
+                }
+            }
+            Req::Counts { x, pred, picked } => self.counts(&x, pred, &picked),
+            Req::Push { global, x, pred } => {
+                if x.len() != self.n_features {
+                    return Resp::Err {
+                        msg: format!(
+                            "push width {} does not match partition width {}",
+                            x.len(),
+                            self.n_features
+                        ),
+                    };
+                }
+                let mut rows = self.rows.write().unwrap_or_else(|e| e.into_inner());
+                // Idempotent by global index: a retried push is a no-op.
+                if let Err(i) = rows.binary_search_by_key(&global, |(g, _, _)| *g) {
+                    rows.insert(i, (global, Instance::new(x), Label(pred)));
+                }
+                Resp::Pushed {
+                    rows: rows.len() as u64,
+                }
+            }
+            Req::Exit => {
+                stop.store(true, Ordering::SeqCst);
+                Resp::Bye
+            }
+        }
+    }
+
+    /// One greedy round over this partition. All counts are restricted to
+    /// rows matching the target on every already-picked feature, exactly
+    /// the live violator/supporter sets `Srk::explain_budgeted` retains —
+    /// and all of them are additive across disjoint partitions, which is
+    /// what lets the router sum them into the single-process answer.
+    fn counts(&self, x0: &[u32], pred: u32, picked: &[u32]) -> Resp {
+        if x0.len() != self.n_features {
+            return Resp::Err {
+                msg: format!(
+                    "target width {} does not match partition width {}",
+                    x0.len(),
+                    self.n_features
+                ),
+            };
+        }
+        if picked.iter().any(|&f| f as usize >= self.n_features) {
+            return Resp::Err {
+                msg: "picked feature out of range".to_string(),
+            };
+        }
+        let n = self.n_features;
+        let rows = self.rows.read().unwrap_or_else(|e| e.into_inner());
+        let mut violators = 0u64;
+        let mut surv = vec![0u64; n];
+        let mut cover = vec![0u64; n];
+        for (_, x, p) in rows.iter() {
+            if !picked.iter().all(|&f| x[f as usize] == x0[f as usize]) {
+                continue;
+            }
+            if p.0 != pred {
+                violators += 1;
+                for (f, s) in surv.iter_mut().enumerate() {
+                    *s += u64::from(x[f] == x0[f]);
+                }
+            } else {
+                for (f, c) in cover.iter_mut().enumerate() {
+                    *c += u64::from(x[f] == x0[f]);
+                }
+            }
+        }
+        cce_obs::counter!("cce_shard_worker_rounds_total").inc();
+        Resp::Counts {
+            rows: rows.len() as u64,
+            violators,
+            surv,
+            cover,
+        }
+    }
+}
+
+fn load_dataset(path: &str) -> io::Result<Dataset> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| io::Error::other(format!("reading {path}: {e}")))?;
+    let sidecar_path = format!("{path}.schema");
+    if let Ok(sidecar) = std::fs::read_to_string(&sidecar_path) {
+        let (schema, label_names) = schema_io::sidecar_from_text(&sidecar)
+            .map_err(|e| io::Error::other(format!("parsing {sidecar_path}: {e}")))?;
+        let ds = csv::from_csv(&text, path, schema)
+            .map_err(|e| io::Error::other(format!("parsing {path}: {e}")))?;
+        Ok(ds.with_label_names(label_names))
+    } else {
+        csv::infer_from_csv(&text, path)
+            .map_err(|e| io::Error::other(format!("parsing {path}: {e}")))
+    }
+}
+
+/// Runs a shard worker to completion (an `Exit` request, or stdin EOF
+/// when `watch_stdin` is set).
+///
+/// Prints `shard I listening on ADDR` on stdout once bound — the
+/// supervisor waits for that line.
+///
+/// # Errors
+/// Data-loading and listener-setup failures.
+pub fn run(cfg: &WorkerConfig) -> io::Result<()> {
+    if cfg.shards == 0 || cfg.shard_index >= cfg.shards {
+        return Err(io::Error::other(format!(
+            "shard index {} out of range for {} shards",
+            cfg.shard_index, cfg.shards
+        )));
+    }
+    let ds = load_dataset(&cfg.data)?;
+    let n_features = ds.schema().n_features();
+    let mut rows = Vec::new();
+    for (g, (x, label)) in ds.iter().enumerate() {
+        if shard_of(g as u64, cfg.shards) == cfg.shard_index {
+            rows.push((g as u64, x.clone(), label));
+        }
+    }
+    let part = Arc::new(Partition {
+        shard: cfg.shard_index,
+        n_features,
+        rows: RwLock::new(rows),
+    });
+
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let local = listener.local_addr()?;
+    println!("shard {} listening on {local}", cfg.shard_index);
+    io::stdout().flush()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    if cfg.watch_stdin {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // Block until the supervisor's pipe closes, then force exit:
+            // an orphaned worker must not outlive the daemon.
+            let mut sink = [0u8; 64];
+            let mut stdin = io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect_timeout(&local, Duration::from_millis(250));
+            // Give the accept loop a moment to exit cleanly, then leave.
+            std::thread::sleep(Duration::from_millis(500));
+            std::process::exit(0);
+        });
+    }
+
+    std::thread::scope(|s| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let part = Arc::clone(&part);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                serve_conn(&part, stream, &stop, local);
+            });
+        }
+    });
+    Ok(())
+}
+
+/// One connection: framed request/response until EOF or `Exit`.
+fn serve_conn(part: &Partition, stream: TcpStream, stop: &AtomicBool, local: std::net::SocketAddr) {
+    let _ = stream.set_nodelay(true);
+    // A dead router must not pin worker threads forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        let resp = match Req::decode(&payload) {
+            Ok(req) => part.handle(req, stop),
+            Err(e) => Resp::Err {
+                msg: format!("bad request: {e}"),
+            },
+        };
+        let bye = matches!(resp, Resp::Bye);
+        if write_frame(&mut writer, &resp.encode()).is_err() {
+            return;
+        }
+        if bye {
+            // Poke the accept loop so it notices the stop flag.
+            let _ = TcpStream::connect_timeout(&local, Duration::from_millis(250));
+            return;
+        }
+    }
+}

@@ -59,6 +59,7 @@ fn start<V: Vfs + Send + 'static>(app: Arc<App<V>>) -> Daemon {
     let cfg = ServerConfig {
         max_connections: 64,
         keep_alive_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
     };
     let server = Server::bind(app, "127.0.0.1:0", cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("resolve addr");
@@ -280,10 +281,15 @@ fn bad_requests_over_the_wire_get_structured_errors() {
     let app = plain_app(ctx, BatcherConfig::default(), AdmissionConfig::default());
     let daemon = start(app);
 
+    let deep_nest = "[".repeat(80) + &"]".repeat(80);
     let cases = [
         ("POST", "/explain", "not json", 400),
         ("POST", "/explain", "{\"no_target\":1}", 400),
         ("POST", "/explain", "{\"target\":999999}", 400),
+        // Hostile JSON bodies: truncated escapes and absurd nesting must
+        // be clean 400s (the parser is panic-free on request bytes).
+        ("POST", "/explain", "{\"target\": \"\\u12\"}", 400),
+        ("POST", "/explain", &deep_nest, 400),
         ("GET", "/explain", "", 405),
         ("POST", "/nope", "{}", 404),
         (
@@ -504,6 +510,72 @@ fn drain_refuses_new_ingests_and_exits_cleanly() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
         "listener should be closed after drain"
     );
+}
+
+/// Slow-client hardening: a client that sends the first bytes of a
+/// request and then stalls must be answered `408` and disconnected
+/// within the request deadline — before this, one slowloris connection
+/// pinned a server thread for as long as it kept trickling bytes.
+#[test]
+fn stalled_mid_request_client_gets_408_and_the_slot_back() {
+    let ctx = loan_ctx(60);
+    let app = plain_app(ctx, BatcherConfig::default(), AdmissionConfig::default());
+    let cfg = ServerConfig {
+        max_connections: 8,
+        keep_alive_timeout: Duration::from_secs(5),
+        request_deadline: Duration::from_millis(400),
+        write_timeout: Duration::from_secs(5),
+    };
+    let server = Server::bind(Arc::clone(&app), "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    // Trickle a partial request: headers begun, never finished.
+    let (mut stream, mut reader) = connect(addr);
+    stream
+        .write_all(b"POST /explain HTTP/1.1\r\nHost: t\r\nContent-Le")
+        .expect("partial write");
+    stream.flush().unwrap();
+    let t0 = std::time::Instant::now();
+    let (status, body) = read_response(&mut reader).expect("server must answer the stall");
+    assert_eq!(status, 408, "{}", String::from_utf8_lossy(&body));
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "408 must arrive near the deadline, took {:?}",
+        t0.elapsed()
+    );
+
+    // A stalled *body* (headers complete, content missing) times out the
+    // same way — Content-Length promises bytes that never come.
+    let (mut stream, mut reader) = connect(addr);
+    stream
+        .write_all(b"POST /explain HTTP/1.1\r\nHost: t\r\nContent-Length: 12\r\n\r\n{\"tar")
+        .expect("partial body");
+    stream.flush().unwrap();
+    let (status, _) = read_response(&mut reader).expect("stalled body gets a response");
+    assert_eq!(status, 408);
+
+    // The server remains fully serviceable afterwards: the stalled
+    // connections released their threads.
+    let (status, _) = roundtrip(addr, "POST", "/explain", "{\"target\":1}");
+    assert_eq!(status, 200);
+
+    // A slow-but-within-deadline request still completes normally.
+    let (mut stream, mut reader) = connect(addr);
+    stream
+        .write_all(b"POST /explain HTTP/1.1\r\nHost: t\r\n")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    stream
+        .write_all(b"Content-Length: 12\r\n\r\n{\"target\":2}")
+        .unwrap();
+    stream.flush().unwrap();
+    let (status, _) = read_response(&mut reader).expect("slow-but-legal request");
+    assert_eq!(status, 200);
+
+    let (status, _) = roundtrip(addr, "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean drain");
 }
 
 /// The acceptance-criteria test: kill the VFS mid-ingest at several op

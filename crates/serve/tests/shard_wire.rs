@@ -1,0 +1,138 @@
+//! Property fuzzing of the shard wire decoder: arbitrary bytes,
+//! truncations, byte flips, and hostile length fields must all land in
+//! clean [`WireError`]s — the decoders sit on a socket facing worker
+//! processes that can die mid-write, so "never panic, never
+//! mis-validate" is the contract the router's fault handling stands on.
+
+use cce_serve::shard::{decode_frame, encode_frame, Req, Resp, WireError, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 stream for deriving positions from a seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn sample_req(seed: u64, xs: Vec<u32>, picked: Vec<u32>) -> Req {
+    match seed % 5 {
+        0 => Req::Ping,
+        1 => Req::Fetch { global: mix(seed) },
+        2 => Req::Counts {
+            x: xs,
+            pred: (seed % 7) as u32,
+            picked,
+        },
+        3 => Req::Push {
+            global: mix(seed) % 1_000_000,
+            x: xs,
+            pred: (seed % 3) as u32,
+        },
+        _ => Req::Exit,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary garbage never panics either decoder and never yields a
+    /// frame (the odds of random bytes carrying the magic AND a valid
+    /// CRC are negligible; asserting "no panic + some Result" is the
+    /// real property).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame(&bytes);
+        let _ = Req::decode(&bytes);
+        let _ = Resp::decode(&bytes);
+    }
+
+    /// Every strict prefix of a valid frame is "need more bytes", never
+    /// an error and never a bogus success — the stream reader depends on
+    /// this to resume cleanly across short reads.
+    #[test]
+    fn truncated_frames_ask_for_more(seed in any::<u64>(), xs in proptest::collection::vec(any::<u32>(), 0..16), picked in proptest::collection::vec(0u32..16, 0..4)) {
+        let framed = encode_frame(&sample_req(seed, xs, picked).encode());
+        for cut in 0..framed.len() {
+            prop_assert_eq!(
+                decode_frame(&framed[..cut]).unwrap(),
+                None,
+                "prefix of {} bytes must ask for more",
+                cut
+            );
+        }
+    }
+
+    /// Any single byte flip anywhere in a frame is detected: magic flips
+    /// fail the magic check, length flips either truncate (Ok(None)) or
+    /// trip the cap/CRC, payload and CRC flips fail the CRC. What must
+    /// never happen is a *successful* decode of different bytes.
+    #[test]
+    fn byte_flips_never_validate(seed in any::<u64>(), flip in any::<u8>(), xs in proptest::collection::vec(any::<u32>(), 0..16)) {
+        let flip = if flip == 0 { 0xA5 } else { flip };
+        let payload = sample_req(seed, xs.clone(), Vec::new()).encode();
+        let framed = encode_frame(&payload);
+        for pos in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[pos] ^= flip;
+            if let Ok(Some((got, _))) = decode_frame(&bad) {
+                prop_assert_eq!(
+                    &got, &payload,
+                    "flip at {} validated as a different payload", pos
+                );
+            }
+        }
+    }
+
+    /// Hostile length fields beyond the cap are rejected before any
+    /// allocation, whatever the rest of the frame claims.
+    #[test]
+    fn oversized_lengths_are_rejected(extra in 1u64..u64::from(u32::MAX - MAX_FRAME_BYTES as u32), tail in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let len = MAX_FRAME_BYTES as u32 + u32::try_from(extra).unwrap_or(1);
+        let mut buf = u32::from_le_bytes(*b"CCES").to_le_bytes().to_vec();
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&tail);
+        prop_assert!(matches!(
+            decode_frame(&buf),
+            Err(WireError::OversizedFrame(_))
+        ));
+    }
+
+    /// Truncating a message *body* (after the frame layer) always
+    /// decodes to a clean error, never a panic and never a wrong
+    /// message. Tag-preserving truncation is the nasty case: the decoder
+    /// starts down the right variant and must bail on the missing field.
+    #[test]
+    fn truncated_bodies_error_cleanly(seed in any::<u64>(), xs in proptest::collection::vec(any::<u32>(), 0..16), picked in proptest::collection::vec(0u32..16, 0..4)) {
+        let body = sample_req(seed, xs, picked).encode();
+        for cut in 0..body.len() {
+            prop_assert!(
+                Req::decode(&body[..cut]).is_err(),
+                "truncated body of {} bytes must not decode",
+                cut
+            );
+        }
+        let resp = Resp::Counts {
+            rows: mix(seed),
+            violators: seed % 100,
+            surv: vec![seed % 5; 8],
+            cover: vec![seed % 3; 8],
+        };
+        let body = resp.encode();
+        for cut in 0..body.len() {
+            prop_assert!(Resp::decode(&body[..cut]).is_err());
+        }
+    }
+
+    /// Round trip with trailing garbage: exact bytes decode, any
+    /// appended bytes are a hard error (a stream that framed two
+    /// messages into one payload is corrupt, not "close enough").
+    #[test]
+    fn trailing_bytes_are_rejected(seed in any::<u64>(), xs in proptest::collection::vec(any::<u32>(), 0..16), junk in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let req = sample_req(seed, xs, Vec::new());
+        let mut body = req.encode();
+        prop_assert_eq!(Req::decode(&body).unwrap(), req);
+        body.extend_from_slice(&junk);
+        prop_assert!(Req::decode(&body).is_err());
+    }
+}
